@@ -1,0 +1,154 @@
+//! Criterion micro-benchmarks for the building blocks: digest, codecs,
+//! simulator event rate, TCP transfer rate, depot relay, forecasting.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use lsl_netsim::{Dur, LinkSpec, LossModel, NodeId, Packet, TopologyBuilder};
+use lsl_nws::AdaptiveMixture;
+use lsl_session::{Hop, LslHeader, SessionId};
+use lsl_tcp::Segment;
+use lsl_workloads::{case1, run_transfer, Mode, RunConfig};
+
+fn bench_md5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("md5");
+    for size in [1usize << 10, 64 << 10, 1 << 20] {
+        let data = vec![0xa5u8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, d| {
+            b.iter(|| lsl_digest::md5(d));
+        });
+    }
+    g.finish();
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let seg = Segment {
+        src_port: 40000,
+        dst_port: 5001,
+        seq: 123456789,
+        ack: 987654321,
+        flags: lsl_tcp::Flags::ACK,
+        wnd: 8 << 20,
+        mss: None,
+    };
+    c.bench_function("segment_encode_decode", |b| {
+        b.iter(|| {
+            let e = seg.encode();
+            Segment::decode(&e).expect("valid")
+        })
+    });
+    let header = LslHeader {
+        session: SessionId(42),
+        flags: 1,
+        length: 64 << 20,
+        route: vec![Hop::new(NodeId(1), 7001), Hop::new(NodeId(2), 5001)],
+    };
+    c.bench_function("lsl_header_encode_decode", |b| {
+        b.iter(|| {
+            let e = header.encode();
+            LslHeader::decode(&e).expect("valid").expect("complete")
+        })
+    });
+}
+
+fn bench_simulator_events(c: &mut Criterion) {
+    // Raw event-loop rate: 1000 packets through a 2-hop path.
+    c.bench_function("netsim_1000_packets_2hop", |b| {
+        b.iter(|| {
+            let mut tb = TopologyBuilder::new();
+            let a = tb.node("a");
+            let r = tb.node("r");
+            let z = tb.node("z");
+            tb.duplex(a, r, LinkSpec::new(1_000_000_000, Dur::from_micros(100)));
+            tb.duplex(
+                r,
+                z,
+                LinkSpec::new(1_000_000_000, Dur::from_micros(100))
+                    .with_loss(LossModel::bernoulli(0.01)),
+            );
+            let mut sim = tb.build().into_sim(1);
+            for _ in 0..1000 {
+                sim.send(a, Packet::tcp(a, z, Bytes::new(), Bytes::from_static(&[0u8; 1000])));
+            }
+            let mut n = 0u32;
+            while sim.next().is_some() {
+                n += 1;
+            }
+            n
+        })
+    });
+}
+
+fn bench_tcp_transfer(c: &mut Criterion) {
+    let case = case1();
+    let mut g = c.benchmark_group("sim_transfer_1MB");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(1 << 20));
+    g.bench_function("direct", |b| {
+        b.iter(|| run_transfer(&case, &RunConfig::new(1 << 20, Mode::Direct, 1)).duration_s)
+    });
+    g.bench_function("via_depot", |b| {
+        b.iter(|| run_transfer(&case, &RunConfig::new(1 << 20, Mode::ViaDepot, 1)).duration_s)
+    });
+    g.finish();
+}
+
+fn bench_forecasting(c: &mut Criterion) {
+    c.bench_function("nws_mixture_update_x100", |b| {
+        b.iter(|| {
+            let mut m = AdaptiveMixture::standard();
+            for i in 0..100 {
+                m.update(10.0 + (i % 7) as f64);
+            }
+            m.predict()
+        })
+    });
+}
+
+fn bench_realnet_relay(c: &mut Criterion) {
+    use lsl_realnet::{LsdServer, LslListener, LslStream};
+    use std::io::Write as _;
+    use std::net::Ipv4Addr;
+    let depot = LsdServer::spawn((Ipv4Addr::LOCALHOST, 0).into()).expect("spawn depot");
+    let depot_addr = depot.addr();
+    let mut g = c.benchmark_group("realnet_relay_1MB");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(1 << 20));
+    g.bench_function("loopback_cascade", |b| {
+        b.iter(|| {
+            let listener = LslListener::bind((Ipv4Addr::LOCALHOST, 0).into()).expect("bind");
+            let sink_addr = listener.local_addr().expect("addr");
+            let t = std::thread::spawn(move || {
+                let payload = vec![0x5au8; 1 << 20];
+                let mut s = LslStream::connect(
+                    SessionId(1),
+                    &[depot_addr],
+                    sink_addr,
+                    payload.len() as u64,
+                    true,
+                    true,
+                )
+                .expect("connect");
+                s.write_all(&payload).expect("write");
+                s.finish().expect("finish");
+            });
+            let (data, ok) = listener.accept().expect("accept").read_all().expect("read");
+            t.join().expect("join");
+            assert_eq!(ok, Some(true));
+            data.len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_md5,
+    bench_codecs,
+    bench_simulator_events,
+    bench_tcp_transfer,
+    bench_forecasting,
+    bench_realnet_relay
+);
+criterion_main!(benches);

@@ -1,0 +1,221 @@
+//! Ablation studies for the design choices DESIGN.md calls out.
+//!
+//! ```text
+//! cargo run -p lsl-bench --release --bin ablations -- all
+//! cargo run -p lsl-bench --release --bin ablations -- buffer loss rtt-split endhost algo delack
+//! ```
+
+use lsl_netsim::{Dur, LinkSpec, LossModel, Topology, TopologyBuilder};
+use lsl_tcp::{CcAlgo, TcpConfig};
+use lsl_workloads::{case1, run_transfer, Mode, RunConfig};
+
+fn main() {
+    let mut wanted: Vec<String> = std::env::args().skip(1).collect();
+    if wanted.is_empty() {
+        eprintln!("usage: ablations <buffer|loss|rtt-split|endhost|algo|delack|all>...");
+        std::process::exit(2);
+    }
+    if wanted.iter().any(|w| w == "all") {
+        wanted = ["buffer", "loss", "rtt-split", "endhost", "algo", "delack"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    }
+    for w in wanted {
+        match w.as_str() {
+            "buffer" => ablate_relay_buffer(),
+            "loss" => ablate_loss_rate(),
+            "rtt-split" => ablate_rtt_split(),
+            "endhost" => ablate_endhost_buffers(),
+            "algo" => ablate_cc_algo(),
+            "delack" => ablate_delack(),
+            other => eprintln!("unknown ablation {other:?}"),
+        }
+    }
+}
+
+const ITERS: u64 = 3;
+
+fn mean_goodput(cfgs: impl Iterator<Item = RunConfig>) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0u32;
+    let case = case1();
+    for cfg in cfgs {
+        sum += run_transfer(&case, &cfg).goodput_bps;
+        n += 1;
+    }
+    sum / n as f64
+}
+
+/// Depot relay buffer: too small throttles pipelining; large buys little.
+fn ablate_relay_buffer() {
+    println!("Ablation: depot relay buffer size (8MB via depot, case 1)");
+    println!("{:>12} {:>14}", "buffer", "Mbit/s");
+    for buf in [16usize << 10, 64 << 10, 256 << 10, 1 << 20, 16 << 20] {
+        let g = mean_goodput((0..ITERS).map(|i| {
+            let mut c = RunConfig::new(8 << 20, Mode::ViaDepot, 700 + i);
+            c.relay_buf = buf;
+            c
+        }));
+        println!("{:>11}K {:>14.2}", buf >> 10, g / 1e6);
+    }
+    println!();
+}
+
+/// Loss-rate sweep on a parametric split path: locates the direct-vs-LSL
+/// crossover as a function of p.
+fn ablate_loss_rate() {
+    println!("Ablation: per-leg loss rate vs LSL gain (8MB, 2x30ms path)");
+    println!("{:>12} {:>14} {:>14} {:>8}", "p per leg", "direct Mb/s", "LSL Mb/s", "gain");
+    for p in [0.0, 1e-5, 5e-5, 2e-4, 1e-3] {
+        let (topo, names) = split_path(p, Dur::from_millis(15), Dur::from_millis(15));
+        let case = parametric_case(topo, names);
+        let mean = |mode| -> f64 {
+            (0..ITERS)
+                .map(|i| run_transfer(&case, &RunConfig::new(8 << 20, mode, 800 + i)).goodput_bps)
+                .sum::<f64>()
+                / ITERS as f64
+        };
+        let d = mean(Mode::Direct);
+        let l = mean(Mode::ViaDepot);
+        println!(
+            "{:>12.0e} {:>14.2} {:>14.2} {:>+7.1}%",
+            p,
+            d / 1e6,
+            l / 1e6,
+            (l / d - 1.0) * 100.0
+        );
+    }
+    println!("(gain grows with loss: recovery clocked by sublink RTT)\n");
+}
+
+/// RTT split asymmetry: an even split maximizes the gain.
+fn ablate_rtt_split() {
+    println!("Ablation: RTT split asymmetry (8MB, 60ms total, p=2e-4/leg)");
+    println!("{:>16} {:>14} {:>8}", "split (ms/ms)", "LSL Mb/s", "gain");
+    let mut direct = 0.0;
+    for (a, b) in [(30u64, 30u64), (20, 40), (10, 50), (5, 55)] {
+        let (topo, names) = split_path(2e-4, Dur::from_millis(a), Dur::from_millis(b));
+        let case = parametric_case(topo, names);
+        let mean = |mode| -> f64 {
+            (0..ITERS)
+                .map(|i| run_transfer(&case, &RunConfig::new(8 << 20, mode, 900 + i)).goodput_bps)
+                .sum::<f64>()
+                / ITERS as f64
+        };
+        if direct == 0.0 {
+            direct = mean(Mode::Direct);
+            println!("{:>16} {:>14.2} {:>8}", "direct", direct / 1e6, "—");
+        }
+        let l = mean(Mode::ViaDepot);
+        println!(
+            "{:>13}/{:<3}{:>13.2} {:>+7.1}%",
+            a,
+            b,
+            l / 1e6,
+            (l / direct - 1.0) * 100.0
+        );
+    }
+    println!("(the slowest sublink gates the cascade: even splits win)\n");
+}
+
+/// Limited end-host buffers: the paper notes the LSL improvement is more
+/// profound with small end-node buffers (the depot re-opens the window
+/// per hop).
+fn ablate_endhost_buffers() {
+    println!("Ablation: end-host TCP buffers (8MB transfer, case 1)");
+    println!("{:>12} {:>14} {:>14} {:>8}", "buffers", "direct Mb/s", "LSL Mb/s", "gain");
+    for buf in [64u64 << 10, 256 << 10, 1 << 20, 8 << 20] {
+        let mk = |mode| {
+            (0..ITERS).map(move |i| {
+                let mut c = RunConfig::new(8 << 20, mode, 1000 + i);
+                c.tcp = TcpConfig {
+                    time_wait: Dur::from_millis(1),
+                    ..TcpConfig::default().small_buffers(buf)
+                };
+                c
+            })
+        };
+        let d = mean_goodput(mk(Mode::Direct));
+        let l = mean_goodput(mk(Mode::ViaDepot));
+        println!(
+            "{:>11}K {:>14.2} {:>14.2} {:>+7.1}%",
+            buf >> 10,
+            d / 1e6,
+            l / 1e6,
+            (l / d - 1.0) * 100.0
+        );
+    }
+    println!("(window-bound paths gain most: BW = wnd/RTT per sublink)\n");
+}
+
+/// Reno vs NewReno on both modes.
+fn ablate_cc_algo() {
+    println!("Ablation: congestion-control variant (8MB, case 1)");
+    println!("{:>10} {:>14} {:>14}", "algo", "direct Mb/s", "LSL Mb/s");
+    for algo in [CcAlgo::Reno, CcAlgo::NewReno] {
+        let mk = |mode| {
+            (0..ITERS).map(move |i| {
+                let mut c = RunConfig::new(8 << 20, mode, 1100 + i);
+                c.tcp.algo = algo;
+                c
+            })
+        };
+        let d = mean_goodput(mk(Mode::Direct));
+        let l = mean_goodput(mk(Mode::ViaDepot));
+        println!("{:>10?} {:>14.2} {:>14.2}", algo, d / 1e6, l / 1e6);
+    }
+    println!();
+}
+
+/// Delayed ACKs on/off.
+fn ablate_delack() {
+    println!("Ablation: delayed ACKs (8MB, case 1)");
+    println!("{:>10} {:>14} {:>14}", "delack", "direct Mb/s", "LSL Mb/s");
+    for (name, d_opt) in [("on", Some(Dur::from_millis(100))), ("off", None)] {
+        let mk = |mode| {
+            (0..ITERS).map(move |i| {
+                let mut c = RunConfig::new(8 << 20, mode, 1200 + i);
+                c.tcp.delack = d_opt;
+                c
+            })
+        };
+        let d = mean_goodput(mk(Mode::Direct));
+        let l = mean_goodput(mk(Mode::ViaDepot));
+        println!("{:>10} {:>14.2} {:>14.2}", name, d / 1e6, l / 1e6);
+    }
+    println!();
+}
+
+// ---------------------------------------------------------------------
+
+/// src —(a)— pop —(b)— dst with a depot at the pop; loss p per leg.
+fn split_path(p: f64, a: Dur, b: Dur) -> (Topology, [&'static str; 4]) {
+    let mut tb = TopologyBuilder::new();
+    let src = tb.node("src");
+    let pop = tb.node("pop");
+    let dst = tb.node("dst");
+    let dep = tb.node("depot");
+    tb.duplex(
+        src,
+        pop,
+        LinkSpec::new(100_000_000, a).with_loss(LossModel::bernoulli(p)),
+    );
+    tb.duplex(
+        pop,
+        dst,
+        LinkSpec::new(100_000_000, b).with_loss(LossModel::bernoulli(p)),
+    );
+    tb.duplex(pop, dep, LinkSpec::new(1_000_000_000, Dur::from_micros(100)));
+    (tb.build(), ["src", "pop", "dst", "depot"])
+}
+
+fn parametric_case(topo: Topology, names: [&'static str; 4]) -> lsl_workloads::PathCase {
+    lsl_workloads::PathCase {
+        name: "parametric-split",
+        src: topo.find(names[0]).expect("src"),
+        dst: topo.find(names[2]).expect("dst"),
+        depot: topo.find(names[3]).expect("depot"),
+        topo,
+    }
+}

@@ -1,0 +1,376 @@
+//! Regenerate every figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run -p lsl-bench --release --bin figures -- all          # smoke
+//! cargo run -p lsl-bench --release --bin figures -- fig6 fig14
+//! cargo run -p lsl-bench --release --bin figures -- all --paper  # full
+//! ```
+//!
+//! Output: `results/figNN.dat` (gnuplot index format) plus an ASCII
+//! rendering per figure on stdout.
+
+use std::path::PathBuf;
+
+use lsl_bench::{
+    averaged, first_series, loss_conditioned_indices, mean_rtt_ms, second_series, traced_runs,
+    FigOpts, TracedRun,
+};
+use lsl_trace::export::{ascii_plot, write_dat};
+use lsl_trace::Series;
+use lsl_workloads::report::{gain_summary, human_size, sweep_table};
+use lsl_workloads::sweep::sweep_sizes;
+use lsl_workloads::{case1, case2, case3, case4, Mode, PathCase};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let paper = args.iter().any(|a| a == "--paper");
+    let mut wanted: Vec<String> = args.into_iter().filter(|a| a != "--paper").collect();
+    if wanted.is_empty() {
+        eprintln!("usage: figures <figN ... | all> [--paper]");
+        eprintln!("figures: fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14");
+        eprintln!("         fig15 fig16 fig17 fig18 fig19 fig20 fig21 fig22 fig23 fig24 fig25");
+        eprintln!("         fig26 fig27 fig28 fig29 summary");
+        std::process::exit(2);
+    }
+    if wanted.iter().any(|w| w == "all") {
+        wanted = (3..=29).map(|n| format!("fig{n}")).collect();
+        wanted.push("summary".into());
+    }
+    let opts = FigOpts {
+        paper,
+        out_dir: PathBuf::from("results"),
+    };
+    println!(
+        "mode: {} (use --paper for the full iteration counts)\n",
+        if paper { "PAPER" } else { "smoke" }
+    );
+    for w in wanted {
+        match w.as_str() {
+            "fig3" => fig_rtt(&opts, &case1(), "fig03", "Fig 3: RTT, case 1 (UCSB→UIUC via Denver)"),
+            "fig4" => fig_rtt(&opts, &case2(), "fig04", "Fig 4: RTT, case 2 (UCSB→UF via Houston)"),
+            "fig5" => fig_bw_sweep(&opts, &case1(), &[32 << 10, 64 << 10, 128 << 10, 256 << 10],
+                10, "fig05", "Fig 5: UCSB→UIUC bandwidth, 32K-256K"),
+            "fig6" => fig_bw_sweep(&opts, &case1(), &pow2_sizes(1 << 20, opts.size(64 << 20, 16 << 20)),
+                10, "fig06", "Fig 6: UCSB→UIUC bandwidth, 1M-64M"),
+            "fig7" => fig_bw_sweep(&opts, &case2(), &[32 << 10, 64 << 10, 128 << 10, 256 << 10],
+                10, "fig07", "Fig 7: UCSB→UF bandwidth, 32K-256K"),
+            "fig8" => fig_bw_sweep(&opts, &case2(), &pow2_sizes(1 << 20, opts.size(128 << 20, 16 << 20)),
+                10, "fig08", "Fig 8: UCSB→UF bandwidth, 1M-128M"),
+            "fig9" => fig_rtt(&opts, &case3(), "fig09", "Fig 9: RTT, case 3 (UTK→UCSB wireless)"),
+            "fig10" => fig_bw_sweep(&opts, &case3(), &pow2_sizes(1 << 20, opts.size(256 << 20, 8 << 20)),
+                10, "fig10", "Fig 10: UTK→UCSB (wireless) bandwidth, log-x"),
+            "fig11" => fig_individual_runs(&opts, Mode::Direct, SubSel::First, "fig11",
+                "Fig 11: direct TCP seq growth, 64MB runs + average"),
+            "fig12" => fig_individual_runs(&opts, Mode::ViaDepot, SubSel::First, "fig12",
+                "Fig 12: sublink 1 seq growth, 64MB runs + average"),
+            "fig13" => fig_individual_runs(&opts, Mode::ViaDepot, SubSel::Second, "fig13",
+                "Fig 13: sublink 2 seq growth, 64MB runs + average"),
+            "fig14" => fig_avg_overlay(&opts, opts.size(64 << 20, 8 << 20), "fig14",
+                "Fig 14: average seq growth, 64MB (sublinks vs direct)"),
+            "fig15" => fig_loss_conditioned(&opts, 4 << 20, Cond::Min, "fig15",
+                "Fig 15: 4MB, minimum-loss runs"),
+            "fig16" => fig_loss_conditioned(&opts, 4 << 20, Cond::Median, "fig16",
+                "Fig 16: 4MB, median-loss runs"),
+            "fig17" => fig_loss_conditioned(&opts, 4 << 20, Cond::Max, "fig17",
+                "Fig 17: 4MB, maximum-loss runs"),
+            "fig18" => fig_avg_overlay(&opts, 4 << 20, "fig18",
+                "Fig 18: average seq growth, 4MB"),
+            "fig19" => fig_loss_conditioned(&opts, 16 << 20, Cond::Min, "fig19",
+                "Fig 19: 16MB, minimum-loss runs"),
+            "fig20" => fig_loss_conditioned(&opts, 16 << 20, Cond::Median, "fig20",
+                "Fig 20: 16MB, median-loss runs"),
+            "fig21" => fig_loss_conditioned(&opts, 16 << 20, Cond::Max, "fig21",
+                "Fig 21: 16MB, maximum-loss runs"),
+            "fig22" => fig_avg_overlay(&opts, 16 << 20, "fig22",
+                "Fig 22: average seq growth, 16MB"),
+            "fig23" => fig_loss_conditioned(&opts, opts.size(64 << 20, 16 << 20), Cond::Min, "fig23",
+                "Fig 23: 64MB, minimum-loss runs"),
+            "fig24" => fig_loss_conditioned(&opts, opts.size(64 << 20, 16 << 20), Cond::Median, "fig24",
+                "Fig 24: 64MB, median-loss runs"),
+            "fig25" => fig_loss_conditioned(&opts, opts.size(64 << 20, 16 << 20), Cond::Max, "fig25",
+                "Fig 25: 64MB, maximum-loss runs"),
+            "fig26" => fig_avg_overlay_case(&opts, &case2(), opts.size(32 << 20, 8 << 20), "fig26",
+                "Fig 26: average seq growth, 32MB UCSB→UF"),
+            "fig27" => fig_single_run_case3(&opts, "fig27",
+                "Fig 27: seq growth, 256MB wireless"),
+            "fig28" => fig_bw_sweep_iters(&opts, &case4(),
+                &pow2_sizes(1 << 20, opts.size(512 << 20, 32 << 20)),
+                opts.iters(120, 5), "fig28", "Fig 28: UCSB→OSU steady state, 1M-512M (log-x)"),
+            "fig29" => fig_bw_sweep_iters(&opts, &case4(),
+                &[32 << 10, 64 << 10, 128 << 10, 256 << 10, 512 << 10, 1 << 20],
+                opts.iters(120, 10), "fig29", "Fig 29: UCSB→OSU, 32K-1024K"),
+            "summary" => headline_summary(&opts),
+            other => {
+                eprintln!("unknown figure {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+fn pow2_sizes(from: u64, to: u64) -> Vec<u64> {
+    let mut v = Vec::new();
+    let mut s = from;
+    while s <= to {
+        v.push(s);
+        s *= 2;
+    }
+    v
+}
+
+// ---------------------------------------------------------------------
+// RTT bar figures (3, 4, 9)
+// ---------------------------------------------------------------------
+
+fn fig_rtt(opts: &FigOpts, case: &PathCase, stem: &str, title: &str) {
+    let size = opts.size(16 << 20, 4 << 20);
+    let iters = opts.iters(10, 3);
+    let lsl = traced_runs(case, size, Mode::ViaDepot, iters, 1000);
+    let direct = traced_runs(case, size, Mode::Direct, iters, 1000);
+
+    let s1 = mean_rtt_ms(lsl.iter().map(|r| &r.first));
+    let s2 = mean_rtt_ms(lsl.iter().filter_map(|r| r.second.as_ref()));
+    let e2e = mean_rtt_ms(direct.iter().map(|r| &r.first));
+    let sum = s1 + s2;
+
+    println!("{title}");
+    for (name, v) in [("sublink1", s1), ("sublink2", s2), ("end-to-end", e2e), ("sum of sublinks", sum)] {
+        println!("  {name:<16} {v:7.1} ms  {}", "#".repeat((v / 2.0) as usize));
+    }
+    println!("  cascade RTT overhead vs direct: {:+.1} ms\n", sum - e2e);
+    let bars = [
+        ("sublink1", vec![(0.0, s1)]),
+        ("sublink2", vec![(1.0, s2)]),
+        ("end-to-end", vec![(2.0, e2e)]),
+        ("sum-sublinks", vec![(3.0, sum)]),
+    ];
+    let curves: Vec<(&str, &[(f64, f64)])> =
+        bars.iter().map(|(n, v)| (*n, v.as_slice())).collect();
+    write_dat(&opts.out_dir, stem, &curves).expect("write dat");
+}
+
+// ---------------------------------------------------------------------
+// Bandwidth-vs-size figures (5-8, 10, 28, 29)
+// ---------------------------------------------------------------------
+
+fn fig_bw_sweep(opts: &FigOpts, case: &PathCase, sizes: &[u64], paper_iters: usize, stem: &str, title: &str) {
+    fig_bw_sweep_iters(opts, case, sizes, opts.iters(paper_iters, 3), stem, title);
+}
+
+fn fig_bw_sweep_iters(
+    opts: &FigOpts,
+    case: &PathCase,
+    sizes: &[u64],
+    iters: usize,
+    stem: &str,
+    title: &str,
+) {
+    let direct = sweep_sizes(case, sizes, Mode::Direct, iters, 2000);
+    let lsl = sweep_sizes(case, sizes, Mode::ViaDepot, iters, 2000);
+    println!("{title}  ({iters} iterations/point)");
+    print!("{}", sweep_table(&direct, &lsl));
+    let (avg, max) = gain_summary(&direct, &lsl);
+    println!("  LSL gain: {avg:+.1}% average, {max:+.1}% max\n");
+
+    let d_pts: Vec<(f64, f64)> = direct
+        .iter()
+        .map(|p| (p.size as f64 / 1024.0, p.mean_bps / 1e6))
+        .collect();
+    let l_pts: Vec<(f64, f64)> = lsl
+        .iter()
+        .map(|p| (p.size as f64 / 1024.0, p.mean_bps / 1e6))
+        .collect();
+    println!(
+        "{}",
+        ascii_plot(
+            &format!("{title} [x: KB, y: Mbit/s]"),
+            &[("direct", &d_pts), ("LSL", &l_pts)],
+        )
+    );
+    write_dat(
+        &opts.out_dir,
+        stem,
+        &[("direct", d_pts.as_slice()), ("lsl", l_pts.as_slice())],
+    )
+    .expect("write dat");
+}
+
+// ---------------------------------------------------------------------
+// Sequence-growth figures
+// ---------------------------------------------------------------------
+
+enum SubSel {
+    First,
+    Second,
+}
+
+/// Figs 11-13: all individual runs plus their average.
+fn fig_individual_runs(opts: &FigOpts, mode: Mode, sel: SubSel, stem: &str, title: &str) {
+    let case = case1();
+    let size = opts.size(64 << 20, 8 << 20);
+    let iters = opts.iters(11, 5);
+    let runs = traced_runs(&case, size, mode, iters, 3000);
+    let series: Vec<Series> = match sel {
+        SubSel::First => first_series(&runs),
+        SubSel::Second => second_series(&runs),
+    };
+    let avg = averaged(&series, 200);
+
+    println!("{title}  ({iters} runs of {})", human_size(size));
+    let mut curves: Vec<(String, Vec<(f64, f64)>)> = series
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (format!("test{i}"), s.points().to_vec()))
+        .collect();
+    curves.push(("average".to_string(), avg.points().to_vec()));
+    let refs: Vec<(&str, &[(f64, f64)])> = curves
+        .iter()
+        .map(|(n, p)| (n.as_str(), p.as_slice()))
+        .collect();
+    println!(
+        "{}",
+        ascii_plot(
+            &format!("{title} [x: s, y: bytes]"),
+            &[
+                ("runs", refs[0].1),
+                ("average", refs.last().expect("nonempty").1)
+            ],
+        )
+    );
+    write_dat(&opts.out_dir, stem, &refs).expect("write dat");
+}
+
+/// Collect the three averaged curves (sublink1, sublink2, direct).
+fn three_way_averages(
+    opts: &FigOpts,
+    case: &PathCase,
+    size: u64,
+) -> (Series, Series, Series) {
+    let iters = opts.iters(11, 5);
+    let lsl = traced_runs(case, size, Mode::ViaDepot, iters, 4000);
+    let direct = traced_runs(case, size, Mode::Direct, iters, 4000);
+    (
+        averaged(&first_series(&lsl), 200),
+        averaged(&second_series(&lsl), 200),
+        averaged(&first_series(&direct), 200),
+    )
+}
+
+/// Figs 14, 18, 22, 26: averaged sublink1/sublink2/direct overlay.
+fn fig_avg_overlay(opts: &FigOpts, size: u64, stem: &str, title: &str) {
+    fig_avg_overlay_case(opts, &case1(), size, stem, title);
+}
+
+fn fig_avg_overlay_case(opts: &FigOpts, case: &PathCase, size: u64, stem: &str, title: &str) {
+    let (s1, s2, d) = three_way_averages(opts, case, size);
+    emit_three_way(opts, stem, title, &s1, &s2, &d, size);
+}
+
+fn emit_three_way(
+    opts: &FigOpts,
+    stem: &str,
+    title: &str,
+    s1: &Series,
+    s2: &Series,
+    d: &Series,
+    size: u64,
+) {
+    println!("{title} ({})", human_size(size));
+    let curves = [
+        ("sublink1", s1.points()),
+        ("sublink2", s2.points()),
+        ("direct", d.points()),
+    ];
+    println!("{}", ascii_plot(&format!("{title} [x: s, y: bytes]"), &curves));
+    // Completion-time comparison (when each curve reaches the payload).
+    let done = |s: &Series| s.last_t().unwrap_or(f64::NAN);
+    println!(
+        "  completion: sublink1 {:.2}s, sublink2 {:.2}s, direct {:.2}s\n",
+        done(s1),
+        done(s2),
+        done(d)
+    );
+    write_dat(&opts.out_dir, stem, &curves).expect("write dat");
+}
+
+enum Cond {
+    Min,
+    Median,
+    Max,
+}
+
+/// Figs 15-17, 19-21, 23-25: runs selected by observed retransmissions.
+fn fig_loss_conditioned(opts: &FigOpts, size: u64, cond: Cond, stem: &str, title: &str) {
+    let case = case1();
+    let iters = opts.iters(11, 5);
+    let lsl = traced_runs(&case, size, Mode::ViaDepot, iters, 5000);
+    let direct = traced_runs(&case, size, Mode::Direct, iters, 5000);
+
+    let pick = |runs: &[TracedRun]| -> usize {
+        let (min_i, med_i, max_i) = loss_conditioned_indices(runs);
+        match cond {
+            Cond::Min => min_i,
+            Cond::Median => med_i,
+            Cond::Max => max_i,
+        }
+    };
+    let li = pick(&lsl);
+    let di = pick(&direct);
+    let s1 = lsl_trace::seq_growth(&lsl[li].first);
+    let s2 = lsl[li]
+        .second
+        .as_ref()
+        .map(lsl_trace::seq_growth)
+        .unwrap_or_default();
+    let dd = lsl_trace::seq_growth(&direct[di].first);
+
+    println!(
+        "{title}: selected runs have {} (LSL) / {} (direct) retransmissions",
+        lsl[li].retransmissions, direct[di].retransmissions
+    );
+    emit_three_way(opts, stem, title, &s1, &s2, &dd, size);
+}
+
+/// Fig 27: a single large wireless run.
+fn fig_single_run_case3(opts: &FigOpts, stem: &str, title: &str) {
+    let case = case3();
+    let size = opts.size(256 << 20, 16 << 20);
+    let lsl = traced_runs(&case, size, Mode::ViaDepot, 1, 6000);
+    let direct = traced_runs(&case, size, Mode::Direct, 1, 6000);
+    let s1 = lsl_trace::seq_growth(&lsl[0].first);
+    let s2 = lsl[0]
+        .second
+        .as_ref()
+        .map(lsl_trace::seq_growth)
+        .unwrap_or_default();
+    let d = lsl_trace::seq_growth(&direct[0].first);
+    emit_three_way(opts, stem, title, &s1, &s2, &d, size);
+}
+
+// ---------------------------------------------------------------------
+// Headline summary: the "+40% average, up to +75%" aggregate
+// ---------------------------------------------------------------------
+
+fn headline_summary(opts: &FigOpts) {
+    println!("Headline aggregate across the bandwidth experiments:");
+    let iters = opts.iters(10, 3);
+    let mut all_gains = Vec::new();
+    let settings: [(&str, PathCase, Vec<u64>); 3] = [
+        ("case1 (UIUC)", case1(), pow2_sizes(1 << 20, opts.size(64 << 20, 8 << 20))),
+        ("case2 (UF)", case2(), pow2_sizes(1 << 20, opts.size(64 << 20, 8 << 20))),
+        ("case4 (OSU)", case4(), pow2_sizes(1 << 20, opts.size(64 << 20, 8 << 20))),
+    ];
+    for (name, case, sizes) in settings {
+        let d = sweep_sizes(&case, &sizes, Mode::Direct, iters, 9000);
+        let l = sweep_sizes(&case, &sizes, Mode::ViaDepot, iters, 9000);
+        let (avg, max) = gain_summary(&d, &l);
+        println!("  {name:<14} avg {avg:+6.1}%  max {max:+6.1}%");
+        for (dp, lp) in d.iter().zip(&l) {
+            all_gains.push((lp.mean_bps / dp.mean_bps - 1.0) * 100.0);
+        }
+    }
+    let avg = all_gains.iter().sum::<f64>() / all_gains.len() as f64;
+    let max = all_gains.iter().fold(f64::MIN, |a, &b| a.max(b));
+    println!("  overall        avg {avg:+6.1}%  max {max:+6.1}%");
+    println!("  (paper: +40% average, up to +75%)\n");
+}

@@ -1,0 +1,233 @@
+//! Unidirectional store-and-forward links with drop-tail queues.
+
+use std::collections::VecDeque;
+
+use crate::loss::LossModel;
+use crate::packet::{NodeId, Packet};
+use crate::stats::LinkStats;
+use crate::time::Dur;
+
+/// Default drop-tail queue capacity: 256 KB, roughly 170 full-size
+/// segments — a plausible router buffer for the paper's era.
+pub const DEFAULT_QUEUE_BYTES: u64 = 256 * 1024;
+
+/// Static description of a unidirectional link.
+#[derive(Clone, Debug)]
+pub struct LinkSpec {
+    /// Transmission rate in bits per second.
+    pub bandwidth_bps: u64,
+    /// One-way propagation delay.
+    pub prop_delay: Dur,
+    /// Drop-tail FIFO capacity in bytes (queued, not counting the packet
+    /// currently serializing).
+    pub queue_bytes: u64,
+    /// Stochastic loss process applied per transmitted packet.
+    pub loss: LossModel,
+}
+
+impl LinkSpec {
+    /// A clean link with the default queue and no stochastic loss.
+    pub fn new(bandwidth_bps: u64, prop_delay: Dur) -> LinkSpec {
+        LinkSpec {
+            bandwidth_bps,
+            prop_delay,
+            queue_bytes: DEFAULT_QUEUE_BYTES,
+            loss: LossModel::None,
+        }
+    }
+
+    /// Builder-style loss model override.
+    pub fn with_loss(mut self, loss: LossModel) -> LinkSpec {
+        self.loss = loss;
+        self
+    }
+
+    /// Builder-style queue capacity override.
+    pub fn with_queue_bytes(mut self, bytes: u64) -> LinkSpec {
+        self.queue_bytes = bytes;
+        self
+    }
+}
+
+/// Outcome of offering a packet to a link.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum Enqueue {
+    /// Link was idle: transmission starts now and completes after the
+    /// returned serialization delay.
+    Started(Dur),
+    /// Packet queued behind others; a `TxDone` chain will reach it.
+    Queued,
+    /// Drop-tail overflow; packet discarded.
+    Dropped,
+}
+
+/// Runtime state of a link inside the simulator.
+pub(crate) struct Link {
+    pub from: NodeId,
+    pub to: NodeId,
+    pub spec: LinkSpec,
+    pub stats: LinkStats,
+    /// FIFO of packets; front element is the one currently serializing
+    /// when `busy` is true.
+    queue: VecDeque<Packet>,
+    queued_bytes: u64,
+    busy: bool,
+}
+
+impl Link {
+    pub fn new(from: NodeId, to: NodeId, spec: LinkSpec) -> Link {
+        assert!(spec.bandwidth_bps > 0, "link bandwidth must be positive");
+        Link {
+            from,
+            to,
+            spec,
+            stats: LinkStats::default(),
+            queue: VecDeque::new(),
+            queued_bytes: 0,
+            busy: false,
+        }
+    }
+
+    /// Offer a packet. Queue accounting counts only *waiting* packets, so
+    /// an idle link always accepts (matching a router that can always put
+    /// one packet on the wire).
+    pub fn enqueue(&mut self, packet: Packet) -> Enqueue {
+        let size = packet.wire_len() as u64;
+        if !self.busy {
+            debug_assert!(self.queue.is_empty());
+            self.busy = true;
+            self.queue.push_back(packet);
+            self.stats.tx_packets += 1;
+            self.stats.tx_bytes += size;
+            Enqueue::Started(Dur::serialization(size, self.spec.bandwidth_bps))
+        } else if self.queued_bytes + size > self.spec.queue_bytes {
+            self.stats.drops_queue += 1;
+            Enqueue::Dropped
+        } else {
+            self.queued_bytes += size;
+            self.stats.max_queue_bytes = self.stats.max_queue_bytes.max(self.queued_bytes);
+            self.queue.push_back(packet);
+            self.stats.tx_packets += 1;
+            self.stats.tx_bytes += size;
+            Enqueue::Queued
+        }
+    }
+
+    /// Current serialization finished: pop the transmitted packet and, if
+    /// more are waiting, start the next one (returning its serialization
+    /// delay).
+    pub fn tx_done(&mut self) -> (Packet, Option<Dur>) {
+        debug_assert!(self.busy);
+        let done = self.queue.pop_front().expect("tx_done with empty queue");
+        if let Some(next) = self.queue.front() {
+            let size = next.wire_len() as u64;
+            self.queued_bytes -= size;
+            (
+                done,
+                Some(Dur::serialization(size, self.spec.bandwidth_bps)),
+            )
+        } else {
+            self.busy = false;
+            (done, None)
+        }
+    }
+
+    /// Bytes currently waiting (excludes the serializing packet).
+    pub fn queued_bytes(&self) -> u64 {
+        self.queued_bytes
+    }
+
+    pub fn is_busy(&self) -> bool {
+        self.busy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn pkt(n: usize) -> Packet {
+        Packet::tcp(NodeId(0), NodeId(1), Bytes::new(), Bytes::from(vec![0u8; n]))
+    }
+
+    fn link(queue_bytes: u64) -> Link {
+        Link::new(
+            NodeId(0),
+            NodeId(1),
+            LinkSpec::new(8_000_000, Dur::from_millis(1)).with_queue_bytes(queue_bytes),
+        )
+    }
+
+    #[test]
+    fn idle_link_starts_immediately() {
+        let mut l = link(1000);
+        // 962-byte wire packet at 8 Mbit/s = 962 us.
+        match l.enqueue(pkt(962 - 38)) {
+            Enqueue::Started(d) => assert_eq!(d, Dur::from_micros(962)),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(l.is_busy());
+        assert_eq!(l.queued_bytes(), 0);
+    }
+
+    #[test]
+    fn fifo_order_and_tx_chain() {
+        let mut l = link(1 << 20);
+        assert!(matches!(l.enqueue(pkt(100)), Enqueue::Started(_)));
+        assert_eq!(l.enqueue(pkt(200)), Enqueue::Queued);
+        assert_eq!(l.enqueue(pkt(300)), Enqueue::Queued);
+        let (p1, next) = l.tx_done();
+        assert_eq!(p1.data.len(), 100);
+        assert!(next.is_some());
+        let (p2, next) = l.tx_done();
+        assert_eq!(p2.data.len(), 200);
+        assert!(next.is_some());
+        let (p3, next) = l.tx_done();
+        assert_eq!(p3.data.len(), 300);
+        assert!(next.is_none());
+        assert!(!l.is_busy());
+    }
+
+    #[test]
+    fn drop_tail_overflow() {
+        let mut l = link(500);
+        assert!(matches!(l.enqueue(pkt(100)), Enqueue::Started(_)));
+        // 400-byte payload → 438 wire bytes fits in 500.
+        assert_eq!(l.enqueue(pkt(400)), Enqueue::Queued);
+        // Next packet would exceed the 500-byte queue: dropped.
+        assert_eq!(l.enqueue(pkt(100)), Enqueue::Dropped);
+        assert_eq!(l.stats.drops_queue, 1);
+        assert_eq!(l.stats.tx_packets, 2);
+    }
+
+    #[test]
+    fn queue_bytes_tracks_waiting_only() {
+        let mut l = link(1 << 20);
+        l.enqueue(pkt(62)); // serializing, not queued
+        assert_eq!(l.queued_bytes(), 0);
+        l.enqueue(pkt(62)); // 100 wire bytes waiting
+        assert_eq!(l.queued_bytes(), 100);
+        l.tx_done();
+        assert_eq!(l.queued_bytes(), 0);
+    }
+
+    #[test]
+    fn stats_max_queue_high_water() {
+        let mut l = link(1 << 20);
+        l.enqueue(pkt(62));
+        l.enqueue(pkt(62));
+        l.enqueue(pkt(62));
+        assert_eq!(l.stats.max_queue_bytes, 200);
+        l.tx_done();
+        l.enqueue(pkt(62));
+        // High-water mark persists.
+        assert_eq!(l.stats.max_queue_bytes, 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_rejected() {
+        let _ = Link::new(NodeId(0), NodeId(1), LinkSpec::new(0, Dur::ZERO));
+    }
+}

@@ -1,0 +1,192 @@
+//! Stochastic packet-loss models.
+//!
+//! Wide-area paths in the paper lose packets roughly independently
+//! (congestion events elsewhere on Abilene), which [`LossModel::Bernoulli`]
+//! captures. The 802.11b wireless edge of case 3 exhibits *bursty* loss:
+//! fades corrupt several consecutive frames. The two-state Gilbert–Elliott
+//! chain is the standard model for that behaviour.
+
+use rand::Rng;
+
+/// A per-packet loss process. Cloning yields an independent copy with the
+/// same parameters and current state.
+#[derive(Clone, Debug)]
+pub enum LossModel {
+    /// No stochastic loss (queue overflow can still drop).
+    None,
+    /// Each packet is lost independently with probability `p`.
+    Bernoulli { p: f64 },
+    /// Two-state Markov chain: in `Good` packets are lost with `loss_good`,
+    /// in `Bad` with `loss_bad`; the chain moves Good→Bad with `p_gb` and
+    /// Bad→Good with `p_bg` per packet.
+    GilbertElliott {
+        p_gb: f64,
+        p_bg: f64,
+        loss_good: f64,
+        loss_bad: f64,
+        /// Current state; `true` = Bad.
+        in_bad: bool,
+    },
+}
+
+impl LossModel {
+    /// Convenience constructor validating `p`.
+    pub fn bernoulli(p: f64) -> LossModel {
+        assert!((0.0..=1.0).contains(&p), "loss probability out of range");
+        if p == 0.0 {
+            LossModel::None
+        } else {
+            LossModel::Bernoulli { p }
+        }
+    }
+
+    /// Gilbert–Elliott starting in the Good state.
+    pub fn gilbert_elliott(p_gb: f64, p_bg: f64, loss_good: f64, loss_bad: f64) -> LossModel {
+        for v in [p_gb, p_bg, loss_good, loss_bad] {
+            assert!((0.0..=1.0).contains(&v), "probability out of range");
+        }
+        LossModel::GilbertElliott {
+            p_gb,
+            p_bg,
+            loss_good,
+            loss_bad,
+            in_bad: false,
+        }
+    }
+
+    /// Advance the process by one packet and report whether it is lost.
+    pub fn sample<R: Rng>(&mut self, rng: &mut R) -> bool {
+        match self {
+            LossModel::None => false,
+            LossModel::Bernoulli { p } => rng.random::<f64>() < *p,
+            LossModel::GilbertElliott {
+                p_gb,
+                p_bg,
+                loss_good,
+                loss_bad,
+                in_bad,
+            } => {
+                // State transition first, then loss draw in the new state.
+                if *in_bad {
+                    if rng.random::<f64>() < *p_bg {
+                        *in_bad = false;
+                    }
+                } else if rng.random::<f64>() < *p_gb {
+                    *in_bad = true;
+                }
+                let p = if *in_bad { *loss_bad } else { *loss_good };
+                rng.random::<f64>() < p
+            }
+        }
+    }
+
+    /// Long-run average loss probability of the process.
+    pub fn mean_loss(&self) -> f64 {
+        match self {
+            LossModel::None => 0.0,
+            LossModel::Bernoulli { p } => *p,
+            LossModel::GilbertElliott {
+                p_gb,
+                p_bg,
+                loss_good,
+                loss_bad,
+                ..
+            } => {
+                if *p_gb == 0.0 && *p_bg == 0.0 {
+                    return *loss_good; // chain never leaves Good
+                }
+                // Stationary distribution of the two-state chain.
+                let pi_bad = p_gb / (p_gb + p_bg);
+                pi_bad * loss_bad + (1.0 - pi_bad) * loss_good
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn none_never_loses() {
+        let mut m = LossModel::None;
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!((0..10_000).all(|_| !m.sample(&mut rng)));
+    }
+
+    #[test]
+    fn bernoulli_zero_collapses_to_none() {
+        assert!(matches!(LossModel::bernoulli(0.0), LossModel::None));
+    }
+
+    #[test]
+    fn bernoulli_rate_close_to_p() {
+        let mut m = LossModel::bernoulli(0.05);
+        let mut rng = SmallRng::seed_from_u64(42);
+        let n = 200_000;
+        let losses = (0..n).filter(|_| m.sample(&mut rng)).count();
+        let rate = losses as f64 / n as f64;
+        assert!((rate - 0.05).abs() < 0.005, "rate {rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bernoulli_rejects_bad_p() {
+        let _ = LossModel::bernoulli(1.5);
+    }
+
+    #[test]
+    fn gilbert_elliott_mean_matches_stationary() {
+        let mut m = LossModel::gilbert_elliott(0.01, 0.2, 0.0005, 0.3);
+        let want = m.mean_loss();
+        let mut rng = SmallRng::seed_from_u64(7);
+        let n = 500_000;
+        let losses = (0..n).filter(|_| m.sample(&mut rng)).count();
+        let rate = losses as f64 / n as f64;
+        assert!(
+            (rate - want).abs() < 0.01,
+            "empirical {rate} vs stationary {want}"
+        );
+    }
+
+    #[test]
+    fn gilbert_elliott_is_bursty() {
+        // Burst (consecutive-loss run) lengths should exceed Bernoulli's
+        // at the same mean loss.
+        let mut ge = LossModel::gilbert_elliott(0.005, 0.1, 0.0, 0.5);
+        let mean = ge.mean_loss();
+        let mut be = LossModel::bernoulli(mean);
+        let mut rng = SmallRng::seed_from_u64(11);
+
+        let mean_burst = |m: &mut LossModel, rng: &mut SmallRng| {
+            let (mut bursts, mut losses, mut in_burst) = (0u64, 0u64, false);
+            for _ in 0..400_000 {
+                if m.sample(rng) {
+                    losses += 1;
+                    if !in_burst {
+                        bursts += 1;
+                        in_burst = true;
+                    }
+                } else {
+                    in_burst = false;
+                }
+            }
+            losses as f64 / bursts.max(1) as f64
+        };
+        let ge_burst = mean_burst(&mut ge, &mut rng);
+        let be_burst = mean_burst(&mut be, &mut rng);
+        assert!(
+            ge_burst > be_burst * 1.3,
+            "GE bursts {ge_burst} not longer than Bernoulli {be_burst}"
+        );
+    }
+
+    #[test]
+    fn ge_degenerate_never_transitions() {
+        let m = LossModel::gilbert_elliott(0.0, 0.0, 0.01, 0.9);
+        // Stays in Good forever: mean loss equals loss_good.
+        assert!((m.mean_loss() - 0.01).abs() < 1e-12);
+    }
+}

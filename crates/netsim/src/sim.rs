@@ -1,0 +1,450 @@
+//! The discrete-event engine.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::link::{Enqueue, Link};
+use crate::packet::{LinkId, NodeId, Packet};
+use crate::stats::LinkStats;
+use crate::time::Time;
+
+/// What the simulator hands back to the protocol layer.
+#[derive(Debug)]
+pub enum Output {
+    /// `packet` reached its destination node.
+    Deliver { node: NodeId, packet: Packet },
+    /// A timer armed with [`Simulator::set_timer`] fired.
+    Timer { node: NodeId, token: u64 },
+}
+
+/// Handle for cancelling a pending timer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TimerHandle(u64);
+
+enum Event {
+    /// The packet at the head of the link finished serializing.
+    TxDone(LinkId),
+    /// A packet arrives at the receiving end of a link.
+    Arrive(LinkId, Packet),
+    Timer {
+        node: NodeId,
+        token: u64,
+        handle: u64,
+    },
+}
+
+struct HeapEntry {
+    at: Time,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The network simulator: nodes, links, routes, timers, and the event
+/// queue. Construct via [`crate::TopologyBuilder`].
+pub struct Simulator {
+    now: Time,
+    heap: BinaryHeap<Reverse<HeapEntry>>,
+    seq: u64,
+    pub(crate) links: Vec<Link>,
+    /// Per-node next-hop table: routes[node][dst] = outgoing link.
+    routes: Vec<HashMap<NodeId, LinkId>>,
+    rng: SmallRng,
+    next_packet_id: u64,
+    next_timer: u64,
+    active_timers: HashSet<u64>,
+}
+
+impl Simulator {
+    pub(crate) fn new(num_nodes: usize, links: Vec<Link>, seed: u64) -> Simulator {
+        Simulator {
+            now: Time::ZERO,
+            heap: BinaryHeap::new(),
+            seq: 0,
+            links,
+            routes: vec![HashMap::new(); num_nodes],
+            rng: SmallRng::seed_from_u64(seed),
+            next_packet_id: 1,
+            next_timer: 1,
+            active_timers: HashSet::new(),
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    pub fn num_nodes(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// Install a static next-hop route: traffic at `node` destined for
+    /// `dst` leaves on `link`.
+    pub fn set_route(&mut self, node: NodeId, dst: NodeId, link: LinkId) {
+        let l = &self.links[link.0 as usize];
+        assert_eq!(l.from, node, "route's link does not originate at node");
+        self.routes[node.0 as usize].insert(dst, link);
+    }
+
+    /// Next-hop lookup (exposed for diagnostics).
+    pub fn route(&self, node: NodeId, dst: NodeId) -> Option<LinkId> {
+        self.routes[node.0 as usize].get(&dst).copied()
+    }
+
+    /// Inject a packet at `from` (its origin or a forwarding node). The
+    /// packet is routed hop by hop toward `packet.dst`. Returns the
+    /// unique packet id assigned.
+    ///
+    /// Panics if no route exists — a misconfigured topology is a bug in
+    /// the experiment, not a runtime condition to tolerate.
+    pub fn send(&mut self, from: NodeId, mut packet: Packet) -> u64 {
+        if packet.id == 0 {
+            packet.id = self.next_packet_id;
+            self.next_packet_id += 1;
+        }
+        let id = packet.id;
+        let link_id = *self.routes[from.0 as usize]
+            .get(&packet.dst)
+            .unwrap_or_else(|| panic!("no route from {:?} to {:?}", from, packet.dst));
+        self.offer_to_link(link_id, packet);
+        id
+    }
+
+    fn offer_to_link(&mut self, link_id: LinkId, packet: Packet) {
+        let link = &mut self.links[link_id.0 as usize];
+        match link.enqueue(packet) {
+            Enqueue::Started(d) => self.schedule(self.now + d, Event::TxDone(link_id)),
+            Enqueue::Queued | Enqueue::Dropped => {}
+        }
+    }
+
+    /// Arm a timer at absolute time `at`. The returned handle cancels it.
+    pub fn set_timer(&mut self, node: NodeId, at: Time, token: u64) -> TimerHandle {
+        assert!(at >= self.now, "timer set in the past");
+        let handle = self.next_timer;
+        self.next_timer += 1;
+        self.active_timers.insert(handle);
+        self.schedule(
+            at,
+            Event::Timer {
+                node,
+                token,
+                handle,
+            },
+        );
+        TimerHandle(handle)
+    }
+
+    /// Cancel a pending timer. Cancelling an already-fired or
+    /// already-cancelled timer is a no-op.
+    pub fn cancel_timer(&mut self, handle: TimerHandle) {
+        self.active_timers.remove(&handle.0);
+    }
+
+    /// Number of timers armed and not yet fired/cancelled.
+    pub fn pending_timers(&self) -> usize {
+        self.active_timers.len()
+    }
+
+    /// Snapshot of a link's counters.
+    pub fn link_stats(&self, link: LinkId) -> &LinkStats {
+        &self.links[link.0 as usize].stats
+    }
+
+    /// Endpoints of a link as `(from, to)`.
+    pub fn link_endpoints(&self, link: LinkId) -> (NodeId, NodeId) {
+        let l = &self.links[link.0 as usize];
+        (l.from, l.to)
+    }
+
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Bytes currently waiting in a link's queue (excludes the packet
+    /// being serialized).
+    pub fn link_queued_bytes(&self, link: LinkId) -> u64 {
+        self.links[link.0 as usize].queued_bytes()
+    }
+
+    /// Whether a link is currently transmitting.
+    pub fn link_busy(&self, link: LinkId) -> bool {
+        self.links[link.0 as usize].is_busy()
+    }
+
+    fn schedule(&mut self, at: Time, event: Event) {
+        debug_assert!(at >= self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(HeapEntry { at, seq, event }));
+    }
+
+    /// Advance the simulation to the next externally visible event and
+    /// return it; `None` when no events remain.
+    pub fn next(&mut self) -> Option<Output> {
+        while let Some(Reverse(entry)) = self.heap.pop() {
+            debug_assert!(entry.at >= self.now, "event queue went backwards");
+            self.now = entry.at;
+            match entry.event {
+                Event::TxDone(link_id) => {
+                    let idx = link_id.0 as usize;
+                    let (packet, next_tx) = self.links[idx].tx_done();
+                    if let Some(d) = next_tx {
+                        self.schedule(self.now + d, Event::TxDone(link_id));
+                    }
+                    // Loss is drawn when the packet leaves the transmitter:
+                    // it occupied serialization time either way.
+                    let lost = {
+                        let link = &mut self.links[idx];
+                        let lost = link.spec.loss.sample(&mut self.rng);
+                        if lost {
+                            link.stats.drops_loss += 1;
+                        }
+                        lost
+                    };
+                    if !lost {
+                        let prop = self.links[idx].spec.prop_delay;
+                        self.schedule(self.now + prop, Event::Arrive(link_id, packet));
+                    }
+                }
+                Event::Arrive(link_id, packet) => {
+                    let to = self.links[link_id.0 as usize].to;
+                    if to == packet.dst {
+                        return Some(Output::Deliver { node: to, packet });
+                    }
+                    // Forward through an intermediate router.
+                    let next = *self.routes[to.0 as usize]
+                        .get(&packet.dst)
+                        .unwrap_or_else(|| {
+                            panic!("router {:?} has no route to {:?}", to, packet.dst)
+                        });
+                    self.offer_to_link(next, packet);
+                }
+                Event::Timer {
+                    node,
+                    token,
+                    handle,
+                } => {
+                    if self.active_timers.remove(&handle) {
+                        return Some(Output::Timer { node, token });
+                    }
+                    // Cancelled: skip silently.
+                }
+            }
+        }
+        None
+    }
+
+    /// Drain events until the queue is empty or `deadline` is passed.
+    /// Returns outputs that occurred (used by tests; real protocol loops
+    /// call [`Simulator::next`] directly).
+    pub fn run_collect(&mut self, deadline: Time) -> Vec<Output> {
+        let mut out = Vec::new();
+        while let Some(Reverse(head)) = self.heap.peek() {
+            if head.at > deadline {
+                break;
+            }
+            if let Some(o) = self.next() {
+                out.push(o);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkSpec;
+    use crate::loss::LossModel;
+    use crate::topo::TopologyBuilder;
+    use bytes::Bytes;
+
+    fn two_node_sim(loss: LossModel) -> (Simulator, NodeId, NodeId) {
+        let mut b = TopologyBuilder::new();
+        let a = b.node("a");
+        let c = b.node("c");
+        b.duplex(
+            a,
+            c,
+            LinkSpec::new(8_000_000, Dur::from_millis(5)).with_loss(loss),
+        );
+        let topo = b.build();
+        (topo.into_sim(1), a, c)
+    }
+
+    fn pkt(src: NodeId, dst: NodeId, n: usize) -> Packet {
+        Packet::tcp(src, dst, Bytes::new(), Bytes::from(vec![0u8; n]))
+    }
+
+    #[test]
+    fn delivery_timing_is_serialization_plus_prop() {
+        let (mut sim, a, c) = two_node_sim(LossModel::None);
+        // 962 wire bytes at 8 Mbit/s = 962 us, plus 5 ms prop.
+        sim.send(a, pkt(a, c, 962 - 38));
+        match sim.next() {
+            Some(Output::Deliver { node, .. }) => {
+                assert_eq!(node, c);
+                assert_eq!(sim.now(), Time::ZERO + Dur::from_micros(962 + 5000));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fifo_delivery_order() {
+        let (mut sim, a, c) = two_node_sim(LossModel::None);
+        for i in 0..10 {
+            sim.send(a, pkt(a, c, 100 + i));
+        }
+        let mut sizes = Vec::new();
+        while let Some(Output::Deliver { packet, .. }) = sim.next() {
+            sizes.push(packet.data.len());
+        }
+        assert_eq!(sizes, (0..10).map(|i| 100 + i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn timers_fire_in_order_and_cancel() {
+        let (mut sim, a, _c) = two_node_sim(LossModel::None);
+        let h1 = sim.set_timer(a, Time::ZERO + Dur::from_millis(10), 1);
+        let _h2 = sim.set_timer(a, Time::ZERO + Dur::from_millis(5), 2);
+        let _h3 = sim.set_timer(a, Time::ZERO + Dur::from_millis(15), 3);
+        sim.cancel_timer(h1);
+        let mut tokens = Vec::new();
+        while let Some(Output::Timer { token, .. }) = sim.next() {
+            tokens.push(token);
+        }
+        assert_eq!(tokens, vec![2, 3]);
+        assert_eq!(sim.pending_timers(), 0);
+    }
+
+    #[test]
+    fn cancel_after_fire_is_noop() {
+        let (mut sim, a, _c) = two_node_sim(LossModel::None);
+        let h = sim.set_timer(a, Time::ZERO + Dur::from_millis(1), 9);
+        assert!(sim.next().is_some());
+        sim.cancel_timer(h); // already fired: no panic
+    }
+
+    #[test]
+    #[should_panic(expected = "timer set in the past")]
+    fn past_timer_panics() {
+        let (mut sim, a, c) = two_node_sim(LossModel::None);
+        sim.send(a, pkt(a, c, 10));
+        let _ = sim.next(); // advances now
+        sim.set_timer(a, Time::ZERO, 0);
+    }
+
+    #[test]
+    fn loss_drops_packets_and_counts() {
+        let (mut sim, a, c) = two_node_sim(LossModel::bernoulli(0.5));
+        for _ in 0..1000 {
+            sim.send(a, pkt(a, c, 100));
+        }
+        let mut delivered = 0;
+        while sim.next().is_some() {
+            delivered += 1;
+        }
+        let stats = sim.link_stats(LinkId(0));
+        assert_eq!(stats.drops_loss + delivered, 1000);
+        assert!(delivered > 350 && delivered < 650, "delivered {delivered}");
+    }
+
+    #[test]
+    fn forwarding_through_router() {
+        let mut b = TopologyBuilder::new();
+        let a = b.node("a");
+        let r = b.node("r");
+        let c = b.node("c");
+        b.duplex(a, r, LinkSpec::new(8_000_000, Dur::from_millis(2)));
+        b.duplex(r, c, LinkSpec::new(8_000_000, Dur::from_millis(3)));
+        let mut sim = b.build().into_sim(1);
+        sim.send(a, pkt(a, c, 962 - 38));
+        match sim.next() {
+            Some(Output::Deliver { node, packet }) => {
+                assert_eq!(node, c);
+                assert_eq!(packet.src, a);
+                // Two serializations (store-and-forward) + both prop delays.
+                assert_eq!(sim.now(), Time::ZERO + Dur::from_micros(2 * 962 + 5000));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        let run = |seed| {
+            let (mut sim, a, c) = two_node_sim(LossModel::bernoulli(0.2));
+            let mut sim = {
+                // rebuild with chosen seed
+                let mut b = TopologyBuilder::new();
+                let a2 = b.node("a");
+                let c2 = b.node("c");
+                b.duplex(
+                    a2,
+                    c2,
+                    LinkSpec::new(8_000_000, Dur::from_millis(5))
+                        .with_loss(LossModel::bernoulli(0.2)),
+                );
+                assert_eq!((a2, c2), (a, c));
+                b.build().into_sim(seed)
+            };
+            for _ in 0..200 {
+                sim.send(a, pkt(a, c, 100));
+            }
+            let mut trace = Vec::new();
+            while let Some(Output::Deliver { packet, .. }) = sim.next() {
+                trace.push((packet.id, sim.now()));
+            }
+            trace
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn same_timestamp_events_dispatch_in_insertion_order() {
+        let (mut sim, a, _c) = two_node_sim(LossModel::None);
+        let t = Time::ZERO + Dur::from_millis(1);
+        for token in 0..50 {
+            sim.set_timer(a, t, token);
+        }
+        let mut tokens = Vec::new();
+        while let Some(Output::Timer { token, .. }) = sim.next() {
+            tokens.push(token);
+        }
+        assert_eq!(tokens, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "no route")]
+    fn missing_route_panics() {
+        let mut b = TopologyBuilder::new();
+        let a = b.node("a");
+        let c = b.node("c");
+        b.duplex(a, c, LinkSpec::new(8_000_000, Dur::from_millis(1)));
+        let mut sim = b.build().into_sim_without_routes(1);
+        sim.send(a, pkt(a, c, 10));
+    }
+}

@@ -1,0 +1,58 @@
+//! Per-link counters, exposed for experiment reporting and assertions.
+
+/// Counters accumulated by a link over a simulation run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Packets accepted for transmission (started or queued).
+    pub tx_packets: u64,
+    /// Wire bytes accepted for transmission.
+    pub tx_bytes: u64,
+    /// Packets dropped by drop-tail queue overflow.
+    pub drops_queue: u64,
+    /// Packets dropped by the stochastic loss model.
+    pub drops_loss: u64,
+    /// High-water mark of queued (waiting) bytes.
+    pub max_queue_bytes: u64,
+}
+
+impl LinkStats {
+    /// Total drops from any cause.
+    pub fn drops(&self) -> u64 {
+        self.drops_queue + self.drops_loss
+    }
+
+    /// Fraction of accepted packets that were lost in flight.
+    pub fn loss_rate(&self) -> f64 {
+        if self.tx_packets == 0 {
+            0.0
+        } else {
+            self.drops_loss as f64 / self.tx_packets as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drops_sum() {
+        let s = LinkStats {
+            drops_queue: 3,
+            drops_loss: 4,
+            ..Default::default()
+        };
+        assert_eq!(s.drops(), 7);
+    }
+
+    #[test]
+    fn loss_rate_handles_zero_traffic() {
+        assert_eq!(LinkStats::default().loss_rate(), 0.0);
+        let s = LinkStats {
+            tx_packets: 100,
+            drops_loss: 5,
+            ..Default::default()
+        };
+        assert!((s.loss_rate() - 0.05).abs() < 1e-12);
+    }
+}

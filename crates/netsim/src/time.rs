@@ -1,0 +1,227 @@
+//! Simulated time: a nanosecond counter from simulation start.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// An instant in simulated time, in nanoseconds since simulation start.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(pub u64);
+
+/// A span of simulated time, in nanoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Dur(pub u64);
+
+impl Time {
+    /// Simulation start.
+    pub const ZERO: Time = Time(0);
+    /// The far future; used as an "unset timer" sentinel.
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Seconds as floating point (for reporting and plotting).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Millseconds as floating point.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Time elapsed since `earlier`; saturates at zero if `earlier` is later.
+    pub fn since(self, earlier: Time) -> Dur {
+        Dur(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Dur {
+    pub const ZERO: Dur = Dur(0);
+
+    pub const fn from_nanos(ns: u64) -> Dur {
+        Dur(ns)
+    }
+    pub const fn from_micros(us: u64) -> Dur {
+        Dur(us * 1_000)
+    }
+    pub const fn from_millis(ms: u64) -> Dur {
+        Dur(ms * 1_000_000)
+    }
+    pub const fn from_secs(s: u64) -> Dur {
+        Dur(s * 1_000_000_000)
+    }
+
+    /// Build from floating-point seconds, rounding to the nearest ns.
+    pub fn from_secs_f64(s: f64) -> Dur {
+        assert!(s >= 0.0 && s.is_finite(), "duration must be finite and non-negative");
+        Dur((s * 1e9).round() as u64)
+    }
+
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Serialization delay for `bytes` at `bits_per_sec`, rounded up so a
+    /// nonempty packet on a finite link always takes nonzero time.
+    pub fn serialization(bytes: u64, bits_per_sec: u64) -> Dur {
+        assert!(bits_per_sec > 0, "link bandwidth must be positive");
+        let bits = bytes * 8;
+        // ns = bits / bps * 1e9, computed without overflow via u128.
+        let ns = ((bits as u128) * 1_000_000_000u128).div_ceil(bits_per_sec as u128);
+        Dur(ns as u64)
+    }
+
+    pub fn saturating_sub(self, rhs: Dur) -> Dur {
+        Dur(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Multiply by a non-negative float (for RTO backoff factors etc.).
+    pub fn mul_f64(self, k: f64) -> Dur {
+        assert!(k >= 0.0 && k.is_finite());
+        Dur((self.0 as f64 * k).round() as u64)
+    }
+
+    pub fn max(self, other: Dur) -> Dur {
+        Dur(self.0.max(other.0))
+    }
+
+    pub fn min(self, other: Dur) -> Dur {
+        Dur(self.0.min(other.0))
+    }
+}
+
+impl Add<Dur> for Time {
+    type Output = Time;
+    fn add(self, rhs: Dur) -> Time {
+        Time(self.0.checked_add(rhs.0).expect("simulated time overflow"))
+    }
+}
+
+impl AddAssign<Dur> for Time {
+    fn add_assign(&mut self, rhs: Dur) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = Dur;
+    fn sub(self, rhs: Time) -> Dur {
+        Dur(self.0.checked_sub(rhs.0).expect("time went backwards"))
+    }
+}
+
+impl Add for Dur {
+    type Output = Dur;
+    fn add(self, rhs: Dur) -> Dur {
+        Dur(self.0.checked_add(rhs.0).expect("duration overflow"))
+    }
+}
+
+impl Sub for Dur {
+    type Output = Dur;
+    fn sub(self, rhs: Dur) -> Dur {
+        Dur(self.0.checked_sub(rhs.0).expect("negative duration"))
+    }
+}
+
+impl Mul<u64> for Dur {
+    type Output = Dur;
+    fn mul(self, rhs: u64) -> Dur {
+        Dur(self.0.checked_mul(rhs).expect("duration overflow"))
+    }
+}
+
+impl Div<u64> for Dur {
+    type Output = Dur;
+    fn div(self, rhs: u64) -> Dur {
+        Dur(self.0 / rhs)
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Debug for Dur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(Dur::from_secs(1), Dur::from_millis(1000));
+        assert_eq!(Dur::from_millis(1), Dur::from_micros(1000));
+        assert_eq!(Dur::from_micros(1), Dur::from_nanos(1000));
+        assert_eq!(Dur::from_secs_f64(0.25), Dur::from_millis(250));
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let t = Time::ZERO + Dur::from_millis(5);
+        assert_eq!(t - Time::ZERO, Dur::from_millis(5));
+        assert_eq!(t.since(Time::ZERO), Dur::from_millis(5));
+        // since() saturates instead of panicking.
+        assert_eq!(Time::ZERO.since(t), Dur::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "time went backwards")]
+    fn sub_past_zero_panics() {
+        let _ = Time::ZERO - (Time::ZERO + Dur::from_nanos(1));
+    }
+
+    #[test]
+    fn serialization_delay() {
+        // 1500 bytes at 100 Mbit/s = 120 us.
+        assert_eq!(
+            Dur::serialization(1500, 100_000_000),
+            Dur::from_micros(120)
+        );
+        // 1 byte on a 1 Tbit/s link still takes >0 time.
+        assert!(Dur::serialization(1, 1_000_000_000_000).0 > 0);
+        // 0 bytes takes zero time.
+        assert_eq!(Dur::serialization(0, 1_000_000), Dur::ZERO);
+    }
+
+    #[test]
+    fn serialization_no_overflow_large() {
+        // 1 GB at 1 kbit/s: would overflow u64 bit-ns math without u128.
+        let d = Dur::serialization(1 << 30, 1000);
+        assert!((d.as_secs_f64() - (1u64 << 33) as f64 / 1000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn mul_f64_rounds() {
+        assert_eq!(Dur::from_nanos(10).mul_f64(1.25), Dur::from_nanos(13));
+        assert_eq!(Dur::from_millis(100).mul_f64(2.0), Dur::from_millis(200));
+    }
+
+    #[test]
+    fn display_seconds() {
+        let t = Time::ZERO + Dur::from_millis(1500);
+        assert_eq!(format!("{t}"), "1.500000");
+    }
+}

@@ -1,0 +1,279 @@
+//! Topology construction and automatic shortest-path routing.
+
+use std::collections::BinaryHeap;
+
+use crate::link::{Link, LinkSpec};
+use crate::packet::{LinkId, NodeId};
+use crate::sim::Simulator;
+use crate::time::Dur;
+
+/// Incrementally describes a network; [`TopologyBuilder::build`] freezes
+/// it into a [`Topology`] from which seeded simulators are minted.
+#[derive(Default)]
+pub struct TopologyBuilder {
+    names: Vec<String>,
+    links: Vec<(NodeId, NodeId, LinkSpec)>,
+}
+
+impl TopologyBuilder {
+    pub fn new() -> TopologyBuilder {
+        TopologyBuilder::default()
+    }
+
+    /// Add a named node and return its id.
+    pub fn node(&mut self, name: &str) -> NodeId {
+        assert!(
+            !self.names.iter().any(|n| n == name),
+            "duplicate node name {name:?}"
+        );
+        let id = NodeId(self.names.len() as u32);
+        self.names.push(name.to_string());
+        id
+    }
+
+    /// Add a unidirectional link and return its id.
+    pub fn simplex(&mut self, from: NodeId, to: NodeId, spec: LinkSpec) -> LinkId {
+        assert_ne!(from, to, "self-links are not allowed");
+        let id = LinkId(self.links.len() as u32);
+        self.links.push((from, to, spec));
+        id
+    }
+
+    /// Add a symmetric pair of links and return `(a→b, b→a)`.
+    pub fn duplex(&mut self, a: NodeId, b: NodeId, spec: LinkSpec) -> (LinkId, LinkId) {
+        let ab = self.simplex(a, b, spec.clone());
+        let ba = self.simplex(b, a, spec);
+        (ab, ba)
+    }
+
+    /// Asymmetric duplex: different specs per direction (used for the
+    /// wireless edge where up/down differ).
+    pub fn duplex_asym(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        ab_spec: LinkSpec,
+        ba_spec: LinkSpec,
+    ) -> (LinkId, LinkId) {
+        (self.simplex(a, b, ab_spec), self.simplex(b, a, ba_spec))
+    }
+
+    pub fn build(self) -> Topology {
+        Topology {
+            names: self.names,
+            links: self.links,
+        }
+    }
+}
+
+/// A frozen network description. Seeded simulators are created with
+/// [`Topology::into_sim`]; the topology itself can be reused across runs.
+#[derive(Clone)]
+pub struct Topology {
+    names: Vec<String>,
+    links: Vec<(NodeId, NodeId, LinkSpec)>,
+}
+
+impl Topology {
+    pub fn num_nodes(&self) -> usize {
+        self.names.len()
+    }
+
+    pub fn node_name(&self, id: NodeId) -> &str {
+        &self.names[id.0 as usize]
+    }
+
+    /// Look up a node id by name.
+    pub fn find(&self, name: &str) -> Option<NodeId> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| NodeId(i as u32))
+    }
+
+    /// Create a simulator with shortest-propagation-delay routes
+    /// installed between every node pair (Dijkstra; each hop also charges
+    /// a fixed per-hop cost so delay ties break toward fewer hops).
+    pub fn into_sim(&self, seed: u64) -> Simulator {
+        let mut sim = self.into_sim_without_routes(seed);
+        let n = self.num_nodes();
+        // adjacency: node -> [(neighbor, link, weight)]
+        let mut adj: Vec<Vec<(usize, LinkId, u64)>> = vec![Vec::new(); n];
+        for (idx, (from, to, spec)) in self.links.iter().enumerate() {
+            // Weight: propagation delay plus 1us per hop tiebreaker.
+            let w = spec.prop_delay.0 + 1_000;
+            adj[from.0 as usize].push((to.0 as usize, LinkId(idx as u32), w));
+        }
+        for src in 0..n {
+            // Dijkstra from src, keeping parent links so each node's
+            // first hop can be recovered by walking back to src.
+            let mut parent_link = vec![None; n];
+            let mut dist2 = vec![u64::MAX; n];
+            let mut heap = BinaryHeap::new();
+            dist2[src] = 0;
+            heap.push(std::cmp::Reverse((0u64, src)));
+            while let Some(std::cmp::Reverse((d, u))) = heap.pop() {
+                if d > dist2[u] {
+                    continue;
+                }
+                for &(v, link, w) in &adj[u] {
+                    let nd = d.saturating_add(w);
+                    if nd < dist2[v] {
+                        dist2[v] = nd;
+                        parent_link[v] = Some((u, link));
+                        heap.push(std::cmp::Reverse((nd, v)));
+                    }
+                }
+            }
+            for dst in 0..n {
+                if dst == src || dist2[dst] == u64::MAX {
+                    continue;
+                }
+                // Walk back from dst to src to find the first hop.
+                let mut cur = dst;
+                let mut first = None;
+                while cur != src {
+                    let (prev, link) = parent_link[cur].expect("reachable node has parent");
+                    first = Some(link);
+                    cur = prev;
+                }
+                sim.set_route(
+                    NodeId(src as u32),
+                    NodeId(dst as u32),
+                    first.expect("nonempty path"),
+                );
+            }
+        }
+        sim
+    }
+
+    /// Simulator with no routes (callers install them manually — used to
+    /// model the paper's loose-source-route experiments and in tests).
+    pub fn into_sim_without_routes(&self, seed: u64) -> Simulator {
+        let links = self
+            .links
+            .iter()
+            .map(|(from, to, spec)| Link::new(*from, *to, spec.clone()))
+            .collect();
+        Simulator::new(self.num_nodes(), links, seed)
+    }
+
+    /// Sum of propagation delays along the currently shortest path
+    /// (useful for calibration assertions in workloads).
+    pub fn path_prop_delay(&self, src: NodeId, dst: NodeId) -> Option<Dur> {
+        let n = self.num_nodes();
+        let mut adj: Vec<Vec<(usize, u64)>> = vec![Vec::new(); n];
+        for (from, to, spec) in &self.links {
+            adj[from.0 as usize].push((to.0 as usize, spec.prop_delay.0 + 1_000));
+        }
+        let mut dist = vec![u64::MAX; n];
+        let mut prop = vec![0u64; n];
+        let mut heap = BinaryHeap::new();
+        dist[src.0 as usize] = 0;
+        heap.push(std::cmp::Reverse((0u64, src.0 as usize)));
+        while let Some(std::cmp::Reverse((d, u))) = heap.pop() {
+            if d > dist[u] {
+                continue;
+            }
+            for &(v, w) in &adj[u] {
+                let nd = d.saturating_add(w);
+                if nd < dist[v] {
+                    dist[v] = nd;
+                    prop[v] = prop[u] + (w - 1_000);
+                    heap.push(std::cmp::Reverse((nd, v)));
+                }
+            }
+        }
+        if dist[dst.0 as usize] == u64::MAX {
+            None
+        } else {
+            Some(Dur(prop[dst.0 as usize]))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::LossModel;
+
+    #[test]
+    fn names_and_lookup() {
+        let mut b = TopologyBuilder::new();
+        let a = b.node("ucsb");
+        let c = b.node("uiuc");
+        b.duplex(a, c, LinkSpec::new(1_000_000, Dur::from_millis(1)));
+        let t = b.build();
+        assert_eq!(t.find("ucsb"), Some(a));
+        assert_eq!(t.find("uiuc"), Some(c));
+        assert_eq!(t.find("nope"), None);
+        assert_eq!(t.node_name(a), "ucsb");
+        assert_eq!(t.num_nodes(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate node name")]
+    fn duplicate_names_rejected() {
+        let mut b = TopologyBuilder::new();
+        b.node("x");
+        b.node("x");
+    }
+
+    #[test]
+    #[should_panic(expected = "self-links")]
+    fn self_link_rejected() {
+        let mut b = TopologyBuilder::new();
+        let a = b.node("a");
+        b.simplex(a, a, LinkSpec::new(1, Dur::ZERO));
+    }
+
+    #[test]
+    fn dijkstra_prefers_lower_delay() {
+        // a - b - c with a slow detour a - d - c.
+        let mut b = TopologyBuilder::new();
+        let na = b.node("a");
+        let nb = b.node("b");
+        let nc = b.node("c");
+        let nd = b.node("d");
+        let (ab, _) = b.duplex(na, nb, LinkSpec::new(1_000_000, Dur::from_millis(1)));
+        b.duplex(nb, nc, LinkSpec::new(1_000_000, Dur::from_millis(1)));
+        let (ad, _) = b.duplex(na, nd, LinkSpec::new(1_000_000, Dur::from_millis(50)));
+        b.duplex(nd, nc, LinkSpec::new(1_000_000, Dur::from_millis(50)));
+        let t = b.build();
+        let sim = t.into_sim(1);
+        assert_eq!(sim.route(na, nc), Some(ab));
+        assert_eq!(sim.route(na, nd), Some(ad));
+        assert_eq!(t.path_prop_delay(na, nc), Some(Dur::from_millis(2)));
+    }
+
+    #[test]
+    fn unreachable_has_no_path() {
+        let mut b = TopologyBuilder::new();
+        let a = b.node("a");
+        let c = b.node("c");
+        let d = b.node("island");
+        b.duplex(a, c, LinkSpec::new(1_000_000, Dur::from_millis(1)));
+        let t = b.build();
+        assert_eq!(t.path_prop_delay(a, d), None);
+        // into_sim must not panic on the disconnected node.
+        let sim = t.into_sim(1);
+        assert_eq!(sim.route(a, d), None);
+    }
+
+    #[test]
+    fn asymmetric_duplex_links() {
+        let mut b = TopologyBuilder::new();
+        let a = b.node("a");
+        let c = b.node("c");
+        let (ab, ba) = b.duplex_asym(
+            a,
+            c,
+            LinkSpec::new(11_000_000, Dur::from_millis(3)),
+            LinkSpec::new(1_000_000, Dur::from_millis(3)).with_loss(LossModel::bernoulli(0.1)),
+        );
+        let t = b.build();
+        let sim = t.into_sim(1);
+        assert_eq!(sim.link_endpoints(ab), (a, c));
+        assert_eq!(sim.link_endpoints(ba), (c, a));
+    }
+}

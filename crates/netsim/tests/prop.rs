@@ -1,0 +1,134 @@
+//! Property tests for the simulator engine.
+
+use bytes::Bytes;
+use lsl_netsim::{Dur, LinkSpec, LossModel, NodeId, Output, Packet, TopologyBuilder};
+use proptest::prelude::*;
+
+fn pkt(src: NodeId, dst: NodeId, n: usize) -> Packet {
+    Packet::tcp(src, dst, Bytes::new(), Bytes::from(vec![0u8; n]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Deliveries never move backwards in time, regardless of workload.
+    #[test]
+    fn time_is_monotone(sizes in proptest::collection::vec(1usize..3000, 1..100),
+                        seed in any::<u64>()) {
+        let mut b = TopologyBuilder::new();
+        let a = b.node("a");
+        let r = b.node("r");
+        let c = b.node("c");
+        b.duplex(a, r, LinkSpec::new(10_000_000, Dur::from_millis(2)));
+        b.duplex(r, c, LinkSpec::new(5_000_000, Dur::from_millis(7)));
+        let mut sim = b.build().into_sim(seed);
+        for &s in &sizes {
+            sim.send(a, pkt(a, c, s));
+        }
+        let mut last = lsl_netsim::Time::ZERO;
+        while sim.next().is_some() {
+            prop_assert!(sim.now() >= last);
+            last = sim.now();
+        }
+    }
+
+    /// With no loss, every packet sent on a path is delivered exactly
+    /// once, in FIFO order per source.
+    #[test]
+    fn lossless_path_delivers_all_in_order(n in 1usize..200, seed in any::<u64>()) {
+        let mut b = TopologyBuilder::new();
+        let a = b.node("a");
+        let r = b.node("r");
+        let c = b.node("c");
+        b.duplex(a, r, LinkSpec::new(10_000_000, Dur::from_millis(1)));
+        b.duplex(r, c, LinkSpec::new(10_000_000, Dur::from_millis(1)));
+        let mut sim = b.build().into_sim(seed);
+        let mut ids = Vec::new();
+        for _ in 0..n {
+            ids.push(sim.send(a, pkt(a, c, 500)));
+        }
+        let mut got = Vec::new();
+        while let Some(Output::Deliver { packet, .. }) = sim.next() {
+            got.push(packet.id);
+        }
+        prop_assert_eq!(got, ids);
+    }
+
+    /// Conservation under loss: delivered + dropped == sent (equal-size
+    /// packets, queue big enough to never overflow).
+    #[test]
+    fn loss_conservation(n in 1usize..300, p in 0.0f64..0.9, seed in any::<u64>()) {
+        let mut b = TopologyBuilder::new();
+        let a = b.node("a");
+        let c = b.node("c");
+        let (ab, _) = b.duplex(
+            a, c,
+            LinkSpec::new(100_000_000, Dur::from_millis(1))
+                .with_loss(LossModel::bernoulli(p))
+                .with_queue_bytes(u64::MAX),
+        );
+        let mut sim = b.build().into_sim(seed);
+        for _ in 0..n {
+            sim.send(a, pkt(a, c, 1000));
+        }
+        let mut delivered = 0u64;
+        while sim.next().is_some() {
+            delivered += 1;
+        }
+        let stats = sim.link_stats(ab);
+        prop_assert_eq!(delivered + stats.drops_loss, n as u64);
+        prop_assert_eq!(stats.drops_queue, 0);
+    }
+
+    /// Same seed ⇒ identical delivery trace; the simulator is
+    /// deterministic even with loss and queueing.
+    #[test]
+    fn deterministic_replay(n in 1usize..150, seed in any::<u64>()) {
+        let run = || {
+            let mut b = TopologyBuilder::new();
+            let a = b.node("a");
+            let c = b.node("c");
+            b.duplex(
+                a, c,
+                LinkSpec::new(3_000_000, Dur::from_millis(4))
+                    .with_loss(LossModel::bernoulli(0.1))
+                    .with_queue_bytes(20_000),
+            );
+            let mut sim = b.build().into_sim(seed);
+            for _ in 0..n {
+                sim.send(a, pkt(a, c, 1200));
+            }
+            let mut trace = Vec::new();
+            while let Some(Output::Deliver { packet, .. }) = sim.next() {
+                trace.push((packet.id, sim.now().0));
+            }
+            trace
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Throughput can never exceed the bottleneck link rate: delivering
+    /// B wire bytes takes at least B*8/rate seconds.
+    #[test]
+    fn bottleneck_bounds_throughput(n in 10usize..200, seed in any::<u64>()) {
+        let rate = 2_000_000u64; // 2 Mbit/s bottleneck
+        let mut b = TopologyBuilder::new();
+        let a = b.node("a");
+        let r = b.node("r");
+        let c = b.node("c");
+        b.duplex(a, r, LinkSpec::new(100_000_000, Dur::ZERO).with_queue_bytes(u64::MAX));
+        b.duplex(r, c, LinkSpec::new(rate, Dur::ZERO).with_queue_bytes(u64::MAX));
+        let mut sim = b.build().into_sim(seed);
+        let mut wire_bytes = 0u64;
+        for _ in 0..n {
+            let p = pkt(a, c, 1000);
+            wire_bytes += p.wire_len() as u64;
+            sim.send(a, p);
+        }
+        while sim.next().is_some() {}
+        let elapsed = sim.now().as_secs_f64();
+        let min_time = wire_bytes as f64 * 8.0 / rate as f64;
+        // Allow a tiny tolerance for the first packet's head start.
+        prop_assert!(elapsed >= min_time * 0.99, "elapsed {elapsed} < {min_time}");
+    }
+}

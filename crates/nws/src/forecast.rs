@@ -1,0 +1,349 @@
+//! Forecasting methods and the NWS adaptive mixture.
+//!
+//! Each [`Forecaster`] consumes measurements one at a time and predicts
+//! the next value. [`AdaptiveMixture`] runs a panel of forecasters,
+//! tracks each one's mean squared error *as a postcast* (comparing its
+//! previous prediction against the measurement that then arrived), and
+//! reports the prediction of the current lowest-error member — the
+//! mechanism of Wolski's Network Weather Service.
+
+use std::collections::VecDeque;
+
+/// An online one-step-ahead predictor.
+pub trait Forecaster {
+    /// Incorporate a new measurement.
+    fn update(&mut self, value: f64);
+    /// Predict the next measurement; `None` until enough history exists.
+    fn predict(&self) -> Option<f64>;
+    /// Human-readable method name (for reports).
+    fn name(&self) -> &'static str;
+}
+
+/// Predicts the last observed value.
+#[derive(Clone, Debug, Default)]
+pub struct LastValue {
+    last: Option<f64>,
+}
+
+impl Forecaster for LastValue {
+    fn update(&mut self, value: f64) {
+        self.last = Some(value);
+    }
+    fn predict(&self) -> Option<f64> {
+        self.last
+    }
+    fn name(&self) -> &'static str {
+        "last-value"
+    }
+}
+
+/// Mean of all history.
+#[derive(Clone, Debug, Default)]
+pub struct RunningMean {
+    sum: f64,
+    n: u64,
+}
+
+impl Forecaster for RunningMean {
+    fn update(&mut self, value: f64) {
+        self.sum += value;
+        self.n += 1;
+    }
+    fn predict(&self) -> Option<f64> {
+        (self.n > 0).then(|| self.sum / self.n as f64)
+    }
+    fn name(&self) -> &'static str {
+        "running-mean"
+    }
+}
+
+/// Mean over a sliding window of the `w` most recent measurements.
+#[derive(Clone, Debug)]
+pub struct SlidingMean {
+    window: VecDeque<f64>,
+    w: usize,
+    sum: f64,
+}
+
+impl SlidingMean {
+    pub fn new(w: usize) -> SlidingMean {
+        assert!(w > 0);
+        SlidingMean {
+            window: VecDeque::with_capacity(w),
+            w,
+            sum: 0.0,
+        }
+    }
+}
+
+impl Forecaster for SlidingMean {
+    fn update(&mut self, value: f64) {
+        if self.window.len() == self.w {
+            self.sum -= self.window.pop_front().expect("nonempty");
+        }
+        self.window.push_back(value);
+        self.sum += value;
+    }
+    fn predict(&self) -> Option<f64> {
+        (!self.window.is_empty()).then(|| self.sum / self.window.len() as f64)
+    }
+    fn name(&self) -> &'static str {
+        "sliding-mean"
+    }
+}
+
+/// Median over a sliding window — robust to outlier probes.
+#[derive(Clone, Debug)]
+pub struct MedianWindow {
+    window: VecDeque<f64>,
+    w: usize,
+}
+
+impl MedianWindow {
+    pub fn new(w: usize) -> MedianWindow {
+        assert!(w > 0);
+        MedianWindow {
+            window: VecDeque::with_capacity(w),
+            w,
+        }
+    }
+}
+
+impl Forecaster for MedianWindow {
+    fn update(&mut self, value: f64) {
+        if self.window.len() == self.w {
+            self.window.pop_front();
+        }
+        self.window.push_back(value);
+    }
+    fn predict(&self) -> Option<f64> {
+        if self.window.is_empty() {
+            return None;
+        }
+        let mut v: Vec<f64> = self.window.iter().copied().collect();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite measurements"));
+        let mid = v.len() / 2;
+        Some(if v.len() % 2 == 1 {
+            v[mid]
+        } else {
+            (v[mid - 1] + v[mid]) / 2.0
+        })
+    }
+    fn name(&self) -> &'static str {
+        "median-window"
+    }
+}
+
+/// Exponential smoothing with gain `alpha`.
+#[derive(Clone, Debug)]
+pub struct ExpSmoothing {
+    alpha: f64,
+    state: Option<f64>,
+}
+
+impl ExpSmoothing {
+    pub fn new(alpha: f64) -> ExpSmoothing {
+        assert!((0.0..=1.0).contains(&alpha));
+        ExpSmoothing { alpha, state: None }
+    }
+}
+
+impl Forecaster for ExpSmoothing {
+    fn update(&mut self, value: f64) {
+        self.state = Some(match self.state {
+            None => value,
+            Some(s) => s + self.alpha * (value - s),
+        });
+    }
+    fn predict(&self) -> Option<f64> {
+        self.state
+    }
+    fn name(&self) -> &'static str {
+        "exp-smoothing"
+    }
+}
+
+/// The NWS adaptive mixture: per-member squared-error tracking and
+/// winner-takes-the-forecast selection.
+pub struct AdaptiveMixture {
+    members: Vec<Box<dyn Forecaster + Send>>,
+    /// Accumulated squared postcast error per member.
+    sq_err: Vec<f64>,
+    samples: u64,
+}
+
+impl AdaptiveMixture {
+    /// The standard NWS-like panel.
+    pub fn standard() -> AdaptiveMixture {
+        AdaptiveMixture::new(vec![
+            Box::new(LastValue::default()),
+            Box::new(RunningMean::default()),
+            Box::new(SlidingMean::new(10)),
+            Box::new(MedianWindow::new(11)),
+            Box::new(ExpSmoothing::new(0.25)),
+        ])
+    }
+
+    pub fn new(members: Vec<Box<dyn Forecaster + Send>>) -> AdaptiveMixture {
+        assert!(!members.is_empty());
+        let n = members.len();
+        AdaptiveMixture {
+            members,
+            sq_err: vec![0.0; n],
+            samples: 0,
+        }
+    }
+
+    /// Incorporate a measurement: first score every member's outstanding
+    /// prediction against it, then let everyone update.
+    pub fn update(&mut self, value: f64) {
+        for (i, m) in self.members.iter().enumerate() {
+            if let Some(p) = m.predict() {
+                let e = p - value;
+                self.sq_err[i] += e * e;
+            }
+        }
+        for m in &mut self.members {
+            m.update(value);
+        }
+        self.samples += 1;
+    }
+
+    /// Index and name of the member currently trusted.
+    pub fn best_member(&self) -> (usize, &'static str) {
+        let mut best = 0;
+        for i in 1..self.members.len() {
+            if self.sq_err[i] < self.sq_err[best] {
+                best = i;
+            }
+        }
+        (best, self.members[best].name())
+    }
+
+    /// The mixture's prediction: the best member's forecast.
+    pub fn predict(&self) -> Option<f64> {
+        if self.samples == 0 {
+            return None;
+        }
+        let (best, _) = self.best_member();
+        self.members[best].predict()
+    }
+
+    /// Root-mean-square postcast error of the trusted member.
+    pub fn best_rmse(&self) -> Option<f64> {
+        if self.samples < 2 {
+            return None;
+        }
+        let (best, _) = self.best_member();
+        Some((self.sq_err[best] / (self.samples - 1) as f64).sqrt())
+    }
+
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed<F: Forecaster>(f: &mut F, vals: &[f64]) {
+        for &v in vals {
+            f.update(v);
+        }
+    }
+
+    #[test]
+    fn last_value_tracks() {
+        let mut f = LastValue::default();
+        assert_eq!(f.predict(), None);
+        feed(&mut f, &[1.0, 2.0, 3.0]);
+        assert_eq!(f.predict(), Some(3.0));
+    }
+
+    #[test]
+    fn running_mean_averages_all() {
+        let mut f = RunningMean::default();
+        feed(&mut f, &[2.0, 4.0, 6.0]);
+        assert_eq!(f.predict(), Some(4.0));
+    }
+
+    #[test]
+    fn sliding_mean_forgets() {
+        let mut f = SlidingMean::new(2);
+        feed(&mut f, &[100.0, 1.0, 3.0]);
+        assert_eq!(f.predict(), Some(2.0));
+    }
+
+    #[test]
+    fn median_is_robust_to_outliers() {
+        let mut f = MedianWindow::new(5);
+        feed(&mut f, &[10.0, 11.0, 9.0, 10.0, 1000.0]);
+        assert_eq!(f.predict(), Some(10.0));
+    }
+
+    #[test]
+    fn median_even_window_interpolates() {
+        let mut f = MedianWindow::new(4);
+        feed(&mut f, &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(f.predict(), Some(2.5));
+    }
+
+    #[test]
+    fn exp_smoothing_converges() {
+        let mut f = ExpSmoothing::new(0.5);
+        feed(&mut f, &[0.0; 1]);
+        feed(&mut f, &[10.0; 20]);
+        assert!((f.predict().unwrap() - 10.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn mixture_picks_last_value_on_step_change() {
+        // A series with a persistent level shift: last-value adapts
+        // immediately; running-mean lags badly. The mixture must learn to
+        // trust last-value.
+        let mut m = AdaptiveMixture::standard();
+        for _ in 0..20 {
+            m.update(10.0);
+        }
+        for _ in 0..40 {
+            m.update(50.0);
+        }
+        let (_, name) = m.best_member();
+        assert_ne!(name, "running-mean");
+        let p = m.predict().unwrap();
+        assert!((p - 50.0).abs() < 5.0, "prediction {p}");
+    }
+
+    #[test]
+    fn mixture_prefers_smoothing_on_noise() {
+        // Alternating ±noise around a constant: last-value has maximal
+        // error; window means/medians do well.
+        let mut m = AdaptiveMixture::standard();
+        for i in 0..200 {
+            let v = 100.0 + if i % 2 == 0 { 10.0 } else { -10.0 };
+            m.update(v);
+        }
+        let (_, name) = m.best_member();
+        assert_ne!(name, "last-value");
+        let p = m.predict().unwrap();
+        assert!((p - 100.0).abs() < 5.0, "prediction {p}");
+    }
+
+    #[test]
+    fn mixture_empty_history_predicts_none() {
+        let m = AdaptiveMixture::standard();
+        assert_eq!(m.predict(), None);
+        assert_eq!(m.best_rmse(), None);
+    }
+
+    #[test]
+    fn mixture_rmse_reported() {
+        let mut m = AdaptiveMixture::standard();
+        for _ in 0..10 {
+            m.update(5.0);
+        }
+        // Constant series: the best member's postcast error is ~0.
+        assert!(m.best_rmse().unwrap() < 1e-9);
+    }
+}

@@ -1,0 +1,138 @@
+//! Per-sublink measurement registry feeding path selection.
+//!
+//! The registry is deliberately transport-agnostic: experiment drivers
+//! push (bandwidth, rtt, loss) observations per directed (src, dst) pair
+//! — from NWS-style active probes or passively from TCP connection
+//! statistics ("the TCP extended statistics MIB or the like", §III) —
+//! and path selection reads the current forecasts back out.
+
+use std::collections::HashMap;
+
+use crate::forecast::AdaptiveMixture;
+
+/// Forecast state for one directed sublink.
+pub struct LinkMetrics {
+    pub bandwidth_bps: AdaptiveMixture,
+    pub rtt_s: AdaptiveMixture,
+    pub loss: AdaptiveMixture,
+}
+
+impl Default for LinkMetrics {
+    fn default() -> Self {
+        LinkMetrics {
+            bandwidth_bps: AdaptiveMixture::standard(),
+            rtt_s: AdaptiveMixture::standard(),
+            loss: AdaptiveMixture::standard(),
+        }
+    }
+}
+
+/// Forecast snapshot for one sublink.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkForecast {
+    pub bandwidth_bps: Option<f64>,
+    pub rtt_s: Option<f64>,
+    pub loss: Option<f64>,
+}
+
+/// Registry of sublink metrics keyed by a caller-chosen endpoint id
+/// (typically `lsl_netsim::NodeId.0`).
+#[derive(Default)]
+pub struct LinkRegistry {
+    links: HashMap<(u32, u32), LinkMetrics>,
+}
+
+impl LinkRegistry {
+    pub fn new() -> LinkRegistry {
+        LinkRegistry::default()
+    }
+
+    fn entry(&mut self, src: u32, dst: u32) -> &mut LinkMetrics {
+        self.links.entry((src, dst)).or_default()
+    }
+
+    /// Record a bandwidth observation (bits/s).
+    pub fn observe_bandwidth(&mut self, src: u32, dst: u32, bps: f64) {
+        self.entry(src, dst).bandwidth_bps.update(bps);
+    }
+
+    /// Record an RTT observation (seconds).
+    pub fn observe_rtt(&mut self, src: u32, dst: u32, rtt_s: f64) {
+        self.entry(src, dst).rtt_s.update(rtt_s);
+    }
+
+    /// Record a loss-rate observation (fraction).
+    pub fn observe_loss(&mut self, src: u32, dst: u32, loss: f64) {
+        self.entry(src, dst).loss.update(loss);
+    }
+
+    /// Current forecast for a sublink; fields are `None` until at least
+    /// one observation of that metric exists.
+    pub fn forecast(&self, src: u32, dst: u32) -> LinkForecast {
+        match self.links.get(&(src, dst)) {
+            None => LinkForecast {
+                bandwidth_bps: None,
+                rtt_s: None,
+                loss: None,
+            },
+            Some(m) => LinkForecast {
+                bandwidth_bps: m.bandwidth_bps.predict(),
+                rtt_s: m.rtt_s.predict(),
+                loss: m.loss.predict(),
+            },
+        }
+    }
+
+    /// Number of sublinks with any history.
+    pub fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_link_forecasts_none() {
+        let r = LinkRegistry::new();
+        let f = r.forecast(0, 1);
+        assert_eq!(f.bandwidth_bps, None);
+        assert_eq!(f.rtt_s, None);
+        assert_eq!(f.loss, None);
+    }
+
+    #[test]
+    fn observations_produce_forecasts() {
+        let mut r = LinkRegistry::new();
+        for _ in 0..5 {
+            r.observe_bandwidth(0, 1, 10e6);
+            r.observe_rtt(0, 1, 0.03);
+            r.observe_loss(0, 1, 1e-4);
+        }
+        let f = r.forecast(0, 1);
+        assert!((f.bandwidth_bps.unwrap() - 10e6).abs() < 1.0);
+        assert!((f.rtt_s.unwrap() - 0.03).abs() < 1e-9);
+        assert!((f.loss.unwrap() - 1e-4).abs() < 1e-9);
+        // Direction matters.
+        assert_eq!(r.forecast(1, 0).rtt_s, None);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn forecasts_track_changing_conditions() {
+        let mut r = LinkRegistry::new();
+        for _ in 0..10 {
+            r.observe_rtt(2, 3, 0.05);
+        }
+        for _ in 0..30 {
+            r.observe_rtt(2, 3, 0.20);
+        }
+        let f = r.forecast(2, 3).rtt_s.unwrap();
+        assert!((f - 0.20).abs() < 0.03, "forecast {f}");
+    }
+}

@@ -1,0 +1,84 @@
+//! Measurement series storage.
+
+/// A bounded time series of measurements `(t_seconds, value)`.
+#[derive(Clone, Debug)]
+pub struct TimeSeries {
+    data: Vec<(f64, f64)>,
+    cap: usize,
+}
+
+impl TimeSeries {
+    /// A series retaining at most `cap` most-recent measurements.
+    pub fn new(cap: usize) -> TimeSeries {
+        assert!(cap > 0);
+        TimeSeries {
+            data: Vec::new(),
+            cap,
+        }
+    }
+
+    pub fn push(&mut self, t: f64, value: f64) {
+        assert!(
+            self.data.last().map_or(true, |&(lt, _)| t >= lt),
+            "measurements must arrive in time order"
+        );
+        if self.data.len() == self.cap {
+            self.data.remove(0);
+        }
+        self.data.push((t, value));
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn last(&self) -> Option<(f64, f64)> {
+        self.data.last().copied()
+    }
+
+    pub fn values(&self) -> impl Iterator<Item = f64> + '_ {
+        self.data.iter().map(|&(_, v)| v)
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        self.data.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_query() {
+        let mut s = TimeSeries::new(10);
+        assert!(s.is_empty());
+        s.push(1.0, 5.0);
+        s.push(2.0, 6.0);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.last(), Some((2.0, 6.0)));
+        assert_eq!(s.values().collect::<Vec<_>>(), vec![5.0, 6.0]);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let mut s = TimeSeries::new(3);
+        for i in 0..5 {
+            s.push(i as f64, i as f64 * 10.0);
+        }
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.values().collect::<Vec<_>>(), vec![20.0, 30.0, 40.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "time order")]
+    fn out_of_order_rejected() {
+        let mut s = TimeSeries::new(4);
+        s.push(2.0, 1.0);
+        s.push(1.0, 1.0);
+    }
+}

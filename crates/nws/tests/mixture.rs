@@ -1,0 +1,115 @@
+//! Integration/property tests: the adaptive mixture against synthetic
+//! network-measurement processes.
+
+use lsl_nws::{AdaptiveMixture, Forecaster, LastValue, MedianWindow, RunningMean, SlidingMean};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The mixture's postcast RMSE can never exceed the best individual
+/// member's by construction (it *is* the best member's error).
+#[test]
+fn mixture_is_no_worse_than_best_member_on_noisy_series() {
+    let mut rng = SmallRng::seed_from_u64(9);
+    let series: Vec<f64> = (0..500)
+        .map(|i| {
+            let base = if i < 250 { 40.0 } else { 80.0 };
+            base + rng.random_range(-5.0..5.0)
+        })
+        .collect();
+
+    // Track errors of standalone members.
+    let mut last = LastValue::default();
+    let mut mean = RunningMean::default();
+    let mut slide = SlidingMean::new(10);
+    let mut median = MedianWindow::new(11);
+    let mut mixture = AdaptiveMixture::standard();
+
+    let mut errs = [0.0f64; 4];
+    for &v in &series {
+        for (i, p) in [
+            last.predict(),
+            mean.predict(),
+            slide.predict(),
+            median.predict(),
+        ]
+        .iter()
+        .enumerate()
+        {
+            if let Some(p) = p {
+                errs[i] += (p - v).powi(2);
+            }
+        }
+        last.update(v);
+        mean.update(v);
+        slide.update(v);
+        median.update(v);
+        mixture.update(v);
+    }
+    let mixture_rmse = mixture.best_rmse().expect("enough samples");
+    let best_standalone = errs
+        .iter()
+        .map(|e| (e / (series.len() - 1) as f64).sqrt())
+        .fold(f64::MAX, f64::min);
+    assert!(
+        mixture_rmse <= best_standalone * 1.0001,
+        "mixture {mixture_rmse} vs best member {best_standalone}"
+    );
+}
+
+/// Regime-switch tracking: after a persistent level change, the mixture's
+/// prediction moves to the new level within a bounded number of samples.
+#[test]
+fn mixture_adapts_to_regime_switch() {
+    let mut m = AdaptiveMixture::standard();
+    for _ in 0..100 {
+        m.update(10.0);
+    }
+    for _ in 0..30 {
+        m.update(200.0);
+    }
+    let p = m.predict().unwrap();
+    assert!(
+        (p - 200.0).abs() < 40.0,
+        "mixture stuck at old regime: {p}"
+    );
+}
+
+proptest! {
+    /// On constant series every forecaster converges exactly; the
+    /// mixture therefore predicts the constant.
+    #[test]
+    fn constant_series_predicted_exactly(v in 0.1f64..1e9, n in 3usize..100) {
+        let mut m = AdaptiveMixture::standard();
+        for _ in 0..n {
+            m.update(v);
+        }
+        prop_assert!((m.predict().unwrap() - v).abs() < 1e-9);
+    }
+
+    /// Predictions always lie within the observed range for the
+    /// interpolation-style members the standard panel uses.
+    #[test]
+    fn prediction_within_observed_range(
+        vals in proptest::collection::vec(0.0f64..1e6, 2..200)
+    ) {
+        let mut m = AdaptiveMixture::standard();
+        for &v in &vals {
+            m.update(v);
+        }
+        let lo = vals.iter().cloned().fold(f64::MAX, f64::min);
+        let hi = vals.iter().cloned().fold(f64::MIN, f64::max);
+        let p = m.predict().unwrap();
+        prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9, "{p} outside [{lo}, {hi}]");
+    }
+
+    /// Sample counting is exact.
+    #[test]
+    fn sample_count(n in 0usize..500) {
+        let mut m = AdaptiveMixture::standard();
+        for i in 0..n {
+            m.update(i as f64);
+        }
+        prop_assert_eq!(m.samples(), n as u64);
+    }
+}

@@ -1,0 +1,54 @@
+//! `lsd` — the Logistical Session Layer depot daemon.
+//!
+//! Usage: `lsd [--listen ADDR]` (default `127.0.0.1:7001`).
+//!
+//! Runs as an ordinary unprivileged process, accepting LSL sublinks and
+//! cascading them toward the next hop of each session's loose source
+//! route. Stop with Ctrl-C.
+
+use std::net::SocketAddr;
+
+use lsl_realnet::LsdServer;
+
+fn main() {
+    let mut listen: SocketAddr = "127.0.0.1:7001".parse().expect("default addr");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--listen" => {
+                let v = args.next().unwrap_or_else(|| usage("missing ADDR"));
+                listen = v.parse().unwrap_or_else(|_| usage("bad ADDR"));
+            }
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    let handle = match LsdServer::spawn(listen) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("lsd: cannot bind {listen}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("lsd: depot listening on {}", handle.addr());
+    println!("lsd: relay sessions will be reported every 10s; Ctrl-C to stop");
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(10));
+        let c = handle.counters();
+        println!(
+            "lsd: sessions={} bytes_relayed={} header_errors={}",
+            c.sessions.load(std::sync::atomic::Ordering::Relaxed),
+            c.bytes_relayed.load(std::sync::atomic::Ordering::Relaxed),
+            c.header_errors.load(std::sync::atomic::Ordering::Relaxed),
+        );
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("lsd: {err}");
+    }
+    eprintln!("usage: lsd [--listen ADDR]   (default 127.0.0.1:7001)");
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}

@@ -1,0 +1,192 @@
+//! The real `lsd` depot daemon: accept → header → onward connect →
+//! bidirectional byte pump, one session per thread pair.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+
+use crate::wire::{addr_from_hop, read_header};
+
+/// Relay copy-buffer size — the "small, short-lived" depot buffer.
+const PUMP_BUF: usize = 64 * 1024;
+
+/// Shared depot counters.
+#[derive(Default)]
+pub struct DepotCounters {
+    pub sessions: AtomicU64,
+    pub bytes_relayed: AtomicU64,
+    pub header_errors: AtomicU64,
+}
+
+/// A running depot; dropping the handle leaves it running — call
+/// [`DepotHandle::shutdown`] to stop it.
+pub struct DepotHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    counters: Arc<DepotCounters>,
+}
+
+impl DepotHandle {
+    /// The bound listening address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    pub fn counters(&self) -> &DepotCounters {
+        &self.counters
+    }
+
+    /// Stop accepting and join the accept loop. In-flight relays finish
+    /// on their own threads.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock accept() with a dummy connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// The `lsd` daemon.
+pub struct LsdServer;
+
+impl LsdServer {
+    /// Bind `addr` and serve in background threads.
+    pub fn spawn(addr: SocketAddr) -> std::io::Result<DepotHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let bound = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(DepotCounters::default());
+        let stop2 = Arc::clone(&stop);
+        let counters2 = Arc::clone(&counters);
+        let accept_thread = std::thread::Builder::new()
+            .name(format!("lsd-accept-{bound}"))
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if stop2.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(up) = conn else { continue };
+                    let counters = Arc::clone(&counters2);
+                    let _ = std::thread::Builder::new()
+                        .name("lsd-session".to_string())
+                        .spawn(move || {
+                            if relay_session(up, &counters).is_err() {
+                                counters.header_errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                        });
+                }
+            })
+            .expect("spawn accept thread");
+        Ok(DepotHandle {
+            addr: bound,
+            stop,
+            accept_thread: Some(accept_thread),
+            counters,
+        })
+    }
+}
+
+/// Handle one accepted sublink: parse the header, dial the next hop,
+/// forward the shortened header, then pump both directions until EOF.
+fn relay_session(mut up: TcpStream, counters: &DepotCounters) -> std::io::Result<()> {
+    up.set_nodelay(true)?;
+    let (header, leftover) = read_header(&mut up)?;
+    let Some((next, fwd)) = header.pop_hop() else {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "depot received empty route",
+        ));
+    };
+    counters.sessions.fetch_add(1, Ordering::Relaxed);
+    let mut down = TcpStream::connect(addr_from_hop(next))?;
+    down.set_nodelay(true)?;
+    down.write_all(&fwd.encode())?;
+    if !leftover.is_empty() {
+        down.write_all(&leftover)?;
+        counters.bytes_relayed.fetch_add(leftover.len() as u64, Ordering::Relaxed);
+    }
+
+    // Bidirectional pump: one thread per direction; kernel socket
+    // buffers provide the hop-by-hop backpressure.
+    let up2 = up.try_clone()?;
+    let down2 = down.try_clone()?;
+    let relayed = pump_pair((up, down), (down2, up2));
+    counters.bytes_relayed.fetch_add(relayed, Ordering::Relaxed);
+    Ok(())
+}
+
+/// Run two unidirectional pumps concurrently; returns total bytes moved.
+fn pump_pair(forward: (TcpStream, TcpStream), backward: (TcpStream, TcpStream)) -> u64 {
+    let t = std::thread::spawn(move || pump(backward.0, backward.1));
+    let fwd = pump(forward.0, forward.1);
+    let bwd = t.join().unwrap_or(0);
+    fwd + bwd
+}
+
+/// Copy bytes `src → dst` until EOF/error, then propagate the FIN with a
+/// write-side shutdown.
+fn pump(mut src: TcpStream, mut dst: TcpStream) -> u64 {
+    let mut buf = vec![0u8; PUMP_BUF];
+    let mut total = 0u64;
+    loop {
+        match src.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                if dst.write_all(&buf[..n]).is_err() {
+                    break;
+                }
+                total += n as u64;
+            }
+            Err(_) => break,
+        }
+    }
+    let _ = dst.shutdown(Shutdown::Write);
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    #[test]
+    fn spawn_and_shutdown() {
+        let h = LsdServer::spawn((Ipv4Addr::LOCALHOST, 0).into()).unwrap();
+        let addr = h.addr();
+        assert_ne!(addr.port(), 0);
+        h.shutdown();
+        // Port should be released shortly after; a rebind must succeed.
+        let again = LsdServer::spawn(addr);
+        if let Ok(h2) = again {
+            h2.shutdown();
+        }
+    }
+
+    #[test]
+    fn garbage_connection_counts_header_error() {
+        let h = LsdServer::spawn((Ipv4Addr::LOCALHOST, 0).into()).unwrap();
+        {
+            let mut s = TcpStream::connect(h.addr()).unwrap();
+            s.write_all(b"this is not an LSL header at all").unwrap();
+            let _ = s.shutdown(Shutdown::Write);
+            // Wait for the depot to reject us (EOF on read).
+            let mut sink = Vec::new();
+            let _ = s.read_to_end(&mut sink);
+        }
+        // The session thread increments the counter after teardown.
+        for _ in 0..100 {
+            if h.counters().header_errors.load(Ordering::Relaxed) > 0 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert_eq!(h.counters().header_errors.load(Ordering::Relaxed), 1);
+        h.shutdown();
+    }
+}

@@ -1,0 +1,115 @@
+//! Client-side LSL stream over real TCP.
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+
+use lsl_digest::Md5;
+use lsl_session::endpoint::SESSION_CONFIRM;
+use lsl_session::{LslHeader, SessionId, HEADER_FLAG_DIGEST};
+
+use crate::wire::{hop_from_addr, require_v4};
+
+/// An outbound LSL session: connects to the first hop, sends the header,
+/// (optionally) waits for the sink's confirmation, then streams writes;
+/// [`LslStream::finish`] appends the MD5 digest and half-closes.
+pub struct LslStream {
+    stream: TcpStream,
+    md5: Option<Md5>,
+    length: u64,
+    written: u64,
+}
+
+impl LslStream {
+    /// Open a session along `depots` toward `dst`, announcing a payload
+    /// of exactly `length` bytes. `sync` waits for the sink confirmation
+    /// before returning (the paper's synchronous mode).
+    pub fn connect(
+        session: SessionId,
+        depots: &[SocketAddr],
+        dst: SocketAddr,
+        length: u64,
+        digest: bool,
+        sync: bool,
+    ) -> io::Result<LslStream> {
+        // The header's route lists the hops *after* the first connection:
+        // all later depots, then the destination. A direct session (no
+        // depots) therefore carries an empty route.
+        let mut route = Vec::with_capacity(depots.len());
+        for d in depots.iter().skip(1) {
+            route.push(hop_from_addr(require_v4(*d)?));
+        }
+        if !depots.is_empty() {
+            route.push(hop_from_addr(require_v4(dst)?));
+        }
+        let first = depots.first().copied().unwrap_or(dst);
+
+        let header = LslHeader {
+            session,
+            flags: if digest { HEADER_FLAG_DIGEST } else { 0 },
+            length,
+            route,
+        };
+        let mut stream = TcpStream::connect(first)?;
+        stream.set_nodelay(true)?;
+        stream.write_all(&header.encode())?;
+        if sync {
+            let mut confirm = [0u8; 1];
+            stream.read_exact(&mut confirm)?;
+            if confirm[0] != SESSION_CONFIRM {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "bad session confirmation",
+                ));
+            }
+        }
+        Ok(LslStream {
+            stream,
+            md5: digest.then(Md5::new),
+            length,
+            written: 0,
+        })
+    }
+
+    /// Payload bytes written so far.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Flush the digest trailer (if any) and half-close the session.
+    /// Exactly `length` bytes must have been written.
+    pub fn finish(mut self) -> io::Result<()> {
+        if self.written != self.length {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "session announced {} bytes but {} were written",
+                    self.length, self.written
+                ),
+            ));
+        }
+        if let Some(md5) = self.md5.take() {
+            self.stream.write_all(&md5.finalize())?;
+        }
+        self.stream.flush()?;
+        self.stream.shutdown(Shutdown::Write)?;
+        // Wait for the sink's FIN so teardown is clean before we return.
+        let mut tail = [0u8; 64];
+        while matches!(self.stream.read(&mut tail), Ok(n) if n > 0) {}
+        Ok(())
+    }
+}
+
+impl Write for LslStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.stream.write(buf)?;
+        if let Some(md5) = &mut self.md5 {
+            md5.update(&buf[..n]);
+        }
+        self.written += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.stream.flush()
+    }
+}

@@ -1,0 +1,118 @@
+//! Address conversion between real sockets and the shared LSL header.
+
+use std::io::{self, Read};
+use std::net::{Ipv4Addr, SocketAddr, SocketAddrV4};
+
+use lsl_netsim::NodeId;
+use lsl_session::{Hop, LslHeader};
+
+/// Encode an IPv4 socket address as a header hop (the 32-bit node field
+/// carries the address bits).
+pub fn hop_from_addr(addr: SocketAddrV4) -> Hop {
+    Hop::new(NodeId(u32::from(*addr.ip())), addr.port())
+}
+
+/// Decode a header hop back into a socket address.
+pub fn addr_from_hop(hop: Hop) -> SocketAddrV4 {
+    SocketAddrV4::new(Ipv4Addr::from(hop.node.0), hop.port)
+}
+
+/// Coerce a general `SocketAddr` to V4 (the realnet layer is IPv4-only;
+/// the paper predates any IPv6 deployment concern — §III discusses v6
+/// multihoming as future motivation).
+pub fn require_v4(addr: SocketAddr) -> io::Result<SocketAddrV4> {
+    match addr {
+        SocketAddr::V4(a) => Ok(a),
+        SocketAddr::V6(_) => Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "LSL realnet routes are IPv4-only",
+        )),
+    }
+}
+
+/// Read a complete LSL header from a blocking stream.
+pub fn read_header(stream: &mut impl Read) -> io::Result<(LslHeader, Vec<u8>)> {
+    let mut buf = Vec::with_capacity(64);
+    let mut byte = [0u8; 1];
+    loop {
+        match LslHeader::decode(&buf) {
+            Ok(Some((header, used))) => {
+                let leftover = buf.split_off(used);
+                return Ok((header, leftover));
+            }
+            Ok(None) => {}
+            Err(e) => {
+                return Err(io::Error::new(io::ErrorKind::InvalidData, e));
+            }
+        }
+        // Byte-at-a-time keeps us from over-reading past the header into
+        // payload we would then have to hand back; headers are ≤ 127 B.
+        let n = stream.read(&mut byte)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "EOF before complete LSL header",
+            ));
+        }
+        buf.push(byte[0]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsl_session::SessionId;
+
+    #[test]
+    fn addr_roundtrip() {
+        let a = SocketAddrV4::new(Ipv4Addr::new(127, 0, 0, 1), 7001);
+        assert_eq!(addr_from_hop(hop_from_addr(a)), a);
+        let b = SocketAddrV4::new(Ipv4Addr::new(10, 20, 30, 40), 65535);
+        assert_eq!(addr_from_hop(hop_from_addr(b)), b);
+    }
+
+    #[test]
+    fn read_header_from_cursor() {
+        let h = LslHeader {
+            session: SessionId(7),
+            flags: 1,
+            length: 99,
+            route: vec![hop_from_addr(SocketAddrV4::new(Ipv4Addr::LOCALHOST, 9))],
+        };
+        let mut data = h.encode().to_vec();
+        data.extend_from_slice(b"payload-bytes");
+        let mut cur = std::io::Cursor::new(data);
+        let (got, leftover) = read_header(&mut cur).unwrap();
+        assert_eq!(got, h);
+        // Byte-at-a-time reading never consumes payload.
+        assert!(leftover.is_empty());
+        let mut rest = Vec::new();
+        cur.read_to_end(&mut rest).unwrap();
+        assert_eq!(rest, b"payload-bytes");
+    }
+
+    #[test]
+    fn read_header_eof_mid_header() {
+        let h = LslHeader {
+            session: SessionId(7),
+            flags: 0,
+            length: 1,
+            route: vec![],
+        };
+        let enc = h.encode();
+        let mut cur = std::io::Cursor::new(enc[..10].to_vec());
+        assert_eq!(
+            read_header(&mut cur).unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+    }
+
+    #[test]
+    fn read_header_bad_magic() {
+        let mut cur = std::io::Cursor::new(b"GARBAGE-NOT-LSL".to_vec());
+        assert_eq!(
+            read_header(&mut cur).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+    }
+}

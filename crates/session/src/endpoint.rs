@@ -1,0 +1,528 @@
+//! Endpoint applications: a bulk data source and a verifying sink.
+//!
+//! These drive the paper's experiments: fixed-size synchronous transfers
+//! measured wall-clock from connection initiation to the sink consuming
+//! the full stream (including LSL header and digest overheads, and "all
+//! concomitant processing overheads" of the depots in between).
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use lsl_digest::Md5;
+use lsl_netsim::{NodeId, Time};
+use lsl_tcp::{AppEvent, Net, SockEvent, SockId, TcpConfig, TcpError};
+
+use crate::header::{LslHeader, HEADER_FLAG_DIGEST};
+use crate::id::SessionId;
+use crate::route::LslPath;
+
+/// Deterministic payload byte at stream offset `i` (shared by sender and
+/// verifying sink).
+pub fn payload_byte(i: u64) -> u8 {
+    ((i.wrapping_mul(131)).wrapping_add(7) % 251) as u8
+}
+
+/// Materialize payload bytes `[offset, offset+len)`.
+pub fn payload_chunk(offset: u64, len: usize) -> Bytes {
+    Bytes::from(
+        (0..len as u64)
+            .map(|i| payload_byte(offset + i))
+            .collect::<Vec<u8>>(),
+    )
+}
+
+/// How the sender frames the stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SendMode {
+    /// Plain end-to-end TCP: raw payload only (the paper's baseline).
+    DirectTcp,
+    /// LSL: header first, then payload, then (optionally) the digest.
+    /// `sync` is the paper's measured mode — the source streams only
+    /// after the sink's one-byte session confirmation has travelled back
+    /// through the cascade.
+    Lsl { digest: bool, sync: bool },
+}
+
+impl SendMode {
+    /// The paper's default LSL configuration.
+    pub fn lsl() -> SendMode {
+        SendMode::Lsl {
+            digest: true,
+            sync: true,
+        }
+    }
+}
+
+/// The sink's session-establishment confirmation byte.
+pub const SESSION_CONFIRM: u8 = 0x4b; // 'K'
+
+/// Sender progress.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SenderState {
+    Connecting,
+    /// Header sent; waiting for the sink's confirmation (sync mode).
+    AwaitingConfirm,
+    Streaming,
+    Done,
+    Failed(TcpError),
+}
+
+/// A bulk data source pushing `total` patterned bytes along `path`.
+pub struct BulkSender {
+    sock: SockId,
+    mode: SendMode,
+    state: SenderState,
+    total: u64,
+    sent: u64,
+    header: Option<Bytes>,
+    header_sent: usize,
+    trailer: Option<Bytes>,
+    trailer_sent: usize,
+    md5: Option<Md5>,
+    pub started_at: Time,
+    pub finished_at: Option<Time>,
+}
+
+/// Per-send chunking granularity (bounds transient allocations).
+const SEND_CHUNK: u64 = 256 * 1024;
+
+impl BulkSender {
+    /// Initiate the transfer: connect to the path's first hop.
+    pub fn start(
+        net: &mut Net,
+        src: NodeId,
+        path: &LslPath,
+        session: SessionId,
+        total: u64,
+        mode: SendMode,
+        tcp: TcpConfig,
+        trace_label: Option<&str>,
+    ) -> BulkSender {
+        path.validate().expect("invalid LSL path");
+        let first = path.first_hop();
+        let sock = net.connect(src, first.node, first.port, tcp);
+        if let Some(label) = trace_label {
+            net.enable_trace(sock, label);
+        }
+        let header = match mode {
+            SendMode::DirectTcp => {
+                assert!(
+                    path.depots.is_empty(),
+                    "direct TCP cannot traverse depots"
+                );
+                None
+            }
+            SendMode::Lsl { digest, .. } => Some(
+                LslHeader {
+                    session,
+                    flags: if digest { HEADER_FLAG_DIGEST } else { 0 },
+                    length: total,
+                    route: path.remaining_route(),
+                }
+                .encode(),
+            ),
+        };
+        let md5 = match mode {
+            SendMode::Lsl { digest: true, .. } => Some(Md5::new()),
+            _ => None,
+        };
+        BulkSender {
+            sock,
+            mode,
+            state: SenderState::Connecting,
+            total,
+            sent: 0,
+            header,
+            header_sent: 0,
+            trailer: None,
+            trailer_sent: 0,
+            md5,
+            started_at: net.now(),
+            finished_at: None,
+        }
+    }
+
+    pub fn sock(&self) -> SockId {
+        self.sock
+    }
+
+    pub fn state(&self) -> SenderState {
+        self.state
+    }
+
+    pub fn mode(&self) -> SendMode {
+        self.mode
+    }
+
+    pub fn is_done(&self) -> bool {
+        matches!(self.state, SenderState::Done | SenderState::Failed(_))
+    }
+
+    /// Feed one event; returns `true` if it belonged to this sender.
+    pub fn handle(&mut self, net: &mut Net, ev: &AppEvent) -> bool {
+        let AppEvent::Sock { sock, event } = ev else {
+            return false;
+        };
+        if *sock != self.sock {
+            return false;
+        }
+        match event {
+            SockEvent::Connected => {
+                // Ship the header immediately; in sync mode the payload
+                // waits for the sink's confirmation.
+                self.send_header(net);
+                match self.mode {
+                    SendMode::Lsl { sync: true, .. } => {
+                        self.state = SenderState::AwaitingConfirm;
+                    }
+                    _ => {
+                        self.state = SenderState::Streaming;
+                        self.pump(net);
+                    }
+                }
+            }
+            SockEvent::Readable => {
+                if self.state == SenderState::AwaitingConfirm {
+                    let b = net.recv(self.sock, 1);
+                    if b.first() == Some(&SESSION_CONFIRM) {
+                        self.state = SenderState::Streaming;
+                        self.pump(net);
+                    }
+                }
+            }
+            SockEvent::Writable => self.pump(net),
+            SockEvent::Error(e) => {
+                self.state = SenderState::Failed(*e);
+                self.finished_at.get_or_insert(net.now());
+            }
+            SockEvent::Closed => {
+                self.finished_at.get_or_insert(net.now());
+            }
+            _ => {}
+        }
+        true
+    }
+
+    fn send_header(&mut self, net: &mut Net) {
+        if let Some(h) = &self.header {
+            while self.header_sent < h.len() {
+                let n = net.send(self.sock, &h.slice(self.header_sent..));
+                self.header_sent += n;
+                if n == 0 {
+                    return;
+                }
+            }
+        }
+    }
+
+    fn pump(&mut self, net: &mut Net) {
+        if self.state != SenderState::Streaming {
+            return;
+        }
+        // 1. Header (when not already flushed pre-confirmation).
+        if let Some(h) = &self.header {
+            while self.header_sent < h.len() {
+                let n = net.send(self.sock, &h.slice(self.header_sent..));
+                self.header_sent += n;
+                if n == 0 {
+                    return;
+                }
+            }
+        }
+        // 2. Payload.
+        while self.sent < self.total {
+            let len = (self.total - self.sent).min(SEND_CHUNK) as usize;
+            let chunk = payload_chunk(self.sent, len);
+            let n = net.send(self.sock, &chunk);
+            if let Some(md5) = &mut self.md5 {
+                md5.update(&chunk[..n]);
+            }
+            self.sent += n as u64;
+            if n < len {
+                return;
+            }
+        }
+        // 3. Digest trailer.
+        if let Some(md5) = self.md5.take() {
+            self.trailer = Some(Bytes::copy_from_slice(&md5.finalize()));
+        }
+        if let Some(t) = &self.trailer {
+            while self.trailer_sent < t.len() {
+                let n = net.send(self.sock, &t.slice(self.trailer_sent..));
+                self.trailer_sent += n;
+                if n == 0 {
+                    return;
+                }
+            }
+        }
+        // 4. Done: half-close; FIN cascades to the sink.
+        self.state = SenderState::Done;
+        net.close(self.sock);
+    }
+}
+
+/// Result of one completed inbound transfer at the sink.
+#[derive(Clone, Debug)]
+pub struct TransferOutcome {
+    /// Session id (None for direct-TCP transfers).
+    pub session: Option<SessionId>,
+    /// Payload bytes received (header and digest excluded).
+    pub bytes: u64,
+    /// Digest verification result (None when no digest was sent).
+    pub digest_ok: Option<bool>,
+    /// Whether every payload byte matched the generator pattern.
+    pub content_ok: bool,
+    /// When the connection was accepted.
+    pub accepted_at: Time,
+    /// When the stream completed (EOF/digest verified).
+    pub completed_at: Time,
+}
+
+enum SinkConnState {
+    /// LSL: accumulating header bytes.
+    ReadingHeader(Vec<u8>),
+    /// Consuming payload (+ digest tail when flagged).
+    Body {
+        header: Option<LslHeader>,
+        md5: Md5,
+        received: u64,
+        /// Last up-to-16 bytes seen, to peel the digest off the tail.
+        tail: Vec<u8>,
+        content_ok: bool,
+    },
+}
+
+struct SinkConn {
+    state: SinkConnState,
+    accepted_at: Time,
+}
+
+/// A verifying sink server: accepts transfers (LSL-framed or raw TCP),
+/// checks the payload pattern and the trailing MD5 digest, and records a
+/// [`TransferOutcome`] per completed stream.
+pub struct SinkServer {
+    listener: SockId,
+    expects_lsl: bool,
+    conns: HashMap<SockId, SinkConn>,
+    completed: Vec<TransferOutcome>,
+    errors: u64,
+}
+
+impl SinkServer {
+    pub fn new(net: &mut Net, node: NodeId, port: u16, expects_lsl: bool, tcp: TcpConfig) -> SinkServer {
+        let listener = net.listen(node, port, tcp);
+        SinkServer {
+            listener,
+            expects_lsl,
+            conns: HashMap::new(),
+            completed: Vec::new(),
+            errors: 0,
+        }
+    }
+
+    pub fn completed(&self) -> &[TransferOutcome] {
+        &self.completed
+    }
+
+    pub fn take_completed(&mut self) -> Vec<TransferOutcome> {
+        std::mem::take(&mut self.completed)
+    }
+
+    pub fn errors(&self) -> u64 {
+        self.errors
+    }
+
+    /// Feed one event; returns `true` if it belonged to this sink.
+    pub fn handle(&mut self, net: &mut Net, ev: &AppEvent) -> bool {
+        let AppEvent::Sock { sock, event } = ev else {
+            return false;
+        };
+        if *sock == self.listener {
+            if let SockEvent::Accepted { conn } = event {
+                let state = if self.expects_lsl {
+                    SinkConnState::ReadingHeader(Vec::new())
+                } else {
+                    SinkConnState::Body {
+                        header: None,
+                        md5: Md5::new(),
+                        received: 0,
+                        tail: Vec::new(),
+                        content_ok: true,
+                    }
+                };
+                self.conns.insert(
+                    *conn,
+                    SinkConn {
+                        state,
+                        accepted_at: net.now(),
+                    },
+                );
+            }
+            return true;
+        }
+        if !self.conns.contains_key(sock) {
+            return false;
+        }
+        match event {
+            SockEvent::Readable | SockEvent::PeerFin => self.drain(net, *sock),
+            SockEvent::Error(_) => {
+                self.errors += 1;
+                self.conns.remove(sock);
+            }
+            SockEvent::Closed => {
+                net.release(*sock);
+                self.conns.remove(sock);
+            }
+            _ => {}
+        }
+        true
+    }
+
+    fn drain(&mut self, net: &mut Net, sock: SockId) {
+        let Some(conn) = self.conns.get_mut(&sock) else {
+            return;
+        };
+        loop {
+            let chunk = net.recv(sock, 1 << 20);
+            if chunk.is_empty() {
+                break;
+            }
+            match &mut conn.state {
+                SinkConnState::ReadingHeader(buf) => {
+                    buf.extend_from_slice(&chunk);
+                    match LslHeader::decode(buf) {
+                        Ok(None) => {}
+                        Ok(Some((header, used))) => {
+                            assert!(
+                                header.route.is_empty(),
+                                "sink received header with residual route"
+                            );
+                            // Session established: confirm to the source
+                            // (relayed back through the cascade).
+                            let n = net.send(sock, &Bytes::from_static(&[SESSION_CONFIRM]));
+                            debug_assert_eq!(n, 1);
+                            let leftover = buf.split_off(used);
+                            let mut st = SinkConnState::Body {
+                                header: Some(header),
+                                md5: Md5::new(),
+                                received: 0,
+                                tail: Vec::new(),
+                                content_ok: true,
+                            };
+                            Self::feed_body(&mut st, &leftover);
+                            conn.state = st;
+                        }
+                        Err(_) => {
+                            self.errors += 1;
+                            self.conns.remove(&sock);
+                            net.abort(sock);
+                            return;
+                        }
+                    }
+                }
+                st @ SinkConnState::Body { .. } => Self::feed_body(st, &chunk),
+            }
+        }
+        // EOF: finalize.
+        if net.at_eof(sock) {
+            let conn = self.conns.remove(&sock).expect("present");
+            net.close(sock);
+            match conn.state {
+                SinkConnState::Body {
+                    header,
+                    md5,
+                    received,
+                    tail,
+                    content_ok,
+                } => {
+                    let (bytes, digest_ok) = match &header {
+                        Some(h) if h.has_digest() => {
+                            // The final 16 bytes are the digest; they were
+                            // kept out of `md5`/`received` by feed_body.
+                            let ok = tail.len() == 16
+                                && md5.finalize()[..] == tail[..];
+                            (received, Some(ok))
+                        }
+                        _ => (received, None),
+                    };
+                    self.completed.push(TransferOutcome {
+                        session: header.as_ref().map(|h| h.session),
+                        bytes,
+                        digest_ok,
+                        content_ok,
+                        accepted_at: conn.accepted_at,
+                        completed_at: net.now(),
+                    });
+                }
+                SinkConnState::ReadingHeader(_) => {
+                    // EOF mid-header.
+                    self.errors += 1;
+                }
+            }
+        }
+    }
+
+    /// Append payload bytes, maintaining the 16-byte digest tail window
+    /// when a digest is expected.
+    fn feed_body(state: &mut SinkConnState, data: &[u8]) {
+        let SinkConnState::Body {
+            header,
+            md5,
+            received,
+            tail,
+            content_ok,
+        } = state
+        else {
+            unreachable!("feed_body on header state");
+        };
+        let digest_expected = header.as_ref().is_some_and(|h| h.has_digest());
+        if !digest_expected {
+            for (i, &b) in data.iter().enumerate() {
+                if b != payload_byte(*received + i as u64) {
+                    *content_ok = false;
+                    break;
+                }
+            }
+            md5.update(data);
+            *received += data.len() as u64;
+            return;
+        }
+        // Keep a sliding 16-byte tail: everything before it is payload.
+        tail.extend_from_slice(data);
+        if tail.len() > 16 {
+            let payload_len = tail.len() - 16;
+            let payload = &tail[..payload_len];
+            for (i, &b) in payload.iter().enumerate() {
+                if b != payload_byte(*received + i as u64) {
+                    *content_ok = false;
+                    break;
+                }
+            }
+            md5.update(payload);
+            *received += payload_len as u64;
+            tail.drain(..payload_len);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_pattern_is_deterministic_and_nontrivial() {
+        assert_eq!(payload_byte(0), payload_byte(0));
+        let c = payload_chunk(100, 50);
+        assert_eq!(c.len(), 50);
+        assert_eq!(c[0], payload_byte(100));
+        // Not constant.
+        assert!(c.iter().any(|&b| b != c[0]));
+    }
+
+    #[test]
+    fn payload_chunk_is_offset_consistent() {
+        let a = payload_chunk(0, 100);
+        let b = payload_chunk(50, 50);
+        assert_eq!(&a[50..], &b[..]);
+    }
+}

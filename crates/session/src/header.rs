@@ -1,0 +1,243 @@
+//! The LSL wire header, exchanged at the head of every sublink.
+//!
+//! Layout (big-endian):
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic "LSL1"
+//! 4       1     version (1)
+//! 5       1     flags (bit 0: MD5 digest trails the payload)
+//! 6       16    session id
+//! 22      8     payload length in bytes (u64::MAX = until FIN)
+//! 30      1     remaining hop count n (the loose source route)
+//! 31      6n    hops: node id u32 + port u16, last hop = destination
+//! ```
+//!
+//! A depot reads the header, pops the first hop, opens the next sublink
+//! and forwards the header with the shortened route. The sink receives a
+//! header whose route is empty.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use lsl_netsim::NodeId;
+
+use crate::id::SessionId;
+use crate::route::Hop;
+
+/// Flag bit: an MD5 digest (16 bytes) follows the payload.
+pub const HEADER_FLAG_DIGEST: u8 = 0x01;
+
+const MAGIC: &[u8; 4] = b"LSL1";
+const VERSION: u8 = 1;
+const FIXED_LEN: usize = 31;
+/// Upper bound on hops, which bounds header size for parser buffers.
+pub const MAX_HOPS: usize = 16;
+
+/// Parsed LSL header.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LslHeader {
+    pub session: SessionId,
+    pub flags: u8,
+    /// Total payload bytes; `u64::MAX` means "stream until FIN".
+    pub length: u64,
+    /// Remaining hops, ending with the destination. Empty at the sink.
+    pub route: Vec<Hop>,
+}
+
+impl LslHeader {
+    pub fn has_digest(&self) -> bool {
+        self.flags & HEADER_FLAG_DIGEST != 0
+    }
+
+    /// Encoded size in bytes.
+    pub fn encoded_len(&self) -> usize {
+        FIXED_LEN + 6 * self.route.len()
+    }
+
+    pub fn encode(&self) -> Bytes {
+        assert!(self.route.len() <= MAX_HOPS, "route too long");
+        let mut b = BytesMut::with_capacity(self.encoded_len());
+        b.put_slice(MAGIC);
+        b.put_u8(VERSION);
+        b.put_u8(self.flags);
+        b.put_slice(&self.session.to_bytes());
+        b.put_u64(self.length);
+        b.put_u8(self.route.len() as u8);
+        for hop in &self.route {
+            b.put_u32(hop.node.0);
+            b.put_u16(hop.port);
+        }
+        b.freeze()
+    }
+
+    /// Attempt to parse a header from the front of `buf`.
+    ///
+    /// * `Ok(Some((header, consumed)))` — complete header parsed.
+    /// * `Ok(None)` — need more bytes.
+    /// * `Err(_)` — malformed (bad magic/version/hop count).
+    pub fn decode(buf: &[u8]) -> Result<Option<(LslHeader, usize)>, String> {
+        if buf.len() < FIXED_LEN {
+            // Reject early on bad magic so garbage connections fail fast.
+            let n = buf.len().min(4);
+            if buf[..n] != MAGIC[..n] {
+                return Err("bad magic".into());
+            }
+            return Ok(None);
+        }
+        if &buf[..4] != MAGIC {
+            return Err("bad magic".into());
+        }
+        if buf[4] != VERSION {
+            return Err(format!("unsupported version {}", buf[4]));
+        }
+        let flags = buf[5];
+        let session = SessionId::from_bytes(buf[6..22].try_into().expect("16 bytes"));
+        let length = u64::from_be_bytes(buf[22..30].try_into().expect("8 bytes"));
+        let nhops = buf[30] as usize;
+        if nhops > MAX_HOPS {
+            return Err(format!("route too long: {nhops}"));
+        }
+        let total = FIXED_LEN + 6 * nhops;
+        if buf.len() < total {
+            return Ok(None);
+        }
+        let mut route = Vec::with_capacity(nhops);
+        for i in 0..nhops {
+            let off = FIXED_LEN + 6 * i;
+            let node = u32::from_be_bytes(buf[off..off + 4].try_into().expect("4 bytes"));
+            let port = u16::from_be_bytes(buf[off + 4..off + 6].try_into().expect("2 bytes"));
+            route.push(Hop::new(NodeId(node), port));
+        }
+        Ok(Some((
+            LslHeader {
+                session,
+                flags,
+                length,
+                route,
+            },
+            total,
+        )))
+    }
+
+    /// The header a depot forwards: same session, route minus its first
+    /// hop. Returns the popped next hop alongside.
+    pub fn pop_hop(&self) -> Option<(Hop, LslHeader)> {
+        let (&next, rest) = self.route.split_first()?;
+        Some((
+            next,
+            LslHeader {
+                session: self.session,
+                flags: self.flags,
+                length: self.length,
+                route: rest.to_vec(),
+            },
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header(nhops: usize) -> LslHeader {
+        LslHeader {
+            session: SessionId(0xdead_beef_cafe_f00d_0123_4567_89ab_cdef),
+            flags: HEADER_FLAG_DIGEST,
+            length: 1 << 26,
+            route: (0..nhops)
+                .map(|i| Hop::new(NodeId(i as u32 + 1), 7000 + i as u16))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        for n in [0, 1, 2, 5, MAX_HOPS] {
+            let h = header(n);
+            let enc = h.encode();
+            assert_eq!(enc.len(), h.encoded_len());
+            let (dec, used) = LslHeader::decode(&enc).unwrap().unwrap();
+            assert_eq!(used, enc.len());
+            assert_eq!(dec, h);
+        }
+    }
+
+    #[test]
+    fn partial_input_needs_more() {
+        let enc = header(3).encode();
+        for cut in 4..enc.len() {
+            assert_eq!(
+                LslHeader::decode(&enc[..cut]).unwrap(),
+                None,
+                "cut at {cut}"
+            );
+        }
+        // Trailing payload bytes after the header are not consumed.
+        let mut extended = enc.to_vec();
+        extended.extend_from_slice(b"payload");
+        let (_, used) = LslHeader::decode(&extended).unwrap().unwrap();
+        assert_eq!(used, enc.len());
+    }
+
+    #[test]
+    fn bad_magic_rejected_early() {
+        assert!(LslHeader::decode(b"XXXX").is_err());
+        assert!(LslHeader::decode(b"LS").is_ok()); // prefix still plausible
+        assert!(LslHeader::decode(b"LSX").is_err());
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut enc = header(0).encode().to_vec();
+        enc[4] = 9;
+        assert!(LslHeader::decode(&enc).is_err());
+    }
+
+    #[test]
+    fn oversized_route_rejected() {
+        let mut enc = header(0).encode().to_vec();
+        enc[30] = (MAX_HOPS + 1) as u8;
+        assert!(LslHeader::decode(&enc).is_err());
+    }
+
+    #[test]
+    fn pop_hop_shortens_route() {
+        let h = header(2);
+        let (next, fwd) = h.pop_hop().unwrap();
+        assert_eq!(next, h.route[0]);
+        assert_eq!(fwd.route, h.route[1..]);
+        assert_eq!(fwd.session, h.session);
+        let (_, last) = fwd.pop_hop().unwrap();
+        assert!(last.route.is_empty());
+        assert!(last.pop_hop().is_none());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn codec_roundtrip(sid in any::<u128>(), flags in any::<u8>(),
+                           length in any::<u64>(),
+                           hops in proptest::collection::vec((any::<u32>(), any::<u16>()), 0..MAX_HOPS)) {
+            let h = LslHeader {
+                session: SessionId(sid),
+                flags,
+                length,
+                route: hops.into_iter().map(|(n, p)| Hop::new(NodeId(n), p)).collect(),
+            };
+            let enc = h.encode();
+            let (dec, used) = LslHeader::decode(&enc).unwrap().unwrap();
+            prop_assert_eq!(used, enc.len());
+            prop_assert_eq!(dec, h);
+        }
+
+        /// Decoding arbitrary bytes never panics.
+        #[test]
+        fn decode_total(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let _ = LslHeader::decode(&data);
+        }
+    }
+}

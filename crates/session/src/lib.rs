@@ -1,0 +1,38 @@
+//! The Logistical Session Layer (LSL) — the paper's contribution.
+//!
+//! A *session* is a conversation between a source and a sink carried over
+//! one or more **cascaded TCP sublinks** through intermediate **depots**
+//! (the `lsd` daemon). The session is named by a 128-bit identifier and
+//! routed along an initiator-specified *loose source route* of depots.
+//! Each depot performs a transport-to-transport binding with a small,
+//! short-lived relay buffer; TCP flow control on each sublink provides
+//! hop-by-hop backpressure, and an MD5 digest over the complete stream
+//! restores end-to-end integrity (the end-to-end argument is honoured at
+//! the endpoints, §III of the paper).
+//!
+//! Crate layout:
+//!
+//! * [`header`] — the LSL wire header (magic, version, session id, loose
+//!   source route, length, digest flag) shared with `lsl-realnet`,
+//! * [`id`] — session identifiers,
+//! * [`route`] — loose source routes and path descriptions,
+//! * [`depot`] — the simulated `lsd` depot (bidirectional relay),
+//! * [`endpoint`] — bulk sender and sink applications for experiments,
+//! * [`model`] — analytic TCP/cascade throughput models (Mathis
+//!   steady-state plus a slow-start transient model) used for path
+//!   selection and calibration,
+//! * [`path`] — NWS-forecast-driven depot/path selection.
+
+pub mod depot;
+pub mod endpoint;
+pub mod header;
+pub mod id;
+pub mod model;
+pub mod path;
+pub mod route;
+
+pub use depot::{Depot, DepotConfig, DepotStats};
+pub use endpoint::{BulkSender, SinkServer, TransferOutcome};
+pub use header::{LslHeader, HEADER_FLAG_DIGEST};
+pub use id::SessionId;
+pub use route::{Hop, LslPath};

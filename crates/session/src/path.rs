@@ -1,0 +1,138 @@
+//! Depot/path selection from forecast sublink characteristics.
+//!
+//! "LSL clients and depots are assumed to have network performance
+//! information available from a system such as the Network Weather
+//! Service, in order to make decisions about paths" (§III). This module
+//! turns per-sublink forecasts into a ranked choice among candidate
+//! cascades using the analytic models in [`crate::model`].
+
+use crate::model::{CascadeModel, TcpPathModel};
+use crate::route::LslPath;
+
+/// A candidate path plus the forecast characteristics of each of its
+/// sublinks (one entry per TCP connection the session would use).
+#[derive(Clone, Debug)]
+pub struct Candidate {
+    pub path: LslPath,
+    pub sublinks: Vec<TcpPathModel>,
+}
+
+impl Candidate {
+    pub fn new(path: LslPath, sublinks: Vec<TcpPathModel>) -> Candidate {
+        assert_eq!(
+            sublinks.len(),
+            path.num_sublinks(),
+            "one forecast per sublink required"
+        );
+        Candidate { path, sublinks }
+    }
+
+    /// Predicted wall-clock time for a transfer of `size` bytes.
+    pub fn predicted_time(&self, size: u64, init_cwnd: u64) -> f64 {
+        if self.sublinks.len() == 1 {
+            // Direct TCP: handshake + stream, no framing/depot overheads.
+            let m = &self.sublinks[0];
+            m.handshake_time() + m.transfer_time(size, init_cwnd)
+        } else {
+            CascadeModel::new(self.sublinks.clone()).transfer_time(size, init_cwnd)
+        }
+    }
+}
+
+/// A scored candidate as returned by [`rank_paths`].
+#[derive(Clone, Debug)]
+pub struct RankedPath {
+    pub path: LslPath,
+    pub predicted_time: f64,
+    pub predicted_bps: f64,
+}
+
+/// Rank candidate paths for a transfer of `size` bytes, fastest first.
+pub fn rank_paths(candidates: &[Candidate], size: u64, init_cwnd: u64) -> Vec<RankedPath> {
+    let mut ranked: Vec<RankedPath> = candidates
+        .iter()
+        .map(|c| {
+            let t = c.predicted_time(size, init_cwnd);
+            RankedPath {
+                path: c.path.clone(),
+                predicted_time: t,
+                predicted_bps: size as f64 * 8.0 / t,
+            }
+        })
+        .collect();
+    ranked.sort_by(|a, b| {
+        a.predicted_time
+            .partial_cmp(&b.predicted_time)
+            .expect("times are finite")
+    });
+    ranked
+}
+
+/// Convenience: the single best path, or `None` on an empty candidate
+/// set.
+pub fn select_best(candidates: &[Candidate], size: u64, init_cwnd: u64) -> Option<RankedPath> {
+    rank_paths(candidates, size, init_cwnd).into_iter().next()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::route::Hop;
+    use lsl_netsim::NodeId;
+
+    const INIT_CWND: u64 = 2 * 1460;
+
+    fn hop(n: u32) -> Hop {
+        Hop::new(NodeId(n), 7000)
+    }
+
+    fn candidates() -> Vec<Candidate> {
+        let direct = Candidate::new(
+            LslPath::direct(hop(9)),
+            vec![TcpPathModel::new(0.06, 622e6, 1e-4)],
+        );
+        // The depot detour costs a little extra RTT (Fig 3/4's pattern).
+        let via_depot = Candidate::new(
+            LslPath::via(vec![hop(5)], hop(9)),
+            vec![
+                TcpPathModel::new(0.035, 622e6, 1e-4),
+                TcpPathModel::new(0.035, 622e6, 1e-4),
+            ],
+        );
+        vec![direct, via_depot]
+    }
+
+    #[test]
+    fn large_transfers_prefer_the_cascade() {
+        let best = select_best(&candidates(), 64 << 20, INIT_CWND).unwrap();
+        assert_eq!(best.path.num_sublinks(), 2, "64MB should go via the depot");
+    }
+
+    #[test]
+    fn small_transfers_prefer_direct() {
+        let best = select_best(&candidates(), 16 << 10, INIT_CWND).unwrap();
+        assert_eq!(best.path.num_sublinks(), 1, "16KB should go direct");
+    }
+
+    #[test]
+    fn ranking_is_sorted() {
+        let ranked = rank_paths(&candidates(), 8 << 20, INIT_CWND);
+        assert_eq!(ranked.len(), 2);
+        assert!(ranked[0].predicted_time <= ranked[1].predicted_time);
+        assert!(ranked[0].predicted_bps >= ranked[1].predicted_bps);
+    }
+
+    #[test]
+    fn empty_candidates_yield_none() {
+        assert!(select_best(&[], 1 << 20, INIT_CWND).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "one forecast per sublink")]
+    fn mismatched_forecast_count_rejected() {
+        Candidate::new(
+            LslPath::via(vec![hop(5)], hop(9)),
+            vec![TcpPathModel::new(0.03, 1e6, 0.0)],
+        );
+    }
+}

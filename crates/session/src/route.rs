@@ -1,0 +1,108 @@
+//! Loose source routes: the initiator-specified depot path of a session.
+
+use lsl_netsim::NodeId;
+
+/// One hop of an LSL route: a depot's (or the sink's) address.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Hop {
+    pub node: NodeId,
+    pub port: u16,
+}
+
+impl Hop {
+    pub fn new(node: NodeId, port: u16) -> Hop {
+        Hop { node, port }
+    }
+}
+
+/// A session path from source to sink: zero or more depots, then the
+/// destination. Zero depots is the degenerate "direct TCP" case the
+/// paper compares against.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LslPath {
+    /// Intermediate depots in traversal order.
+    pub depots: Vec<Hop>,
+    /// Final destination (the LSL-aware server).
+    pub dst: Hop,
+}
+
+impl LslPath {
+    /// Direct path — no depots, plain end-to-end TCP semantics.
+    pub fn direct(dst: Hop) -> LslPath {
+        LslPath {
+            depots: Vec::new(),
+            dst,
+        }
+    }
+
+    /// Cascade through the given depots.
+    pub fn via(depots: Vec<Hop>, dst: Hop) -> LslPath {
+        LslPath { depots, dst }
+    }
+
+    /// The first transport connection's target: the first depot, or the
+    /// destination when direct.
+    pub fn first_hop(&self) -> Hop {
+        self.depots.first().copied().unwrap_or(self.dst)
+    }
+
+    /// The loose source route carried in the LSL header of the *first*
+    /// sublink: every hop after the first, ending with the destination.
+    pub fn remaining_route(&self) -> Vec<Hop> {
+        let mut v: Vec<Hop> = self.depots.iter().skip(1).copied().collect();
+        v.push(self.dst);
+        v
+    }
+
+    /// Number of TCP sublinks the session will use.
+    pub fn num_sublinks(&self) -> usize {
+        self.depots.len() + 1
+    }
+
+    /// Validate: no node may appear twice (a routing loop) and the
+    /// destination must not be a depot.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut seen = std::collections::HashSet::new();
+        for hop in self.depots.iter().chain(std::iter::once(&self.dst)) {
+            if !seen.insert(hop.node) {
+                return Err(format!("node {:?} appears twice in route", hop.node));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hop(n: u32) -> Hop {
+        Hop::new(NodeId(n), 7000)
+    }
+
+    #[test]
+    fn direct_path() {
+        let p = LslPath::direct(hop(9));
+        assert_eq!(p.num_sublinks(), 1);
+        assert_eq!(p.first_hop(), hop(9));
+        assert_eq!(p.remaining_route(), vec![hop(9)]);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn cascade_route() {
+        let p = LslPath::via(vec![hop(1), hop(2)], hop(9));
+        assert_eq!(p.num_sublinks(), 3);
+        assert_eq!(p.first_hop(), hop(1));
+        assert_eq!(p.remaining_route(), vec![hop(2), hop(9)]);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn loop_detected() {
+        let p = LslPath::via(vec![hop(1), hop(1)], hop(9));
+        assert!(p.validate().is_err());
+        let p2 = LslPath::via(vec![hop(9)], hop(9));
+        assert!(p2.validate().is_err());
+    }
+}

@@ -1,0 +1,371 @@
+//! End-to-end LSL session tests: cascades of 1–4 depots, digest
+//! verification, backpressure, overheads, and the core LSL effect.
+
+use lsl_netsim::{Dur, LinkSpec, LossModel, NodeId, Topology, TopologyBuilder};
+use lsl_session::endpoint::{SendMode, SenderState};
+use lsl_session::{BulkSender, Depot, DepotConfig, Hop, LslPath, SessionId, SinkServer};
+use lsl_tcp::{Net, TcpConfig};
+
+const SINK_PORT: u16 = 5000;
+const DEPOT_PORT: u16 = 7000;
+
+/// Source — depot(s) — sink in a chain; every inter-node link identical.
+fn chain_topology(n_middle: usize, bw: u64, delay: Dur, loss: f64) -> (Topology, Vec<NodeId>) {
+    let mut b = TopologyBuilder::new();
+    let mut nodes = vec![b.node("src")];
+    for i in 0..n_middle {
+        nodes.push(b.node(&format!("d{i}")));
+    }
+    nodes.push(b.node("sink"));
+    for w in 0..nodes.len() - 1 {
+        b.duplex(
+            nodes[w],
+            nodes[w + 1],
+            LinkSpec::new(bw, delay).with_loss(LossModel::bernoulli(loss)),
+        );
+    }
+    (b.build(), nodes)
+}
+
+struct Harness {
+    net: Net,
+    depots: Vec<Depot>,
+    sink: SinkServer,
+    sender: BulkSender,
+}
+
+impl Harness {
+    fn run(mut self) -> (Net, Vec<Depot>, SinkServer, BulkSender) {
+        while let Some(ev) = self.net.poll() {
+            if self.sender.handle(&mut self.net, &ev) {
+                continue;
+            }
+            if self.sink.handle(&mut self.net, &ev) {
+                continue;
+            }
+            let mut handled = false;
+            for d in &mut self.depots {
+                if d.handle(&mut self.net, &ev) {
+                    handled = true;
+                    break;
+                }
+            }
+            let _ = handled;
+        }
+        (self.net, self.depots, self.sink, self.sender)
+    }
+}
+
+fn run_cascade(
+    n_depots: usize,
+    total: u64,
+    loss: f64,
+    seed: u64,
+    digest: bool,
+) -> (Vec<lsl_session::TransferOutcome>, Vec<lsl_session::DepotStats>, SenderState, f64) {
+    let (topo, nodes) = chain_topology(n_depots, 50_000_000, Dur::from_millis(5), loss);
+    let mut net = Net::new(topo.into_sim(seed));
+    let tcp = TcpConfig {
+        time_wait: Dur::from_millis(10),
+        ..TcpConfig::default()
+    };
+    let depots: Vec<Depot> = (0..n_depots)
+        .map(|i| {
+            Depot::new(
+                &mut net,
+                nodes[1 + i],
+                DepotConfig {
+                    port: DEPOT_PORT,
+                    relay_buf: 256 * 1024,
+                    tcp: tcp.clone(),
+                    trace_downstream: None,
+                },
+            )
+        })
+        .collect();
+    let sink_node = *nodes.last().unwrap();
+    let sink = SinkServer::new(&mut net, sink_node, SINK_PORT, true, tcp.clone());
+    let path = LslPath::via(
+        (0..n_depots).map(|i| Hop::new(nodes[1 + i], DEPOT_PORT)).collect(),
+        Hop::new(sink_node, SINK_PORT),
+    );
+    let sender = BulkSender::start(
+        &mut net,
+        nodes[0],
+        &path,
+        SessionId(42),
+        total,
+        SendMode::Lsl { digest, sync: true },
+        tcp,
+        None,
+    );
+    let h = Harness {
+        net,
+        depots,
+        sink,
+        sender,
+    };
+    let (net, depots, mut sink, sender) = h.run();
+    let dstats = depots.iter().map(|d| d.stats().clone()).collect();
+    (
+        sink.take_completed(),
+        dstats,
+        sender.state(),
+        net.now().as_secs_f64(),
+    )
+}
+
+#[test]
+fn single_depot_relays_intact_with_digest() {
+    let (done, dstats, state, _) = run_cascade(1, 1 << 20, 0.0, 1, true);
+    assert_eq!(state, SenderState::Done);
+    assert_eq!(done.len(), 1);
+    let out = &done[0];
+    assert_eq!(out.bytes, 1 << 20);
+    assert_eq!(out.session, Some(SessionId(42)));
+    assert_eq!(out.digest_ok, Some(true));
+    assert!(out.content_ok);
+    assert_eq!(dstats[0].sessions_accepted, 1);
+    assert!(dstats[0].bytes_relayed >= 1 << 20);
+    assert_eq!(dstats[0].header_errors, 0);
+}
+
+#[test]
+fn cascade_depth_2_and_3_and_4() {
+    for depth in [2usize, 3, 4] {
+        let (done, dstats, state, _) = run_cascade(depth, 300_000, 0.0, depth as u64, true);
+        assert_eq!(state, SenderState::Done, "depth {depth}");
+        assert_eq!(done.len(), 1, "depth {depth}");
+        assert_eq!(done[0].bytes, 300_000);
+        assert_eq!(done[0].digest_ok, Some(true));
+        assert!(done[0].content_ok);
+        for (i, ds) in dstats.iter().enumerate() {
+            assert_eq!(ds.sessions_accepted, 1, "depot {i} at depth {depth}");
+            assert_eq!(ds.header_errors, 0);
+        }
+    }
+}
+
+#[test]
+fn cascade_survives_loss_on_every_sublink() {
+    let (done, _, state, _) = run_cascade(2, 500_000, 0.01, 99, true);
+    assert_eq!(state, SenderState::Done);
+    assert_eq!(done.len(), 1);
+    assert_eq!(done[0].bytes, 500_000);
+    assert_eq!(done[0].digest_ok, Some(true));
+    assert!(done[0].content_ok);
+}
+
+#[test]
+fn no_digest_mode() {
+    let (done, _, _, _) = run_cascade(1, 100_000, 0.0, 3, false);
+    assert_eq!(done.len(), 1);
+    assert_eq!(done[0].bytes, 100_000);
+    assert_eq!(done[0].digest_ok, None);
+    assert!(done[0].content_ok);
+}
+
+#[test]
+fn zero_length_session() {
+    let (done, _, state, _) = run_cascade(1, 0, 0.0, 4, true);
+    assert_eq!(state, SenderState::Done);
+    assert_eq!(done.len(), 1);
+    assert_eq!(done[0].bytes, 0);
+    assert_eq!(done[0].digest_ok, Some(true), "digest of empty stream");
+}
+
+#[test]
+fn depot_buffer_stays_bounded() {
+    // Fast inbound, slow outbound: the relay buffer must cap, not grow
+    // with the transfer (the paper's "small, short-lived" buffers).
+    let mut b = TopologyBuilder::new();
+    let src = b.node("src");
+    let dep = b.node("depot");
+    let sink = b.node("sink");
+    b.duplex(src, dep, LinkSpec::new(100_000_000, Dur::from_millis(1)));
+    b.duplex(dep, sink, LinkSpec::new(2_000_000, Dur::from_millis(1)));
+    let mut net = Net::new(b.build().into_sim(7));
+    let tcp = TcpConfig::default();
+    let relay_buf = 128 * 1024;
+    let depot = Depot::new(
+        &mut net,
+        dep,
+        DepotConfig {
+            port: DEPOT_PORT,
+            relay_buf,
+            tcp: tcp.clone(),
+            trace_downstream: None,
+        },
+    );
+    let sinksrv = SinkServer::new(&mut net, sink, SINK_PORT, true, tcp.clone());
+    let path = LslPath::via(vec![Hop::new(dep, DEPOT_PORT)], Hop::new(sink, SINK_PORT));
+    let sender = BulkSender::start(
+        &mut net,
+        src,
+        &path,
+        SessionId(1),
+        2 << 20,
+        SendMode::lsl(),
+        tcp,
+        None,
+    );
+    let (_, depots, sinksrv, _) = Harness {
+        net,
+        depots: vec![depot],
+        sink: sinksrv,
+        sender,
+    }
+    .run();
+    assert_eq!(sinksrv.completed().len(), 1);
+    assert_eq!(sinksrv.completed()[0].digest_ok, Some(true));
+    assert!(
+        depots[0].stats().max_buffered <= relay_buf,
+        "relay buffered {} > cap {relay_buf}",
+        depots[0].stats().max_buffered
+    );
+}
+
+#[test]
+fn lsl_beats_direct_on_split_lossy_path_and_loses_when_tiny() {
+    // The LSL effect end-to-end in the simulator: a 2×30 ms lossy path.
+    let build = || {
+        let mut b = TopologyBuilder::new();
+        let src = b.node("src");
+        let pop = b.node("pop");
+        let dst = b.node("dst");
+        b.duplex(
+            src,
+            pop,
+            LinkSpec::new(100_000_000, Dur::from_millis(15))
+                .with_loss(LossModel::bernoulli(2e-4)),
+        );
+        b.duplex(
+            pop,
+            dst,
+            LinkSpec::new(100_000_000, Dur::from_millis(15))
+                .with_loss(LossModel::bernoulli(2e-4)),
+        );
+        (b.build(), src, pop, dst)
+    };
+    let tcp = || TcpConfig {
+        time_wait: Dur::from_millis(10),
+        ..TcpConfig::default()
+    };
+
+    let run_one = |via_depot: bool, total: u64, seed: u64| -> f64 {
+        let (topo, src, pop, dst) = build();
+        let mut net = Net::new(topo.into_sim(seed));
+        let depots = if via_depot {
+            vec![Depot::new(
+                &mut net,
+                pop,
+                DepotConfig {
+                    port: DEPOT_PORT,
+                    relay_buf: 256 * 1024,
+                    tcp: tcp(),
+                    trace_downstream: None,
+                },
+            )]
+        } else {
+            Vec::new()
+        };
+        let sink = SinkServer::new(&mut net, dst, SINK_PORT, via_depot, tcp());
+        let (path, mode) = if via_depot {
+            (
+                LslPath::via(vec![Hop::new(pop, DEPOT_PORT)], Hop::new(dst, SINK_PORT)),
+                SendMode::lsl(),
+            )
+        } else {
+            (LslPath::direct(Hop::new(dst, SINK_PORT)), SendMode::DirectTcp)
+        };
+        let sender = BulkSender::start(&mut net, src, &path, SessionId(9), total, mode, tcp(), None);
+        let started = sender.started_at;
+        let (net, _, sink, _) = Harness {
+            net,
+            depots,
+            sink,
+            sender,
+        }
+        .run();
+        let done = sink.completed();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].bytes, total);
+        assert!(done[0].content_ok);
+        let _ = net;
+        (done[0].completed_at - started).as_secs_f64()
+    };
+
+    // Large transfer: average over a few seeds; LSL should win clearly.
+    let big = 8u64 << 20;
+    let avg = |via: bool| -> f64 {
+        (0..5).map(|s| run_one(via, big, 100 + s)).sum::<f64>() / 5.0
+    };
+    let t_direct = avg(false);
+    let t_lsl = avg(true);
+    assert!(
+        t_lsl < t_direct,
+        "LSL ({t_lsl:.3}s) must beat direct ({t_direct:.3}s) at 8 MB"
+    );
+
+    // Tiny transfer: the extra handshake makes LSL slower.
+    let small = 16u64 << 10;
+    let t_direct_s = run_one(false, small, 7);
+    let t_lsl_s = run_one(true, small, 7);
+    assert!(
+        t_lsl_s > t_direct_s,
+        "LSL ({t_lsl_s:.4}s) should lose to direct ({t_direct_s:.4}s) at 16 KB"
+    );
+}
+
+#[test]
+fn concurrent_sessions_through_one_depot() {
+    let (topo, nodes) = chain_topology(1, 50_000_000, Dur::from_millis(5), 0.0);
+    let mut net = Net::new(topo.into_sim(11));
+    let tcp = TcpConfig::default();
+    let mut depot = Depot::new(
+        &mut net,
+        nodes[1],
+        DepotConfig {
+            port: DEPOT_PORT,
+            relay_buf: 256 * 1024,
+            tcp: tcp.clone(),
+            trace_downstream: None,
+        },
+    );
+    let mut sink = SinkServer::new(&mut net, nodes[2], SINK_PORT, true, tcp.clone());
+    let path = LslPath::via(vec![Hop::new(nodes[1], DEPOT_PORT)], Hop::new(nodes[2], SINK_PORT));
+    let mut senders: Vec<BulkSender> = (0..4)
+        .map(|i| {
+            BulkSender::start(
+                &mut net,
+                nodes[0],
+                &path,
+                SessionId(1000 + i),
+                200_000,
+                SendMode::lsl(),
+                tcp.clone(),
+                None,
+            )
+        })
+        .collect();
+    while let Some(ev) = net.poll() {
+        if senders.iter_mut().any(|s| s.handle(&mut net, &ev)) {
+            continue;
+        }
+        if sink.handle(&mut net, &ev) {
+            continue;
+        }
+        depot.handle(&mut net, &ev);
+    }
+    let done = sink.take_completed();
+    assert_eq!(done.len(), 4);
+    let mut ids: Vec<u128> = done.iter().map(|o| o.session.unwrap().0).collect();
+    ids.sort_unstable();
+    assert_eq!(ids, vec![1000, 1001, 1002, 1003]);
+    for o in &done {
+        assert_eq!(o.bytes, 200_000);
+        assert_eq!(o.digest_ok, Some(true));
+    }
+    assert_eq!(depot.stats().sessions_accepted, 4);
+    assert_eq!(depot.active_sessions(), 0);
+}

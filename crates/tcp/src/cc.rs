@@ -1,0 +1,280 @@
+//! Congestion control: Reno and NewReno window management (RFC 2581/2582).
+//!
+//! This is the state machine whose RTT-clocked dynamics produce the LSL
+//! effect: the window can only grow (slow start: ×2 per RTT; congestion
+//! avoidance: +1 MSS per RTT) or recover from loss at a rate set by how
+//! fast acknowledgments return. Keeping it isolated from the socket
+//! plumbing makes the control law directly unit-testable.
+
+/// Congestion-control variant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CcAlgo {
+    /// Classic Reno: exit fast recovery on the first new ACK.
+    Reno,
+    /// NewReno (RFC 2582): stay in recovery across partial ACKs,
+    /// retransmitting one hole per partial ACK.
+    NewReno,
+}
+
+/// What the socket must do in response to an ACK-driven transition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CcAction {
+    None,
+    /// Third duplicate ACK: retransmit the first unacknowledged segment.
+    FastRetransmit,
+    /// NewReno partial ACK: retransmit the segment at the new `snd_una`.
+    RetransmitHole,
+}
+
+/// Congestion-control block for one connection.
+#[derive(Clone, Debug)]
+pub struct Cc {
+    algo: CcAlgo,
+    mss: u64,
+    /// Congestion window, bytes.
+    pub cwnd: u64,
+    /// Slow-start threshold, bytes.
+    pub ssthresh: u64,
+    dup_acks: u32,
+    in_recovery: bool,
+    /// `snd_nxt` when recovery was entered; ACKs beyond it end recovery.
+    recover: u64,
+}
+
+impl Cc {
+    pub fn new(algo: CcAlgo, mss: u32, init_cwnd: u64, init_ssthresh: u64) -> Cc {
+        Cc {
+            algo,
+            mss: mss as u64,
+            cwnd: init_cwnd,
+            ssthresh: init_ssthresh,
+            dup_acks: 0,
+            in_recovery: false,
+            recover: 0,
+        }
+    }
+
+    pub fn in_slow_start(&self) -> bool {
+        !self.in_recovery && self.cwnd < self.ssthresh
+    }
+
+    pub fn in_recovery(&self) -> bool {
+        self.in_recovery
+    }
+
+    pub fn dup_acks(&self) -> u32 {
+        self.dup_acks
+    }
+
+    /// A cumulative ACK advanced `snd_una` by `acked` bytes, to
+    /// `snd_una_after`. Returns the required retransmission action.
+    pub fn on_new_ack(&mut self, acked: u64, snd_una_after: u64) -> CcAction {
+        debug_assert!(acked > 0);
+        if self.in_recovery {
+            if snd_una_after > self.recover {
+                // Full ACK: deflate to ssthresh and leave recovery.
+                self.in_recovery = false;
+                self.dup_acks = 0;
+                self.cwnd = self.ssthresh.max(self.mss);
+                CcAction::None
+            } else {
+                match self.algo {
+                    CcAlgo::Reno => {
+                        // Reno exits on any new ACK (and stalls if more
+                        // holes exist — NewReno's motivating pathology).
+                        self.in_recovery = false;
+                        self.dup_acks = 0;
+                        self.cwnd = self.ssthresh.max(self.mss);
+                        CcAction::None
+                    }
+                    CcAlgo::NewReno => {
+                        // Partial ACK: deflate by the amount acked,
+                        // re-inflate by one MSS, retransmit the next hole.
+                        self.cwnd = self
+                            .cwnd
+                            .saturating_sub(acked)
+                            .saturating_add(self.mss)
+                            .max(self.mss);
+                        CcAction::RetransmitHole
+                    }
+                }
+            }
+        } else {
+            self.dup_acks = 0;
+            if self.cwnd < self.ssthresh {
+                // Slow start with byte counting capped at one MSS per ACK
+                // (RFC 3465 L=1), doubling per RTT under delayed ACKs'
+                // one-ack-per-two-segments regime... per-ACK growth:
+                self.cwnd = self.cwnd.saturating_add(acked.min(self.mss));
+            } else {
+                // Congestion avoidance: cwnd += MSS*MSS/cwnd per ACK
+                // (≈ one MSS per RTT), at least 1 byte to avoid stalling.
+                let inc = (self.mss * self.mss / self.cwnd).max(1);
+                self.cwnd = self.cwnd.saturating_add(inc);
+            }
+            CcAction::None
+        }
+    }
+
+    /// A duplicate ACK arrived. `snd_nxt` and `flight` (unacked bytes)
+    /// are sampled at arrival.
+    pub fn on_dup_ack(&mut self, snd_nxt: u64, flight: u64) -> CcAction {
+        if self.in_recovery {
+            // Inflate: each dup ACK signals a departed segment.
+            self.cwnd = self.cwnd.saturating_add(self.mss);
+            return CcAction::None;
+        }
+        self.dup_acks += 1;
+        if self.dup_acks == 3 {
+            self.enter_recovery(snd_nxt, flight);
+            CcAction::FastRetransmit
+        } else {
+            CcAction::None
+        }
+    }
+
+    fn enter_recovery(&mut self, snd_nxt: u64, flight: u64) {
+        self.ssthresh = (flight / 2).max(2 * self.mss);
+        self.cwnd = self.ssthresh + 3 * self.mss;
+        self.recover = snd_nxt;
+        self.in_recovery = true;
+    }
+
+    /// Retransmission timer fired.
+    pub fn on_rto(&mut self, flight: u64) {
+        self.ssthresh = (flight / 2).max(2 * self.mss);
+        self.cwnd = self.mss;
+        self.in_recovery = false;
+        self.dup_acks = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MSS: u64 = 1000;
+
+    fn cc(algo: CcAlgo) -> Cc {
+        Cc::new(algo, MSS as u32, 2 * MSS, u64::MAX / 2)
+    }
+
+    #[test]
+    fn slow_start_doubles_per_window() {
+        let mut c = cc(CcAlgo::NewReno);
+        assert!(c.in_slow_start());
+        // ACKing a full window grows cwnd by one MSS per MSS acked.
+        let mut una = 0;
+        for _ in 0..2 {
+            una += MSS;
+            c.on_new_ack(MSS, una);
+        }
+        assert_eq!(c.cwnd, 4 * MSS);
+    }
+
+    #[test]
+    fn slow_start_ack_growth_capped_at_mss() {
+        let mut c = cc(CcAlgo::NewReno);
+        // A jumbo cumulative ACK (e.g. after delayed ACK) still grows by
+        // at most one MSS.
+        c.on_new_ack(10 * MSS, 10 * MSS);
+        assert_eq!(c.cwnd, 3 * MSS);
+    }
+
+    #[test]
+    fn congestion_avoidance_linear() {
+        let mut c = Cc::new(CcAlgo::NewReno, MSS as u32, 10 * MSS, 10 * MSS);
+        assert!(!c.in_slow_start());
+        let start = c.cwnd;
+        // One full window of ACKs ≈ +1 MSS.
+        let mut una = 0;
+        for _ in 0..10 {
+            una += MSS;
+            c.on_new_ack(MSS, una);
+        }
+        // Growth per RTT is slightly under one MSS because each ACK's
+        // increment uses the already-grown cwnd in the denominator.
+        let grown = c.cwnd - start;
+        assert!((900..=1000).contains(&grown), "grew {grown}");
+    }
+
+    #[test]
+    fn three_dup_acks_trigger_fast_retransmit() {
+        let mut c = cc(CcAlgo::NewReno);
+        c.cwnd = 8 * MSS;
+        c.ssthresh = u64::MAX / 2;
+        let flight = 8 * MSS;
+        assert_eq!(c.on_dup_ack(8 * MSS, flight), CcAction::None);
+        assert_eq!(c.on_dup_ack(8 * MSS, flight), CcAction::None);
+        assert_eq!(c.on_dup_ack(8 * MSS, flight), CcAction::FastRetransmit);
+        assert!(c.in_recovery());
+        assert_eq!(c.ssthresh, 4 * MSS);
+        assert_eq!(c.cwnd, 4 * MSS + 3 * MSS);
+        // Further dup ACKs inflate.
+        c.on_dup_ack(8 * MSS, flight);
+        assert_eq!(c.cwnd, 8 * MSS);
+    }
+
+    #[test]
+    fn newreno_partial_ack_retransmits_hole_and_stays() {
+        let mut c = cc(CcAlgo::NewReno);
+        c.cwnd = 8 * MSS;
+        for _ in 0..3 {
+            c.on_dup_ack(8 * MSS, 8 * MSS);
+        }
+        assert!(c.in_recovery());
+        // Partial ACK: una advances to 2*MSS but recover point is 8*MSS.
+        assert_eq!(c.on_new_ack(2 * MSS, 2 * MSS), CcAction::RetransmitHole);
+        assert!(c.in_recovery());
+        // Full ACK past recover exits and deflates.
+        assert_eq!(c.on_new_ack(6 * MSS, 9 * MSS), CcAction::None);
+        assert!(!c.in_recovery());
+        assert_eq!(c.cwnd, c.ssthresh);
+    }
+
+    #[test]
+    fn reno_exits_on_first_new_ack() {
+        let mut c = cc(CcAlgo::Reno);
+        c.cwnd = 8 * MSS;
+        for _ in 0..3 {
+            c.on_dup_ack(8 * MSS, 8 * MSS);
+        }
+        assert!(c.in_recovery());
+        assert_eq!(c.on_new_ack(2 * MSS, 2 * MSS), CcAction::None);
+        assert!(!c.in_recovery());
+        assert_eq!(c.cwnd, c.ssthresh);
+    }
+
+    #[test]
+    fn rto_collapses_window() {
+        let mut c = cc(CcAlgo::NewReno);
+        c.cwnd = 16 * MSS;
+        c.on_rto(16 * MSS);
+        assert_eq!(c.cwnd, MSS);
+        assert_eq!(c.ssthresh, 8 * MSS);
+        assert!(!c.in_recovery());
+        assert!(c.in_slow_start());
+    }
+
+    #[test]
+    fn ssthresh_floor_two_mss() {
+        let mut c = cc(CcAlgo::NewReno);
+        c.on_rto(MSS); // tiny flight
+        assert_eq!(c.ssthresh, 2 * MSS);
+    }
+
+    #[test]
+    fn dup_ack_counter_resets_on_new_ack() {
+        let mut c = cc(CcAlgo::NewReno);
+        c.cwnd = 8 * MSS;
+        c.on_dup_ack(8 * MSS, 8 * MSS);
+        c.on_dup_ack(8 * MSS, 8 * MSS);
+        assert_eq!(c.dup_acks(), 2);
+        c.on_new_ack(MSS, MSS);
+        assert_eq!(c.dup_acks(), 0);
+        // Two more dups do not trigger (count restarted).
+        assert_eq!(c.on_dup_ack(8 * MSS, 8 * MSS), CcAction::None);
+        assert_eq!(c.on_dup_ack(8 * MSS, 8 * MSS), CcAction::None);
+        assert!(!c.in_recovery());
+    }
+}

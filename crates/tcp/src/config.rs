@@ -1,0 +1,117 @@
+//! Per-connection TCP tuning knobs.
+
+use lsl_netsim::Dur;
+
+use crate::cc::CcAlgo;
+
+/// Configuration applied to a socket at creation. Defaults mirror the
+/// paper's testbed: Linux 2.4-era NewReno with large windows and 8 MB
+/// buffers in the exercised direction.
+#[derive(Clone, Debug)]
+pub struct TcpConfig {
+    /// Maximum segment size (payload bytes per segment).
+    pub mss: u32,
+    /// Send buffer capacity in bytes.
+    pub send_buf: u64,
+    /// Receive buffer capacity in bytes (bounds the advertised window).
+    pub recv_buf: u64,
+    /// Initial congestion window in segments (RFC 2581 allowed 2).
+    pub init_cwnd_segs: u32,
+    /// Initial slow-start threshold; effectively unbounded by default so
+    /// slow start runs until the first loss, as the paper's traces show.
+    pub init_ssthresh: u64,
+    /// Congestion-control variant.
+    pub algo: CcAlgo,
+    /// Delayed-ACK timeout; `None` disables delaying (every segment is
+    /// ACKed immediately).
+    pub delack: Option<Dur>,
+    /// Lower bound on the retransmission timeout (Linux uses 200 ms).
+    pub min_rto: Dur,
+    /// Upper bound on the retransmission timeout.
+    pub max_rto: Dur,
+    /// Initial RTO before any RTT sample exists (RFC 6298 says 1 s;
+    /// Linux 2.4 used 3 s — we follow Linux's quicker value).
+    pub initial_rto: Dur,
+    /// Maximum SYN (re)transmissions before the connect fails.
+    pub max_syn_retries: u32,
+    /// Maximum consecutive data RTOs before the connection aborts.
+    pub max_data_retries: u32,
+    /// TIME-WAIT dwell (2×MSL). Short default keeps simulated
+    /// experiments from accumulating state; it does not affect timing of
+    /// the measured transfer.
+    pub time_wait: Dur,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            mss: 1460,
+            send_buf: 8 * 1024 * 1024,
+            recv_buf: 8 * 1024 * 1024,
+            init_cwnd_segs: 2,
+            init_ssthresh: u64::MAX / 2,
+            algo: CcAlgo::NewReno,
+            delack: Some(Dur::from_millis(100)),
+            min_rto: Dur::from_millis(200),
+            max_rto: Dur::from_secs(120),
+            initial_rto: Dur::from_secs(1),
+            max_syn_retries: 6,
+            max_data_retries: 15,
+            time_wait: Dur::from_secs(1),
+        }
+    }
+}
+
+impl TcpConfig {
+    /// Initial congestion window in bytes.
+    pub fn init_cwnd(&self) -> u64 {
+        self.init_cwnd_segs as u64 * self.mss as u64
+    }
+
+    /// The paper's "limited buffer" variant (lightweight mobile hosts).
+    pub fn small_buffers(mut self, bytes: u64) -> Self {
+        self.send_buf = bytes;
+        self.recv_buf = bytes;
+        self
+    }
+
+    /// Validate invariants; called when a socket is created.
+    pub fn check(&self) {
+        assert!(self.mss > 0, "mss must be positive");
+        assert!(
+            self.send_buf >= self.mss as u64 && self.recv_buf >= self.mss as u64,
+            "buffers must hold at least one segment"
+        );
+        assert!(self.init_cwnd_segs >= 1);
+        assert!(self.min_rto <= self.max_rto);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_testbed() {
+        let c = TcpConfig::default();
+        assert_eq!(c.mss, 1460);
+        assert_eq!(c.send_buf, 8 * 1024 * 1024);
+        assert_eq!(c.init_cwnd(), 2 * 1460);
+        assert_eq!(c.algo, CcAlgo::NewReno);
+        c.check();
+    }
+
+    #[test]
+    fn small_buffers_override() {
+        let c = TcpConfig::default().small_buffers(64 * 1024);
+        assert_eq!(c.send_buf, 64 * 1024);
+        assert_eq!(c.recv_buf, 64 * 1024);
+        c.check();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one segment")]
+    fn tiny_buffer_rejected() {
+        TcpConfig::default().small_buffers(100).check();
+    }
+}

@@ -1,0 +1,44 @@
+//! A user-level TCP over the `lsl-netsim` discrete-event simulator.
+//!
+//! This crate replaces the Linux 2.4 kernel TCP of the paper's testbed.
+//! It implements the control laws the LSL effect depends on:
+//!
+//! * **slow start** and **congestion avoidance** (RFC 2581), clocked by
+//!   the connection RTT — the heart of the paper's analysis (§V, §VI),
+//! * **fast retransmit / fast recovery** with Reno and NewReno (RFC 2582)
+//!   partial-ACK handling,
+//! * **retransmission timeout** with Jacobson/Karels SRTT estimation,
+//!   Karn's rule and exponential backoff,
+//! * **flow control** via the advertised window (configurable buffers;
+//!   8 MB default as in the paper's hosts), with window updates and a
+//!   persist timer for zero-window deadlock avoidance — the mechanism
+//!   through which a depot exerts backpressure on its upstream sublink,
+//! * **delayed ACKs**, connection setup/teardown (three-way handshake,
+//!   FIN exchange, TIME-WAIT) and RST handling.
+//!
+//! The application interface mirrors BSD sockets (the paper's `{P/A}F_LSL`
+//! family wraps the same shape): [`Net::listen`], [`Net::connect`],
+//! [`Net::send`], [`Net::recv`], [`Net::close`], with readiness delivered
+//! as [`SockEvent`]s from [`Net::poll`].
+//!
+//! Sequence numbers are 64-bit internally (no 2^32 wrap handling); the
+//! wire header serializes them in full. This is the one deliberate
+//! divergence from RFC 793 — wrap arithmetic adds no fidelity to the
+//! paper's experiments and is a notorious source of subtle bugs.
+
+mod cc;
+mod config;
+mod net;
+mod rcvbuf;
+mod rto;
+mod segment;
+mod sndbuf;
+mod socket;
+mod stack;
+
+pub use cc::{Cc, CcAlgo};
+pub use config::TcpConfig;
+pub use net::{AppEvent, Net, SockId};
+pub use rto::RtoEstimator;
+pub use segment::{Flags, Segment};
+pub use socket::{SockEvent, TcpError, TcpState};

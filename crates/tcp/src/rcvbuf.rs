@@ -1,0 +1,378 @@
+//! The receive buffer: in-order delivery queue plus out-of-order
+//! reassembly, with advertised-window accounting.
+
+use bytes::{Bytes, BytesMut};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Reassembly and delivery state for one direction of a connection.
+#[derive(Debug)]
+pub struct RecvBuf {
+    /// Next in-order sequence number expected (`rcv_nxt`).
+    rcv_nxt: u64,
+    /// In-order data awaiting the application.
+    ready: VecDeque<Bytes>,
+    ready_bytes: u64,
+    /// Out-of-order segments keyed by start sequence. Invariant: entries
+    /// are non-overlapping and all start above `rcv_nxt`.
+    ooo: BTreeMap<u64, Bytes>,
+    ooo_bytes: u64,
+    cap: u64,
+}
+
+impl RecvBuf {
+    pub fn new(rcv_nxt: u64, cap: u64) -> RecvBuf {
+        RecvBuf {
+            rcv_nxt,
+            ready: VecDeque::new(),
+            ready_bytes: 0,
+            ooo: BTreeMap::new(),
+            ooo_bytes: 0,
+            cap,
+        }
+    }
+
+    pub fn rcv_nxt(&self) -> u64 {
+        self.rcv_nxt
+    }
+
+    /// Bytes ready for the application.
+    pub fn available(&self) -> u64 {
+        self.ready_bytes
+    }
+
+    /// Window to advertise: free buffer not holding ready or out-of-order
+    /// data.
+    pub fn window(&self) -> u64 {
+        self.cap.saturating_sub(self.ready_bytes + self.ooo_bytes)
+    }
+
+    /// Accept a data segment. Returns `true` if `rcv_nxt` advanced (an
+    /// in-order delivery, possibly also draining reassembled segments);
+    /// `false` for pure out-of-order, duplicate, or out-of-window data —
+    /// cases that should elicit an immediate (duplicate) ACK.
+    pub fn on_segment(&mut self, seq: u64, mut data: Bytes) -> bool {
+        if data.is_empty() {
+            return false;
+        }
+        let mut seq = seq;
+        // Trim any prefix we already have.
+        if seq < self.rcv_nxt {
+            let overlap = (self.rcv_nxt - seq).min(data.len() as u64) as usize;
+            data = data.slice(overlap..);
+            seq = self.rcv_nxt;
+            if data.is_empty() {
+                return false; // pure duplicate
+            }
+        }
+        // Enforce the window: drop bytes beyond what we advertised.
+        let limit = self.rcv_nxt + self.window();
+        if seq >= limit {
+            return false;
+        }
+        let max_len = (limit - seq) as usize;
+        if data.len() > max_len {
+            data = data.slice(..max_len);
+        }
+
+        if seq == self.rcv_nxt {
+            self.deliver(data);
+            self.drain_ooo();
+            true
+        } else {
+            self.insert_ooo(seq, data);
+            false
+        }
+    }
+
+    fn deliver(&mut self, data: Bytes) {
+        self.rcv_nxt += data.len() as u64;
+        self.ready_bytes += data.len() as u64;
+        self.ready.push_back(data);
+    }
+
+    /// Move newly contiguous out-of-order segments into the ready queue.
+    fn drain_ooo(&mut self) {
+        while let Some((&seq, _)) = self.ooo.first_key_value() {
+            if seq > self.rcv_nxt {
+                break;
+            }
+            let (seq, data) = self.ooo.pop_first().expect("checked nonempty");
+            self.ooo_bytes -= data.len() as u64;
+            if seq + data.len() as u64 <= self.rcv_nxt {
+                continue; // fully duplicate (shouldn't occur, but harmless)
+            }
+            let skip = (self.rcv_nxt - seq) as usize;
+            self.deliver(data.slice(skip..));
+        }
+    }
+
+    /// Insert an out-of-order segment, trimming overlap with existing
+    /// entries so the non-overlap invariant holds.
+    fn insert_ooo(&mut self, mut seq: u64, mut data: Bytes) {
+        // Trim against the predecessor.
+        if let Some((&pseq, pdata)) = self.ooo.range(..=seq).next_back() {
+            let pend = pseq + pdata.len() as u64;
+            if pend > seq {
+                let cut = ((pend - seq) as usize).min(data.len());
+                data = data.slice(cut..);
+                seq = pend;
+            }
+        }
+        // Trim against successors.
+        while !data.is_empty() {
+            let end = seq + data.len() as u64;
+            let Some((nseq, ncover)) = self
+                .ooo
+                .range(seq..)
+                .next()
+                .map(|(&s, d)| (s, s + d.len() as u64))
+            else {
+                break;
+            };
+            if nseq >= end {
+                break;
+            }
+            if nseq <= seq {
+                // Successor already covers our start (can happen after
+                // predecessor trim when nseq == seq).
+                if ncover >= end {
+                    return; // fully covered
+                }
+                let cut = ((ncover - seq) as usize).min(data.len());
+                data = data.slice(cut..);
+                seq = ncover;
+            } else {
+                // Keep our prefix up to the successor, then continue with
+                // the remainder after the successor.
+                let keep = (nseq - seq) as usize;
+                let head = data.slice(..keep);
+                self.ooo_bytes += head.len() as u64;
+                self.ooo.insert(seq, head);
+                let cut = (((ncover - seq) as usize).min(data.len())).max(keep);
+                data = data.slice(cut..);
+                seq = ncover;
+            }
+        }
+        if !data.is_empty() {
+            self.ooo_bytes += data.len() as u64;
+            self.ooo.insert(seq, data);
+        }
+    }
+
+    /// Hand up to `max` ready bytes to the application.
+    pub fn read(&mut self, max: usize) -> Bytes {
+        if max == 0 || self.ready_bytes == 0 {
+            return Bytes::new();
+        }
+        // Fast path: single chunk satisfies the read.
+        let single = self.ready.len() == 1;
+        if let Some(front) = self.ready.front_mut() {
+            if front.len() >= max || single {
+                let take = front.len().min(max);
+                let out = front.slice(..take);
+                if take == front.len() {
+                    self.ready.pop_front();
+                } else {
+                    *front = front.slice(take..);
+                }
+                self.ready_bytes -= take as u64;
+                return out;
+            }
+        }
+        let mut out = BytesMut::with_capacity(max.min(self.ready_bytes as usize));
+        let mut remaining = max;
+        while remaining > 0 {
+            let Some(front) = self.ready.front_mut() else {
+                break;
+            };
+            let take = front.len().min(remaining);
+            out.extend_from_slice(&front[..take]);
+            if take == front.len() {
+                self.ready.pop_front();
+            } else {
+                *front = front.slice(take..);
+            }
+            self.ready_bytes -= take as u64;
+            remaining -= take;
+        }
+        out.freeze()
+    }
+
+    /// True when out-of-order data is being held (a hole exists).
+    pub fn has_holes(&self) -> bool {
+        !self.ooo.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload(start: u8, len: usize) -> Bytes {
+        Bytes::from((0..len).map(|i| start.wrapping_add(i as u8)).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn in_order_delivery() {
+        let mut b = RecvBuf::new(0, 1000);
+        assert!(b.on_segment(0, payload(0, 100)));
+        assert!(b.on_segment(100, payload(100, 100)));
+        assert_eq!(b.rcv_nxt(), 200);
+        assert_eq!(b.available(), 200);
+        let r = b.read(150);
+        assert_eq!(r.len(), 150);
+        assert_eq!(r[0], 0);
+        assert_eq!(b.available(), 50);
+    }
+
+    #[test]
+    fn out_of_order_reassembly() {
+        let mut b = RecvBuf::new(0, 1000);
+        assert!(!b.on_segment(100, payload(100, 100))); // hole at 0
+        assert!(b.has_holes());
+        assert_eq!(b.available(), 0);
+        assert!(b.on_segment(0, payload(0, 100))); // fills the hole
+        assert!(!b.has_holes());
+        assert_eq!(b.rcv_nxt(), 200);
+        let r = b.read(200);
+        assert_eq!(&r[..], &payload(0, 200)[..]);
+    }
+
+    #[test]
+    fn duplicate_segments_ignored() {
+        let mut b = RecvBuf::new(0, 1000);
+        assert!(b.on_segment(0, payload(0, 100)));
+        assert!(!b.on_segment(0, payload(0, 100)));
+        assert!(!b.on_segment(50, payload(50, 50)));
+        assert_eq!(b.available(), 100);
+    }
+
+    #[test]
+    fn partial_overlap_trims_prefix() {
+        let mut b = RecvBuf::new(0, 1000);
+        assert!(b.on_segment(0, payload(0, 100)));
+        // [50, 150): first 50 duplicate, last 50 new.
+        assert!(b.on_segment(50, payload(50, 100)));
+        assert_eq!(b.rcv_nxt(), 150);
+        assert_eq!(&b.read(150)[..], &payload(0, 150)[..]);
+    }
+
+    #[test]
+    fn window_excludes_buffered_and_ooo() {
+        let mut b = RecvBuf::new(0, 1000);
+        b.on_segment(0, payload(0, 300));
+        assert_eq!(b.window(), 700);
+        b.on_segment(500, payload(0, 200)); // ooo
+        assert_eq!(b.window(), 500);
+        b.read(300);
+        assert_eq!(b.window(), 800);
+    }
+
+    #[test]
+    fn data_beyond_window_dropped() {
+        let mut b = RecvBuf::new(0, 100);
+        assert!(b.on_segment(0, payload(0, 100)));
+        assert_eq!(b.window(), 0);
+        // Entirely beyond the closed window: rejected.
+        assert!(!b.on_segment(100, payload(0, 50)));
+        assert_eq!(b.rcv_nxt(), 100);
+        // Reading reopens the window.
+        b.read(100);
+        assert!(b.on_segment(100, payload(0, 50)));
+    }
+
+    #[test]
+    fn segment_straddling_window_edge_is_clipped() {
+        let mut b = RecvBuf::new(0, 100);
+        assert!(b.on_segment(0, payload(0, 60)));
+        // 60..160 offered but only 40 fit.
+        assert!(b.on_segment(60, payload(60, 100)));
+        assert_eq!(b.rcv_nxt(), 100);
+        assert_eq!(b.available(), 100);
+    }
+
+    #[test]
+    fn overlapping_ooo_segments_reassemble_exactly_once() {
+        let mut b = RecvBuf::new(0, 10_000);
+        // Overlapping jumble: [200,300), [250,400), [150,260).
+        assert!(!b.on_segment(200, payload(200, 100)));
+        assert!(!b.on_segment(250, payload(250, 150)));
+        assert!(!b.on_segment(150, payload(150, 110)));
+        // Fill the head.
+        assert!(b.on_segment(0, payload(0, 150)));
+        assert_eq!(b.rcv_nxt(), 400);
+        assert_eq!(&b.read(400)[..], &payload(0, 400)[..]);
+    }
+
+    #[test]
+    fn empty_segment_is_noop() {
+        let mut b = RecvBuf::new(0, 100);
+        assert!(!b.on_segment(0, Bytes::new()));
+        assert_eq!(b.rcv_nxt(), 0);
+    }
+
+    #[test]
+    fn read_zero_and_read_empty() {
+        let mut b = RecvBuf::new(0, 100);
+        assert_eq!(b.read(10).len(), 0);
+        b.on_segment(0, payload(0, 10));
+        assert_eq!(b.read(0).len(), 0);
+        assert_eq!(b.read(100).len(), 10);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Delivering any permutation of (possibly overlapping) segments
+        /// of a stream yields exactly the original stream, in order.
+        #[test]
+        fn reassembly_reconstructs_stream(
+            stream_len in 1usize..2000,
+            pieces in proptest::collection::vec((0usize..2000, 1usize..400), 1..80),
+            seed in any::<u64>(),
+        ) {
+            let stream: Vec<u8> = (0..stream_len).map(|i| (i * 13 % 251) as u8).collect();
+            let mut b = RecvBuf::new(0, 1 << 20);
+            // Offer pieces in arbitrary order (from the generator), then
+            // sweep in order to guarantee completeness.
+            let _ = seed;
+            for (start, len) in pieces {
+                let s = start.min(stream_len - 1);
+                let e = (s + len).min(stream_len);
+                b.on_segment(s as u64, Bytes::from(stream[s..e].to_vec()));
+            }
+            let mut off = 0usize;
+            while off < stream_len {
+                let e = (off + 321).min(stream_len);
+                b.on_segment(off as u64, Bytes::from(stream[off..e].to_vec()));
+                off = e;
+            }
+            prop_assert_eq!(b.rcv_nxt(), stream_len as u64);
+            let got = b.read(stream_len);
+            prop_assert_eq!(&got[..], &stream[..]);
+            prop_assert!(!b.has_holes());
+        }
+
+        /// Window accounting never goes negative and capacity is
+        /// conserved: ready + ooo + window == cap.
+        #[test]
+        fn window_conservation(
+            segs in proptest::collection::vec((0u64..5000, 1usize..600), 1..60),
+        ) {
+            let cap = 4096u64;
+            let mut b = RecvBuf::new(0, cap);
+            for (seq, len) in segs {
+                let data = Bytes::from(vec![0u8; len]);
+                b.on_segment(seq, data);
+                prop_assert!(b.window() <= cap);
+                // available + ooo + window == cap always
+                let ooo = cap - b.available() - b.window();
+                prop_assert!(ooo as i64 >= 0);
+            }
+        }
+    }
+}

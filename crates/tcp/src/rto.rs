@@ -1,0 +1,157 @@
+//! Retransmission-timeout estimation: Jacobson/Karels smoothing with
+//! Karn's rule and exponential backoff (RFC 6298 structure, Linux-like
+//! bounds from [`crate::TcpConfig`]).
+
+use lsl_netsim::Dur;
+
+/// SRTT/RTTVAR estimator plus the current backed-off RTO.
+#[derive(Clone, Debug)]
+pub struct RtoEstimator {
+    srtt: Option<Dur>,
+    rttvar: Dur,
+    /// Base RTO before backoff.
+    rto: Dur,
+    /// Current backoff exponent (0 = no backoff).
+    backoff: u32,
+    min_rto: Dur,
+    max_rto: Dur,
+}
+
+impl RtoEstimator {
+    pub fn new(initial_rto: Dur, min_rto: Dur, max_rto: Dur) -> RtoEstimator {
+        RtoEstimator {
+            srtt: None,
+            rttvar: Dur::ZERO,
+            rto: initial_rto,
+            backoff: 0,
+            min_rto,
+            max_rto,
+        }
+    }
+
+    /// Incorporate an RTT sample from a segment that was *not*
+    /// retransmitted (Karn's rule is enforced by the caller, which owns
+    /// the retransmission knowledge). Resets backoff: a valid sample
+    /// means the network is delivering again.
+    pub fn on_sample(&mut self, rtt: Dur) {
+        match self.srtt {
+            None => {
+                // RFC 6298 (2.2): SRTT = R, RTTVAR = R/2.
+                self.srtt = Some(rtt);
+                self.rttvar = rtt / 2;
+            }
+            Some(srtt) => {
+                // RTTVAR = 3/4 RTTVAR + 1/4 |SRTT - R|
+                // SRTT   = 7/8 SRTT   + 1/8 R
+                let delta = if srtt >= rtt { srtt - rtt } else { rtt - srtt };
+                self.rttvar = self.rttvar.mul_f64(0.75) + delta.mul_f64(0.25);
+                self.srtt = Some(srtt.mul_f64(7.0 / 8.0) + rtt.mul_f64(1.0 / 8.0));
+            }
+        }
+        let srtt = self.srtt.expect("just set");
+        // RTO = SRTT + max(G, 4*RTTVAR); clock granularity G is 0 here.
+        self.rto = (srtt + self.rttvar * 4).max(self.min_rto).min(self.max_rto);
+        self.backoff = 0;
+    }
+
+    /// Exponentially back off after a timeout.
+    pub fn on_timeout(&mut self) {
+        self.backoff = (self.backoff + 1).min(16);
+    }
+
+    /// The RTO to arm now, including backoff.
+    pub fn current(&self) -> Dur {
+        let shifted = self
+            .rto
+            .0
+            .checked_shl(self.backoff)
+            .unwrap_or(self.max_rto.0);
+        Dur(shifted).min(self.max_rto)
+    }
+
+    /// Smoothed RTT, if at least one sample has been taken.
+    pub fn srtt(&self) -> Option<Dur> {
+        self.srtt
+    }
+
+    pub fn backoff_count(&self) -> u32 {
+        self.backoff
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn est() -> RtoEstimator {
+        RtoEstimator::new(
+            Dur::from_secs(1),
+            Dur::from_millis(200),
+            Dur::from_secs(120),
+        )
+    }
+
+    #[test]
+    fn first_sample_initializes() {
+        let mut e = est();
+        e.on_sample(Dur::from_millis(100));
+        assert_eq!(e.srtt(), Some(Dur::from_millis(100)));
+        // RTO = 100 + 4*50 = 300 ms.
+        assert_eq!(e.current(), Dur::from_millis(300));
+    }
+
+    #[test]
+    fn min_rto_floor() {
+        let mut e = est();
+        e.on_sample(Dur::from_millis(10));
+        // 10 + 4*5 = 30 ms < 200 ms floor.
+        assert_eq!(e.current(), Dur::from_millis(200));
+    }
+
+    #[test]
+    fn smoothing_converges_to_stable_rtt() {
+        let mut e = est();
+        for _ in 0..100 {
+            e.on_sample(Dur::from_millis(80));
+        }
+        let srtt = e.srtt().unwrap();
+        assert!((srtt.as_millis_f64() - 80.0).abs() < 1.0, "{srtt:?}");
+        // With zero variance the floor binds.
+        assert_eq!(e.current(), Dur::from_millis(200));
+    }
+
+    #[test]
+    fn variance_raises_rto() {
+        let mut e = est();
+        for i in 0..50 {
+            e.on_sample(Dur::from_millis(if i % 2 == 0 { 50 } else { 250 }));
+        }
+        assert!(e.current() > Dur::from_millis(300));
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let mut e = est();
+        e.on_sample(Dur::from_millis(100)); // RTO 300 ms
+        e.on_timeout();
+        assert_eq!(e.current(), Dur::from_millis(600));
+        e.on_timeout();
+        assert_eq!(e.current(), Dur::from_millis(1200));
+        for _ in 0..20 {
+            e.on_timeout();
+        }
+        assert_eq!(e.current(), Dur::from_secs(120)); // capped
+        // A fresh sample resets backoff; RTTVAR has decayed to 37.5 ms
+        // (0.75 × 50) so RTO = 100 + 4 × 37.5 = 250 ms.
+        e.on_sample(Dur::from_millis(100));
+        assert_eq!(e.current(), Dur::from_millis(250));
+        assert_eq!(e.backoff_count(), 0);
+    }
+
+    #[test]
+    fn initial_rto_used_before_samples() {
+        let e = est();
+        assert_eq!(e.current(), Dur::from_secs(1));
+        assert_eq!(e.srtt(), None);
+    }
+}

@@ -1,0 +1,262 @@
+//! Per-node TCP stack: socket table, port demultiplexing and listeners.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use lsl_netsim::{NodeId, Packet, Simulator};
+use lsl_trace::ConnTrace;
+
+use crate::config::TcpConfig;
+use crate::segment::{Flags, Segment};
+use crate::socket::{Ctx, SockEvent, Tcb, TcpState};
+
+/// First ephemeral port handed out by [`TcpStack::alloc_port`].
+const EPHEMERAL_BASE: u16 = 40000;
+
+enum Sock {
+    Listener { port: u16, cfg: TcpConfig },
+    Conn(Box<Tcb>),
+}
+
+/// All TCP state on one simulated host.
+pub(crate) struct TcpStack {
+    node: NodeId,
+    socks: Vec<Option<Sock>>,
+    /// Established/learning connections keyed by (local port, peer node,
+    /// peer port).
+    demux: HashMap<(u16, NodeId, u16), u32>,
+    listeners: HashMap<u16, u32>,
+    next_ephemeral: u16,
+}
+
+impl TcpStack {
+    pub fn new(node: NodeId) -> TcpStack {
+        TcpStack {
+            node,
+            socks: Vec::new(),
+            demux: HashMap::new(),
+            listeners: HashMap::new(),
+            next_ephemeral: EPHEMERAL_BASE,
+        }
+    }
+
+    fn alloc_slot(&mut self, sock: Sock) -> u32 {
+        if let Some(i) = self.socks.iter().position(Option::is_none) {
+            self.socks[i] = Some(sock);
+            i as u32
+        } else {
+            self.socks.push(Some(sock));
+            (self.socks.len() - 1) as u32
+        }
+    }
+
+    fn alloc_port(&mut self) -> u16 {
+        loop {
+            let p = self.next_ephemeral;
+            self.next_ephemeral = self.next_ephemeral.checked_add(1).unwrap_or(EPHEMERAL_BASE);
+            if !self.listeners.contains_key(&p) {
+                return p;
+            }
+        }
+    }
+
+    pub fn listen(&mut self, port: u16, cfg: TcpConfig) -> u32 {
+        assert!(
+            !self.listeners.contains_key(&port),
+            "port {port} already bound on node {:?}",
+            self.node
+        );
+        let idx = self.alloc_slot(Sock::Listener { port, cfg });
+        self.listeners.insert(port, idx);
+        idx
+    }
+
+    pub fn connect(
+        &mut self,
+        sim: &mut Simulator,
+        events: &mut Vec<(u32, SockEvent)>,
+        peer: NodeId,
+        peer_port: u16,
+        cfg: TcpConfig,
+    ) -> u32 {
+        let local_port = self.alloc_port();
+        // Reserve the slot first so the TCB's timers carry the right idx.
+        let idx = self.alloc_slot(Sock::Listener {
+            port: 0,
+            cfg: cfg.clone(),
+        });
+        let mut ctx = Ctx {
+            sim,
+            node: self.node,
+            idx,
+            events,
+        };
+        let tcb = Tcb::connect(&mut ctx, cfg, local_port, peer, peer_port);
+        self.socks[idx as usize] = Some(Sock::Conn(Box::new(tcb)));
+        self.demux.insert((local_port, peer, peer_port), idx);
+        idx
+    }
+
+    fn tcb(&mut self, idx: u32) -> Option<&mut Tcb> {
+        match self.socks.get_mut(idx as usize)? {
+            Some(Sock::Conn(tcb)) => Some(tcb),
+            _ => None,
+        }
+    }
+
+    pub fn with_tcb<R>(
+        &mut self,
+        sim: &mut Simulator,
+        events: &mut Vec<(u32, SockEvent)>,
+        idx: u32,
+        f: impl FnOnce(&mut Tcb, &mut Ctx) -> R,
+    ) -> Option<R> {
+        let node = self.node;
+        let tcb = self.tcb(idx)?;
+        // Split borrows: move the TCB out is unnecessary because Ctx
+        // borrows disjoint state (sim + events), not the stack.
+        let mut ctx = Ctx {
+            sim,
+            node,
+            idx,
+            events,
+        };
+        Some(f(tcb, &mut ctx))
+    }
+
+    /// Non-mutating TCB access.
+    pub fn peek_tcb(&self, idx: u32) -> Option<&Tcb> {
+        match self.socks.get(idx as usize)? {
+            Some(Sock::Conn(tcb)) => Some(tcb),
+            _ => None,
+        }
+    }
+
+    pub fn state(&self, idx: u32) -> Option<TcpState> {
+        self.peek_tcb(idx).map(|t| t.state)
+    }
+
+    pub fn enable_trace(&mut self, idx: u32, label: &str) {
+        if let Some(tcb) = self.tcb(idx) {
+            tcb.trace = Some(ConnTrace::new(label));
+        }
+    }
+
+    pub fn take_trace(&mut self, idx: u32) -> Option<ConnTrace> {
+        self.tcb(idx)?.trace.take()
+    }
+
+    /// Drop a fully closed socket and free its demux entries.
+    pub fn release(&mut self, idx: u32) {
+        match self.socks.get(idx as usize) {
+            Some(Some(Sock::Conn(tcb))) => {
+                assert!(
+                    tcb.is_fully_closed(),
+                    "release of active socket {idx} in state {:?}",
+                    tcb.state
+                );
+                self.demux
+                    .remove(&(tcb.local_port, tcb.peer, tcb.peer_port));
+                self.socks[idx as usize] = None;
+            }
+            Some(Some(Sock::Listener { port, .. })) => {
+                self.listeners.remove(port);
+                self.socks[idx as usize] = None;
+            }
+            _ => {}
+        }
+    }
+
+    /// A packet addressed to this node arrived.
+    pub fn on_packet(
+        &mut self,
+        sim: &mut Simulator,
+        events: &mut Vec<(u32, SockEvent)>,
+        packet: Packet,
+    ) {
+        let Some(seg) = Segment::decode(&packet.header) else {
+            return; // not TCP / malformed: drop silently
+        };
+        let key = (seg.dst_port, packet.src, seg.src_port);
+        if let Some(&idx) = self.demux.get(&key) {
+            let node = self.node;
+            if let Some(Sock::Conn(tcb)) = self.socks.get_mut(idx as usize).and_then(Option::as_mut)
+            {
+                let mut ctx = Ctx {
+                    sim,
+                    node,
+                    idx,
+                    events,
+                };
+                tcb.on_segment(&mut ctx, seg, packet.data);
+            }
+            return;
+        }
+        // New connection?
+        if seg.flags.syn && !seg.flags.ack {
+            if let Some(&lidx) = self.listeners.get(&seg.dst_port) {
+                let cfg = match self.socks.get(lidx as usize) {
+                    Some(Some(Sock::Listener { cfg, .. })) => cfg.clone(),
+                    _ => unreachable!("listener table points at non-listener"),
+                };
+                let idx = self.alloc_slot(Sock::Listener {
+                    port: 0,
+                    cfg: cfg.clone(),
+                });
+                let mut ctx = Ctx {
+                    sim,
+                    node: self.node,
+                    idx,
+                    events,
+                };
+                let tcb = Tcb::accept_syn(
+                    &mut ctx,
+                    cfg,
+                    seg.dst_port,
+                    packet.src,
+                    seg.src_port,
+                    &seg,
+                    lidx,
+                );
+                self.socks[idx as usize] = Some(Sock::Conn(Box::new(tcb)));
+                self.demux.insert(key, idx);
+                return;
+            }
+        }
+        // No socket: answer anything but a RST with a RST.
+        if !seg.flags.rst {
+            let rst = Segment {
+                src_port: seg.dst_port,
+                dst_port: seg.src_port,
+                seq: seg.ack,
+                ack: seg.seq + seg.seq_space(packet.data.len() as u64),
+                flags: Flags::RST,
+                wnd: 0,
+                mss: None,
+            };
+            let reply = Packet::tcp(self.node, packet.src, rst.encode(), Bytes::new());
+            sim.send(self.node, reply);
+        }
+    }
+
+    /// A stack timer fired (token already stripped of the app-timer bit).
+    pub fn on_timer(
+        &mut self,
+        sim: &mut Simulator,
+        events: &mut Vec<(u32, SockEvent)>,
+        token: u64,
+    ) {
+        let idx = (token >> 3) as u32;
+        let kind = token & 0b111;
+        let node = self.node;
+        if let Some(Sock::Conn(tcb)) = self.socks.get_mut(idx as usize).and_then(Option::as_mut) {
+            let mut ctx = Ctx {
+                sim,
+                node,
+                idx,
+                events,
+            };
+            tcb.on_timer(&mut ctx, kind);
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Shared driver helpers for TCP integration tests.
+
+use bytes::Bytes;
+use lsl_netsim::{Dur, LinkSpec, LossModel, NodeId, Topology, TopologyBuilder};
+use lsl_tcp::{AppEvent, Net, SockEvent, SockId, TcpConfig};
+
+/// Two hosts joined by a single duplex link.
+pub fn two_hosts(bw_bps: u64, delay: Dur, loss: LossModel) -> (Topology, NodeId, NodeId) {
+    let mut b = TopologyBuilder::new();
+    let a = b.node("a");
+    let c = b.node("c");
+    b.duplex(a, c, LinkSpec::new(bw_bps, delay).with_loss(loss));
+    (b.build(), a, c)
+}
+
+/// Deterministic payload byte for stream offset `i`.
+pub fn pattern(i: u64) -> u8 {
+    ((i * 131 + 7) % 251) as u8
+}
+
+pub fn pattern_chunk(offset: u64, len: usize) -> Bytes {
+    Bytes::from((0..len as u64).map(|i| pattern(offset + i)).collect::<Vec<_>>())
+}
+
+/// Outcome of [`run_bulk_transfer`].
+pub struct TransferResult {
+    pub client: SockId,
+    pub server_conn: Option<SockId>,
+    /// Bytes received at the server, verified against the pattern.
+    pub received: u64,
+    /// Simulated completion time (when the server reached EOF), seconds.
+    pub duration_s: f64,
+    pub client_error: Option<lsl_tcp::TcpError>,
+    pub server_error: Option<lsl_tcp::TcpError>,
+}
+
+/// Drive a one-directional bulk transfer of `total` patterned bytes from
+/// `src` to a listener on `dst`, verifying content at the receiver.
+/// Returns when the simulation quiesces.
+pub fn run_bulk_transfer(
+    net: &mut Net,
+    src: NodeId,
+    dst: NodeId,
+    port: u16,
+    total: u64,
+    cfg: TcpConfig,
+) -> TransferResult {
+    let listener = net.listen(dst, port, cfg.clone());
+    let client = net.connect(src, dst, port, cfg);
+    let mut res = TransferResult {
+        client,
+        server_conn: None,
+        received: 0,
+        duration_s: f64::NAN,
+        client_error: None,
+        server_error: None,
+    };
+    let mut sent: u64 = 0;
+    let mut eof_seen = false;
+
+    while let Some(ev) = net.poll() {
+        match ev {
+            AppEvent::Sock { sock, event } => match event {
+                SockEvent::Connected | SockEvent::Writable if sock == client => {
+                    pump_send(net, client, &mut sent, total);
+                }
+                SockEvent::Accepted { conn } if sock == listener => {
+                    res.server_conn = Some(conn);
+                }
+                SockEvent::Readable => {
+                    let b = net.recv(sock, 1 << 20);
+                    for (i, &byte) in b.iter().enumerate() {
+                        assert_eq!(
+                            byte,
+                            pattern(res.received + i as u64),
+                            "corruption at offset {}",
+                            res.received + i as u64
+                        );
+                    }
+                    res.received += b.len() as u64;
+                    if eof_seen && net.at_eof(sock) {
+                        res.duration_s = net.now().as_secs_f64();
+                        net.close(sock);
+                    }
+                }
+                SockEvent::PeerFin => {
+                    eof_seen = true;
+                    // Drain whatever is left, then close our side.
+                    let b = net.recv(sock, usize::MAX);
+                    for (i, &byte) in b.iter().enumerate() {
+                        assert_eq!(byte, pattern(res.received + i as u64));
+                    }
+                    res.received += b.len() as u64;
+                    if net.at_eof(sock) {
+                        res.duration_s = net.now().as_secs_f64();
+                        net.close(sock);
+                    }
+                }
+                SockEvent::Error(e) => {
+                    if sock == client {
+                        res.client_error = Some(e);
+                    } else {
+                        res.server_error = Some(e);
+                    }
+                }
+                _ => {}
+            },
+            AppEvent::Timer { .. } => {}
+        }
+    }
+    res
+}
+
+fn pump_send(net: &mut Net, client: SockId, sent: &mut u64, total: u64) {
+    while *sent < total {
+        let space = net.send_space(client);
+        if space == 0 {
+            // A short write below re-arms Writable; force it by offering
+            // one byte.
+            let n = net.send(client, &pattern_chunk(*sent, 1));
+            *sent += n as u64;
+            if n == 0 {
+                return;
+            }
+            continue;
+        }
+        let chunk = space.min(256 * 1024).min(total - *sent) as usize;
+        let n = net.send(client, &pattern_chunk(*sent, chunk));
+        *sent += n as u64;
+        if n < chunk {
+            return;
+        }
+    }
+    if *sent == total {
+        net.close(client);
+        *sent += 1; // sentinel so we do not close twice
+    }
+}
+
+/// A config with fast teardown for tests.
+pub fn test_cfg() -> TcpConfig {
+    TcpConfig {
+        time_wait: Dur::from_millis(10),
+        ..TcpConfig::default()
+    }
+}

@@ -1,0 +1,214 @@
+//! Derivations from captured traces: RTT, sequence growth, retransmissions.
+
+use crate::capture::{ConnTrace, Dir};
+use crate::series::Series;
+
+/// RTT samples estimated from ACK timing, following the paper's method:
+/// for each transmitted data segment, the RTT is the delay until the
+/// first received ACK whose acknowledgment number covers the segment's
+/// last byte. Retransmitted segments are excluded (Karn's rule), since an
+/// ACK arriving after a retransmission is ambiguous.
+///
+/// Returns `(time, rtt_seconds)` pairs, timestamped at segment send time.
+pub fn ack_rtts(trace: &ConnTrace) -> Vec<(f64, f64)> {
+    let mut out = Vec::new();
+    // Sequence ranges that were ever retransmitted are tainted.
+    let mut retx_ranges: Vec<(u64, u64)> = Vec::new();
+    for r in trace.tx_data() {
+        if r.retx {
+            retx_ranges.push((r.seq, r.seq + r.len as u64));
+        }
+    }
+    let tainted = |seq: u64, end: u64| {
+        retx_ranges
+            .iter()
+            .any(|&(s, e)| seq < e && end > s)
+    };
+
+    let acks: Vec<_> = trace.rx_acks().collect();
+    let mut ack_idx = 0usize;
+    for seg in trace.tx_data() {
+        if seg.retx {
+            continue;
+        }
+        let end = seg.seq + seg.len as u64;
+        if tainted(seg.seq, end) {
+            continue;
+        }
+        // ACKs are time-ordered; find the first at/after the send time
+        // that covers `end`. `ack_idx` only moves forward because
+        // segments are also time-ordered and ack coverage is cumulative.
+        let mut i = ack_idx;
+        while i < acks.len() && (acks[i].t < seg.t || acks[i].ack < end) {
+            i += 1;
+        }
+        if i < acks.len() {
+            out.push((seg.t.as_secs_f64(), (acks[i].t - seg.t).as_secs_f64()));
+            ack_idx = ack_idx.max(i);
+        }
+    }
+    out
+}
+
+/// Mean of the ACK-derived RTT samples, in seconds. `None` on an empty or
+/// unacked trace.
+pub fn mean_rtt(trace: &ConnTrace) -> Option<f64> {
+    let samples = ack_rtts(trace);
+    if samples.is_empty() {
+        return None;
+    }
+    Some(samples.iter().map(|(_, r)| r).sum::<f64>() / samples.len() as f64)
+}
+
+/// Number of retransmitted data segments in the trace (the paper's loss
+/// proxy for conditioning Figs 15–25).
+pub fn retransmissions(trace: &ConnTrace) -> usize {
+    trace.tx_data().filter(|r| r.retx).count()
+}
+
+/// Normalized sequence-number growth over time: the paper's
+/// "commonly-accepted method for understanding the life of a TCP
+/// connection". Each point is `(seconds since first data segment,
+/// highest sequence byte sent so far - initial)`. Retransmissions do not
+/// move the envelope (sequence numbers do not regress).
+pub fn seq_growth(trace: &ConnTrace) -> Series {
+    let mut points = Vec::new();
+    let Some(t0) = trace.first_data_time() else {
+        return Series::new(points);
+    };
+    let mut base = None;
+    let mut hi = 0u64;
+    for seg in trace.tx_data() {
+        let base = *base.get_or_insert(seg.seq);
+        let end = (seg.seq + seg.len as u64).saturating_sub(base);
+        if end > hi {
+            hi = end;
+            points.push(((seg.t - t0).as_secs_f64(), hi as f64));
+        }
+    }
+    Series::new(points)
+}
+
+/// Wall-clock duration from first data segment to the last ACK received,
+/// in seconds — the trace-level view of transfer time.
+pub fn transfer_duration(trace: &ConnTrace) -> Option<f64> {
+    let t0 = trace.first_data_time()?;
+    let t1 = trace
+        .records
+        .iter()
+        .rev()
+        .find(|r| r.dir == Dir::Rx && r.flags.ack)?
+        .t;
+    Some((t1 - t0).as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capture::{SegFlags, SegRecord};
+    use lsl_netsim::{Dur, Time};
+
+    fn tx(t_ms: u64, seq: u64, len: u32, retx: bool) -> SegRecord {
+        SegRecord {
+            t: Time::ZERO + Dur::from_millis(t_ms),
+            dir: Dir::Tx,
+            seq,
+            ack: 0,
+            len,
+            flags: SegFlags::default(),
+            retx,
+        }
+    }
+
+    fn rx_ack(t_ms: u64, ack: u64) -> SegRecord {
+        SegRecord {
+            t: Time::ZERO + Dur::from_millis(t_ms),
+            dir: Dir::Rx,
+            seq: 0,
+            ack,
+            len: 0,
+            flags: SegFlags {
+                ack: true,
+                ..Default::default()
+            },
+            retx: false,
+        }
+    }
+
+    #[test]
+    fn rtt_from_single_exchange() {
+        let mut tr = ConnTrace::new("t");
+        tr.push(tx(0, 1, 100, false));
+        tr.push(rx_ack(50, 101));
+        let rtts = ack_rtts(&tr);
+        assert_eq!(rtts.len(), 1);
+        assert!((rtts[0].1 - 0.050).abs() < 1e-9);
+        assert_eq!(mean_rtt(&tr), Some(rtts[0].1));
+    }
+
+    #[test]
+    fn karn_excludes_retransmitted_ranges() {
+        let mut tr = ConnTrace::new("t");
+        tr.push(tx(0, 1, 100, false));
+        tr.push(tx(10, 101, 100, false));
+        tr.push(tx(200, 1, 100, true)); // retransmit of first
+        tr.push(rx_ack(240, 201));
+        // Segment 1 is tainted by its own retransmission; segment 2's ACK
+        // (covering 201) arrives at 240 → RTT = 230 ms for it only.
+        let rtts = ack_rtts(&tr);
+        assert_eq!(rtts.len(), 1);
+        assert!((rtts[0].1 - 0.230).abs() < 1e-9);
+        assert_eq!(retransmissions(&tr), 1);
+    }
+
+    #[test]
+    fn cumulative_ack_covers_multiple_segments() {
+        let mut tr = ConnTrace::new("t");
+        tr.push(tx(0, 1, 100, false));
+        tr.push(tx(1, 101, 100, false));
+        tr.push(tx(2, 201, 100, false));
+        tr.push(rx_ack(60, 301));
+        let rtts = ack_rtts(&tr);
+        assert_eq!(rtts.len(), 3);
+        assert!((rtts[0].1 - 0.060).abs() < 1e-9);
+        assert!((rtts[2].1 - 0.058).abs() < 1e-9);
+    }
+
+    #[test]
+    fn seq_growth_is_normalized_and_monotone() {
+        let mut tr = ConnTrace::new("t");
+        tr.push(tx(5, 1000, 100, false));
+        tr.push(tx(10, 1100, 100, false));
+        tr.push(tx(30, 1000, 100, true)); // retransmit: no envelope move
+        tr.push(tx(40, 1200, 100, false));
+        let s = seq_growth(&tr);
+        let pts = s.points();
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts[0], (0.0, 100.0));
+        assert!((pts[1].0 - 0.005).abs() < 1e-9);
+        assert_eq!(pts[1].1, 200.0);
+        assert_eq!(pts[2].1, 300.0);
+        // Monotone in both axes.
+        for w in pts.windows(2) {
+            assert!(w[1].0 >= w[0].0 && w[1].1 >= w[0].1);
+        }
+    }
+
+    #[test]
+    fn transfer_duration_spans_first_data_to_last_ack() {
+        let mut tr = ConnTrace::new("t");
+        tr.push(tx(10, 1, 100, false));
+        tr.push(rx_ack(60, 101));
+        tr.push(tx(61, 101, 100, false));
+        tr.push(rx_ack(120, 201));
+        assert!((transfer_duration(&tr).unwrap() - 0.110).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_traces_yield_none() {
+        let tr = ConnTrace::new("t");
+        assert_eq!(mean_rtt(&tr), None);
+        assert_eq!(transfer_duration(&tr), None);
+        assert!(seq_growth(&tr).points().is_empty());
+    }
+}

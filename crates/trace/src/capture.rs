@@ -1,0 +1,132 @@
+//! Per-connection segment capture, recorded at the sending host.
+
+use lsl_netsim::Time;
+
+/// Direction of a captured segment relative to the capturing host.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Dir {
+    /// Sent by the capturing host.
+    Tx,
+    /// Received by the capturing host (ACKs, mostly).
+    Rx,
+}
+
+/// TCP flag bits as captured (subset relevant to analysis).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SegFlags {
+    pub syn: bool,
+    pub fin: bool,
+    pub ack: bool,
+    pub rst: bool,
+}
+
+/// One captured segment.
+#[derive(Clone, Copy, Debug)]
+pub struct SegRecord {
+    pub t: Time,
+    pub dir: Dir,
+    /// Starting sequence number of the segment's payload.
+    pub seq: u64,
+    /// Acknowledgment number carried (valid when `flags.ack`).
+    pub ack: u64,
+    /// Payload length in bytes.
+    pub len: u32,
+    pub flags: SegFlags,
+    /// True when the TCP layer knows this is a retransmission.
+    pub retx: bool,
+}
+
+/// A capture buffer for one TCP connection, tcpdump-style.
+#[derive(Clone, Debug, Default)]
+pub struct ConnTrace {
+    /// Human-readable label (e.g. "direct", "sublink1").
+    pub label: String,
+    pub records: Vec<SegRecord>,
+}
+
+impl ConnTrace {
+    pub fn new(label: impl Into<String>) -> ConnTrace {
+        ConnTrace {
+            label: label.into(),
+            records: Vec::new(),
+        }
+    }
+
+    pub fn push(&mut self, rec: SegRecord) {
+        debug_assert!(
+            self.records.last().map_or(true, |last| rec.t >= last.t),
+            "trace records must be appended in time order"
+        );
+        self.records.push(rec);
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Records sent by this host carrying payload.
+    pub fn tx_data(&self) -> impl Iterator<Item = &SegRecord> {
+        self.records
+            .iter()
+            .filter(|r| r.dir == Dir::Tx && r.len > 0)
+    }
+
+    /// Pure or piggybacked ACKs received by this host.
+    pub fn rx_acks(&self) -> impl Iterator<Item = &SegRecord> {
+        self.records
+            .iter()
+            .filter(|r| r.dir == Dir::Rx && r.flags.ack)
+    }
+
+    /// Time of the first transmitted payload byte (transfer start).
+    pub fn first_data_time(&self) -> Option<Time> {
+        self.tx_data().next().map(|r| r.t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsl_netsim::Dur;
+
+    fn rec(t_ms: u64, dir: Dir, seq: u64, len: u32) -> SegRecord {
+        SegRecord {
+            t: Time::ZERO + Dur::from_millis(t_ms),
+            dir,
+            seq,
+            ack: 0,
+            len,
+            flags: SegFlags {
+                ack: dir == Dir::Rx,
+                ..Default::default()
+            },
+            retx: false,
+        }
+    }
+
+    #[test]
+    fn filters_select_right_records() {
+        let mut tr = ConnTrace::new("t");
+        tr.push(rec(0, Dir::Tx, 0, 0)); // SYN-ish, no payload
+        tr.push(rec(1, Dir::Tx, 1, 100));
+        tr.push(rec(2, Dir::Rx, 0, 0));
+        tr.push(rec(3, Dir::Tx, 101, 100));
+        assert_eq!(tr.tx_data().count(), 2);
+        assert_eq!(tr.rx_acks().count(), 1);
+        assert_eq!(
+            tr.first_data_time(),
+            Some(Time::ZERO + Dur::from_millis(1))
+        );
+    }
+
+    #[test]
+    fn empty_trace() {
+        let tr = ConnTrace::new("e");
+        assert!(tr.is_empty());
+        assert_eq!(tr.first_data_time(), None);
+    }
+}

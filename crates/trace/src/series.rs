@@ -1,0 +1,168 @@
+//! Time-series utilities: normalization, resampling and run averaging.
+//!
+//! The paper normalizes each run's sequence numbers so "the relative
+//! growth of the various iterations could be averaged" (Fig 11), then
+//! plots the per-experiment average alongside the individual runs. These
+//! helpers reproduce that processing for arbitrary `(t, y)` series.
+
+/// A piecewise-constant, time-ordered `(t, y)` series (sequence-number
+/// envelopes are step functions: the value holds until the next point).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Series {
+    points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Construct from points; panics when timestamps regress, since every
+    /// producer in this workspace emits in time order.
+    pub fn new(points: Vec<(f64, f64)>) -> Series {
+        assert!(
+            points.windows(2).all(|w| w[1].0 >= w[0].0),
+            "series timestamps must be non-decreasing"
+        );
+        Series { points }
+    }
+
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    pub fn last_t(&self) -> Option<f64> {
+        self.points.last().map(|p| p.0)
+    }
+
+    pub fn last_y(&self) -> Option<f64> {
+        self.points.last().map(|p| p.1)
+    }
+
+    /// Value at time `t` under the piecewise-constant (step) convention:
+    /// the y of the latest point at or before `t`; 0.0 before the first
+    /// point (nothing sent yet).
+    pub fn value_at(&self, t: f64) -> f64 {
+        match self.points.partition_point(|p| p.0 <= t) {
+            0 => 0.0,
+            i => self.points[i - 1].1,
+        }
+    }
+}
+
+/// Shift a series so it starts at t = 0.
+pub fn normalize_time(s: &Series) -> Series {
+    let Some(&(t0, _)) = s.points.first() else {
+        return Series::default();
+    };
+    Series::new(s.points.iter().map(|&(t, y)| (t - t0, y)).collect())
+}
+
+/// Resample a series onto `n` evenly spaced instants spanning `[0, t_end]`.
+pub fn resample(s: &Series, t_end: f64, n: usize) -> Vec<(f64, f64)> {
+    assert!(n >= 2, "need at least two sample points");
+    (0..n)
+        .map(|i| {
+            let t = t_end * i as f64 / (n - 1) as f64;
+            (t, s.value_at(t))
+        })
+        .collect()
+}
+
+/// Average several runs of the same experiment, as the paper does for
+/// Figs 11–14: each run is resampled onto a common grid spanning the
+/// longest run, then averaged pointwise. Runs that have already finished
+/// hold their final value (a completed transfer stays at its total size),
+/// which reproduces the flattening the paper notes at the end of Fig 11's
+/// average curve.
+pub fn average_series(runs: &[Series], n: usize) -> Series {
+    let t_end = runs
+        .iter()
+        .filter_map(Series::last_t)
+        .fold(0.0f64, f64::max);
+    if t_end == 0.0 || runs.is_empty() {
+        return Series::default();
+    }
+    let grid: Vec<f64> = (0..n).map(|i| t_end * i as f64 / (n - 1) as f64).collect();
+    let pts = grid
+        .iter()
+        .map(|&t| {
+            let sum: f64 = runs
+                .iter()
+                .map(|r| {
+                    match r.last_t() {
+                        // A finished run holds its final value.
+                        Some(last) if t >= last => r.last_y().unwrap_or(0.0),
+                        _ => r.value_at(t),
+                    }
+                })
+                .sum();
+            (t, sum / runs.len() as f64)
+        })
+        .collect();
+    Series::new(pts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(pts: &[(f64, f64)]) -> Series {
+        Series::new(pts.to_vec())
+    }
+
+    #[test]
+    fn value_at_is_step_function() {
+        let sr = s(&[(1.0, 10.0), (2.0, 20.0)]);
+        assert_eq!(sr.value_at(0.5), 0.0);
+        assert_eq!(sr.value_at(1.0), 10.0);
+        assert_eq!(sr.value_at(1.5), 10.0);
+        assert_eq!(sr.value_at(2.0), 20.0);
+        assert_eq!(sr.value_at(99.0), 20.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn regressing_time_rejected() {
+        let _ = s(&[(1.0, 0.0), (0.5, 1.0)]);
+    }
+
+    #[test]
+    fn normalize_shifts_to_zero() {
+        let sr = normalize_time(&s(&[(3.0, 1.0), (4.0, 2.0)]));
+        assert_eq!(sr.points(), &[(0.0, 1.0), (1.0, 2.0)]);
+    }
+
+    #[test]
+    fn resample_grid() {
+        let sr = s(&[(0.0, 0.0), (1.0, 100.0)]);
+        let r = resample(&sr, 2.0, 3);
+        assert_eq!(r, vec![(0.0, 0.0), (1.0, 100.0), (2.0, 100.0)]);
+    }
+
+    #[test]
+    fn average_of_identical_runs_is_the_run() {
+        let r = s(&[(0.0, 0.0), (1.0, 50.0), (2.0, 100.0)]);
+        let avg = average_series(&[r.clone(), r.clone()], 5);
+        assert_eq!(avg.value_at(2.0), 100.0);
+        assert_eq!(avg.value_at(1.0), 50.0);
+    }
+
+    #[test]
+    fn average_holds_finished_runs_at_final_value() {
+        // Run A finishes at t=1 (100 bytes), run B at t=3 (100 bytes).
+        let a = s(&[(0.0, 0.0), (1.0, 100.0)]);
+        let b = s(&[(0.0, 0.0), (3.0, 100.0)]);
+        let avg = average_series(&[a, b], 7);
+        // At t=2: A holds 100, B (step fn) still 0 → 50.
+        assert_eq!(avg.value_at(2.0), 50.0);
+        // At t=3 both complete → 100.
+        assert_eq!(avg.value_at(3.0), 100.0);
+    }
+
+    #[test]
+    fn average_of_empty_is_empty() {
+        assert!(average_series(&[], 5).is_empty());
+        assert!(average_series(&[Series::default()], 5).is_empty());
+    }
+}

@@ -1,0 +1,140 @@
+//! Property tests for trace analysis.
+
+use lsl_netsim::{Dur, Time};
+use lsl_trace::{
+    ack_rtts, average_series, normalize_time, resample, retransmissions, seq_growth, ConnTrace,
+    Dir, SegFlags, SegRecord, Series,
+};
+use proptest::prelude::*;
+
+fn tx(t_us: u64, seq: u64, len: u32, retx: bool) -> SegRecord {
+    SegRecord {
+        t: Time::ZERO + Dur::from_micros(t_us),
+        dir: Dir::Tx,
+        seq,
+        ack: 0,
+        len,
+        flags: SegFlags::default(),
+        retx,
+    }
+}
+
+fn rx(t_us: u64, ack: u64) -> SegRecord {
+    SegRecord {
+        t: Time::ZERO + Dur::from_micros(t_us),
+        dir: Dir::Rx,
+        seq: 0,
+        ack,
+        len: 0,
+        flags: SegFlags {
+            ack: true,
+            ..Default::default()
+        },
+        retx: false,
+    }
+}
+
+proptest! {
+    /// Sequence growth is always monotone in time and value, regardless
+    /// of retransmission patterns.
+    #[test]
+    fn seq_growth_monotone(
+        segs in proptest::collection::vec((0u64..1000, 1u32..100, any::<bool>()), 1..100)
+    ) {
+        let mut trace = ConnTrace::new("p");
+        let mut t = 0u64;
+        for (gap, len, retx) in segs {
+            t += gap;
+            // Retransmissions go to earlier sequence positions.
+            let seq = if retx { t / 3 } else { t * 2 };
+            trace.push(tx(t, seq, len, retx));
+        }
+        let g = seq_growth(&trace);
+        for w in g.points().windows(2) {
+            prop_assert!(w[1].0 >= w[0].0);
+            prop_assert!(w[1].1 > w[0].1, "envelope must strictly grow per point");
+        }
+    }
+
+    /// RTT estimates are never negative and never exceed the span
+    /// between send time and the final ACK.
+    #[test]
+    fn rtts_bounded(
+        n in 1usize..40,
+        rtt_us in 100u64..100_000,
+    ) {
+        let mut trace = ConnTrace::new("p");
+        let mut t = 0;
+        for i in 0..n as u64 {
+            t = i * 50;
+            trace.push(tx(t, 1 + i * 100, 100, false));
+        }
+        let end = t + rtt_us;
+        trace.push(rx(end, 1 + n as u64 * 100));
+        let rtts = ack_rtts(&trace);
+        prop_assert_eq!(rtts.len(), n);
+        for &(ts, r) in &rtts {
+            prop_assert!(r >= 0.0);
+            prop_assert!(ts >= 0.0);
+            prop_assert!(r <= end as f64 / 1e6 + 1e-12);
+        }
+    }
+
+    /// Retransmission counting equals the number of retx-marked data
+    /// segments exactly.
+    #[test]
+    fn retx_count_exact(marks in proptest::collection::vec(any::<bool>(), 0..100)) {
+        let mut trace = ConnTrace::new("p");
+        for (i, &m) in marks.iter().enumerate() {
+            trace.push(tx(i as u64, 1 + i as u64 * 10, 10, m));
+        }
+        prop_assert_eq!(retransmissions(&trace), marks.iter().filter(|&&m| m).count());
+    }
+
+    /// Resampling preserves the final value and the grid endpoints.
+    #[test]
+    fn resample_endpoints(
+        pts in proptest::collection::vec((0.0f64..100.0, 0.0f64..1e9), 1..50),
+        n in 2usize..64,
+    ) {
+        let mut sorted = pts;
+        sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let s = Series::new(sorted.clone());
+        let t_end = s.last_t().unwrap() + 1.0;
+        let r = resample(&s, t_end, n);
+        prop_assert_eq!(r.len(), n);
+        prop_assert_eq!(r[0].0, 0.0);
+        prop_assert!((r[n-1].0 - t_end).abs() < 1e-9);
+        prop_assert_eq!(r[n-1].1, s.last_y().unwrap());
+    }
+
+    /// The average of identical runs equals the run (up to resampling).
+    #[test]
+    fn average_identity(
+        pts in proptest::collection::vec((0.0f64..100.0, 1.0f64..1e6), 2..30),
+        k in 1usize..5,
+    ) {
+        let mut sorted = pts;
+        sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        // Make y monotone (an envelope) to match real usage.
+        let mut acc = 0.0;
+        let mono: Vec<(f64, f64)> = sorted.into_iter().map(|(t, y)| { acc += y; (t, acc) }).collect();
+        let s = Series::new(mono);
+        let runs: Vec<Series> = (0..k).map(|_| s.clone()).collect();
+        let avg = average_series(&runs, 64);
+        let t_end = s.last_t().unwrap();
+        // Compare at the end point (grid-aligned).
+        prop_assert!((avg.value_at(t_end) - s.last_y().unwrap()).abs() < 1e-6);
+    }
+
+    /// normalize_time always yields a series starting at t == 0.
+    #[test]
+    fn normalize_starts_at_zero(
+        pts in proptest::collection::vec((1.0f64..100.0, 0.0f64..10.0), 1..30)
+    ) {
+        let mut sorted = pts;
+        sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let s = normalize_time(&Series::new(sorted));
+        prop_assert_eq!(s.points()[0].0, 0.0);
+    }
+}

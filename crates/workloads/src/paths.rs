@@ -1,0 +1,229 @@
+//! The four calibrated experiment topologies.
+
+use lsl_netsim::{Dur, LinkSpec, LossModel, NodeId, Topology, TopologyBuilder};
+
+/// Sink listening port in every case.
+pub const SINK_PORT: u16 = 5001;
+/// Depot listening port in every case.
+pub const DEPOT_PORT: u16 = 7001;
+
+/// One experiment setting: a topology plus the roles within it.
+#[derive(Clone)]
+pub struct PathCase {
+    pub name: &'static str,
+    pub topo: Topology,
+    /// Sending host.
+    pub src: NodeId,
+    /// Receiving host.
+    pub dst: NodeId,
+    /// Host running the `lsd` depot.
+    pub depot: NodeId,
+}
+
+/// Case 1 — UCSB → UIUC with the depot near the Denver POP.
+///
+/// Calibration targets (paper Fig 3): sublink RTTs ≈ 28–31 ms each,
+/// direct RTT ≈ 55 ms, sublink sum ≈ +6 ms over direct; random loss on
+/// the two backbone legs so 64 MB direct transfers land near 13 Mbit/s
+/// and LSL near 19 Mbit/s (Fig 6's ≈60% gain).
+pub fn case1() -> PathCase {
+    let mut b = TopologyBuilder::new();
+    let ucsb = b.node("ucsb");
+    let la = b.node("pop-la");
+    let denver = b.node("pop-denver");
+    let uiuc = b.node("uiuc");
+    let depot = b.node("depot-denver");
+
+    // Campus access links.
+    b.duplex(ucsb, la, LinkSpec::new(100_000_000, Dur::from_millis(1)));
+    // Abilene backbone legs (OC-12-ish shares), with random loss.
+    b.duplex(
+        la,
+        denver,
+        LinkSpec::new(622_000_000, Dur::from_millis(13))
+            .with_loss(LossModel::bernoulli(9e-5)),
+    );
+    b.duplex(
+        denver,
+        uiuc,
+        LinkSpec::new(622_000_000, Dur::from_millis(13))
+            .with_loss(LossModel::bernoulli(9e-5)),
+    );
+    // Depot hangs off the Denver POP by a short LAN hop; the extra
+    // 1.5 ms each way produces Fig 3's ≈6 ms cascade RTT overhead.
+    b.duplex(denver, depot, LinkSpec::new(1_000_000_000, Dur::from_micros(1500)));
+
+    PathCase {
+        name: "case1-ucsb-uiuc-via-denver",
+        topo: b.build(),
+        src: ucsb,
+        dst: uiuc,
+        depot,
+    }
+}
+
+/// Case 2 — UCSB → UF with the depot near the Houston POP.
+///
+/// Calibration targets (paper Figs 4, 7, 8): direct RTT ≈ 63 ms, sublink
+/// sum ≈ +20 ms (the paper attributes most of it to depot load; we model
+/// it as a longer depot spur), plateaus ≈ 35 vs 50 Mbit/s at 128 MB.
+pub fn case2() -> PathCase {
+    let mut b = TopologyBuilder::new();
+    let ucsb = b.node("ucsb");
+    let la = b.node("pop-la");
+    let houston = b.node("pop-houston");
+    let uf = b.node("uf");
+    let depot = b.node("depot-houston");
+
+    b.duplex(ucsb, la, LinkSpec::new(200_000_000, Dur::from_millis(1)));
+    b.duplex(
+        la,
+        houston,
+        LinkSpec::new(622_000_000, Dur::from_millis(15))
+            .with_loss(LossModel::bernoulli(2.2e-5)),
+    );
+    b.duplex(
+        houston,
+        uf,
+        LinkSpec::new(622_000_000, Dur::from_millis(14))
+            .with_loss(LossModel::bernoulli(2.2e-5)),
+    );
+    // A longer spur: the "+20 ms" seen in Fig 4.
+    b.duplex(houston, depot, LinkSpec::new(1_000_000_000, Dur::from_micros(5000)));
+
+    PathCase {
+        name: "case2-ucsb-uf-via-houston",
+        topo: b.build(),
+        src: ucsb,
+        dst: uf,
+        depot,
+    }
+}
+
+/// Case 3 — UTK → UCSB where the receiver sits behind an 802.11b
+/// wireless hop; the depot is at the campus wired/wireless edge.
+///
+/// Calibration targets (paper Figs 9, 10): sublink 1 (wired, UTK→edge)
+/// RTT ≈ 100 ms and is the bottleneck; the wireless hop is ≈5 Mbit/s
+/// effective with bursty (Gilbert–Elliott) loss; LSL gains ≈13% on
+/// large transfers.
+pub fn case3() -> PathCase {
+    let mut b = TopologyBuilder::new();
+    let utk = b.node("utk");
+    let backbone = b.node("backbone");
+    let edge = b.node("ucsb-edge");
+    let mobile = b.node("ucsb-mobile");
+
+    b.duplex(utk, backbone, LinkSpec::new(100_000_000, Dur::from_millis(2)));
+    b.duplex(
+        backbone,
+        edge,
+        LinkSpec::new(155_000_000, Dur::from_millis(47))
+            .with_loss(LossModel::bernoulli(1.2e-4)),
+    );
+    // 802.11b: ~5 Mbit/s effective goodput, short RTT, bursty fades.
+    b.duplex(
+        edge,
+        mobile,
+        LinkSpec::new(5_000_000, Dur::from_millis(2))
+            .with_loss(LossModel::gilbert_elliott(0.004, 0.25, 0.0002, 0.08))
+            .with_queue_bytes(64 * 1024),
+    );
+
+    PathCase {
+        name: "case3-utk-ucsb-wireless",
+        topo: b.build(),
+        src: utk,
+        dst: mobile,
+        depot: edge,
+    }
+}
+
+/// Case 4 — UCSB → OSU via Denver: the steady-state study (Figs 28, 29)
+/// with 120 iterations per size up to 512 MB. Like case 1 with slightly
+/// lower loss so direct TCP plateaus ≈20 Mbit/s and LSL ≈28 Mbit/s.
+pub fn case4() -> PathCase {
+    let mut b = TopologyBuilder::new();
+    let ucsb = b.node("ucsb");
+    let la = b.node("pop-la");
+    let denver = b.node("pop-denver");
+    let osu = b.node("osu");
+    let depot = b.node("depot-denver");
+
+    b.duplex(ucsb, la, LinkSpec::new(200_000_000, Dur::from_millis(1)));
+    b.duplex(
+        la,
+        denver,
+        LinkSpec::new(622_000_000, Dur::from_millis(13))
+            .with_loss(LossModel::bernoulli(4e-5)),
+    );
+    b.duplex(
+        denver,
+        osu,
+        LinkSpec::new(622_000_000, Dur::from_millis(14))
+            .with_loss(LossModel::bernoulli(4e-5)),
+    );
+    b.duplex(denver, depot, LinkSpec::new(1_000_000_000, Dur::from_micros(1500)));
+
+    PathCase {
+        name: "case4-ucsb-osu-via-denver",
+        topo: b.build(),
+        src: ucsb,
+        dst: osu,
+        depot,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_cases_build_and_route() {
+        for case in [case1(), case2(), case3(), case4()] {
+            let sim = case.topo.into_sim(1);
+            assert!(sim.route(case.src, case.dst).is_some(), "{}", case.name);
+            assert!(sim.route(case.src, case.depot).is_some());
+            assert!(sim.route(case.depot, case.dst).is_some());
+            assert!(sim.route(case.dst, case.src).is_some());
+        }
+    }
+
+    #[test]
+    fn case1_rtt_calibration() {
+        // Propagation-only RTTs must sit near Fig 3's bars:
+        // direct ≈ 55 ms (paper), sublinks ≈ 28-31 ms, sum ≈ direct + 6 ms.
+        let c = case1();
+        let direct = 2.0 * c.topo.path_prop_delay(c.src, c.dst).unwrap().as_secs_f64();
+        let s1 = 2.0 * c.topo.path_prop_delay(c.src, c.depot).unwrap().as_secs_f64();
+        let s2 = 2.0 * c.topo.path_prop_delay(c.depot, c.dst).unwrap().as_secs_f64();
+        assert!((0.050..0.060).contains(&direct), "direct {direct}");
+        assert!((0.025..0.033).contains(&s1), "sublink1 {s1}");
+        assert!((0.025..0.033).contains(&s2), "sublink2 {s2}");
+        let overhead = s1 + s2 - direct;
+        assert!((0.004..0.008).contains(&overhead), "detour overhead {overhead}");
+    }
+
+    #[test]
+    fn case2_rtt_calibration() {
+        // Fig 4: direct ≈ 63 ms, cascade sum ≈ +20 ms.
+        let c = case2();
+        let direct = 2.0 * c.topo.path_prop_delay(c.src, c.dst).unwrap().as_secs_f64();
+        let sum = 2.0
+            * (c.topo.path_prop_delay(c.src, c.depot).unwrap().as_secs_f64()
+                + c.topo.path_prop_delay(c.depot, c.dst).unwrap().as_secs_f64());
+        assert!((0.058..0.068).contains(&direct), "direct {direct}");
+        let overhead = sum - direct;
+        assert!((0.015..0.025).contains(&overhead), "detour overhead {overhead}");
+    }
+
+    #[test]
+    fn case3_wired_sublink_dominates() {
+        // Fig 9: sublink 1 (wired) RTT ≈ 100 ms; wireless hop is short.
+        let c = case3();
+        let s1 = 2.0 * c.topo.path_prop_delay(c.src, c.depot).unwrap().as_secs_f64();
+        let s2 = 2.0 * c.topo.path_prop_delay(c.depot, c.dst).unwrap().as_secs_f64();
+        assert!((0.090..0.110).contains(&s1), "wired sublink {s1}");
+        assert!(s2 < 0.01, "wireless sublink {s2}");
+    }
+}

@@ -1,0 +1,96 @@
+//! Result formatting shared by the figure binaries.
+
+use crate::runner::Mode;
+use crate::sweep::SweepPoint;
+
+/// Render a direct-vs-LSL sweep as an aligned text table (one row per
+/// size), mirroring how the paper's figures pair the two curves.
+pub fn sweep_table(direct: &[SweepPoint], lsl: &[SweepPoint]) -> String {
+    assert_eq!(direct.len(), lsl.len(), "paired sweeps required");
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:>12} {:>14} {:>14} {:>9}\n",
+        "size", "direct Mbit/s", "LSL Mbit/s", "gain %"
+    ));
+    for (d, l) in direct.iter().zip(lsl) {
+        assert_eq!(d.size, l.size);
+        debug_assert_eq!(d.mode, Mode::Direct);
+        debug_assert_eq!(l.mode, Mode::ViaDepot);
+        let gain = (l.mean_bps / d.mean_bps - 1.0) * 100.0;
+        out.push_str(&format!(
+            "{:>12} {:>14.2} {:>14.2} {:>+9.1}\n",
+            human_size(d.size),
+            d.mean_bps / 1e6,
+            l.mean_bps / 1e6,
+            gain
+        ));
+    }
+    out
+}
+
+/// Average and maximum percentage gain of LSL over direct across a
+/// paired sweep — the paper's headline "+40% average / up to +75%".
+pub fn gain_summary(direct: &[SweepPoint], lsl: &[SweepPoint]) -> (f64, f64) {
+    assert_eq!(direct.len(), lsl.len());
+    let gains: Vec<f64> = direct
+        .iter()
+        .zip(lsl)
+        .map(|(d, l)| (l.mean_bps / d.mean_bps - 1.0) * 100.0)
+        .collect();
+    let avg = gains.iter().sum::<f64>() / gains.len() as f64;
+    let max = gains.iter().fold(f64::MIN, |a, &b| a.max(b));
+    (avg, max)
+}
+
+/// `32K`, `4M`, `1G`-style sizes.
+pub fn human_size(bytes: u64) -> String {
+    if bytes >= 1 << 30 && bytes % (1 << 30) == 0 {
+        format!("{}G", bytes >> 30)
+    } else if bytes >= 1 << 20 && bytes % (1 << 20) == 0 {
+        format!("{}M", bytes >> 20)
+    } else if bytes >= 1 << 10 && bytes % (1 << 10) == 0 {
+        format!("{}K", bytes >> 10)
+    } else {
+        format!("{bytes}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(size: u64, mode: Mode, mbps: f64) -> SweepPoint {
+        SweepPoint {
+            size,
+            mode,
+            iterations: 1,
+            mean_bps: mbps * 1e6,
+            std_bps: 0.0,
+            mean_duration_s: 1.0,
+        }
+    }
+
+    #[test]
+    fn human_sizes() {
+        assert_eq!(human_size(32 << 10), "32K");
+        assert_eq!(human_size(4 << 20), "4M");
+        assert_eq!(human_size(1 << 30), "1G");
+        assert_eq!(human_size(1500), "1500");
+    }
+
+    #[test]
+    fn table_and_summary() {
+        let d = vec![pt(1 << 20, Mode::Direct, 10.0), pt(2 << 20, Mode::Direct, 12.0)];
+        let l = vec![
+            pt(1 << 20, Mode::ViaDepot, 14.0),
+            pt(2 << 20, Mode::ViaDepot, 21.0),
+        ];
+        let t = sweep_table(&d, &l);
+        assert!(t.contains("1M"));
+        assert!(t.contains("+40.0"));
+        assert!(t.contains("+75.0"));
+        let (avg, max) = gain_summary(&d, &l);
+        assert!((avg - 57.5).abs() < 1e-9);
+        assert!((max - 75.0).abs() < 1e-9);
+    }
+}

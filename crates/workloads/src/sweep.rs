@@ -1,0 +1,105 @@
+//! Size sweeps with repeated iterations, as the paper runs them
+//! ("10 iterations were run and the wall clock times were recorded";
+//! 120 for the steady-state case 4).
+
+use crate::paths::PathCase;
+use crate::runner::{run_transfer, Mode, RunConfig};
+
+/// Aggregated result for one (size, mode) point.
+#[derive(Clone, Debug)]
+pub struct SweepPoint {
+    pub size: u64,
+    pub mode: Mode,
+    pub iterations: usize,
+    /// Mean goodput, bits/s.
+    pub mean_bps: f64,
+    /// Sample standard deviation of goodput, bits/s.
+    pub std_bps: f64,
+    /// Mean wall-clock duration, seconds.
+    pub mean_duration_s: f64,
+}
+
+/// Run `iterations` seeded transfers at every size for the given mode.
+/// Seeds are `seed_base + i` so direct and LSL runs of iteration `i` see
+/// the same loss process where their packet schedules coincide.
+pub fn sweep_sizes(
+    case: &PathCase,
+    sizes: &[u64],
+    mode: Mode,
+    iterations: usize,
+    seed_base: u64,
+) -> Vec<SweepPoint> {
+    sizes
+        .iter()
+        .map(|&size| {
+            let samples: Vec<f64> = (0..iterations)
+                .map(|i| {
+                    let cfg = RunConfig::new(size, mode, seed_base + i as u64);
+                    run_transfer(case, &cfg).goodput_bps
+                })
+                .collect();
+            let durations: f64 = samples.iter().map(|&bps| size as f64 * 8.0 / bps).sum();
+            let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+            let var = if samples.len() > 1 {
+                samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>()
+                    / (samples.len() - 1) as f64
+            } else {
+                0.0
+            };
+            SweepPoint {
+                size,
+                mode,
+                iterations,
+                mean_bps: mean,
+                std_bps: var.sqrt(),
+                mean_duration_s: durations / samples.len() as f64,
+            }
+        })
+        .collect()
+}
+
+/// The paper's small-transfer size ladder (Figs 5, 7, 29).
+pub fn small_sizes() -> Vec<u64> {
+    vec![32 << 10, 64 << 10, 128 << 10, 256 << 10, 512 << 10, 1 << 20]
+}
+
+/// The paper's large-transfer size ladder up to `max` (Figs 6, 8, 10, 28).
+pub fn large_sizes(max: u64) -> Vec<u64> {
+    let mut v = Vec::new();
+    let mut s = 1u64 << 20;
+    while s <= max {
+        v.push(s);
+        s *= 2;
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paths::case1;
+
+    #[test]
+    fn sweep_aggregates_consistently() {
+        let case = case1();
+        let pts = sweep_sizes(&case, &[64 << 10, 256 << 10], Mode::Direct, 3, 10);
+        assert_eq!(pts.len(), 2);
+        for p in &pts {
+            assert_eq!(p.iterations, 3);
+            assert!(p.mean_bps > 0.0);
+            assert!(p.std_bps >= 0.0);
+            assert!(p.mean_duration_s > 0.0);
+        }
+        // Bigger transfers amortize slow start: higher goodput.
+        assert!(pts[1].mean_bps > pts[0].mean_bps);
+    }
+
+    #[test]
+    fn size_ladders() {
+        assert_eq!(small_sizes().len(), 6);
+        let l = large_sizes(64 << 20);
+        assert_eq!(l.first(), Some(&(1u64 << 20)));
+        assert_eq!(l.last(), Some(&(64u64 << 20)));
+        assert_eq!(l.len(), 7);
+    }
+}

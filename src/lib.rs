@@ -1,0 +1,46 @@
+//! # lsl — The Logistical Session Layer
+//!
+//! A full Rust reproduction of *"Improving Throughput with Cascaded TCP
+//! Connections: the Logistical Session Layer"* (Swany & Wolski, UCSB
+//! TR 2002-24; the extended version of the 2001 LSL paper).
+//!
+//! LSL is a session layer above TCP: a transfer is carried over a
+//! cascade of TCP "sublinks" through intermediate depots (`lsd`), each
+//! providing a small short-lived relay buffer. Shorter per-sublink RTTs
+//! let TCP's congestion control ramp and recover faster, raising
+//! end-to-end throughput by ~40% on average in the paper's experiments,
+//! while an end-to-end MD5 digest restores integrity above the cascade.
+//!
+//! ## Crate map
+//!
+//! | Crate | Contents |
+//! |---|---|
+//! | [`netsim`] | deterministic discrete-event packet network simulator |
+//! | [`tcp`] | user-level TCP (Reno/NewReno) over the simulator |
+//! | [`session`] | **the LSL itself**: header, depots, endpoints, models, path selection |
+//! | [`nws`] | Network Weather Service-style forecasting |
+//! | [`trace`] | tcpdump-equivalent capture + the paper's analysis pipeline |
+//! | [`digest`] | MD5 (RFC 1321) |
+//! | [`realnet`] | LSL over real kernel TCP — the deployable `lsd` daemon |
+//! | [`workloads`] | the paper's calibrated experiment cases 1–4 and runners |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use lsl::workloads::{case1, run_transfer, Mode, RunConfig};
+//!
+//! // One 256 KB transfer on the UCSB→UIUC case, direct vs via the depot.
+//! let case = case1();
+//! let direct = run_transfer(&case, &RunConfig::new(256 << 10, Mode::Direct, 1));
+//! let lsl = run_transfer(&case, &RunConfig::new(256 << 10, Mode::ViaDepot, 1));
+//! assert!(direct.goodput_bps > 0.0 && lsl.goodput_bps > 0.0);
+//! ```
+
+pub use lsl_digest as digest;
+pub use lsl_netsim as netsim;
+pub use lsl_nws as nws;
+pub use lsl_realnet as realnet;
+pub use lsl_session as session;
+pub use lsl_tcp as tcp;
+pub use lsl_trace as trace;
+pub use lsl_workloads as workloads;

@@ -1,0 +1,153 @@
+//! Workspace-level integration tests: the paper's claims, end to end.
+
+use lsl::session::model::{CascadeModel, TcpPathModel};
+use lsl::trace;
+use lsl::workloads::sweep::sweep_sizes;
+use lsl::workloads::{case1, case2, case3, case4, run_transfer, Mode, RunConfig};
+
+/// The central claim (Fig 6): on the calibrated UCSB→UIUC path, LSL
+/// clearly outperforms direct TCP for multi-megabyte transfers.
+#[test]
+fn lsl_effect_case1_large_transfers() {
+    let case = case1();
+    let iters = 4;
+    let size = 8u64 << 20;
+    let d = sweep_sizes(&case, &[size], Mode::Direct, iters, 42);
+    let l = sweep_sizes(&case, &[size], Mode::ViaDepot, iters, 42);
+    let gain = l[0].mean_bps / d[0].mean_bps - 1.0;
+    assert!(
+        gain > 0.15,
+        "expected a clear LSL win at 8MB, got {:+.1}% ({:.2} vs {:.2} Mbit/s)",
+        gain * 100.0,
+        l[0].mean_bps / 1e6,
+        d[0].mean_bps / 1e6
+    );
+}
+
+/// Fig 5's left edge: at 32 KB the session setup dominates and LSL loses.
+#[test]
+fn lsl_penalty_case1_tiny_transfers() {
+    let case = case1();
+    let iters = 4;
+    let d = sweep_sizes(&case, &[32 << 10], Mode::Direct, iters, 84);
+    let l = sweep_sizes(&case, &[32 << 10], Mode::ViaDepot, iters, 84);
+    assert!(
+        l[0].mean_bps < d[0].mean_bps,
+        "LSL should lose at 32KB: {:.2} vs {:.2} Mbit/s",
+        l[0].mean_bps / 1e6,
+        d[0].mean_bps / 1e6
+    );
+}
+
+/// Fig 3's RTT structure: measured from traces, the sublink RTT sum
+/// exceeds the direct RTT by a few ms, with each sublink roughly half.
+#[test]
+fn case1_trace_rtts_match_paper_shape() {
+    let case = case1();
+    let lsl = run_transfer(&case, &RunConfig::new(2 << 20, Mode::ViaDepot, 5).with_trace());
+    let direct = run_transfer(&case, &RunConfig::new(2 << 20, Mode::Direct, 5).with_trace());
+    let s1 = trace::mean_rtt(lsl.trace_first.as_ref().unwrap()).unwrap() * 1e3;
+    let s2 = trace::mean_rtt(lsl.trace_second.as_ref().unwrap()).unwrap() * 1e3;
+    let e2e = trace::mean_rtt(direct.trace_first.as_ref().unwrap()).unwrap() * 1e3;
+    assert!((20.0..45.0).contains(&s1), "sublink1 {s1} ms");
+    assert!((20.0..45.0).contains(&s2), "sublink2 {s2} ms");
+    assert!((48.0..70.0).contains(&e2e), "direct {e2e} ms");
+    let overhead = s1 + s2 - e2e;
+    assert!(
+        (0.0..15.0).contains(&overhead),
+        "cascade detour overhead {overhead} ms"
+    );
+}
+
+/// Fig 10's wireless case: LSL still wins, but modestly, because the
+/// wired sublink is the bottleneck.
+#[test]
+fn wireless_case3_modest_gain() {
+    let case = case3();
+    let iters = 3;
+    let size = 4u64 << 20;
+    let d = sweep_sizes(&case, &[size], Mode::Direct, iters, 21);
+    let l = sweep_sizes(&case, &[size], Mode::ViaDepot, iters, 21);
+    let gain = l[0].mean_bps / d[0].mean_bps - 1.0;
+    assert!(
+        gain > 0.0,
+        "wireless LSL should still win: {:+.1}%",
+        gain * 100.0
+    );
+    assert!(
+        gain < 0.8,
+        "wireless gain should be modest (bottleneck sublink): {:+.1}%",
+        gain * 100.0
+    );
+}
+
+/// Case 2 completes and wins at large sizes (Fig 8's right side).
+#[test]
+fn case2_large_transfer_gain() {
+    let case = case2();
+    let iters = 3;
+    let d = sweep_sizes(&case, &[8 << 20], Mode::Direct, iters, 63);
+    let l = sweep_sizes(&case, &[8 << 20], Mode::ViaDepot, iters, 63);
+    assert!(l[0].mean_bps > d[0].mean_bps);
+}
+
+/// Case 4 sanity: goodput grows with size (Fig 28's trend: no
+/// convergence to steady state even at large sizes).
+#[test]
+fn case4_goodput_grows_with_size() {
+    let case = case4();
+    let sizes = [1u64 << 20, 4 << 20, 16 << 20];
+    let pts = sweep_sizes(&case, &sizes, Mode::ViaDepot, 2, 31);
+    assert!(pts[0].mean_bps < pts[1].mean_bps);
+    assert!(pts[1].mean_bps < pts[2].mean_bps);
+}
+
+/// Determinism across the whole stack: identical seed ⇒ identical runs.
+#[test]
+fn whole_stack_determinism() {
+    let case = case1();
+    let cfg = RunConfig::new(3 << 20, Mode::ViaDepot, 123);
+    let a = run_transfer(&case, &cfg);
+    let b = run_transfer(&case, &cfg);
+    assert_eq!(a.duration_s, b.duration_s);
+    assert_eq!(a.retransmissions, b.retransmissions);
+}
+
+/// The analytic model and the simulator agree on *direction* for both
+/// regimes (model-vs-measurement cross-validation).
+#[test]
+fn model_and_simulation_agree_on_sign() {
+    let case = case1();
+    // Trace-calibrate the model inputs.
+    let lsl = run_transfer(&case, &RunConfig::new(2 << 20, Mode::ViaDepot, 9).with_trace());
+    let direct = run_transfer(&case, &RunConfig::new(2 << 20, Mode::Direct, 9).with_trace());
+    let rtt1 = trace::mean_rtt(lsl.trace_first.as_ref().unwrap()).unwrap();
+    let rtt2 = trace::mean_rtt(lsl.trace_second.as_ref().unwrap()).unwrap();
+    let rtt_d = trace::mean_rtt(direct.trace_first.as_ref().unwrap()).unwrap();
+    let loss = 1.8e-4;
+    let m_direct = TcpPathModel::new(rtt_d, 100e6, loss);
+    let m_cascade = CascadeModel::new(vec![
+        TcpPathModel::new(rtt1, 100e6, loss / 2.0),
+        TcpPathModel::new(rtt2, 100e6, loss / 2.0),
+    ]);
+    let init = 2 * 1460;
+
+    let big = 16u64 << 20;
+    let model_gain = (m_direct.handshake_time() + m_direct.transfer_time(big, init))
+        / m_cascade.transfer_time(big, init);
+    assert!(model_gain > 1.0, "model must predict LSL wins at 16MB");
+
+    let small = 32u64 << 10;
+    let model_small = (m_direct.handshake_time() + m_direct.transfer_time(small, init))
+        / m_cascade.transfer_time(small, init);
+    assert!(model_small < 1.0, "model must predict LSL loses at 32KB");
+}
+
+/// Digest integrity holds on every case.
+#[test]
+fn digests_verify_on_all_cases() {
+    for case in [case1(), case2(), case3(), case4()] {
+        let r = run_transfer(&case, &RunConfig::new(1 << 20, Mode::ViaDepot, 77));
+        assert_eq!(r.digest_ok, Some(true), "{}", case.name);
+    }
+}
