@@ -1,0 +1,18 @@
+//! Seeded violations for a sim-domain crate: wall-clock, hash-container
+//! and float-eq must all fire on this file.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn elapsed_bytes(flows: &HashMap<u32, u64>, started: Instant) -> f64 {
+    let secs = started.elapsed().as_secs_f64();
+    let total: u64 = flows.values().sum();
+    if secs == 0.0 {
+        return 0.0;
+    }
+    total as f64 / secs
+}
+
+pub fn wait() {
+    std::thread::sleep(std::time::Duration::from_millis(10));
+}

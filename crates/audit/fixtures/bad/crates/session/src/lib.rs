@@ -1,0 +1,16 @@
+//! Seeded violations for the session policy: `unwrap-outside-tests`
+//! must fire on `open`, and must NOT fire inside the `#[test]` below
+//! (the fixture test asserts the exact finding count).
+
+pub fn open(raw: &str) -> u16 {
+    raw.parse().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let port: u16 = "7000".parse().unwrap();
+        assert_eq!(port, 7000);
+    }
+}

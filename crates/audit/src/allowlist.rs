@@ -1,0 +1,161 @@
+//! `audit.toml` — the checked-in allowlist. Minimal hand-rolled parsing
+//! (the workspace builds offline; no TOML crate), covering exactly the
+//! shape the audit uses:
+//!
+//! ```toml
+//! [[allow]]
+//! path = "crates/realnet/src/depot.rs"
+//! rule = "wall-clock"
+//! reason = "daemon relay loop paces on wall-clock sleep"
+//! ```
+
+use crate::rules::{Finding, RuleId};
+
+/// One allowlist entry: silences `rule` findings in `path`.
+#[derive(Clone, Debug)]
+pub struct AllowEntry {
+    /// `/`-separated path relative to the audited root.
+    pub path: String,
+    pub rule: RuleId,
+    /// Mandatory justification (entries without one are rejected).
+    pub reason: String,
+    /// Line the entry starts on, for stale-entry reporting.
+    pub defined_at: u32,
+}
+
+impl AllowEntry {
+    pub fn matches(&self, f: &Finding) -> bool {
+        self.rule == f.rule && self.path == f.file
+    }
+}
+
+/// Parse `audit.toml` text. Errors are strings with line numbers; an
+/// unparsable allowlist must fail the audit loudly, not silently allow.
+pub fn parse(text: &str) -> Result<Vec<AllowEntry>, String> {
+    /// Entry under construction: (path, rule, reason, defined_at line).
+    type Partial = (Option<String>, Option<RuleId>, Option<String>, u32);
+
+    let mut entries: Vec<AllowEntry> = Vec::new();
+    let mut current: Option<Partial> = None;
+
+    fn finish(entries: &mut Vec<AllowEntry>, cur: Option<Partial>) -> Result<(), String> {
+        let Some((path, rule, reason, line)) = cur else {
+            return Ok(());
+        };
+        let path = path.ok_or(format!("allow entry at line {line}: missing `path`"))?;
+        let rule = rule.ok_or(format!("allow entry at line {line}: missing `rule`"))?;
+        let reason = reason.ok_or(format!("allow entry at line {line}: missing `reason`"))?;
+        if reason.trim().is_empty() {
+            return Err(format!("allow entry at line {line}: empty `reason`"));
+        }
+        entries.push(AllowEntry {
+            path,
+            rule,
+            reason,
+            defined_at: line,
+        });
+        Ok(())
+    }
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx as u32 + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[allow]]" {
+            finish(&mut entries, current.take())?;
+            current = Some((None, None, None, lineno));
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(format!("line {lineno}: unknown section `{line}`"));
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!("line {lineno}: expected `key = \"value\"`"));
+        };
+        let key = key.trim();
+        let value = value.trim();
+        let value = value
+            .strip_prefix('"')
+            .and_then(|v| v.strip_suffix('"'))
+            .ok_or(format!(
+                "line {lineno}: value must be a double-quoted string"
+            ))?;
+        let Some(cur) = current.as_mut() else {
+            return Err(format!(
+                "line {lineno}: `{key}` outside an [[allow] ] entry"
+            ));
+        };
+        match key {
+            "path" => cur.0 = Some(value.replace('\\', "/")),
+            "rule" => {
+                cur.1 = Some(
+                    RuleId::from_name(value)
+                        .ok_or(format!("line {lineno}: unknown rule `{value}`"))?,
+                )
+            }
+            "reason" => cur.2 = Some(value.to_string()),
+            _ => return Err(format!("line {lineno}: unknown key `{key}`")),
+        }
+    }
+    finish(&mut entries, current)?;
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries() {
+        let text = r#"
+# comment
+[[allow]]
+path = "crates/realnet/src/depot.rs"
+rule = "wall-clock"
+reason = "daemon loop"
+
+[[allow]]
+path = "crates/session/src/header.rs"
+rule = "unwrap-outside-tests"
+reason = "length-checked slice conversions"
+"#;
+        let e = parse(text).unwrap();
+        assert_eq!(e.len(), 2);
+        assert_eq!(e[0].rule, RuleId::WallClock);
+        assert_eq!(e[1].path, "crates/session/src/header.rs");
+    }
+
+    #[test]
+    fn missing_reason_is_an_error() {
+        let text = "[[allow]]\npath = \"a.rs\"\nrule = \"float-eq\"\n";
+        assert!(parse(text).is_err());
+    }
+
+    #[test]
+    fn unknown_rule_is_an_error() {
+        let text = "[[allow]]\npath = \"a.rs\"\nrule = \"nope\"\nreason = \"x\"\n";
+        assert!(parse(text).is_err());
+    }
+
+    #[test]
+    fn entry_matching_is_exact_on_path_and_rule() {
+        let e = AllowEntry {
+            path: "crates/a/src/lib.rs".into(),
+            rule: RuleId::FloatEq,
+            reason: "r".into(),
+            defined_at: 1,
+        };
+        let mk = |file: &str, rule| Finding {
+            file: file.into(),
+            line: 1,
+            col: 1,
+            rule,
+            message: String::new(),
+        };
+        assert!(e.matches(&mk("crates/a/src/lib.rs", RuleId::FloatEq)));
+        assert!(!e.matches(&mk("crates/a/src/lib.rs", RuleId::WallClock)));
+        assert!(!e.matches(&mk("crates/b/src/lib.rs", RuleId::FloatEq)));
+    }
+}

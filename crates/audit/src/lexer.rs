@@ -1,0 +1,402 @@
+//! A minimal Rust lexer: just enough to answer "which identifiers,
+//! operators and literals appear outside comments and strings, and
+//! where". The workspace cannot depend on `syn` (offline build), and the
+//! audit rules are lexical by design — they ban *names*, not semantics.
+
+/// One significant token with its source position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column (byte offset within the line).
+    pub col: u32,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    Ident(String),
+    /// An integer or float literal; `is_float` covers `1.0`, `1e9`,
+    /// `1f64`, `1.5f32` — anything with a fractional/exponent part or a
+    /// float suffix.
+    Number {
+        is_float: bool,
+    },
+    /// `==` or `!=` (the only multi-char operators the rules care about).
+    EqEq,
+    NotEq,
+    /// Any other single punctuation character.
+    Punct(char),
+}
+
+impl TokenKind {
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.src.get(self.pos).copied()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+}
+
+/// Tokenize `src`, dropping comments, strings and char literals.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut c = Cursor {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Vec::new();
+    while let Some(b) = c.peek(0) {
+        let (line, col) = (c.line, c.col);
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                c.bump();
+            }
+            b'/' if c.peek(1) == Some(b'/') => skip_line_comment(&mut c),
+            b'/' if c.peek(1) == Some(b'*') => skip_block_comment(&mut c),
+            b'"' => skip_string(&mut c),
+            b'r' | b'b' if starts_raw_string(&c) => skip_raw_string(&mut c),
+            b'b' if c.peek(1) == Some(b'"') => {
+                c.bump();
+                skip_string(&mut c);
+            }
+            b'b' if c.peek(1) == Some(b'\'') => {
+                c.bump();
+                skip_char_literal(&mut c);
+            }
+            b'\'' => {
+                // Lifetime (`'a`) or char literal (`'a'`). A lifetime is
+                // a quote followed by an identifier NOT closed by a
+                // quote right after.
+                if is_char_literal(&c) {
+                    skip_char_literal(&mut c);
+                } else {
+                    c.bump(); // the quote; the identifier lexes next
+                }
+            }
+            _ if b.is_ascii_alphabetic() || b == b'_' => {
+                let mut s = String::new();
+                while let Some(b) = c.peek(0) {
+                    if b.is_ascii_alphanumeric() || b == b'_' {
+                        s.push(b as char);
+                        c.bump();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token {
+                    kind: TokenKind::Ident(s),
+                    line,
+                    col,
+                });
+            }
+            _ if b.is_ascii_digit() => {
+                let is_float = lex_number(&mut c);
+                out.push(Token {
+                    kind: TokenKind::Number { is_float },
+                    line,
+                    col,
+                });
+            }
+            b'=' if c.peek(1) == Some(b'=') => {
+                c.bump();
+                c.bump();
+                out.push(Token {
+                    kind: TokenKind::EqEq,
+                    line,
+                    col,
+                });
+            }
+            b'!' if c.peek(1) == Some(b'=') => {
+                c.bump();
+                c.bump();
+                out.push(Token {
+                    kind: TokenKind::NotEq,
+                    line,
+                    col,
+                });
+            }
+            _ => {
+                c.bump();
+                // Multi-byte UTF-8 continuation bytes only ever occur in
+                // comments/strings in this codebase; emit ASCII punct.
+                if b.is_ascii() {
+                    out.push(Token {
+                        kind: TokenKind::Punct(b as char),
+                        line,
+                        col,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+fn skip_line_comment(c: &mut Cursor) {
+    while let Some(b) = c.bump() {
+        if b == b'\n' {
+            break;
+        }
+    }
+}
+
+fn skip_block_comment(c: &mut Cursor) {
+    c.bump(); // /
+    c.bump(); // *
+    let mut depth = 1u32;
+    while depth > 0 {
+        match (c.peek(0), c.peek(1)) {
+            (Some(b'/'), Some(b'*')) => {
+                c.bump();
+                c.bump();
+                depth += 1;
+            }
+            (Some(b'*'), Some(b'/')) => {
+                c.bump();
+                c.bump();
+                depth -= 1;
+            }
+            (Some(_), _) => {
+                c.bump();
+            }
+            (None, _) => break,
+        }
+    }
+}
+
+fn skip_string(c: &mut Cursor) {
+    c.bump(); // opening quote
+    while let Some(b) = c.bump() {
+        match b {
+            b'\\' => {
+                c.bump();
+            }
+            b'"' => break,
+            _ => {}
+        }
+    }
+}
+
+/// `r"…"`, `r#"…"#`, `br#"…"#` etc.
+fn starts_raw_string(c: &Cursor) -> bool {
+    let mut i = 0;
+    if c.peek(i) == Some(b'b') {
+        i += 1;
+    }
+    if c.peek(i) != Some(b'r') {
+        return false;
+    }
+    i += 1;
+    while c.peek(i) == Some(b'#') {
+        i += 1;
+    }
+    c.peek(i) == Some(b'"')
+}
+
+fn skip_raw_string(c: &mut Cursor) {
+    if c.peek(0) == Some(b'b') {
+        c.bump();
+    }
+    c.bump(); // r
+    let mut hashes = 0usize;
+    while c.peek(0) == Some(b'#') {
+        c.bump();
+        hashes += 1;
+    }
+    c.bump(); // opening quote
+    'scan: while let Some(b) = c.bump() {
+        if b == b'"' {
+            for i in 0..hashes {
+                if c.peek(i) != Some(b'#') {
+                    continue 'scan;
+                }
+            }
+            for _ in 0..hashes {
+                c.bump();
+            }
+            break;
+        }
+    }
+}
+
+/// True when the quote at the cursor opens a char literal rather than a
+/// lifetime: `'x'`, `'\n'`, `'\u{1f600}'`.
+fn is_char_literal(c: &Cursor) -> bool {
+    match c.peek(1) {
+        Some(b'\\') => true,
+        Some(_) => {
+            // Scan a short identifier; a closing quote right after means
+            // a char literal ('a'), otherwise it's a lifetime ('a).
+            let mut i = 2;
+            while let Some(b) = c.peek(i) {
+                if b.is_ascii_alphanumeric() || b == b'_' {
+                    i += 1;
+                } else {
+                    return b == b'\'' && i == 2;
+                }
+            }
+            false
+        }
+        None => false,
+    }
+}
+
+fn skip_char_literal(c: &mut Cursor) {
+    c.bump(); // opening quote
+    while let Some(b) = c.bump() {
+        match b {
+            b'\\' => {
+                c.bump();
+            }
+            b'\'' => break,
+            _ => {}
+        }
+    }
+}
+
+/// Lex a numeric literal; returns whether it is a float (`1.0`, `1e9`,
+/// `1f64`, `1.5f32` — but not `1`, `0xe1`, `1..2`).
+fn lex_number(c: &mut Cursor) -> bool {
+    let hex_or_binary = c.peek(0) == Some(b'0')
+        && matches!(c.peek(1), Some(b'x' | b'X' | b'b' | b'B' | b'o' | b'O'));
+    let mut text = String::new();
+    while let Some(b) = c.peek(0) {
+        if b.is_ascii_alphanumeric() || b == b'_' {
+            text.push(b as char);
+            c.bump();
+            // A sign directly after an exponent marker belongs to the
+            // literal (`1e-9`).
+            if (b == b'e' || b == b'E')
+                && !hex_or_binary
+                && matches!(c.peek(0), Some(b'+' | b'-'))
+                && c.peek(1).is_some_and(|d| d.is_ascii_digit())
+            {
+                text.push(c.peek(0).expect("peeked") as char);
+                c.bump();
+            }
+        } else if b == b'.' {
+            // `1.0` is a float; `1..2` is a range; `1.method()` is a call.
+            match c.peek(1) {
+                Some(d) if d.is_ascii_digit() => {
+                    text.push('.');
+                    c.bump();
+                }
+                _ => break,
+            }
+        } else {
+            break;
+        }
+    }
+    !hex_or_binary && is_float_text(&text)
+}
+
+/// Classify a numeric literal's text as float.
+pub fn is_float_text(text: &str) -> bool {
+    if text.contains('.') || text.ends_with("f32") || text.ends_with("f64") {
+        return true;
+    }
+    // Exponent form: an `e`/`E` followed by an optional sign and digits.
+    let bytes = text.as_bytes();
+    bytes.iter().enumerate().any(|(i, &b)| {
+        (b == b'e' || b == b'E')
+            && i > 0
+            && bytes[i + 1..]
+                .first()
+                .is_some_and(|&d| d.is_ascii_digit() || d == b'+' || d == b'-')
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| t.kind.ident().map(String::from))
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_invisible() {
+        let src = r##"
+            // HashMap in a comment
+            /* Instant in /* a nested */ block */
+            let x = "HashMap::new()";
+            let y = r#"SystemTime"#;
+            let z = 'H';
+            let l: &'static str = "s";
+            real_ident();
+        "##;
+        let ids = idents(src);
+        assert!(ids.contains(&"real_ident".to_string()));
+        assert!(!ids.iter().any(|i| i == "HashMap"));
+        assert!(!ids.iter().any(|i| i == "Instant"));
+        assert!(!ids.iter().any(|i| i == "SystemTime"));
+        assert!(
+            ids.contains(&"static".to_string()),
+            "lifetime lexes as ident"
+        );
+    }
+
+    #[test]
+    fn float_detection() {
+        let toks = lex("a == 1.0; b != 2; c == 1e9; d == 0xEF;");
+        let floats: Vec<bool> = toks
+            .iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::Number { is_float } => Some(is_float),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(floats, vec![true, false, true, false]);
+    }
+
+    #[test]
+    fn eq_operators_tokenize() {
+        let toks = lex("a == b != c <= d");
+        assert!(toks.iter().any(|t| t.kind == TokenKind::EqEq));
+        assert!(toks.iter().any(|t| t.kind == TokenKind::NotEq));
+        // `<=` must NOT produce NotEq/EqEq.
+        assert_eq!(
+            toks.iter()
+                .filter(|t| matches!(t.kind, TokenKind::EqEq | TokenKind::NotEq))
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn positions_are_tracked() {
+        let toks = lex("x\n  yy");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+}

@@ -1,0 +1,265 @@
+//! `lsl-audit` — the workspace determinism linter.
+//!
+//! The simulator's central promise is *bit-identical reruns*: the same
+//! seed must produce the same trace on every machine, every time. That
+//! property is easy to break silently — one `HashMap` iteration, one
+//! wall-clock read — so this crate enforces it statically. It parses
+//! every crate's sources with a small hand-rolled lexer (the build is
+//! offline; `syn` is unavailable) and applies per-crate policy rules:
+//!
+//! | rule | applies to | bans |
+//! |------|-----------|------|
+//! | `wall-clock` | sim-domain + realnet | `Instant`, `SystemTime`, `thread::sleep` |
+//! | `hash-container` | sim-domain | `HashMap`, `HashSet` |
+//! | `float-eq` | every crate | `==`/`!=` against float literals |
+//! | `unwrap-outside-tests` | session, realnet | `.unwrap()`/`.expect()` in non-test code |
+//! | `unused-workspace-dep` | root manifest | `[workspace.dependencies]` entries no member uses |
+//!
+//! Sim-domain crates are `netsim`, `tcp`, `session`, `nws`, `workloads`.
+//! Justified exceptions live in the checked-in `audit.toml`; every entry
+//! carries a mandatory reason, and entries that stop matching anything
+//! are themselves reported (`stale-allow`).
+
+pub mod allowlist;
+pub mod lexer;
+pub mod rules;
+
+mod manifest;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use allowlist::AllowEntry;
+use rules::{Finding, RuleId};
+
+/// Crates whose code runs inside the deterministic simulation domain.
+pub const SIM_DOMAIN: &[&str] = &["netsim", "tcp", "session", "nws", "workloads"];
+
+/// Which rules apply to a crate, keyed by its directory name under
+/// `crates/` (the root package audits as `"lsl"`).
+pub fn policy_for(crate_dir: &str) -> Vec<RuleId> {
+    let mut rules = vec![RuleId::FloatEq];
+    if SIM_DOMAIN.contains(&crate_dir) {
+        rules.push(RuleId::WallClock);
+        rules.push(RuleId::HashContainer);
+    }
+    if crate_dir == "realnet" {
+        // Not simulation code, but its daemon must still justify every
+        // wall-clock dependence (via audit.toml) and must not panic on
+        // I/O errors outside tests.
+        rules.push(RuleId::WallClock);
+        rules.push(RuleId::UnwrapOutsideTests);
+    }
+    if crate_dir == "session" {
+        rules.push(RuleId::UnwrapOutsideTests);
+    }
+    rules
+}
+
+/// Full audit of the workspace at `root`. Returns surviving findings
+/// (allowlisted ones removed, stale allow entries appended).
+pub fn audit_workspace(root: &Path) -> Result<Vec<Finding>, String> {
+    let allow = load_allowlist(&root.join("audit.toml"))?;
+    let mut findings = Vec::new();
+
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)
+        .map_err(|e| format!("{}: {e}", crates_dir.display()))?
+        .filter_map(|d| d.ok().map(|d| d.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        let name = dir
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default()
+            .to_string();
+        audit_crate(root, &dir, &name, &mut findings)?;
+    }
+    // The root package's own sources (if any).
+    if root.join("src").is_dir() {
+        audit_crate(root, root, "lsl", &mut findings)?;
+    }
+
+    manifest::check_unused_workspace_deps(root, &mut findings)?;
+
+    Ok(apply_allowlist(findings, &allow))
+}
+
+/// Remove allowlisted findings; report stale allowlist entries.
+pub fn apply_allowlist(findings: Vec<Finding>, allow: &[AllowEntry]) -> Vec<Finding> {
+    let mut used = vec![false; allow.len()];
+    let mut surviving: Vec<Finding> = findings
+        .into_iter()
+        .filter(|f| match allow.iter().position(|a| a.matches(f)) {
+            Some(i) => {
+                used[i] = true;
+                false
+            }
+            None => true,
+        })
+        .collect();
+    for (entry, used) in allow.iter().zip(used) {
+        if !used {
+            surviving.push(Finding {
+                file: "audit.toml".to_string(),
+                line: entry.defined_at,
+                col: 1,
+                rule: RuleId::StaleAllow,
+                message: format!(
+                    "allow entry ({} in {}) matches no finding",
+                    entry.rule.name(),
+                    entry.path
+                ),
+            });
+        }
+    }
+    surviving
+}
+
+fn load_allowlist(path: &Path) -> Result<Vec<AllowEntry>, String> {
+    match fs::read_to_string(path) {
+        Ok(text) => allowlist::parse(&text).map_err(|e| format!("{}: {e}", path.display())),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Vec::new()),
+        Err(e) => Err(format!("{}: {e}", path.display())),
+    }
+}
+
+fn audit_crate(
+    root: &Path,
+    crate_dir: &Path,
+    crate_name: &str,
+    out: &mut Vec<Finding>,
+) -> Result<(), String> {
+    let policy = policy_for(crate_name);
+    let src = crate_dir.join("src");
+    if !src.is_dir() {
+        return Ok(());
+    }
+    let mut files = Vec::new();
+    collect_rs_files(&src, &mut files)?;
+    files.sort();
+    for path in files {
+        let text = fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let tokens = lexer::lex(&text);
+        for rule in &policy {
+            match rule {
+                RuleId::WallClock => rules::check_wall_clock(&rel, &tokens, out),
+                RuleId::HashContainer => rules::check_hash_container(&rel, &tokens, out),
+                RuleId::FloatEq => rules::check_float_eq(&rel, &tokens, out),
+                RuleId::UnwrapOutsideTests => rules::check_unwrap(&rel, &tokens, out),
+                RuleId::UnusedWorkspaceDep | RuleId::StaleAllow => {}
+            }
+        }
+    }
+    Ok(())
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    for entry in fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))? {
+        let entry = entry.map_err(|e| format!("{}: {e}", dir.display()))?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// CLI entry point: audit the workspace, print findings, return the exit
+/// code (0 clean, 1 findings, 2 errors).
+pub fn run() -> i32 {
+    let mut root = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => {
+                    eprintln!("lsl-audit: --root requires a path");
+                    return 2;
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "lsl-audit: workspace determinism linter\n\n\
+                     usage: lsl-audit [--root <workspace-dir>]\n\n\
+                     Scans crates/*/src for policy violations (wall-clock reads,\n\
+                     HashMap/HashSet in sim-domain code, float ==, unwrap outside\n\
+                     tests, unused workspace deps). Exceptions: audit.toml."
+                );
+                return 0;
+            }
+            other => {
+                eprintln!("lsl-audit: unknown argument `{other}`");
+                return 2;
+            }
+        }
+    }
+
+    let findings = match audit_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("lsl-audit: {e}");
+            return 2;
+        }
+    };
+    if findings.is_empty() {
+        println!("lsl-audit: clean ({})", root.display());
+        return 0;
+    }
+    for f in &findings {
+        println!(
+            "{}:{}:{}: [{}] {}",
+            f.file,
+            f.line,
+            f.col,
+            f.rule.name(),
+            f.message
+        );
+        println!("    rationale: {}", f.rule.rationale());
+    }
+    println!("lsl-audit: {} finding(s)", findings.len());
+    1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_table_shape() {
+        for c in SIM_DOMAIN {
+            let p = policy_for(c);
+            assert!(p.contains(&RuleId::WallClock), "{c}");
+            assert!(p.contains(&RuleId::HashContainer), "{c}");
+        }
+        assert!(policy_for("session").contains(&RuleId::UnwrapOutsideTests));
+        assert!(policy_for("realnet").contains(&RuleId::UnwrapOutsideTests));
+        assert!(policy_for("realnet").contains(&RuleId::WallClock));
+        assert!(!policy_for("digest").contains(&RuleId::HashContainer));
+        assert!(policy_for("digest").contains(&RuleId::FloatEq));
+    }
+
+    #[test]
+    fn stale_allow_entries_are_reported() {
+        let allow = vec![AllowEntry {
+            path: "crates/none/src/lib.rs".into(),
+            rule: RuleId::FloatEq,
+            reason: "r".into(),
+            defined_at: 3,
+        }];
+        let out = apply_allowlist(Vec::new(), &allow);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, RuleId::StaleAllow);
+        assert_eq!(out[0].line, 3);
+    }
+}

@@ -1,0 +1,3 @@
+fn main() {
+    std::process::exit(lsl_audit::run());
+}

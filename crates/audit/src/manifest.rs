@@ -1,0 +1,135 @@
+//! `[workspace.dependencies]` hygiene: every entry in the root manifest
+//! must be consumed (`dep.workspace = true` / `dep = { workspace = true,
+//! … }`) by at least one member manifest or the root package itself.
+//! Minimal line-oriented TOML reading — same constraint as the
+//! allowlist: no TOML crate offline.
+
+use std::fs;
+use std::path::Path;
+
+use crate::rules::{Finding, RuleId};
+
+/// Append an `unused-workspace-dep` finding for every stale entry.
+pub fn check_unused_workspace_deps(root: &Path, out: &mut Vec<Finding>) -> Result<(), String> {
+    let root_manifest = root.join("Cargo.toml");
+    let text = fs::read_to_string(&root_manifest)
+        .map_err(|e| format!("{}: {e}", root_manifest.display()))?;
+    let deps = workspace_dependency_keys(&text);
+    if deps.is_empty() {
+        return Ok(());
+    }
+
+    // Gather every member manifest (crates/*, shims/*) plus the root's
+    // own [dependencies]/[dev-dependencies] sections.
+    let mut manifest_texts = vec![text.clone()];
+    for group in ["crates", "shims"] {
+        let dir = root.join(group);
+        let Ok(entries) = fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let m = entry.path().join("Cargo.toml");
+            if let Ok(t) = fs::read_to_string(&m) {
+                manifest_texts.push(t);
+            }
+        }
+    }
+
+    for (name, line) in deps {
+        let needle_inline = format!("{name}.workspace");
+        let used = manifest_texts.iter().any(|t| {
+            dependency_sections(t).any(|dep_line| {
+                let key = dep_line.split(['=', '.']).next().unwrap_or("").trim();
+                key == name
+                    && (dep_line.contains("workspace = true")
+                        || dep_line.starts_with(&needle_inline))
+            })
+        });
+        if !used {
+            out.push(Finding {
+                file: "Cargo.toml".to_string(),
+                line,
+                col: 1,
+                rule: RuleId::UnusedWorkspaceDep,
+                message: format!("workspace dependency `{name}` is not used by any member"),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Keys (with line numbers) declared under `[workspace.dependencies]`.
+fn workspace_dependency_keys(manifest: &str) -> Vec<(String, u32)> {
+    let mut keys = Vec::new();
+    let mut in_section = false;
+    for (idx, raw) in manifest.lines().enumerate() {
+        let line = raw.trim();
+        if line.starts_with('[') {
+            in_section = line == "[workspace.dependencies]";
+            continue;
+        }
+        if !in_section || line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some((key, _)) = line.split_once('=') {
+            keys.push((key.trim().to_string(), idx as u32 + 1));
+        }
+    }
+    keys
+}
+
+/// Lines inside any `[dependencies]`-like section of a manifest
+/// (`[dependencies]`, `[dev-dependencies]`, `[build-dependencies]`,
+/// target-specific variants).
+fn dependency_sections(manifest: &str) -> impl Iterator<Item = &str> {
+    let mut in_deps = false;
+    manifest.lines().filter_map(move |raw| {
+        let line = raw.trim();
+        if line.starts_with('[') {
+            in_deps = line.trim_matches(['[', ']']).ends_with("dependencies")
+                && line != "[workspace.dependencies]";
+            return None;
+        }
+        (in_deps && !line.is_empty() && !line.starts_with('#')).then_some(line)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_declared_keys() {
+        let m = "[workspace.dependencies]\nfoo = { path = \"x\" }\nbar = \"1\"\n\n[package]\nname = \"r\"\n";
+        let keys = workspace_dependency_keys(m);
+        assert_eq!(keys.len(), 2);
+        assert_eq!(keys[0].0, "foo");
+        assert_eq!(keys[1], ("bar".to_string(), 3));
+    }
+
+    #[test]
+    fn usage_detection_covers_both_toml_spellings() {
+        let member_a = "[dependencies]\nfoo.workspace = true\n";
+        let member_b = "[dev-dependencies]\nbar = { workspace = true, features = [\"x\"] }\n";
+        for (name, text, expect) in [
+            ("foo", member_a, true),
+            ("bar", member_b, true),
+            ("baz", member_a, false),
+        ] {
+            let used = dependency_sections(text).any(|l| {
+                let key = l.split(['=', '.']).next().unwrap_or("").trim();
+                key == name
+                    && (l.contains("workspace = true")
+                        || l.starts_with(&format!("{name}.workspace")))
+            });
+            assert_eq!(used, expect, "{name}");
+        }
+    }
+
+    #[test]
+    fn workspace_dependencies_section_is_not_a_usage_site() {
+        // The declaration itself must not count as a use.
+        let only_decl = "[workspace.dependencies]\nfoo = { path = \"x\" }\n";
+        assert_eq!(dependency_sections(only_decl).count(), 0);
+    }
+}

@@ -1,0 +1,341 @@
+//! The audit rules: lexical determinism and hygiene checks applied per
+//! crate according to the policy table in [`crate::policy_for`].
+
+use crate::lexer::{Token, TokenKind};
+
+/// One rule violation at a source position.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Path relative to the audited root, `/`-separated.
+    pub file: String,
+    pub line: u32,
+    pub col: u32,
+    pub rule: RuleId,
+    pub message: String,
+}
+
+/// Stable rule identifiers (these appear in `audit.toml`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RuleId {
+    WallClock,
+    HashContainer,
+    FloatEq,
+    UnwrapOutsideTests,
+    UnusedWorkspaceDep,
+    StaleAllow,
+}
+
+impl RuleId {
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleId::WallClock => "wall-clock",
+            RuleId::HashContainer => "hash-container",
+            RuleId::FloatEq => "float-eq",
+            RuleId::UnwrapOutsideTests => "unwrap-outside-tests",
+            RuleId::UnusedWorkspaceDep => "unused-workspace-dep",
+            RuleId::StaleAllow => "stale-allow",
+        }
+    }
+
+    pub fn from_name(name: &str) -> Option<RuleId> {
+        Some(match name {
+            "wall-clock" => RuleId::WallClock,
+            "hash-container" => RuleId::HashContainer,
+            "float-eq" => RuleId::FloatEq,
+            "unwrap-outside-tests" => RuleId::UnwrapOutsideTests,
+            "unused-workspace-dep" => RuleId::UnusedWorkspaceDep,
+            "stale-allow" => RuleId::StaleAllow,
+            _ => return None,
+        })
+    }
+
+    /// Why the rule exists — shown with every finding.
+    pub fn rationale(self) -> &'static str {
+        match self {
+            RuleId::WallClock => {
+                "simulation code must take time from the event clock; wall-clock \
+                 reads make runs irreproducible"
+            }
+            RuleId::HashContainer => {
+                "HashMap/HashSet iteration order varies across runs; use \
+                 BTreeMap/BTreeSet so identical seeds give identical traces"
+            }
+            RuleId::FloatEq => {
+                "exact float equality is representation-sensitive; compare with \
+                 an explicit tolerance or restructure the condition"
+            }
+            RuleId::UnwrapOutsideTests => {
+                "library and daemon code must surface errors, not panic; \
+                 reserve unwrap()/expect() for tests"
+            }
+            RuleId::UnusedWorkspaceDep => {
+                "every [workspace.dependencies] entry must be consumed by some \
+                 member; stale entries hide the real dependency closure"
+            }
+            RuleId::StaleAllow => {
+                "audit.toml entries that no longer match any finding must be \
+                 removed so the allowlist stays an accurate record of debt"
+            }
+        }
+    }
+}
+
+/// `Instant`, `SystemTime`, and `thread::sleep` (or `std::thread::sleep`).
+pub fn check_wall_clock(file: &str, tokens: &[Token], out: &mut Vec<Finding>) {
+    for (i, t) in tokens.iter().enumerate() {
+        let Some(id) = t.kind.ident() else { continue };
+        match id {
+            "Instant" | "SystemTime" => out.push(Finding {
+                file: file.to_string(),
+                line: t.line,
+                col: t.col,
+                rule: RuleId::WallClock,
+                message: format!("use of std::time::{id}"),
+            }),
+            "sleep" if preceded_by_path(tokens, i, "thread") => out.push(Finding {
+                file: file.to_string(),
+                line: t.line,
+                col: t.col,
+                rule: RuleId::WallClock,
+                message: "use of thread::sleep".to_string(),
+            }),
+            _ => {}
+        }
+    }
+}
+
+/// `HashMap` / `HashSet` anywhere in a sim-domain crate.
+pub fn check_hash_container(file: &str, tokens: &[Token], out: &mut Vec<Finding>) {
+    for t in tokens {
+        if let Some(id @ ("HashMap" | "HashSet")) = t.kind.ident() {
+            out.push(Finding {
+                file: file.to_string(),
+                line: t.line,
+                col: t.col,
+                rule: RuleId::HashContainer,
+                message: format!(
+                    "{id} in simulation-domain code (use {} instead)",
+                    if id == "HashMap" {
+                        "BTreeMap"
+                    } else {
+                        "BTreeSet"
+                    }
+                ),
+            });
+        }
+    }
+}
+
+/// `==`/`!=` with a float literal on either side.
+pub fn check_float_eq(file: &str, tokens: &[Token], out: &mut Vec<Finding>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if !matches!(t.kind, TokenKind::EqEq | TokenKind::NotEq) {
+            continue;
+        }
+        let float_beside = [
+            i.checked_sub(1).and_then(|j| tokens.get(j)),
+            tokens.get(i + 1),
+        ]
+        .into_iter()
+        .flatten()
+        .any(|n| matches!(n.kind, TokenKind::Number { is_float: true }));
+        if float_beside {
+            let op = if t.kind == TokenKind::EqEq {
+                "=="
+            } else {
+                "!="
+            };
+            out.push(Finding {
+                file: file.to_string(),
+                line: t.line,
+                col: t.col,
+                rule: RuleId::FloatEq,
+                message: format!("exact `{op}` comparison against a float literal"),
+            });
+        }
+    }
+}
+
+/// `.unwrap()` / `.expect(` outside `#[cfg(test)]` / `#[test]` ranges.
+pub fn check_unwrap(file: &str, tokens: &[Token], out: &mut Vec<Finding>) {
+    let tests = test_ranges(tokens);
+    for (i, t) in tokens.iter().enumerate() {
+        let Some(id @ ("unwrap" | "expect")) = t.kind.ident() else {
+            continue;
+        };
+        let dotted = i >= 1 && tokens[i - 1].kind == TokenKind::Punct('.');
+        let called = tokens.get(i + 1).map(|n| n.kind == TokenKind::Punct('(')) == Some(true);
+        if !(dotted && called) {
+            continue;
+        }
+        if tests.iter().any(|&(a, b)| (a..=b).contains(&t.line)) {
+            continue;
+        }
+        out.push(Finding {
+            file: file.to_string(),
+            line: t.line,
+            col: t.col,
+            rule: RuleId::UnwrapOutsideTests,
+            message: format!(".{id}() outside test code"),
+        });
+    }
+}
+
+/// Line ranges covered by `#[cfg(test)]` / `#[test]` items (attribute
+/// line through the close of the item's brace block).
+pub fn test_ranges(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].kind != TokenKind::Punct('#')
+            || tokens.get(i + 1).map(|t| &t.kind) != Some(&TokenKind::Punct('['))
+        {
+            i += 1;
+            continue;
+        }
+        let start_line = tokens[i].line;
+        // Find the matching `]`, noting whether the attribute mentions
+        // `test` (covers #[test], #[cfg(test)], #[cfg(all(test, ..))]).
+        let mut j = i + 2;
+        let mut depth = 1u32;
+        let mut mentions_test = false;
+        while j < tokens.len() && depth > 0 {
+            match &tokens[j].kind {
+                TokenKind::Punct('[') => depth += 1,
+                TokenKind::Punct(']') => depth -= 1,
+                TokenKind::Ident(s) if s == "test" => mentions_test = true,
+                _ => {}
+            }
+            j += 1;
+        }
+        if !mentions_test {
+            i = j;
+            continue;
+        }
+        // Skip any further attributes, then find the item's `{ … }`.
+        // A `;` before any `{` means no body (e.g. `mod m;`) — skip.
+        let mut k = j;
+        while k < tokens.len() {
+            match &tokens[k].kind {
+                TokenKind::Punct('#')
+                    if tokens.get(k + 1).map(|t| &t.kind) == Some(&TokenKind::Punct('[')) =>
+                {
+                    let mut d = 1u32;
+                    k += 2;
+                    while k < tokens.len() && d > 0 {
+                        match tokens[k].kind {
+                            TokenKind::Punct('[') => d += 1,
+                            TokenKind::Punct(']') => d -= 1,
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                }
+                TokenKind::Punct(';') => break,
+                TokenKind::Punct('{') => {
+                    let mut d = 1u32;
+                    let mut m = k + 1;
+                    while m < tokens.len() && d > 0 {
+                        match tokens[m].kind {
+                            TokenKind::Punct('{') => d += 1,
+                            TokenKind::Punct('}') => d -= 1,
+                            _ => {}
+                        }
+                        m += 1;
+                    }
+                    let end_line = tokens.get(m.saturating_sub(1)).map_or(u32::MAX, |t| t.line);
+                    ranges.push((start_line, end_line));
+                    break;
+                }
+                _ => k += 1,
+            }
+        }
+        i = j;
+    }
+    ranges
+}
+
+/// True when `tokens[i]` is reached via `<prefix>::`.
+fn preceded_by_path(tokens: &[Token], i: usize, prefix: &str) -> bool {
+    i >= 3
+        && tokens[i - 1].kind == TokenKind::Punct(':')
+        && tokens[i - 2].kind == TokenKind::Punct(':')
+        && tokens[i - 3].kind.ident() == Some(prefix)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(rule: fn(&str, &[Token], &mut Vec<Finding>), src: &str) -> Vec<Finding> {
+        let mut out = Vec::new();
+        rule("test.rs", &lex(src), &mut out);
+        out
+    }
+
+    #[test]
+    fn wall_clock_fires_on_known_bad() {
+        let bad = "let t = std::time::Instant::now(); std::thread::sleep(d);";
+        let f = run(check_wall_clock, bad);
+        assert_eq!(f.len(), 2);
+        assert_eq!(f[0].rule, RuleId::WallClock);
+        assert!(f[1].message.contains("thread::sleep"));
+    }
+
+    #[test]
+    fn wall_clock_ignores_unrelated_sleep() {
+        // A method named `sleep` not reached via `thread::`.
+        assert!(run(check_wall_clock, "power.sleep();").is_empty());
+    }
+
+    #[test]
+    fn hash_container_fires() {
+        let f = run(check_hash_container, "use std::collections::HashMap;");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("BTreeMap"));
+        assert!(run(check_hash_container, "use std::collections::BTreeMap;").is_empty());
+    }
+
+    #[test]
+    fn float_eq_fires_only_on_floats() {
+        assert_eq!(run(check_float_eq, "if x == 1.0 {}").len(), 1);
+        assert_eq!(run(check_float_eq, "if 0.5 != y {}").len(), 1);
+        assert!(run(check_float_eq, "if x == 1 {}").is_empty());
+        assert!(run(check_float_eq, "if x <= 1.0 {}").is_empty());
+    }
+
+    #[test]
+    fn unwrap_outside_tests_fires() {
+        let bad = "fn f() { x.unwrap(); y.expect(\"m\"); }";
+        assert_eq!(run(check_unwrap, bad).len(), 2);
+    }
+
+    #[test]
+    fn unwrap_inside_cfg_test_mod_is_fine() {
+        let src = "fn f() -> u32 { 1 }\n#[cfg(test)]\nmod tests {\n  #[test]\n  fn t() { f().checked_add(1).unwrap(); }\n}\n";
+        assert!(run(check_unwrap, src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_before_test_mod_still_fires() {
+        let src = "fn f() { x.unwrap(); }\n#[cfg(test)]\nmod tests { }\n";
+        let f = run(check_unwrap, src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn test_ranges_cover_attribute_to_closing_brace() {
+        let src = "\n\n#[cfg(test)]\nmod tests {\n fn a() {}\n}\nfn tail() {}\n";
+        let r = test_ranges(&lex(src));
+        assert_eq!(r, vec![(3, 6)]);
+    }
+
+    #[test]
+    fn unwrap_method_reference_without_call_is_ignored() {
+        // `map(Option::unwrap)` has no receiver dot; `.unwrap` without
+        // parens (field-like) doesn't occur in Rust, but be precise.
+        assert!(run(check_unwrap, "xs.map(Option::unwrap);").is_empty());
+    }
+}

@@ -1,0 +1,85 @@
+//! End-to-end linter checks against the seeded known-bad fixture
+//! workspace in `fixtures/bad/`, plus the binary's exit-code contract:
+//! nonzero on the fixture, zero on the real (cleaned) workspace.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use lsl_audit::audit_workspace;
+use lsl_audit::rules::RuleId;
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures/bad")
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("audit crate lives at <root>/crates/audit")
+        .to_path_buf()
+}
+
+#[test]
+fn fixture_trips_every_seeded_rule() {
+    let findings = audit_workspace(&fixture_root()).expect("fixture audits");
+    let count = |r: RuleId| findings.iter().filter(|f| f.rule == r).count();
+
+    // netsim (sim-domain): Instant at the use + the parameter type,
+    // thread::sleep, HashMap at the use + the parameter type, one float ==.
+    assert_eq!(count(RuleId::WallClock), 3, "{findings:?}");
+    assert_eq!(count(RuleId::HashContainer), 2, "{findings:?}");
+    assert_eq!(count(RuleId::FloatEq), 1, "{findings:?}");
+
+    // session: exactly the one unwrap outside tests — the unwrap inside
+    // the #[test] must not count.
+    let unwraps: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == RuleId::UnwrapOutsideTests)
+        .collect();
+    assert_eq!(unwraps.len(), 1, "{findings:?}");
+    assert_eq!(unwraps[0].file, "crates/session/src/lib.rs");
+
+    // Manifest hygiene and allowlist rot.
+    let unused: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == RuleId::UnusedWorkspaceDep)
+        .collect();
+    assert_eq!(unused.len(), 1, "{findings:?}");
+    assert!(unused[0].message.contains("leftover-dep"));
+    assert_eq!(count(RuleId::StaleAllow), 1, "{findings:?}");
+}
+
+#[test]
+fn binary_exit_codes_match_the_contract() {
+    let bin = env!("CARGO_BIN_EXE_lsl-audit");
+
+    let bad = Command::new(bin)
+        .args(["--root", fixture_root().to_str().unwrap()])
+        .output()
+        .expect("run lsl-audit on fixture");
+    assert_eq!(bad.status.code(), Some(1), "fixture must fail the audit");
+    let stdout = String::from_utf8_lossy(&bad.stdout);
+    assert!(stdout.contains("[wall-clock]"), "{stdout}");
+    assert!(stdout.contains("rationale:"), "{stdout}");
+
+    let clean = Command::new(bin)
+        .args(["--root", workspace_root().to_str().unwrap()])
+        .output()
+        .expect("run lsl-audit on workspace");
+    let stdout = String::from_utf8_lossy(&clean.stdout);
+    assert_eq!(
+        clean.status.code(),
+        Some(0),
+        "workspace must audit clean:\n{stdout}"
+    );
+}
+
+#[test]
+fn unknown_flag_is_a_usage_error() {
+    let out = Command::new(env!("CARGO_BIN_EXE_lsl-audit"))
+        .arg("--frobnicate")
+        .output()
+        .expect("run lsl-audit");
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -66,7 +66,10 @@ fn ablate_relay_buffer() {
 /// crossover as a function of p.
 fn ablate_loss_rate() {
     println!("Ablation: per-leg loss rate vs LSL gain (8MB, 2x30ms path)");
-    println!("{:>12} {:>14} {:>14} {:>8}", "p per leg", "direct Mb/s", "LSL Mb/s", "gain");
+    println!(
+        "{:>12} {:>14} {:>14} {:>8}",
+        "p per leg", "direct Mb/s", "LSL Mb/s", "gain"
+    );
     for p in [0.0, 1e-5, 5e-5, 2e-4, 1e-3] {
         let (topo, names) = split_path(p, Dur::from_millis(15), Dur::from_millis(15));
         let case = parametric_case(topo, names);
@@ -93,7 +96,7 @@ fn ablate_loss_rate() {
 fn ablate_rtt_split() {
     println!("Ablation: RTT split asymmetry (8MB, 60ms total, p=2e-4/leg)");
     println!("{:>16} {:>14} {:>8}", "split (ms/ms)", "LSL Mb/s", "gain");
-    let mut direct = 0.0;
+    let mut direct: Option<f64> = None;
     for (a, b) in [(30u64, 30u64), (20, 40), (10, 50), (5, 55)] {
         let (topo, names) = split_path(2e-4, Dur::from_millis(a), Dur::from_millis(b));
         let case = parametric_case(topo, names);
@@ -103,10 +106,13 @@ fn ablate_rtt_split() {
                 .sum::<f64>()
                 / ITERS as f64
         };
-        if direct == 0.0 {
-            direct = mean(Mode::Direct);
-            println!("{:>16} {:>14.2} {:>8}", "direct", direct / 1e6, "—");
-        }
+        // Direct only depends on the total RTT, so one baseline serves
+        // every split.
+        let direct = *direct.get_or_insert_with(|| {
+            let d = mean(Mode::Direct);
+            println!("{:>16} {:>14.2} {:>8}", "direct", d / 1e6, "—");
+            d
+        });
         let l = mean(Mode::ViaDepot);
         println!(
             "{:>13}/{:<3}{:>13.2} {:>+7.1}%",
@@ -124,7 +130,10 @@ fn ablate_rtt_split() {
 /// per hop).
 fn ablate_endhost_buffers() {
     println!("Ablation: end-host TCP buffers (8MB transfer, case 1)");
-    println!("{:>12} {:>14} {:>14} {:>8}", "buffers", "direct Mb/s", "LSL Mb/s", "gain");
+    println!(
+        "{:>12} {:>14} {:>14} {:>8}",
+        "buffers", "direct Mb/s", "LSL Mb/s", "gain"
+    );
     for buf in [64u64 << 10, 256 << 10, 1 << 20, 8 << 20] {
         let mk = |mode| {
             (0..ITERS).map(move |i| {
@@ -206,7 +215,11 @@ fn split_path(p: f64, a: Dur, b: Dur) -> (Topology, [&'static str; 4]) {
         dst,
         LinkSpec::new(100_000_000, b).with_loss(LossModel::bernoulli(p)),
     );
-    tb.duplex(pop, dep, LinkSpec::new(1_000_000_000, Dur::from_micros(100)));
+    tb.duplex(
+        pop,
+        dep,
+        LinkSpec::new(1_000_000_000, Dur::from_micros(100)),
+    );
     (tb.build(), ["src", "pop", "dst", "depot"])
 }
 

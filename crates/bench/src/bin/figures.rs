@@ -46,59 +46,182 @@ fn main() {
     );
     for w in wanted {
         match w.as_str() {
-            "fig3" => fig_rtt(&opts, &case1(), "fig03", "Fig 3: RTT, case 1 (UCSB→UIUC via Denver)"),
-            "fig4" => fig_rtt(&opts, &case2(), "fig04", "Fig 4: RTT, case 2 (UCSB→UF via Houston)"),
-            "fig5" => fig_bw_sweep(&opts, &case1(), &[32 << 10, 64 << 10, 128 << 10, 256 << 10],
-                10, "fig05", "Fig 5: UCSB→UIUC bandwidth, 32K-256K"),
-            "fig6" => fig_bw_sweep(&opts, &case1(), &pow2_sizes(1 << 20, opts.size(64 << 20, 16 << 20)),
-                10, "fig06", "Fig 6: UCSB→UIUC bandwidth, 1M-64M"),
-            "fig7" => fig_bw_sweep(&opts, &case2(), &[32 << 10, 64 << 10, 128 << 10, 256 << 10],
-                10, "fig07", "Fig 7: UCSB→UF bandwidth, 32K-256K"),
-            "fig8" => fig_bw_sweep(&opts, &case2(), &pow2_sizes(1 << 20, opts.size(128 << 20, 16 << 20)),
-                10, "fig08", "Fig 8: UCSB→UF bandwidth, 1M-128M"),
-            "fig9" => fig_rtt(&opts, &case3(), "fig09", "Fig 9: RTT, case 3 (UTK→UCSB wireless)"),
-            "fig10" => fig_bw_sweep(&opts, &case3(), &pow2_sizes(1 << 20, opts.size(256 << 20, 8 << 20)),
-                10, "fig10", "Fig 10: UTK→UCSB (wireless) bandwidth, log-x"),
-            "fig11" => fig_individual_runs(&opts, Mode::Direct, SubSel::First, "fig11",
-                "Fig 11: direct TCP seq growth, 64MB runs + average"),
-            "fig12" => fig_individual_runs(&opts, Mode::ViaDepot, SubSel::First, "fig12",
-                "Fig 12: sublink 1 seq growth, 64MB runs + average"),
-            "fig13" => fig_individual_runs(&opts, Mode::ViaDepot, SubSel::Second, "fig13",
-                "Fig 13: sublink 2 seq growth, 64MB runs + average"),
-            "fig14" => fig_avg_overlay(&opts, opts.size(64 << 20, 8 << 20), "fig14",
-                "Fig 14: average seq growth, 64MB (sublinks vs direct)"),
-            "fig15" => fig_loss_conditioned(&opts, 4 << 20, Cond::Min, "fig15",
-                "Fig 15: 4MB, minimum-loss runs"),
-            "fig16" => fig_loss_conditioned(&opts, 4 << 20, Cond::Median, "fig16",
-                "Fig 16: 4MB, median-loss runs"),
-            "fig17" => fig_loss_conditioned(&opts, 4 << 20, Cond::Max, "fig17",
-                "Fig 17: 4MB, maximum-loss runs"),
-            "fig18" => fig_avg_overlay(&opts, 4 << 20, "fig18",
-                "Fig 18: average seq growth, 4MB"),
-            "fig19" => fig_loss_conditioned(&opts, 16 << 20, Cond::Min, "fig19",
-                "Fig 19: 16MB, minimum-loss runs"),
-            "fig20" => fig_loss_conditioned(&opts, 16 << 20, Cond::Median, "fig20",
-                "Fig 20: 16MB, median-loss runs"),
-            "fig21" => fig_loss_conditioned(&opts, 16 << 20, Cond::Max, "fig21",
-                "Fig 21: 16MB, maximum-loss runs"),
-            "fig22" => fig_avg_overlay(&opts, 16 << 20, "fig22",
-                "Fig 22: average seq growth, 16MB"),
-            "fig23" => fig_loss_conditioned(&opts, opts.size(64 << 20, 16 << 20), Cond::Min, "fig23",
-                "Fig 23: 64MB, minimum-loss runs"),
-            "fig24" => fig_loss_conditioned(&opts, opts.size(64 << 20, 16 << 20), Cond::Median, "fig24",
-                "Fig 24: 64MB, median-loss runs"),
-            "fig25" => fig_loss_conditioned(&opts, opts.size(64 << 20, 16 << 20), Cond::Max, "fig25",
-                "Fig 25: 64MB, maximum-loss runs"),
-            "fig26" => fig_avg_overlay_case(&opts, &case2(), opts.size(32 << 20, 8 << 20), "fig26",
-                "Fig 26: average seq growth, 32MB UCSB→UF"),
-            "fig27" => fig_single_run_case3(&opts, "fig27",
-                "Fig 27: seq growth, 256MB wireless"),
-            "fig28" => fig_bw_sweep_iters(&opts, &case4(),
+            "fig3" => fig_rtt(
+                &opts,
+                &case1(),
+                "fig03",
+                "Fig 3: RTT, case 1 (UCSB→UIUC via Denver)",
+            ),
+            "fig4" => fig_rtt(
+                &opts,
+                &case2(),
+                "fig04",
+                "Fig 4: RTT, case 2 (UCSB→UF via Houston)",
+            ),
+            "fig5" => fig_bw_sweep(
+                &opts,
+                &case1(),
+                &[32 << 10, 64 << 10, 128 << 10, 256 << 10],
+                10,
+                "fig05",
+                "Fig 5: UCSB→UIUC bandwidth, 32K-256K",
+            ),
+            "fig6" => fig_bw_sweep(
+                &opts,
+                &case1(),
+                &pow2_sizes(1 << 20, opts.size(64 << 20, 16 << 20)),
+                10,
+                "fig06",
+                "Fig 6: UCSB→UIUC bandwidth, 1M-64M",
+            ),
+            "fig7" => fig_bw_sweep(
+                &opts,
+                &case2(),
+                &[32 << 10, 64 << 10, 128 << 10, 256 << 10],
+                10,
+                "fig07",
+                "Fig 7: UCSB→UF bandwidth, 32K-256K",
+            ),
+            "fig8" => fig_bw_sweep(
+                &opts,
+                &case2(),
+                &pow2_sizes(1 << 20, opts.size(128 << 20, 16 << 20)),
+                10,
+                "fig08",
+                "Fig 8: UCSB→UF bandwidth, 1M-128M",
+            ),
+            "fig9" => fig_rtt(
+                &opts,
+                &case3(),
+                "fig09",
+                "Fig 9: RTT, case 3 (UTK→UCSB wireless)",
+            ),
+            "fig10" => fig_bw_sweep(
+                &opts,
+                &case3(),
+                &pow2_sizes(1 << 20, opts.size(256 << 20, 8 << 20)),
+                10,
+                "fig10",
+                "Fig 10: UTK→UCSB (wireless) bandwidth, log-x",
+            ),
+            "fig11" => fig_individual_runs(
+                &opts,
+                Mode::Direct,
+                SubSel::First,
+                "fig11",
+                "Fig 11: direct TCP seq growth, 64MB runs + average",
+            ),
+            "fig12" => fig_individual_runs(
+                &opts,
+                Mode::ViaDepot,
+                SubSel::First,
+                "fig12",
+                "Fig 12: sublink 1 seq growth, 64MB runs + average",
+            ),
+            "fig13" => fig_individual_runs(
+                &opts,
+                Mode::ViaDepot,
+                SubSel::Second,
+                "fig13",
+                "Fig 13: sublink 2 seq growth, 64MB runs + average",
+            ),
+            "fig14" => fig_avg_overlay(
+                &opts,
+                opts.size(64 << 20, 8 << 20),
+                "fig14",
+                "Fig 14: average seq growth, 64MB (sublinks vs direct)",
+            ),
+            "fig15" => fig_loss_conditioned(
+                &opts,
+                4 << 20,
+                Cond::Min,
+                "fig15",
+                "Fig 15: 4MB, minimum-loss runs",
+            ),
+            "fig16" => fig_loss_conditioned(
+                &opts,
+                4 << 20,
+                Cond::Median,
+                "fig16",
+                "Fig 16: 4MB, median-loss runs",
+            ),
+            "fig17" => fig_loss_conditioned(
+                &opts,
+                4 << 20,
+                Cond::Max,
+                "fig17",
+                "Fig 17: 4MB, maximum-loss runs",
+            ),
+            "fig18" => fig_avg_overlay(&opts, 4 << 20, "fig18", "Fig 18: average seq growth, 4MB"),
+            "fig19" => fig_loss_conditioned(
+                &opts,
+                16 << 20,
+                Cond::Min,
+                "fig19",
+                "Fig 19: 16MB, minimum-loss runs",
+            ),
+            "fig20" => fig_loss_conditioned(
+                &opts,
+                16 << 20,
+                Cond::Median,
+                "fig20",
+                "Fig 20: 16MB, median-loss runs",
+            ),
+            "fig21" => fig_loss_conditioned(
+                &opts,
+                16 << 20,
+                Cond::Max,
+                "fig21",
+                "Fig 21: 16MB, maximum-loss runs",
+            ),
+            "fig22" => {
+                fig_avg_overlay(&opts, 16 << 20, "fig22", "Fig 22: average seq growth, 16MB")
+            }
+            "fig23" => fig_loss_conditioned(
+                &opts,
+                opts.size(64 << 20, 16 << 20),
+                Cond::Min,
+                "fig23",
+                "Fig 23: 64MB, minimum-loss runs",
+            ),
+            "fig24" => fig_loss_conditioned(
+                &opts,
+                opts.size(64 << 20, 16 << 20),
+                Cond::Median,
+                "fig24",
+                "Fig 24: 64MB, median-loss runs",
+            ),
+            "fig25" => fig_loss_conditioned(
+                &opts,
+                opts.size(64 << 20, 16 << 20),
+                Cond::Max,
+                "fig25",
+                "Fig 25: 64MB, maximum-loss runs",
+            ),
+            "fig26" => fig_avg_overlay_case(
+                &opts,
+                &case2(),
+                opts.size(32 << 20, 8 << 20),
+                "fig26",
+                "Fig 26: average seq growth, 32MB UCSB→UF",
+            ),
+            "fig27" => fig_single_run_case3(&opts, "fig27", "Fig 27: seq growth, 256MB wireless"),
+            "fig28" => fig_bw_sweep_iters(
+                &opts,
+                &case4(),
                 &pow2_sizes(1 << 20, opts.size(512 << 20, 32 << 20)),
-                opts.iters(120, 5), "fig28", "Fig 28: UCSB→OSU steady state, 1M-512M (log-x)"),
-            "fig29" => fig_bw_sweep_iters(&opts, &case4(),
+                opts.iters(120, 5),
+                "fig28",
+                "Fig 28: UCSB→OSU steady state, 1M-512M (log-x)",
+            ),
+            "fig29" => fig_bw_sweep_iters(
+                &opts,
+                &case4(),
                 &[32 << 10, 64 << 10, 128 << 10, 256 << 10, 512 << 10, 1 << 20],
-                opts.iters(120, 10), "fig29", "Fig 29: UCSB→OSU, 32K-1024K"),
+                opts.iters(120, 10),
+                "fig29",
+                "Fig 29: UCSB→OSU, 32K-1024K",
+            ),
             "summary" => headline_summary(&opts),
             other => {
                 eprintln!("unknown figure {other:?}");
@@ -134,8 +257,16 @@ fn fig_rtt(opts: &FigOpts, case: &PathCase, stem: &str, title: &str) {
     let sum = s1 + s2;
 
     println!("{title}");
-    for (name, v) in [("sublink1", s1), ("sublink2", s2), ("end-to-end", e2e), ("sum of sublinks", sum)] {
-        println!("  {name:<16} {v:7.1} ms  {}", "#".repeat((v / 2.0) as usize));
+    for (name, v) in [
+        ("sublink1", s1),
+        ("sublink2", s2),
+        ("end-to-end", e2e),
+        ("sum of sublinks", sum),
+    ] {
+        println!(
+            "  {name:<16} {v:7.1} ms  {}",
+            "#".repeat((v / 2.0) as usize)
+        );
     }
     println!("  cascade RTT overhead vs direct: {:+.1} ms\n", sum - e2e);
     let bars = [
@@ -144,8 +275,7 @@ fn fig_rtt(opts: &FigOpts, case: &PathCase, stem: &str, title: &str) {
         ("end-to-end", vec![(2.0, e2e)]),
         ("sum-sublinks", vec![(3.0, sum)]),
     ];
-    let curves: Vec<(&str, &[(f64, f64)])> =
-        bars.iter().map(|(n, v)| (*n, v.as_slice())).collect();
+    let curves: Vec<(&str, &[(f64, f64)])> = bars.iter().map(|(n, v)| (*n, v.as_slice())).collect();
     write_dat(&opts.out_dir, stem, &curves).expect("write dat");
 }
 
@@ -153,7 +283,14 @@ fn fig_rtt(opts: &FigOpts, case: &PathCase, stem: &str, title: &str) {
 // Bandwidth-vs-size figures (5-8, 10, 28, 29)
 // ---------------------------------------------------------------------
 
-fn fig_bw_sweep(opts: &FigOpts, case: &PathCase, sizes: &[u64], paper_iters: usize, stem: &str, title: &str) {
+fn fig_bw_sweep(
+    opts: &FigOpts,
+    case: &PathCase,
+    sizes: &[u64],
+    paper_iters: usize,
+    stem: &str,
+    title: &str,
+) {
     fig_bw_sweep_iters(opts, case, sizes, opts.iters(paper_iters, 3), stem, title);
 }
 
@@ -241,11 +378,7 @@ fn fig_individual_runs(opts: &FigOpts, mode: Mode, sel: SubSel, stem: &str, titl
 }
 
 /// Collect the three averaged curves (sublink1, sublink2, direct).
-fn three_way_averages(
-    opts: &FigOpts,
-    case: &PathCase,
-    size: u64,
-) -> (Series, Series, Series) {
+fn three_way_averages(opts: &FigOpts, case: &PathCase, size: u64) -> (Series, Series, Series) {
     let iters = opts.iters(11, 5);
     let lsl = traced_runs(case, size, Mode::ViaDepot, iters, 4000);
     let direct = traced_runs(case, size, Mode::Direct, iters, 4000);
@@ -281,7 +414,10 @@ fn emit_three_way(
         ("sublink2", s2.points()),
         ("direct", d.points()),
     ];
-    println!("{}", ascii_plot(&format!("{title} [x: s, y: bytes]"), &curves));
+    println!(
+        "{}",
+        ascii_plot(&format!("{title} [x: s, y: bytes]"), &curves)
+    );
     // Completion-time comparison (when each curve reaches the payload).
     let done = |s: &Series| s.last_t().unwrap_or(f64::NAN);
     println!(
@@ -356,9 +492,21 @@ fn headline_summary(opts: &FigOpts) {
     let iters = opts.iters(10, 3);
     let mut all_gains = Vec::new();
     let settings: [(&str, PathCase, Vec<u64>); 3] = [
-        ("case1 (UIUC)", case1(), pow2_sizes(1 << 20, opts.size(64 << 20, 8 << 20))),
-        ("case2 (UF)", case2(), pow2_sizes(1 << 20, opts.size(64 << 20, 8 << 20))),
-        ("case4 (OSU)", case4(), pow2_sizes(1 << 20, opts.size(64 << 20, 8 << 20))),
+        (
+            "case1 (UIUC)",
+            case1(),
+            pow2_sizes(1 << 20, opts.size(64 << 20, 8 << 20)),
+        ),
+        (
+            "case2 (UF)",
+            case2(),
+            pow2_sizes(1 << 20, opts.size(64 << 20, 8 << 20)),
+        ),
+        (
+            "case4 (OSU)",
+            case4(),
+            pow2_sizes(1 << 20, opts.size(64 << 20, 8 << 20)),
+        ),
     ];
     for (name, case, sizes) in settings {
         let d = sweep_sizes(&case, &sizes, Mode::Direct, iters, 9000);

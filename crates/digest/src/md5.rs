@@ -67,11 +67,14 @@ impl Md5 {
             self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
             self.buf_len += take;
             data = &data[take..];
-            if self.buf_len == BLOCK_LEN {
-                let block = self.buf;
-                self.compress(&block);
-                self.buf_len = 0;
+            if self.buf_len < BLOCK_LEN {
+                // Buffer still partial: the remainder path below would
+                // clobber buf_len with the (empty) remainder length.
+                return;
             }
+            let block = self.buf;
+            self.compress(&block);
+            self.buf_len = 0;
         }
         let mut chunks = data.chunks_exact(BLOCK_LEN);
         for block in &mut chunks {
@@ -151,8 +154,8 @@ mod tests {
         assert_eq!(
             d,
             [
-                0xd4, 0x1d, 0x8c, 0xd9, 0x8f, 0x00, 0xb2, 0x04, 0xe9, 0x80, 0x09, 0x98, 0xec,
-                0xf8, 0x42, 0x7e
+                0xd4, 0x1d, 0x8c, 0xd9, 0x8f, 0x00, 0xb2, 0x04, 0xe9, 0x80, 0x09, 0x98, 0xec, 0xf8,
+                0x42, 0x7e
             ]
         );
     }

@@ -1,0 +1,94 @@
+//! Runtime invariant auditor (cargo feature `invariants`).
+//!
+//! The static linter (`lsl-audit`) catches determinism hazards at the
+//! source level; this module catches *dynamic* ones. Simulation layers
+//! assert structural invariants — monotonic event time and per-link byte
+//! conservation here in netsim, sequence-space and cwnd bounds in
+//! lsl-tcp, relay-buffer conservation in lsl-session — through the
+//! [`invariant!`] macro. A failed check records a structured
+//! [`Violation`] in a thread-local registry (each simulation runs on one
+//! thread, so registries never mix across parallel tests) and then trips
+//! a `debug_assert!`, so debug builds stop at the fault while release
+//! audits collect a full report (formatted by `lsl-trace`).
+
+use std::cell::RefCell;
+
+use crate::time::Time;
+
+/// One recorded invariant violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// Simulated time at which the check failed.
+    pub at: Time,
+    /// Layer that owns the invariant, e.g. `netsim::sim`, `tcp::socket`.
+    pub component: &'static str,
+    /// Stable rule identifier, e.g. `event-time-monotonic`.
+    pub rule: &'static str,
+    /// Human-readable specifics (observed values).
+    pub detail: String,
+}
+
+thread_local! {
+    static REGISTRY: RefCell<Vec<Violation>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Record a violation. Usually reached via [`invariant!`], not directly.
+pub fn record(at: Time, component: &'static str, rule: &'static str, detail: String) {
+    REGISTRY.with(|r| {
+        r.borrow_mut().push(Violation {
+            at,
+            component,
+            rule,
+            detail,
+        })
+    });
+}
+
+/// Drain and return every violation recorded on this thread.
+pub fn take() -> Vec<Violation> {
+    REGISTRY.with(|r| std::mem::take(&mut *r.borrow_mut()))
+}
+
+/// Number of violations currently recorded on this thread.
+pub fn count() -> usize {
+    REGISTRY.with(|r| r.borrow().len())
+}
+
+/// Check a runtime invariant: on failure, record a [`Violation`] and trip
+/// a `debug_assert!`. Compiled only under the `invariants` feature, so
+/// call sites carry their own `#[cfg(feature = "invariants")]`.
+#[macro_export]
+macro_rules! invariant {
+    ($cond:expr, $at:expr, $component:expr, $rule:expr, $($fmt:tt)+) => {
+        if !$cond {
+            let detail = format!($($fmt)+);
+            $crate::invariants::record($at, $component, $rule, detail.clone());
+            debug_assert!(false, "invariant [{}/{}] violated: {}", $component, $rule, detail);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_records_and_drains() {
+        assert_eq!(count(), 0);
+        record(Time(5), "test", "rule-a", "x = 3".to_string());
+        record(Time(9), "test", "rule-b", "y = 4".to_string());
+        assert_eq!(count(), 2);
+        let v = take();
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0].rule, "rule-a");
+        assert_eq!(v[1].at, Time(9));
+        assert_eq!(count(), 0, "take() drains");
+    }
+
+    #[test]
+    fn passing_invariant_records_nothing() {
+        let _ = take();
+        invariant!(1 + 1 == 2, Time::ZERO, "test", "arith", "impossible");
+        assert_eq!(count(), 0);
+    }
+}

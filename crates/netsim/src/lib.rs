@@ -21,6 +21,9 @@
 //! order, so a given (topology, workload, seed) triple always produces a
 //! bit-identical execution.
 
+#[cfg(feature = "invariants")]
+pub mod invariants;
+
 mod link;
 mod loss;
 mod packet;

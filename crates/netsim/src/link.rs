@@ -72,6 +72,15 @@ pub(crate) struct Link {
     queue: VecDeque<Packet>,
     queued_bytes: u64,
     busy: bool,
+    /// Conservation ledger (feature `invariants`): every wire byte a link
+    /// accepts must be exactly one of delivered, lost, propagating, or
+    /// still held (queued/serializing).
+    #[cfg(feature = "invariants")]
+    pub(crate) delivered_bytes: u64,
+    #[cfg(feature = "invariants")]
+    pub(crate) lost_bytes: u64,
+    #[cfg(feature = "invariants")]
+    pub(crate) inflight_bytes: u64,
 }
 
 impl Link {
@@ -85,6 +94,12 @@ impl Link {
             queue: VecDeque::new(),
             queued_bytes: 0,
             busy: false,
+            #[cfg(feature = "invariants")]
+            delivered_bytes: 0,
+            #[cfg(feature = "invariants")]
+            lost_bytes: 0,
+            #[cfg(feature = "invariants")]
+            inflight_bytes: 0,
         }
     }
 
@@ -137,6 +152,39 @@ impl Link {
         self.queued_bytes
     }
 
+    /// Byte conservation: accepted wire bytes must equal the sum of
+    /// delivered, lost, propagating, and held bytes. Any drift means a
+    /// packet was duplicated or silently vanished inside the engine.
+    #[cfg(feature = "invariants")]
+    pub(crate) fn check_conservation(&self, now: crate::time::Time) {
+        let serializing = if self.busy {
+            self.queue.front().map_or(0, |p| p.wire_len() as u64)
+        } else {
+            0
+        };
+        let accounted = self.delivered_bytes
+            + self.lost_bytes
+            + self.inflight_bytes
+            + self.queued_bytes
+            + serializing;
+        crate::invariant!(
+            self.stats.tx_bytes == accounted,
+            now,
+            "netsim::sim",
+            "link-byte-conservation",
+            "link {:?}->{:?}: accepted {} B but accounted {} B \
+             (delivered {} + lost {} + in flight {} + held {})",
+            self.from,
+            self.to,
+            self.stats.tx_bytes,
+            accounted,
+            self.delivered_bytes,
+            self.lost_bytes,
+            self.inflight_bytes,
+            self.queued_bytes + serializing
+        );
+    }
+
     pub fn is_busy(&self) -> bool {
         self.busy
     }
@@ -148,7 +196,12 @@ mod tests {
     use bytes::Bytes;
 
     fn pkt(n: usize) -> Packet {
-        Packet::tcp(NodeId(0), NodeId(1), Bytes::new(), Bytes::from(vec![0u8; n]))
+        Packet::tcp(
+            NodeId(0),
+            NodeId(1),
+            Bytes::new(),
+            Bytes::from(vec![0u8; n]),
+        )
     }
 
     fn link(queue_bytes: u64) -> Link {

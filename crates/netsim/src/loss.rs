@@ -33,10 +33,10 @@ impl LossModel {
     /// Convenience constructor validating `p`.
     pub fn bernoulli(p: f64) -> LossModel {
         assert!((0.0..=1.0).contains(&p), "loss probability out of range");
-        if p == 0.0 {
-            LossModel::None
-        } else {
+        if p > 0.0 {
             LossModel::Bernoulli { p }
+        } else {
+            LossModel::None
         }
     }
 
@@ -92,7 +92,7 @@ impl LossModel {
                 loss_bad,
                 ..
             } => {
-                if *p_gb == 0.0 && *p_bg == 0.0 {
+                if *p_gb + *p_bg <= 0.0 {
                     return *loss_good; // chain never leaves Good
                 }
                 // Stationary distribution of the two-state chain.

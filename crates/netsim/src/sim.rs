@@ -1,7 +1,7 @@
 //! The discrete-event engine.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -67,11 +67,11 @@ pub struct Simulator {
     seq: u64,
     pub(crate) links: Vec<Link>,
     /// Per-node next-hop table: routes[node][dst] = outgoing link.
-    routes: Vec<HashMap<NodeId, LinkId>>,
+    routes: Vec<BTreeMap<NodeId, LinkId>>,
     rng: SmallRng,
     next_packet_id: u64,
     next_timer: u64,
-    active_timers: HashSet<u64>,
+    active_timers: BTreeSet<u64>,
 }
 
 impl Simulator {
@@ -81,11 +81,11 @@ impl Simulator {
             heap: BinaryHeap::new(),
             seq: 0,
             links,
-            routes: vec![HashMap::new(); num_nodes],
+            routes: vec![BTreeMap::new(); num_nodes],
             rng: SmallRng::seed_from_u64(seed),
             next_packet_id: 1,
             next_timer: 1,
-            active_timers: HashSet::new(),
+            active_timers: BTreeSet::new(),
         }
     }
 
@@ -200,9 +200,22 @@ impl Simulator {
     }
 
     /// Advance the simulation to the next externally visible event and
-    /// return it; `None` when no events remain.
+    /// return it; `None` when no events remain. Deliberately not an
+    /// `Iterator`: callers inject new packets between calls, which an
+    /// iterator borrow would forbid.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Option<Output> {
         while let Some(Reverse(entry)) = self.heap.pop() {
+            #[cfg(feature = "invariants")]
+            crate::invariant!(
+                entry.at >= self.now,
+                self.now,
+                "netsim::sim",
+                "event-time-monotonic",
+                "popped event at {:?} behind current time {:?}",
+                entry.at,
+                self.now
+            );
             debug_assert!(entry.at >= self.now, "event queue went backwards");
             self.now = entry.at;
             match entry.event {
@@ -222,12 +235,31 @@ impl Simulator {
                         }
                         lost
                     };
+                    #[cfg(feature = "invariants")]
+                    {
+                        let wire = packet.wire_len() as u64;
+                        let link = &mut self.links[idx];
+                        if lost {
+                            link.lost_bytes += wire;
+                        } else {
+                            link.inflight_bytes += wire;
+                        }
+                        link.check_conservation(self.now);
+                    }
                     if !lost {
                         let prop = self.links[idx].spec.prop_delay;
                         self.schedule(self.now + prop, Event::Arrive(link_id, packet));
                     }
                 }
                 Event::Arrive(link_id, packet) => {
+                    #[cfg(feature = "invariants")]
+                    {
+                        let wire = packet.wire_len() as u64;
+                        let link = &mut self.links[link_id.0 as usize];
+                        link.inflight_bytes -= wire;
+                        link.delivered_bytes += wire;
+                        link.check_conservation(self.now);
+                    }
                     let to = self.links[link_id.0 as usize].to;
                     if to == packet.dst {
                         return Some(Output::Deliver { node: to, packet });
@@ -277,6 +309,7 @@ mod tests {
     use super::*;
     use crate::link::LinkSpec;
     use crate::loss::LossModel;
+    use crate::time::Dur;
     use crate::topo::TopologyBuilder;
     use bytes::Bytes;
 
@@ -395,7 +428,7 @@ mod tests {
     #[test]
     fn determinism_same_seed_same_trace() {
         let run = |seed| {
-            let (mut sim, a, c) = two_node_sim(LossModel::bernoulli(0.2));
+            let (_, a, c) = two_node_sim(LossModel::bernoulli(0.2));
             let mut sim = {
                 // rebuild with chosen seed
                 let mut b = TopologyBuilder::new();

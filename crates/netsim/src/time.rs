@@ -51,7 +51,10 @@ impl Dur {
 
     /// Build from floating-point seconds, rounding to the nearest ns.
     pub fn from_secs_f64(s: f64) -> Dur {
-        assert!(s >= 0.0 && s.is_finite(), "duration must be finite and non-negative");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "duration must be finite and non-negative"
+        );
         Dur((s * 1e9).round() as u64)
     }
 
@@ -196,10 +199,7 @@ mod tests {
     #[test]
     fn serialization_delay() {
         // 1500 bytes at 100 Mbit/s = 120 us.
-        assert_eq!(
-            Dur::serialization(1500, 100_000_000),
-            Dur::from_micros(120)
-        );
+        assert_eq!(Dur::serialization(1500, 100_000_000), Dur::from_micros(120));
         // 1 byte on a 1 Tbit/s link still takes >0 time.
         assert!(Dur::serialization(1, 1_000_000_000_000).0 > 0);
         // 0 bytes takes zero time.

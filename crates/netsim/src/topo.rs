@@ -125,8 +125,8 @@ impl Topology {
                     }
                 }
             }
-            for dst in 0..n {
-                if dst == src || dist2[dst] == u64::MAX {
+            for (dst, &dist) in dist2.iter().enumerate() {
+                if dst == src || dist == u64::MAX {
                     continue;
                 }
                 // Walk back from dst to src to find the first hop.

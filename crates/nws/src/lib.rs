@@ -16,6 +16,8 @@ pub mod forecast;
 pub mod registry;
 pub mod series;
 
-pub use forecast::{AdaptiveMixture, Forecaster, LastValue, MedianWindow, RunningMean, SlidingMean, ExpSmoothing};
+pub use forecast::{
+    AdaptiveMixture, ExpSmoothing, Forecaster, LastValue, MedianWindow, RunningMean, SlidingMean,
+};
 pub use registry::{LinkMetrics, LinkRegistry};
 pub use series::TimeSeries;

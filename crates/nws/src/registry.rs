@@ -6,7 +6,7 @@
 //! statistics ("the TCP extended statistics MIB or the like", §III) —
 //! and path selection reads the current forecasts back out.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::forecast::AdaptiveMixture;
 
@@ -39,7 +39,7 @@ pub struct LinkForecast {
 /// (typically `lsl_netsim::NodeId.0`).
 #[derive(Default)]
 pub struct LinkRegistry {
-    links: HashMap<(u32, u32), LinkMetrics>,
+    links: BTreeMap<(u32, u32), LinkMetrics>,
 }
 
 impl LinkRegistry {

@@ -19,7 +19,7 @@ impl TimeSeries {
 
     pub fn push(&mut self, t: f64, value: f64) {
         assert!(
-            self.data.last().map_or(true, |&(lt, _)| t >= lt),
+            self.data.last().is_none_or(|&(lt, _)| t >= lt),
             "measurements must arrive in time order"
         );
         if self.data.len() == self.cap {

@@ -69,10 +69,7 @@ fn mixture_adapts_to_regime_switch() {
         m.update(200.0);
     }
     let p = m.predict().unwrap();
-    assert!(
-        (p - 200.0).abs() < 40.0,
-        "mixture stuck at old regime: {p}"
-    );
+    assert!((p - 200.0).abs() < 40.0, "mixture stuck at old regime: {p}");
 }
 
 proptest! {

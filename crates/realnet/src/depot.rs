@@ -7,7 +7,6 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-
 use crate::wire::{addr_from_hop, read_header};
 
 /// Relay copy-buffer size — the "small, short-lived" depot buffer.
@@ -109,7 +108,9 @@ fn relay_session(mut up: TcpStream, counters: &DepotCounters) -> std::io::Result
     down.write_all(&fwd.encode())?;
     if !leftover.is_empty() {
         down.write_all(&leftover)?;
-        counters.bytes_relayed.fetch_add(leftover.len() as u64, Ordering::Relaxed);
+        counters
+            .bytes_relayed
+            .fetch_add(leftover.len() as u64, Ordering::Relaxed);
     }
 
     // Bidirectional pump: one thread per direction; kernel socket

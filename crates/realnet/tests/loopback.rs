@@ -106,6 +106,9 @@ fn depot_to_unreachable_next_hop_fails_sync_connect() {
     // confirmation read sees EOF — so connect() must return an error.
     let dead: SocketAddr = (Ipv4Addr::LOCALHOST, 1).into();
     let result = LslStream::connect(SessionId(1), &[depot.addr()], dead, 10, true, true);
-    assert!(result.is_err(), "sync connect through a dead route must fail");
+    assert!(
+        result.is_err(),
+        "sync connect through a dead route must fail"
+    );
     depot.shutdown();
 }

@@ -8,13 +8,14 @@
 //! storage allocations). When the buffer is full the depot simply stops
 //! reading, so TCP flow control propagates backpressure hop by hop.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use bytes::Bytes;
-use lsl_netsim::NodeId;
+use lsl_netsim::{Dur, NodeId};
 use lsl_tcp::{AppEvent, Net, SockEvent, SockId, TcpConfig};
 
 use crate::header::LslHeader;
+use crate::route::Hop;
 
 /// Depot tuning.
 #[derive(Clone, Debug)]
@@ -26,6 +27,12 @@ pub struct DepotConfig {
     pub relay_buf: usize,
     /// TCP configuration for both the accepted and onward sublinks.
     pub tcp: TcpConfig,
+    /// Session-setup processing time: the gap between parsing an LSL
+    /// header and initiating the onward sublink. The paper's `lsd` is an
+    /// unprivileged user-level daemon; per-session costs (scheduling,
+    /// name resolution, socket setup on a loaded depot host) are what
+    /// make LSL lose on small transfers (Fig 5's left edge).
+    pub setup_delay: Dur,
     /// When set, capture a sender-side trace on every *downstream*
     /// sublink under this label — the paper's tcpdump at each sublink's
     /// sending host (sublink 2's sender is the depot).
@@ -38,6 +45,7 @@ impl Default for DepotConfig {
             port: 7000,
             relay_buf: 256 * 1024,
             tcp: TcpConfig::default(),
+            setup_delay: Dur::ZERO,
             trace_downstream: None,
         }
     }
@@ -80,6 +88,14 @@ impl Pipe {
 enum RelayState {
     /// Reading the LSL header from the upstream connection.
     ReadingHeader { hdr_buf: Vec<u8> },
+    /// Header parsed; waiting out the depot's session-setup processing
+    /// time before initiating the onward connect.
+    SettingUp {
+        next: Hop,
+        fwd_header: Bytes,
+        staged: Vec<Bytes>,
+        staged_bytes: usize,
+    },
     /// Next-hop connect in flight; holds the header to forward and any
     /// payload that arrived with (after) the header.
     Connecting {
@@ -97,9 +113,15 @@ struct Relay {
     up: SockId,
     down: Option<SockId>,
     state: RelayState,
+    /// Monotonic session number, embedded in setup-timer tokens so a
+    /// stale timer cannot act on a reused relay slot.
+    gen: u64,
     up_closed: bool,
     down_closed: bool,
 }
+
+/// Setup-timer tokens pack `(gen, slot)`; slots use the low bits.
+const SLOT_BITS: u32 = 20;
 
 /// A depot instance bound to one node+port.
 pub struct Depot {
@@ -107,7 +129,8 @@ pub struct Depot {
     listener: SockId,
     cfg: DepotConfig,
     relays: Vec<Option<Relay>>,
-    by_sock: HashMap<SockId, usize>,
+    by_sock: BTreeMap<SockId, usize>,
+    next_gen: u64,
     stats: DepotStats,
     finished_traces: Vec<lsl_trace::ConnTrace>,
 }
@@ -121,7 +144,8 @@ impl Depot {
             listener,
             cfg,
             relays: Vec::new(),
-            by_sock: HashMap::new(),
+            by_sock: BTreeMap::new(),
+            next_gen: 0,
             stats: DepotStats::default(),
             finished_traces: Vec::new(),
         }
@@ -153,6 +177,13 @@ impl Depot {
     /// Feed one event; returns `true` if it belonged to this depot.
     pub fn handle(&mut self, net: &mut Net, ev: &AppEvent) -> bool {
         let AppEvent::Sock { sock, event } = ev else {
+            // Setup-delay timers carry a packed (gen, slot) token.
+            if let AppEvent::Timer { node, token } = ev {
+                if *node == self.node {
+                    self.on_setup_timer(net, *token);
+                    return true;
+                }
+            }
             return false;
         };
         if *sock == self.listener {
@@ -166,9 +197,7 @@ impl Depot {
         };
         match event {
             SockEvent::Connected => self.on_down_connected(net, idx),
-            SockEvent::Readable | SockEvent::Writable | SockEvent::PeerFin => {
-                self.pump(net, idx)
-            }
+            SockEvent::Readable | SockEvent::Writable | SockEvent::PeerFin => self.pump(net, idx),
             SockEvent::Closed => self.on_closed(net, idx, *sock),
             SockEvent::Error(_) => self.on_error(net, idx),
             SockEvent::Accepted { .. } => unreachable!("relay socket cannot accept"),
@@ -178,12 +207,14 @@ impl Depot {
 
     fn on_accept(&mut self, conn: SockId) {
         self.stats.sessions_accepted += 1;
+        self.next_gen += 1;
         let relay = Relay {
             up: conn,
             down: None,
             state: RelayState::ReadingHeader {
                 hdr_buf: Vec::new(),
             },
+            gen: self.next_gen,
             up_closed: false,
             down_closed: false,
         };
@@ -280,6 +311,34 @@ impl Depot {
                 net.close(pipe.to);
                 pipe.fin_propagated = true;
             }
+            // Relay-buffer conservation: the byte counter must equal the
+            // chunks actually held, and never exceed the configured cap.
+            #[cfg(feature = "invariants")]
+            {
+                let held: usize = pipe.buf.iter().map(Bytes::len).sum();
+                lsl_netsim::invariant!(
+                    pipe.buffered == held,
+                    net.now(),
+                    "session::depot",
+                    "relay-buffer-conservation",
+                    "pipe {:?}->{:?}: counter {} B vs {} B held",
+                    pipe.from,
+                    pipe.to,
+                    pipe.buffered,
+                    held
+                );
+                lsl_netsim::invariant!(
+                    pipe.buffered <= cap,
+                    net.now(),
+                    "session::depot",
+                    "relay-buffer-bound",
+                    "pipe {:?}->{:?}: {} B buffered exceeds cap {} B",
+                    pipe.from,
+                    pipe.to,
+                    pipe.buffered,
+                    cap
+                );
+            }
         }
         self.stats.bytes_relayed += relayed;
         self.stats.max_buffered = self.stats.max_buffered.max(max_buffered);
@@ -317,18 +376,22 @@ impl Depot {
                     } else {
                         vec![leftover]
                     };
-                    let down = net.connect(self.node, next.node, next.port, self.cfg.tcp.clone());
-                    if let Some(label) = &self.cfg.trace_downstream {
-                        net.enable_trace(down, label);
+                    if self.cfg.setup_delay > Dur::ZERO {
+                        // Model per-session depot processing before the
+                        // onward connect is even initiated.
+                        let at = net.now() + self.cfg.setup_delay;
+                        let relay = self.relay_mut(idx);
+                        let token = (relay.gen << SLOT_BITS) | idx as u64;
+                        net.set_app_timer(self.node, at, token);
+                        self.relay_mut(idx).state = RelayState::SettingUp {
+                            next,
+                            fwd_header: fwd.encode(),
+                            staged,
+                            staged_bytes,
+                        };
+                    } else {
+                        self.open_downstream(net, idx, next, fwd.encode(), staged, staged_bytes);
                     }
-                    let relay = self.relay_mut(idx);
-                    relay.down = Some(down);
-                    relay.state = RelayState::Connecting {
-                        fwd_header: fwd.encode(),
-                        staged,
-                        staged_bytes,
-                    };
-                    self.by_sock.insert(down, idx);
                     return;
                 }
                 Err(_) => {
@@ -345,6 +408,53 @@ impl Depot {
         } else {
             self.relay_mut(idx).state = RelayState::ReadingHeader { hdr_buf };
         }
+    }
+
+    /// Session-setup processing time elapsed: initiate the onward connect.
+    fn on_setup_timer(&mut self, net: &mut Net, token: u64) {
+        let idx = (token & ((1 << SLOT_BITS) - 1)) as usize;
+        let gen = token >> SLOT_BITS;
+        let Some(relay) = self.relays.get_mut(idx).and_then(Option::as_mut) else {
+            return;
+        };
+        if relay.gen != gen {
+            // Stale timer: the slot was reaped and reused.
+            return;
+        }
+        match std::mem::replace(&mut relay.state, RelayState::Dead) {
+            RelayState::SettingUp {
+                next,
+                fwd_header,
+                staged,
+                staged_bytes,
+            } => self.open_downstream(net, idx, next, fwd_header, staged, staged_bytes),
+            // Stale timer: the relay died (or the slot was reused) while
+            // the timer was in flight. Put the state back untouched.
+            other => relay.state = other,
+        }
+    }
+
+    fn open_downstream(
+        &mut self,
+        net: &mut Net,
+        idx: usize,
+        next: Hop,
+        fwd_header: Bytes,
+        staged: Vec<Bytes>,
+        staged_bytes: usize,
+    ) {
+        let down = net.connect(self.node, next.node, next.port, self.cfg.tcp.clone());
+        if let Some(label) = &self.cfg.trace_downstream {
+            net.enable_trace(down, label);
+        }
+        let relay = self.relay_mut(idx);
+        relay.down = Some(down);
+        relay.state = RelayState::Connecting {
+            fwd_header,
+            staged,
+            staged_bytes,
+        };
+        self.by_sock.insert(down, idx);
     }
 
     fn on_error(&mut self, net: &mut Net, idx: usize) {

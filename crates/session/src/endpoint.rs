@@ -5,7 +5,7 @@
 //! the full stream (including LSL header and digest overheads, and "all
 //! concomitant processing overheads" of the depots in between).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use bytes::Bytes;
 use lsl_digest::Md5;
@@ -88,6 +88,7 @@ const SEND_CHUNK: u64 = 256 * 1024;
 
 impl BulkSender {
     /// Initiate the transfer: connect to the path's first hop.
+    #[allow(clippy::too_many_arguments)] // one-shot constructor mirroring the LSL API surface
     pub fn start(
         net: &mut Net,
         src: NodeId,
@@ -106,10 +107,7 @@ impl BulkSender {
         }
         let header = match mode {
             SendMode::DirectTcp => {
-                assert!(
-                    path.depots.is_empty(),
-                    "direct TCP cannot traverse depots"
-                );
+                assert!(path.depots.is_empty(), "direct TCP cannot traverse depots");
                 None
             }
             SendMode::Lsl { digest, .. } => Some(
@@ -181,13 +179,11 @@ impl BulkSender {
                     }
                 }
             }
-            SockEvent::Readable => {
-                if self.state == SenderState::AwaitingConfirm {
-                    let b = net.recv(self.sock, 1);
-                    if b.first() == Some(&SESSION_CONFIRM) {
-                        self.state = SenderState::Streaming;
-                        self.pump(net);
-                    }
+            SockEvent::Readable if self.state == SenderState::AwaitingConfirm => {
+                let b = net.recv(self.sock, 1);
+                if b.first() == Some(&SESSION_CONFIRM) {
+                    self.state = SenderState::Streaming;
+                    self.pump(net);
                 }
             }
             SockEvent::Writable => self.pump(net),
@@ -303,18 +299,24 @@ struct SinkConn {
 pub struct SinkServer {
     listener: SockId,
     expects_lsl: bool,
-    conns: HashMap<SockId, SinkConn>,
+    conns: BTreeMap<SockId, SinkConn>,
     completed: Vec<TransferOutcome>,
     errors: u64,
 }
 
 impl SinkServer {
-    pub fn new(net: &mut Net, node: NodeId, port: u16, expects_lsl: bool, tcp: TcpConfig) -> SinkServer {
+    pub fn new(
+        net: &mut Net,
+        node: NodeId,
+        port: u16,
+        expects_lsl: bool,
+        tcp: TcpConfig,
+    ) -> SinkServer {
         let listener = net.listen(node, port, tcp);
         SinkServer {
             listener,
             expects_lsl,
-            conns: HashMap::new(),
+            conns: BTreeMap::new(),
             completed: Vec::new(),
             errors: 0,
         }
@@ -439,8 +441,7 @@ impl SinkServer {
                         Some(h) if h.has_digest() => {
                             // The final 16 bytes are the digest; they were
                             // kept out of `md5`/`received` by feed_body.
-                            let ok = tail.len() == 16
-                                && md5.finalize()[..] == tail[..];
+                            let ok = tail.len() == 16 && md5.finalize()[..] == tail[..];
                             (received, Some(ok))
                         }
                         _ => (received, None),

@@ -60,11 +60,7 @@ pub fn rank_paths(candidates: &[Candidate], size: u64, init_cwnd: u64) -> Vec<Ra
             }
         })
         .collect();
-    ranked.sort_by(|a, b| {
-        a.predicted_time
-            .partial_cmp(&b.predicted_time)
-            .expect("times are finite")
-    });
+    ranked.sort_by(|a, b| a.predicted_time.total_cmp(&b.predicted_time));
     ranked
 }
 

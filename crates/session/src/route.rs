@@ -62,7 +62,7 @@ impl LslPath {
     /// Validate: no node may appear twice (a routing loop) and the
     /// destination must not be a depot.
     pub fn validate(&self) -> Result<(), String> {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for hop in self.depots.iter().chain(std::iter::once(&self.dst)) {
             if !seen.insert(hop.node) {
                 return Err(format!("node {:?} appears twice in route", hop.node));

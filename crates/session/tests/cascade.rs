@@ -62,7 +62,12 @@ fn run_cascade(
     loss: f64,
     seed: u64,
     digest: bool,
-) -> (Vec<lsl_session::TransferOutcome>, Vec<lsl_session::DepotStats>, SenderState, f64) {
+) -> (
+    Vec<lsl_session::TransferOutcome>,
+    Vec<lsl_session::DepotStats>,
+    SenderState,
+    f64,
+) {
     let (topo, nodes) = chain_topology(n_depots, 50_000_000, Dur::from_millis(5), loss);
     let mut net = Net::new(topo.into_sim(seed));
     let tcp = TcpConfig {
@@ -78,6 +83,7 @@ fn run_cascade(
                     port: DEPOT_PORT,
                     relay_buf: 256 * 1024,
                     tcp: tcp.clone(),
+                    setup_delay: lsl_netsim::Dur::ZERO,
                     trace_downstream: None,
                 },
             )
@@ -86,7 +92,9 @@ fn run_cascade(
     let sink_node = *nodes.last().unwrap();
     let sink = SinkServer::new(&mut net, sink_node, SINK_PORT, true, tcp.clone());
     let path = LslPath::via(
-        (0..n_depots).map(|i| Hop::new(nodes[1 + i], DEPOT_PORT)).collect(),
+        (0..n_depots)
+            .map(|i| Hop::new(nodes[1 + i], DEPOT_PORT))
+            .collect(),
         Hop::new(sink_node, SINK_PORT),
     );
     let sender = BulkSender::start(
@@ -194,6 +202,7 @@ fn depot_buffer_stays_bounded() {
             port: DEPOT_PORT,
             relay_buf,
             tcp: tcp.clone(),
+            setup_delay: lsl_netsim::Dur::ZERO,
             trace_downstream: None,
         },
     );
@@ -236,14 +245,12 @@ fn lsl_beats_direct_on_split_lossy_path_and_loses_when_tiny() {
         b.duplex(
             src,
             pop,
-            LinkSpec::new(100_000_000, Dur::from_millis(15))
-                .with_loss(LossModel::bernoulli(2e-4)),
+            LinkSpec::new(100_000_000, Dur::from_millis(15)).with_loss(LossModel::bernoulli(2e-4)),
         );
         b.duplex(
             pop,
             dst,
-            LinkSpec::new(100_000_000, Dur::from_millis(15))
-                .with_loss(LossModel::bernoulli(2e-4)),
+            LinkSpec::new(100_000_000, Dur::from_millis(15)).with_loss(LossModel::bernoulli(2e-4)),
         );
         (b.build(), src, pop, dst)
     };
@@ -263,6 +270,9 @@ fn lsl_beats_direct_on_split_lossy_path_and_loses_when_tiny() {
                     port: DEPOT_PORT,
                     relay_buf: 256 * 1024,
                     tcp: tcp(),
+                    // Per-session depot processing: the cost that makes
+                    // LSL lose on tiny transfers.
+                    setup_delay: Dur::from_millis(50),
                     trace_downstream: None,
                 },
             )]
@@ -276,9 +286,13 @@ fn lsl_beats_direct_on_split_lossy_path_and_loses_when_tiny() {
                 SendMode::lsl(),
             )
         } else {
-            (LslPath::direct(Hop::new(dst, SINK_PORT)), SendMode::DirectTcp)
+            (
+                LslPath::direct(Hop::new(dst, SINK_PORT)),
+                SendMode::DirectTcp,
+            )
         };
-        let sender = BulkSender::start(&mut net, src, &path, SessionId(9), total, mode, tcp(), None);
+        let sender =
+            BulkSender::start(&mut net, src, &path, SessionId(9), total, mode, tcp(), None);
         let started = sender.started_at;
         let (net, _, sink, _) = Harness {
             net,
@@ -297,9 +311,7 @@ fn lsl_beats_direct_on_split_lossy_path_and_loses_when_tiny() {
 
     // Large transfer: average over a few seeds; LSL should win clearly.
     let big = 8u64 << 20;
-    let avg = |via: bool| -> f64 {
-        (0..5).map(|s| run_one(via, big, 100 + s)).sum::<f64>() / 5.0
-    };
+    let avg = |via: bool| -> f64 { (0..5).map(|s| run_one(via, big, 100 + s)).sum::<f64>() / 5.0 };
     let t_direct = avg(false);
     let t_lsl = avg(true);
     assert!(
@@ -329,11 +341,15 @@ fn concurrent_sessions_through_one_depot() {
             port: DEPOT_PORT,
             relay_buf: 256 * 1024,
             tcp: tcp.clone(),
+            setup_delay: lsl_netsim::Dur::ZERO,
             trace_downstream: None,
         },
     );
     let mut sink = SinkServer::new(&mut net, nodes[2], SINK_PORT, true, tcp.clone());
-    let path = LslPath::via(vec![Hop::new(nodes[1], DEPOT_PORT)], Hop::new(nodes[2], SINK_PORT));
+    let path = LslPath::via(
+        vec![Hop::new(nodes[1], DEPOT_PORT)],
+        Hop::new(nodes[2], SINK_PORT),
+    );
     let mut senders: Vec<BulkSender> = (0..4)
         .map(|i| {
             BulkSender::start(

@@ -12,7 +12,7 @@ use crate::socket::{SockEvent, TcpState};
 use crate::stack::TcpStack;
 
 /// Identifies a socket: the node it lives on plus its slot there.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SockId {
     pub node: NodeId,
     pub idx: u32,
@@ -82,7 +82,8 @@ impl Net {
     /// Active open toward `peer:port`. Completion arrives as
     /// [`SockEvent::Connected`] (or an error event).
     pub fn connect(&mut self, node: NodeId, peer: NodeId, port: u16, cfg: TcpConfig) -> SockId {
-        let idx = self.stacks[node.0 as usize].connect(&mut self.sim, &mut self.scratch, peer, port, cfg);
+        let idx =
+            self.stacks[node.0 as usize].connect(&mut self.sim, &mut self.scratch, peer, port, cfg);
         self.flush_scratch(node);
         SockId { node, idx }
     }
@@ -229,11 +230,7 @@ impl Net {
                             token: token & !APP_TIMER_BIT,
                         });
                     }
-                    self.stacks[node.0 as usize].on_timer(
-                        &mut self.sim,
-                        &mut self.scratch,
-                        token,
-                    );
+                    self.stacks[node.0 as usize].on_timer(&mut self.sim, &mut self.scratch, token);
                     self.flush_scratch(node);
                 }
             }

@@ -209,7 +209,11 @@ mod tests {
     use super::*;
 
     fn payload(start: u8, len: usize) -> Bytes {
-        Bytes::from((0..len).map(|i| start.wrapping_add(i as u8)).collect::<Vec<_>>())
+        Bytes::from(
+            (0..len)
+                .map(|i| start.wrapping_add(i as u8))
+                .collect::<Vec<_>>(),
+        )
     }
 
     #[test]

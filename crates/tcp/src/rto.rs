@@ -141,8 +141,8 @@ mod tests {
             e.on_timeout();
         }
         assert_eq!(e.current(), Dur::from_secs(120)); // capped
-        // A fresh sample resets backoff; RTTVAR has decayed to 37.5 ms
-        // (0.75 × 50) so RTO = 100 + 4 × 37.5 = 250 ms.
+                                                      // A fresh sample resets backoff; RTTVAR has decayed to 37.5 ms
+                                                      // (0.75 × 50) so RTO = 100 + 4 × 37.5 = 250 ms.
         e.on_sample(Dur::from_millis(100));
         assert_eq!(e.current(), Dur::from_millis(250));
         assert_eq!(e.backoff_count(), 0);

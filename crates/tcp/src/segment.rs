@@ -17,11 +17,36 @@ pub struct Flags {
 }
 
 impl Flags {
-    pub const SYN: Flags = Flags { syn: true, ack: false, fin: false, rst: false };
-    pub const ACK: Flags = Flags { syn: false, ack: true, fin: false, rst: false };
-    pub const SYN_ACK: Flags = Flags { syn: true, ack: true, fin: false, rst: false };
-    pub const FIN_ACK: Flags = Flags { syn: false, ack: true, fin: true, rst: false };
-    pub const RST: Flags = Flags { syn: false, ack: false, fin: false, rst: true };
+    pub const SYN: Flags = Flags {
+        syn: true,
+        ack: false,
+        fin: false,
+        rst: false,
+    };
+    pub const ACK: Flags = Flags {
+        syn: false,
+        ack: true,
+        fin: false,
+        rst: false,
+    };
+    pub const SYN_ACK: Flags = Flags {
+        syn: true,
+        ack: true,
+        fin: false,
+        rst: false,
+    };
+    pub const FIN_ACK: Flags = Flags {
+        syn: false,
+        ack: true,
+        fin: true,
+        rst: false,
+    };
+    pub const RST: Flags = Flags {
+        syn: false,
+        ack: false,
+        fin: false,
+        rst: true,
+    };
 
     fn to_bits(self) -> u8 {
         (self.syn as u8) | (self.ack as u8) << 1 | (self.fin as u8) << 2 | (self.rst as u8) << 3
@@ -119,7 +144,12 @@ mod tests {
             dst_port: 5000,
             seq: 123456789012,
             ack: 987654321098,
-            flags: Flags { syn: true, ack: true, fin: false, rst: false },
+            flags: Flags {
+                syn: true,
+                ack: true,
+                fin: false,
+                rst: false,
+            },
             wnd: 8 * 1024 * 1024,
             mss: Some(1460),
         }
@@ -135,7 +165,11 @@ mod tests {
 
     #[test]
     fn roundtrip_no_mss() {
-        let s = Segment { mss: None, flags: Flags::ACK, ..sample() };
+        let s = Segment {
+            mss: None,
+            flags: Flags::ACK,
+            ..sample()
+        };
         assert_eq!(Segment::decode(&s.encode()), Some(s));
     }
 

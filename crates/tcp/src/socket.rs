@@ -143,7 +143,13 @@ pub(crate) struct Tcb {
 
 impl Tcb {
     /// Active open: construct and send the SYN.
-    pub fn connect(ctx: &mut Ctx, cfg: TcpConfig, local_port: u16, peer: NodeId, peer_port: u16) -> Tcb {
+    pub fn connect(
+        ctx: &mut Ctx,
+        cfg: TcpConfig,
+        local_port: u16,
+        peer: NodeId,
+        peer_port: u16,
+    ) -> Tcb {
         cfg.check();
         let mut tcb = Tcb::new_raw(cfg, local_port, peer, peer_port, TcpState::SynSent, None);
         tcb.send_syn(ctx, false);
@@ -162,7 +168,14 @@ impl Tcb {
         parent: u32,
     ) -> Tcb {
         cfg.check();
-        let mut tcb = Tcb::new_raw(cfg, local_port, peer, peer_port, TcpState::SynRcvd, Some(parent));
+        let mut tcb = Tcb::new_raw(
+            cfg,
+            local_port,
+            peer,
+            peer_port,
+            TcpState::SynRcvd,
+            Some(parent),
+        );
         tcb.handle_peer_syn(syn);
         tcb.send_syn(ctx, true);
         tcb.arm_rto(ctx);
@@ -239,7 +252,9 @@ impl Tcb {
             ack: if flags.ack { self.rcv_ack() } else { 0 },
             flags,
             wnd,
-            mss: flags.syn.then_some(self.cfg.mss.min(u16::MAX as u32) as u16),
+            mss: flags
+                .syn
+                .then_some(self.cfg.mss.min(u16::MAX as u32) as u16),
         };
         if let Some(trace) = &mut self.trace {
             trace.push(SegRecord {
@@ -267,7 +282,11 @@ impl Tcb {
     }
 
     fn send_syn(&mut self, ctx: &mut Ctx, is_syn_ack: bool) {
-        let flags = if is_syn_ack { Flags::SYN_ACK } else { Flags::SYN };
+        let flags = if is_syn_ack {
+            Flags::SYN_ACK
+        } else {
+            Flags::SYN
+        };
         self.emit(ctx, 0, flags, Bytes::new(), self.retx_count > 0);
     }
 
@@ -300,7 +319,11 @@ impl Tcb {
         };
         if self.delack_timer.is_none() {
             let at = ctx.sim.now() + d;
-            self.delack_timer = Some(ctx.sim.set_timer(ctx.node, at, ctx.timer_token(TIMER_DELACK)));
+            self.delack_timer = Some(ctx.sim.set_timer(
+                ctx.node,
+                at,
+                ctx.timer_token(TIMER_DELACK),
+            ));
         }
     }
 
@@ -315,8 +338,11 @@ impl Tcb {
         self.cancel_rto(ctx);
         if self.time_wait_timer.is_none() {
             let at = ctx.sim.now() + self.cfg.time_wait;
-            self.time_wait_timer =
-                Some(ctx.sim.set_timer(ctx.node, at, ctx.timer_token(TIMER_TIMEWAIT)));
+            self.time_wait_timer = Some(ctx.sim.set_timer(
+                ctx.node,
+                at,
+                ctx.timer_token(TIMER_TIMEWAIT),
+            ));
         }
     }
 
@@ -342,7 +368,10 @@ impl Tcb {
 
     /// Enqueue outbound data; returns bytes accepted.
     pub fn send(&mut self, ctx: &mut Ctx, data: &Bytes) -> usize {
-        if !self.state.can_send() && self.state != TcpState::SynSent && self.state != TcpState::SynRcvd {
+        if !self.state.can_send()
+            && self.state != TcpState::SynSent
+            && self.state != TcpState::SynRcvd
+        {
             return 0;
         }
         if self.app_closed {
@@ -425,11 +454,45 @@ impl Tcb {
         self.snd_nxt - self.snd_una
     }
 
+    /// Send-side structural invariants, audited after every ACK-driven
+    /// transition (feature `invariants`): the sequence space must stay
+    /// ordered (`snd_una ≤ snd_nxt ≤ snd_max`) and the congestion window
+    /// bounded (at least one MSS so progress is always possible, and
+    /// below a sanity ceiling that recovery inflation must never pierce).
+    #[cfg(feature = "invariants")]
+    fn check_invariants(&self, ctx: &Ctx) {
+        lsl_netsim::invariant!(
+            self.snd_una <= self.snd_nxt && self.snd_nxt <= self.snd_max,
+            ctx.sim.now(),
+            "tcp::socket",
+            "seq-space-order",
+            "snd_una {} / snd_nxt {} / snd_max {} out of order",
+            self.snd_una,
+            self.snd_nxt,
+            self.snd_max
+        );
+        const CWND_CEILING: u64 = 1 << 30;
+        lsl_netsim::invariant!(
+            self.cc.cwnd >= self.mss as u64 && self.cc.cwnd <= CWND_CEILING,
+            ctx.sim.now(),
+            "tcp::cc",
+            "cwnd-bounds",
+            "cwnd {} outside [{}, {}]",
+            self.cc.cwnd,
+            self.mss,
+            CWND_CEILING
+        );
+    }
+
     /// Push out as much as the congestion and flow-control windows allow.
     pub fn try_output(&mut self, ctx: &mut Ctx) {
         if !matches!(
             self.state,
-            TcpState::Established | TcpState::CloseWait | TcpState::FinWait1 | TcpState::Closing | TcpState::LastAck
+            TcpState::Established
+                | TcpState::CloseWait
+                | TcpState::FinWait1
+                | TcpState::Closing
+                | TcpState::LastAck
         ) {
             return;
         }
@@ -579,6 +642,8 @@ impl Tcb {
                 self.snd_nxt = self.snd_una;
                 self.try_output(ctx);
                 self.arm_rto(ctx);
+                #[cfg(feature = "invariants")]
+                self.check_invariants(ctx);
             }
         }
     }
@@ -660,12 +725,9 @@ impl Tcb {
                 node: ctx.node,
                 idx: ctx.idx,
             };
-            if self.parent_listener.is_some() {
+            if let Some(listener) = self.parent_listener {
                 // Delivered against the listener socket by the stack.
-                ctx.events.push((
-                    self.parent_listener.expect("checked"),
-                    SockEvent::Accepted { conn },
-                ));
+                ctx.events.push((listener, SockEvent::Accepted { conn }));
             }
             // The handshake ACK may carry data already.
             if !data.is_empty() || seg.flags.fin {
@@ -706,6 +768,8 @@ impl Tcb {
                 self.snd_wnd = seg.wnd;
                 self.try_output(ctx);
             }
+            #[cfg(feature = "invariants")]
+            self.check_invariants(ctx);
         }
 
         // --- data processing ------------------------------------------
@@ -783,16 +847,13 @@ impl Tcb {
             }
         }
 
-        match self.cc.on_new_ack(acked, self.snd_una) {
-            CcAction::RetransmitHole => {
-                self.retransmit_one(ctx);
-            }
-            _ => {}
+        if self.cc.on_new_ack(acked, self.snd_una) == CcAction::RetransmitHole {
+            self.retransmit_one(ctx);
         }
 
         // FIN-of-ours acknowledged?
         if let Some(fin) = self.fin_seq {
-            if seg.ack >= fin + 1 {
+            if seg.ack > fin {
                 match self.state {
                     TcpState::FinWait1 => self.state = TcpState::FinWait2,
                     TcpState::Closing => {

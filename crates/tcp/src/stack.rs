@@ -1,6 +1,6 @@
 //! Per-node TCP stack: socket table, port demultiplexing and listeners.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use bytes::Bytes;
 use lsl_netsim::{NodeId, Packet, Simulator};
@@ -24,8 +24,8 @@ pub(crate) struct TcpStack {
     socks: Vec<Option<Sock>>,
     /// Established/learning connections keyed by (local port, peer node,
     /// peer port).
-    demux: HashMap<(u16, NodeId, u16), u32>,
-    listeners: HashMap<u16, u32>,
+    demux: BTreeMap<(u16, NodeId, u16), u32>,
+    listeners: BTreeMap<u16, u32>,
     next_ephemeral: u16,
 }
 
@@ -34,8 +34,8 @@ impl TcpStack {
         TcpStack {
             node,
             socks: Vec::new(),
-            demux: HashMap::new(),
-            listeners: HashMap::new(),
+            demux: BTreeMap::new(),
+            listeners: BTreeMap::new(),
             next_ephemeral: EPHEMERAL_BASE,
         }
     }

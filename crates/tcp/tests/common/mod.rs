@@ -19,7 +19,11 @@ pub fn pattern(i: u64) -> u8 {
 }
 
 pub fn pattern_chunk(offset: u64, len: usize) -> Bytes {
-    Bytes::from((0..len as u64).map(|i| pattern(offset + i)).collect::<Vec<_>>())
+    Bytes::from(
+        (0..len as u64)
+            .map(|i| pattern(offset + i))
+            .collect::<Vec<_>>(),
+    )
 }
 
 /// Outcome of [`run_bulk_transfer`].

@@ -4,7 +4,7 @@ mod common;
 
 use bytes::Bytes;
 use common::{pattern_chunk, run_bulk_transfer, test_cfg, two_hosts};
-use lsl_netsim::{Dur, LinkSpec, LossModel, TopologyBuilder};
+use lsl_netsim::{Dur, LossModel};
 use lsl_tcp::{AppEvent, Net, SockEvent, TcpConfig, TcpError, TcpState};
 
 #[test]
@@ -38,11 +38,7 @@ fn zero_byte_transfer_closes_cleanly() {
 
 #[test]
 fn megabyte_transfer_intact_over_lossy_link() {
-    let (topo, a, c) = two_hosts(
-        20_000_000,
-        Dur::from_millis(10),
-        LossModel::bernoulli(0.01),
-    );
+    let (topo, a, c) = two_hosts(20_000_000, Dur::from_millis(10), LossModel::bernoulli(0.01));
     let mut net = Net::new(topo.into_sim(42));
     let res = run_bulk_transfer(&mut net, a, c, 80, 1 << 20, test_cfg());
     assert_eq!(res.received, 1 << 20, "stream must survive 1% loss");
@@ -98,7 +94,10 @@ fn retransmissions_recorded_in_trace() {
     }
     assert!(received >= total);
     let trace = net.take_trace(client).expect("trace enabled");
-    assert!(lsl_trace::retransmissions(&trace) > 0, "5% loss must retransmit");
+    assert!(
+        lsl_trace::retransmissions(&trace) > 0,
+        "5% loss must retransmit"
+    );
     // Sequence growth is monotone and reaches the stream length.
     let growth = lsl_trace::seq_growth(&trace);
     assert!(growth.last_y().unwrap() >= total as f64);
@@ -213,7 +212,10 @@ fn flow_control_blocks_and_resumes() {
     // transfer needs ≥ 256 KB / (16KB per ~5ms-ish) — just assert the
     // sender was actually throttled well below link rate.
     let elapsed = net.now().as_secs_f64();
-    assert!(elapsed > 0.2, "expected throttled transfer, took {elapsed}s");
+    assert!(
+        elapsed > 0.2,
+        "expected throttled transfer, took {elapsed}s"
+    );
 }
 
 #[test]
@@ -296,7 +298,10 @@ fn throughput_approaches_bottleneck_on_clean_link() {
     let goodput = total as f64 * 8.0 / res.duration_s;
     // ≥70% of line rate after slow start amortizes; ≤ line rate.
     assert!(goodput > 0.7 * bw as f64, "goodput {goodput}");
-    assert!(goodput <= bw as f64 * 1.01, "goodput {goodput} exceeds link");
+    assert!(
+        goodput <= bw as f64 * 1.01,
+        "goodput {goodput} exceeds link"
+    );
 }
 
 #[test]
@@ -327,8 +332,7 @@ fn abort_sends_rst_and_peer_errors() {
 #[test]
 fn deterministic_transfer_same_seed() {
     let run = |seed: u64| {
-        let (topo, a, c) =
-            two_hosts(8_000_000, Dur::from_millis(7), LossModel::bernoulli(0.02));
+        let (topo, a, c) = two_hosts(8_000_000, Dur::from_millis(7), LossModel::bernoulli(0.02));
         let mut net = Net::new(topo.into_sim(seed));
         let res = run_bulk_transfer(&mut net, a, c, 80, 500_000, test_cfg());
         (res.received, format!("{:.9}", res.duration_s))
@@ -340,13 +344,9 @@ fn deterministic_transfer_same_seed() {
 #[test]
 fn reno_and_newreno_both_complete() {
     for algo in [lsl_tcp::CcAlgo::Reno, lsl_tcp::CcAlgo::NewReno] {
-        let (topo, a, c) =
-            two_hosts(10_000_000, Dur::from_millis(10), LossModel::bernoulli(0.02));
+        let (topo, a, c) = two_hosts(10_000_000, Dur::from_millis(10), LossModel::bernoulli(0.02));
         let mut net = Net::new(topo.into_sim(31));
-        let cfg = TcpConfig {
-            algo,
-            ..test_cfg()
-        };
+        let cfg = TcpConfig { algo, ..test_cfg() };
         let res = run_bulk_transfer(&mut net, a, c, 80, 500_000, cfg);
         assert_eq!(res.received, 500_000, "{algo:?}");
     }
@@ -390,7 +390,13 @@ fn two_parallel_connections_share_the_link() {
     let mut conns = std::collections::HashMap::new();
     while let Some(ev) = net.poll() {
         if let AppEvent::Sock { sock, event } = ev {
-            let which = if sock == c1 { 0 } else if sock == c2 { 1 } else { usize::MAX };
+            let which = if sock == c1 {
+                0
+            } else if sock == c2 {
+                1
+            } else {
+                usize::MAX
+            };
             match event {
                 SockEvent::Connected | SockEvent::Writable if which != usize::MAX => {
                     let i = which;

@@ -19,11 +19,7 @@ pub fn ack_rtts(trace: &ConnTrace) -> Vec<(f64, f64)> {
             retx_ranges.push((r.seq, r.seq + r.len as u64));
         }
     }
-    let tainted = |seq: u64, end: u64| {
-        retx_ranges
-            .iter()
-            .any(|&(s, e)| seq < e && end > s)
-    };
+    let tainted = |seq: u64, end: u64| retx_ranges.iter().any(|&(s, e)| seq < e && end > s);
 
     let acks: Vec<_> = trace.rx_acks().collect();
     let mut ack_idx = 0usize;

@@ -54,7 +54,7 @@ impl ConnTrace {
 
     pub fn push(&mut self, rec: SegRecord) {
         debug_assert!(
-            self.records.last().map_or(true, |last| rec.t >= last.t),
+            self.records.last().is_none_or(|last| rec.t >= last.t),
             "trace records must be appended in time order"
         );
         self.records.push(rec);
@@ -117,10 +117,7 @@ mod tests {
         tr.push(rec(3, Dir::Tx, 101, 100));
         assert_eq!(tr.tx_data().count(), 2);
         assert_eq!(tr.rx_acks().count(), 1);
-        assert_eq!(
-            tr.first_data_time(),
-            Some(Time::ZERO + Dur::from_millis(1))
-        );
+        assert_eq!(tr.first_data_time(), Some(Time::ZERO + Dur::from_millis(1)));
     }
 
     #[test]

@@ -106,10 +106,7 @@ mod tests {
         write_dat(
             &dir,
             "demo",
-            &[
-                ("a", &[(0.0, 1.0), (1.0, 2.0)]),
-                ("b", &[(0.0, 3.0)]),
-            ],
+            &[("a", &[(0.0, 1.0), (1.0, 2.0)]), ("b", &[(0.0, 3.0)])],
         )
         .unwrap();
         let text = std::fs::read_to_string(dir.join("demo.dat")).unwrap();

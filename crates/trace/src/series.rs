@@ -80,7 +80,7 @@ pub fn average_series(runs: &[Series], n: usize) -> Series {
         .iter()
         .filter_map(Series::last_t)
         .fold(0.0f64, f64::max);
-    if t_end == 0.0 || runs.is_empty() {
+    if runs.is_empty() || t_end <= 0.0 {
         return Series::default();
     }
     let grid: Vec<f64> = (0..n).map(|i| t_end * i as f64 / (n - 1) as f64).collect();

@@ -1,0 +1,69 @@
+//! Structured rendering of the runtime invariant auditor's findings
+//! (feature `invariants`). The registry itself lives in
+//! `lsl_netsim::invariants`; this module turns a drained batch into the
+//! report surfaced by tests and `scripts/ci.sh`.
+
+use lsl_netsim::invariants::Violation;
+
+/// Render violations as a structured, line-oriented report:
+///
+/// ```text
+/// invariant violations: 2
+///   [0.004213s] netsim::sim/link-byte-conservation: accepted 10 B ...
+///   [0.009001s] tcp::socket/seq-space-order: snd_una 5 / snd_nxt 3 ...
+/// ```
+///
+/// An empty batch renders as `invariant violations: none`.
+pub fn report(violations: &[Violation]) -> String {
+    if violations.is_empty() {
+        return "invariant violations: none\n".to_string();
+    }
+    let mut out = format!("invariant violations: {}\n", violations.len());
+    for v in violations {
+        out.push_str(&format!(
+            "  [{:.6}s] {}/{}: {}\n",
+            v.at.as_secs_f64(),
+            v.component,
+            v.rule,
+            v.detail
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsl_netsim::Time;
+
+    #[test]
+    fn empty_batch_reports_none() {
+        assert_eq!(report(&[]), "invariant violations: none\n");
+    }
+
+    #[test]
+    fn violations_render_one_line_each() {
+        let v = vec![
+            Violation {
+                at: Time(4_213_000),
+                component: "netsim::sim",
+                rule: "link-byte-conservation",
+                detail: "accepted 10 B but accounted 8 B".to_string(),
+            },
+            Violation {
+                at: Time(9_001_000),
+                component: "tcp::socket",
+                rule: "seq-space-order",
+                detail: "snd_una 5 / snd_nxt 3 / snd_max 9 out of order".to_string(),
+            },
+        ];
+        let r = report(&v);
+        assert!(r.starts_with("invariant violations: 2\n"), "{r}");
+        assert!(
+            r.contains("[0.004213s] netsim::sim/link-byte-conservation:"),
+            "{r}"
+        );
+        assert!(r.contains("tcp::socket/seq-space-order: snd_una 5"), "{r}");
+        assert_eq!(r.lines().count(), 3);
+    }
+}

@@ -35,23 +35,29 @@ pub fn case1() -> PathCase {
     let depot = b.node("depot-denver");
 
     // Campus access links.
-    b.duplex(ucsb, la, LinkSpec::new(100_000_000, Dur::from_millis(1)));
+    b.duplex(
+        ucsb,
+        la,
+        LinkSpec::new(100_000_000, Dur::from_millis(1)).with_queue_bytes(2 << 20),
+    );
     // Abilene backbone legs (OC-12-ish shares), with random loss.
     b.duplex(
         la,
         denver,
-        LinkSpec::new(622_000_000, Dur::from_millis(13))
-            .with_loss(LossModel::bernoulli(9e-5)),
+        LinkSpec::new(622_000_000, Dur::from_millis(13)).with_loss(LossModel::bernoulli(9e-5)),
     );
     b.duplex(
         denver,
         uiuc,
-        LinkSpec::new(622_000_000, Dur::from_millis(13))
-            .with_loss(LossModel::bernoulli(9e-5)),
+        LinkSpec::new(622_000_000, Dur::from_millis(13)).with_loss(LossModel::bernoulli(9e-5)),
     );
     // Depot hangs off the Denver POP by a short LAN hop; the extra
     // 1.5 ms each way produces Fig 3's ≈6 ms cascade RTT overhead.
-    b.duplex(denver, depot, LinkSpec::new(1_000_000_000, Dur::from_micros(1500)));
+    b.duplex(
+        denver,
+        depot,
+        LinkSpec::new(1_000_000_000, Dur::from_micros(1500)),
+    );
 
     PathCase {
         name: "case1-ucsb-uiuc-via-denver",
@@ -75,21 +81,30 @@ pub fn case2() -> PathCase {
     let uf = b.node("uf");
     let depot = b.node("depot-houston");
 
-    b.duplex(ucsb, la, LinkSpec::new(200_000_000, Dur::from_millis(1)));
+    // Campus edge buffers sized ≈ the 8 MB socket windows the paper's
+    // hosts were tuned to, so the access hop doesn't drop slow-start
+    // bursts that the real path absorbed.
+    b.duplex(
+        ucsb,
+        la,
+        LinkSpec::new(200_000_000, Dur::from_millis(1)).with_queue_bytes(2 << 20),
+    );
     b.duplex(
         la,
         houston,
-        LinkSpec::new(622_000_000, Dur::from_millis(15))
-            .with_loss(LossModel::bernoulli(2.2e-5)),
+        LinkSpec::new(622_000_000, Dur::from_millis(15)).with_loss(LossModel::bernoulli(2.2e-5)),
     );
     b.duplex(
         houston,
         uf,
-        LinkSpec::new(622_000_000, Dur::from_millis(14))
-            .with_loss(LossModel::bernoulli(2.2e-5)),
+        LinkSpec::new(622_000_000, Dur::from_millis(14)).with_loss(LossModel::bernoulli(2.2e-5)),
     );
     // A longer spur: the "+20 ms" seen in Fig 4.
-    b.duplex(houston, depot, LinkSpec::new(1_000_000_000, Dur::from_micros(5000)));
+    b.duplex(
+        houston,
+        depot,
+        LinkSpec::new(1_000_000_000, Dur::from_micros(5000)).with_queue_bytes(2 << 20),
+    );
 
     PathCase {
         name: "case2-ucsb-uf-via-houston",
@@ -114,19 +129,24 @@ pub fn case3() -> PathCase {
     let edge = b.node("ucsb-edge");
     let mobile = b.node("ucsb-mobile");
 
-    b.duplex(utk, backbone, LinkSpec::new(100_000_000, Dur::from_millis(2)));
+    b.duplex(
+        utk,
+        backbone,
+        LinkSpec::new(100_000_000, Dur::from_millis(2)),
+    );
     b.duplex(
         backbone,
         edge,
-        LinkSpec::new(155_000_000, Dur::from_millis(47))
-            .with_loss(LossModel::bernoulli(1.2e-4)),
+        LinkSpec::new(155_000_000, Dur::from_millis(47)).with_loss(LossModel::bernoulli(1.2e-4)),
     );
     // 802.11b: ~5 Mbit/s effective goodput, short RTT, bursty fades.
+    // Fade frequency/depth calibrated so direct TCP (102 ms RTT) is
+    // hurt but not crippled: Fig 10's gain is modest, not multiples.
     b.duplex(
         edge,
         mobile,
         LinkSpec::new(5_000_000, Dur::from_millis(2))
-            .with_loss(LossModel::gilbert_elliott(0.004, 0.25, 0.0002, 0.08))
+            .with_loss(LossModel::gilbert_elliott(0.002, 0.25, 0.0002, 0.05))
             .with_queue_bytes(64 * 1024),
     );
 
@@ -150,20 +170,26 @@ pub fn case4() -> PathCase {
     let osu = b.node("osu");
     let depot = b.node("depot-denver");
 
-    b.duplex(ucsb, la, LinkSpec::new(200_000_000, Dur::from_millis(1)));
+    b.duplex(
+        ucsb,
+        la,
+        LinkSpec::new(200_000_000, Dur::from_millis(1)).with_queue_bytes(512 << 10),
+    );
     b.duplex(
         la,
         denver,
-        LinkSpec::new(622_000_000, Dur::from_millis(13))
-            .with_loss(LossModel::bernoulli(4e-5)),
+        LinkSpec::new(622_000_000, Dur::from_millis(13)).with_loss(LossModel::bernoulli(4e-5)),
     );
     b.duplex(
         denver,
         osu,
-        LinkSpec::new(622_000_000, Dur::from_millis(14))
-            .with_loss(LossModel::bernoulli(4e-5)),
+        LinkSpec::new(622_000_000, Dur::from_millis(14)).with_loss(LossModel::bernoulli(4e-5)),
     );
-    b.duplex(denver, depot, LinkSpec::new(1_000_000_000, Dur::from_micros(1500)));
+    b.duplex(
+        denver,
+        depot,
+        LinkSpec::new(1_000_000_000, Dur::from_micros(1500)),
+    );
 
     PathCase {
         name: "case4-ucsb-osu-via-denver",
@@ -195,13 +221,24 @@ mod tests {
         // direct ≈ 55 ms (paper), sublinks ≈ 28-31 ms, sum ≈ direct + 6 ms.
         let c = case1();
         let direct = 2.0 * c.topo.path_prop_delay(c.src, c.dst).unwrap().as_secs_f64();
-        let s1 = 2.0 * c.topo.path_prop_delay(c.src, c.depot).unwrap().as_secs_f64();
-        let s2 = 2.0 * c.topo.path_prop_delay(c.depot, c.dst).unwrap().as_secs_f64();
+        let s1 = 2.0
+            * c.topo
+                .path_prop_delay(c.src, c.depot)
+                .unwrap()
+                .as_secs_f64();
+        let s2 = 2.0
+            * c.topo
+                .path_prop_delay(c.depot, c.dst)
+                .unwrap()
+                .as_secs_f64();
         assert!((0.050..0.060).contains(&direct), "direct {direct}");
         assert!((0.025..0.033).contains(&s1), "sublink1 {s1}");
         assert!((0.025..0.033).contains(&s2), "sublink2 {s2}");
         let overhead = s1 + s2 - direct;
-        assert!((0.004..0.008).contains(&overhead), "detour overhead {overhead}");
+        assert!(
+            (0.004..0.008).contains(&overhead),
+            "detour overhead {overhead}"
+        );
     }
 
     #[test]
@@ -210,19 +247,36 @@ mod tests {
         let c = case2();
         let direct = 2.0 * c.topo.path_prop_delay(c.src, c.dst).unwrap().as_secs_f64();
         let sum = 2.0
-            * (c.topo.path_prop_delay(c.src, c.depot).unwrap().as_secs_f64()
-                + c.topo.path_prop_delay(c.depot, c.dst).unwrap().as_secs_f64());
+            * (c.topo
+                .path_prop_delay(c.src, c.depot)
+                .unwrap()
+                .as_secs_f64()
+                + c.topo
+                    .path_prop_delay(c.depot, c.dst)
+                    .unwrap()
+                    .as_secs_f64());
         assert!((0.058..0.068).contains(&direct), "direct {direct}");
         let overhead = sum - direct;
-        assert!((0.015..0.025).contains(&overhead), "detour overhead {overhead}");
+        assert!(
+            (0.015..0.025).contains(&overhead),
+            "detour overhead {overhead}"
+        );
     }
 
     #[test]
     fn case3_wired_sublink_dominates() {
         // Fig 9: sublink 1 (wired) RTT ≈ 100 ms; wireless hop is short.
         let c = case3();
-        let s1 = 2.0 * c.topo.path_prop_delay(c.src, c.depot).unwrap().as_secs_f64();
-        let s2 = 2.0 * c.topo.path_prop_delay(c.depot, c.dst).unwrap().as_secs_f64();
+        let s1 = 2.0
+            * c.topo
+                .path_prop_delay(c.src, c.depot)
+                .unwrap()
+                .as_secs_f64();
+        let s2 = 2.0
+            * c.topo
+                .path_prop_delay(c.depot, c.dst)
+                .unwrap()
+                .as_secs_f64();
         assert!((0.090..0.110).contains(&s1), "wired sublink {s1}");
         assert!(s2 < 0.01, "wireless sublink {s2}");
     }

@@ -44,11 +44,11 @@ pub fn gain_summary(direct: &[SweepPoint], lsl: &[SweepPoint]) -> (f64, f64) {
 
 /// `32K`, `4M`, `1G`-style sizes.
 pub fn human_size(bytes: u64) -> String {
-    if bytes >= 1 << 30 && bytes % (1 << 30) == 0 {
+    if bytes >= 1 << 30 && bytes.is_multiple_of(1 << 30) {
         format!("{}G", bytes >> 30)
-    } else if bytes >= 1 << 20 && bytes % (1 << 20) == 0 {
+    } else if bytes >= 1 << 20 && bytes.is_multiple_of(1 << 20) {
         format!("{}M", bytes >> 20)
-    } else if bytes >= 1 << 10 && bytes % (1 << 10) == 0 {
+    } else if bytes >= 1 << 10 && bytes.is_multiple_of(1 << 10) {
         format!("{}K", bytes >> 10)
     } else {
         format!("{bytes}")
@@ -80,7 +80,10 @@ mod tests {
 
     #[test]
     fn table_and_summary() {
-        let d = vec![pt(1 << 20, Mode::Direct, 10.0), pt(2 << 20, Mode::Direct, 12.0)];
+        let d = vec![
+            pt(1 << 20, Mode::Direct, 10.0),
+            pt(2 << 20, Mode::Direct, 12.0),
+        ];
         let l = vec![
             pt(1 << 20, Mode::ViaDepot, 14.0),
             pt(2 << 20, Mode::ViaDepot, 21.0),

@@ -28,6 +28,9 @@ pub struct RunConfig {
     pub trace: bool,
     /// Depot relay buffer bytes.
     pub relay_buf: usize,
+    /// Depot per-session setup processing time (see
+    /// [`DepotConfig::setup_delay`]).
+    pub depot_setup_delay: Dur,
     /// TCP configuration for every connection in the run.
     pub tcp: TcpConfig,
 }
@@ -40,6 +43,9 @@ impl RunConfig {
             seed,
             trace: false,
             relay_buf: 256 * 1024,
+            // Calibrated so session setup dominates ≲1 MB transfers
+            // (Fig 5) while staying negligible for multi-MB ones.
+            depot_setup_delay: Dur::from_millis(40),
             tcp: TcpConfig {
                 // Keep teardown snappy; it is outside the measured window.
                 time_wait: Dur::from_millis(1),
@@ -85,6 +91,7 @@ pub fn run_transfer(case: &PathCase, cfg: &RunConfig) -> RunResult {
                 port: DEPOT_PORT,
                 relay_buf: cfg.relay_buf,
                 tcp: cfg.tcp.clone(),
+                setup_delay: cfg.depot_setup_delay,
                 trace_downstream: cfg.trace.then(|| "sublink2".to_string()),
             },
         )),
@@ -182,7 +189,10 @@ mod tests {
     #[test]
     fn direct_run_completes_with_trace() {
         let case = case1();
-        let r = run_transfer(&case, &RunConfig::new(256 * 1024, Mode::Direct, 1).with_trace());
+        let r = run_transfer(
+            &case,
+            &RunConfig::new(256 * 1024, Mode::Direct, 1).with_trace(),
+        );
         assert!(r.duration_s > 0.0);
         assert!(r.goodput_bps > 0.0);
         let t = r.trace_first.as_ref().expect("trace captured");
@@ -194,7 +204,10 @@ mod tests {
     #[test]
     fn lsl_run_captures_both_sublinks() {
         let case = case1();
-        let r = run_transfer(&case, &RunConfig::new(256 * 1024, Mode::ViaDepot, 1).with_trace());
+        let r = run_transfer(
+            &case,
+            &RunConfig::new(256 * 1024, Mode::ViaDepot, 1).with_trace(),
+        );
         assert_eq!(r.digest_ok, Some(true));
         let t1 = r.trace_first.expect("sublink1 trace");
         let t2 = r.trace_second.expect("sublink2 trace");

@@ -41,8 +41,7 @@ pub fn sweep_sizes(
             let durations: f64 = samples.iter().map(|&bps| size as f64 * 8.0 / bps).sum();
             let mean = samples.iter().sum::<f64>() / samples.len() as f64;
             let var = if samples.len() > 1 {
-                samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>()
-                    / (samples.len() - 1) as f64
+                samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (samples.len() - 1) as f64
             } else {
                 0.0
             };

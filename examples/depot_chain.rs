@@ -70,11 +70,17 @@ fn run(n_depots: usize, seed: u64) -> f64 {
     let dst = *nodes.last().unwrap();
     let mut sink = SinkServer::new(&mut net, dst, SINK_PORT, n_depots > 0, tcp.clone());
     let (path, mode) = if n_depots == 0 {
-        (LslPath::direct(Hop::new(dst, SINK_PORT)), SendMode::DirectTcp)
+        (
+            LslPath::direct(Hop::new(dst, SINK_PORT)),
+            SendMode::DirectTcp,
+        )
     } else {
         (
             LslPath::via(
-                positions.iter().map(|&p| Hop::new(nodes[p], DEPOT_PORT)).collect(),
+                positions
+                    .iter()
+                    .map(|&p| Hop::new(nodes[p], DEPOT_PORT))
+                    .collect(),
                 Hop::new(dst, SINK_PORT),
             ),
             SendMode::lsl(),
@@ -82,7 +88,14 @@ fn run(n_depots: usize, seed: u64) -> f64 {
     };
     let size = 8u64 << 20;
     let mut sender = BulkSender::start(
-        &mut net, nodes[0], &path, SessionId(seed as u128), size, mode, tcp, None,
+        &mut net,
+        nodes[0],
+        &path,
+        SessionId(seed as u128),
+        size,
+        mode,
+        tcp,
+        None,
     );
     let started = sender.started_at;
     while let Some(ev) = net.poll() {
@@ -104,7 +117,10 @@ fn run(n_depots: usize, seed: u64) -> f64 {
 
 fn main() {
     println!("Cascade-depth ablation: 8 MB over a ~90 ms lossy WAN\n");
-    println!("{:>7} {:>10} {:>16} {:>10}", "depots", "sublinks", "goodput Mbit/s", "vs direct");
+    println!(
+        "{:>7} {:>10} {:>16} {:>10}",
+        "depots", "sublinks", "goodput Mbit/s", "vs direct"
+    );
     let iters = 3u64;
     let mut baseline = 0.0;
     for n in 0..=4usize {

@@ -19,17 +19,32 @@ fn main() {
     println!("Wireless edge — {} (802.11b last hop)\n", case.name);
 
     // RTT decomposition, as in the paper's Fig 9.
-    let traced = run_transfer(&case, &RunConfig::new(4 << 20, Mode::ViaDepot, 7).with_trace());
-    let direct_traced = run_transfer(&case, &RunConfig::new(4 << 20, Mode::Direct, 7).with_trace());
+    let traced = run_transfer(
+        &case,
+        &RunConfig::new(4 << 20, Mode::ViaDepot, 7).with_trace(),
+    );
+    let direct_traced = run_transfer(
+        &case,
+        &RunConfig::new(4 << 20, Mode::Direct, 7).with_trace(),
+    );
     let rtt_ms = |t: &Option<trace::ConnTrace>| {
         t.as_ref()
             .and_then(trace::mean_rtt)
             .map_or(f64::NAN, |r| r * 1e3)
     };
     println!("Average observed TCP RTT (cf. Fig 9):");
-    println!("  sublink1 (wired UTK→edge): {:7.1} ms", rtt_ms(&traced.trace_first));
-    println!("  sublink2 (wireless edge):  {:7.1} ms", rtt_ms(&traced.trace_second));
-    println!("  direct end-to-end:         {:7.1} ms\n", rtt_ms(&direct_traced.trace_first));
+    println!(
+        "  sublink1 (wired UTK→edge): {:7.1} ms",
+        rtt_ms(&traced.trace_first)
+    );
+    println!(
+        "  sublink2 (wireless edge):  {:7.1} ms",
+        rtt_ms(&traced.trace_second)
+    );
+    println!(
+        "  direct end-to-end:         {:7.1} ms\n",
+        rtt_ms(&direct_traced.trace_first)
+    );
 
     // Bandwidth at growing sizes, as in Fig 10.
     println!(

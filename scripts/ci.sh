@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Workspace CI gate. Run from the repository root: scripts/ci.sh
+#
+# Order is cheapest-first so style failures surface before long test
+# runs: formatting, lints, the determinism audit (lsl-audit), the plain
+# test suite, and finally the suite again with the runtime invariant
+# auditor live.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy (workspace, warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> lsl-audit (static determinism linter)"
+cargo run -q -p lsl-audit
+
+echo "==> cargo test (workspace)"
+cargo test -q --workspace
+
+echo "==> cargo test --features invariants (runtime invariant auditor)"
+cargo test -q --features invariants
+
+echo "CI: all gates passed"

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-33434042b77d6a2c.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-33434042b77d6a2c: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-5dc0d26002566241.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-5dc0d26002566241: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

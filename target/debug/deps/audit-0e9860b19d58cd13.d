@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/audit-0e9860b19d58cd13.d: tests/audit.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaudit-0e9860b19d58cd13.rmeta: tests/audit.rs Cargo.toml
+
+tests/audit.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/audit-e83b25b61fedb206.d: tests/audit.rs
+
+/root/repo/target/debug/deps/audit-e83b25b61fedb206: tests/audit.rs
+
+tests/audit.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/audit-eb4aa2089819dbe2.d: tests/audit.rs
+
+/root/repo/target/debug/deps/audit-eb4aa2089819dbe2: tests/audit.rs
+
+tests/audit.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/audit-f72cdf01451b66f7.d: tests/audit.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaudit-f72cdf01451b66f7.rmeta: tests/audit.rs Cargo.toml
+
+tests/audit.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

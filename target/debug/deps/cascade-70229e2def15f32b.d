@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cascade-70229e2def15f32b.d: crates/session/tests/cascade.rs
+
+/root/repo/target/debug/deps/cascade-70229e2def15f32b: crates/session/tests/cascade.rs
+
+crates/session/tests/cascade.rs:

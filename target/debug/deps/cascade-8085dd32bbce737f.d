@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cascade-8085dd32bbce737f.d: crates/session/tests/cascade.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcascade-8085dd32bbce737f.rmeta: crates/session/tests/cascade.rs Cargo.toml
+
+crates/session/tests/cascade.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

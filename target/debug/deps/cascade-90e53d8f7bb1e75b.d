@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cascade-90e53d8f7bb1e75b.d: crates/session/tests/cascade.rs
+
+/root/repo/target/debug/deps/cascade-90e53d8f7bb1e75b: crates/session/tests/cascade.rs
+
+crates/session/tests/cascade.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cascade-f131bc0b358fb26d.d: crates/session/tests/cascade.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcascade-f131bc0b358fb26d.rmeta: crates/session/tests/cascade.rs Cargo.toml
+
+crates/session/tests/cascade.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

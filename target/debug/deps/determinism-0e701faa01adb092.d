@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-0e701faa01adb092.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-0e701faa01adb092: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/determinism-5ac3f975b2dca884.d: tests/determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeterminism-5ac3f975b2dca884.rmeta: tests/determinism.rs Cargo.toml
+
+tests/determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

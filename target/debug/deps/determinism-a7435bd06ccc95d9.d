@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-a7435bd06ccc95d9.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-a7435bd06ccc95d9: tests/determinism.rs
+
+tests/determinism.rs:

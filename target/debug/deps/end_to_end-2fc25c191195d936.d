@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-2fc25c191195d936.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-2fc25c191195d936: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-51f0845311a173d5.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-51f0845311a173d5: tests/end_to_end.rs
+
+tests/end_to_end.rs:

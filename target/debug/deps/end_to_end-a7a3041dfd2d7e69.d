@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-a7a3041dfd2d7e69.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-a7a3041dfd2d7e69: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-71034ffc54ef0099.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-71034ffc54ef0099: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-994068a70ba7b048.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-994068a70ba7b048: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

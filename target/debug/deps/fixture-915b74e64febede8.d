@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/fixture-915b74e64febede8.d: crates/audit/tests/fixture.rs
+
+/root/repo/target/debug/deps/fixture-915b74e64febede8: crates/audit/tests/fixture.rs
+
+crates/audit/tests/fixture.rs:
+
+# env-dep:CARGO_BIN_EXE_lsl-audit=/root/repo/target/debug/lsl-audit
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/audit

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/fixture-de06970b6a2b04d3.d: crates/audit/tests/fixture.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfixture-de06970b6a2b04d3.rmeta: crates/audit/tests/fixture.rs Cargo.toml
+
+crates/audit/tests/fixture.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_lsl-audit=placeholder:lsl-audit
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/audit
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/invariants-1e269e98b897a6db.d: tests/invariants.rs
+
+/root/repo/target/debug/deps/invariants-1e269e98b897a6db: tests/invariants.rs
+
+tests/invariants.rs:

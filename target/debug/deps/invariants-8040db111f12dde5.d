@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/invariants-8040db111f12dde5.d: tests/invariants.rs
+
+/root/repo/target/debug/deps/invariants-8040db111f12dde5: tests/invariants.rs
+
+tests/invariants.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/invariants-eb090252d0ac10d2.d: tests/invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinvariants-eb090252d0ac10d2.rmeta: tests/invariants.rs Cargo.toml
+
+tests/invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/loopback-b6d54a1fbefdb2a0.d: crates/realnet/tests/loopback.rs
+
+/root/repo/target/debug/deps/loopback-b6d54a1fbefdb2a0: crates/realnet/tests/loopback.rs
+
+crates/realnet/tests/loopback.rs:

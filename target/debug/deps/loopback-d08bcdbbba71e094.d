@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/loopback-d08bcdbbba71e094.d: crates/realnet/tests/loopback.rs Cargo.toml
+
+/root/repo/target/debug/deps/libloopback-d08bcdbbba71e094.rmeta: crates/realnet/tests/loopback.rs Cargo.toml
+
+crates/realnet/tests/loopback.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

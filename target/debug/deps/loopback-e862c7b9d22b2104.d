@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/loopback-e862c7b9d22b2104.d: crates/realnet/tests/loopback.rs Cargo.toml
+
+/root/repo/target/debug/deps/libloopback-e862c7b9d22b2104.rmeta: crates/realnet/tests/loopback.rs Cargo.toml
+
+crates/realnet/tests/loopback.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lsd-219e5661d8f656c1.d: crates/realnet/src/bin/lsd.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblsd-219e5661d8f656c1.rmeta: crates/realnet/src/bin/lsd.rs Cargo.toml
+
+crates/realnet/src/bin/lsd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lsd-22630451cff6d1d5.d: crates/realnet/src/bin/lsd.rs
+
+/root/repo/target/debug/deps/lsd-22630451cff6d1d5: crates/realnet/src/bin/lsd.rs
+
+crates/realnet/src/bin/lsd.rs:

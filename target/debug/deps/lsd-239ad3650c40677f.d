@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lsd-239ad3650c40677f.d: crates/realnet/src/bin/lsd.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblsd-239ad3650c40677f.rmeta: crates/realnet/src/bin/lsd.rs Cargo.toml
+
+crates/realnet/src/bin/lsd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lsd-6bb516f530fcf8da.d: crates/realnet/src/bin/lsd.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblsd-6bb516f530fcf8da.rmeta: crates/realnet/src/bin/lsd.rs Cargo.toml
+
+crates/realnet/src/bin/lsd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lsd-c99b74f4184f1cf3.d: crates/realnet/src/bin/lsd.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblsd-c99b74f4184f1cf3.rmeta: crates/realnet/src/bin/lsd.rs Cargo.toml
+
+crates/realnet/src/bin/lsd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

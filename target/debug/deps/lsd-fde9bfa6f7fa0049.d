@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lsd-fde9bfa6f7fa0049.d: crates/realnet/src/bin/lsd.rs
+
+/root/repo/target/debug/deps/lsd-fde9bfa6f7fa0049: crates/realnet/src/bin/lsd.rs
+
+crates/realnet/src/bin/lsd.rs:

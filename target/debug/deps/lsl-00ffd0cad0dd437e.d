@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lsl-00ffd0cad0dd437e.d: src/lib.rs
+
+/root/repo/target/debug/deps/lsl-00ffd0cad0dd437e: src/lib.rs
+
+src/lib.rs:

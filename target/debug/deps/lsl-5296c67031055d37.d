@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lsl-5296c67031055d37.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblsl-5296c67031055d37.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/lsl-5feb8fd73ba059c4.d: src/lib.rs
+
+/root/repo/target/debug/deps/liblsl-5feb8fd73ba059c4.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/liblsl-5feb8fd73ba059c4.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/lsl-6ca205a6fbf2e535.d: src/lib.rs
+
+/root/repo/target/debug/deps/liblsl-6ca205a6fbf2e535.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/liblsl-6ca205a6fbf2e535.rmeta: src/lib.rs
+
+src/lib.rs:

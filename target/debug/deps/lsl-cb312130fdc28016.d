@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lsl-cb312130fdc28016.d: src/lib.rs
+
+/root/repo/target/debug/deps/lsl-cb312130fdc28016: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lsl-cf86f0eae4a73283.d: src/lib.rs
+
+/root/repo/target/debug/deps/lsl-cf86f0eae4a73283: src/lib.rs
+
+src/lib.rs:

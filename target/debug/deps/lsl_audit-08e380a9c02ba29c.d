@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/lsl_audit-08e380a9c02ba29c.d: crates/audit/src/lib.rs crates/audit/src/allowlist.rs crates/audit/src/lexer.rs crates/audit/src/rules.rs crates/audit/src/manifest.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblsl_audit-08e380a9c02ba29c.rmeta: crates/audit/src/lib.rs crates/audit/src/allowlist.rs crates/audit/src/lexer.rs crates/audit/src/rules.rs crates/audit/src/manifest.rs Cargo.toml
+
+crates/audit/src/lib.rs:
+crates/audit/src/allowlist.rs:
+crates/audit/src/lexer.rs:
+crates/audit/src/rules.rs:
+crates/audit/src/manifest.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

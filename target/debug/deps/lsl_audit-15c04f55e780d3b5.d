@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lsl_audit-15c04f55e780d3b5.d: crates/audit/src/main.rs
+
+/root/repo/target/debug/deps/lsl_audit-15c04f55e780d3b5: crates/audit/src/main.rs
+
+crates/audit/src/main.rs:

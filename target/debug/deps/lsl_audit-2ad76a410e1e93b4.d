@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lsl_audit-2ad76a410e1e93b4.d: crates/audit/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblsl_audit-2ad76a410e1e93b4.rmeta: crates/audit/src/main.rs Cargo.toml
+
+crates/audit/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lsl_audit-3d943ac4240643ff.d: crates/audit/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblsl_audit-3d943ac4240643ff.rmeta: crates/audit/src/main.rs Cargo.toml
+
+crates/audit/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

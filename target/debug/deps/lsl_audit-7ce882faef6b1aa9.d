@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lsl_audit-7ce882faef6b1aa9.d: crates/audit/src/main.rs
+
+/root/repo/target/debug/deps/lsl_audit-7ce882faef6b1aa9: crates/audit/src/main.rs
+
+crates/audit/src/main.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/lsl_audit-950877a8a078116a.d: crates/audit/src/lib.rs crates/audit/src/allowlist.rs crates/audit/src/lexer.rs crates/audit/src/rules.rs crates/audit/src/manifest.rs
+
+/root/repo/target/debug/deps/liblsl_audit-950877a8a078116a.rlib: crates/audit/src/lib.rs crates/audit/src/allowlist.rs crates/audit/src/lexer.rs crates/audit/src/rules.rs crates/audit/src/manifest.rs
+
+/root/repo/target/debug/deps/liblsl_audit-950877a8a078116a.rmeta: crates/audit/src/lib.rs crates/audit/src/allowlist.rs crates/audit/src/lexer.rs crates/audit/src/rules.rs crates/audit/src/manifest.rs
+
+crates/audit/src/lib.rs:
+crates/audit/src/allowlist.rs:
+crates/audit/src/lexer.rs:
+crates/audit/src/rules.rs:
+crates/audit/src/manifest.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lsl_audit-d981f8a8bab31a5d.d: crates/audit/src/lib.rs crates/audit/src/allowlist.rs crates/audit/src/lexer.rs crates/audit/src/rules.rs crates/audit/src/manifest.rs
+
+/root/repo/target/debug/deps/lsl_audit-d981f8a8bab31a5d: crates/audit/src/lib.rs crates/audit/src/allowlist.rs crates/audit/src/lexer.rs crates/audit/src/rules.rs crates/audit/src/manifest.rs
+
+crates/audit/src/lib.rs:
+crates/audit/src/allowlist.rs:
+crates/audit/src/lexer.rs:
+crates/audit/src/rules.rs:
+crates/audit/src/manifest.rs:

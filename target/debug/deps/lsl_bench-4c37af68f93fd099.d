@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/lsl_bench-4c37af68f93fd099.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/liblsl_bench-4c37af68f93fd099.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/liblsl_bench-4c37af68f93fd099.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

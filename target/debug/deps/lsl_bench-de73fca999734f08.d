@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lsl_bench-de73fca999734f08.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblsl_bench-de73fca999734f08.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

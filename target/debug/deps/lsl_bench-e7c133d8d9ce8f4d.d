@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lsl_bench-e7c133d8d9ce8f4d.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/lsl_bench-e7c133d8d9ce8f4d: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

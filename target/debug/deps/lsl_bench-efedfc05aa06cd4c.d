@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lsl_bench-efedfc05aa06cd4c.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblsl_bench-efedfc05aa06cd4c.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/lsl_digest-2b464d02a60e05f5.d: crates/digest/src/lib.rs crates/digest/src/md5.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblsl_digest-2b464d02a60e05f5.rmeta: crates/digest/src/lib.rs crates/digest/src/md5.rs Cargo.toml
+
+crates/digest/src/lib.rs:
+crates/digest/src/md5.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/lsl_digest-a2db1f9cfd257938.d: crates/digest/src/lib.rs crates/digest/src/md5.rs
+
+/root/repo/target/debug/deps/lsl_digest-a2db1f9cfd257938: crates/digest/src/lib.rs crates/digest/src/md5.rs
+
+crates/digest/src/lib.rs:
+crates/digest/src/md5.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/lsl_digest-b71e442ebacbaf7b.d: crates/digest/src/lib.rs crates/digest/src/md5.rs
+
+/root/repo/target/debug/deps/liblsl_digest-b71e442ebacbaf7b.rlib: crates/digest/src/lib.rs crates/digest/src/md5.rs
+
+/root/repo/target/debug/deps/liblsl_digest-b71e442ebacbaf7b.rmeta: crates/digest/src/lib.rs crates/digest/src/md5.rs
+
+crates/digest/src/lib.rs:
+crates/digest/src/md5.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/lsl_netsim-418bb7290e9c0fab.d: crates/netsim/src/lib.rs crates/netsim/src/invariants.rs crates/netsim/src/link.rs crates/netsim/src/loss.rs crates/netsim/src/packet.rs crates/netsim/src/sim.rs crates/netsim/src/stats.rs crates/netsim/src/time.rs crates/netsim/src/topo.rs
+
+/root/repo/target/debug/deps/lsl_netsim-418bb7290e9c0fab: crates/netsim/src/lib.rs crates/netsim/src/invariants.rs crates/netsim/src/link.rs crates/netsim/src/loss.rs crates/netsim/src/packet.rs crates/netsim/src/sim.rs crates/netsim/src/stats.rs crates/netsim/src/time.rs crates/netsim/src/topo.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/invariants.rs:
+crates/netsim/src/link.rs:
+crates/netsim/src/loss.rs:
+crates/netsim/src/packet.rs:
+crates/netsim/src/sim.rs:
+crates/netsim/src/stats.rs:
+crates/netsim/src/time.rs:
+crates/netsim/src/topo.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/lsl_netsim-43518ebbaf6ff6a3.d: crates/netsim/src/lib.rs crates/netsim/src/link.rs crates/netsim/src/loss.rs crates/netsim/src/packet.rs crates/netsim/src/sim.rs crates/netsim/src/stats.rs crates/netsim/src/time.rs crates/netsim/src/topo.rs
+
+/root/repo/target/debug/deps/lsl_netsim-43518ebbaf6ff6a3: crates/netsim/src/lib.rs crates/netsim/src/link.rs crates/netsim/src/loss.rs crates/netsim/src/packet.rs crates/netsim/src/sim.rs crates/netsim/src/stats.rs crates/netsim/src/time.rs crates/netsim/src/topo.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/link.rs:
+crates/netsim/src/loss.rs:
+crates/netsim/src/packet.rs:
+crates/netsim/src/sim.rs:
+crates/netsim/src/stats.rs:
+crates/netsim/src/time.rs:
+crates/netsim/src/topo.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/lsl_netsim-52b609730a3eb1f6.d: crates/netsim/src/lib.rs crates/netsim/src/link.rs crates/netsim/src/loss.rs crates/netsim/src/packet.rs crates/netsim/src/sim.rs crates/netsim/src/stats.rs crates/netsim/src/time.rs crates/netsim/src/topo.rs
+
+/root/repo/target/debug/deps/liblsl_netsim-52b609730a3eb1f6.rlib: crates/netsim/src/lib.rs crates/netsim/src/link.rs crates/netsim/src/loss.rs crates/netsim/src/packet.rs crates/netsim/src/sim.rs crates/netsim/src/stats.rs crates/netsim/src/time.rs crates/netsim/src/topo.rs
+
+/root/repo/target/debug/deps/liblsl_netsim-52b609730a3eb1f6.rmeta: crates/netsim/src/lib.rs crates/netsim/src/link.rs crates/netsim/src/loss.rs crates/netsim/src/packet.rs crates/netsim/src/sim.rs crates/netsim/src/stats.rs crates/netsim/src/time.rs crates/netsim/src/topo.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/link.rs:
+crates/netsim/src/loss.rs:
+crates/netsim/src/packet.rs:
+crates/netsim/src/sim.rs:
+crates/netsim/src/stats.rs:
+crates/netsim/src/time.rs:
+crates/netsim/src/topo.rs:

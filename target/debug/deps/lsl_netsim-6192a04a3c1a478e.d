@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/lsl_netsim-6192a04a3c1a478e.d: crates/netsim/src/lib.rs crates/netsim/src/invariants.rs crates/netsim/src/link.rs crates/netsim/src/loss.rs crates/netsim/src/packet.rs crates/netsim/src/sim.rs crates/netsim/src/stats.rs crates/netsim/src/time.rs crates/netsim/src/topo.rs
+
+/root/repo/target/debug/deps/liblsl_netsim-6192a04a3c1a478e.rlib: crates/netsim/src/lib.rs crates/netsim/src/invariants.rs crates/netsim/src/link.rs crates/netsim/src/loss.rs crates/netsim/src/packet.rs crates/netsim/src/sim.rs crates/netsim/src/stats.rs crates/netsim/src/time.rs crates/netsim/src/topo.rs
+
+/root/repo/target/debug/deps/liblsl_netsim-6192a04a3c1a478e.rmeta: crates/netsim/src/lib.rs crates/netsim/src/invariants.rs crates/netsim/src/link.rs crates/netsim/src/loss.rs crates/netsim/src/packet.rs crates/netsim/src/sim.rs crates/netsim/src/stats.rs crates/netsim/src/time.rs crates/netsim/src/topo.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/invariants.rs:
+crates/netsim/src/link.rs:
+crates/netsim/src/loss.rs:
+crates/netsim/src/packet.rs:
+crates/netsim/src/sim.rs:
+crates/netsim/src/stats.rs:
+crates/netsim/src/time.rs:
+crates/netsim/src/topo.rs:

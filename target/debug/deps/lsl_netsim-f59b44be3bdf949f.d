@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/lsl_netsim-f59b44be3bdf949f.d: crates/netsim/src/lib.rs crates/netsim/src/invariants.rs crates/netsim/src/link.rs crates/netsim/src/loss.rs crates/netsim/src/packet.rs crates/netsim/src/sim.rs crates/netsim/src/stats.rs crates/netsim/src/time.rs crates/netsim/src/topo.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblsl_netsim-f59b44be3bdf949f.rmeta: crates/netsim/src/lib.rs crates/netsim/src/invariants.rs crates/netsim/src/link.rs crates/netsim/src/loss.rs crates/netsim/src/packet.rs crates/netsim/src/sim.rs crates/netsim/src/stats.rs crates/netsim/src/time.rs crates/netsim/src/topo.rs Cargo.toml
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/invariants.rs:
+crates/netsim/src/link.rs:
+crates/netsim/src/loss.rs:
+crates/netsim/src/packet.rs:
+crates/netsim/src/sim.rs:
+crates/netsim/src/stats.rs:
+crates/netsim/src/time.rs:
+crates/netsim/src/topo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/lsl_nws-581c289900af985b.d: crates/nws/src/lib.rs crates/nws/src/forecast.rs crates/nws/src/registry.rs crates/nws/src/series.rs
+
+/root/repo/target/debug/deps/lsl_nws-581c289900af985b: crates/nws/src/lib.rs crates/nws/src/forecast.rs crates/nws/src/registry.rs crates/nws/src/series.rs
+
+crates/nws/src/lib.rs:
+crates/nws/src/forecast.rs:
+crates/nws/src/registry.rs:
+crates/nws/src/series.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/lsl_nws-5872658625f39124.d: crates/nws/src/lib.rs crates/nws/src/forecast.rs crates/nws/src/registry.rs crates/nws/src/series.rs
+
+/root/repo/target/debug/deps/liblsl_nws-5872658625f39124.rlib: crates/nws/src/lib.rs crates/nws/src/forecast.rs crates/nws/src/registry.rs crates/nws/src/series.rs
+
+/root/repo/target/debug/deps/liblsl_nws-5872658625f39124.rmeta: crates/nws/src/lib.rs crates/nws/src/forecast.rs crates/nws/src/registry.rs crates/nws/src/series.rs
+
+crates/nws/src/lib.rs:
+crates/nws/src/forecast.rs:
+crates/nws/src/registry.rs:
+crates/nws/src/series.rs:

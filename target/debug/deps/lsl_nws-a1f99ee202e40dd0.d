@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/lsl_nws-a1f99ee202e40dd0.d: crates/nws/src/lib.rs crates/nws/src/forecast.rs crates/nws/src/registry.rs crates/nws/src/series.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblsl_nws-a1f99ee202e40dd0.rmeta: crates/nws/src/lib.rs crates/nws/src/forecast.rs crates/nws/src/registry.rs crates/nws/src/series.rs Cargo.toml
+
+crates/nws/src/lib.rs:
+crates/nws/src/forecast.rs:
+crates/nws/src/registry.rs:
+crates/nws/src/series.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/lsl_realnet-0f9f1dc5646489d2.d: crates/realnet/src/lib.rs crates/realnet/src/depot.rs crates/realnet/src/sink.rs crates/realnet/src/stream.rs crates/realnet/src/wire.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblsl_realnet-0f9f1dc5646489d2.rmeta: crates/realnet/src/lib.rs crates/realnet/src/depot.rs crates/realnet/src/sink.rs crates/realnet/src/stream.rs crates/realnet/src/wire.rs Cargo.toml
+
+crates/realnet/src/lib.rs:
+crates/realnet/src/depot.rs:
+crates/realnet/src/sink.rs:
+crates/realnet/src/stream.rs:
+crates/realnet/src/wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/lsl_realnet-6bfa96c423cd003e.d: crates/realnet/src/lib.rs crates/realnet/src/depot.rs crates/realnet/src/sink.rs crates/realnet/src/stream.rs crates/realnet/src/wire.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblsl_realnet-6bfa96c423cd003e.rmeta: crates/realnet/src/lib.rs crates/realnet/src/depot.rs crates/realnet/src/sink.rs crates/realnet/src/stream.rs crates/realnet/src/wire.rs Cargo.toml
+
+crates/realnet/src/lib.rs:
+crates/realnet/src/depot.rs:
+crates/realnet/src/sink.rs:
+crates/realnet/src/stream.rs:
+crates/realnet/src/wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/lsl_realnet-6e7b98eae6d17cfd.d: crates/realnet/src/lib.rs crates/realnet/src/depot.rs crates/realnet/src/sink.rs crates/realnet/src/stream.rs crates/realnet/src/wire.rs
+
+/root/repo/target/debug/deps/liblsl_realnet-6e7b98eae6d17cfd.rlib: crates/realnet/src/lib.rs crates/realnet/src/depot.rs crates/realnet/src/sink.rs crates/realnet/src/stream.rs crates/realnet/src/wire.rs
+
+/root/repo/target/debug/deps/liblsl_realnet-6e7b98eae6d17cfd.rmeta: crates/realnet/src/lib.rs crates/realnet/src/depot.rs crates/realnet/src/sink.rs crates/realnet/src/stream.rs crates/realnet/src/wire.rs
+
+crates/realnet/src/lib.rs:
+crates/realnet/src/depot.rs:
+crates/realnet/src/sink.rs:
+crates/realnet/src/stream.rs:
+crates/realnet/src/wire.rs:

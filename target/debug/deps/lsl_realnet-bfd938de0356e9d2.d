@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/lsl_realnet-bfd938de0356e9d2.d: crates/realnet/src/lib.rs crates/realnet/src/depot.rs crates/realnet/src/sink.rs crates/realnet/src/stream.rs crates/realnet/src/wire.rs
+
+/root/repo/target/debug/deps/liblsl_realnet-bfd938de0356e9d2.rlib: crates/realnet/src/lib.rs crates/realnet/src/depot.rs crates/realnet/src/sink.rs crates/realnet/src/stream.rs crates/realnet/src/wire.rs
+
+/root/repo/target/debug/deps/liblsl_realnet-bfd938de0356e9d2.rmeta: crates/realnet/src/lib.rs crates/realnet/src/depot.rs crates/realnet/src/sink.rs crates/realnet/src/stream.rs crates/realnet/src/wire.rs
+
+crates/realnet/src/lib.rs:
+crates/realnet/src/depot.rs:
+crates/realnet/src/sink.rs:
+crates/realnet/src/stream.rs:
+crates/realnet/src/wire.rs:

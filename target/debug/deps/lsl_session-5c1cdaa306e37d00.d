@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/lsl_session-5c1cdaa306e37d00.d: crates/session/src/lib.rs crates/session/src/depot.rs crates/session/src/endpoint.rs crates/session/src/header.rs crates/session/src/id.rs crates/session/src/model.rs crates/session/src/path.rs crates/session/src/route.rs
+
+/root/repo/target/debug/deps/lsl_session-5c1cdaa306e37d00: crates/session/src/lib.rs crates/session/src/depot.rs crates/session/src/endpoint.rs crates/session/src/header.rs crates/session/src/id.rs crates/session/src/model.rs crates/session/src/path.rs crates/session/src/route.rs
+
+crates/session/src/lib.rs:
+crates/session/src/depot.rs:
+crates/session/src/endpoint.rs:
+crates/session/src/header.rs:
+crates/session/src/id.rs:
+crates/session/src/model.rs:
+crates/session/src/path.rs:
+crates/session/src/route.rs:

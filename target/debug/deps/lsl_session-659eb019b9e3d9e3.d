@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/lsl_session-659eb019b9e3d9e3.d: crates/session/src/lib.rs crates/session/src/depot.rs crates/session/src/endpoint.rs crates/session/src/header.rs crates/session/src/id.rs crates/session/src/model.rs crates/session/src/path.rs crates/session/src/route.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblsl_session-659eb019b9e3d9e3.rmeta: crates/session/src/lib.rs crates/session/src/depot.rs crates/session/src/endpoint.rs crates/session/src/header.rs crates/session/src/id.rs crates/session/src/model.rs crates/session/src/path.rs crates/session/src/route.rs Cargo.toml
+
+crates/session/src/lib.rs:
+crates/session/src/depot.rs:
+crates/session/src/endpoint.rs:
+crates/session/src/header.rs:
+crates/session/src/id.rs:
+crates/session/src/model.rs:
+crates/session/src/path.rs:
+crates/session/src/route.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

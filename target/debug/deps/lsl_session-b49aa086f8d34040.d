@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/lsl_session-b49aa086f8d34040.d: crates/session/src/lib.rs crates/session/src/depot.rs crates/session/src/endpoint.rs crates/session/src/header.rs crates/session/src/id.rs crates/session/src/model.rs crates/session/src/path.rs crates/session/src/route.rs
+
+/root/repo/target/debug/deps/liblsl_session-b49aa086f8d34040.rlib: crates/session/src/lib.rs crates/session/src/depot.rs crates/session/src/endpoint.rs crates/session/src/header.rs crates/session/src/id.rs crates/session/src/model.rs crates/session/src/path.rs crates/session/src/route.rs
+
+/root/repo/target/debug/deps/liblsl_session-b49aa086f8d34040.rmeta: crates/session/src/lib.rs crates/session/src/depot.rs crates/session/src/endpoint.rs crates/session/src/header.rs crates/session/src/id.rs crates/session/src/model.rs crates/session/src/path.rs crates/session/src/route.rs
+
+crates/session/src/lib.rs:
+crates/session/src/depot.rs:
+crates/session/src/endpoint.rs:
+crates/session/src/header.rs:
+crates/session/src/id.rs:
+crates/session/src/model.rs:
+crates/session/src/path.rs:
+crates/session/src/route.rs:

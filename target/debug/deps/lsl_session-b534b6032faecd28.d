@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/lsl_session-b534b6032faecd28.d: crates/session/src/lib.rs crates/session/src/depot.rs crates/session/src/endpoint.rs crates/session/src/header.rs crates/session/src/id.rs crates/session/src/model.rs crates/session/src/path.rs crates/session/src/route.rs
+
+/root/repo/target/debug/deps/liblsl_session-b534b6032faecd28.rlib: crates/session/src/lib.rs crates/session/src/depot.rs crates/session/src/endpoint.rs crates/session/src/header.rs crates/session/src/id.rs crates/session/src/model.rs crates/session/src/path.rs crates/session/src/route.rs
+
+/root/repo/target/debug/deps/liblsl_session-b534b6032faecd28.rmeta: crates/session/src/lib.rs crates/session/src/depot.rs crates/session/src/endpoint.rs crates/session/src/header.rs crates/session/src/id.rs crates/session/src/model.rs crates/session/src/path.rs crates/session/src/route.rs
+
+crates/session/src/lib.rs:
+crates/session/src/depot.rs:
+crates/session/src/endpoint.rs:
+crates/session/src/header.rs:
+crates/session/src/id.rs:
+crates/session/src/model.rs:
+crates/session/src/path.rs:
+crates/session/src/route.rs:

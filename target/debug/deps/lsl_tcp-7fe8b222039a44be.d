@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/lsl_tcp-7fe8b222039a44be.d: crates/tcp/src/lib.rs crates/tcp/src/cc.rs crates/tcp/src/config.rs crates/tcp/src/net.rs crates/tcp/src/rcvbuf.rs crates/tcp/src/rto.rs crates/tcp/src/segment.rs crates/tcp/src/sndbuf.rs crates/tcp/src/socket.rs crates/tcp/src/stack.rs
+
+/root/repo/target/debug/deps/lsl_tcp-7fe8b222039a44be: crates/tcp/src/lib.rs crates/tcp/src/cc.rs crates/tcp/src/config.rs crates/tcp/src/net.rs crates/tcp/src/rcvbuf.rs crates/tcp/src/rto.rs crates/tcp/src/segment.rs crates/tcp/src/sndbuf.rs crates/tcp/src/socket.rs crates/tcp/src/stack.rs
+
+crates/tcp/src/lib.rs:
+crates/tcp/src/cc.rs:
+crates/tcp/src/config.rs:
+crates/tcp/src/net.rs:
+crates/tcp/src/rcvbuf.rs:
+crates/tcp/src/rto.rs:
+crates/tcp/src/segment.rs:
+crates/tcp/src/sndbuf.rs:
+crates/tcp/src/socket.rs:
+crates/tcp/src/stack.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/lsl_tcp-bdc4bf27c783b24e.d: crates/tcp/src/lib.rs crates/tcp/src/cc.rs crates/tcp/src/config.rs crates/tcp/src/net.rs crates/tcp/src/rcvbuf.rs crates/tcp/src/rto.rs crates/tcp/src/segment.rs crates/tcp/src/sndbuf.rs crates/tcp/src/socket.rs crates/tcp/src/stack.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblsl_tcp-bdc4bf27c783b24e.rmeta: crates/tcp/src/lib.rs crates/tcp/src/cc.rs crates/tcp/src/config.rs crates/tcp/src/net.rs crates/tcp/src/rcvbuf.rs crates/tcp/src/rto.rs crates/tcp/src/segment.rs crates/tcp/src/sndbuf.rs crates/tcp/src/socket.rs crates/tcp/src/stack.rs Cargo.toml
+
+crates/tcp/src/lib.rs:
+crates/tcp/src/cc.rs:
+crates/tcp/src/config.rs:
+crates/tcp/src/net.rs:
+crates/tcp/src/rcvbuf.rs:
+crates/tcp/src/rto.rs:
+crates/tcp/src/segment.rs:
+crates/tcp/src/sndbuf.rs:
+crates/tcp/src/socket.rs:
+crates/tcp/src/stack.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/lsl_trace-286e81c779b772ee.d: crates/trace/src/lib.rs crates/trace/src/analysis.rs crates/trace/src/capture.rs crates/trace/src/export.rs crates/trace/src/series.rs
+
+/root/repo/target/debug/deps/liblsl_trace-286e81c779b772ee.rlib: crates/trace/src/lib.rs crates/trace/src/analysis.rs crates/trace/src/capture.rs crates/trace/src/export.rs crates/trace/src/series.rs
+
+/root/repo/target/debug/deps/liblsl_trace-286e81c779b772ee.rmeta: crates/trace/src/lib.rs crates/trace/src/analysis.rs crates/trace/src/capture.rs crates/trace/src/export.rs crates/trace/src/series.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/analysis.rs:
+crates/trace/src/capture.rs:
+crates/trace/src/export.rs:
+crates/trace/src/series.rs:

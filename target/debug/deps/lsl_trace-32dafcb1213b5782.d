@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/lsl_trace-32dafcb1213b5782.d: crates/trace/src/lib.rs crates/trace/src/analysis.rs crates/trace/src/capture.rs crates/trace/src/export.rs crates/trace/src/series.rs crates/trace/src/violations.rs
+
+/root/repo/target/debug/deps/liblsl_trace-32dafcb1213b5782.rlib: crates/trace/src/lib.rs crates/trace/src/analysis.rs crates/trace/src/capture.rs crates/trace/src/export.rs crates/trace/src/series.rs crates/trace/src/violations.rs
+
+/root/repo/target/debug/deps/liblsl_trace-32dafcb1213b5782.rmeta: crates/trace/src/lib.rs crates/trace/src/analysis.rs crates/trace/src/capture.rs crates/trace/src/export.rs crates/trace/src/series.rs crates/trace/src/violations.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/analysis.rs:
+crates/trace/src/capture.rs:
+crates/trace/src/export.rs:
+crates/trace/src/series.rs:
+crates/trace/src/violations.rs:

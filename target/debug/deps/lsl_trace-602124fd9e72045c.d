@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lsl_trace-602124fd9e72045c.d: crates/trace/src/lib.rs crates/trace/src/analysis.rs crates/trace/src/capture.rs crates/trace/src/export.rs crates/trace/src/series.rs
+
+/root/repo/target/debug/deps/lsl_trace-602124fd9e72045c: crates/trace/src/lib.rs crates/trace/src/analysis.rs crates/trace/src/capture.rs crates/trace/src/export.rs crates/trace/src/series.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/analysis.rs:
+crates/trace/src/capture.rs:
+crates/trace/src/export.rs:
+crates/trace/src/series.rs:

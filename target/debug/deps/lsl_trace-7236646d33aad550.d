@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/lsl_trace-7236646d33aad550.d: crates/trace/src/lib.rs crates/trace/src/analysis.rs crates/trace/src/capture.rs crates/trace/src/export.rs crates/trace/src/series.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblsl_trace-7236646d33aad550.rmeta: crates/trace/src/lib.rs crates/trace/src/analysis.rs crates/trace/src/capture.rs crates/trace/src/export.rs crates/trace/src/series.rs Cargo.toml
+
+crates/trace/src/lib.rs:
+crates/trace/src/analysis.rs:
+crates/trace/src/capture.rs:
+crates/trace/src/export.rs:
+crates/trace/src/series.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

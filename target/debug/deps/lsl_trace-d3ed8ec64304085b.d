@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/lsl_trace-d3ed8ec64304085b.d: crates/trace/src/lib.rs crates/trace/src/analysis.rs crates/trace/src/capture.rs crates/trace/src/export.rs crates/trace/src/series.rs crates/trace/src/violations.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblsl_trace-d3ed8ec64304085b.rmeta: crates/trace/src/lib.rs crates/trace/src/analysis.rs crates/trace/src/capture.rs crates/trace/src/export.rs crates/trace/src/series.rs crates/trace/src/violations.rs Cargo.toml
+
+crates/trace/src/lib.rs:
+crates/trace/src/analysis.rs:
+crates/trace/src/capture.rs:
+crates/trace/src/export.rs:
+crates/trace/src/series.rs:
+crates/trace/src/violations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

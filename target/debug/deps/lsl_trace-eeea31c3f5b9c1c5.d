@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/lsl_trace-eeea31c3f5b9c1c5.d: crates/trace/src/lib.rs crates/trace/src/analysis.rs crates/trace/src/capture.rs crates/trace/src/export.rs crates/trace/src/series.rs
+
+/root/repo/target/debug/deps/liblsl_trace-eeea31c3f5b9c1c5.rlib: crates/trace/src/lib.rs crates/trace/src/analysis.rs crates/trace/src/capture.rs crates/trace/src/export.rs crates/trace/src/series.rs
+
+/root/repo/target/debug/deps/liblsl_trace-eeea31c3f5b9c1c5.rmeta: crates/trace/src/lib.rs crates/trace/src/analysis.rs crates/trace/src/capture.rs crates/trace/src/export.rs crates/trace/src/series.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/analysis.rs:
+crates/trace/src/capture.rs:
+crates/trace/src/export.rs:
+crates/trace/src/series.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lsl_workloads-01d1a6ea76781022.d: crates/workloads/src/lib.rs crates/workloads/src/paths.rs crates/workloads/src/report.rs crates/workloads/src/runner.rs crates/workloads/src/sweep.rs
+
+/root/repo/target/debug/deps/lsl_workloads-01d1a6ea76781022: crates/workloads/src/lib.rs crates/workloads/src/paths.rs crates/workloads/src/report.rs crates/workloads/src/runner.rs crates/workloads/src/sweep.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/paths.rs:
+crates/workloads/src/report.rs:
+crates/workloads/src/runner.rs:
+crates/workloads/src/sweep.rs:

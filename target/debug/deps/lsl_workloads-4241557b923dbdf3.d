@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/lsl_workloads-4241557b923dbdf3.d: crates/workloads/src/lib.rs crates/workloads/src/paths.rs crates/workloads/src/report.rs crates/workloads/src/runner.rs crates/workloads/src/sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblsl_workloads-4241557b923dbdf3.rmeta: crates/workloads/src/lib.rs crates/workloads/src/paths.rs crates/workloads/src/report.rs crates/workloads/src/runner.rs crates/workloads/src/sweep.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/paths.rs:
+crates/workloads/src/report.rs:
+crates/workloads/src/runner.rs:
+crates/workloads/src/sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/lsl_workloads-5d03d075c57b43be.d: crates/workloads/src/lib.rs crates/workloads/src/paths.rs crates/workloads/src/report.rs crates/workloads/src/runner.rs crates/workloads/src/sweep.rs
+
+/root/repo/target/debug/deps/liblsl_workloads-5d03d075c57b43be.rlib: crates/workloads/src/lib.rs crates/workloads/src/paths.rs crates/workloads/src/report.rs crates/workloads/src/runner.rs crates/workloads/src/sweep.rs
+
+/root/repo/target/debug/deps/liblsl_workloads-5d03d075c57b43be.rmeta: crates/workloads/src/lib.rs crates/workloads/src/paths.rs crates/workloads/src/report.rs crates/workloads/src/runner.rs crates/workloads/src/sweep.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/paths.rs:
+crates/workloads/src/report.rs:
+crates/workloads/src/runner.rs:
+crates/workloads/src/sweep.rs:

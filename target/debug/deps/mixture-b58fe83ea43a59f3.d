@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mixture-b58fe83ea43a59f3.d: crates/nws/tests/mixture.rs
+
+/root/repo/target/debug/deps/mixture-b58fe83ea43a59f3: crates/nws/tests/mixture.rs
+
+crates/nws/tests/mixture.rs:

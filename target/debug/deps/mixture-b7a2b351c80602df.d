@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mixture-b7a2b351c80602df.d: crates/nws/tests/mixture.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmixture-b7a2b351c80602df.rmeta: crates/nws/tests/mixture.rs Cargo.toml
+
+crates/nws/tests/mixture.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-1c105fbfd32f6327.d: crates/netsim/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-1c105fbfd32f6327: crates/netsim/tests/prop.rs
+
+crates/netsim/tests/prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-338a3fd612d5b5df.d: crates/trace/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-338a3fd612d5b5df: crates/trace/tests/prop.rs
+
+crates/trace/tests/prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-502a2460f827bb6c.d: crates/netsim/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-502a2460f827bb6c: crates/netsim/tests/prop.rs
+
+crates/netsim/tests/prop.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-5af5297c23efaf62.d: crates/netsim/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-5af5297c23efaf62.rmeta: crates/netsim/tests/prop.rs Cargo.toml
+
+crates/netsim/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

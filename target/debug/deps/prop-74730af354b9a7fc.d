@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-74730af354b9a7fc.d: crates/netsim/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-74730af354b9a7fc.rmeta: crates/netsim/tests/prop.rs Cargo.toml
+
+crates/netsim/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-cea5947c5cc6a2a3.d: crates/trace/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-cea5947c5cc6a2a3.rmeta: crates/trace/tests/prop.rs Cargo.toml
+
+crates/trace/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-189b23575d5b4edf.d: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-189b23575d5b4edf: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-c85c23bb013cdc3d.d: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-c85c23bb013cdc3d.rlib: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-c85c23bb013cdc3d.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/tcp_behavior-07a1465487d3fd11.d: crates/tcp/tests/tcp_behavior.rs crates/tcp/tests/common/mod.rs
+
+/root/repo/target/debug/deps/tcp_behavior-07a1465487d3fd11: crates/tcp/tests/tcp_behavior.rs crates/tcp/tests/common/mod.rs
+
+crates/tcp/tests/tcp_behavior.rs:
+crates/tcp/tests/common/mod.rs:

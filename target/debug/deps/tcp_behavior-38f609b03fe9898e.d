@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/tcp_behavior-38f609b03fe9898e.d: crates/tcp/tests/tcp_behavior.rs crates/tcp/tests/common/mod.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtcp_behavior-38f609b03fe9898e.rmeta: crates/tcp/tests/tcp_behavior.rs crates/tcp/tests/common/mod.rs Cargo.toml
+
+crates/tcp/tests/tcp_behavior.rs:
+crates/tcp/tests/common/mod.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/tcp_behavior-52b9cf628235116b.d: crates/tcp/tests/tcp_behavior.rs crates/tcp/tests/common/mod.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtcp_behavior-52b9cf628235116b.rmeta: crates/tcp/tests/tcp_behavior.rs crates/tcp/tests/common/mod.rs Cargo.toml
+
+crates/tcp/tests/tcp_behavior.rs:
+crates/tcp/tests/common/mod.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

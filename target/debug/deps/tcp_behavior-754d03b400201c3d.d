@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/tcp_behavior-754d03b400201c3d.d: crates/tcp/tests/tcp_behavior.rs crates/tcp/tests/common/mod.rs
+
+/root/repo/target/debug/deps/tcp_behavior-754d03b400201c3d: crates/tcp/tests/tcp_behavior.rs crates/tcp/tests/common/mod.rs
+
+crates/tcp/tests/tcp_behavior.rs:
+crates/tcp/tests/common/mod.rs:

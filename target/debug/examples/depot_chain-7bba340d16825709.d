@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/depot_chain-7bba340d16825709.d: examples/depot_chain.rs
+
+/root/repo/target/debug/examples/depot_chain-7bba340d16825709: examples/depot_chain.rs
+
+examples/depot_chain.rs:

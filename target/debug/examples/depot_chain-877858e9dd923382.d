@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/depot_chain-877858e9dd923382.d: examples/depot_chain.rs
+
+/root/repo/target/debug/examples/depot_chain-877858e9dd923382: examples/depot_chain.rs
+
+examples/depot_chain.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/depot_chain-96cb32b8dae493f2.d: examples/depot_chain.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdepot_chain-96cb32b8dae493f2.rmeta: examples/depot_chain.rs Cargo.toml
+
+examples/depot_chain.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/depot_chain-c52708c3f352f647.d: examples/depot_chain.rs
+
+/root/repo/target/debug/examples/depot_chain-c52708c3f352f647: examples/depot_chain.rs
+
+examples/depot_chain.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/depot_chain-d1468df4e97078ce.d: examples/depot_chain.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdepot_chain-d1468df4e97078ce.rmeta: examples/depot_chain.rs Cargo.toml
+
+examples/depot_chain.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

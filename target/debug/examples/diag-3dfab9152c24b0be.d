@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/diag-3dfab9152c24b0be.d: examples/diag.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdiag-3dfab9152c24b0be.rmeta: examples/diag.rs Cargo.toml
+
+examples/diag.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

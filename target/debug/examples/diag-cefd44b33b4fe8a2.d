@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/diag-cefd44b33b4fe8a2.d: examples/diag.rs
+
+/root/repo/target/debug/examples/diag-cefd44b33b4fe8a2: examples/diag.rs
+
+examples/diag.rs:

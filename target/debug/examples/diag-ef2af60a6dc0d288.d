@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/diag-ef2af60a6dc0d288.d: examples/diag.rs
+
+/root/repo/target/debug/examples/diag-ef2af60a6dc0d288: examples/diag.rs
+
+examples/diag.rs:

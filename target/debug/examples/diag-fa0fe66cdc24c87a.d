@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/diag-fa0fe66cdc24c87a.d: examples/diag.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdiag-fa0fe66cdc24c87a.rmeta: examples/diag.rs Cargo.toml
+
+examples/diag.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/grid_transfer-1fe70c8a160ede23.d: examples/grid_transfer.rs
+
+/root/repo/target/debug/examples/grid_transfer-1fe70c8a160ede23: examples/grid_transfer.rs
+
+examples/grid_transfer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/grid_transfer-22957decf6a0ddc4.d: examples/grid_transfer.rs
+
+/root/repo/target/debug/examples/grid_transfer-22957decf6a0ddc4: examples/grid_transfer.rs
+
+examples/grid_transfer.rs:

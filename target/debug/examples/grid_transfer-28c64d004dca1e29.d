@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/grid_transfer-28c64d004dca1e29.d: examples/grid_transfer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgrid_transfer-28c64d004dca1e29.rmeta: examples/grid_transfer.rs Cargo.toml
+
+examples/grid_transfer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/grid_transfer-817cb179246ef215.d: examples/grid_transfer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgrid_transfer-817cb179246ef215.rmeta: examples/grid_transfer.rs Cargo.toml
+
+examples/grid_transfer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/grid_transfer-aee99eaedb5bae8c.d: examples/grid_transfer.rs
+
+/root/repo/target/debug/examples/grid_transfer-aee99eaedb5bae8c: examples/grid_transfer.rs
+
+examples/grid_transfer.rs:

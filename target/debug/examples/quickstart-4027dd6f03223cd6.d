@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-4027dd6f03223cd6.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-4027dd6f03223cd6: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-f4e3e011855ac260.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-f4e3e011855ac260: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/real_relay-12c876c6599cf4fb.d: examples/real_relay.rs
+
+/root/repo/target/debug/examples/real_relay-12c876c6599cf4fb: examples/real_relay.rs
+
+examples/real_relay.rs:

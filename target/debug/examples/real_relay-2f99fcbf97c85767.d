@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/real_relay-2f99fcbf97c85767.d: examples/real_relay.rs Cargo.toml
+
+/root/repo/target/debug/examples/libreal_relay-2f99fcbf97c85767.rmeta: examples/real_relay.rs Cargo.toml
+
+examples/real_relay.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

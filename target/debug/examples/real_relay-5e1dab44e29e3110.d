@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/real_relay-5e1dab44e29e3110.d: examples/real_relay.rs
+
+/root/repo/target/debug/examples/real_relay-5e1dab44e29e3110: examples/real_relay.rs
+
+examples/real_relay.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/real_relay-867c555c54ddd7a6.d: examples/real_relay.rs
+
+/root/repo/target/debug/examples/real_relay-867c555c54ddd7a6: examples/real_relay.rs
+
+examples/real_relay.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/real_relay-dae9335b0bdd25b4.d: examples/real_relay.rs Cargo.toml
+
+/root/repo/target/debug/examples/libreal_relay-dae9335b0bdd25b4.rmeta: examples/real_relay.rs Cargo.toml
+
+examples/real_relay.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/wireless_edge-0245d93217b0440f.d: examples/wireless_edge.rs Cargo.toml
+
+/root/repo/target/debug/examples/libwireless_edge-0245d93217b0440f.rmeta: examples/wireless_edge.rs Cargo.toml
+
+examples/wireless_edge.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

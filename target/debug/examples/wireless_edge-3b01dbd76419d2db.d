@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/wireless_edge-3b01dbd76419d2db.d: examples/wireless_edge.rs Cargo.toml
+
+/root/repo/target/debug/examples/libwireless_edge-3b01dbd76419d2db.rmeta: examples/wireless_edge.rs Cargo.toml
+
+examples/wireless_edge.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/wireless_edge-85cac278c36bad13.d: examples/wireless_edge.rs
+
+/root/repo/target/debug/examples/wireless_edge-85cac278c36bad13: examples/wireless_edge.rs
+
+examples/wireless_edge.rs:

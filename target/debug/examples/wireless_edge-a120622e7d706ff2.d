@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/wireless_edge-a120622e7d706ff2.d: examples/wireless_edge.rs
+
+/root/repo/target/debug/examples/wireless_edge-a120622e7d706ff2: examples/wireless_edge.rs
+
+examples/wireless_edge.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/wireless_edge-b1dee2b79d04ae13.d: examples/wireless_edge.rs
+
+/root/repo/target/debug/examples/wireless_edge-b1dee2b79d04ae13: examples/wireless_edge.rs
+
+examples/wireless_edge.rs:

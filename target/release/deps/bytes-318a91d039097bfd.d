@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-318a91d039097bfd.d: shims/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-318a91d039097bfd.rlib: shims/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-318a91d039097bfd.rmeta: shims/bytes/src/lib.rs
+
+shims/bytes/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/lsl-adb09f5a977bd7b1.d: src/lib.rs
+
+/root/repo/target/release/deps/liblsl-adb09f5a977bd7b1.rlib: src/lib.rs
+
+/root/repo/target/release/deps/liblsl-adb09f5a977bd7b1.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/lsl_digest-45225ac722d56454.d: crates/digest/src/lib.rs crates/digest/src/md5.rs
+
+/root/repo/target/release/deps/liblsl_digest-45225ac722d56454.rlib: crates/digest/src/lib.rs crates/digest/src/md5.rs
+
+/root/repo/target/release/deps/liblsl_digest-45225ac722d56454.rmeta: crates/digest/src/lib.rs crates/digest/src/md5.rs
+
+crates/digest/src/lib.rs:
+crates/digest/src/md5.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/lsl_netsim-efc2ee097380c7c3.d: crates/netsim/src/lib.rs crates/netsim/src/link.rs crates/netsim/src/loss.rs crates/netsim/src/packet.rs crates/netsim/src/sim.rs crates/netsim/src/stats.rs crates/netsim/src/time.rs crates/netsim/src/topo.rs
+
+/root/repo/target/release/deps/liblsl_netsim-efc2ee097380c7c3.rlib: crates/netsim/src/lib.rs crates/netsim/src/link.rs crates/netsim/src/loss.rs crates/netsim/src/packet.rs crates/netsim/src/sim.rs crates/netsim/src/stats.rs crates/netsim/src/time.rs crates/netsim/src/topo.rs
+
+/root/repo/target/release/deps/liblsl_netsim-efc2ee097380c7c3.rmeta: crates/netsim/src/lib.rs crates/netsim/src/link.rs crates/netsim/src/loss.rs crates/netsim/src/packet.rs crates/netsim/src/sim.rs crates/netsim/src/stats.rs crates/netsim/src/time.rs crates/netsim/src/topo.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/link.rs:
+crates/netsim/src/loss.rs:
+crates/netsim/src/packet.rs:
+crates/netsim/src/sim.rs:
+crates/netsim/src/stats.rs:
+crates/netsim/src/time.rs:
+crates/netsim/src/topo.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/lsl_nws-c888144fe19c8ad9.d: crates/nws/src/lib.rs crates/nws/src/forecast.rs crates/nws/src/registry.rs crates/nws/src/series.rs
+
+/root/repo/target/release/deps/liblsl_nws-c888144fe19c8ad9.rlib: crates/nws/src/lib.rs crates/nws/src/forecast.rs crates/nws/src/registry.rs crates/nws/src/series.rs
+
+/root/repo/target/release/deps/liblsl_nws-c888144fe19c8ad9.rmeta: crates/nws/src/lib.rs crates/nws/src/forecast.rs crates/nws/src/registry.rs crates/nws/src/series.rs
+
+crates/nws/src/lib.rs:
+crates/nws/src/forecast.rs:
+crates/nws/src/registry.rs:
+crates/nws/src/series.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/lsl_realnet-e727dd23e79129a1.d: crates/realnet/src/lib.rs crates/realnet/src/depot.rs crates/realnet/src/sink.rs crates/realnet/src/stream.rs crates/realnet/src/wire.rs
+
+/root/repo/target/release/deps/liblsl_realnet-e727dd23e79129a1.rlib: crates/realnet/src/lib.rs crates/realnet/src/depot.rs crates/realnet/src/sink.rs crates/realnet/src/stream.rs crates/realnet/src/wire.rs
+
+/root/repo/target/release/deps/liblsl_realnet-e727dd23e79129a1.rmeta: crates/realnet/src/lib.rs crates/realnet/src/depot.rs crates/realnet/src/sink.rs crates/realnet/src/stream.rs crates/realnet/src/wire.rs
+
+crates/realnet/src/lib.rs:
+crates/realnet/src/depot.rs:
+crates/realnet/src/sink.rs:
+crates/realnet/src/stream.rs:
+crates/realnet/src/wire.rs:

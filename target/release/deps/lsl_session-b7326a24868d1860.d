@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/lsl_session-b7326a24868d1860.d: crates/session/src/lib.rs crates/session/src/depot.rs crates/session/src/endpoint.rs crates/session/src/header.rs crates/session/src/id.rs crates/session/src/model.rs crates/session/src/path.rs crates/session/src/route.rs
+
+/root/repo/target/release/deps/liblsl_session-b7326a24868d1860.rlib: crates/session/src/lib.rs crates/session/src/depot.rs crates/session/src/endpoint.rs crates/session/src/header.rs crates/session/src/id.rs crates/session/src/model.rs crates/session/src/path.rs crates/session/src/route.rs
+
+/root/repo/target/release/deps/liblsl_session-b7326a24868d1860.rmeta: crates/session/src/lib.rs crates/session/src/depot.rs crates/session/src/endpoint.rs crates/session/src/header.rs crates/session/src/id.rs crates/session/src/model.rs crates/session/src/path.rs crates/session/src/route.rs
+
+crates/session/src/lib.rs:
+crates/session/src/depot.rs:
+crates/session/src/endpoint.rs:
+crates/session/src/header.rs:
+crates/session/src/id.rs:
+crates/session/src/model.rs:
+crates/session/src/path.rs:
+crates/session/src/route.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/lsl_tcp-168da5b1aede9ce9.d: crates/tcp/src/lib.rs crates/tcp/src/cc.rs crates/tcp/src/config.rs crates/tcp/src/net.rs crates/tcp/src/rcvbuf.rs crates/tcp/src/rto.rs crates/tcp/src/segment.rs crates/tcp/src/sndbuf.rs crates/tcp/src/socket.rs crates/tcp/src/stack.rs
+
+/root/repo/target/release/deps/liblsl_tcp-168da5b1aede9ce9.rlib: crates/tcp/src/lib.rs crates/tcp/src/cc.rs crates/tcp/src/config.rs crates/tcp/src/net.rs crates/tcp/src/rcvbuf.rs crates/tcp/src/rto.rs crates/tcp/src/segment.rs crates/tcp/src/sndbuf.rs crates/tcp/src/socket.rs crates/tcp/src/stack.rs
+
+/root/repo/target/release/deps/liblsl_tcp-168da5b1aede9ce9.rmeta: crates/tcp/src/lib.rs crates/tcp/src/cc.rs crates/tcp/src/config.rs crates/tcp/src/net.rs crates/tcp/src/rcvbuf.rs crates/tcp/src/rto.rs crates/tcp/src/segment.rs crates/tcp/src/sndbuf.rs crates/tcp/src/socket.rs crates/tcp/src/stack.rs
+
+crates/tcp/src/lib.rs:
+crates/tcp/src/cc.rs:
+crates/tcp/src/config.rs:
+crates/tcp/src/net.rs:
+crates/tcp/src/rcvbuf.rs:
+crates/tcp/src/rto.rs:
+crates/tcp/src/segment.rs:
+crates/tcp/src/sndbuf.rs:
+crates/tcp/src/socket.rs:
+crates/tcp/src/stack.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/lsl_trace-8b99392d62bf43f0.d: crates/trace/src/lib.rs crates/trace/src/analysis.rs crates/trace/src/capture.rs crates/trace/src/export.rs crates/trace/src/series.rs
+
+/root/repo/target/release/deps/liblsl_trace-8b99392d62bf43f0.rlib: crates/trace/src/lib.rs crates/trace/src/analysis.rs crates/trace/src/capture.rs crates/trace/src/export.rs crates/trace/src/series.rs
+
+/root/repo/target/release/deps/liblsl_trace-8b99392d62bf43f0.rmeta: crates/trace/src/lib.rs crates/trace/src/analysis.rs crates/trace/src/capture.rs crates/trace/src/export.rs crates/trace/src/series.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/analysis.rs:
+crates/trace/src/capture.rs:
+crates/trace/src/export.rs:
+crates/trace/src/series.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/lsl_workloads-cd5f33c99651471c.d: crates/workloads/src/lib.rs crates/workloads/src/paths.rs crates/workloads/src/report.rs crates/workloads/src/runner.rs crates/workloads/src/sweep.rs
+
+/root/repo/target/release/deps/liblsl_workloads-cd5f33c99651471c.rlib: crates/workloads/src/lib.rs crates/workloads/src/paths.rs crates/workloads/src/report.rs crates/workloads/src/runner.rs crates/workloads/src/sweep.rs
+
+/root/repo/target/release/deps/liblsl_workloads-cd5f33c99651471c.rmeta: crates/workloads/src/lib.rs crates/workloads/src/paths.rs crates/workloads/src/report.rs crates/workloads/src/runner.rs crates/workloads/src/sweep.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/paths.rs:
+crates/workloads/src/report.rs:
+crates/workloads/src/runner.rs:
+crates/workloads/src/sweep.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-3a628a95b229cfb2.d: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-3a628a95b229cfb2.rlib: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-3a628a95b229cfb2.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/diag-3442d8894dc86756.d: examples/diag.rs
+
+/root/repo/target/release/examples/diag-3442d8894dc86756: examples/diag.rs
+
+examples/diag.rs:

@@ -1,0 +1,27 @@
+//! The workspace must audit clean: `cargo run -p lsl-audit` exiting 0 is
+//! a CI gate (scripts/ci.sh), and this test pins the same property from
+//! `cargo test` so a violation can't land through either door.
+
+use std::path::Path;
+
+#[test]
+fn workspace_audits_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let findings = lsl_audit::audit_workspace(root).expect("audit runs");
+    assert!(
+        findings.is_empty(),
+        "lsl-audit found violations (fix them or justify in audit.toml):\n{}",
+        findings
+            .iter()
+            .map(|f| format!(
+                "  {}:{}:{}: [{}] {}",
+                f.file,
+                f.line,
+                f.col,
+                f.rule.name(),
+                f.message
+            ))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

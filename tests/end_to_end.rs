@@ -44,8 +44,14 @@ fn lsl_penalty_case1_tiny_transfers() {
 #[test]
 fn case1_trace_rtts_match_paper_shape() {
     let case = case1();
-    let lsl = run_transfer(&case, &RunConfig::new(2 << 20, Mode::ViaDepot, 5).with_trace());
-    let direct = run_transfer(&case, &RunConfig::new(2 << 20, Mode::Direct, 5).with_trace());
+    let lsl = run_transfer(
+        &case,
+        &RunConfig::new(2 << 20, Mode::ViaDepot, 5).with_trace(),
+    );
+    let direct = run_transfer(
+        &case,
+        &RunConfig::new(2 << 20, Mode::Direct, 5).with_trace(),
+    );
     let s1 = trace::mean_rtt(lsl.trace_first.as_ref().unwrap()).unwrap() * 1e3;
     let s2 = trace::mean_rtt(lsl.trace_second.as_ref().unwrap()).unwrap() * 1e3;
     let e2e = trace::mean_rtt(direct.trace_first.as_ref().unwrap()).unwrap() * 1e3;
@@ -119,8 +125,14 @@ fn whole_stack_determinism() {
 fn model_and_simulation_agree_on_sign() {
     let case = case1();
     // Trace-calibrate the model inputs.
-    let lsl = run_transfer(&case, &RunConfig::new(2 << 20, Mode::ViaDepot, 9).with_trace());
-    let direct = run_transfer(&case, &RunConfig::new(2 << 20, Mode::Direct, 9).with_trace());
+    let lsl = run_transfer(
+        &case,
+        &RunConfig::new(2 << 20, Mode::ViaDepot, 9).with_trace(),
+    );
+    let direct = run_transfer(
+        &case,
+        &RunConfig::new(2 << 20, Mode::Direct, 9).with_trace(),
+    );
     let rtt1 = trace::mean_rtt(lsl.trace_first.as_ref().unwrap()).unwrap();
     let rtt2 = trace::mean_rtt(lsl.trace_second.as_ref().unwrap()).unwrap();
     let rtt_d = trace::mean_rtt(direct.trace_first.as_ref().unwrap()).unwrap();
