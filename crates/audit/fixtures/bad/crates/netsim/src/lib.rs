@@ -16,3 +16,7 @@ pub fn elapsed_bytes(flows: &HashMap<u32, u64>, started: Instant) -> f64 {
 pub fn wait() {
     std::thread::sleep(std::time::Duration::from_millis(10));
 }
+
+pub fn fanout() {
+    std::thread::spawn(|| {});
+}

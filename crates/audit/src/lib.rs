@@ -13,6 +13,7 @@
 //! | `hash-container` | sim-domain | `HashMap`, `HashSet` |
 //! | `float-eq` | every crate | `==`/`!=` against float literals |
 //! | `unwrap-outside-tests` | session, realnet | `.unwrap()`/`.expect()` in non-test code |
+//! | `thread-spawn` | sim-domain | `thread::spawn`/`scope`/`Builder` (harness executor exempt) |
 //! | `unused-workspace-dep` | root manifest | `[workspace.dependencies]` entries no member uses |
 //!
 //! Sim-domain crates are `netsim`, `tcp`, `session`, `nws`, `workloads`.
@@ -35,6 +36,12 @@ use rules::{Finding, RuleId};
 /// Crates whose code runs inside the deterministic simulation domain.
 pub const SIM_DOMAIN: &[&str] = &["netsim", "tcp", "session", "nws", "workloads"];
 
+/// Files inside sim-domain crates that are experiment-*harness* code,
+/// not simulation semantics: the campaign executor fans whole
+/// deterministic runs across OS threads and is the one sanctioned use
+/// of `std::thread` there. Paths are workspace-relative.
+pub const HARNESS_THREAD_EXEMPT: &[&str] = &["crates/workloads/src/campaign.rs"];
+
 /// Which rules apply to a crate, keyed by its directory name under
 /// `crates/` (the root package audits as `"lsl"`).
 pub fn policy_for(crate_dir: &str) -> Vec<RuleId> {
@@ -42,6 +49,7 @@ pub fn policy_for(crate_dir: &str) -> Vec<RuleId> {
     if SIM_DOMAIN.contains(&crate_dir) {
         rules.push(RuleId::WallClock);
         rules.push(RuleId::HashContainer);
+        rules.push(RuleId::ThreadSpawn);
     }
     if crate_dir == "realnet" {
         // Not simulation code, but its daemon must still justify every
@@ -154,6 +162,11 @@ fn audit_crate(
                 RuleId::HashContainer => rules::check_hash_container(&rel, &tokens, out),
                 RuleId::FloatEq => rules::check_float_eq(&rel, &tokens, out),
                 RuleId::UnwrapOutsideTests => rules::check_unwrap(&rel, &tokens, out),
+                RuleId::ThreadSpawn => {
+                    if !HARNESS_THREAD_EXEMPT.contains(&rel.as_str()) {
+                        rules::check_thread_spawn(&rel, &tokens, out);
+                    }
+                }
                 RuleId::UnusedWorkspaceDep | RuleId::StaleAllow => {}
             }
         }
@@ -241,7 +254,10 @@ mod tests {
             let p = policy_for(c);
             assert!(p.contains(&RuleId::WallClock), "{c}");
             assert!(p.contains(&RuleId::HashContainer), "{c}");
+            assert!(p.contains(&RuleId::ThreadSpawn), "{c}");
         }
+        assert!(!policy_for("bench").contains(&RuleId::ThreadSpawn));
+        assert!(!policy_for("realnet").contains(&RuleId::ThreadSpawn));
         assert!(policy_for("session").contains(&RuleId::UnwrapOutsideTests));
         assert!(policy_for("realnet").contains(&RuleId::UnwrapOutsideTests));
         assert!(policy_for("realnet").contains(&RuleId::WallClock));

@@ -21,6 +21,7 @@ pub enum RuleId {
     HashContainer,
     FloatEq,
     UnwrapOutsideTests,
+    ThreadSpawn,
     UnusedWorkspaceDep,
     StaleAllow,
 }
@@ -32,6 +33,7 @@ impl RuleId {
             RuleId::HashContainer => "hash-container",
             RuleId::FloatEq => "float-eq",
             RuleId::UnwrapOutsideTests => "unwrap-outside-tests",
+            RuleId::ThreadSpawn => "thread-spawn",
             RuleId::UnusedWorkspaceDep => "unused-workspace-dep",
             RuleId::StaleAllow => "stale-allow",
         }
@@ -43,6 +45,7 @@ impl RuleId {
             "hash-container" => RuleId::HashContainer,
             "float-eq" => RuleId::FloatEq,
             "unwrap-outside-tests" => RuleId::UnwrapOutsideTests,
+            "thread-spawn" => RuleId::ThreadSpawn,
             "unused-workspace-dep" => RuleId::UnusedWorkspaceDep,
             "stale-allow" => RuleId::StaleAllow,
             _ => return None,
@@ -67,6 +70,12 @@ impl RuleId {
             RuleId::UnwrapOutsideTests => {
                 "library and daemon code must surface errors, not panic; \
                  reserve unwrap()/expect() for tests"
+            }
+            RuleId::ThreadSpawn => {
+                "simulation code must be single-threaded: OS scheduling order \
+                 leaks into traces and breaks same-seed reproducibility. \
+                 Parallelism belongs to the experiment harness (the campaign \
+                 executor fans out whole runs, each its own simulation)"
             }
             RuleId::UnusedWorkspaceDep => {
                 "every [workspace.dependencies] entry must be consumed by some \
@@ -100,6 +109,25 @@ pub fn check_wall_clock(file: &str, tokens: &[Token], out: &mut Vec<Finding>) {
                 message: "use of thread::sleep".to_string(),
             }),
             _ => {}
+        }
+    }
+}
+
+/// `thread::spawn`, `thread::scope`, `thread::Builder` in sim-domain
+/// code (`thread::sleep` is already a wall-clock finding).
+pub fn check_thread_spawn(file: &str, tokens: &[Token], out: &mut Vec<Finding>) {
+    for (i, t) in tokens.iter().enumerate() {
+        let Some(id @ ("spawn" | "scope" | "Builder")) = t.kind.ident() else {
+            continue;
+        };
+        if preceded_by_path(tokens, i, "thread") {
+            out.push(Finding {
+                file: file.to_string(),
+                line: t.line,
+                col: t.col,
+                rule: RuleId::ThreadSpawn,
+                message: format!("use of thread::{id} in simulation-domain code"),
+            });
         }
     }
 }
@@ -287,6 +315,16 @@ mod tests {
     fn wall_clock_ignores_unrelated_sleep() {
         // A method named `sleep` not reached via `thread::`.
         assert!(run(check_wall_clock, "power.sleep();").is_empty());
+    }
+
+    #[test]
+    fn thread_spawn_fires_on_spawn_scope_builder() {
+        let bad = "std::thread::spawn(f); thread::scope(|s| {}); thread::Builder::new();";
+        let f = run(check_thread_spawn, bad);
+        assert_eq!(f.len(), 3);
+        assert!(f.iter().all(|x| x.rule == RuleId::ThreadSpawn));
+        // Method calls and other paths named spawn/scope are not thread use.
+        assert!(run(check_thread_spawn, "pool.spawn(f); tokio::spawn(f);").is_empty());
     }
 
     #[test]

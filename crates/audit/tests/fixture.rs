@@ -26,10 +26,12 @@ fn fixture_trips_every_seeded_rule() {
     let count = |r: RuleId| findings.iter().filter(|f| f.rule == r).count();
 
     // netsim (sim-domain): Instant at the use + the parameter type,
-    // thread::sleep, HashMap at the use + the parameter type, one float ==.
+    // thread::sleep, HashMap at the use + the parameter type, one float ==,
+    // one thread::spawn.
     assert_eq!(count(RuleId::WallClock), 3, "{findings:?}");
     assert_eq!(count(RuleId::HashContainer), 2, "{findings:?}");
     assert_eq!(count(RuleId::FloatEq), 1, "{findings:?}");
+    assert_eq!(count(RuleId::ThreadSpawn), 1, "{findings:?}");
 
     // session: exactly the one unwrap outside tests — the unwrap inside
     // the #[test] must not count.

@@ -1,13 +1,23 @@
 //! Micro-benchmarks for the building blocks: digest, codecs, simulator
-//! event rate, TCP transfer rate, depot relay, forecasting.
+//! event rate, TCP transfer rate, depot relay, forecasting, campaign
+//! scaling.
 //!
 //! Self-contained `harness = false` runner (no criterion: the build
-//! environment is offline). Each benchmark is timed with a warmup pass
-//! and a measured pass; results print as ns/iter plus MB/s where a byte
-//! throughput is meaningful. Invoke with `cargo bench -p lsl-bench`;
-//! under `cargo test` the benchmarks run a single smoke iteration each.
+//! environment is offline). Each benchmark is calibrated to the
+//! measurement window, then timed over three fixed-count passes and
+//! reported as the median ns/iter (plus MB/s where a byte throughput
+//! is meaningful). Invoke with `cargo bench -p lsl-bench`; with
+//! `BENCH_SMOKE=1` each benchmark runs a single smoke iteration.
+//!
+//! Either way the run emits `BENCH_netsim.json` at the workspace root:
+//! a machine-readable perf trajectory (simulator events/sec, transfer
+//! wall time, campaign wall time at 1 and N jobs) that CI checks for
+//! shape and future PRs diff against. `BASELINE` pins the numbers
+//! recorded just before the event-engine hot-path work so the
+//! improvement stays visible in the artifact itself.
 
 use std::hint::black_box;
+use std::io::Write as _;
 use std::time::Instant;
 
 use bytes::Bytes;
@@ -15,10 +25,19 @@ use lsl_netsim::{Dur, LinkSpec, LossModel, NodeId, Packet, TopologyBuilder};
 use lsl_nws::AdaptiveMixture;
 use lsl_session::{Hop, LslHeader, SessionId};
 use lsl_tcp::Segment;
-use lsl_workloads::{case1, run_transfer, Mode, RunConfig};
+use lsl_workloads::{case1, default_jobs, run_campaign, run_transfer, Mode, RunConfig};
 
-/// Minimum measured wall time per benchmark before reporting.
+/// Wall time per measured pass; three passes are taken per benchmark.
 const TARGET_MEASURE_S: f64 = 0.25;
+/// Hard ceiling on the per-pass iteration count.
+const MAX_ITERS: u64 = 1 << 24;
+
+/// Perf figures recorded on this host immediately before the
+/// event-engine hot-path refactor (BTreeMap route table, BTreeSet
+/// timer registry, copying `Bytes`), for trajectory context in the
+/// emitted JSON.
+const BASELINE_EVENTS_PER_SEC: f64 = 1_222_643.0;
+const BASELINE_RUN_WALL_S_1MB_DIRECT: f64 = 0.006019;
 
 struct Bench {
     smoke: bool,
@@ -26,49 +45,68 @@ struct Bench {
 
 impl Bench {
     fn new() -> Bench {
-        // Under `cargo test` (or BENCH_SMOKE=1) just prove each benchmark
-        // runs; full timing is for `cargo bench`.
-        let smoke = cfg!(test) || std::env::var_os("BENCH_SMOKE").is_some();
+        // NOTE: cargo compiles `[[bench]]` targets with `--cfg test`
+        // even when `harness = false`, so a `cfg!(test)` check here
+        // would be *always* true and silently turn `cargo bench` into
+        // a smoke run. Smoke mode is therefore opt-in by env only.
+        let smoke = std::env::var_os("BENCH_SMOKE").is_some();
         Bench { smoke }
     }
 
-    fn run<T>(&self, name: &str, bytes_per_iter: Option<u64>, mut f: impl FnMut() -> T) {
+    /// Time `f`, returning the median ns/iter of three measured passes
+    /// (or a single rough pass in smoke mode).
+    fn run<T>(&self, name: &str, bytes_per_iter: Option<u64>, mut f: impl FnMut() -> T) -> f64 {
         if self.smoke {
+            let t0 = Instant::now();
             black_box(f());
+            let ns = t0.elapsed().as_secs_f64() * 1e9;
             println!("{name:<40} smoke ok");
-            return;
+            return ns;
         }
-        // Warmup & calibration: find an iteration count that fills the
-        // measurement window.
+        // Calibration: probe until one batch takes >= ~1 ms of wall
+        // time, scaling the iteration count from the *measured* rate
+        // (clamped to x2..x100 per step) rather than a blind fixed
+        // multiplier — a fixed x4 can overshoot the whole measurement
+        // window on fast machines once the batch is near the target.
         let mut iters: u64 = 1;
-        loop {
+        let per_iter_s = loop {
             let t0 = Instant::now();
             for _ in 0..iters {
                 black_box(f());
             }
             let dt = t0.elapsed().as_secs_f64();
-            if dt >= TARGET_MEASURE_S / 4.0 || iters >= 1 << 24 {
-                break;
+            if dt >= 1e-3 || iters >= MAX_ITERS {
+                break dt / iters as f64;
             }
-            iters = (iters * 4).min(1 << 24);
-        }
-        let t0 = Instant::now();
-        let mut done: u64 = 0;
-        while t0.elapsed().as_secs_f64() < TARGET_MEASURE_S {
-            for _ in 0..iters {
+            let grow = if dt > 0.0 {
+                ((1e-3 / dt) * 1.5) as u64
+            } else {
+                100
+            };
+            iters = iters.saturating_mul(grow.clamp(2, 100)).min(MAX_ITERS);
+        };
+        // Measured passes: a fixed iteration count sized to the window,
+        // so a pass cannot overshoot by an extra batch.
+        let pass_iters =
+            ((TARGET_MEASURE_S / per_iter_s.max(1e-12)).ceil() as u64).clamp(1, MAX_ITERS);
+        let mut passes = [0.0f64; 3];
+        for p in &mut passes {
+            let t0 = Instant::now();
+            for _ in 0..pass_iters {
                 black_box(f());
             }
-            done += iters;
+            *p = t0.elapsed().as_secs_f64() * 1e9 / pass_iters as f64;
         }
-        let total = t0.elapsed().as_secs_f64();
-        let ns_per_iter = total * 1e9 / done as f64;
+        passes.sort_by(|a, b| a.total_cmp(b));
+        let ns_per_iter = passes[1];
         match bytes_per_iter {
             Some(b) => {
-                let mbps = b as f64 * done as f64 / total / 1e6;
+                let mbps = b as f64 * 1e9 / ns_per_iter / 1e6;
                 println!("{name:<40} {ns_per_iter:>12.0} ns/iter {mbps:>10.1} MB/s");
             }
             None => println!("{name:<40} {ns_per_iter:>12.0} ns/iter"),
         }
+        ns_per_iter
     }
 }
 
@@ -107,43 +145,51 @@ fn bench_codecs(b: &Bench) {
     });
 }
 
-fn bench_simulator_events(b: &Bench) {
-    // Raw event-loop rate: 1000 packets through a 2-hop path.
-    b.run("netsim_1000_packets_2hop", None, || {
-        let mut tb = TopologyBuilder::new();
-        let a = tb.node("a");
-        let r = tb.node("r");
-        let z = tb.node("z");
-        tb.duplex(a, r, LinkSpec::new(1_000_000_000, Dur::from_micros(100)));
-        tb.duplex(
-            r,
-            z,
-            LinkSpec::new(1_000_000_000, Dur::from_micros(100))
-                .with_loss(LossModel::bernoulli(0.01)),
+/// One pass of the event-rate scenario: 1000 packets through a lossy
+/// 2-hop path. Returns the number of `sim.next()` events processed.
+fn event_rate_scenario() -> u64 {
+    let mut tb = TopologyBuilder::new();
+    let a = tb.node("a");
+    let r = tb.node("r");
+    let z = tb.node("z");
+    tb.duplex(a, r, LinkSpec::new(1_000_000_000, Dur::from_micros(100)));
+    tb.duplex(
+        r,
+        z,
+        LinkSpec::new(1_000_000_000, Dur::from_micros(100)).with_loss(LossModel::bernoulli(0.01)),
+    );
+    let mut sim = tb.build().into_sim(1);
+    for _ in 0..1000 {
+        sim.send(
+            a,
+            Packet::tcp(a, z, Bytes::new(), Bytes::from_static(&[0u8; 1000])),
         );
-        let mut sim = tb.build().into_sim(1);
-        for _ in 0..1000 {
-            sim.send(
-                a,
-                Packet::tcp(a, z, Bytes::new(), Bytes::from_static(&[0u8; 1000])),
-            );
-        }
-        let mut n = 0u32;
-        while sim.next().is_some() {
-            n += 1;
-        }
-        n
-    });
+    }
+    let mut n = 0u64;
+    while sim.next().is_some() {
+        n += 1;
+    }
+    n
 }
 
-fn bench_tcp_transfer(b: &Bench) {
+/// Raw event-loop rate; returns events/sec.
+fn bench_simulator_events(b: &Bench) -> f64 {
+    let events_per_run = event_rate_scenario();
+    let ns_per_iter = b.run("netsim_1000_packets_2hop", None, event_rate_scenario);
+    events_per_run as f64 * 1e9 / ns_per_iter.max(1e-9)
+}
+
+/// End-to-end simulated transfers; returns (direct, via-depot) wall
+/// seconds per 1 MB run.
+fn bench_tcp_transfer(b: &Bench) -> (f64, f64) {
     let case = case1();
-    b.run("sim_transfer_1MB/direct", Some(1 << 20), || {
+    let direct = b.run("sim_transfer_1MB/direct", Some(1 << 20), || {
         run_transfer(&case, &RunConfig::new(1 << 20, Mode::Direct, 1)).duration_s
     });
-    b.run("sim_transfer_1MB/via_depot", Some(1 << 20), || {
+    let depot = b.run("sim_transfer_1MB/via_depot", Some(1 << 20), || {
         run_transfer(&case, &RunConfig::new(1 << 20, Mode::ViaDepot, 1)).duration_s
     });
+    (direct / 1e9, depot / 1e9)
 }
 
 fn bench_forecasting(b: &Bench) {
@@ -158,7 +204,6 @@ fn bench_forecasting(b: &Bench) {
 
 fn bench_realnet_relay(b: &Bench) {
     use lsl_realnet::{LsdServer, LslListener, LslStream};
-    use std::io::Write as _;
     use std::net::Ipv4Addr;
     let depot = LsdServer::spawn((Ipv4Addr::LOCALHOST, 0).into()).expect("spawn depot");
     let depot_addr = depot.addr();
@@ -186,12 +231,91 @@ fn bench_realnet_relay(b: &Bench) {
     });
 }
 
+/// Campaign scaling: the same 8-run transfer campaign executed at
+/// jobs=1 and jobs=N. Returns (n, wall_s at 1 job, wall_s at N jobs);
+/// both campaigns produce bitwise-identical result vectors, so the
+/// only difference is wall time.
+fn bench_campaign(b: &Bench) -> (usize, f64, f64) {
+    let case = case1();
+    let runs = if b.smoke { 2 } else { 8 };
+    let campaign = |jobs: usize| {
+        run_campaign(runs, jobs, |i| {
+            run_transfer(
+                &case,
+                &RunConfig::new(256 << 10, Mode::ViaDepot, 100 + i as u64),
+            )
+            .goodput_bps
+        })
+    };
+    let n = default_jobs().max(4);
+    let time = |jobs: usize| {
+        let passes = if b.smoke { 1 } else { 3 };
+        let mut walls: Vec<f64> = (0..passes)
+            .map(|_| {
+                let t0 = Instant::now();
+                black_box(campaign(jobs));
+                t0.elapsed().as_secs_f64()
+            })
+            .collect();
+        walls.sort_by(|a, b| a.total_cmp(b));
+        walls[walls.len() / 2]
+    };
+    let w1 = time(1);
+    let wn = time(n);
+    let seq = campaign(1);
+    let par = campaign(n);
+    assert_eq!(seq.len(), par.len());
+    for (a, b) in seq.iter().zip(par.iter()) {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "campaign output must not depend on jobs"
+        );
+    }
+    println!(
+        "campaign_{runs}x256KB/jobs1_vs_jobs{n}       {:>9.3} s vs {:>9.3} s ({:.2}x)",
+        w1,
+        wn,
+        w1 / wn.max(1e-9)
+    );
+    (n, w1, wn)
+}
+
+/// Hand-rolled JSON emission (offline build: no serde). Written to the
+/// workspace root so the trajectory lives next to the sources it
+/// measures; override the path with `BENCH_OUT`.
+#[allow(clippy::too_many_arguments)]
+fn write_json(
+    smoke: bool,
+    events_per_sec: f64,
+    direct_s: f64,
+    depot_s: f64,
+    jobs_n: usize,
+    campaign_wall_s_jobs1: f64,
+    campaign_wall_s_jobs_n: f64,
+) {
+    let path = std::env::var_os("BENCH_OUT")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| {
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_netsim.json")
+        });
+    let json = format!(
+        "{{\n  \"schema\": 1,\n  \"smoke\": {smoke},\n  \"netsim_events_per_sec\": {events_per_sec:.0},\n  \"run_wall_s_1mb_direct\": {direct_s:.6},\n  \"run_wall_s_1mb_depot\": {depot_s:.6},\n  \"campaign_jobs\": {jobs_n},\n  \"campaign_wall_s_jobs1\": {campaign_wall_s_jobs1:.6},\n  \"campaign_wall_s_jobsN\": {campaign_wall_s_jobs_n:.6},\n  \"baseline\": {{\n    \"netsim_events_per_sec\": {BASELINE_EVENTS_PER_SEC:.0},\n    \"run_wall_s_1mb_direct\": {BASELINE_RUN_WALL_S_1MB_DIRECT:.6}\n  }}\n}}\n"
+    );
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}
+
 fn main() {
     let b = Bench::new();
     bench_md5(&b);
     bench_codecs(&b);
-    bench_simulator_events(&b);
-    bench_tcp_transfer(&b);
+    let events_per_sec = bench_simulator_events(&b);
+    let (direct_s, depot_s) = bench_tcp_transfer(&b);
     bench_forecasting(&b);
     bench_realnet_relay(&b);
+    let (jobs_n, w1, wn) = bench_campaign(&b);
+    write_json(b.smoke, events_per_sec, direct_s, depot_s, jobs_n, w1, wn);
 }

@@ -3,16 +3,38 @@
 //! ```text
 //! cargo run -p lsl-bench --release --bin ablations -- all
 //! cargo run -p lsl-bench --release --bin ablations -- buffer loss rtt-split endhost algo delack
+//! cargo run -p lsl-bench --release --bin ablations -- all --jobs 8
 //! ```
+//!
+//! Iterations fan across worker threads (`--jobs N` / `LSL_JOBS`,
+//! default: all cores); reported means are bitwise-identical at any
+//! job count because samples are re-assembled in seed order.
 
 use lsl_netsim::{Dur, LinkSpec, LossModel, Topology, TopologyBuilder};
 use lsl_tcp::{CcAlgo, TcpConfig};
-use lsl_workloads::{case1, run_transfer, Mode, RunConfig};
+use lsl_workloads::{case1, default_jobs, run_campaign, run_transfer, Mode, PathCase, RunConfig};
 
 fn main() {
-    let mut wanted: Vec<String> = std::env::args().skip(1).collect();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut jobs = default_jobs();
+    let mut wanted: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--jobs" {
+            jobs = it
+                .next()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&n| n >= 1)
+                .unwrap_or_else(|| {
+                    eprintln!("--jobs requires a positive integer");
+                    std::process::exit(2);
+                });
+        } else {
+            wanted.push(a);
+        }
+    }
     if wanted.is_empty() {
-        eprintln!("usage: ablations <buffer|loss|rtt-split|endhost|algo|delack|all>...");
+        eprintln!("usage: ablations <buffer|loss|rtt-split|endhost|algo|delack|all>... [--jobs N]");
         std::process::exit(2);
     }
     if wanted.iter().any(|w| w == "all") {
@@ -23,12 +45,12 @@ fn main() {
     }
     for w in wanted {
         match w.as_str() {
-            "buffer" => ablate_relay_buffer(),
-            "loss" => ablate_loss_rate(),
-            "rtt-split" => ablate_rtt_split(),
-            "endhost" => ablate_endhost_buffers(),
-            "algo" => ablate_cc_algo(),
-            "delack" => ablate_delack(),
+            "buffer" => ablate_relay_buffer(jobs),
+            "loss" => ablate_loss_rate(jobs),
+            "rtt-split" => ablate_rtt_split(jobs),
+            "endhost" => ablate_endhost_buffers(jobs),
+            "algo" => ablate_cc_algo(jobs),
+            "delack" => ablate_delack(jobs),
             other => eprintln!("unknown ablation {other:?}"),
         }
     }
@@ -36,27 +58,31 @@ fn main() {
 
 const ITERS: u64 = 3;
 
-fn mean_goodput(cfgs: impl Iterator<Item = RunConfig>) -> f64 {
-    let mut sum = 0.0;
-    let mut n = 0u32;
-    let case = case1();
-    for cfg in cfgs {
-        sum += run_transfer(&case, &cfg).goodput_bps;
-        n += 1;
-    }
-    sum / n as f64
+/// Mean goodput over a batch of configs, fanned across `jobs` workers;
+/// samples fold in config order, so the mean is independent of `jobs`.
+fn mean_goodput_case(case: &PathCase, cfgs: Vec<RunConfig>, jobs: usize) -> f64 {
+    let n = cfgs.len();
+    let samples = run_campaign(n, jobs, |i| run_transfer(case, &cfgs[i]).goodput_bps);
+    samples.iter().sum::<f64>() / n as f64
+}
+
+fn mean_goodput(cfgs: impl Iterator<Item = RunConfig>, jobs: usize) -> f64 {
+    mean_goodput_case(&case1(), cfgs.collect(), jobs)
 }
 
 /// Depot relay buffer: too small throttles pipelining; large buys little.
-fn ablate_relay_buffer() {
+fn ablate_relay_buffer(jobs: usize) {
     println!("Ablation: depot relay buffer size (8MB via depot, case 1)");
     println!("{:>12} {:>14}", "buffer", "Mbit/s");
     for buf in [16usize << 10, 64 << 10, 256 << 10, 1 << 20, 16 << 20] {
-        let g = mean_goodput((0..ITERS).map(|i| {
-            let mut c = RunConfig::new(8 << 20, Mode::ViaDepot, 700 + i);
-            c.relay_buf = buf;
-            c
-        }));
+        let g = mean_goodput(
+            (0..ITERS).map(|i| {
+                let mut c = RunConfig::new(8 << 20, Mode::ViaDepot, 700 + i);
+                c.relay_buf = buf;
+                c
+            }),
+            jobs,
+        );
         println!("{:>11}K {:>14.2}", buf >> 10, g / 1e6);
     }
     println!();
@@ -64,7 +90,7 @@ fn ablate_relay_buffer() {
 
 /// Loss-rate sweep on a parametric split path: locates the direct-vs-LSL
 /// crossover as a function of p.
-fn ablate_loss_rate() {
+fn ablate_loss_rate(jobs: usize) {
     println!("Ablation: per-leg loss rate vs LSL gain (8MB, 2x30ms path)");
     println!(
         "{:>12} {:>14} {:>14} {:>8}",
@@ -74,10 +100,10 @@ fn ablate_loss_rate() {
         let (topo, names) = split_path(p, Dur::from_millis(15), Dur::from_millis(15));
         let case = parametric_case(topo, names);
         let mean = |mode| -> f64 {
-            (0..ITERS)
-                .map(|i| run_transfer(&case, &RunConfig::new(8 << 20, mode, 800 + i)).goodput_bps)
-                .sum::<f64>()
-                / ITERS as f64
+            let cfgs = (0..ITERS)
+                .map(|i| RunConfig::new(8 << 20, mode, 800 + i))
+                .collect();
+            mean_goodput_case(&case, cfgs, jobs)
         };
         let d = mean(Mode::Direct);
         let l = mean(Mode::ViaDepot);
@@ -93,7 +119,7 @@ fn ablate_loss_rate() {
 }
 
 /// RTT split asymmetry: an even split maximizes the gain.
-fn ablate_rtt_split() {
+fn ablate_rtt_split(jobs: usize) {
     println!("Ablation: RTT split asymmetry (8MB, 60ms total, p=2e-4/leg)");
     println!("{:>16} {:>14} {:>8}", "split (ms/ms)", "LSL Mb/s", "gain");
     let mut direct: Option<f64> = None;
@@ -101,10 +127,10 @@ fn ablate_rtt_split() {
         let (topo, names) = split_path(2e-4, Dur::from_millis(a), Dur::from_millis(b));
         let case = parametric_case(topo, names);
         let mean = |mode| -> f64 {
-            (0..ITERS)
-                .map(|i| run_transfer(&case, &RunConfig::new(8 << 20, mode, 900 + i)).goodput_bps)
-                .sum::<f64>()
-                / ITERS as f64
+            let cfgs = (0..ITERS)
+                .map(|i| RunConfig::new(8 << 20, mode, 900 + i))
+                .collect();
+            mean_goodput_case(&case, cfgs, jobs)
         };
         // Direct only depends on the total RTT, so one baseline serves
         // every split.
@@ -128,7 +154,7 @@ fn ablate_rtt_split() {
 /// Limited end-host buffers: the paper notes the LSL improvement is more
 /// profound with small end-node buffers (the depot re-opens the window
 /// per hop).
-fn ablate_endhost_buffers() {
+fn ablate_endhost_buffers(jobs: usize) {
     println!("Ablation: end-host TCP buffers (8MB transfer, case 1)");
     println!(
         "{:>12} {:>14} {:>14} {:>8}",
@@ -145,8 +171,8 @@ fn ablate_endhost_buffers() {
                 c
             })
         };
-        let d = mean_goodput(mk(Mode::Direct));
-        let l = mean_goodput(mk(Mode::ViaDepot));
+        let d = mean_goodput(mk(Mode::Direct), jobs);
+        let l = mean_goodput(mk(Mode::ViaDepot), jobs);
         println!(
             "{:>11}K {:>14.2} {:>14.2} {:>+7.1}%",
             buf >> 10,
@@ -159,7 +185,7 @@ fn ablate_endhost_buffers() {
 }
 
 /// Reno vs NewReno on both modes.
-fn ablate_cc_algo() {
+fn ablate_cc_algo(jobs: usize) {
     println!("Ablation: congestion-control variant (8MB, case 1)");
     println!("{:>10} {:>14} {:>14}", "algo", "direct Mb/s", "LSL Mb/s");
     for algo in [CcAlgo::Reno, CcAlgo::NewReno] {
@@ -170,15 +196,15 @@ fn ablate_cc_algo() {
                 c
             })
         };
-        let d = mean_goodput(mk(Mode::Direct));
-        let l = mean_goodput(mk(Mode::ViaDepot));
+        let d = mean_goodput(mk(Mode::Direct), jobs);
+        let l = mean_goodput(mk(Mode::ViaDepot), jobs);
         println!("{:>10?} {:>14.2} {:>14.2}", algo, d / 1e6, l / 1e6);
     }
     println!();
 }
 
 /// Delayed ACKs on/off.
-fn ablate_delack() {
+fn ablate_delack(jobs: usize) {
     println!("Ablation: delayed ACKs (8MB, case 1)");
     println!("{:>10} {:>14} {:>14}", "delack", "direct Mb/s", "LSL Mb/s");
     for (name, d_opt) in [("on", Some(Dur::from_millis(100))), ("off", None)] {
@@ -189,8 +215,8 @@ fn ablate_delack() {
                 c
             })
         };
-        let d = mean_goodput(mk(Mode::Direct));
-        let l = mean_goodput(mk(Mode::ViaDepot));
+        let d = mean_goodput(mk(Mode::Direct), jobs);
+        let l = mean_goodput(mk(Mode::ViaDepot), jobs);
         println!("{:>10} {:>14.2} {:>14.2}", name, d / 1e6, l / 1e6);
     }
     println!();
@@ -223,8 +249,8 @@ fn split_path(p: f64, a: Dur, b: Dur) -> (Topology, [&'static str; 4]) {
     (tb.build(), ["src", "pop", "dst", "depot"])
 }
 
-fn parametric_case(topo: Topology, names: [&'static str; 4]) -> lsl_workloads::PathCase {
-    lsl_workloads::PathCase {
+fn parametric_case(topo: Topology, names: [&'static str; 4]) -> PathCase {
+    PathCase {
         name: "parametric-split",
         src: topo.find(names[0]).expect("src"),
         dst: topo.find(names[2]).expect("dst"),

@@ -4,10 +4,14 @@
 //! cargo run -p lsl-bench --release --bin figures -- all          # smoke
 //! cargo run -p lsl-bench --release --bin figures -- fig6 fig14
 //! cargo run -p lsl-bench --release --bin figures -- all --paper  # full
+//! cargo run -p lsl-bench --release --bin figures -- all --jobs 8
 //! ```
 //!
 //! Output: `results/figNN.dat` (gnuplot index format) plus an ASCII
-//! rendering per figure on stdout.
+//! rendering per figure on stdout. Independent `(size, iteration)`
+//! runs fan across worker threads (`--jobs N`, or the `LSL_JOBS` env
+//! var, default: all cores); results are collected in seed order, so
+//! the `.dat` output is byte-identical at any job count.
 
 use std::path::PathBuf;
 
@@ -18,15 +22,31 @@ use lsl_bench::{
 use lsl_trace::export::{ascii_plot, write_dat};
 use lsl_trace::Series;
 use lsl_workloads::report::{gain_summary, human_size, sweep_table};
-use lsl_workloads::sweep::sweep_sizes;
-use lsl_workloads::{case1, case2, case3, case4, Mode, PathCase};
+use lsl_workloads::sweep::sweep_sizes_jobs;
+use lsl_workloads::{case1, case2, case3, case4, default_jobs, Mode, PathCase};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let paper = args.iter().any(|a| a == "--paper");
-    let mut wanted: Vec<String> = args.into_iter().filter(|a| a != "--paper").collect();
+    let mut jobs = default_jobs();
+    let mut wanted: Vec<String> = Vec::new();
+    let mut it = args.into_iter().filter(|a| a != "--paper");
+    while let Some(a) = it.next() {
+        if a == "--jobs" {
+            jobs = it
+                .next()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&n| n >= 1)
+                .unwrap_or_else(|| {
+                    eprintln!("--jobs requires a positive integer");
+                    std::process::exit(2);
+                });
+        } else {
+            wanted.push(a);
+        }
+    }
     if wanted.is_empty() {
-        eprintln!("usage: figures <figN ... | all> [--paper]");
+        eprintln!("usage: figures <figN ... | all> [--paper] [--jobs N]");
         eprintln!("figures: fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14");
         eprintln!("         fig15 fig16 fig17 fig18 fig19 fig20 fig21 fig22 fig23 fig24 fig25");
         eprintln!("         fig26 fig27 fig28 fig29 summary");
@@ -39,9 +59,10 @@ fn main() {
     let opts = FigOpts {
         paper,
         out_dir: PathBuf::from("results"),
+        jobs,
     };
     println!(
-        "mode: {} (use --paper for the full iteration counts)\n",
+        "mode: {} (use --paper for the full iteration counts), {jobs} jobs\n",
         if paper { "PAPER" } else { "smoke" }
     );
     for w in wanted {
@@ -248,8 +269,8 @@ fn pow2_sizes(from: u64, to: u64) -> Vec<u64> {
 fn fig_rtt(opts: &FigOpts, case: &PathCase, stem: &str, title: &str) {
     let size = opts.size(16 << 20, 4 << 20);
     let iters = opts.iters(10, 3);
-    let lsl = traced_runs(case, size, Mode::ViaDepot, iters, 1000);
-    let direct = traced_runs(case, size, Mode::Direct, iters, 1000);
+    let lsl = traced_runs(case, size, Mode::ViaDepot, iters, 1000, opts.jobs);
+    let direct = traced_runs(case, size, Mode::Direct, iters, 1000, opts.jobs);
 
     let s1 = mean_rtt_ms(lsl.iter().map(|r| &r.first));
     let s2 = mean_rtt_ms(lsl.iter().filter_map(|r| r.second.as_ref()));
@@ -302,8 +323,8 @@ fn fig_bw_sweep_iters(
     stem: &str,
     title: &str,
 ) {
-    let direct = sweep_sizes(case, sizes, Mode::Direct, iters, 2000);
-    let lsl = sweep_sizes(case, sizes, Mode::ViaDepot, iters, 2000);
+    let direct = sweep_sizes_jobs(case, sizes, Mode::Direct, iters, 2000, opts.jobs);
+    let lsl = sweep_sizes_jobs(case, sizes, Mode::ViaDepot, iters, 2000, opts.jobs);
     println!("{title}  ({iters} iterations/point)");
     print!("{}", sweep_table(&direct, &lsl));
     let (avg, max) = gain_summary(&direct, &lsl);
@@ -346,7 +367,7 @@ fn fig_individual_runs(opts: &FigOpts, mode: Mode, sel: SubSel, stem: &str, titl
     let case = case1();
     let size = opts.size(64 << 20, 8 << 20);
     let iters = opts.iters(11, 5);
-    let runs = traced_runs(&case, size, mode, iters, 3000);
+    let runs = traced_runs(&case, size, mode, iters, 3000, opts.jobs);
     let series: Vec<Series> = match sel {
         SubSel::First => first_series(&runs),
         SubSel::Second => second_series(&runs),
@@ -380,8 +401,8 @@ fn fig_individual_runs(opts: &FigOpts, mode: Mode, sel: SubSel, stem: &str, titl
 /// Collect the three averaged curves (sublink1, sublink2, direct).
 fn three_way_averages(opts: &FigOpts, case: &PathCase, size: u64) -> (Series, Series, Series) {
     let iters = opts.iters(11, 5);
-    let lsl = traced_runs(case, size, Mode::ViaDepot, iters, 4000);
-    let direct = traced_runs(case, size, Mode::Direct, iters, 4000);
+    let lsl = traced_runs(case, size, Mode::ViaDepot, iters, 4000, opts.jobs);
+    let direct = traced_runs(case, size, Mode::Direct, iters, 4000, opts.jobs);
     (
         averaged(&first_series(&lsl), 200),
         averaged(&second_series(&lsl), 200),
@@ -439,8 +460,8 @@ enum Cond {
 fn fig_loss_conditioned(opts: &FigOpts, size: u64, cond: Cond, stem: &str, title: &str) {
     let case = case1();
     let iters = opts.iters(11, 5);
-    let lsl = traced_runs(&case, size, Mode::ViaDepot, iters, 5000);
-    let direct = traced_runs(&case, size, Mode::Direct, iters, 5000);
+    let lsl = traced_runs(&case, size, Mode::ViaDepot, iters, 5000, opts.jobs);
+    let direct = traced_runs(&case, size, Mode::Direct, iters, 5000, opts.jobs);
 
     let pick = |runs: &[TracedRun]| -> usize {
         let (min_i, med_i, max_i) = loss_conditioned_indices(runs);
@@ -471,8 +492,8 @@ fn fig_loss_conditioned(opts: &FigOpts, size: u64, cond: Cond, stem: &str, title
 fn fig_single_run_case3(opts: &FigOpts, stem: &str, title: &str) {
     let case = case3();
     let size = opts.size(256 << 20, 16 << 20);
-    let lsl = traced_runs(&case, size, Mode::ViaDepot, 1, 6000);
-    let direct = traced_runs(&case, size, Mode::Direct, 1, 6000);
+    let lsl = traced_runs(&case, size, Mode::ViaDepot, 1, 6000, opts.jobs);
+    let direct = traced_runs(&case, size, Mode::Direct, 1, 6000, opts.jobs);
     let s1 = lsl_trace::seq_growth(&lsl[0].first);
     let s2 = lsl[0]
         .second
@@ -509,8 +530,8 @@ fn headline_summary(opts: &FigOpts) {
         ),
     ];
     for (name, case, sizes) in settings {
-        let d = sweep_sizes(&case, &sizes, Mode::Direct, iters, 9000);
-        let l = sweep_sizes(&case, &sizes, Mode::ViaDepot, iters, 9000);
+        let d = sweep_sizes_jobs(&case, &sizes, Mode::Direct, iters, 9000, opts.jobs);
+        let l = sweep_sizes_jobs(&case, &sizes, Mode::ViaDepot, iters, 9000, opts.jobs);
         let (avg, max) = gain_summary(&d, &l);
         println!("  {name:<14} avg {avg:+6.1}%  max {max:+6.1}%");
         for (dp, lp) in d.iter().zip(&l) {

@@ -1,0 +1,78 @@
+//! The tentpole guarantee of the campaign executor: the job count is
+//! invisible in the output. Result vectors must be bitwise-identical
+//! and rendered `.dat` files byte-identical between `jobs = 1` and
+//! `jobs = 4`.
+
+use std::fs;
+
+use lsl_bench::traced_runs;
+use lsl_trace::export::write_dat;
+use lsl_trace::seq_growth;
+use lsl_workloads::{
+    case1, run_campaign, run_transfer, sweep_sizes, sweep_sizes_jobs, Mode, RunConfig,
+};
+
+#[test]
+fn campaign_results_identical_across_job_counts() {
+    let case = case1();
+    let run = |jobs| {
+        run_campaign(6, jobs, |i| {
+            let r = run_transfer(
+                &case,
+                &RunConfig::new(128 << 10, Mode::ViaDepot, 500 + i as u64),
+            );
+            (
+                r.goodput_bps.to_bits(),
+                r.retransmissions,
+                r.duration_s.to_bits(),
+            )
+        })
+    };
+    assert_eq!(run(1), run(4));
+}
+
+#[test]
+fn traced_runs_identical_across_job_counts() {
+    let case = case1();
+    let seq = traced_runs(&case, 256 << 10, Mode::ViaDepot, 4, 800, 1);
+    let par = traced_runs(&case, 256 << 10, Mode::ViaDepot, 4, 800, 4);
+    assert_eq!(seq.len(), par.len());
+    for (a, b) in seq.iter().zip(par.iter()) {
+        assert_eq!(a.goodput_bps.to_bits(), b.goodput_bps.to_bits());
+        assert_eq!(a.retransmissions, b.retransmissions);
+        assert_eq!(seq_growth(&a.first).points(), seq_growth(&b.first).points());
+    }
+}
+
+/// Render the same small bandwidth figure at jobs=1 and jobs=4 and
+/// compare the `.dat` files byte for byte.
+#[test]
+fn dat_output_is_byte_identical_across_job_counts() {
+    let case = case1();
+    let sizes = [32 << 10, 128 << 10];
+    let render = |jobs: usize| -> Vec<u8> {
+        let pts = sweep_sizes_jobs(&case, &sizes, Mode::ViaDepot, 3, 2000, jobs);
+        let curve: Vec<(f64, f64)> = pts
+            .iter()
+            .map(|p| (p.size as f64 / 1024.0, p.mean_bps / 1e6))
+            .collect();
+        let dir = std::env::temp_dir().join(format!(
+            "lsl-parallel-dat-{}-jobs{jobs}",
+            std::process::id()
+        ));
+        write_dat(&dir, "figtest", &[("lsl", curve.as_slice())]).expect("write dat");
+        let bytes = fs::read(dir.join("figtest.dat")).expect("read dat");
+        fs::remove_dir_all(&dir).ok();
+        bytes
+    };
+    let seq = render(1);
+    let par = render(4);
+    assert!(!seq.is_empty());
+    assert_eq!(seq, par, ".dat bytes must not depend on --jobs");
+    // And the sequential entry point is the jobs=1 path.
+    let a = sweep_sizes(&case, &sizes, Mode::Direct, 2, 3000);
+    let b = sweep_sizes_jobs(&case, &sizes, Mode::Direct, 2, 3000, 4);
+    for (x, y) in a.iter().zip(b.iter()) {
+        assert_eq!(x.mean_bps.to_bits(), y.mean_bps.to_bits());
+    }
+}

@@ -1,7 +1,7 @@
 //! The discrete-event engine.
 
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+use std::collections::BinaryHeap;
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -20,9 +20,25 @@ pub enum Output {
     Timer { node: NodeId, token: u64 },
 }
 
-/// Handle for cancelling a pending timer.
+/// Handle for cancelling a pending timer. Generation-stamped: the
+/// handle names a `(slot, generation)` pair, so a handle kept past its
+/// timer's firing can never cancel an unrelated timer that later
+/// reused the slot.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-pub struct TimerHandle(u64);
+pub struct TimerHandle {
+    slot: u32,
+    gen: u32,
+}
+
+/// State of one timer slot. A slot is live from `set_timer` until its
+/// heap event pops (fired *or* cancelled — the heap entry itself is
+/// never removed early); at pop the generation is bumped and the slot
+/// returns to the free list, invalidating outstanding handles.
+#[derive(Clone, Copy)]
+struct TimerSlot {
+    gen: u32,
+    armed: bool,
+}
 
 enum Event {
     /// The packet at the head of the link finished serializing.
@@ -32,7 +48,8 @@ enum Event {
     Timer {
         node: NodeId,
         token: u64,
-        handle: u64,
+        slot: u32,
+        gen: u32,
     },
 }
 
@@ -66,26 +83,36 @@ pub struct Simulator {
     heap: BinaryHeap<Reverse<HeapEntry>>,
     seq: u64,
     pub(crate) links: Vec<Link>,
-    /// Per-node next-hop table: routes[node][dst] = outgoing link.
-    routes: Vec<BTreeMap<NodeId, LinkId>>,
+    num_nodes: usize,
+    /// Dense next-hop table, `routes[node * num_nodes + dst]` = raw
+    /// outgoing link id, [`NO_ROUTE`] if absent. The route lookup is on
+    /// the per-segment forwarding path, so it is a flat indexed load
+    /// rather than a `BTreeMap` walk.
+    routes: Vec<u32>,
     rng: SmallRng,
     next_packet_id: u64,
-    next_timer: u64,
-    active_timers: BTreeSet<u64>,
+    timer_slots: Vec<TimerSlot>,
+    free_slots: Vec<u32>,
+    armed_timers: usize,
 }
+
+/// Sentinel for "no next hop" in the dense route table.
+const NO_ROUTE: u32 = u32::MAX;
 
 impl Simulator {
     pub(crate) fn new(num_nodes: usize, links: Vec<Link>, seed: u64) -> Simulator {
         Simulator {
             now: Time::ZERO,
-            heap: BinaryHeap::new(),
+            heap: BinaryHeap::with_capacity(256),
             seq: 0,
             links,
-            routes: vec![BTreeMap::new(); num_nodes],
+            num_nodes,
+            routes: vec![NO_ROUTE; num_nodes * num_nodes],
             rng: SmallRng::seed_from_u64(seed),
             next_packet_id: 1,
-            next_timer: 1,
-            active_timers: BTreeSet::new(),
+            timer_slots: Vec::with_capacity(64),
+            free_slots: Vec::with_capacity(64),
+            armed_timers: 0,
         }
     }
 
@@ -95,7 +122,7 @@ impl Simulator {
     }
 
     pub fn num_nodes(&self) -> usize {
-        self.routes.len()
+        self.num_nodes
     }
 
     /// Install a static next-hop route: traffic at `node` destined for
@@ -103,12 +130,15 @@ impl Simulator {
     pub fn set_route(&mut self, node: NodeId, dst: NodeId, link: LinkId) {
         let l = &self.links[link.0 as usize];
         assert_eq!(l.from, node, "route's link does not originate at node");
-        self.routes[node.0 as usize].insert(dst, link);
+        self.routes[node.0 as usize * self.num_nodes + dst.0 as usize] = link.0;
     }
 
     /// Next-hop lookup (exposed for diagnostics).
     pub fn route(&self, node: NodeId, dst: NodeId) -> Option<LinkId> {
-        self.routes[node.0 as usize].get(&dst).copied()
+        match self.routes[node.0 as usize * self.num_nodes + dst.0 as usize] {
+            NO_ROUTE => None,
+            l => Some(LinkId(l)),
+        }
     }
 
     /// Inject a packet at `from` (its origin or a forwarding node). The
@@ -123,10 +153,11 @@ impl Simulator {
             self.next_packet_id += 1;
         }
         let id = packet.id;
-        let link_id = *self.routes[from.0 as usize]
-            .get(&packet.dst)
-            .unwrap_or_else(|| panic!("no route from {:?} to {:?}", from, packet.dst));
-        self.offer_to_link(link_id, packet);
+        let raw = self.routes[from.0 as usize * self.num_nodes + packet.dst.0 as usize];
+        if raw == NO_ROUTE {
+            panic!("no route from {:?} to {:?}", from, packet.dst);
+        }
+        self.offer_to_link(LinkId(raw), packet);
         id
     }
 
@@ -141,29 +172,48 @@ impl Simulator {
     /// Arm a timer at absolute time `at`. The returned handle cancels it.
     pub fn set_timer(&mut self, node: NodeId, at: Time, token: u64) -> TimerHandle {
         assert!(at >= self.now, "timer set in the past");
-        let handle = self.next_timer;
-        self.next_timer += 1;
-        self.active_timers.insert(handle);
+        let slot = match self.free_slots.pop() {
+            Some(s) => s,
+            None => {
+                self.timer_slots.push(TimerSlot {
+                    gen: 0,
+                    armed: false,
+                });
+                (self.timer_slots.len() - 1) as u32
+            }
+        };
+        let s = &mut self.timer_slots[slot as usize];
+        debug_assert!(!s.armed, "free timer slot was still armed");
+        s.armed = true;
+        let gen = s.gen;
+        self.armed_timers += 1;
         self.schedule(
             at,
             Event::Timer {
                 node,
                 token,
-                handle,
+                slot,
+                gen,
             },
         );
-        TimerHandle(handle)
+        TimerHandle { slot, gen }
     }
 
     /// Cancel a pending timer. Cancelling an already-fired or
-    /// already-cancelled timer is a no-op.
+    /// already-cancelled timer is a no-op: the handle's generation no
+    /// longer matches its slot, so it cannot touch a reused slot.
     pub fn cancel_timer(&mut self, handle: TimerHandle) {
-        self.active_timers.remove(&handle.0);
+        if let Some(s) = self.timer_slots.get_mut(handle.slot as usize) {
+            if s.gen == handle.gen && s.armed {
+                s.armed = false;
+                self.armed_timers -= 1;
+            }
+        }
     }
 
     /// Number of timers armed and not yet fired/cancelled.
     pub fn pending_timers(&self) -> usize {
-        self.active_timers.len()
+        self.armed_timers
     }
 
     /// Snapshot of a link's counters.
@@ -265,19 +315,29 @@ impl Simulator {
                         return Some(Output::Deliver { node: to, packet });
                     }
                     // Forward through an intermediate router.
-                    let next = *self.routes[to.0 as usize]
-                        .get(&packet.dst)
-                        .unwrap_or_else(|| {
-                            panic!("router {:?} has no route to {:?}", to, packet.dst)
-                        });
-                    self.offer_to_link(next, packet);
+                    let raw = self.routes[to.0 as usize * self.num_nodes + packet.dst.0 as usize];
+                    if raw == NO_ROUTE {
+                        panic!("router {:?} has no route to {:?}", to, packet.dst);
+                    }
+                    self.offer_to_link(LinkId(raw), packet);
                 }
                 Event::Timer {
                     node,
                     token,
-                    handle,
+                    slot,
+                    gen,
                 } => {
-                    if self.active_timers.remove(&handle) {
+                    // Each scheduled timer event owns its slot for one
+                    // generation; retire the slot either way, and fire
+                    // only if no cancel intervened.
+                    let s = &mut self.timer_slots[slot as usize];
+                    debug_assert_eq!(s.gen, gen, "timer slot reused before its event popped");
+                    let fire = s.armed;
+                    s.armed = false;
+                    s.gen = s.gen.wrapping_add(1);
+                    self.free_slots.push(slot);
+                    if fire {
+                        self.armed_timers -= 1;
                         return Some(Output::Timer { node, token });
                     }
                     // Cancelled: skip silently.

@@ -1,0 +1,109 @@
+//! Golden-trace pin: a fixed scenario under a fixed seed must produce
+//! exactly the event stream it produced when this file was recorded.
+//! Aggregate-equality tests (`determinism_same_seed_same_trace`) only
+//! prove a run equals *itself*; this test proves the engine's behaviour
+//! is unchanged across refactors of its internals — the contract the
+//! hot-path data-structure work (dense route table, generation-stamped
+//! timer slots, allocation reuse) must preserve byte for byte.
+
+use bytes::Bytes;
+use lsl_netsim::{Dur, LinkSpec, LossModel, NodeId, Output, Packet, Time, TopologyBuilder};
+
+/// FNV-1a over the externally visible event stream.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn push(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+/// A lossy two-hop forwarding path with interleaved timers: exercises
+/// the route lookup on every relayed segment, the loss RNG, and both
+/// the fire and cancel sides of the timer machinery.
+fn run_scenario(seed: u64) -> (u64, u64, u64, u64) {
+    let mut b = TopologyBuilder::new();
+    let a = b.node("a");
+    let r = b.node("r");
+    let z = b.node("z");
+    b.duplex(a, r, LinkSpec::new(8_000_000, Dur::from_millis(5)));
+    b.duplex(
+        r,
+        z,
+        LinkSpec::new(8_000_000, Dur::from_millis(7)).with_loss(LossModel::bernoulli(0.05)),
+    );
+    let mut sim = b.build().into_sim(seed);
+
+    for i in 0..300 {
+        sim.send(
+            a,
+            Packet::tcp(a, z, Bytes::new(), Bytes::from(vec![0u8; 64 + i])),
+        );
+    }
+    let mut handles = Vec::new();
+    for i in 0..50u64 {
+        let h = sim.set_timer(r, Time::ZERO + Dur::from_millis(3 * i + 1), 1000 + i);
+        handles.push(h);
+    }
+    // Cancel every third timer before anything fires.
+    for h in handles.iter().step_by(3) {
+        sim.cancel_timer(*h);
+    }
+
+    let mut hash = Fnv::new();
+    let mut delivered = 0u64;
+    let mut fired = 0u64;
+    while let Some(out) = sim.next() {
+        match out {
+            Output::Deliver { node, packet } => {
+                hash.push(1);
+                hash.push(node.0 as u64);
+                hash.push(packet.id);
+                hash.push(packet.data.len() as u64);
+                hash.push(sim.now().0);
+                delivered += 1;
+            }
+            Output::Timer { node, token } => {
+                hash.push(2);
+                hash.push(node.0 as u64);
+                hash.push(token);
+                hash.push(sim.now().0);
+                fired += 1;
+            }
+        }
+    }
+    assert_eq!(sim.route(a, z), Some(sim.route(a, r).expect("route a->r")));
+    assert_eq!(NodeId(1), r);
+    (hash.0, delivered, fired, sim.now().0)
+}
+
+#[test]
+fn golden_trace_is_pinned() {
+    let (hash, delivered, fired, end) = run_scenario(42);
+    // Values recorded from the engine before the hot-path refactor
+    // (BTreeMap route table, BTreeSet timer registry). Any divergence
+    // means same-seed runs are no longer reproducible across versions.
+    println!("golden: hash={hash:#018x} delivered={delivered} fired={fired} end={end}");
+    assert_eq!(
+        fired, 33,
+        "50 timers armed, 17 cancelled (indices 0,3,…,48)"
+    );
+    assert_eq!((hash, delivered, end), GOLDEN_SEED42);
+}
+
+#[test]
+fn golden_differs_across_seeds() {
+    assert_ne!(run_scenario(42).0, run_scenario(43).0);
+}
+
+/// `(event-stream hash, delivered count, quiescence time ns)` for seed
+/// 42, recorded from the pre-refactor engine (BTreeMap routes, BTreeSet
+/// timer registry) and required of every engine since.
+const GOLDEN_SEED42: (u64, u64, u64) = (0xa866_ab40_b44d_52d9, 287, 148_000_000);

@@ -1,0 +1,132 @@
+//! Parallel campaign executor: fan independent simulation runs across
+//! worker threads without giving up deterministic output.
+//!
+//! Every experiment in this workspace is a pure function of its
+//! `RunConfig` — the simulator is seeded per run (`seed = base + i`)
+//! and shares no mutable state between runs — so a campaign of N runs
+//! is embarrassingly parallel. The executor here is a plain work
+//! queue over scoped std threads (no external dependencies): workers
+//! claim indices from an atomic counter, compute, and record
+//! `(index, result)` pairs locally; after the scope joins, results are
+//! merged **by index**, so the returned vector is identical — element
+//! for element — to what a sequential loop would have produced. Any
+//! `.dat` file rendered from it is therefore byte-identical whatever
+//! the job count.
+//!
+//! This module is the one place in `lsl-workloads` allowed to touch
+//! `std::thread`: it is experiment-harness plumbing, not simulation
+//! semantics, and `lsl-audit`'s `thread-spawn` rule encodes exactly
+//! that boundary (sim-domain crates may not spawn threads; this file
+//! is the named exemption).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Default worker count: `LSL_JOBS` if set to a positive integer,
+/// otherwise the machine's available parallelism, otherwise 1.
+pub fn default_jobs() -> usize {
+    if let Some(v) = std::env::var_os("LSL_JOBS") {
+        if let Some(n) = v.to_str().and_then(|s| s.trim().parse::<usize>().ok()) {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Run `task(0..n)` across `jobs` workers and return the results in
+/// index order — exactly the vector `(0..n).map(task).collect()` would
+/// produce. `jobs <= 1` runs sequentially on the calling thread.
+///
+/// `task` must be a pure function of its index (each run builds its own
+/// simulator from its own seed); the executor guarantees order of the
+/// *output*, not order of *execution*.
+pub fn run_campaign<T, F>(n: usize, jobs: usize, task: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if jobs <= 1 || n <= 1 {
+        return (0..n).map(task).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let workers = jobs.min(n);
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, task(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, v) in h.join().expect("campaign worker panicked") {
+                slots[i] = Some(v);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("campaign index computed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let seq = run_campaign(23, 1, |i| i * i + 7);
+        let par = run_campaign(23, 4, |i| i * i + 7);
+        assert_eq!(seq, par);
+        assert_eq!(seq[5], 32);
+    }
+
+    #[test]
+    fn more_jobs_than_items() {
+        assert_eq!(run_campaign(3, 16, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert_eq!(run_campaign(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(run_campaign(1, 4, |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn output_order_is_index_order_not_completion_order() {
+        // Make early indices slow so later ones finish first under
+        // parallel execution; the result must still be in index order.
+        let out = run_campaign(8, 4, |i| {
+            if i < 2 {
+                // Busy-work, not a sleep: keep the harness deterministic
+                // in what it computes even though scheduling is not.
+                let mut acc = 0u64;
+                for k in 0..200_000u64 {
+                    acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+                }
+                std::hint::black_box(acc);
+            }
+            i as u64
+        });
+        assert_eq!(out, (0..8).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn default_jobs_is_positive() {
+        assert!(default_jobs() >= 1);
+    }
+}

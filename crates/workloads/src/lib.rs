@@ -19,11 +19,13 @@
 //! every connection, exactly as the paper instruments its runs;
 //! [`sweep`] repeats across sizes/iterations and aggregates.
 
+pub mod campaign;
 pub mod paths;
 pub mod report;
 pub mod runner;
 pub mod sweep;
 
+pub use campaign::{default_jobs, run_campaign};
 pub use paths::{case1, case2, case3, case4, PathCase};
 pub use runner::{run_transfer, Mode, RunConfig, RunResult};
-pub use sweep::{sweep_sizes, SweepPoint};
+pub use sweep::{sweep_sizes, sweep_sizes_jobs, SweepPoint};

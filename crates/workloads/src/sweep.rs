@@ -2,6 +2,7 @@
 //! ("10 iterations were run and the wall clock times were recorded";
 //! 120 for the steady-state case 4).
 
+use crate::campaign::run_campaign;
 use crate::paths::PathCase;
 use crate::runner::{run_transfer, Mode, RunConfig};
 
@@ -29,15 +30,37 @@ pub fn sweep_sizes(
     iterations: usize,
     seed_base: u64,
 ) -> Vec<SweepPoint> {
+    sweep_sizes_jobs(case, sizes, mode, iterations, seed_base, 1)
+}
+
+/// [`sweep_sizes`] with the `(size, iteration)` grid fanned across
+/// `jobs` workers. Every run is seeded `seed_base + i` exactly as in
+/// the sequential sweep, and samples are re-assembled in iteration
+/// order before aggregation, so the returned points — and any `.dat`
+/// rendered from them — are identical to a `jobs = 1` sweep.
+pub fn sweep_sizes_jobs(
+    case: &PathCase,
+    sizes: &[u64],
+    mode: Mode,
+    iterations: usize,
+    seed_base: u64,
+    jobs: usize,
+) -> Vec<SweepPoint> {
+    // Flatten the whole grid into one campaign so workers stay busy
+    // across size boundaries (the last large-size run would otherwise
+    // serialize the tail of every per-size batch).
+    let total = sizes.len() * iterations;
+    let samples: Vec<f64> = run_campaign(total, jobs, |k| {
+        let size = sizes[k / iterations.max(1)];
+        let i = k % iterations.max(1);
+        let cfg = RunConfig::new(size, mode, seed_base + i as u64);
+        run_transfer(case, &cfg).goodput_bps
+    });
     sizes
         .iter()
-        .map(|&size| {
-            let samples: Vec<f64> = (0..iterations)
-                .map(|i| {
-                    let cfg = RunConfig::new(size, mode, seed_base + i as u64);
-                    run_transfer(case, &cfg).goodput_bps
-                })
-                .collect();
+        .enumerate()
+        .map(|(s, &size)| {
+            let samples = &samples[s * iterations..(s + 1) * iterations];
             let durations: f64 = samples.iter().map(|&bps| size as f64 * 8.0 / bps).sum();
             let mean = samples.iter().sum::<f64>() / samples.len() as f64;
             let var = if samples.len() > 1 {
@@ -91,6 +114,21 @@ mod tests {
         }
         // Bigger transfers amortize slow start: higher goodput.
         assert!(pts[1].mean_bps > pts[0].mean_bps);
+    }
+
+    #[test]
+    fn parallel_sweep_is_bitwise_identical() {
+        let case = case1();
+        let sizes = [32 << 10, 64 << 10, 128 << 10];
+        let seq = sweep_sizes(&case, &sizes, Mode::ViaDepot, 2, 77);
+        let par = sweep_sizes_jobs(&case, &sizes, Mode::ViaDepot, 2, 77, 4);
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(par.iter()) {
+            assert_eq!(a.size, b.size);
+            assert_eq!(a.mean_bps.to_bits(), b.mean_bps.to_bits());
+            assert_eq!(a.std_bps.to_bits(), b.std_bps.to_bits());
+            assert_eq!(a.mean_duration_s.to_bits(), b.mean_duration_s.to_bits());
+        }
     }
 
     #[test]

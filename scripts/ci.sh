@@ -23,4 +23,20 @@ cargo test -q --workspace
 echo "==> cargo test --features invariants (runtime invariant auditor)"
 cargo test -q --features invariants
 
+echo "==> bench smoke (BENCH_netsim.json shape)"
+# BENCH_OUT keeps the smoke run from clobbering the committed
+# full-measurement BENCH_netsim.json at the repo root.
+# Absolute: cargo runs the bench with CWD = crates/bench.
+smoke_json="$PWD/target/BENCH_netsim.smoke.json"
+BENCH_SMOKE=1 BENCH_OUT="$smoke_json" cargo bench -q -p lsl-bench --bench micro
+for key in netsim_events_per_sec run_wall_s_1mb_direct run_wall_s_1mb_depot \
+           campaign_jobs campaign_wall_s_jobs1 campaign_wall_s_jobsN baseline; do
+  grep -q "\"$key\"" "$smoke_json" \
+    || { echo "$smoke_json missing key: $key"; exit 1; }
+done
+if command -v python3 >/dev/null 2>&1; then
+  python3 -c "import json, sys; json.load(open(sys.argv[1]))" "$smoke_json" \
+    || { echo "$smoke_json is not valid JSON"; exit 1; }
+fi
+
 echo "CI: all gates passed"

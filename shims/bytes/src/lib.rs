@@ -10,28 +10,44 @@ use std::borrow::Borrow;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::ops::{Bound, Deref, DerefMut, RangeBounds};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+/// The one empty backing buffer every empty `Bytes` shares: protocol
+/// hot paths construct `Bytes::new()` per pure-ACK segment, so the
+/// empty case must not allocate.
+fn shared_empty() -> Arc<Vec<u8>> {
+    static EMPTY: OnceLock<Arc<Vec<u8>>> = OnceLock::new();
+    Arc::clone(EMPTY.get_or_init(|| Arc::new(Vec::new())))
+}
 
 /// A cheaply cloneable, immutable, contiguous slice of memory.
 ///
-/// Clones and `slice`/`split_off` views share one `Arc` allocation;
-/// no byte copying happens after construction.
-#[derive(Clone, Default)]
+/// Construction from a `Vec` *moves* the vec behind the `Arc` (no byte
+/// copy); clones and `slice`/`split_off` views share that one
+/// allocation, and no byte copying happens after construction.
+#[derive(Clone)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
     start: usize,
     end: usize,
 }
 
 impl Bytes {
-    /// Empty buffer (no allocation beyond a shared empty `Arc`).
+    /// Empty buffer (no allocation: all empties share one `Arc`).
     pub fn new() -> Bytes {
-        Bytes::from_static(&[])
+        Bytes {
+            data: shared_empty(),
+            start: 0,
+            end: 0,
+        }
     }
 
     /// Wrap a static slice. (Still copies into an `Arc`; upstream's
     /// no-copy static vtable is an optimisation we don't need.)
     pub fn from_static(s: &'static [u8]) -> Bytes {
+        if s.is_empty() {
+            return Bytes::new();
+        }
         Bytes::from(s.to_vec())
     }
 
@@ -108,12 +124,20 @@ impl Borrow<[u8]> for Bytes {
     }
 }
 
+impl Default for Bytes {
+    fn default() -> Bytes {
+        Bytes::new()
+    }
+}
+
 impl From<Vec<u8>> for Bytes {
+    /// Moves the vec behind the `Arc` — no byte copy. (`BytesMut::
+    /// freeze` routes through here, so every encoded segment costs one
+    /// `Arc` allocation, not an allocation plus a full copy.)
     fn from(v: Vec<u8>) -> Bytes {
-        let data: Arc<[u8]> = v.into();
-        let end = data.len();
+        let end = v.len();
         Bytes {
-            data,
+            data: Arc::new(v),
             start: 0,
             end,
         }
@@ -319,5 +343,26 @@ mod tests {
         assert_eq!(b, *b"hello");
         assert_eq!(b.slice(..0).len(), 0);
         assert!(Bytes::new().is_empty());
+    }
+
+    #[test]
+    fn from_vec_moves_without_copying() {
+        let v = vec![9u8; 32];
+        let p = v.as_ptr();
+        let b = Bytes::from(v);
+        assert_eq!(b.as_ref().as_ptr(), p, "From<Vec<u8>> must not copy");
+        let mut m = BytesMut::with_capacity(8);
+        m.put_u32(0xDEADBEEF);
+        let p = m.as_ptr();
+        assert_eq!(m.freeze().as_ref().as_ptr(), p, "freeze must not copy");
+    }
+
+    #[test]
+    fn empty_bytes_share_one_backing_buffer() {
+        let a = Bytes::new();
+        let b = Bytes::default();
+        let c = Bytes::from_static(&[]);
+        assert_eq!(a.as_ref().as_ptr(), b.as_ref().as_ptr());
+        assert_eq!(a.as_ref().as_ptr(), c.as_ref().as_ptr());
     }
 }
