@@ -14,6 +14,7 @@
 //! | `float-eq` | every crate | `==`/`!=` against float literals |
 //! | `unwrap-outside-tests` | session, realnet | `.unwrap()`/`.expect()` in non-test code |
 //! | `thread-spawn` | sim-domain | `thread::spawn`/`scope`/`Builder` (harness executor exempt) |
+//! | `string-result` | every crate | `Result<_, String>` signatures (use the typed error enums) |
 //! | `unused-workspace-dep` | root manifest | `[workspace.dependencies]` entries no member uses |
 //!
 //! Sim-domain crates are `netsim`, `tcp`, `session`, `nws`, `workloads`.
@@ -45,7 +46,7 @@ pub const HARNESS_THREAD_EXEMPT: &[&str] = &["crates/workloads/src/campaign.rs"]
 /// Which rules apply to a crate, keyed by its directory name under
 /// `crates/` (the root package audits as `"lsl"`).
 pub fn policy_for(crate_dir: &str) -> Vec<RuleId> {
-    let mut rules = vec![RuleId::FloatEq];
+    let mut rules = vec![RuleId::FloatEq, RuleId::StringResult];
     if SIM_DOMAIN.contains(&crate_dir) {
         rules.push(RuleId::WallClock);
         rules.push(RuleId::HashContainer);
@@ -161,6 +162,7 @@ fn audit_crate(
                 RuleId::WallClock => rules::check_wall_clock(&rel, &tokens, out),
                 RuleId::HashContainer => rules::check_hash_container(&rel, &tokens, out),
                 RuleId::FloatEq => rules::check_float_eq(&rel, &tokens, out),
+                RuleId::StringResult => rules::check_string_result(&rel, &tokens, out),
                 RuleId::UnwrapOutsideTests => rules::check_unwrap(&rel, &tokens, out),
                 RuleId::ThreadSpawn => {
                     if !HARNESS_THREAD_EXEMPT.contains(&rel.as_str()) {
@@ -263,6 +265,10 @@ mod tests {
         assert!(policy_for("realnet").contains(&RuleId::WallClock));
         assert!(!policy_for("digest").contains(&RuleId::HashContainer));
         assert!(policy_for("digest").contains(&RuleId::FloatEq));
+        // string-result applies everywhere, like float-eq.
+        for c in ["session", "realnet", "bench", "audit", "lsl"] {
+            assert!(policy_for(c).contains(&RuleId::StringResult), "{c}");
+        }
     }
 
     #[test]

@@ -22,6 +22,7 @@ pub enum RuleId {
     FloatEq,
     UnwrapOutsideTests,
     ThreadSpawn,
+    StringResult,
     UnusedWorkspaceDep,
     StaleAllow,
 }
@@ -34,6 +35,7 @@ impl RuleId {
             RuleId::FloatEq => "float-eq",
             RuleId::UnwrapOutsideTests => "unwrap-outside-tests",
             RuleId::ThreadSpawn => "thread-spawn",
+            RuleId::StringResult => "string-result",
             RuleId::UnusedWorkspaceDep => "unused-workspace-dep",
             RuleId::StaleAllow => "stale-allow",
         }
@@ -46,6 +48,7 @@ impl RuleId {
             "float-eq" => RuleId::FloatEq,
             "unwrap-outside-tests" => RuleId::UnwrapOutsideTests,
             "thread-spawn" => RuleId::ThreadSpawn,
+            "string-result" => RuleId::StringResult,
             "unused-workspace-dep" => RuleId::UnusedWorkspaceDep,
             "stale-allow" => RuleId::StaleAllow,
             _ => return None,
@@ -76,6 +79,11 @@ impl RuleId {
                  leaks into traces and breaks same-seed reproducibility. \
                  Parallelism belongs to the experiment harness (the campaign \
                  executor fans out whole runs, each its own simulation)"
+            }
+            RuleId::StringResult => {
+                "stringly-typed errors can't be matched on, so callers can't \
+                 make recovery decisions; use the typed error enums \
+                 (WireError/RouteError/SessionError or a crate-local one)"
             }
             RuleId::UnusedWorkspaceDep => {
                 "every [workspace.dependencies] entry must be consumed by some \
@@ -206,6 +214,48 @@ pub fn check_unwrap(file: &str, tokens: &[Token], out: &mut Vec<Finding>) {
             rule: RuleId::UnwrapOutsideTests,
             message: format!(".{id}() outside test code"),
         });
+    }
+}
+
+/// `Result<_, String>` — a stringly-typed error position. Fires on the
+/// exact error type `String`; wrapped strings (`Vec<String>`, custom
+/// enums carrying a `String`) are structure and pass.
+pub fn check_string_result(file: &str, tokens: &[Token], out: &mut Vec<Finding>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind.ident() != Some("Result")
+            || tokens.get(i + 1).map(|n| &n.kind) != Some(&TokenKind::Punct('<'))
+        {
+            continue;
+        }
+        // Walk the generic argument list, tracking angle/bracket depth,
+        // and remember the last top-level comma (the error position).
+        let mut angle = 1i32;
+        let mut nest = 0i32;
+        let mut j = i + 2;
+        let mut err_pos = None;
+        while j < tokens.len() && angle > 0 {
+            match &tokens[j].kind {
+                TokenKind::Punct('<') => angle += 1,
+                TokenKind::Punct('>') => angle -= 1,
+                TokenKind::Punct('(') | TokenKind::Punct('[') => nest += 1,
+                TokenKind::Punct(')') | TokenKind::Punct(']') => nest -= 1,
+                TokenKind::Punct(',') if angle == 1 && nest == 0 => err_pos = Some(j + 1),
+                _ => {}
+            }
+            j += 1;
+        }
+        // The error type is stringly iff it is the single token `String`
+        // followed directly by the closing `>` (at j - 1).
+        let Some(e) = err_pos else { continue };
+        if tokens[e].kind.ident() == Some("String") && e + 1 == j - 1 {
+            out.push(Finding {
+                file: file.to_string(),
+                line: t.line,
+                col: t.col,
+                rule: RuleId::StringResult,
+                message: "Result<_, String>: stringly-typed error signature".to_string(),
+            });
+        }
     }
 }
 
@@ -361,6 +411,32 @@ mod tests {
         let f = run(check_unwrap, src);
         assert_eq!(f.len(), 1);
         assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn string_result_fires_on_string_error_position() {
+        let bad = "pub fn parse(s: &str) -> Result<Header, String> { }";
+        let f = run(check_string_result, bad);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, RuleId::StringResult);
+        // Nested generics on the ok side don't confuse the depth walk.
+        let nested = "fn f() -> Result<Vec<Vec<u8>>, String> {}";
+        assert_eq!(run(check_string_result, nested).len(), 1);
+        let tuple_ok = "fn f() -> Result<(u8, String), MyError> {}";
+        assert!(run(check_string_result, tuple_ok).is_empty());
+    }
+
+    #[test]
+    fn string_result_ignores_typed_and_wrapped_errors() {
+        assert!(run(check_string_result, "fn f() -> Result<u8, WireError> {}").is_empty());
+        assert!(run(check_string_result, "fn f() -> Result<u8, Vec<String>> {}").is_empty());
+        assert!(run(
+            check_string_result,
+            "fn f() -> Result<String, io::Error> {}"
+        )
+        .is_empty());
+        // Non-Result maps with String values are fine.
+        assert!(run(check_string_result, "let m: BTreeMap<u32, String> = x;").is_empty());
     }
 
     #[test]

@@ -184,10 +184,18 @@ fn bench_simulator_events(b: &Bench) -> f64 {
 fn bench_tcp_transfer(b: &Bench) -> (f64, f64) {
     let case = case1();
     let direct = b.run("sim_transfer_1MB/direct", Some(1 << 20), || {
-        run_transfer(&case, &RunConfig::new(1 << 20, Mode::Direct, 1)).duration_s
+        run_transfer(
+            &case,
+            &RunConfig::builder(1 << 20, Mode::Direct).seed(1).build(),
+        )
+        .duration_s
     });
     let depot = b.run("sim_transfer_1MB/via_depot", Some(1 << 20), || {
-        run_transfer(&case, &RunConfig::new(1 << 20, Mode::ViaDepot, 1)).duration_s
+        run_transfer(
+            &case,
+            &RunConfig::builder(1 << 20, Mode::ViaDepot).seed(1).build(),
+        )
+        .duration_s
     });
     (direct / 1e9, depot / 1e9)
 }
@@ -242,7 +250,9 @@ fn bench_campaign(b: &Bench) -> (usize, f64, f64) {
         run_campaign(runs, jobs, |i| {
             run_transfer(
                 &case,
-                &RunConfig::new(256 << 10, Mode::ViaDepot, 100 + i as u64),
+                &RunConfig::builder(256 << 10, Mode::ViaDepot)
+                    .seed(100 + i as u64)
+                    .build(),
             )
             .goodput_bps
         })

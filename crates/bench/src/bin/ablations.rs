@@ -77,7 +77,9 @@ fn ablate_relay_buffer(jobs: usize) {
     for buf in [16usize << 10, 64 << 10, 256 << 10, 1 << 20, 16 << 20] {
         let g = mean_goodput(
             (0..ITERS).map(|i| {
-                let mut c = RunConfig::new(8 << 20, Mode::ViaDepot, 700 + i);
+                let mut c = RunConfig::builder(8 << 20, Mode::ViaDepot)
+                    .seed(700 + i)
+                    .build();
                 c.relay_buf = buf;
                 c
             }),
@@ -101,7 +103,7 @@ fn ablate_loss_rate(jobs: usize) {
         let case = parametric_case(topo, names);
         let mean = |mode| -> f64 {
             let cfgs = (0..ITERS)
-                .map(|i| RunConfig::new(8 << 20, mode, 800 + i))
+                .map(|i| RunConfig::builder(8 << 20, mode).seed(800 + i).build())
                 .collect();
             mean_goodput_case(&case, cfgs, jobs)
         };
@@ -128,7 +130,7 @@ fn ablate_rtt_split(jobs: usize) {
         let case = parametric_case(topo, names);
         let mean = |mode| -> f64 {
             let cfgs = (0..ITERS)
-                .map(|i| RunConfig::new(8 << 20, mode, 900 + i))
+                .map(|i| RunConfig::builder(8 << 20, mode).seed(900 + i).build())
                 .collect();
             mean_goodput_case(&case, cfgs, jobs)
         };
@@ -163,7 +165,7 @@ fn ablate_endhost_buffers(jobs: usize) {
     for buf in [64u64 << 10, 256 << 10, 1 << 20, 8 << 20] {
         let mk = |mode| {
             (0..ITERS).map(move |i| {
-                let mut c = RunConfig::new(8 << 20, mode, 1000 + i);
+                let mut c = RunConfig::builder(8 << 20, mode).seed(1000 + i).build();
                 c.tcp = TcpConfig {
                     time_wait: Dur::from_millis(1),
                     ..TcpConfig::default().small_buffers(buf)
@@ -191,7 +193,7 @@ fn ablate_cc_algo(jobs: usize) {
     for algo in [CcAlgo::Reno, CcAlgo::NewReno] {
         let mk = |mode| {
             (0..ITERS).map(move |i| {
-                let mut c = RunConfig::new(8 << 20, mode, 1100 + i);
+                let mut c = RunConfig::builder(8 << 20, mode).seed(1100 + i).build();
                 c.tcp.algo = algo;
                 c
             })
@@ -210,7 +212,7 @@ fn ablate_delack(jobs: usize) {
     for (name, d_opt) in [("on", Some(Dur::from_millis(100))), ("off", None)] {
         let mk = |mode| {
             (0..ITERS).map(move |i| {
-                let mut c = RunConfig::new(8 << 20, mode, 1200 + i);
+                let mut c = RunConfig::builder(8 << 20, mode).seed(1200 + i).build();
                 c.tcp.delack = d_opt;
                 c
             })

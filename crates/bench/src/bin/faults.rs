@@ -1,0 +1,161 @@
+//! Fault-campaign driver: run the scripted failure scenarios against
+//! the recovering session layer and export the recovery timelines.
+//!
+//! ```text
+//! cargo run -p lsl-bench --bin faults              # all scenarios
+//! cargo run -p lsl-bench --bin faults -- --smoke   # CI gate: 1 crash + 1 flap
+//! cargo run -p lsl-bench --bin faults -- --seeds 5
+//! ```
+//!
+//! Per scenario: the timestamped [`SessionEvent`] timeline on stdout, a
+//! `results/faults_<scenario>.dat` timeline export (seed 0), and one
+//! summary row (terminal state, route used, recovery events, duration).
+//! `--smoke` runs the depot-crash and access-flap scenarios once and
+//! exits non-zero unless both complete with the expected recovery
+//! shape — the cheap end-to-end proof that fault injection, typed error
+//! reporting, and recovery still compose.
+
+use lsl_session::SessionEvent;
+use lsl_trace::export::write_timeline_dat;
+use lsl_workloads::faults::{
+    run_access_flap, run_all_depots_down, run_depot_crash, run_sublink_rst, FaultRunResult,
+};
+
+struct Scenario {
+    name: &'static str,
+    run: fn(u64) -> FaultRunResult,
+    expect: fn(&FaultRunResult) -> Result<(), &'static str>,
+}
+
+const SCENARIOS: &[Scenario] = &[
+    Scenario {
+        name: "depot-crash",
+        run: run_depot_crash,
+        expect: |r| {
+            if !r.completed() {
+                return Err("did not complete");
+            }
+            if !r.saw(|e| matches!(e, SessionEvent::FailedOver { .. })) {
+                return Err("never failed over to the backup depot");
+            }
+            if r.delivery().and_then(|d| d.digest_ok) != Some(true) {
+                return Err("digest not verified after failover");
+            }
+            Ok(())
+        },
+    },
+    Scenario {
+        name: "access-flap",
+        run: run_access_flap,
+        expect: |r| {
+            if !r.completed() {
+                return Err("did not complete");
+            }
+            if !r.saw(|e| matches!(e, SessionEvent::Reconnecting { .. })) {
+                return Err("rode out the flap without reconnecting (outage too short?)");
+            }
+            Ok(())
+        },
+    },
+    Scenario {
+        name: "all-depots-down",
+        run: run_all_depots_down,
+        expect: |r| {
+            if !r.completed() {
+                return Err("did not complete");
+            }
+            if !r.saw(|e| matches!(e, SessionEvent::Degraded)) {
+                return Err("never degraded to the direct path");
+            }
+            Ok(())
+        },
+    },
+    Scenario {
+        name: "sublink-rst",
+        run: run_sublink_rst,
+        expect: |r| {
+            if !r.completed() {
+                return Err("did not complete");
+            }
+            if r.saw(|e| matches!(e, SessionEvent::FailedOver { .. } | SessionEvent::Degraded)) {
+                return Err("an RST should be survivable on the primary route");
+            }
+            Ok(())
+        },
+    },
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let mut seeds = 1u64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--seeds" {
+            seeds = it
+                .next()
+                .and_then(|v| v.parse::<u64>().ok())
+                .filter(|&n| n >= 1)
+                .unwrap_or_else(|| {
+                    eprintln!("--seeds requires a positive integer");
+                    std::process::exit(2);
+                });
+        }
+    }
+
+    let chosen: Vec<&Scenario> = if smoke {
+        // The CI gate: one depot crash, one link flap.
+        SCENARIOS.iter().take(2).collect()
+    } else {
+        SCENARIOS.iter().collect()
+    };
+
+    let mut failures = 0u32;
+    println!(
+        "{:<16} {:>5} {:<10} {:>5} {:>7} {:>9}",
+        "scenario", "seed", "state", "route", "events", "dur_s"
+    );
+    for sc in &chosen {
+        for seed in 0..seeds {
+            let r = (sc.run)(seed);
+            println!(
+                "{:<16} {:>5} {:<10} {:>5} {:>7} {:>9.3}",
+                sc.name,
+                seed,
+                format!("{:?}", r.state),
+                r.route_used,
+                r.timeline.len(),
+                r.duration_s,
+            );
+            for (t, ev) in &r.timeline {
+                println!("    {t:?} {ev:?}");
+            }
+            if seed == 0 && !smoke {
+                let rows: Vec<(f64, String)> = r
+                    .timeline
+                    .iter()
+                    .map(|(t, ev)| (t.as_secs_f64(), format!("{ev:?}")))
+                    .collect();
+                if let Err(e) = write_timeline_dat("results", &format!("faults_{}", sc.name), &rows)
+                {
+                    eprintln!("warning: could not write timeline .dat: {e}");
+                }
+            }
+            if let Err(why) = (sc.expect)(&r) {
+                eprintln!("FAIL {} seed {seed}: {why}", sc.name);
+                eprintln!("{}", r.fingerprint());
+                failures += 1;
+            }
+        }
+    }
+
+    if failures > 0 {
+        eprintln!("faults: {failures} scenario run(s) failed");
+        std::process::exit(1);
+    }
+    println!(
+        "faults: {} scenario run(s) ok{}",
+        chosen.len() as u64 * seeds,
+        if smoke { " (smoke)" } else { "" }
+    );
+}

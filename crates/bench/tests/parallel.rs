@@ -19,7 +19,9 @@ fn campaign_results_identical_across_job_counts() {
         run_campaign(6, jobs, |i| {
             let r = run_transfer(
                 &case,
-                &RunConfig::new(128 << 10, Mode::ViaDepot, 500 + i as u64),
+                &RunConfig::builder(128 << 10, Mode::ViaDepot)
+                    .seed(500 + i as u64)
+                    .build(),
             );
             (
                 r.goodput_bps.to_bits(),

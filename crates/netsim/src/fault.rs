@@ -1,0 +1,154 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] is a seed-independent schedule of failure events —
+//! link outages, node crashes/restarts, and sublink-reset signals —
+//! installed into a [`crate::Simulator`] before the run starts. Each
+//! entry is scheduled on the ordinary event heap, so faults interleave
+//! with traffic in the same deterministic `(time, insertion-seq)` order
+//! as everything else: the same plan against the same seed yields a
+//! byte-identical trace, faults included.
+//!
+//! Every entry fires **exactly once** at its scheduled time and is
+//! surfaced to the protocol layer as [`crate::Output::Fault`], so upper
+//! layers (TCP stacks, the LSL session recovery driver) can react — kill
+//! sockets on a crash, start reconnect backoff on a flap — without the
+//! simulator knowing anything about them.
+
+use crate::packet::{LinkId, NodeId};
+use crate::time::{Dur, Time};
+
+/// What kind of failure (or repair) happens.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The link stops carrying traffic: waiting packets are discarded,
+    /// the packet mid-serialization is lost at its `TxDone`, and new
+    /// offers are dropped until a matching [`FaultKind::LinkUp`].
+    /// Packets already propagating (past the transmitter) still arrive —
+    /// the bits were on the wire.
+    LinkDown(LinkId),
+    /// The link carries traffic again.
+    LinkUp(LinkId),
+    /// The node crashes: packets arriving at it (as destination or
+    /// forwarder) are discarded, its outgoing queues are flushed, and it
+    /// neither sends nor forwards until [`FaultKind::NodeUp`]. Volatile
+    /// state (TCP stacks, relay buffers) is the upper layers' to kill —
+    /// they observe the fault via [`crate::Output::Fault`].
+    NodeDown(NodeId),
+    /// The node restarts with empty volatile state.
+    NodeUp(NodeId),
+    /// An abrupt reset signal for the node's established transport
+    /// connections (the paper's "sublink RST"). The simulator's own
+    /// state is untouched; the TCP layer acts on the surfaced event.
+    SublinkRst(NodeId),
+}
+
+/// One scheduled fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultEvent {
+    pub at: Time,
+    pub kind: FaultKind,
+}
+
+/// A deterministic schedule of faults, built up in fluent style and
+/// installed with [`crate::Simulator::install_faults`]. Entries fire in
+/// `(time, insertion-order)` order, each exactly once.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    entries: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Schedule an arbitrary fault.
+    pub fn at(mut self, at: Time, kind: FaultKind) -> FaultPlan {
+        self.entries.push(FaultEvent { at, kind });
+        self
+    }
+
+    /// Link goes down at `at` and stays down.
+    pub fn link_down(self, at: Time, link: LinkId) -> FaultPlan {
+        self.at(at, FaultKind::LinkDown(link))
+    }
+
+    /// Link comes (back) up at `at`.
+    pub fn link_up(self, at: Time, link: LinkId) -> FaultPlan {
+        self.at(at, FaultKind::LinkUp(link))
+    }
+
+    /// Transient outage: down at `at`, up again `outage` later.
+    pub fn link_flap(self, at: Time, link: LinkId, outage: Dur) -> FaultPlan {
+        self.link_down(at, link).link_up(at + outage, link)
+    }
+
+    /// Node crashes at `at` and stays down.
+    pub fn node_down(self, at: Time, node: NodeId) -> FaultPlan {
+        self.at(at, FaultKind::NodeDown(node))
+    }
+
+    /// Node restarts at `at`.
+    pub fn node_up(self, at: Time, node: NodeId) -> FaultPlan {
+        self.at(at, FaultKind::NodeUp(node))
+    }
+
+    /// Crash at `at`, restart `downtime` later.
+    pub fn node_crash(self, at: Time, node: NodeId, downtime: Dur) -> FaultPlan {
+        self.node_down(at, node).node_up(at + downtime, node)
+    }
+
+    /// Reset the node's established transport connections at `at`.
+    pub fn sublink_rst(self, at: Time, node: NodeId) -> FaultPlan {
+        self.at(at, FaultKind::SublinkRst(node))
+    }
+
+    /// Scheduled entries in insertion order.
+    pub fn entries(&self) -> &[FaultEvent] {
+        &self.entries
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub(crate) fn into_entries(self) -> Vec<FaultEvent> {
+        self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_in_insertion_order() {
+        let t = |ms| Time::ZERO + Dur::from_millis(ms);
+        let plan = FaultPlan::new()
+            .link_flap(t(10), LinkId(3), Dur::from_millis(5))
+            .node_crash(t(2), NodeId(1), Dur::from_millis(100))
+            .sublink_rst(t(7), NodeId(2));
+        let kinds: Vec<FaultKind> = plan.entries().iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                FaultKind::LinkDown(LinkId(3)),
+                FaultKind::LinkUp(LinkId(3)),
+                FaultKind::NodeDown(NodeId(1)),
+                FaultKind::NodeUp(NodeId(1)),
+                FaultKind::SublinkRst(NodeId(2)),
+            ]
+        );
+        assert_eq!(plan.len(), 5);
+        assert_eq!(plan.entries()[1].at, t(15));
+    }
+
+    #[test]
+    fn empty_plan() {
+        assert!(FaultPlan::new().is_empty());
+    }
+}

@@ -24,6 +24,7 @@
 #[cfg(feature = "invariants")]
 pub mod invariants;
 
+mod fault;
 mod link;
 mod loss;
 mod packet;
@@ -32,6 +33,7 @@ mod stats;
 mod time;
 mod topo;
 
+pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use link::{LinkSpec, DEFAULT_QUEUE_BYTES};
 pub use loss::LossModel;
 pub use packet::{LinkId, NodeId, Packet, PROTO_TCP};

@@ -72,6 +72,9 @@ pub(crate) struct Link {
     queue: VecDeque<Packet>,
     queued_bytes: u64,
     busy: bool,
+    /// Fault-injection state: a down link accepts nothing and loses the
+    /// frame it was serializing when the outage hit.
+    up: bool,
     /// Conservation ledger (feature `invariants`): every wire byte a link
     /// accepts must be exactly one of delivered, lost, propagating, or
     /// still held (queued/serializing).
@@ -94,6 +97,7 @@ impl Link {
             queue: VecDeque::new(),
             queued_bytes: 0,
             busy: false,
+            up: true,
             #[cfg(feature = "invariants")]
             delivered_bytes: 0,
             #[cfg(feature = "invariants")]
@@ -107,6 +111,10 @@ impl Link {
     /// an idle link always accepts (matching a router that can always put
     /// one packet on the wire).
     pub fn enqueue(&mut self, packet: Packet) -> Enqueue {
+        if !self.up {
+            self.stats.drops_fault += 1;
+            return Enqueue::Dropped;
+        }
         let size = packet.wire_len() as u64;
         if !self.busy {
             debug_assert!(self.queue.is_empty());
@@ -187,6 +195,45 @@ impl Link {
 
     pub fn is_busy(&self) -> bool {
         self.busy
+    }
+
+    pub fn is_up(&self) -> bool {
+        self.up
+    }
+
+    /// Fault injection: the link goes down. Waiting packets are flushed
+    /// (counted as `drops_fault`); the frame currently serializing stays
+    /// at the queue front so its pending `TxDone` event finds it — the
+    /// simulator discards it there because the link is down.
+    pub(crate) fn set_down(&mut self, #[cfg(feature = "invariants")] now: crate::time::Time) {
+        self.up = false;
+        self.flush_queue(
+            #[cfg(feature = "invariants")]
+            now,
+        );
+    }
+
+    /// Fault injection: the link carries traffic again.
+    pub(crate) fn set_up(&mut self) {
+        self.up = true;
+    }
+
+    /// Discard every *waiting* packet (the serializing one, if any, is
+    /// owned by its pending `TxDone` event and must stay at the front).
+    pub(crate) fn flush_queue(&mut self, #[cfg(feature = "invariants")] now: crate::time::Time) {
+        let keep = usize::from(self.busy);
+        while self.queue.len() > keep {
+            let p = self.queue.pop_back().expect("len > keep");
+            self.stats.drops_fault += 1;
+            #[cfg(feature = "invariants")]
+            {
+                self.lost_bytes += p.wire_len() as u64;
+            }
+            let _ = p;
+        }
+        self.queued_bytes = 0;
+        #[cfg(feature = "invariants")]
+        self.check_conservation(now);
     }
 }
 

@@ -6,6 +6,7 @@ use std::collections::BinaryHeap;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
+use crate::fault::{FaultEvent, FaultKind, FaultPlan};
 use crate::link::{Enqueue, Link};
 use crate::packet::{LinkId, NodeId, Packet};
 use crate::stats::LinkStats;
@@ -18,6 +19,11 @@ pub enum Output {
     Deliver { node: NodeId, packet: Packet },
     /// A timer armed with [`Simulator::set_timer`] fired.
     Timer { node: NodeId, token: u64 },
+    /// A scheduled [`FaultPlan`] entry fired. The simulator has already
+    /// applied its own side of the fault (link/node state, queue
+    /// flushes); the protocol layer applies its side (killing sockets,
+    /// starting recovery).
+    Fault(FaultEvent),
 }
 
 /// Handle for cancelling a pending timer. Generation-stamped: the
@@ -51,6 +57,8 @@ enum Event {
         slot: u32,
         gen: u32,
     },
+    /// A scheduled fault (index into `Simulator::faults`) takes effect.
+    Fault(u32),
 }
 
 struct HeapEntry {
@@ -94,6 +102,12 @@ pub struct Simulator {
     timer_slots: Vec<TimerSlot>,
     free_slots: Vec<u32>,
     armed_timers: usize,
+    /// Installed fault schedule; `Event::Fault` indexes into this.
+    faults: Vec<FaultEvent>,
+    /// One flag per fault entry: set when it fires (each fires once).
+    faults_fired: Vec<bool>,
+    /// Per-node up/down state; all nodes start up.
+    node_up: Vec<bool>,
 }
 
 /// Sentinel for "no next hop" in the dense route table.
@@ -113,6 +127,9 @@ impl Simulator {
             timer_slots: Vec::with_capacity(64),
             free_slots: Vec::with_capacity(64),
             armed_timers: 0,
+            faults: Vec::new(),
+            faults_fired: Vec::new(),
+            node_up: vec![true; num_nodes],
         }
     }
 
@@ -141,18 +158,66 @@ impl Simulator {
         }
     }
 
+    /// Install a fault schedule. Every entry is placed on the event heap
+    /// immediately, so it interleaves deterministically with traffic and
+    /// fires exactly once at its scheduled time. May be called more than
+    /// once; entries accumulate. Panics on out-of-range link/node ids or
+    /// times in the past — a malformed plan is an experiment bug.
+    pub fn install_faults(&mut self, plan: FaultPlan) {
+        for ev in plan.into_entries() {
+            assert!(ev.at >= self.now, "fault scheduled in the past: {ev:?}");
+            match ev.kind {
+                FaultKind::LinkDown(l) | FaultKind::LinkUp(l) => {
+                    assert!((l.0 as usize) < self.links.len(), "unknown link in {ev:?}");
+                }
+                FaultKind::NodeDown(n) | FaultKind::NodeUp(n) | FaultKind::SublinkRst(n) => {
+                    assert!((n.0 as usize) < self.num_nodes, "unknown node in {ev:?}");
+                }
+            }
+            let idx = self.faults.len() as u32;
+            self.faults.push(ev);
+            self.faults_fired.push(false);
+            self.schedule(ev.at, Event::Fault(idx));
+        }
+    }
+
+    /// Number of installed fault entries that have fired so far.
+    pub fn faults_fired(&self) -> usize {
+        self.faults_fired.iter().filter(|f| **f).count()
+    }
+
+    /// Number of installed fault entries.
+    pub fn faults_installed(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Whether a node is currently up (not crashed).
+    pub fn node_is_up(&self, node: NodeId) -> bool {
+        self.node_up[node.0 as usize]
+    }
+
+    /// Whether a link is currently up (carrying traffic).
+    pub fn link_is_up(&self, link: LinkId) -> bool {
+        self.links[link.0 as usize].is_up()
+    }
+
     /// Inject a packet at `from` (its origin or a forwarding node). The
     /// packet is routed hop by hop toward `packet.dst`. Returns the
     /// unique packet id assigned.
     ///
     /// Panics if no route exists — a misconfigured topology is a bug in
-    /// the experiment, not a runtime condition to tolerate.
+    /// the experiment, not a runtime condition to tolerate. A send from
+    /// a crashed node is silently discarded (the host is dead; any
+    /// straggling protocol action there produces nothing).
     pub fn send(&mut self, from: NodeId, mut packet: Packet) -> u64 {
         if packet.id == 0 {
             packet.id = self.next_packet_id;
             self.next_packet_id += 1;
         }
         let id = packet.id;
+        if !self.node_up[from.0 as usize] {
+            return id;
+        }
         let raw = self.routes[from.0 as usize * self.num_nodes + packet.dst.0 as usize];
         if raw == NO_ROUTE {
             panic!("no route from {:?} to {:?}", from, packet.dst);
@@ -242,6 +307,39 @@ impl Simulator {
         self.links[link.0 as usize].is_busy()
     }
 
+    /// Apply the simulator-side effects of a fault. Upper-layer effects
+    /// (socket teardown, relay-state flush) happen when the caller sees
+    /// the returned [`Output::Fault`].
+    fn apply_fault(&mut self, kind: FaultKind) {
+        match kind {
+            FaultKind::LinkDown(l) => {
+                self.links[l.0 as usize].set_down(
+                    #[cfg(feature = "invariants")]
+                    self.now,
+                );
+            }
+            FaultKind::LinkUp(l) => self.links[l.0 as usize].set_up(),
+            FaultKind::NodeDown(n) => {
+                self.node_up[n.0 as usize] = false;
+                // A crashed host's NIC queues die with it: flush waiting
+                // packets on every outgoing link. (The frame currently
+                // serializing is discarded at its TxDone; arrivals are
+                // discarded on delivery.)
+                for link in &mut self.links {
+                    if link.from == n {
+                        link.flush_queue(
+                            #[cfg(feature = "invariants")]
+                            self.now,
+                        );
+                    }
+                }
+            }
+            FaultKind::NodeUp(n) => self.node_up[n.0 as usize] = true,
+            // Purely an upper-layer signal; no simulator state changes.
+            FaultKind::SublinkRst(_) => {}
+        }
+    }
+
     fn schedule(&mut self, at: Time, event: Event) {
         debug_assert!(at >= self.now);
         let seq = self.seq;
@@ -275,6 +373,25 @@ impl Simulator {
                     if let Some(d) = next_tx {
                         self.schedule(self.now + d, Event::TxDone(link_id));
                     }
+                    // A fault between tx start and tx end kills the frame:
+                    // the transmitter is gone (node crash) or the medium is
+                    // (link down).
+                    let faulted = {
+                        let link = &mut self.links[idx];
+                        let faulted = !link.is_up() || !self.node_up[link.from.0 as usize];
+                        if faulted {
+                            link.stats.drops_fault += 1;
+                            #[cfg(feature = "invariants")]
+                            {
+                                link.lost_bytes += packet.wire_len() as u64;
+                                link.check_conservation(self.now);
+                            }
+                        }
+                        faulted
+                    };
+                    if faulted {
+                        continue;
+                    }
                     // Loss is drawn when the packet leaves the transmitter:
                     // it occupied serialization time either way.
                     let lost = {
@@ -302,6 +419,20 @@ impl Simulator {
                     }
                 }
                 Event::Arrive(link_id, packet) => {
+                    // Arrival at a crashed node (destination or forwarder):
+                    // the bits reached a dead host and vanish.
+                    if !self.node_up[self.links[link_id.0 as usize].to.0 as usize] {
+                        let link = &mut self.links[link_id.0 as usize];
+                        link.stats.drops_fault += 1;
+                        #[cfg(feature = "invariants")]
+                        {
+                            let wire = packet.wire_len() as u64;
+                            link.inflight_bytes -= wire;
+                            link.lost_bytes += wire;
+                            link.check_conservation(self.now);
+                        }
+                        continue;
+                    }
                     #[cfg(feature = "invariants")]
                     {
                         let wire = packet.wire_len() as u64;
@@ -341,6 +472,16 @@ impl Simulator {
                         return Some(Output::Timer { node, token });
                     }
                     // Cancelled: skip silently.
+                }
+                Event::Fault(idx) => {
+                    let ev = self.faults[idx as usize];
+                    debug_assert!(
+                        !self.faults_fired[idx as usize],
+                        "fault entry fired twice: {ev:?}"
+                    );
+                    self.faults_fired[idx as usize] = true;
+                    self.apply_fault(ev.kind);
+                    return Some(Output::Fault(ev));
                 }
             }
         }
@@ -528,6 +669,151 @@ mod tests {
             tokens.push(token);
         }
         assert_eq!(tokens, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fault_entries_fire_exactly_once_at_their_tick() {
+        let (mut sim, a, c) = two_node_sim(LossModel::None);
+        let t = |ms| Time::ZERO + Dur::from_millis(ms);
+        sim.install_faults(
+            FaultPlan::new()
+                .link_flap(t(10), LinkId(0), Dur::from_millis(5))
+                .node_crash(t(30), c, Dur::from_millis(2))
+                .sublink_rst(t(40), a),
+        );
+        assert_eq!(sim.faults_installed(), 5);
+        let mut seen = Vec::new();
+        while let Some(out) = sim.next() {
+            if let Output::Fault(ev) = out {
+                assert_eq!(ev.at, sim.now(), "fault fired off its scheduled tick");
+                seen.push(ev);
+            }
+        }
+        assert_eq!(sim.faults_fired(), 5, "each entry fires exactly once");
+        assert_eq!(seen.len(), 5);
+        assert_eq!(
+            seen[0],
+            FaultEvent {
+                at: t(10),
+                kind: FaultKind::LinkDown(LinkId(0))
+            }
+        );
+        assert_eq!(
+            seen[1],
+            FaultEvent {
+                at: t(15),
+                kind: FaultKind::LinkUp(LinkId(0))
+            }
+        );
+        assert_eq!(
+            seen[2],
+            FaultEvent {
+                at: t(30),
+                kind: FaultKind::NodeDown(c)
+            }
+        );
+        assert_eq!(
+            seen[3],
+            FaultEvent {
+                at: t(32),
+                kind: FaultKind::NodeUp(c)
+            }
+        );
+        assert_eq!(
+            seen[4],
+            FaultEvent {
+                at: t(40),
+                kind: FaultKind::SublinkRst(a)
+            }
+        );
+    }
+
+    #[test]
+    fn down_link_drops_offers_and_flushes_queue() {
+        let (mut sim, a, c) = two_node_sim(LossModel::None);
+        // Queue several packets, then take the link down at t=0.5 ms —
+        // mid-serialization of the first (962 us) packet.
+        for _ in 0..5 {
+            sim.send(a, pkt(a, c, 962 - 38));
+        }
+        sim.install_faults(
+            FaultPlan::new().link_down(Time::ZERO + Dur::from_micros(500), LinkId(0)),
+        );
+        let mut delivered = 0;
+        while let Some(out) = sim.next() {
+            if matches!(out, Output::Deliver { .. }) {
+                delivered += 1;
+            }
+        }
+        assert_eq!(delivered, 0, "nothing survives a mid-serialization outage");
+        // 1 serializing + 4 flushed = 5 fault drops; offers after the
+        // outage are also counted.
+        assert_eq!(sim.link_stats(LinkId(0)).drops_fault, 5);
+        assert!(!sim.link_is_up(LinkId(0)));
+        sim.send(a, pkt(a, c, 100));
+        assert!(sim.next().is_none());
+        assert_eq!(sim.link_stats(LinkId(0)).drops_fault, 6);
+    }
+
+    #[test]
+    fn link_comes_back_after_flap() {
+        let (mut sim, a, c) = two_node_sim(LossModel::None);
+        sim.install_faults(FaultPlan::new().link_flap(Time::ZERO, LinkId(0), Dur::from_millis(5)));
+        // Drain the two fault events.
+        assert!(matches!(sim.next(), Some(Output::Fault(_))));
+        assert!(matches!(sim.next(), Some(Output::Fault(_))));
+        assert!(sim.link_is_up(LinkId(0)));
+        sim.send(a, pkt(a, c, 100));
+        assert!(matches!(sim.next(), Some(Output::Deliver { .. })));
+    }
+
+    #[test]
+    fn crashed_node_discards_arrivals_until_restart() {
+        let (mut sim, a, c) = two_node_sim(LossModel::None);
+        sim.install_faults(FaultPlan::new().node_crash(Time::ZERO, c, Dur::from_millis(1)));
+        assert!(matches!(sim.next(), Some(Output::Fault(_)))); // NodeDown
+        assert!(!sim.node_is_up(c));
+        sim.send(a, pkt(a, c, 100)); // arrives ~5.138 ms, after restart
+        sim.send(c, pkt(c, a, 100)); // send from crashed node: discarded
+        let mut delivered = Vec::new();
+        while let Some(out) = sim.next() {
+            if let Output::Deliver { node, .. } = out {
+                delivered.push(node);
+            }
+        }
+        assert!(sim.node_is_up(c));
+        assert_eq!(
+            delivered,
+            vec![c],
+            "post-restart arrival delivered; dead-node send lost"
+        );
+    }
+
+    #[test]
+    fn arrival_during_crash_window_is_dropped() {
+        let (mut sim, a, c) = two_node_sim(LossModel::None);
+        // Packet arrives at 962 us + 5 ms ≈ 5.96 ms; crash covers [1, 10] ms.
+        sim.send(a, pkt(a, c, 962 - 38));
+        sim.install_faults(FaultPlan::new().node_crash(
+            Time::ZERO + Dur::from_millis(1),
+            c,
+            Dur::from_millis(9),
+        ));
+        let mut delivered = 0;
+        while let Some(out) = sim.next() {
+            if matches!(out, Output::Deliver { .. }) {
+                delivered += 1;
+            }
+        }
+        assert_eq!(delivered, 0);
+        assert_eq!(sim.link_stats(LinkId(0)).drops_fault, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown link")]
+    fn fault_plan_unknown_link_rejected() {
+        let (mut sim, _a, _c) = two_node_sim(LossModel::None);
+        sim.install_faults(FaultPlan::new().link_down(Time::ZERO, LinkId(99)));
     }
 
     #[test]

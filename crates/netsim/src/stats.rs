@@ -11,6 +11,10 @@ pub struct LinkStats {
     pub drops_queue: u64,
     /// Packets dropped by the stochastic loss model.
     pub drops_loss: u64,
+    /// Packets discarded by fault injection: offered to a down link,
+    /// flushed from a failed link/node queue, mid-serialization when the
+    /// fault hit, or arriving at a crashed node.
+    pub drops_fault: u64,
     /// High-water mark of queued (waiting) bytes.
     pub max_queue_bytes: u64,
 }
@@ -18,7 +22,7 @@ pub struct LinkStats {
 impl LinkStats {
     /// Total drops from any cause.
     pub fn drops(&self) -> u64 {
-        self.drops_queue + self.drops_loss
+        self.drops_queue + self.drops_loss + self.drops_fault
     }
 
     /// Fraction of accepted packets that were lost in flight.
@@ -40,9 +44,10 @@ mod tests {
         let s = LinkStats {
             drops_queue: 3,
             drops_loss: 4,
+            drops_fault: 2,
             ..Default::default()
         };
-        assert_eq!(s.drops(), 7);
+        assert_eq!(s.drops(), 9);
     }
 
     #[test]

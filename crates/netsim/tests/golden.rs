@@ -7,7 +7,10 @@
 //! timer slots, allocation reuse) must preserve byte for byte.
 
 use bytes::Bytes;
-use lsl_netsim::{Dur, LinkSpec, LossModel, NodeId, Output, Packet, Time, TopologyBuilder};
+use lsl_netsim::{
+    Dur, FaultKind, FaultPlan, LinkId, LinkSpec, LossModel, NodeId, Output, Packet, Time,
+    TopologyBuilder,
+};
 
 /// FNV-1a over the externally visible event stream.
 struct Fnv(u64);
@@ -25,10 +28,27 @@ impl Fnv {
     }
 }
 
+/// Mix a fault event into the stream hash: kind discriminant + subject id.
+fn push_fault(hash: &mut Fnv, kind: FaultKind) {
+    let (tag, id) = match kind {
+        FaultKind::LinkDown(l) => (1, l.0 as u64),
+        FaultKind::LinkUp(l) => (2, l.0 as u64),
+        FaultKind::NodeDown(n) => (3, n.0 as u64),
+        FaultKind::NodeUp(n) => (4, n.0 as u64),
+        FaultKind::SublinkRst(n) => (5, n.0 as u64),
+    };
+    hash.push(tag);
+    hash.push(id);
+}
+
 /// A lossy two-hop forwarding path with interleaved timers: exercises
 /// the route lookup on every relayed segment, the loss RNG, and both
 /// the fire and cancel sides of the timer machinery.
 fn run_scenario(seed: u64) -> (u64, u64, u64, u64) {
+    run_scenario_with(seed, FaultPlan::new())
+}
+
+fn run_scenario_with(seed: u64, plan: FaultPlan) -> (u64, u64, u64, u64) {
     let mut b = TopologyBuilder::new();
     let a = b.node("a");
     let r = b.node("r");
@@ -56,6 +76,7 @@ fn run_scenario(seed: u64) -> (u64, u64, u64, u64) {
     for h in handles.iter().step_by(3) {
         sim.cancel_timer(*h);
     }
+    sim.install_faults(plan);
 
     let mut hash = Fnv::new();
     let mut delivered = 0u64;
@@ -76,6 +97,11 @@ fn run_scenario(seed: u64) -> (u64, u64, u64, u64) {
                 hash.push(token);
                 hash.push(sim.now().0);
                 fired += 1;
+            }
+            Output::Fault(ev) => {
+                hash.push(3);
+                push_fault(&mut hash, ev.kind);
+                hash.push(sim.now().0);
             }
         }
     }
@@ -103,7 +129,47 @@ fn golden_differs_across_seeds() {
     assert_ne!(run_scenario(42).0, run_scenario(43).0);
 }
 
+/// The same scenario with faults layered on: the relay's forward link
+/// flaps mid-burst (flushing its queue, losing the serializing frame),
+/// then the relay itself crashes and restarts. Pins that fault schedules
+/// are part of the deterministic trace — same plan + same seed must
+/// stay byte-identical forever.
+fn fault_plan() -> FaultPlan {
+    let t = |ms| Time::ZERO + Dur::from_millis(ms);
+    FaultPlan::new()
+        // Link 2 is r->z (links are allocated in duplex pairs: 0 a->r,
+        // 1 r->a, 2 r->z, 3 z->r).
+        .link_flap(t(20), LinkId(2), Dur::from_millis(15))
+        .node_crash(t(60), NodeId(1), Dur::from_millis(10))
+        .sublink_rst(t(90), NodeId(2))
+}
+
+#[test]
+fn golden_fault_trace_is_pinned() {
+    let (hash, delivered, fired, end) = run_scenario_with(42, fault_plan());
+    println!("golden-fault: hash={hash:#018x} delivered={delivered} fired={fired} end={end}");
+    assert_eq!(fired, 33, "faults must not disturb the timer machinery");
+    assert!(
+        delivered < GOLDEN_SEED42.1,
+        "the outage and crash must cost deliveries"
+    );
+    assert_eq!((hash, delivered, end), GOLDEN_FAULT_SEED42);
+}
+
+#[test]
+fn golden_fault_trace_differs_across_seeds() {
+    assert_ne!(
+        run_scenario_with(42, fault_plan()).0,
+        run_scenario_with(43, fault_plan()).0
+    );
+}
+
 /// `(event-stream hash, delivered count, quiescence time ns)` for seed
 /// 42, recorded from the pre-refactor engine (BTreeMap routes, BTreeSet
 /// timer registry) and required of every engine since.
 const GOLDEN_SEED42: (u64, u64, u64) = (0xa866_ab40_b44d_52d9, 287, 148_000_000);
+
+/// Same shape for the fault scenario ([`fault_plan`] + seed 42),
+/// recorded when fault injection landed: the flap and crash cost 90 of
+/// the 287 deliveries but leave quiescence time and timer count alone.
+const GOLDEN_FAULT_SEED42: (u64, u64, u64) = (0x2c97_3573_1a17_ed3f, 197, 148_000_000);

@@ -1,0 +1,429 @@
+//! Session-layer recovery: reconnect, failover, retransfer, degrade.
+//!
+//! The paper's session layer gives the *endpoints* responsibility for
+//! end-to-end correctness (the depots hold only small, volatile relay
+//! buffers). [`SessionClient`] is that endpoint logic: it owns a
+//! [`BulkSender`] attempt and, when the attempt dies, decides — in
+//! order — whether to
+//!
+//! 1. **reconnect** over the same route with capped exponential backoff,
+//! 2. **fail over** to the next candidate depot route (as ranked by
+//!    [`crate::path`]),
+//! 3. **degrade** to a direct TCP path when every depot route is gone,
+//! 4. give up with a typed [`SessionError`].
+//!
+//! Verified delivery failures (digest/content mismatch, truncation)
+//! reported by the sink trigger a bounded **retransfer** of the whole
+//! stream. Every decision is recorded as a timestamped
+//! [`SessionEvent`], which experiments export as a recovery timeline.
+//!
+//! Detection does not rely on TCP alone: an idle-but-dead sublink (a
+//! depot host that crashed while the sender awaited the session
+//! confirmation) produces no segments and thus no RTO, so a progress
+//! watchdog declares the attempt [`SessionError::Stalled`] when no byte
+//! moves for a full timeout window.
+
+use lsl_netsim::{Dur, NodeId, Time};
+use lsl_tcp::{AppEvent, Net};
+
+use crate::endpoint::{BulkSender, SendMode, SenderState, TransferOutcome};
+use crate::error::{Handled, SessionError, SessionEvent};
+use crate::id::SessionId;
+use crate::route::LslPath;
+
+/// App-timer tokens with this bit belong to a [`SessionClient`], not to
+/// a depot that happens to share the node. (Bit 63 is the net-layer
+/// app-timer discriminator; bit 62 is ours.)
+pub const CLIENT_TIMER_TAG: u64 = 1 << 62;
+
+/// Recovery policy knobs.
+#[derive(Clone, Debug)]
+pub struct RecoveryConfig {
+    /// Reconnection attempts per route before failing over.
+    pub max_reconnects: u32,
+    /// First reconnect delay; doubles per attempt.
+    pub backoff_base: Dur,
+    /// Ceiling for the backoff doubling.
+    pub backoff_cap: Dur,
+    /// Progress watchdog: declare the attempt stalled when no byte is
+    /// accepted by the socket for this long. `None` disables it (then
+    /// only TCP errors trigger recovery).
+    pub progress_timeout: Option<Dur>,
+    /// Whole-stream retransfers allowed after failed delivery checks.
+    pub max_retransfers: u32,
+    /// Append a direct (depot-free) path as the route of last resort
+    /// when the candidate list has none.
+    pub direct_fallback: bool,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig {
+            max_reconnects: 2,
+            backoff_base: Dur::from_millis(100),
+            backoff_cap: Dur::from_secs(5),
+            progress_timeout: Some(Dur::from_secs(3)),
+            max_retransfers: 2,
+            direct_fallback: true,
+        }
+    }
+}
+
+/// Where the client is in its lifecycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClientState {
+    /// An attempt is in flight (or its outcome is awaited).
+    Running,
+    /// Backing off before the next reconnect.
+    Backoff,
+    /// The sink verified a complete delivery.
+    Done,
+    /// Recovery exhausted its options.
+    Failed(SessionError),
+}
+
+/// A recovering session endpoint: drives [`BulkSender`] attempts across
+/// a ranked list of candidate routes until the sink verifies delivery
+/// or the [`RecoveryConfig`] budgets run out.
+pub struct SessionClient {
+    node: NodeId,
+    session: SessionId,
+    total: u64,
+    mode: SendMode,
+    tcp: lsl_tcp::TcpConfig,
+    trace_label: Option<String>,
+    routes: Vec<LslPath>,
+    route_idx: usize,
+    cfg: RecoveryConfig,
+    sender: Option<BulkSender>,
+    state: ClientState,
+    /// Reconnect attempts burned on the current route.
+    reconnects: u32,
+    retransfers: u32,
+    /// Progress snapshot at the last watchdog check.
+    last_progress: u64,
+    /// Timer generation; a fired token with a stale generation is void.
+    timer_gen: u64,
+    events: Vec<(Time, SessionEvent)>,
+    pub started_at: Time,
+    pub finished_at: Option<Time>,
+}
+
+impl SessionClient {
+    /// Begin the session: connect the first attempt over the best route.
+    ///
+    /// `routes` is the ranked candidate list (best first); every path
+    /// must target the same destination. With
+    /// [`RecoveryConfig::direct_fallback`] set and no depot-free
+    /// candidate present, a direct path is appended as the last resort.
+    #[allow(clippy::too_many_arguments)] // one-shot constructor mirroring BulkSender::start
+    pub fn start(
+        net: &mut Net,
+        node: NodeId,
+        routes: Vec<LslPath>,
+        session: SessionId,
+        total: u64,
+        mode: SendMode,
+        tcp: lsl_tcp::TcpConfig,
+        recovery: RecoveryConfig,
+        trace_label: Option<&str>,
+    ) -> SessionClient {
+        assert!(!routes.is_empty(), "need at least one candidate route");
+        let dst = routes[0].dst;
+        assert!(
+            routes.iter().all(|r| r.dst == dst),
+            "candidate routes must share a destination"
+        );
+        let mut routes = routes;
+        if recovery.direct_fallback && !routes.iter().any(|r| r.depots.is_empty()) {
+            routes.push(LslPath::direct(dst));
+        }
+        let mut client = SessionClient {
+            node,
+            session,
+            total,
+            mode,
+            tcp,
+            trace_label: trace_label.map(str::to_owned),
+            routes,
+            route_idx: 0,
+            cfg: recovery,
+            sender: None,
+            state: ClientState::Running,
+            reconnects: 0,
+            retransfers: 0,
+            last_progress: 0,
+            timer_gen: 0,
+            events: Vec::new(),
+            started_at: net.now(),
+            finished_at: None,
+        };
+        client.start_attempt(net);
+        client
+    }
+
+    pub fn session(&self) -> SessionId {
+        self.session
+    }
+
+    pub fn state(&self) -> ClientState {
+        self.state
+    }
+
+    pub fn is_done(&self) -> bool {
+        matches!(self.state, ClientState::Done | ClientState::Failed(_))
+    }
+
+    /// The route currently (or last) in use, as an index into the
+    /// candidate list passed to [`SessionClient::start`].
+    pub fn route_index(&self) -> usize {
+        self.route_idx
+    }
+
+    /// The timestamped lifecycle so far.
+    pub fn events(&self) -> &[(Time, SessionEvent)] {
+        &self.events
+    }
+
+    pub fn take_events(&mut self) -> Vec<(Time, SessionEvent)> {
+        std::mem::take(&mut self.events)
+    }
+
+    fn push_event(&mut self, net: &Net, ev: SessionEvent) {
+        self.events.push((net.now(), ev));
+    }
+
+    /// Timer token: tag bit, 30 bits of session id (so concurrent
+    /// clients on one node ignore each other's timers), 32 bits of
+    /// generation.
+    fn timer_token(&self, gen: u64) -> u64 {
+        let sid = (self.session.0 as u64) & 0x3fff_ffff;
+        CLIENT_TIMER_TAG | (sid << 32) | (gen & 0xffff_ffff)
+    }
+
+    fn arm_timer(&mut self, net: &mut Net, delay: Dur) {
+        self.timer_gen += 1;
+        let token = self.timer_token(self.timer_gen);
+        net.set_app_timer(self.node, net.now() + delay, token);
+    }
+
+    fn start_attempt(&mut self, net: &mut Net) {
+        let path = self.routes[self.route_idx].clone();
+        let sender = BulkSender::start(
+            net,
+            self.node,
+            &path,
+            self.session,
+            self.total,
+            self.mode,
+            self.tcp.clone(),
+            self.trace_label.as_deref(),
+        );
+        self.last_progress = sender.progress();
+        self.sender = Some(sender);
+        self.state = ClientState::Running;
+        if let Some(d) = self.cfg.progress_timeout {
+            self.arm_timer(net, d);
+        }
+    }
+
+    /// Drop the current attempt's socket (already failed or finished).
+    fn discard_sender(&mut self, net: &mut Net) {
+        if let Some(s) = self.sender.take() {
+            net.abort(s.sock());
+        }
+    }
+
+    /// The current attempt died with `err`: reconnect, fail over,
+    /// degrade, or give up.
+    fn on_attempt_failed(&mut self, net: &mut Net, err: SessionError) {
+        self.push_event(net, SessionEvent::SublinkDown(err));
+        self.discard_sender(net);
+        if self.reconnects < self.cfg.max_reconnects {
+            self.reconnects += 1;
+            let exp = self.reconnects.saturating_sub(1).min(16);
+            let delay = (self.cfg.backoff_base * 2u64.pow(exp)).min(self.cfg.backoff_cap);
+            self.push_event(
+                net,
+                SessionEvent::Reconnecting {
+                    attempt: self.reconnects,
+                    delay,
+                },
+            );
+            self.state = ClientState::Backoff;
+            self.arm_timer(net, delay);
+            return;
+        }
+        // This route is spent: fail over to the next candidate.
+        if self.route_idx + 1 < self.routes.len() {
+            self.route_idx += 1;
+            self.reconnects = 0;
+            if self.routes[self.route_idx].depots.is_empty() {
+                self.push_event(net, SessionEvent::Degraded);
+            } else {
+                self.push_event(
+                    net,
+                    SessionEvent::FailedOver {
+                        route: self.route_idx,
+                    },
+                );
+            }
+            self.start_attempt(net);
+            return;
+        }
+        self.fail(net, SessionError::RoutesExhausted);
+    }
+
+    fn fail(&mut self, net: &mut Net, err: SessionError) {
+        self.push_event(net, SessionEvent::Failed(err));
+        self.state = ClientState::Failed(err);
+        self.finished_at.get_or_insert(net.now());
+        self.timer_gen += 1; // void outstanding timers
+    }
+
+    /// Feed one event; [`Handled::Consumed`] means it was this client's
+    /// (its watchdog/retry timer or its active sublink socket).
+    pub fn handle(&mut self, net: &mut Net, ev: &AppEvent) -> Handled {
+        if let AppEvent::Timer { node, token } = ev {
+            if *node == self.node
+                && token & CLIENT_TIMER_TAG != 0
+                && token & (0x3fff_ffff << 32) == self.timer_token(0) & (0x3fff_ffff << 32)
+            {
+                self.on_timer(net, *token);
+                return Handled::Consumed;
+            }
+            return Handled::NotMine;
+        }
+        let Some(sender) = self.sender.as_mut() else {
+            return Handled::NotMine;
+        };
+        let before = sender.state();
+        if !sender.handle(net, ev).consumed() {
+            return Handled::NotMine;
+        }
+        let after = sender.state();
+        if before != after {
+            match after {
+                SenderState::AwaitingConfirm | SenderState::Streaming
+                    if before == SenderState::Connecting =>
+                {
+                    self.push_event(net, SessionEvent::Established);
+                }
+                SenderState::Streaming if before == SenderState::AwaitingConfirm => {
+                    self.push_event(net, SessionEvent::Confirmed);
+                }
+                SenderState::Failed(err) => self.on_attempt_failed(net, err),
+                _ => {}
+            }
+        }
+        Handled::Consumed
+    }
+
+    fn on_timer(&mut self, net: &mut Net, token: u64) {
+        if token & 0xffff_ffff != self.timer_gen & 0xffff_ffff || self.is_done() {
+            return; // stale generation
+        }
+        match self.state {
+            ClientState::Backoff => {
+                // Backoff elapsed: reconnect over the current route.
+                self.start_attempt(net);
+            }
+            ClientState::Running => {
+                // Watchdog tick: stalled unless some byte moved.
+                let Some(sender) = self.sender.as_ref() else {
+                    return;
+                };
+                if sender.is_done() {
+                    return; // outcome pending at the sink; nothing to watch
+                }
+                let progress = sender.progress();
+                if progress == self.last_progress {
+                    self.on_attempt_failed(net, SessionError::Stalled);
+                } else {
+                    self.last_progress = progress;
+                    if let Some(d) = self.cfg.progress_timeout {
+                        self.arm_timer(net, d);
+                    }
+                }
+            }
+            ClientState::Done | ClientState::Failed(_) => {}
+        }
+    }
+
+    /// The harness observed a sink outcome for this session: verified
+    /// delivery finishes the client; a failed delivery burns one
+    /// retransfer and resends the stream over the current route.
+    pub fn on_outcome(&mut self, net: &mut Net, outcome: &TransferOutcome) {
+        if self.is_done() {
+            return;
+        }
+        debug_assert!(
+            outcome.session.is_none() || outcome.session == Some(self.session),
+            "outcome routed to the wrong client"
+        );
+        if outcome.ok() {
+            self.push_event(net, SessionEvent::Completed);
+            self.state = ClientState::Done;
+            self.finished_at.get_or_insert(net.now());
+            self.timer_gen += 1;
+            self.discard_sender(net);
+            return;
+        }
+        // The *sink* rejected the stream (digest/content/truncation).
+        // If our sender also already knows it failed, the sublink error
+        // path owns recovery; only a completed-but-unverified attempt
+        // triggers a retransfer here.
+        // If the sublink instead died mid-stream, the sender's own
+        // failure handling (or its watchdog) drives the reconnect — the
+        // sink outcome is just the other half of the same event.
+        if let Some(SenderState::Done) = self.sender.as_ref().map(BulkSender::state) {
+            if self.retransfers < self.cfg.max_retransfers {
+                self.retransfers += 1;
+                self.push_event(
+                    net,
+                    SessionEvent::Retransfer {
+                        attempt: self.retransfers,
+                    },
+                );
+                self.discard_sender(net);
+                self.start_attempt(net);
+            } else {
+                self.fail(net, SessionError::RetransfersExhausted);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let cfg = RecoveryConfig::default();
+        let mut delays = Vec::new();
+        for attempt in 1u32..=8 {
+            let exp = attempt.saturating_sub(1).min(16);
+            delays.push((cfg.backoff_base * 2u64.pow(exp)).min(cfg.backoff_cap));
+        }
+        assert_eq!(delays[0], Dur::from_millis(100));
+        assert_eq!(delays[1], Dur::from_millis(200));
+        assert_eq!(delays[2], Dur::from_millis(400));
+        assert_eq!(*delays.last().unwrap(), Dur::from_secs(5));
+        assert!(delays.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn timer_tokens_embed_tag_session_and_generation() {
+        // Two sessions on one node must never consume each other's
+        // timers: tokens differ in the session field.
+        let sid_a = SessionId(0x1111);
+        let sid_b = SessionId(0x2222);
+        let tok = |sid: SessionId, gen: u64| {
+            CLIENT_TIMER_TAG | (((sid.0 as u64) & 0x3fff_ffff) << 32) | (gen & 0xffff_ffff)
+        };
+        assert_ne!(tok(sid_a, 1), tok(sid_b, 1));
+        assert_ne!(tok(sid_a, 1), tok(sid_a, 2));
+        assert!(tok(sid_a, 1) & CLIENT_TIMER_TAG != 0);
+    }
+}

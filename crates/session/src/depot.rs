@@ -11,9 +11,11 @@
 use std::collections::{BTreeMap, VecDeque};
 
 use bytes::Bytes;
-use lsl_netsim::{Dur, NodeId};
+use lsl_netsim::{Dur, FaultKind, NodeId};
 use lsl_tcp::{AppEvent, Net, SockEvent, SockId, TcpConfig};
 
+use crate::client::CLIENT_TIMER_TAG;
+use crate::error::Handled;
 use crate::header::LslHeader;
 use crate::route::Hop;
 
@@ -48,6 +50,66 @@ impl Default for DepotConfig {
             setup_delay: Dur::ZERO,
             trace_downstream: None,
         }
+    }
+}
+
+impl DepotConfig {
+    /// Validated construction; see [`DepotConfigBuilder`].
+    pub fn builder() -> DepotConfigBuilder {
+        DepotConfigBuilder {
+            cfg: DepotConfig::default(),
+        }
+    }
+}
+
+/// Builder for [`DepotConfig`] that rejects nonsensical configurations
+/// at construction time instead of letting them produce a depot that
+/// silently never relays (a zero-byte relay buffer deadlocks every
+/// session on first contact).
+#[derive(Clone, Debug)]
+pub struct DepotConfigBuilder {
+    cfg: DepotConfig,
+}
+
+impl DepotConfigBuilder {
+    pub fn port(mut self, port: u16) -> Self {
+        self.cfg.port = port;
+        self
+    }
+
+    pub fn relay_buf(mut self, bytes: usize) -> Self {
+        self.cfg.relay_buf = bytes;
+        self
+    }
+
+    pub fn tcp(mut self, tcp: TcpConfig) -> Self {
+        self.cfg.tcp = tcp;
+        self
+    }
+
+    pub fn setup_delay(mut self, delay: Dur) -> Self {
+        self.cfg.setup_delay = delay;
+        self
+    }
+
+    pub fn trace_downstream(mut self, label: &str) -> Self {
+        self.cfg.trace_downstream = Some(label.to_string());
+        self
+    }
+
+    /// Validate and produce the config.
+    ///
+    /// # Panics
+    ///
+    /// On configurations that cannot work: a zero-byte relay buffer or
+    /// a port of 0 (the simulated stack has no wildcard bind).
+    pub fn build(self) -> DepotConfig {
+        assert!(
+            self.cfg.relay_buf > 0,
+            "depot relay buffer must be non-zero (a 0-byte buffer can never relay)"
+        );
+        assert!(self.cfg.port != 0, "depot port 0 is not bindable");
+        self.cfg
     }
 }
 
@@ -133,6 +195,9 @@ pub struct Depot {
     next_gen: u64,
     stats: DepotStats,
     finished_traces: Vec<lsl_trace::ConnTrace>,
+    /// The depot host is down: all socket state is gone; ignore events
+    /// until the restart fault brings a fresh stack.
+    crashed: bool,
 }
 
 impl Depot {
@@ -148,6 +213,7 @@ impl Depot {
             next_gen: 0,
             stats: DepotStats::default(),
             finished_traces: Vec::new(),
+            crashed: false,
         }
     }
 
@@ -174,26 +240,41 @@ impl Depot {
         self.relays.iter().flatten().count()
     }
 
-    /// Feed one event; returns `true` if it belonged to this depot.
-    pub fn handle(&mut self, net: &mut Net, ev: &AppEvent) -> bool {
+    /// Feed one event; [`Handled::Consumed`] means it was this depot's.
+    ///
+    /// Fault notifications are broadcast: the depot reacts to its own
+    /// host's crash/restart but still returns [`Handled::NotMine`] so
+    /// the driver keeps offering the fault to other components.
+    pub fn handle(&mut self, net: &mut Net, ev: &AppEvent) -> Handled {
         let AppEvent::Sock { sock, event } = ev else {
-            // Setup-delay timers carry a packed (gen, slot) token.
-            if let AppEvent::Timer { node, token } = ev {
-                if *node == self.node {
+            match ev {
+                // Setup-delay timers carry a packed (gen, slot) token.
+                // Client-tagged timers belong to a SessionClient that may
+                // live on this node; leave them alone.
+                AppEvent::Timer { node, token }
+                    if *node == self.node && token & CLIENT_TIMER_TAG == 0 =>
+                {
                     self.on_setup_timer(net, *token);
-                    return true;
+                    return Handled::Consumed;
                 }
+                AppEvent::Fault(f) => self.on_fault(net, f.kind),
+                _ => {}
             }
-            return false;
+            return Handled::NotMine;
         };
+        if self.crashed {
+            // Events for sockets that died with the host race the fault
+            // notification in the same poll batch; nothing to do.
+            return Handled::NotMine;
+        }
         if *sock == self.listener {
             if let SockEvent::Accepted { conn } = event {
                 self.on_accept(*conn);
             }
-            return true;
+            return Handled::Consumed;
         }
         let Some(&idx) = self.by_sock.get(sock) else {
-            return false;
+            return Handled::NotMine;
         };
         match event {
             SockEvent::Connected => self.on_down_connected(net, idx),
@@ -202,7 +283,31 @@ impl Depot {
             SockEvent::Error(_) => self.on_error(net, idx),
             SockEvent::Accepted { .. } => unreachable!("relay socket cannot accept"),
         }
-        true
+        Handled::Consumed
+    }
+
+    /// React to an injected fault on this depot's host.
+    fn on_fault(&mut self, net: &mut Net, kind: FaultKind) {
+        match kind {
+            FaultKind::NodeDown(n) if n == self.node => {
+                // The host crashed: every socket (listener and relays)
+                // vanished with the TCP stack. Drop the volatile relay
+                // state; peers discover via their own timers/RSTs.
+                self.stats.aborted += self.relays.iter().flatten().count() as u64;
+                self.relays.clear();
+                self.by_sock.clear();
+                self.crashed = true;
+            }
+            FaultKind::NodeUp(n) if n == self.node && self.crashed => {
+                // Restart: the `lsd` daemon comes back up with a fresh
+                // stack and re-binds its port. Relay state is not
+                // recovered — sessions in flight at the crash are lost
+                // and the *endpoints* recover them (end-to-end argument).
+                self.listener = net.listen(self.node, self.cfg.port, self.cfg.tcp.clone());
+                self.crashed = false;
+            }
+            _ => {}
+        }
     }
 
     fn on_accept(&mut self, conn: SockId) {

@@ -10,8 +10,9 @@ use std::collections::BTreeMap;
 use bytes::Bytes;
 use lsl_digest::Md5;
 use lsl_netsim::{NodeId, Time};
-use lsl_tcp::{AppEvent, Net, SockEvent, SockId, TcpConfig, TcpError};
+use lsl_tcp::{AppEvent, Net, SockEvent, SockId, TcpConfig};
 
+use crate::error::{Handled, SessionError, WireError};
 use crate::header::{LslHeader, HEADER_FLAG_DIGEST};
 use crate::id::SessionId;
 use crate::route::LslPath;
@@ -64,7 +65,7 @@ pub enum SenderState {
     AwaitingConfirm,
     Streaming,
     Done,
-    Failed(TcpError),
+    Failed(SessionError),
 }
 
 /// A bulk data source pushing `total` patterned bytes along `path`.
@@ -156,13 +157,31 @@ impl BulkSender {
         matches!(self.state, SenderState::Done | SenderState::Failed(_))
     }
 
-    /// Feed one event; returns `true` if it belonged to this sender.
-    pub fn handle(&mut self, net: &mut Net, ev: &AppEvent) -> bool {
+    /// Monotone progress metric for the recovery watchdog: bytes the
+    /// socket has accepted so far (header + payload + digest trailer).
+    pub fn progress(&self) -> u64 {
+        self.header_sent as u64 + self.sent + self.trailer_sent as u64
+    }
+
+    /// Tear the attempt down (recovery decided the sublink is dead):
+    /// abort the socket and record the typed cause.
+    pub fn fail(&mut self, net: &mut Net, err: SessionError) {
+        if !self.is_done() {
+            self.state = SenderState::Failed(err);
+            self.finished_at.get_or_insert(net.now());
+        }
+        net.abort(self.sock);
+    }
+
+    /// Feed one event; [`Handled::Consumed`] means it was this sender's.
+    pub fn handle(&mut self, net: &mut Net, ev: &AppEvent) -> Handled {
         let AppEvent::Sock { sock, event } = ev else {
-            return false;
+            // Timers belong to other components; fault notifications are
+            // broadcast and stay unconsumed by convention.
+            return Handled::NotMine;
         };
         if *sock != self.sock {
-            return false;
+            return Handled::NotMine;
         }
         match event {
             SockEvent::Connected => {
@@ -188,7 +207,7 @@ impl BulkSender {
             }
             SockEvent::Writable => self.pump(net),
             SockEvent::Error(e) => {
-                self.state = SenderState::Failed(*e);
+                self.state = SenderState::Failed(SessionError::Tcp(*e));
                 self.finished_at.get_or_insert(net.now());
             }
             SockEvent::Closed => {
@@ -196,7 +215,7 @@ impl BulkSender {
             }
             _ => {}
         }
-        true
+        Handled::Consumed
     }
 
     fn send_header(&mut self, net: &mut Net) {
@@ -257,21 +276,50 @@ impl BulkSender {
     }
 }
 
-/// Result of one completed inbound transfer at the sink.
+/// How one inbound transfer attempt ended at the sink.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TransferStatus {
+    /// Full stream received and every enabled check passed.
+    Complete,
+    /// The attempt failed for the given typed reason (replaces the old
+    /// opaque `SinkServer::errors` counter).
+    Failed(SessionError),
+}
+
+/// Result of one inbound transfer attempt at the sink — successful or
+/// not, every attempt yields exactly one outcome.
 #[derive(Clone, Debug)]
 pub struct TransferOutcome {
-    /// Session id (None for direct-TCP transfers).
+    /// Session id (None for direct-TCP transfers or pre-header failures).
     pub session: Option<SessionId>,
+    /// Typed disposition of the attempt.
+    pub status: TransferStatus,
     /// Payload bytes received (header and digest excluded).
     pub bytes: u64,
-    /// Digest verification result (None when no digest was sent).
+    /// Digest verification result (None when no digest was sent or the
+    /// stream died first).
     pub digest_ok: Option<bool>,
     /// Whether every payload byte matched the generator pattern.
     pub content_ok: bool,
     /// When the connection was accepted.
     pub accepted_at: Time,
-    /// When the stream completed (EOF/digest verified).
+    /// When the attempt ended (EOF/digest verified, or the failure).
     pub completed_at: Time,
+}
+
+impl TransferOutcome {
+    /// Did this attempt deliver a fully verified stream?
+    pub fn ok(&self) -> bool {
+        self.status == TransferStatus::Complete
+    }
+
+    /// The typed failure reason, if any.
+    pub fn failure(&self) -> Option<SessionError> {
+        match self.status {
+            TransferStatus::Complete => None,
+            TransferStatus::Failed(e) => Some(e),
+        }
+    }
 }
 
 enum SinkConnState {
@@ -295,13 +343,13 @@ struct SinkConn {
 
 /// A verifying sink server: accepts transfers (LSL-framed or raw TCP),
 /// checks the payload pattern and the trailing MD5 digest, and records a
-/// [`TransferOutcome`] per completed stream.
+/// [`TransferOutcome`] per stream — failed attempts included, each with
+/// its typed [`TransferStatus`].
 pub struct SinkServer {
     listener: SockId,
     expects_lsl: bool,
     conns: BTreeMap<SockId, SinkConn>,
-    completed: Vec<TransferOutcome>,
-    errors: u64,
+    outcomes: Vec<TransferOutcome>,
 }
 
 impl SinkServer {
@@ -317,27 +365,23 @@ impl SinkServer {
             listener,
             expects_lsl,
             conns: BTreeMap::new(),
-            completed: Vec::new(),
-            errors: 0,
+            outcomes: Vec::new(),
         }
     }
 
-    pub fn completed(&self) -> &[TransferOutcome] {
-        &self.completed
+    /// All recorded outcomes, failed attempts included.
+    pub fn outcomes(&self) -> &[TransferOutcome] {
+        &self.outcomes
     }
 
-    pub fn take_completed(&mut self) -> Vec<TransferOutcome> {
-        std::mem::take(&mut self.completed)
+    pub fn take_outcomes(&mut self) -> Vec<TransferOutcome> {
+        std::mem::take(&mut self.outcomes)
     }
 
-    pub fn errors(&self) -> u64 {
-        self.errors
-    }
-
-    /// Feed one event; returns `true` if it belonged to this sink.
-    pub fn handle(&mut self, net: &mut Net, ev: &AppEvent) -> bool {
+    /// Feed one event; [`Handled::Consumed`] means it was this sink's.
+    pub fn handle(&mut self, net: &mut Net, ev: &AppEvent) -> Handled {
         let AppEvent::Sock { sock, event } = ev else {
-            return false;
+            return Handled::NotMine;
         };
         if *sock == self.listener {
             if let SockEvent::Accepted { conn } = event {
@@ -360,24 +404,47 @@ impl SinkServer {
                     },
                 );
             }
-            return true;
+            return Handled::Consumed;
         }
         if !self.conns.contains_key(sock) {
-            return false;
+            return Handled::NotMine;
         }
         match event {
             SockEvent::Readable | SockEvent::PeerFin => self.drain(net, *sock),
-            SockEvent::Error(_) => {
-                self.errors += 1;
-                self.conns.remove(sock);
-            }
+            SockEvent::Error(e) => self.fail_conn(net, *sock, SessionError::Tcp(*e)),
             SockEvent::Closed => {
                 net.release(*sock);
                 self.conns.remove(sock);
             }
             _ => {}
         }
-        true
+        Handled::Consumed
+    }
+
+    /// Record a failed attempt as a typed outcome and drop the
+    /// connection state.
+    fn fail_conn(&mut self, net: &mut Net, sock: SockId, err: SessionError) {
+        let Some(conn) = self.conns.remove(&sock) else {
+            return;
+        };
+        let (session, bytes, content_ok) = match conn.state {
+            SinkConnState::ReadingHeader(_) => (None, 0, true),
+            SinkConnState::Body {
+                header,
+                received,
+                content_ok,
+                ..
+            } => (header.map(|h| h.session), received, content_ok),
+        };
+        self.outcomes.push(TransferOutcome {
+            session,
+            status: TransferStatus::Failed(err),
+            bytes,
+            digest_ok: None,
+            content_ok,
+            accepted_at: conn.accepted_at,
+            completed_at: net.now(),
+        });
     }
 
     fn drain(&mut self, net: &mut Net, sock: SockId) {
@@ -414,9 +481,8 @@ impl SinkServer {
                             Self::feed_body(&mut st, &leftover);
                             conn.state = st;
                         }
-                        Err(_) => {
-                            self.errors += 1;
-                            self.conns.remove(&sock);
+                        Err(e) => {
+                            self.fail_conn(net, sock, SessionError::Wire(e));
                             net.abort(sock);
                             return;
                         }
@@ -446,8 +512,21 @@ impl SinkServer {
                         }
                         _ => (received, None),
                     };
-                    self.completed.push(TransferOutcome {
+                    // Most-specific failure first: a short stream explains
+                    // a bad digest, a bad digest trumps a content scan.
+                    let declared = header.as_ref().map(|h| h.length).filter(|&l| l != u64::MAX);
+                    let status = if declared.is_some_and(|l| bytes < l) {
+                        TransferStatus::Failed(SessionError::TruncatedStream)
+                    } else if digest_ok == Some(false) {
+                        TransferStatus::Failed(SessionError::DigestMismatch)
+                    } else if !content_ok {
+                        TransferStatus::Failed(SessionError::ContentMismatch)
+                    } else {
+                        TransferStatus::Complete
+                    };
+                    self.outcomes.push(TransferOutcome {
                         session: header.as_ref().map(|h| h.session),
+                        status,
                         bytes,
                         digest_ok,
                         content_ok,
@@ -457,7 +536,17 @@ impl SinkServer {
                 }
                 SinkConnState::ReadingHeader(_) => {
                     // EOF mid-header.
-                    self.errors += 1;
+                    self.outcomes.push(TransferOutcome {
+                        session: None,
+                        status: TransferStatus::Failed(SessionError::Wire(
+                            WireError::TruncatedHeader,
+                        )),
+                        bytes: 0,
+                        digest_ok: None,
+                        content_ok: true,
+                        accepted_at: conn.accepted_at,
+                        completed_at: net.now(),
+                    });
                 }
             }
         }

@@ -20,6 +20,7 @@
 use bytes::{BufMut, Bytes, BytesMut};
 use lsl_netsim::NodeId;
 
+use crate::error::WireError;
 use crate::id::SessionId;
 use crate::route::Hop;
 
@@ -74,27 +75,31 @@ impl LslHeader {
     /// * `Ok(Some((header, consumed)))` — complete header parsed.
     /// * `Ok(None)` — need more bytes.
     /// * `Err(_)` — malformed (bad magic/version/hop count).
-    pub fn decode(buf: &[u8]) -> Result<Option<(LslHeader, usize)>, String> {
+    ///
+    /// `Ok(None)` means more bytes *may* complete the header; if the
+    /// stream ends instead, the caller reports
+    /// [`WireError::TruncatedHeader`].
+    pub fn decode(buf: &[u8]) -> Result<Option<(LslHeader, usize)>, WireError> {
         if buf.len() < FIXED_LEN {
             // Reject early on bad magic so garbage connections fail fast.
             let n = buf.len().min(4);
             if buf[..n] != MAGIC[..n] {
-                return Err("bad magic".into());
+                return Err(WireError::BadMagic);
             }
             return Ok(None);
         }
         if &buf[..4] != MAGIC {
-            return Err("bad magic".into());
+            return Err(WireError::BadMagic);
         }
         if buf[4] != VERSION {
-            return Err(format!("unsupported version {}", buf[4]));
+            return Err(WireError::UnsupportedVersion(buf[4]));
         }
         let flags = buf[5];
         let session = SessionId::from_bytes(buf[6..22].try_into().expect("16 bytes"));
         let length = u64::from_be_bytes(buf[22..30].try_into().expect("8 bytes"));
         let nhops = buf[30] as usize;
         if nhops > MAX_HOPS {
-            return Err(format!("route too long: {nhops}"));
+            return Err(WireError::RouteTooLong(buf[30]));
         }
         let total = FIXED_LEN + 6 * nhops;
         if buf.len() < total {
@@ -180,23 +185,29 @@ mod tests {
 
     #[test]
     fn bad_magic_rejected_early() {
-        assert!(LslHeader::decode(b"XXXX").is_err());
+        assert_eq!(LslHeader::decode(b"XXXX"), Err(WireError::BadMagic));
         assert!(LslHeader::decode(b"LS").is_ok()); // prefix still plausible
-        assert!(LslHeader::decode(b"LSX").is_err());
+        assert_eq!(LslHeader::decode(b"LSX"), Err(WireError::BadMagic));
     }
 
     #[test]
     fn bad_version_rejected() {
         let mut enc = header(0).encode().to_vec();
         enc[4] = 9;
-        assert!(LslHeader::decode(&enc).is_err());
+        assert_eq!(
+            LslHeader::decode(&enc),
+            Err(WireError::UnsupportedVersion(9))
+        );
     }
 
     #[test]
     fn oversized_route_rejected() {
         let mut enc = header(0).encode().to_vec();
         enc[30] = (MAX_HOPS + 1) as u8;
-        assert!(LslHeader::decode(&enc).is_err());
+        assert_eq!(
+            LslHeader::decode(&enc),
+            Err(WireError::RouteTooLong((MAX_HOPS + 1) as u8))
+        );
     }
 
     #[test]
@@ -238,6 +249,86 @@ mod proptests {
         #[test]
         fn decode_total(data in proptest::collection::vec(any::<u8>(), 0..256)) {
             let _ = LslHeader::decode(&data);
+        }
+
+        /// Every strict prefix of a valid encoding either asks for more
+        /// bytes or reports `BadMagic` (never a spurious later error, and
+        /// never a bogus parse).
+        #[test]
+        fn truncation_never_misparses(sid in any::<u128>(), length in any::<u64>(),
+                                      nhops in 0usize..MAX_HOPS,
+                                      cut_frac in 0.0f64..1.0) {
+            let h = LslHeader {
+                session: SessionId(sid),
+                flags: HEADER_FLAG_DIGEST,
+                length,
+                route: (0..nhops).map(|i| Hop::new(NodeId(i as u32), 7000)).collect(),
+            };
+            let enc = h.encode();
+            let cut = ((enc.len() as f64) * cut_frac) as usize; // < len
+            match LslHeader::decode(&enc[..cut]) {
+                Ok(None) => {}
+                Err(WireError::BadMagic) => prop_assert!(cut < 4),
+                other => prop_assert!(false, "prefix of len {cut} gave {other:?}"),
+            }
+        }
+
+        /// A single corrupted byte in the fixed part is either detected as
+        /// a typed wire error or yields a header that differs from the
+        /// original only where the flip landed in an unvalidated field —
+        /// never a panic, and magic/version/hop-count damage is always
+        /// caught.
+        #[test]
+        fn corruption_is_detected_or_contained(sid in any::<u128>(),
+                                               pos in 0usize..FIXED_LEN,
+                                               flip in 1u8..=255) {
+            let h = LslHeader {
+                session: SessionId(sid),
+                flags: 0,
+                length: 4096,
+                route: vec![Hop::new(NodeId(7), 7000)],
+            };
+            let mut enc = h.encode().to_vec();
+            enc[pos] ^= flip;
+            match (pos, LslHeader::decode(&enc)) {
+                (0..=3, res) => prop_assert_eq!(res, Err(WireError::BadMagic)),
+                (4, res) => prop_assert_eq!(res, Err(WireError::UnsupportedVersion(1 ^ flip))),
+                (30, res) => {
+                    // Hop count either exceeds MAX_HOPS (typed error) or the
+                    // parser waits for the longer route it now expects.
+                    let claimed = 1 ^ flip;
+                    if claimed as usize > MAX_HOPS {
+                        prop_assert_eq!(res, Err(WireError::RouteTooLong(claimed)));
+                    } else {
+                        prop_assert!(matches!(res, Ok(None)) || claimed as usize <= 1);
+                    }
+                }
+                (_, res) => {
+                    // Flags/session/length are opaque payload fields: the
+                    // header still parses, and differs from the original.
+                    let (dec, _) = res.unwrap().unwrap();
+                    prop_assert_ne!(dec, h);
+                }
+            }
+        }
+
+        /// `pop_hop` terminates: a route of n hops exhausts after exactly
+        /// n pops (hop exhaustion at the sink is a defined state, not an
+        /// error or a loop).
+        #[test]
+        fn pop_hop_exhausts_after_route_len(nhops in 0usize..=MAX_HOPS) {
+            let mut h = LslHeader {
+                session: SessionId(1),
+                flags: 0,
+                length: 0,
+                route: (0..nhops).map(|i| Hop::new(NodeId(i as u32), 7000)).collect(),
+            };
+            for left in (0..nhops).rev() {
+                let (_, next) = h.pop_hop().unwrap();
+                prop_assert_eq!(next.route.len(), left);
+                h = next;
+            }
+            prop_assert!(h.pop_hop().is_none());
         }
     }
 }

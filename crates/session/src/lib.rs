@@ -12,6 +12,10 @@
 //!
 //! Crate layout:
 //!
+//! * [`client`] — the recovering session endpoint (reconnect with
+//!   backoff, depot-route failover, retransfer, direct-TCP degradation),
+//! * [`error`] — typed wire/route/session errors, lifecycle
+//!   [`SessionEvent`]s and the [`Handled`] event-dispatch result,
 //! * [`header`] — the LSL wire header (magic, version, session id, loose
 //!   source route, length, digest flag) shared with `lsl-realnet`,
 //! * [`id`] — session identifiers,
@@ -23,16 +27,20 @@
 //!   selection and calibration,
 //! * [`path`] — NWS-forecast-driven depot/path selection.
 
+pub mod client;
 pub mod depot;
 pub mod endpoint;
+pub mod error;
 pub mod header;
 pub mod id;
 pub mod model;
 pub mod path;
 pub mod route;
 
-pub use depot::{Depot, DepotConfig, DepotStats};
-pub use endpoint::{BulkSender, SinkServer, TransferOutcome};
+pub use client::{ClientState, RecoveryConfig, SessionClient, CLIENT_TIMER_TAG};
+pub use depot::{Depot, DepotConfig, DepotConfigBuilder, DepotStats};
+pub use endpoint::{BulkSender, SenderState, SinkServer, TransferOutcome, TransferStatus};
+pub use error::{Handled, RouteError, SessionError, SessionEvent, WireError};
 pub use header::{LslHeader, HEADER_FLAG_DIGEST};
 pub use id::SessionId;
 pub use route::{Hop, LslPath};

@@ -2,6 +2,8 @@
 
 use lsl_netsim::NodeId;
 
+use crate::error::RouteError;
+
 /// One hop of an LSL route: a depot's (or the sink's) address.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct Hop {
@@ -48,7 +50,12 @@ impl LslPath {
 
     /// The loose source route carried in the LSL header of the *first*
     /// sublink: every hop after the first, ending with the destination.
+    /// Empty for a direct path — the first sublink's receiver *is* the
+    /// destination, so the sink sees no residual route.
     pub fn remaining_route(&self) -> Vec<Hop> {
+        if self.depots.is_empty() {
+            return Vec::new();
+        }
         let mut v: Vec<Hop> = self.depots.iter().skip(1).copied().collect();
         v.push(self.dst);
         v
@@ -61,11 +68,11 @@ impl LslPath {
 
     /// Validate: no node may appear twice (a routing loop) and the
     /// destination must not be a depot.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), RouteError> {
         let mut seen = std::collections::BTreeSet::new();
         for hop in self.depots.iter().chain(std::iter::once(&self.dst)) {
             if !seen.insert(hop.node) {
-                return Err(format!("node {:?} appears twice in route", hop.node));
+                return Err(RouteError::DuplicateNode(hop.node));
             }
         }
         Ok(())
@@ -85,7 +92,7 @@ mod tests {
         let p = LslPath::direct(hop(9));
         assert_eq!(p.num_sublinks(), 1);
         assert_eq!(p.first_hop(), hop(9));
-        assert_eq!(p.remaining_route(), vec![hop(9)]);
+        assert_eq!(p.remaining_route(), Vec::<Hop>::new());
         assert!(p.validate().is_ok());
     }
 
@@ -101,8 +108,8 @@ mod tests {
     #[test]
     fn loop_detected() {
         let p = LslPath::via(vec![hop(1), hop(1)], hop(9));
-        assert!(p.validate().is_err());
+        assert_eq!(p.validate(), Err(RouteError::DuplicateNode(NodeId(1))));
         let p2 = LslPath::via(vec![hop(9)], hop(9));
-        assert!(p2.validate().is_err());
+        assert_eq!(p2.validate(), Err(RouteError::DuplicateNode(NodeId(9))));
     }
 }

@@ -37,15 +37,15 @@ struct Harness {
 impl Harness {
     fn run(mut self) -> (Net, Vec<Depot>, SinkServer, BulkSender) {
         while let Some(ev) = self.net.poll() {
-            if self.sender.handle(&mut self.net, &ev) {
+            if self.sender.handle(&mut self.net, &ev).consumed() {
                 continue;
             }
-            if self.sink.handle(&mut self.net, &ev) {
+            if self.sink.handle(&mut self.net, &ev).consumed() {
                 continue;
             }
             let mut handled = false;
             for d in &mut self.depots {
-                if d.handle(&mut self.net, &ev) {
+                if d.handle(&mut self.net, &ev).consumed() {
                     handled = true;
                     break;
                 }
@@ -116,7 +116,7 @@ fn run_cascade(
     let (net, depots, mut sink, sender) = h.run();
     let dstats = depots.iter().map(|d| d.stats().clone()).collect();
     (
-        sink.take_completed(),
+        sink.take_outcomes(),
         dstats,
         sender.state(),
         net.now().as_secs_f64(),
@@ -225,8 +225,8 @@ fn depot_buffer_stays_bounded() {
         sender,
     }
     .run();
-    assert_eq!(sinksrv.completed().len(), 1);
-    assert_eq!(sinksrv.completed()[0].digest_ok, Some(true));
+    assert_eq!(sinksrv.outcomes().len(), 1);
+    assert_eq!(sinksrv.outcomes()[0].digest_ok, Some(true));
     assert!(
         depots[0].stats().max_buffered <= relay_buf,
         "relay buffered {} > cap {relay_buf}",
@@ -301,7 +301,7 @@ fn lsl_beats_direct_on_split_lossy_path_and_loses_when_tiny() {
             sender,
         }
         .run();
-        let done = sink.completed();
+        let done = sink.outcomes();
         assert_eq!(done.len(), 1);
         assert_eq!(done[0].bytes, total);
         assert!(done[0].content_ok);
@@ -365,15 +365,18 @@ fn concurrent_sessions_through_one_depot() {
         })
         .collect();
     while let Some(ev) = net.poll() {
-        if senders.iter_mut().any(|s| s.handle(&mut net, &ev)) {
+        if senders
+            .iter_mut()
+            .any(|s| s.handle(&mut net, &ev).consumed())
+        {
             continue;
         }
-        if sink.handle(&mut net, &ev) {
+        if sink.handle(&mut net, &ev).consumed() {
             continue;
         }
-        depot.handle(&mut net, &ev);
+        let _ = depot.handle(&mut net, &ev);
     }
-    let done = sink.take_completed();
+    let done = sink.take_outcomes();
     assert_eq!(done.len(), 4);
     let mut ids: Vec<u128> = done.iter().map(|o| o.session.unwrap().0).collect();
     ids.sort_unstable();

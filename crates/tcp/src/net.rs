@@ -4,7 +4,7 @@
 use std::collections::VecDeque;
 
 use bytes::Bytes;
-use lsl_netsim::{Dur, NodeId, Output, Simulator, Time};
+use lsl_netsim::{Dur, FaultEvent, FaultKind, NodeId, Output, Simulator, Time};
 use lsl_trace::ConnTrace;
 
 use crate::config::TcpConfig;
@@ -25,6 +25,10 @@ pub enum AppEvent {
     Sock { sock: SockId, event: SockEvent },
     /// An application timer armed via [`Net::set_app_timer`] fired.
     Timer { node: NodeId, token: u64 },
+    /// An installed fault fired. The TCP layer has already applied its
+    /// side (a crashed node's stack is wiped, a sublink RST aborts its
+    /// established connections); session layers react next.
+    Fault(FaultEvent),
 }
 
 /// Application timers are distinguished from internal TCP timers by the
@@ -232,6 +236,34 @@ impl Net {
                     }
                     self.stacks[node.0 as usize].on_timer(&mut self.sim, &mut self.scratch, token);
                     self.flush_scratch(node);
+                }
+                Output::Fault(ev) => {
+                    // Queue the fault before any socket events it causes,
+                    // so the application can interpret those in context.
+                    self.pending.push_back(AppEvent::Fault(ev));
+                    match ev.kind {
+                        FaultKind::NodeDown(n) => {
+                            // Volatile state dies with the host: no FINs, no
+                            // RSTs, no local events — peers discover the
+                            // crash through their own retransmission timers.
+                            self.stacks[n.0 as usize].crash(&mut self.sim);
+                        }
+                        FaultKind::NodeUp(_) => {
+                            // The stack was wiped at crash time; the host
+                            // restarts empty. Applications re-listen when
+                            // they see this event.
+                        }
+                        FaultKind::SublinkRst(n) => {
+                            // Abort every live connection on the node: RST
+                            // to each peer, local sockets closed.
+                            self.stacks[n.0 as usize]
+                                .abort_connections(&mut self.sim, &mut self.scratch);
+                            self.flush_scratch(n);
+                        }
+                        // Link faults are the simulator's own affair; TCP
+                        // discovers them through loss and RTO.
+                        FaultKind::LinkDown(_) | FaultKind::LinkUp(_) => {}
+                    }
                 }
             }
         }

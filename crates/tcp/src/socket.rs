@@ -435,6 +435,22 @@ impl Tcb {
         }
     }
 
+    /// Fault injection: the host died. Cancel pending sim timers (they
+    /// must not fire into a restarted stack) and silently forget the
+    /// connection — no RST, no FIN, no socket event.
+    pub(crate) fn crash(&mut self, sim: &mut Simulator) {
+        if let Some(h) = self.rto_timer.take() {
+            sim.cancel_timer(h);
+        }
+        if let Some(h) = self.delack_timer.take() {
+            sim.cancel_timer(h);
+        }
+        if let Some(h) = self.time_wait_timer.take() {
+            sim.cancel_timer(h);
+        }
+        self.state = TcpState::Closed;
+    }
+
     /// After the application reads, re-advertise the window if it opened
     /// substantially (RFC 1122's SWS avoidance on the receive side).
     fn maybe_window_update(&mut self, ctx: &mut Ctx) {

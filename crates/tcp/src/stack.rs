@@ -167,6 +167,41 @@ impl TcpStack {
         }
     }
 
+    /// Fault injection: the host crashed. All volatile TCP state vanishes
+    /// without emitting a single packet or socket event — surviving peers
+    /// find out via their own retransmission timers (or via RSTs from the
+    /// restarted, now-stateless host). Pending sim timers of dead TCBs
+    /// are cancelled so they cannot fire into the fresh incarnation.
+    pub fn crash(&mut self, sim: &mut Simulator) {
+        for sock in self.socks.iter_mut() {
+            if let Some(Sock::Conn(tcb)) = sock {
+                tcb.crash(sim);
+            }
+            *sock = None;
+        }
+        self.demux.clear();
+        self.listeners.clear();
+        self.next_ephemeral = EPHEMERAL_BASE;
+    }
+
+    /// Fault injection: abort every live connection (the paper's sublink
+    /// RST): each peer gets a RST, each local socket closes. Listeners
+    /// survive.
+    pub fn abort_connections(&mut self, sim: &mut Simulator, events: &mut Vec<(u32, SockEvent)>) {
+        let node = self.node;
+        for idx in 0..self.socks.len() {
+            if let Some(Sock::Conn(tcb)) = self.socks.get_mut(idx).and_then(Option::as_mut) {
+                let mut ctx = Ctx {
+                    sim,
+                    node,
+                    idx: idx as u32,
+                    events,
+                };
+                tcb.abort(&mut ctx);
+            }
+        }
+    }
+
     /// A packet addressed to this node arrived.
     pub fn on_packet(
         &mut self,

@@ -1,4 +1,6 @@
 //! Shared driver helpers for TCP integration tests.
+// Compiled once per test binary; not every binary reads every field.
+#![allow(dead_code)]
 
 use bytes::Bytes;
 use lsl_netsim::{Dur, LinkSpec, LossModel, NodeId, Topology, TopologyBuilder};
@@ -109,7 +111,7 @@ pub fn run_bulk_transfer(
                 }
                 _ => {}
             },
-            AppEvent::Timer { .. } => {}
+            AppEvent::Timer { .. } | AppEvent::Fault(_) => {}
         }
     }
     res

@@ -1,0 +1,197 @@
+//! Fault injection at the TCP layer: crashed stacks, sublink RSTs, and
+//! link flaps as seen through the socket API.
+
+mod common;
+
+use common::{pattern_chunk, test_cfg, two_hosts};
+use lsl_netsim::{Dur, FaultKind, FaultPlan, LossModel, NodeId, Time};
+use lsl_tcp::{AppEvent, Net, SockEvent, TcpConfig, TcpError, TcpState};
+
+fn t(ms: u64) -> Time {
+    Time::ZERO + Dur::from_millis(ms)
+}
+
+/// Short-retry config so failure detection fits in a small test.
+fn impatient_cfg() -> TcpConfig {
+    TcpConfig {
+        max_data_retries: 3,
+        max_syn_retries: 2,
+        ..test_cfg()
+    }
+}
+
+/// Drive the net to quiescence, recording errors and faults.
+fn drain(net: &mut Net) -> (Vec<TcpError>, Vec<FaultKind>) {
+    let mut errors = Vec::new();
+    let mut faults = Vec::new();
+    while let Some(ev) = net.poll() {
+        match ev {
+            AppEvent::Sock {
+                event: SockEvent::Error(e),
+                ..
+            } => errors.push(e),
+            AppEvent::Fault(f) => faults.push(f.kind),
+            _ => {}
+        }
+    }
+    (errors, faults)
+}
+
+#[test]
+fn peer_crash_times_out_the_sender() {
+    let (topo, a, c) = two_hosts(8_000_000, Dur::from_millis(5), LossModel::None);
+    let mut net = Net::new(topo.into_sim(1));
+    net.sim_mut()
+        .install_faults(FaultPlan::new().node_down(t(50), c));
+    let listener = net.listen(c, 80, impatient_cfg());
+    let client = net.connect(a, c, 80, impatient_cfg());
+    let mut connected = false;
+    let mut error = None;
+    while let Some(ev) = net.poll() {
+        match ev {
+            AppEvent::Sock { sock, event } if sock == client => match event {
+                SockEvent::Connected => {
+                    connected = true;
+                    // Keep the pipe full so the crash hits mid-stream.
+                    net.send(sock, &pattern_chunk(0, 1 << 20));
+                }
+                SockEvent::Writable => {
+                    net.send(sock, &pattern_chunk(0, 1 << 20));
+                }
+                SockEvent::Error(e) => error = Some(e),
+                _ => {}
+            },
+            _ => {}
+        }
+    }
+    let _ = listener;
+    assert!(connected);
+    assert_eq!(
+        error,
+        Some(TcpError::TimedOut),
+        "sender must detect the dead peer via RTO exhaustion"
+    );
+    assert_eq!(net.state(client), Some(TcpState::Closed));
+}
+
+#[test]
+fn connect_to_crashed_host_times_out() {
+    let (topo, a, c) = two_hosts(8_000_000, Dur::from_millis(5), LossModel::None);
+    let mut net = Net::new(topo.into_sim(2));
+    net.sim_mut()
+        .install_faults(FaultPlan::new().node_down(Time::ZERO, c));
+    let client = net.connect(a, c, 80, impatient_cfg());
+    let (errors, faults) = drain(&mut net);
+    assert_eq!(errors, vec![TcpError::TimedOut]);
+    assert_eq!(faults, vec![FaultKind::NodeDown(c)]);
+    assert_eq!(net.state(client), Some(TcpState::Closed));
+}
+
+#[test]
+fn restarted_host_resets_stale_connections() {
+    let (topo, a, c) = two_hosts(8_000_000, Dur::from_millis(5), LossModel::None);
+    let mut net = Net::new(topo.into_sim(3));
+    // Crash at 50 ms, restart 20 ms later: the sender's retransmits then
+    // hit a stateless stack, which answers RST → Reset error, well
+    // before RTO exhaustion would call it TimedOut.
+    net.sim_mut()
+        .install_faults(FaultPlan::new().node_crash(t(50), c, Dur::from_millis(20)));
+    let _listener = net.listen(c, 80, test_cfg());
+    let client = net.connect(a, c, 80, test_cfg());
+    let mut error = None;
+    while let Some(ev) = net.poll() {
+        match ev {
+            AppEvent::Sock { sock, event } if sock == client => match event {
+                SockEvent::Connected | SockEvent::Writable => {
+                    net.send(sock, &pattern_chunk(0, 1 << 20));
+                }
+                SockEvent::Error(e) => error = Some(e),
+                _ => {}
+            },
+            _ => {}
+        }
+    }
+    assert_eq!(error, Some(TcpError::Reset));
+}
+
+#[test]
+fn sublink_rst_aborts_established_connections() {
+    let (topo, a, c) = two_hosts(8_000_000, Dur::from_millis(5), LossModel::None);
+    let mut net = Net::new(topo.into_sim(4));
+    net.sim_mut()
+        .install_faults(FaultPlan::new().sublink_rst(t(50), c));
+    let _listener = net.listen(c, 80, test_cfg());
+    let client = net.connect(a, c, 80, test_cfg());
+    let mut client_error = None;
+    let mut server_closed = false;
+    while let Some(ev) = net.poll() {
+        match ev {
+            AppEvent::Sock { sock, event } if sock == client => match event {
+                SockEvent::Connected | SockEvent::Writable => {
+                    net.send(sock, &pattern_chunk(0, 1 << 20));
+                }
+                SockEvent::Error(e) => client_error = Some(e),
+                _ => {}
+            },
+            AppEvent::Sock {
+                event: SockEvent::Closed,
+                sock,
+            } if sock.node == c => server_closed = true,
+            _ => {}
+        }
+    }
+    assert_eq!(
+        client_error,
+        Some(TcpError::Reset),
+        "peer of a reset sublink sees a hard reset"
+    );
+    assert!(server_closed, "the reset side closes its socket locally");
+}
+
+#[test]
+fn transfer_rides_out_a_short_link_flap() {
+    let (topo, a, c) = two_hosts(8_000_000, Dur::from_millis(5), LossModel::None);
+    let mut net = Net::new(topo.into_sim(5));
+    // Both directions flap for 200 ms: well within RTO retry budget.
+    net.sim_mut().install_faults(
+        FaultPlan::new()
+            .link_flap(t(30), lsl_netsim::LinkId(0), Dur::from_millis(200))
+            .link_flap(t(30), lsl_netsim::LinkId(1), Dur::from_millis(200)),
+    );
+    let total: u64 = 1 << 20;
+    let res = common::run_bulk_transfer(&mut net, a, c, 80, total, test_cfg());
+    assert_eq!(res.received, total, "TCP recovers the outage via RTO");
+    assert!(res.client_error.is_none() && res.server_error.is_none());
+}
+
+#[test]
+fn crash_then_relisten_accepts_new_connections() {
+    let (topo, a, c) = two_hosts(8_000_000, Dur::from_millis(5), LossModel::None);
+    let mut net = Net::new(topo.into_sim(6));
+    net.sim_mut()
+        .install_faults(FaultPlan::new().node_crash(t(10), c, Dur::from_millis(10)));
+    let _old_listener = net.listen(c, 80, test_cfg());
+    let mut accepted = false;
+    let mut started = false;
+    while let Some(ev) = net.poll() {
+        match ev {
+            AppEvent::Fault(f) if f.kind == FaultKind::NodeUp(c) => {
+                // The restarted host re-binds and a late client dials in.
+                net.listen(c, 80, test_cfg());
+                net.connect(a, c, 80, test_cfg());
+                started = true;
+            }
+            AppEvent::Sock {
+                event: SockEvent::Accepted { .. },
+                ..
+            } => accepted = true,
+            AppEvent::Sock { sock, event }
+                if sock.node == NodeId(0) && event == SockEvent::Connected =>
+            {
+                net.close(sock);
+            }
+            _ => {}
+        }
+    }
+    assert!(started && accepted, "restart yields a usable fresh stack");
+}

@@ -96,6 +96,25 @@ pub fn series_points(s: &Series) -> &[(f64, f64)] {
     s.points()
 }
 
+/// Write a timestamped event timeline (a session's recovery lifecycle,
+/// a fault schedule) into `dir/<stem>.dat`: one `t  # label` row per
+/// event, gnuplot-comment-labelled so the file both plots as an impulse
+/// series and reads as a log. Rows must already be in time order.
+pub fn write_timeline_dat(
+    dir: impl AsRef<Path>,
+    stem: &str,
+    rows: &[(f64, String)],
+) -> io::Result<()> {
+    let dir = dir.as_ref();
+    fs::create_dir_all(dir)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "# {stem}: {} event(s)", rows.len());
+    for (t, label) in rows {
+        let _ = writeln!(out, "{t:.9}  # {label}");
+    }
+    fs::write(dir.join(format!("{stem}.dat")), out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -115,6 +134,21 @@ mod tests {
         assert!(text.contains("1.000000000 2.000000"));
         // Two index blocks separated by a blank line.
         assert!(text.contains("\n\n"));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn write_timeline_dat_is_ordered_and_labelled() {
+        let dir = std::env::temp_dir().join("lsl_trace_timeline_test");
+        let rows = vec![
+            (0.005, "Established".to_string()),
+            (1.000, "SublinkDown(Stalled)".to_string()),
+            (2.781, "Completed".to_string()),
+        ];
+        write_timeline_dat(&dir, "crash", &rows).unwrap();
+        let text = std::fs::read_to_string(dir.join("crash.dat")).unwrap();
+        assert!(text.starts_with("# crash: 3 event(s)\n"));
+        assert!(text.contains("1.000000000  # SublinkDown(Stalled)"));
         std::fs::remove_dir_all(dir).ok();
     }
 

@@ -1,0 +1,387 @@
+//! Fault-injection campaign: scripted failures against a recovering
+//! session.
+//!
+//! [`failover_case`] is a calibrated topology with **two** depot spurs
+//! off the backbone POP, so a [`SessionClient`] has a real failover
+//! target when its primary depot dies (the four `paths` cases are
+//! single-depot and can only demonstrate degradation). A
+//! [`FaultRunConfig`] pairs a transfer with a seeded
+//! [`FaultPlan`]; [`run_fault_transfer`] drives client, depots, and sink
+//! to quiescence and returns the typed recovery timeline.
+//!
+//! Three canned scenarios cover the acceptance matrix:
+//!
+//! * [`run_depot_crash`] — primary depot crashes mid-stream; the client
+//!   must fail over to the second depot route and the sink must still
+//!   verify the digest.
+//! * [`run_all_depots_down`] — both depots crash; the client must
+//!   degrade to the direct path and complete.
+//! * [`run_access_flap`] — the shared access link flaps for longer than
+//!   TCP's retry budget; the client must ride it out with reconnect
+//!   backoff.
+//! * [`run_sublink_rst`] — the client host's established connections are
+//!   reset mid-stream; the RST cascades depot→sink, so the sink logs a
+//!   typed failed attempt and the client reconnects on the same route.
+//!
+//! Everything here is a pure function of `(scenario, seed)`: the same
+//! seed yields a byte-identical [`FaultRunResult::fingerprint`].
+
+use lsl_netsim::{
+    Dur, FaultPlan, LinkId, LinkSpec, LossModel, NodeId, Time, Topology, TopologyBuilder,
+};
+use lsl_session::endpoint::SendMode;
+use lsl_session::{
+    ClientState, Depot, DepotConfig, Hop, LslPath, RecoveryConfig, SessionClient, SessionEvent,
+    SessionId, SinkServer, TransferOutcome,
+};
+use lsl_tcp::{Net, TcpConfig};
+
+use crate::paths::{DEPOT_PORT, SINK_PORT};
+
+/// A topology with redundant depots: `src — pop — dst` backbone with two
+/// depot spurs hanging off the POP.
+#[derive(Clone)]
+pub struct FailoverCase {
+    pub name: &'static str,
+    pub topo: Topology,
+    pub src: NodeId,
+    pub dst: NodeId,
+    /// Primary depot (first candidate route).
+    pub depot_a: NodeId,
+    /// Backup depot (second candidate route).
+    pub depot_b: NodeId,
+    /// Both directions of the src↔POP access link — the flap target that
+    /// takes *every* route down at once.
+    pub access_links: (LinkId, LinkId),
+}
+
+impl FailoverCase {
+    /// The ranked candidate routes: primary depot, then backup. The
+    /// direct path is *not* listed — [`RecoveryConfig::direct_fallback`]
+    /// appends it as the route of last resort.
+    pub fn routes(&self) -> Vec<LslPath> {
+        let dst = Hop::new(self.dst, SINK_PORT);
+        vec![
+            LslPath::via(vec![Hop::new(self.depot_a, DEPOT_PORT)], dst),
+            LslPath::via(vec![Hop::new(self.depot_b, DEPOT_PORT)], dst),
+        ]
+    }
+}
+
+/// Build the two-depot failover topology (link parameters modeled on
+/// `case1`, with enough backbone loss that the seed actually matters to
+/// packet-level timing — determinism tests need seeds to be observable).
+pub fn failover_case() -> FailoverCase {
+    let mut b = TopologyBuilder::new();
+    let src = b.node("src");
+    let pop = b.node("pop");
+    let dst = b.node("dst");
+    let depot_a = b.node("depot-a");
+    let depot_b = b.node("depot-b");
+
+    let access_links = b.duplex(
+        src,
+        pop,
+        LinkSpec::new(100_000_000, Dur::from_millis(1)).with_queue_bytes(2 << 20),
+    );
+    b.duplex(
+        pop,
+        dst,
+        LinkSpec::new(622_000_000, Dur::from_millis(13)).with_loss(LossModel::bernoulli(2e-3)),
+    );
+    b.duplex(
+        pop,
+        depot_a,
+        LinkSpec::new(1_000_000_000, Dur::from_micros(1500)),
+    );
+    b.duplex(
+        pop,
+        depot_b,
+        LinkSpec::new(1_000_000_000, Dur::from_micros(2000)),
+    );
+
+    FailoverCase {
+        name: "failover-two-depots",
+        topo: b.build(),
+        src,
+        dst,
+        depot_a,
+        depot_b,
+        access_links,
+    }
+}
+
+/// One fault run's parameters: a transfer plus its fault schedule.
+#[derive(Clone, Debug)]
+pub struct FaultRunConfig {
+    pub size: u64,
+    pub seed: u64,
+    pub plan: FaultPlan,
+    pub recovery: RecoveryConfig,
+    pub tcp: TcpConfig,
+}
+
+impl FaultRunConfig {
+    /// Defaults tuned for fault drills: an impatient TCP (a dead depot
+    /// should cost seconds, not Linux's minutes of SYN retries) and a
+    /// snappy watchdog so idle-dead sublinks are declared stalled fast.
+    pub fn new(size: u64, seed: u64, plan: FaultPlan) -> FaultRunConfig {
+        FaultRunConfig {
+            size,
+            seed,
+            plan,
+            recovery: RecoveryConfig {
+                max_reconnects: 1,
+                backoff_base: Dur::from_millis(200),
+                backoff_cap: Dur::from_secs(2),
+                progress_timeout: Some(Dur::from_millis(500)),
+                max_retransfers: 2,
+                direct_fallback: true,
+            },
+            tcp: TcpConfig {
+                time_wait: Dur::from_millis(1),
+                max_syn_retries: 2,
+                max_data_retries: 3,
+                // Small enough that multi-MB transfers are still
+                // mid-stream when a scheduled fault fires (a huge buffer
+                // absorbs the whole stream at connect time and the
+                // sender never *sees* the sublink die).
+                send_buf: 256 * 1024,
+                ..TcpConfig::default()
+            },
+        }
+    }
+
+    pub fn recovery(mut self, recovery: RecoveryConfig) -> FaultRunConfig {
+        self.recovery = recovery;
+        self
+    }
+}
+
+/// What a fault run produced: the client's terminal state, its
+/// timestamped recovery timeline, and every sink-side outcome (failed
+/// attempts included).
+#[derive(Debug)]
+pub struct FaultRunResult {
+    pub state: ClientState,
+    pub timeline: Vec<(Time, SessionEvent)>,
+    pub outcomes: Vec<TransferOutcome>,
+    /// Index into the candidate route list of the attempt that ended the
+    /// session (the direct fallback is the last index).
+    pub route_used: usize,
+    /// Session start to terminal state, seconds.
+    pub duration_s: f64,
+}
+
+impl FaultRunResult {
+    pub fn completed(&self) -> bool {
+        self.state == ClientState::Done
+    }
+
+    /// Did any timeline entry match?
+    pub fn saw(&self, pred: impl Fn(&SessionEvent) -> bool) -> bool {
+        self.timeline.iter().any(|(_, e)| pred(e))
+    }
+
+    /// The verified delivery, if the run completed.
+    pub fn delivery(&self) -> Option<&TransferOutcome> {
+        self.outcomes.iter().find(|o| o.ok())
+    }
+
+    /// A canonical rendering of the run — timeline and outcomes with
+    /// exact timestamps — for byte-identical determinism comparisons.
+    pub fn fingerprint(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        for (t, ev) in &self.timeline {
+            let _ = writeln!(s, "{t:?} {ev:?}");
+        }
+        for o in &self.outcomes {
+            let _ = writeln!(
+                s,
+                "outcome {:?} {:?} bytes={} digest={:?} at={:?}",
+                o.session, o.status, o.bytes, o.digest_ok, o.completed_at
+            );
+        }
+        let _ = writeln!(s, "state {:?} route {}", self.state, self.route_used);
+        s
+    }
+}
+
+/// Drive one faulted transfer to its terminal state.
+///
+/// Events are dispatched to client, sink, then depots; after every
+/// event, freshly minted sink outcomes are fed straight back to the
+/// client (so recovery reacts at the outcome's own timestamp, not at
+/// some later quiescence point). The network quiesces only once the
+/// client is terminal — anything else is a wedged driver.
+pub fn run_fault_transfer(case: &FailoverCase, cfg: &FaultRunConfig) -> FaultRunResult {
+    let mut sim = case.topo.into_sim(cfg.seed);
+    sim.install_faults(cfg.plan.clone());
+    let mut net = Net::new(sim);
+
+    let depot_cfg = DepotConfig::builder()
+        .port(DEPOT_PORT)
+        .tcp(cfg.tcp.clone())
+        .setup_delay(Dur::from_millis(5))
+        .build();
+    let mut depots = vec![
+        Depot::new(&mut net, case.depot_a, depot_cfg.clone()),
+        Depot::new(&mut net, case.depot_b, depot_cfg),
+    ];
+    let mut sink = SinkServer::new(&mut net, case.dst, SINK_PORT, true, cfg.tcp.clone());
+
+    let mut client = SessionClient::start(
+        &mut net,
+        case.src,
+        case.routes(),
+        SessionId(0xfa00 + cfg.seed as u128),
+        cfg.size,
+        SendMode::lsl(),
+        cfg.tcp.clone(),
+        cfg.recovery.clone(),
+        None,
+    );
+
+    let mut outcomes: Vec<TransferOutcome> = Vec::new();
+    while let Some(ev) = net.poll() {
+        let consumed =
+            client.handle(&mut net, &ev).consumed() || sink.handle(&mut net, &ev).consumed();
+        if !consumed {
+            for d in &mut depots {
+                if d.handle(&mut net, &ev).consumed() {
+                    break;
+                }
+            }
+        }
+        for o in sink.take_outcomes() {
+            if o.session == Some(client.session()) {
+                client.on_outcome(&mut net, &o);
+            }
+            outcomes.push(o);
+        }
+    }
+    assert!(
+        client.is_done(),
+        "fault run wedged: quiesced in state {:?} with {} outcomes at t={:?}",
+        client.state(),
+        outcomes.len(),
+        net.now()
+    );
+
+    let finished = client.finished_at.expect("terminal state has a timestamp");
+    FaultRunResult {
+        state: client.state(),
+        route_used: client.route_index(),
+        duration_s: (finished - client.started_at).as_secs_f64(),
+        timeline: client.take_events(),
+        outcomes,
+    }
+}
+
+/// Scenario (a): the primary depot crashes mid-stream and stays down.
+/// Expected: failover to the backup depot route, digest-verified
+/// completion.
+pub fn run_depot_crash(seed: u64) -> FaultRunResult {
+    let case = failover_case();
+    let plan = FaultPlan::new().node_down(Time::ZERO + Dur::from_millis(150), case.depot_a);
+    run_fault_transfer(&case, &FaultRunConfig::new(2 << 20, seed, plan))
+}
+
+/// Scenario (b): both depots crash before the stream gets going.
+/// Expected: degradation to the direct path, completion without any
+/// depot.
+pub fn run_all_depots_down(seed: u64) -> FaultRunResult {
+    let case = failover_case();
+    let plan = FaultPlan::new()
+        .node_down(Time::ZERO + Dur::from_millis(20), case.depot_a)
+        .node_down(Time::ZERO + Dur::from_millis(20), case.depot_b);
+    run_fault_transfer(&case, &FaultRunConfig::new(1 << 20, seed, plan))
+}
+
+/// Scenario (c): the shared access link flaps for 2.5 s — longer than
+/// the impatient TCP's retry budget, so the in-flight sublink aborts
+/// mid-outage, and every route is down until the link returns. Only
+/// reconnect persistence saves the session. Expected: completion after
+/// backoff-paced reconnects.
+pub fn run_access_flap(seed: u64) -> FaultRunResult {
+    let case = failover_case();
+    let outage = Dur::from_millis(2500);
+    let plan = FaultPlan::new()
+        .link_flap(
+            Time::ZERO + Dur::from_millis(100),
+            case.access_links.0,
+            outage,
+        )
+        .link_flap(
+            Time::ZERO + Dur::from_millis(100),
+            case.access_links.1,
+            outage,
+        );
+    let cfg = FaultRunConfig::new(2 << 20, seed, plan).recovery(RecoveryConfig {
+        max_reconnects: 3,
+        backoff_base: Dur::from_millis(300),
+        backoff_cap: Dur::from_secs(2),
+        progress_timeout: Some(Dur::from_millis(500)),
+        max_retransfers: 2,
+        direct_fallback: true,
+    });
+    run_fault_transfer(&case, &cfg)
+}
+
+/// Scenario (d): an abrupt reset of the client host's established
+/// connections mid-stream (the paper's "sublink RST"). The RST cascades
+/// through the depot to the sink — which records a *typed* failed
+/// attempt — while the depots stay healthy, so the client recovers by
+/// reconnecting over the same primary route. Expected: completion on
+/// route 0 after one reconnect, plus a `Failed(Tcp(_))` sink outcome.
+pub fn run_sublink_rst(seed: u64) -> FaultRunResult {
+    let case = failover_case();
+    let plan = FaultPlan::new().sublink_rst(Time::ZERO + Dur::from_millis(120), case.src);
+    run_fault_transfer(&case, &FaultRunConfig::new(2 << 20, seed, plan))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn failover_case_routes_everywhere() {
+        let c = failover_case();
+        let sim = c.topo.into_sim(1);
+        for (from, to) in [
+            (c.src, c.dst),
+            (c.src, c.depot_a),
+            (c.src, c.depot_b),
+            (c.depot_a, c.dst),
+            (c.depot_b, c.dst),
+            (c.dst, c.src),
+        ] {
+            assert!(sim.route(from, to).is_some(), "{}", c.name);
+        }
+    }
+
+    #[test]
+    fn candidate_routes_are_ranked_and_share_dst() {
+        let c = failover_case();
+        let routes = c.routes();
+        assert_eq!(routes.len(), 2);
+        assert_eq!(routes[0].depots[0].node, c.depot_a);
+        assert_eq!(routes[1].depots[0].node, c.depot_b);
+        assert_eq!(routes[0].dst, routes[1].dst);
+        assert!(routes.iter().all(|r| r.validate().is_ok()));
+    }
+
+    #[test]
+    fn no_faults_completes_on_primary_route() {
+        let case = failover_case();
+        let cfg = FaultRunConfig::new(1 << 20, 3, FaultPlan::new());
+        let r = run_fault_transfer(&case, &cfg);
+        assert!(r.completed(), "state {:?}", r.state);
+        assert_eq!(r.route_used, 0, "no fault should mean no failover");
+        assert!(!r.saw(|e| matches!(e, SessionEvent::SublinkDown(_))));
+        let d = r.delivery().expect("verified delivery");
+        assert_eq!(d.bytes, 1 << 20);
+        assert_eq!(d.digest_ok, Some(true));
+    }
+}

@@ -17,15 +17,22 @@
 //! [`runner`] executes one measured transfer (direct TCP or LSL) on a
 //! case and returns wall-clock timing plus the sender-side traces of
 //! every connection, exactly as the paper instruments its runs;
-//! [`sweep`] repeats across sizes/iterations and aggregates.
+//! [`sweep`] repeats across sizes/iterations and aggregates; [`faults`]
+//! drills the session recovery layer against scripted failures on a
+//! redundant-depot topology.
 
 pub mod campaign;
+pub mod faults;
 pub mod paths;
 pub mod report;
 pub mod runner;
 pub mod sweep;
 
 pub use campaign::{default_jobs, run_campaign};
+pub use faults::{
+    failover_case, run_access_flap, run_all_depots_down, run_depot_crash, run_fault_transfer,
+    run_sublink_rst, FailoverCase, FaultRunConfig, FaultRunResult,
+};
 pub use paths::{case1, case2, case3, case4, PathCase};
 pub use runner::{run_transfer, Mode, RunConfig, RunResult};
 pub use sweep::{sweep_sizes, sweep_sizes_jobs, SweepPoint};

@@ -33,30 +33,109 @@ pub struct RunConfig {
     pub depot_setup_delay: Dur,
     /// TCP configuration for every connection in the run.
     pub tcp: TcpConfig,
+    /// Port the depot listens on.
+    pub depot_port: u16,
+    /// Port the sink listens on.
+    pub sink_port: u16,
 }
 
 impl RunConfig {
-    pub fn new(size: u64, mode: Mode, seed: u64) -> RunConfig {
-        RunConfig {
-            size,
-            mode,
-            seed,
-            trace: false,
-            relay_buf: 256 * 1024,
-            // Calibrated so session setup dominates ≲1 MB transfers
-            // (Fig 5) while staying negligible for multi-MB ones.
-            depot_setup_delay: Dur::from_millis(40),
-            tcp: TcpConfig {
-                // Keep teardown snappy; it is outside the measured window.
-                time_wait: Dur::from_millis(1),
-                ..TcpConfig::default()
+    /// Validated construction; see [`RunConfigBuilder`].
+    pub fn builder(size: u64, mode: Mode) -> RunConfigBuilder {
+        RunConfigBuilder {
+            cfg: RunConfig {
+                size,
+                mode,
+                seed: 0,
+                trace: false,
+                relay_buf: 256 * 1024,
+                // Calibrated so session setup dominates ≲1 MB transfers
+                // (Fig 5) while staying negligible for multi-MB ones.
+                depot_setup_delay: Dur::from_millis(40),
+                tcp: TcpConfig {
+                    // Keep teardown snappy; it is outside the measured
+                    // window.
+                    time_wait: Dur::from_millis(1),
+                    ..TcpConfig::default()
+                },
+                depot_port: DEPOT_PORT,
+                sink_port: SINK_PORT,
             },
         }
+    }
+
+    #[deprecated(note = "use RunConfig::builder(size, mode).seed(seed).build()")]
+    pub fn new(size: u64, mode: Mode, seed: u64) -> RunConfig {
+        RunConfig::builder(size, mode).seed(seed).build()
     }
 
     pub fn with_trace(mut self) -> RunConfig {
         self.trace = true;
         self
+    }
+}
+
+/// Builder for [`RunConfig`] that rejects nonsensical runs at
+/// construction instead of panicking (or hanging) mid-experiment.
+#[derive(Clone, Debug)]
+pub struct RunConfigBuilder {
+    cfg: RunConfig,
+}
+
+impl RunConfigBuilder {
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    pub fn trace(mut self) -> Self {
+        self.cfg.trace = true;
+        self
+    }
+
+    pub fn relay_buf(mut self, bytes: usize) -> Self {
+        self.cfg.relay_buf = bytes;
+        self
+    }
+
+    pub fn depot_setup_delay(mut self, delay: Dur) -> Self {
+        self.cfg.depot_setup_delay = delay;
+        self
+    }
+
+    pub fn tcp(mut self, tcp: TcpConfig) -> Self {
+        self.cfg.tcp = tcp;
+        self
+    }
+
+    pub fn depot_port(mut self, port: u16) -> Self {
+        self.cfg.depot_port = port;
+        self
+    }
+
+    pub fn sink_port(mut self, port: u16) -> Self {
+        self.cfg.sink_port = port;
+        self
+    }
+
+    /// Validate and produce the config.
+    ///
+    /// # Panics
+    ///
+    /// On configurations that cannot produce a data point: zero transfer
+    /// size, a zero-byte relay buffer, or depot and sink sharing a port
+    /// (ambiguous when they share a host in custom cases).
+    pub fn build(self) -> RunConfig {
+        assert!(self.cfg.size > 0, "transfer size must be non-zero");
+        assert!(
+            self.cfg.relay_buf > 0,
+            "depot relay buffer must be non-zero (a 0-byte buffer can never relay)"
+        );
+        assert!(
+            self.cfg.depot_port != self.cfg.sink_port,
+            "depot and sink ports must differ"
+        );
+        self.cfg
     }
 }
 
@@ -88,7 +167,7 @@ pub fn run_transfer(case: &PathCase, cfg: &RunConfig) -> RunResult {
             &mut net,
             case.depot,
             DepotConfig {
-                port: DEPOT_PORT,
+                port: cfg.depot_port,
                 relay_buf: cfg.relay_buf,
                 tcp: cfg.tcp.clone(),
                 setup_delay: cfg.depot_setup_delay,
@@ -100,20 +179,20 @@ pub fn run_transfer(case: &PathCase, cfg: &RunConfig) -> RunResult {
     let mut sink = SinkServer::new(
         &mut net,
         case.dst,
-        SINK_PORT,
+        cfg.sink_port,
         cfg.mode == Mode::ViaDepot,
         cfg.tcp.clone(),
     );
     let (path, send_mode, label) = match cfg.mode {
         Mode::Direct => (
-            LslPath::direct(Hop::new(case.dst, SINK_PORT)),
+            LslPath::direct(Hop::new(case.dst, cfg.sink_port)),
             SendMode::DirectTcp,
             "direct",
         ),
         Mode::ViaDepot => (
             LslPath::via(
-                vec![Hop::new(case.depot, DEPOT_PORT)],
-                Hop::new(case.dst, SINK_PORT),
+                vec![Hop::new(case.depot, cfg.depot_port)],
+                Hop::new(case.dst, cfg.sink_port),
             ),
             SendMode::lsl(),
             "sublink1",
@@ -132,14 +211,14 @@ pub fn run_transfer(case: &PathCase, cfg: &RunConfig) -> RunResult {
     let started = sender.started_at;
 
     while let Some(ev) = net.poll() {
-        if sender.handle(&mut net, &ev) {
+        if sender.handle(&mut net, &ev).consumed() {
             continue;
         }
-        if sink.handle(&mut net, &ev) {
+        if sink.handle(&mut net, &ev).consumed() {
             continue;
         }
         if let Some(d) = &mut depot {
-            d.handle(&mut net, &ev);
+            let _ = d.handle(&mut net, &ev);
         }
     }
 
@@ -151,14 +230,17 @@ pub fn run_transfer(case: &PathCase, cfg: &RunConfig) -> RunResult {
         cfg.seed,
         cfg.size
     );
-    let outcomes = sink.take_completed();
-    assert_eq!(outcomes.len(), 1, "expected exactly one completed transfer");
+    let outcomes = sink.take_outcomes();
+    assert_eq!(outcomes.len(), 1, "expected exactly one transfer outcome");
     let out = &outcomes[0];
+    assert!(
+        out.ok(),
+        "transfer failed on {} seed {}: {:?}",
+        case.name,
+        cfg.seed,
+        out.status
+    );
     assert_eq!(out.bytes, cfg.size, "sink byte count mismatch");
-    assert!(out.content_ok, "payload corruption detected");
-    if let Some(ok) = out.digest_ok {
-        assert!(ok, "MD5 digest mismatch");
-    }
 
     let duration_s = (out.completed_at - started).as_secs_f64();
     let trace_first = cfg.trace.then(|| net.take_trace(sender.sock())).flatten();
@@ -191,7 +273,10 @@ mod tests {
         let case = case1();
         let r = run_transfer(
             &case,
-            &RunConfig::new(256 * 1024, Mode::Direct, 1).with_trace(),
+            &RunConfig::builder(256 * 1024, Mode::Direct)
+                .seed(1)
+                .trace()
+                .build(),
         );
         assert!(r.duration_s > 0.0);
         assert!(r.goodput_bps > 0.0);
@@ -206,7 +291,10 @@ mod tests {
         let case = case1();
         let r = run_transfer(
             &case,
-            &RunConfig::new(256 * 1024, Mode::ViaDepot, 1).with_trace(),
+            &RunConfig::builder(256 * 1024, Mode::ViaDepot)
+                .seed(1)
+                .trace()
+                .build(),
         );
         assert_eq!(r.digest_ok, Some(true));
         let t1 = r.trace_first.expect("sublink1 trace");
@@ -223,8 +311,18 @@ mod tests {
     #[test]
     fn same_seed_reproduces_exactly() {
         let case = case1();
-        let a = run_transfer(&case, &RunConfig::new(512 * 1024, Mode::ViaDepot, 7));
-        let b = run_transfer(&case, &RunConfig::new(512 * 1024, Mode::ViaDepot, 7));
+        let a = run_transfer(
+            &case,
+            &RunConfig::builder(512 * 1024, Mode::ViaDepot)
+                .seed(7)
+                .build(),
+        );
+        let b = run_transfer(
+            &case,
+            &RunConfig::builder(512 * 1024, Mode::ViaDepot)
+                .seed(7)
+                .build(),
+        );
         assert_eq!(a.duration_s, b.duration_s);
     }
 }

@@ -53,7 +53,9 @@ pub fn sweep_sizes_jobs(
     let samples: Vec<f64> = run_campaign(total, jobs, |k| {
         let size = sizes[k / iterations.max(1)];
         let i = k % iterations.max(1);
-        let cfg = RunConfig::new(size, mode, seed_base + i as u64);
+        let cfg = RunConfig::builder(size, mode)
+            .seed(seed_base + i as u64)
+            .build();
         run_transfer(case, &cfg).goodput_bps
     });
     sizes

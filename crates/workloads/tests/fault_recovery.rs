@@ -1,0 +1,128 @@
+//! Acceptance scenarios for the fault-injection + recovery stack
+//! (ISSUE 4): depot crash → failover, total depot loss → degraded
+//! direct TCP, access flap → reconnect persistence, and byte-identical
+//! fault traces under a fixed seed.
+
+use lsl_session::{SessionError, SessionEvent, TransferStatus};
+use lsl_workloads::{run_access_flap, run_all_depots_down, run_depot_crash, run_sublink_rst};
+
+#[test]
+fn depot_crash_fails_over_and_verifies_digest() {
+    let r = run_depot_crash(7);
+    assert!(r.completed(), "state {:?}\n{}", r.state, r.fingerprint());
+
+    // The primary depot died *silently* (a crash sends no RST), so the
+    // loss must have been detected by the watchdog or a TCP timeout and
+    // reported with its typed reason; the client then failed over to the
+    // backup depot route (index 1) — not degraded to direct TCP.
+    assert!(r.saw(|e| matches!(
+        e,
+        SessionEvent::SublinkDown(SessionError::Stalled | SessionError::Tcp(_))
+    )));
+    assert!(r.saw(|e| matches!(e, SessionEvent::FailedOver { route: 1 })));
+    assert!(!r.saw(|e| matches!(e, SessionEvent::Degraded)));
+    assert_eq!(r.route_used, 1);
+
+    // End-to-end integrity held across the failover: the verified
+    // delivery carries the full byte count and a passing digest.
+    let d = r.delivery().expect("verified delivery");
+    assert_eq!(d.bytes, 2 << 20);
+    assert_eq!(d.digest_ok, Some(true));
+    assert!(d.content_ok);
+}
+
+#[test]
+fn sublink_rst_reconnects_and_sink_logs_typed_failure() {
+    let r = run_sublink_rst(7);
+    assert!(r.completed(), "state {:?}\n{}", r.state, r.fingerprint());
+
+    // The RST killed only the connections, not the depots: recovery is a
+    // reconnect over the *same* primary route, no failover needed.
+    assert!(r.saw(|e| matches!(
+        e,
+        SessionEvent::SublinkDown(SessionError::Tcp(_) | SessionError::Stalled)
+    )));
+    assert!(r.saw(|e| matches!(e, SessionEvent::Reconnecting { attempt: 1, .. })));
+    assert!(!r.saw(|e| matches!(e, SessionEvent::FailedOver { .. })));
+    assert_eq!(r.route_used, 0);
+
+    // The reset cascaded depot → sink, so the dead attempt surfaced at
+    // the sink as a *typed* failure — not the old opaque error counter.
+    assert!(r
+        .outcomes
+        .iter()
+        .any(|o| matches!(o.status, TransferStatus::Failed(SessionError::Tcp(_)))));
+    assert_eq!(
+        r.delivery().expect("verified delivery").digest_ok,
+        Some(true)
+    );
+}
+
+#[test]
+fn all_depots_down_degrades_to_direct_tcp() {
+    let r = run_all_depots_down(7);
+    assert!(r.completed(), "state {:?}\n{}", r.state, r.fingerprint());
+
+    // Both depot routes were exhausted before the client fell back.
+    assert!(r.saw(|e| matches!(e, SessionEvent::FailedOver { route: 1 })));
+    assert!(r.saw(|e| matches!(e, SessionEvent::Degraded)));
+    // The direct fallback is appended after the two depot routes.
+    assert_eq!(r.route_used, 2);
+
+    // Degraded mode still speaks LSL framing end-to-end, so the digest
+    // is verified even without a depot.
+    let d = r.delivery().expect("verified delivery");
+    assert_eq!(d.bytes, 1 << 20);
+    assert_eq!(d.digest_ok, Some(true));
+}
+
+#[test]
+fn access_flap_recovers_by_reconnecting() {
+    let r = run_access_flap(7);
+    assert!(r.completed(), "state {:?}\n{}", r.state, r.fingerprint());
+
+    // The outage took every route down at once; completion must have
+    // come through backoff-paced reconnects, with the stall watchdog
+    // (not TCP give-up) detecting the dead sublink.
+    assert!(r.saw(|e| matches!(e, SessionEvent::Reconnecting { .. })));
+    assert!(r.saw(|e| matches!(
+        e,
+        SessionEvent::SublinkDown(SessionError::Stalled | SessionError::Tcp(_))
+    )));
+    let d = r.delivery().expect("verified delivery");
+    assert_eq!(d.digest_ok, Some(true));
+}
+
+#[test]
+fn same_seed_fault_runs_are_byte_identical() {
+    let a = run_depot_crash(42);
+    let b = run_depot_crash(42);
+    assert_eq!(
+        a.fingerprint(),
+        b.fingerprint(),
+        "same seed must replay the same recovery, event for event"
+    );
+
+    // And the seed is load-bearing: a different seed shifts packet-level
+    // timing, so the trace differs even though the scenario is the same.
+    let c = run_depot_crash(43);
+    assert_ne!(a.fingerprint(), c.fingerprint());
+    assert!(c.completed());
+}
+
+#[test]
+fn recovery_timeline_is_ordered_and_complete() {
+    let r = run_depot_crash(11);
+    // Timestamps never go backwards.
+    assert!(r.timeline.windows(2).all(|w| w[0].0 <= w[1].0));
+    // Lifecycle bookends: an Established first, a Completed last.
+    assert!(matches!(
+        r.timeline.first(),
+        Some((_, SessionEvent::Established))
+    ));
+    assert!(matches!(
+        r.timeline.last(),
+        Some((_, SessionEvent::Completed))
+    ));
+    assert!(r.duration_s > 0.0);
+}

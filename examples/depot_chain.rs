@@ -99,17 +99,17 @@ fn run(n_depots: usize, seed: u64) -> f64 {
     );
     let started = sender.started_at;
     while let Some(ev) = net.poll() {
-        if sender.handle(&mut net, &ev) || sink.handle(&mut net, &ev) {
+        if sender.handle(&mut net, &ev).consumed() || sink.handle(&mut net, &ev).consumed() {
             continue;
         }
         for d in &mut depots {
-            if d.handle(&mut net, &ev) {
+            if d.handle(&mut net, &ev).consumed() {
                 break;
             }
         }
     }
     assert_eq!(sender.state(), SenderState::Done);
-    let done = sink.take_completed();
+    let done = sink.take_outcomes();
     assert_eq!(done.len(), 1);
     assert_eq!(done[0].bytes, size);
     size as f64 * 8.0 / (done[0].completed_at - started).as_secs_f64()

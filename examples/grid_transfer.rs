@@ -31,7 +31,10 @@ fn main() {
         // gives bandwidth.
         let direct = run_transfer(
             &case,
-            &RunConfig::new(probe_size, Mode::Direct, 500 + i).with_trace(),
+            &RunConfig::builder(probe_size, Mode::Direct)
+                .seed(500 + i)
+                .trace()
+                .build(),
         );
         let t = direct.trace_first.as_ref().expect("traced");
         if let Some(rtt) = trace::mean_rtt(t) {
@@ -42,7 +45,10 @@ fn main() {
         // Depot probe: per-sublink RTTs from the two captured traces.
         let lsl = run_transfer(
             &case,
-            &RunConfig::new(probe_size, Mode::ViaDepot, 500 + i).with_trace(),
+            &RunConfig::builder(probe_size, Mode::ViaDepot)
+                .seed(500 + i)
+                .trace()
+                .build(),
         );
         let s1 = lsl.trace_first.as_ref().expect("sublink1");
         let s2 = lsl.trace_second.as_ref().expect("sublink2");
@@ -103,7 +109,7 @@ fn main() {
     };
 
     // --- 3. Run the chosen path ---------------------------------------
-    let result = run_transfer(&case, &RunConfig::new(size, mode, 999));
+    let result = run_transfer(&case, &RunConfig::builder(size, mode).seed(999).build());
     println!(
         "\nChosen: {} sublinks → measured {:.2} Mbit/s in {:.2}s (predicted {:.2} Mbit/s)",
         winner.path.num_sublinks(),

@@ -23,7 +23,10 @@ fn main() {
         let iters = 3u64;
         let mean = |mode| -> f64 {
             (0..iters)
-                .map(|i| run_transfer(&case, &RunConfig::new(size, mode, 100 + i)).goodput_bps)
+                .map(|i| {
+                    run_transfer(&case, &RunConfig::builder(size, mode).seed(100 + i).build())
+                        .goodput_bps
+                })
                 .sum::<f64>()
                 / iters as f64
         };

@@ -21,11 +21,17 @@ fn main() {
     // RTT decomposition, as in the paper's Fig 9.
     let traced = run_transfer(
         &case,
-        &RunConfig::new(4 << 20, Mode::ViaDepot, 7).with_trace(),
+        &RunConfig::builder(4 << 20, Mode::ViaDepot)
+            .seed(7)
+            .trace()
+            .build(),
     );
     let direct_traced = run_transfer(
         &case,
-        &RunConfig::new(4 << 20, Mode::Direct, 7).with_trace(),
+        &RunConfig::builder(4 << 20, Mode::Direct)
+            .seed(7)
+            .trace()
+            .build(),
     );
     let rtt_ms = |t: &Option<trace::ConnTrace>| {
         t.as_ref()
@@ -56,7 +62,10 @@ fn main() {
     for &size in &[1u64 << 20, 4 << 20, 16 << 20] {
         let mean = |mode| -> f64 {
             (0..iters)
-                .map(|i| run_transfer(&case, &RunConfig::new(size, mode, 40 + i)).goodput_bps)
+                .map(|i| {
+                    run_transfer(&case, &RunConfig::builder(size, mode).seed(40 + i).build())
+                        .goodput_bps
+                })
                 .sum::<f64>()
                 / iters as f64
         };

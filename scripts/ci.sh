@@ -23,6 +23,12 @@ cargo test -q --workspace
 echo "==> cargo test --features invariants (runtime invariant auditor)"
 cargo test -q --features invariants
 
+echo "==> fault campaign smoke (1 depot crash + 1 link flap)"
+# End-to-end proof that fault injection, typed session errors, and the
+# recovery layer still compose: a depot crash must fail over and verify
+# the digest; an access-link flap must be survived by reconnect backoff.
+cargo run -q -p lsl-bench --bin faults -- --smoke
+
 echo "==> bench smoke (BENCH_netsim.json shape)"
 # BENCH_OUT keeps the smoke run from clobbering the committed
 # full-measurement BENCH_netsim.json at the repo root.

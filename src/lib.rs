@@ -31,8 +31,8 @@
 //!
 //! // One 256 KB transfer on the UCSB→UIUC case, direct vs via the depot.
 //! let case = case1();
-//! let direct = run_transfer(&case, &RunConfig::new(256 << 10, Mode::Direct, 1));
-//! let lsl = run_transfer(&case, &RunConfig::new(256 << 10, Mode::ViaDepot, 1));
+//! let direct = run_transfer(&case, &RunConfig::builder(256 << 10, Mode::Direct).seed(1).build());
+//! let lsl = run_transfer(&case, &RunConfig::builder(256 << 10, Mode::ViaDepot).seed(1).build());
 //! assert!(direct.goodput_bps > 0.0 && lsl.goodput_bps > 0.0);
 //! ```
 

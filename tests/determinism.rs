@@ -36,7 +36,10 @@ fn render(trace: Option<&ConnTrace>) -> String {
 }
 
 fn run_rendered(mode: Mode, seed: u64) -> String {
-    let res = run_transfer(&case1(), &RunConfig::new(1 << 20, mode, seed).with_trace());
+    let res = run_transfer(
+        &case1(),
+        &RunConfig::builder(1 << 20, mode).seed(seed).trace().build(),
+    );
     format!(
         "duration={:.9}\ngoodput={:.6}\nretx={}\n{}{}",
         res.duration_s,
@@ -66,7 +69,10 @@ fn different_seeds_diverge_on_a_lossy_path() {
     let run = |seed| {
         let res = run_transfer(
             &case3(),
-            &RunConfig::new(4 << 20, Mode::Direct, seed).with_trace(),
+            &RunConfig::builder(4 << 20, Mode::Direct)
+                .seed(seed)
+                .trace()
+                .build(),
         );
         render(res.trace_first.as_ref())
     };

@@ -46,11 +46,17 @@ fn case1_trace_rtts_match_paper_shape() {
     let case = case1();
     let lsl = run_transfer(
         &case,
-        &RunConfig::new(2 << 20, Mode::ViaDepot, 5).with_trace(),
+        &RunConfig::builder(2 << 20, Mode::ViaDepot)
+            .seed(5)
+            .trace()
+            .build(),
     );
     let direct = run_transfer(
         &case,
-        &RunConfig::new(2 << 20, Mode::Direct, 5).with_trace(),
+        &RunConfig::builder(2 << 20, Mode::Direct)
+            .seed(5)
+            .trace()
+            .build(),
     );
     let s1 = trace::mean_rtt(lsl.trace_first.as_ref().unwrap()).unwrap() * 1e3;
     let s2 = trace::mean_rtt(lsl.trace_second.as_ref().unwrap()).unwrap() * 1e3;
@@ -112,7 +118,9 @@ fn case4_goodput_grows_with_size() {
 #[test]
 fn whole_stack_determinism() {
     let case = case1();
-    let cfg = RunConfig::new(3 << 20, Mode::ViaDepot, 123);
+    let cfg = RunConfig::builder(3 << 20, Mode::ViaDepot)
+        .seed(123)
+        .build();
     let a = run_transfer(&case, &cfg);
     let b = run_transfer(&case, &cfg);
     assert_eq!(a.duration_s, b.duration_s);
@@ -127,11 +135,17 @@ fn model_and_simulation_agree_on_sign() {
     // Trace-calibrate the model inputs.
     let lsl = run_transfer(
         &case,
-        &RunConfig::new(2 << 20, Mode::ViaDepot, 9).with_trace(),
+        &RunConfig::builder(2 << 20, Mode::ViaDepot)
+            .seed(9)
+            .trace()
+            .build(),
     );
     let direct = run_transfer(
         &case,
-        &RunConfig::new(2 << 20, Mode::Direct, 9).with_trace(),
+        &RunConfig::builder(2 << 20, Mode::Direct)
+            .seed(9)
+            .trace()
+            .build(),
     );
     let rtt1 = trace::mean_rtt(lsl.trace_first.as_ref().unwrap()).unwrap();
     let rtt2 = trace::mean_rtt(lsl.trace_second.as_ref().unwrap()).unwrap();
@@ -159,7 +173,10 @@ fn model_and_simulation_agree_on_sign() {
 #[test]
 fn digests_verify_on_all_cases() {
     for case in [case1(), case2(), case3(), case4()] {
-        let r = run_transfer(&case, &RunConfig::new(1 << 20, Mode::ViaDepot, 77));
+        let r = run_transfer(
+            &case,
+            &RunConfig::builder(1 << 20, Mode::ViaDepot).seed(77).build(),
+        );
         assert_eq!(r.digest_ok, Some(true), "{}", case.name);
     }
 }

@@ -5,14 +5,17 @@
 #![cfg(feature = "invariants")]
 
 use lsl_netsim::invariants;
-use lsl_workloads::{case1, case3, run_transfer, Mode, RunConfig};
+use lsl_workloads::{
+    case1, case3, run_access_flap, run_all_depots_down, run_depot_crash, run_sublink_rst,
+    run_transfer, Mode, RunConfig,
+};
 
 #[test]
 fn transfers_run_clean_under_the_invariant_auditor() {
     let _ = invariants::take(); // isolate from anything earlier on this thread
     for case in [case1(), case3()] {
         for mode in [Mode::Direct, Mode::ViaDepot] {
-            let res = run_transfer(&case, &RunConfig::new(2 << 20, mode, 7));
+            let res = run_transfer(&case, &RunConfig::builder(2 << 20, mode).seed(7).build());
             assert!(res.goodput_bps > 0.0);
             let v = invariants::take();
             assert!(
@@ -22,6 +25,29 @@ fn transfers_run_clean_under_the_invariant_auditor() {
                 lsl_trace::violations::report(&v)
             );
         }
+    }
+}
+
+#[test]
+fn fault_scenarios_run_clean_under_the_invariant_auditor() {
+    // Crashes, flaps, and resets stress exactly the teardown paths the
+    // structural checks guard (queue flushes, socket aborts, relay
+    // cleanup) — recovery must not leave the registry dirty.
+    let _ = invariants::take();
+    for (name, run) in [
+        ("depot-crash", run_depot_crash as fn(u64) -> _),
+        ("all-depots-down", run_all_depots_down),
+        ("access-flap", run_access_flap),
+        ("sublink-rst", run_sublink_rst),
+    ] {
+        let r: lsl_workloads::FaultRunResult = run(7);
+        assert!(r.completed(), "{name}: {:?}", r.state);
+        let v = invariants::take();
+        assert!(
+            v.is_empty(),
+            "scenario {name}:\n{}",
+            lsl_trace::violations::report(&v)
+        );
     }
 }
 
