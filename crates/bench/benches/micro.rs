@@ -137,6 +137,7 @@ fn bench_codecs(b: &Bench) {
         session: SessionId(42),
         flags: 1,
         length: 64 << 20,
+        resume: None,
         route: vec![Hop::new(NodeId(1), 7001), Hop::new(NodeId(2), 5001)],
     };
     b.run("lsl_header_encode_decode", None, || {

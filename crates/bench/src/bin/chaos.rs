@@ -1,0 +1,122 @@
+//! Chaos-storm soak driver: fan seeded random fault storms across the
+//! failover topology, check the per-run contract, and shrink any
+//! failure to a minimal reproducing drill.
+//!
+//! ```text
+//! cargo run -p lsl-bench --release --bin chaos                  # 64 seeds
+//! cargo run -p lsl-bench --release --bin chaos -- --smoke       # CI gate: 8 seeds
+//! cargo run -p lsl-bench --release --bin chaos -- --seeds 256 --jobs 8
+//! ```
+//!
+//! Per seed: one summary row (terminal state, route, storm atoms, fault
+//! kinds, resume offset, duration). Exports `results/chaos_outcomes.dat`
+//! (per-seed duration + resume curves) and `results/chaos_timeline.dat`
+//! (the recovery timeline of the first storm that resumed). A contract
+//! violation shrinks the storm to a 1-minimal atom subset and prints it
+//! as a paste-able `FaultPlan` drill, then exits non-zero.
+
+use lsl_session::SessionEvent;
+use lsl_trace::export::{write_dat, write_timeline_dat};
+use lsl_workloads::{default_jobs, run_chaos_campaign, shrink_chaos_run, ChaosConfig, ChaosRun};
+
+fn resumed_offset(r: &ChaosRun) -> Option<u64> {
+    r.timeline.iter().find_map(|(_, e)| match e {
+        SessionEvent::Resumed { offset, .. } => Some(*offset),
+        _ => None,
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let mut seeds: usize = if smoke { 8 } else { 64 };
+    let mut jobs = default_jobs();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let parse = |v: Option<&String>, what: &str| {
+            v.and_then(|v| v.parse::<usize>().ok())
+                .filter(|&n| n >= 1)
+                .unwrap_or_else(|| {
+                    eprintln!("{what} requires a positive integer");
+                    std::process::exit(2);
+                })
+        };
+        if a == "--seeds" {
+            seeds = parse(it.next(), "--seeds");
+        } else if a == "--jobs" {
+            jobs = parse(it.next(), "--jobs");
+        }
+    }
+
+    let cfg = ChaosConfig::default();
+    let runs = run_chaos_campaign(&cfg, seeds, jobs);
+
+    println!(
+        "{:>5} {:<28} {:>5} {:>5} {:>10} {:>9}  kinds",
+        "seed", "state", "route", "atoms", "resume_at", "dur_s"
+    );
+    let mut kinds_seen = std::collections::BTreeSet::new();
+    for r in &runs {
+        kinds_seen.extend(r.kinds());
+        println!(
+            "{:>5} {:<28} {:>5} {:>5} {:>10} {:>9.3}  {}",
+            r.seed,
+            format!("{:?}", r.state),
+            r.route_used,
+            r.storm.atoms.len(),
+            resumed_offset(r).map_or("-".into(), |o| o.to_string()),
+            r.duration_s,
+            r.kinds().into_iter().collect::<Vec<_>>().join(","),
+        );
+    }
+
+    // Per-seed outcome curves: duration, and resume offset where a
+    // resume happened (0 elsewhere keeps the curve dense).
+    let dur: Vec<(f64, f64)> = runs.iter().map(|r| (r.seed as f64, r.duration_s)).collect();
+    let resume: Vec<(f64, f64)> = runs
+        .iter()
+        .map(|r| (r.seed as f64, resumed_offset(r).unwrap_or(0) as f64))
+        .collect();
+    if let Err(e) = write_dat(
+        "results",
+        "chaos_outcomes",
+        &[("duration_s", &dur), ("resume_offset", &resume)],
+    ) {
+        eprintln!("warning: could not write chaos_outcomes.dat: {e}");
+    }
+    if let Some(r) = runs.iter().find(|r| resumed_offset(r).is_some()) {
+        let rows: Vec<(f64, String)> = r
+            .timeline
+            .iter()
+            .map(|(t, ev)| (t.as_secs_f64(), format!("{ev:?}")))
+            .collect();
+        if let Err(e) = write_timeline_dat("results", "chaos_timeline", &rows) {
+            eprintln!("warning: could not write chaos_timeline.dat: {e}");
+        }
+    }
+
+    let failing: Vec<&ChaosRun> = runs.iter().filter(|r| !r.ok()).collect();
+    for r in &failing {
+        eprintln!("\nFAIL seed {}: {:?}", r.seed, r.violations);
+        eprintln!("shrinking storm ({} atoms)...", r.storm.atoms.len());
+        let minimal = shrink_chaos_run(&cfg, r);
+        eprintln!(
+            "minimal reproduction ({} of {} atoms) — paste as a drill:\n{}",
+            minimal.atoms.len(),
+            r.storm.atoms.len(),
+            minimal.drill()
+        );
+    }
+    if !failing.is_empty() {
+        eprintln!(
+            "chaos: {} of {seeds} seed(s) violated the contract",
+            failing.len()
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "chaos: {seeds} seed(s) ok{}, fault kinds covered: {}",
+        if smoke { " (smoke)" } else { "" },
+        kinds_seen.into_iter().collect::<Vec<_>>().join(","),
+    );
+}

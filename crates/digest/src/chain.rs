@@ -1,0 +1,278 @@
+//! A per-block digest chain over a byte stream.
+//!
+//! The paper verifies a transfer with one MD5 over the *whole* stream —
+//! which means a failed check can only be answered by resending from
+//! byte 0. [`DigestChain`] refines that: the stream is cut into
+//! fixed-size blocks, each block gets its own MD5, and a running
+//! whole-stream MD5 is maintained alongside, so the paper's end-to-end
+//! check is preserved bit-for-bit while a receiver can additionally
+//! certify *how far* the stream is known-good.
+//!
+//! The chain snapshots the whole-stream hasher state at every block
+//! boundary, so [`DigestChain::truncate_to`] can roll the chain back to
+//! an earlier verified boundary (discarding blocks that arrived after a
+//! crash, or a block whose digest failed) and resume hashing from there
+//! — without re-reading any byte before the boundary. That rollback is
+//! what makes resume-from-last-verified-block sound: the eventual
+//! whole-stream digest is exactly the digest of the bytes as if the
+//! stream had arrived once, cleanly.
+
+use crate::md5::{Md5, DIGEST_LEN};
+
+/// Digest record for one completed block.
+#[derive(Clone)]
+struct BlockRecord {
+    /// MD5 over this block's bytes alone.
+    digest: [u8; DIGEST_LEN],
+    /// Whole-stream hasher state *after* this block — the rollback
+    /// point for [`DigestChain::truncate_to`].
+    whole_after: Md5,
+}
+
+/// Incremental per-block MD5 chain plus the running whole-stream MD5.
+#[derive(Clone)]
+pub struct DigestChain {
+    block_size: u64,
+    whole: Md5,
+    /// Hasher over the current (incomplete) block.
+    cur: Md5,
+    cur_len: u64,
+    blocks: Vec<BlockRecord>,
+}
+
+impl DigestChain {
+    /// A chain cutting the stream into `block_size`-byte blocks (the
+    /// final block may be short).
+    ///
+    /// Panics if `block_size` is zero.
+    pub fn new(block_size: u64) -> DigestChain {
+        assert!(block_size > 0, "block size must be positive");
+        DigestChain {
+            block_size,
+            whole: Md5::new(),
+            cur: Md5::new(),
+            cur_len: 0,
+            blocks: Vec::new(),
+        }
+    }
+
+    pub fn block_size(&self) -> u64 {
+        self.block_size
+    }
+
+    /// Total bytes absorbed so far (stream position).
+    pub fn position(&self) -> u64 {
+        self.blocks.len() as u64 * self.block_size + self.cur_len
+    }
+
+    /// Number of *completed* blocks.
+    pub fn completed(&self) -> u64 {
+        self.blocks.len() as u64
+    }
+
+    /// The digest of completed block `i` (0-based).
+    pub fn digest_of(&self, i: u64) -> Option<[u8; DIGEST_LEN]> {
+        self.blocks.get(i as usize).map(|b| b.digest)
+    }
+
+    /// Absorb stream bytes, closing blocks as boundaries pass.
+    pub fn update(&mut self, mut data: &[u8]) {
+        while !data.is_empty() {
+            let room = (self.block_size - self.cur_len) as usize;
+            let take = room.min(data.len());
+            let (head, rest) = data.split_at(take);
+            self.cur.update(head);
+            self.whole.update(head);
+            self.cur_len += take as u64;
+            if self.cur_len == self.block_size {
+                self.close_block();
+            }
+            data = rest;
+        }
+    }
+
+    fn close_block(&mut self) {
+        let finished = std::mem::take(&mut self.cur);
+        self.blocks.push(BlockRecord {
+            digest: finished.finalize(),
+            whole_after: self.whole.clone(),
+        });
+        self.cur_len = 0;
+    }
+
+    /// Close the trailing short block, if any bytes are pending in it.
+    /// Call once at end-of-stream so [`DigestChain::completed`] covers
+    /// the whole stream.
+    pub fn finish_partial(&mut self) {
+        if self.cur_len > 0 {
+            let finished = std::mem::take(&mut self.cur);
+            self.blocks.push(BlockRecord {
+                digest: finished.finalize(),
+                whole_after: self.whole.clone(),
+            });
+            self.cur_len = 0;
+        }
+    }
+
+    /// Roll the chain back so only the first `keep` completed blocks
+    /// remain: the whole-stream hasher is restored to its state at that
+    /// boundary and any partial-block bytes are discarded. Subsequent
+    /// [`DigestChain::update`] calls must replay the stream from byte
+    /// `keep * block_size`.
+    ///
+    /// Panics if `keep` exceeds the completed-block count.
+    pub fn truncate_to(&mut self, keep: u64) {
+        assert!(
+            keep <= self.blocks.len() as u64,
+            "cannot keep {keep} blocks, only {} completed",
+            self.blocks.len()
+        );
+        self.blocks.truncate(keep as usize);
+        self.whole = match self.blocks.last() {
+            Some(b) => b.whole_after.clone(),
+            None => Md5::new(),
+        };
+        self.cur = Md5::new();
+        self.cur_len = 0;
+    }
+
+    /// The whole-stream MD5 over every byte absorbed so far (the
+    /// paper's end-to-end digest). Non-destructive: hashing may
+    /// continue afterwards.
+    pub fn whole_digest(&self) -> [u8; DIGEST_LEN] {
+        self.whole.clone().finalize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::md5;
+
+    fn pattern(range: std::ops::Range<u64>) -> Vec<u8> {
+        range.map(|i| (i.wrapping_mul(31) % 251) as u8).collect()
+    }
+
+    #[test]
+    fn whole_digest_matches_oneshot_regardless_of_chunking() {
+        let data = pattern(0..1000);
+        for chunk in [1usize, 7, 64, 128, 999, 1000] {
+            let mut c = DigestChain::new(128);
+            for piece in data.chunks(chunk) {
+                c.update(piece);
+            }
+            assert_eq!(c.whole_digest(), md5(&data), "chunk {chunk}");
+            assert_eq!(c.position(), 1000);
+            assert_eq!(c.completed(), 1000 / 128);
+        }
+    }
+
+    #[test]
+    fn block_digests_match_per_block_oneshot() {
+        let data = pattern(0..520);
+        let mut c = DigestChain::new(100);
+        c.update(&data);
+        assert_eq!(c.completed(), 5);
+        for i in 0..5u64 {
+            let lo = (i * 100) as usize;
+            assert_eq!(c.digest_of(i), Some(md5(&data[lo..lo + 100])), "block {i}");
+        }
+        assert_eq!(c.digest_of(5), None);
+        c.finish_partial();
+        assert_eq!(c.completed(), 6);
+        assert_eq!(c.digest_of(5), Some(md5(&data[500..])));
+    }
+
+    #[test]
+    fn finish_partial_is_idempotent_and_noop_at_boundary() {
+        let mut c = DigestChain::new(10);
+        c.update(&pattern(0..20));
+        c.finish_partial();
+        c.finish_partial();
+        assert_eq!(c.completed(), 2);
+    }
+
+    #[test]
+    fn truncate_then_replay_recovers_the_clean_stream_digest() {
+        let data = pattern(0..950);
+        // Clean reference.
+        let mut clean = DigestChain::new(100);
+        clean.update(&data);
+
+        // Corrupted run: good through block 6, then garbage, then the
+        // chain is rolled back to block 6 and replayed from byte 600.
+        let mut c = DigestChain::new(100);
+        c.update(&data[..600]);
+        c.update(&[0xff; 250]); // corrupt blocks 6..8 + partial
+        assert_eq!(c.completed(), 8);
+        assert_ne!(c.digest_of(6), clean.digest_of(6));
+        c.truncate_to(6);
+        assert_eq!(c.completed(), 6);
+        assert_eq!(c.position(), 600);
+        c.update(&data[600..]);
+        assert_eq!(c.whole_digest(), clean.whole_digest());
+        assert_eq!(c.whole_digest(), md5(&data));
+        for i in 0..9 {
+            assert_eq!(c.digest_of(i), clean.digest_of(i), "block {i}");
+        }
+    }
+
+    #[test]
+    fn truncate_to_zero_resets_fully() {
+        let data = pattern(0..300);
+        let mut c = DigestChain::new(100);
+        c.update(&[0xab; 250]);
+        c.truncate_to(0);
+        assert_eq!(c.position(), 0);
+        c.update(&data);
+        assert_eq!(c.whole_digest(), md5(&data));
+    }
+
+    #[test]
+    #[should_panic(expected = "only 2 completed")]
+    fn truncate_past_completed_panics() {
+        let mut c = DigestChain::new(10);
+        c.update(&[0u8; 25]);
+        c.truncate_to(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "block size must be positive")]
+    fn zero_block_size_rejected() {
+        let _ = DigestChain::new(0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::md5;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Rolling back to any completed boundary and replaying from
+        /// that byte offset always reproduces the clean whole-stream
+        /// digest and per-block digests.
+        #[test]
+        fn rollback_replay_equals_clean(
+            data in proptest::collection::vec(any::<u8>(), 1..2048),
+            block in 1u64..257,
+            junk in proptest::collection::vec(any::<u8>(), 0..512),
+            keep_frac in 0.0f64..1.0,
+        ) {
+            let mut c = DigestChain::new(block);
+            // Absorb a prefix, then junk, then roll back and replay.
+            let cut = data.len() / 2;
+            c.update(&data[..cut]);
+            c.update(&junk);
+            let keep = ((c.completed() as f64) * keep_frac) as u64;
+            // Only boundaries at or below the clean prefix are sound
+            // resume points (beyond it, the junk is baked in).
+            let keep = keep.min(cut as u64 / block);
+            c.truncate_to(keep);
+            prop_assert_eq!(c.position(), keep * block);
+            c.update(&data[(keep * block) as usize..]);
+            prop_assert_eq!(c.whole_digest(), md5(&data));
+        }
+    }
+}

@@ -6,8 +6,10 @@
 //! digest with both one-shot and incremental APIs so endpoints can hash
 //! the stream as it is produced/consumed without buffering it.
 
+mod chain;
 mod md5;
 
+pub use chain::DigestChain;
 pub use md5::{Md5, DIGEST_LEN};
 
 /// One-shot MD5 of a byte slice.

@@ -30,6 +30,7 @@ mod loss;
 mod packet;
 mod sim;
 mod stats;
+mod storm;
 mod time;
 mod topo;
 
@@ -39,5 +40,6 @@ pub use loss::LossModel;
 pub use packet::{LinkId, NodeId, Packet, PROTO_TCP};
 pub use sim::{Output, Simulator, TimerHandle};
 pub use stats::LinkStats;
+pub use storm::{fault_kind_name, fault_plan_of, FaultStormGen, StormAtom, StormPlan, StormSpec};
 pub use time::{Dur, Time};
 pub use topo::{Topology, TopologyBuilder};

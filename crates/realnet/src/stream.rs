@@ -47,6 +47,7 @@ impl LslStream {
             session,
             flags: if digest { HEADER_FLAG_DIGEST } else { 0 },
             length,
+            resume: None,
             route,
         };
         let mut stream = TcpStream::connect(first)?;

@@ -46,7 +46,8 @@ pub fn read_header(stream: &mut impl Read) -> io::Result<(LslHeader, Vec<u8>)> {
             }
         }
         // Byte-at-a-time keeps us from over-reading past the header into
-        // payload we would then have to hand back; headers are ≤ 127 B.
+        // payload we would then have to hand back; headers are ≤ 143 B
+        // (the 47-byte v2 fixed part plus MAX_HOPS 6-byte hops).
         let n = stream.read(&mut byte)?;
         if n == 0 {
             return Err(io::Error::new(
@@ -77,6 +78,7 @@ mod tests {
             session: SessionId(7),
             flags: 1,
             length: 99,
+            resume: None,
             route: vec![hop_from_addr(SocketAddrV4::new(Ipv4Addr::LOCALHOST, 9))],
         };
         let mut data = h.encode().to_vec();
@@ -97,6 +99,7 @@ mod tests {
             session: SessionId(7),
             flags: 0,
             length: 1,
+            resume: None,
             route: vec![],
         };
         let enc = h.encode();

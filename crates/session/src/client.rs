@@ -13,9 +13,14 @@
 //! 4. give up with a typed [`SessionError`].
 //!
 //! Verified delivery failures (digest/content mismatch, truncation)
-//! reported by the sink trigger a bounded **retransfer** of the whole
-//! stream. Every decision is recorded as a timestamped
-//! [`SessionEvent`], which experiments export as a recovery timeline.
+//! reported by the sink trigger a bounded **retransfer**. With
+//! [`RecoveryConfig::resume`] on (the default), retransfer and failover
+//! attempts do *not* restart from byte 0: each new attempt carries a
+//! [`Resume`] request and streams from the offset the sink grants — the
+//! last contiguously verified [`RESUME_BLOCK`] boundary — so only
+//! unverified bytes are resent. Every decision is recorded as a
+//! timestamped [`SessionEvent`], which experiments export as a recovery
+//! timeline.
 //!
 //! Detection does not rely on TCP alone: an idle-but-dead sublink (a
 //! depot host that crashed while the sender awaited the session
@@ -26,8 +31,9 @@
 use lsl_netsim::{Dur, NodeId, Time};
 use lsl_tcp::{AppEvent, Net};
 
-use crate::endpoint::{BulkSender, SendMode, SenderState, TransferOutcome};
+use crate::endpoint::{BulkSender, SendMode, SenderState, TransferOutcome, RESUME_BLOCK};
 use crate::error::{Handled, SessionError, SessionEvent};
+use crate::header::{Resume, NO_VERIFIED_BLOCK};
 use crate::id::SessionId;
 use crate::route::LslPath;
 
@@ -49,11 +55,19 @@ pub struct RecoveryConfig {
     /// accepted by the socket for this long. `None` disables it (then
     /// only TCP errors trigger recovery).
     pub progress_timeout: Option<Dur>,
-    /// Whole-stream retransfers allowed after failed delivery checks.
+    /// Retransfers allowed after failed delivery checks. With
+    /// [`RecoveryConfig::resume`] on, each retransfer resumes from the
+    /// last sink-verified block rather than resending the whole stream.
     pub max_retransfers: u32,
     /// Append a direct (depot-free) path as the route of last resort
     /// when the candidate list has none.
     pub direct_fallback: bool,
+    /// Negotiate mid-stream resume: every attempt carries a [`Resume`]
+    /// request (version-2 header) and streams from the offset the sink
+    /// grants. Requires the full-verification send mode
+    /// (`SendMode::Lsl { digest: true, sync: true }`); silently inert
+    /// for any other mode.
+    pub resume: bool,
 }
 
 impl Default for RecoveryConfig {
@@ -65,7 +79,83 @@ impl Default for RecoveryConfig {
             progress_timeout: Some(Dur::from_secs(3)),
             max_retransfers: 2,
             direct_fallback: true,
+            resume: true,
         }
+    }
+}
+
+impl RecoveryConfig {
+    /// Validated construction; see [`RecoveryConfigBuilder`].
+    pub fn builder() -> RecoveryConfigBuilder {
+        RecoveryConfigBuilder {
+            cfg: RecoveryConfig::default(),
+        }
+    }
+}
+
+/// Builder for [`RecoveryConfig`] that rejects nonsensical policies at
+/// construction time instead of letting them produce a client that can
+/// never recover (or whose backoff ladder is inverted).
+#[derive(Clone, Debug)]
+pub struct RecoveryConfigBuilder {
+    cfg: RecoveryConfig,
+}
+
+impl RecoveryConfigBuilder {
+    pub fn max_reconnects(mut self, n: u32) -> Self {
+        self.cfg.max_reconnects = n;
+        self
+    }
+
+    pub fn backoff_base(mut self, d: Dur) -> Self {
+        self.cfg.backoff_base = d;
+        self
+    }
+
+    pub fn backoff_cap(mut self, d: Dur) -> Self {
+        self.cfg.backoff_cap = d;
+        self
+    }
+
+    pub fn progress_timeout(mut self, d: Option<Dur>) -> Self {
+        self.cfg.progress_timeout = d;
+        self
+    }
+
+    pub fn max_retransfers(mut self, n: u32) -> Self {
+        self.cfg.max_retransfers = n;
+        self
+    }
+
+    pub fn direct_fallback(mut self, on: bool) -> Self {
+        self.cfg.direct_fallback = on;
+        self
+    }
+
+    pub fn resume(mut self, on: bool) -> Self {
+        self.cfg.resume = on;
+        self
+    }
+
+    /// Validate and produce the config.
+    ///
+    /// # Panics
+    ///
+    /// On policies that cannot work: a backoff base above the cap (the
+    /// ladder would *shrink* on the first doubling, violating the
+    /// monotone-backoff contract), or zero reconnects combined with
+    /// `direct_fallback: false` (a client whose only route dies would
+    /// have no recovery arm left at all).
+    pub fn build(self) -> RecoveryConfig {
+        assert!(
+            self.cfg.backoff_base <= self.cfg.backoff_cap,
+            "backoff_base exceeds backoff_cap: the backoff ladder must be monotone"
+        );
+        assert!(
+            self.cfg.max_reconnects > 0 || self.cfg.direct_fallback,
+            "max_reconnects of 0 with direct_fallback off leaves no recovery arm"
+        );
+        self.cfg
     }
 }
 
@@ -102,6 +192,10 @@ pub struct SessionClient {
     retransfers: u32,
     /// Progress snapshot at the last watchdog check.
     last_progress: u64,
+    /// Highest sink-verified block count this client has learned of
+    /// (from delivery verdicts and resume grants) — the floor every new
+    /// attempt's [`Resume`] request advertises.
+    verified_floor: u64,
     /// Timer generation; a fired token with a stale generation is void.
     timer_gen: u64,
     events: Vec<(Time, SessionEvent)>,
@@ -153,6 +247,7 @@ impl SessionClient {
             reconnects: 0,
             retransfers: 0,
             last_progress: 0,
+            verified_floor: 0,
             timer_gen: 0,
             events: Vec::new(),
             started_at: net.now(),
@@ -207,6 +302,36 @@ impl SessionClient {
         net.set_app_timer(self.node, net.now() + delay, token);
     }
 
+    /// The [`Resume`] request the next attempt should carry: the highest
+    /// verified boundary this client knows of. Advisory — the sink's own
+    /// verified state decides the actual grant. `None` when resume is
+    /// off or the send mode cannot support it.
+    fn resume_request(&self) -> Option<Resume> {
+        if !self.cfg.resume {
+            return None;
+        }
+        let SendMode::Lsl {
+            digest: true,
+            sync: true,
+        } = self.mode
+        else {
+            return None;
+        };
+        Some(Resume {
+            offset: self.verified_floor * RESUME_BLOCK,
+            verified_block: match self.verified_floor {
+                0 => NO_VERIFIED_BLOCK,
+                n => n - 1,
+            },
+        })
+    }
+
+    /// Fold a resume grant or delivery verdict into the verified floor
+    /// (monotone: the sink never un-verifies a block).
+    fn observe_verified(&mut self, blocks: u64) {
+        self.verified_floor = self.verified_floor.max(blocks);
+    }
+
     fn start_attempt(&mut self, net: &mut Net) {
         let path = self.routes[self.route_idx].clone();
         let sender = BulkSender::start(
@@ -218,6 +343,7 @@ impl SessionClient {
             self.mode,
             self.tcp.clone(),
             self.trace_label.as_deref(),
+            self.resume_request(),
         );
         self.last_progress = sender.progress();
         self.sender = Some(sender);
@@ -227,9 +353,14 @@ impl SessionClient {
         }
     }
 
-    /// Drop the current attempt's socket (already failed or finished).
+    /// Drop the current attempt's socket (already failed or finished),
+    /// keeping any resume grant it learned: a grant is the sink
+    /// attesting that many blocks were already verified.
     fn discard_sender(&mut self, net: &mut Net) {
         if let Some(s) = self.sender.take() {
+            if let Some(granted) = s.resume_granted() {
+                self.observe_verified(granted / RESUME_BLOCK);
+            }
             net.abort(s.sock());
         }
     }
@@ -311,6 +442,19 @@ impl SessionClient {
                 }
                 SenderState::Streaming if before == SenderState::AwaitingConfirm => {
                     self.push_event(net, SessionEvent::Confirmed);
+                    // A non-zero grant means this attempt skips the
+                    // verified prefix: surface the resume decision.
+                    let granted = self.sender.as_ref().and_then(BulkSender::resume_granted);
+                    if let Some(offset) = granted.filter(|&g| g > 0) {
+                        self.observe_verified(offset / RESUME_BLOCK);
+                        self.push_event(
+                            net,
+                            SessionEvent::Resumed {
+                                from_block: offset / RESUME_BLOCK,
+                                offset,
+                            },
+                        );
+                    }
                 }
                 SenderState::Failed(err) => self.on_attempt_failed(net, err),
                 _ => {}
@@ -361,6 +505,9 @@ impl SessionClient {
             outcome.session.is_none() || outcome.session == Some(self.session),
             "outcome routed to the wrong client"
         );
+        // The verdict's verified count feeds the next attempt's resume
+        // request (fold it in before any retransfer starts below).
+        self.observe_verified(outcome.verified_blocks);
         if outcome.ok() {
             self.push_event(net, SessionEvent::Completed);
             self.state = ClientState::Done;

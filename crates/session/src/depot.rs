@@ -15,6 +15,7 @@ use lsl_netsim::{Dur, FaultKind, NodeId};
 use lsl_tcp::{AppEvent, Net, SockEvent, SockId, TcpConfig};
 
 use crate::client::CLIENT_TIMER_TAG;
+use crate::endpoint::SINK_TIMER_TAG;
 use crate::error::Handled;
 use crate::header::LslHeader;
 use crate::route::Hop;
@@ -249,10 +250,11 @@ impl Depot {
         let AppEvent::Sock { sock, event } = ev else {
             match ev {
                 // Setup-delay timers carry a packed (gen, slot) token.
-                // Client-tagged timers belong to a SessionClient that may
-                // live on this node; leave them alone.
+                // Client- and sink-tagged timers belong to a
+                // SessionClient / SinkServer that may live on this node;
+                // leave them alone.
                 AppEvent::Timer { node, token }
-                    if *node == self.node && token & CLIENT_TIMER_TAG == 0 =>
+                    if *node == self.node && token & (CLIENT_TIMER_TAG | SINK_TIMER_TAG) == 0 =>
                 {
                     self.on_setup_timer(net, *token);
                     return Handled::Consumed;

@@ -8,14 +8,40 @@
 use std::collections::BTreeMap;
 
 use bytes::Bytes;
-use lsl_digest::Md5;
-use lsl_netsim::{NodeId, Time};
+use lsl_digest::{md5, DigestChain, Md5, DIGEST_LEN};
+use lsl_netsim::{Dur, NodeId, Time};
 use lsl_tcp::{AppEvent, Net, SockEvent, SockId, TcpConfig};
 
 use crate::error::{Handled, SessionError, WireError};
-use crate::header::{LslHeader, HEADER_FLAG_DIGEST};
+use crate::header::{LslHeader, Resume, HEADER_FLAG_DIGEST};
 use crate::id::SessionId;
 use crate::route::LslPath;
+
+/// Resume granularity: the sink certifies delivery in blocks of this
+/// many bytes, and grants resume offsets only at block boundaries.
+pub const RESUME_BLOCK: u64 = 64 * 1024;
+
+/// The MD5 a full resume block at index `block` must carry when the
+/// stream follows the generator pattern — the sink's per-block
+/// verification reference (the pattern plays the role a stored file's
+/// on-disk blocks would play in a deployment).
+pub fn expected_block_digest(block: u64) -> [u8; DIGEST_LEN] {
+    md5(&payload_chunk(block * RESUME_BLOCK, RESUME_BLOCK as usize))
+}
+
+/// Whole-stream MD5 state fast-forwarded over pattern bytes
+/// `[0, offset)` — how a resuming sender rebuilds the end-to-end digest
+/// without resending a byte.
+fn md5_fast_forward(offset: u64) -> Md5 {
+    let mut h = Md5::new();
+    let mut at = 0u64;
+    while at < offset {
+        let len = (offset - at).min(SEND_CHUNK) as usize;
+        h.update(&payload_chunk(at, len));
+        at += len as u64;
+    }
+    h
+}
 
 /// Deterministic payload byte at stream offset `i` (shared by sender and
 /// verifying sink).
@@ -80,6 +106,14 @@ pub struct BulkSender {
     trailer: Option<Bytes>,
     trailer_sent: usize,
     md5: Option<Md5>,
+    /// The resume request sent in the header (None = plain v1 attempt).
+    resume_req: Option<Resume>,
+    /// Offset the sink granted (set on confirmation, resume mode only).
+    granted: Option<u64>,
+    /// Accumulates the confirmation reply (1 byte plain, 9 with resume).
+    confirm_buf: Vec<u8>,
+    /// Stream offset this attempt started from (0 unless resumed).
+    resume_base: u64,
     pub started_at: Time,
     pub finished_at: Option<Time>,
 }
@@ -89,6 +123,12 @@ const SEND_CHUNK: u64 = 256 * 1024;
 
 impl BulkSender {
     /// Initiate the transfer: connect to the path's first hop.
+    ///
+    /// Passing `resume: Some(_)` sends a version-2 header carrying the
+    /// request and expects the extended 9-byte confirmation (the sink's
+    /// granted offset); it requires `SendMode::Lsl` with both `digest`
+    /// and `sync` — resume is meaningless without block verification
+    /// and the confirmation round-trip that carries the grant.
     #[allow(clippy::too_many_arguments)] // one-shot constructor mirroring the LSL API surface
     pub fn start(
         net: &mut Net,
@@ -99,8 +139,21 @@ impl BulkSender {
         mode: SendMode,
         tcp: TcpConfig,
         trace_label: Option<&str>,
+        resume: Option<Resume>,
     ) -> BulkSender {
         path.validate().expect("invalid LSL path");
+        if resume.is_some() {
+            assert!(
+                matches!(
+                    mode,
+                    SendMode::Lsl {
+                        digest: true,
+                        sync: true
+                    }
+                ),
+                "resume requires LSL mode with digest and sync"
+            );
+        }
         let first = path.first_hop();
         let sock = net.connect(src, first.node, first.port, tcp);
         if let Some(label) = trace_label {
@@ -116,6 +169,7 @@ impl BulkSender {
                     session,
                     flags: if digest { HEADER_FLAG_DIGEST } else { 0 },
                     length: total,
+                    resume,
                     route: path.remaining_route(),
                 }
                 .encode(),
@@ -136,6 +190,10 @@ impl BulkSender {
             trailer: None,
             trailer_sent: 0,
             md5,
+            resume_req: resume,
+            granted: None,
+            confirm_buf: Vec::new(),
+            resume_base: 0,
             started_at: net.now(),
             finished_at: None,
         }
@@ -161,6 +219,20 @@ impl BulkSender {
     /// socket has accepted so far (header + payload + digest trailer).
     pub fn progress(&self) -> u64 {
         self.header_sent as u64 + self.sent + self.trailer_sent as u64
+    }
+
+    /// The offset the sink granted this attempt (resume mode, after the
+    /// confirmation round-trip). `None` before confirmation or when no
+    /// resume request was sent.
+    pub fn resume_granted(&self) -> Option<u64> {
+        self.granted
+    }
+
+    /// Payload bytes this attempt has actually pushed into its socket —
+    /// excludes the resumed-over prefix, so it measures what a resume
+    /// *saved* re-sending.
+    pub fn payload_sent(&self) -> u64 {
+        self.sent - self.resume_base
     }
 
     /// Tear the attempt down (recovery decided the sublink is dead):
@@ -199,10 +271,27 @@ impl BulkSender {
                 }
             }
             SockEvent::Readable if self.state == SenderState::AwaitingConfirm => {
-                let b = net.recv(self.sock, 1);
-                if b.first() == Some(&SESSION_CONFIRM) {
-                    self.state = SenderState::Streaming;
-                    self.pump(net);
+                match self.resume_req {
+                    None => {
+                        let b = net.recv(self.sock, 1);
+                        if b.first() == Some(&SESSION_CONFIRM) {
+                            self.state = SenderState::Streaming;
+                            self.pump(net);
+                        }
+                    }
+                    Some(req) => {
+                        // Resume confirmation: the confirm byte plus the
+                        // sink's granted offset (may arrive fragmented).
+                        let want = 9 - self.confirm_buf.len();
+                        let b = net.recv(self.sock, want);
+                        self.confirm_buf.extend_from_slice(&b);
+                        if self.confirm_buf.len() == 9 && self.confirm_buf[0] == SESSION_CONFIRM {
+                            let granted = u64::from_be_bytes(
+                                self.confirm_buf[1..9].try_into().expect("8 bytes"),
+                            );
+                            self.on_grant(net, req, granted);
+                        }
+                    }
                 }
             }
             SockEvent::Writable => self.pump(net),
@@ -216,6 +305,34 @@ impl BulkSender {
             _ => {}
         }
         Handled::Consumed
+    }
+
+    /// The sink's grant arrived: sanity-check it, fast-forward the
+    /// whole-stream digest over the skipped prefix, and stream from the
+    /// granted offset. The sink is the verification authority, so a
+    /// grant *below* the request is normal (we simply resend more); a
+    /// grant that is misaligned or beyond the stream is protocol
+    /// corruption and fails the attempt with the typed mismatch.
+    fn on_grant(&mut self, net: &mut Net, req: Resume, granted: u64) {
+        if !granted.is_multiple_of(RESUME_BLOCK) || granted > self.total {
+            self.state = SenderState::Failed(SessionError::ResumeMismatch {
+                requested: req.offset,
+                granted,
+            });
+            self.finished_at.get_or_insert(net.now());
+            net.abort(self.sock);
+            return;
+        }
+        self.granted = Some(granted);
+        self.resume_base = granted;
+        self.sent = granted;
+        if granted > 0 {
+            // Rebuild the end-to-end digest as if the prefix had been
+            // streamed: the trailer still covers bytes [0, total).
+            self.md5 = Some(md5_fast_forward(granted));
+        }
+        self.state = SenderState::Streaming;
+        self.pump(net);
     }
 
     fn send_header(&mut self, net: &mut Net) {
@@ -294,13 +411,21 @@ pub struct TransferOutcome {
     pub session: Option<SessionId>,
     /// Typed disposition of the attempt.
     pub status: TransferStatus,
-    /// Payload bytes received (header and digest excluded).
+    /// Stream position reached, in payload bytes (header and digest
+    /// excluded; for resumed attempts this includes the granted prefix,
+    /// so it is the absolute high-water mark, not this attempt's count).
     pub bytes: u64,
     /// Digest verification result (None when no digest was sent or the
     /// stream died first).
     pub digest_ok: Option<bool>,
     /// Whether every payload byte matched the generator pattern.
     pub content_ok: bool,
+    /// Highest *contiguously verified* block count for the session when
+    /// this attempt ended — the sink's delivery verdict that resume
+    /// grants are based on (0 for non-resume attempts).
+    pub verified_blocks: u64,
+    /// The offset the sink granted this attempt (0 = started fresh).
+    pub resume_offset: u64,
     /// When the connection was accepted.
     pub accepted_at: Time,
     /// When the attempt ended (EOF/digest verified, or the failure).
@@ -329,27 +454,70 @@ enum SinkConnState {
     Body {
         header: Option<LslHeader>,
         md5: Md5,
+        /// Payload bytes consumed by *this* attempt.
         received: u64,
         /// Last up-to-16 bytes seen, to peel the digest off the tail.
         tail: Vec<u8>,
         content_ok: bool,
+        /// Stream offset this attempt started at (the granted resume
+        /// offset; 0 for fresh and non-resume attempts).
+        offset: u64,
     },
 }
 
 struct SinkConn {
     state: SinkConnState,
     accepted_at: Time,
+    /// Cumulative bytes seen, sampled by the idle watchdog.
+    activity: u64,
+    /// Watchdog snapshot of `activity` at the last tick (`u64::MAX` =
+    /// freshly accepted, grant one full interval of grace).
+    checked: u64,
+}
+
+/// App-timer tokens with this bit belong to a [`SinkServer`] idle
+/// watchdog. (Bit 63 is the net layer's app-timer discriminator, bit 62
+/// the session client's; bit 61 is ours. Bits 32–47 carry the sink's
+/// listening port so colocated sinks ignore each other.)
+pub const SINK_TIMER_TAG: u64 = 1 << 61;
+
+/// Per-session delivery state that *survives* attempt deaths — the
+/// sink-side half of the resume protocol. The digest chain absorbs the
+/// payload across attempts; `verified` is the contiguously certified
+/// block boundary the sink grants resumes from.
+struct SessionProgress {
+    chain: DigestChain,
+    /// Blocks verified contiguously from the stream head.
+    verified: u64,
+    /// A completed block failed its digest: the boundary is frozen
+    /// until the next attempt rolls the chain back and resends it.
+    corrupt: bool,
+    /// The attempt currently feeding this session, if any. A new
+    /// resume header supersedes (and fails) a lingering active conn.
+    active: Option<SockId>,
 }
 
 /// A verifying sink server: accepts transfers (LSL-framed or raw TCP),
 /// checks the payload pattern and the trailing MD5 digest, and records a
 /// [`TransferOutcome`] per stream — failed attempts included, each with
-/// its typed [`TransferStatus`].
+/// its typed [`TransferStatus`]. Sessions whose headers carry a
+/// [`Resume`] request additionally get per-block certification: the
+/// sink tracks the highest contiguously verified block across attempts
+/// and grants each new attempt a resume offset at that boundary.
 pub struct SinkServer {
     listener: SockId,
+    node: NodeId,
+    port: u16,
     expects_lsl: bool,
     conns: BTreeMap<SockId, SinkConn>,
+    sessions: BTreeMap<SessionId, SessionProgress>,
     outcomes: Vec<TransferOutcome>,
+    /// Idle watchdog period: a conn that moves no byte across a full
+    /// interval is failed [`SessionError::Stalled`]. None = no watchdog.
+    idle: Option<Dur>,
+    /// Whether a watchdog timer is currently in flight (the watchdog
+    /// self-re-arms only while conns exist, so idle sims still quiesce).
+    timer_armed: bool,
 }
 
 impl SinkServer {
@@ -363,15 +531,37 @@ impl SinkServer {
         let listener = net.listen(node, port, tcp);
         SinkServer {
             listener,
+            node,
+            port,
             expects_lsl,
             conns: BTreeMap::new(),
+            sessions: BTreeMap::new(),
             outcomes: Vec::new(),
+            idle: None,
+            timer_armed: false,
         }
+    }
+
+    /// Arm an idle watchdog: any accepted conn that goes a full `d`
+    /// without delivering a byte is failed with a typed
+    /// [`SessionError::Stalled`] outcome. This is what turns a silently
+    /// dying upstream (a crashed depot holds no socket to RST) into a
+    /// recoverable event *after* the sender has already handed the whole
+    /// stream to its sublink and can no longer watch progress itself.
+    pub fn with_idle_timeout(mut self, d: Dur) -> SinkServer {
+        self.idle = Some(d);
+        self
     }
 
     /// All recorded outcomes, failed attempts included.
     pub fn outcomes(&self) -> &[TransferOutcome] {
         &self.outcomes
+    }
+
+    /// The contiguously verified block count for `session` (0 when the
+    /// session is unknown or never negotiated resume).
+    pub fn verified_blocks(&self, session: SessionId) -> u64 {
+        self.sessions.get(&session).map_or(0, |p| p.verified)
     }
 
     pub fn take_outcomes(&mut self) -> Vec<TransferOutcome> {
@@ -380,6 +570,16 @@ impl SinkServer {
 
     /// Feed one event; [`Handled::Consumed`] means it was this sink's.
     pub fn handle(&mut self, net: &mut Net, ev: &AppEvent) -> Handled {
+        if let AppEvent::Timer { node, token } = ev {
+            if *node == self.node
+                && token & SINK_TIMER_TAG != 0
+                && (token >> 32) & 0xffff == self.port as u64
+            {
+                self.on_idle_tick(net);
+                return Handled::Consumed;
+            }
+            return Handled::NotMine;
+        }
         let AppEvent::Sock { sock, event } = ev else {
             return Handled::NotMine;
         };
@@ -394,6 +594,7 @@ impl SinkServer {
                         received: 0,
                         tail: Vec::new(),
                         content_ok: true,
+                        offset: 0,
                     }
                 };
                 self.conns.insert(
@@ -401,8 +602,11 @@ impl SinkServer {
                     SinkConn {
                         state,
                         accepted_at: net.now(),
+                        activity: 0,
+                        checked: u64::MAX,
                     },
                 );
+                self.ensure_watchdog(net);
             }
             return Handled::Consumed;
         }
@@ -414,11 +618,69 @@ impl SinkServer {
             SockEvent::Error(e) => self.fail_conn(net, *sock, SessionError::Tcp(*e)),
             SockEvent::Closed => {
                 net.release(*sock);
-                self.conns.remove(sock);
+                if let Some(conn) = self.conns.remove(sock) {
+                    self.release_session_conn(*sock, &conn.state);
+                }
             }
             _ => {}
         }
         Handled::Consumed
+    }
+
+    /// Detach a finished/removed conn from its session's `active` slot,
+    /// so a later resume cannot mistake a reused socket id for a live
+    /// predecessor. Returns the session's verified block count.
+    fn release_session_conn(&mut self, sock: SockId, state: &SinkConnState) -> u64 {
+        let SinkConnState::Body {
+            header: Some(h), ..
+        } = state
+        else {
+            return 0;
+        };
+        if h.resume.is_none() {
+            return 0;
+        }
+        let Some(p) = self.sessions.get_mut(&h.session) else {
+            return 0;
+        };
+        if p.active == Some(sock) {
+            p.active = None;
+        }
+        p.verified
+    }
+
+    /// Arm the next watchdog tick if the watchdog is enabled and not
+    /// already in flight. Called on accept and after each tick, so the
+    /// timer chain dies with the last conn and the sim can quiesce.
+    fn ensure_watchdog(&mut self, net: &mut Net) {
+        if let Some(d) = self.idle {
+            if !self.timer_armed {
+                let token = SINK_TIMER_TAG | ((self.port as u64) << 32);
+                net.set_app_timer(self.node, net.now() + d, token);
+                self.timer_armed = true;
+            }
+        }
+    }
+
+    /// Watchdog tick: fail every conn that moved no byte since the last
+    /// tick (freshly accepted conns get one full interval of grace).
+    fn on_idle_tick(&mut self, net: &mut Net) {
+        self.timer_armed = false;
+        let mut stalled = Vec::new();
+        for (sock, conn) in self.conns.iter_mut() {
+            if conn.checked == conn.activity {
+                stalled.push(*sock);
+            } else {
+                conn.checked = conn.activity;
+            }
+        }
+        for sock in stalled {
+            self.fail_conn(net, sock, SessionError::Stalled);
+            net.abort(sock);
+        }
+        if !self.conns.is_empty() {
+            self.ensure_watchdog(net);
+        }
     }
 
     /// Record a failed attempt as a typed outcome and drop the
@@ -427,14 +689,21 @@ impl SinkServer {
         let Some(conn) = self.conns.remove(&sock) else {
             return;
         };
-        let (session, bytes, content_ok) = match conn.state {
-            SinkConnState::ReadingHeader(_) => (None, 0, true),
+        let verified_blocks = self.release_session_conn(sock, &conn.state);
+        let (session, bytes, content_ok, resume_offset) = match conn.state {
+            SinkConnState::ReadingHeader(_) => (None, 0, true, 0),
             SinkConnState::Body {
                 header,
                 received,
                 content_ok,
+                offset,
                 ..
-            } => (header.map(|h| h.session), received, content_ok),
+            } => (
+                header.map(|h| h.session),
+                offset + received,
+                content_ok,
+                offset,
+            ),
         };
         self.outcomes.push(TransferOutcome {
             session,
@@ -442,53 +711,52 @@ impl SinkServer {
             bytes,
             digest_ok: None,
             content_ok,
+            verified_blocks,
+            resume_offset,
             accepted_at: conn.accepted_at,
             completed_at: net.now(),
         });
     }
 
     fn drain(&mut self, net: &mut Net, sock: SockId) {
-        let Some(conn) = self.conns.get_mut(&sock) else {
-            return;
-        };
         loop {
             let chunk = net.recv(sock, 1 << 20);
             if chunk.is_empty() {
                 break;
             }
-            match &mut conn.state {
+            // Split-borrow the conn table and the session map: body
+            // bytes flow into the per-session digest chain.
+            let conns = &mut self.conns;
+            let sessions = &mut self.sessions;
+            let Some(conn) = conns.get_mut(&sock) else {
+                return;
+            };
+            conn.activity += chunk.len() as u64;
+            let parsed = match &mut conn.state {
                 SinkConnState::ReadingHeader(buf) => {
                     buf.extend_from_slice(&chunk);
                     match LslHeader::decode(buf) {
-                        Ok(None) => {}
+                        Ok(None) => None,
                         Ok(Some((header, used))) => {
-                            assert!(
-                                header.route.is_empty(),
-                                "sink received header with residual route"
-                            );
-                            // Session established: confirm to the source
-                            // (relayed back through the cascade).
-                            let n = net.send(sock, &Bytes::from_static(&[SESSION_CONFIRM]));
-                            debug_assert_eq!(n, 1);
                             let leftover = buf.split_off(used);
-                            let mut st = SinkConnState::Body {
-                                header: Some(header),
-                                md5: Md5::new(),
-                                received: 0,
-                                tail: Vec::new(),
-                                content_ok: true,
-                            };
-                            Self::feed_body(&mut st, &leftover);
-                            conn.state = st;
+                            Some(Ok((header, leftover)))
                         }
-                        Err(e) => {
-                            self.fail_conn(net, sock, SessionError::Wire(e));
-                            net.abort(sock);
-                            return;
-                        }
+                        Err(e) => Some(Err(e)),
                     }
                 }
-                st @ SinkConnState::Body { .. } => Self::feed_body(st, &chunk),
+                st @ SinkConnState::Body { .. } => {
+                    Self::feed_body(st, sessions, &chunk);
+                    None
+                }
+            };
+            match parsed {
+                None => {}
+                Some(Ok((header, leftover))) => self.on_header(net, sock, header, &leftover),
+                Some(Err(e)) => {
+                    self.fail_conn(net, sock, SessionError::Wire(e));
+                    net.abort(sock);
+                    return;
+                }
             }
         }
         // EOF: finalize.
@@ -502,15 +770,35 @@ impl SinkServer {
                     received,
                     tail,
                     content_ok,
+                    offset,
                 } => {
-                    let (bytes, digest_ok) = match &header {
+                    // For resume sessions the end-to-end digest lives in
+                    // the session chain (it spans attempts); otherwise
+                    // in this conn's own hasher.
+                    let resumed = header.as_ref().is_some_and(|h| h.resume.is_some());
+                    let mut verified_blocks = 0;
+                    let mut whole: Option<[u8; DIGEST_LEN]> = None;
+                    if resumed {
+                        if let Some(p) = header
+                            .as_ref()
+                            .and_then(|h| self.sessions.get_mut(&h.session))
+                        {
+                            if p.active == Some(sock) {
+                                p.active = None;
+                            }
+                            verified_blocks = p.verified;
+                            whole = Some(p.chain.whole_digest());
+                        }
+                    }
+                    let bytes = offset + received;
+                    let digest_ok = match &header {
                         Some(h) if h.has_digest() => {
                             // The final 16 bytes are the digest; they were
-                            // kept out of `md5`/`received` by feed_body.
-                            let ok = tail.len() == 16 && md5.finalize()[..] == tail[..];
-                            (received, Some(ok))
+                            // kept out of the hashers by feed_body.
+                            let d = whole.unwrap_or_else(|| md5.finalize());
+                            Some(tail.len() == 16 && d[..] == tail[..])
                         }
-                        _ => (received, None),
+                        _ => None,
                     };
                     // Most-specific failure first: a short stream explains
                     // a bad digest, a bad digest trumps a content scan.
@@ -530,6 +818,8 @@ impl SinkServer {
                         bytes,
                         digest_ok,
                         content_ok,
+                        verified_blocks,
+                        resume_offset: offset,
                         accepted_at: conn.accepted_at,
                         completed_at: net.now(),
                     });
@@ -544,6 +834,8 @@ impl SinkServer {
                         bytes: 0,
                         digest_ok: None,
                         content_ok: true,
+                        verified_blocks: 0,
+                        resume_offset: 0,
                         accepted_at: conn.accepted_at,
                         completed_at: net.now(),
                     });
@@ -552,46 +844,143 @@ impl SinkServer {
         }
     }
 
+    /// A complete header arrived on `sock`: confirm the session back
+    /// through the cascade (granting a resume offset when requested) and
+    /// switch the conn to body consumption.
+    fn on_header(&mut self, net: &mut Net, sock: SockId, header: LslHeader, leftover: &[u8]) {
+        assert!(
+            header.route.is_empty(),
+            "sink received header with residual route"
+        );
+        let mut offset = 0u64;
+        if header.resume.is_some() {
+            // A new attempt supersedes any lingering conn of the same
+            // session (e.g. one whose death the sink has not noticed).
+            if let Some(stale) = self
+                .sessions
+                .get(&header.session)
+                .and_then(|p| p.active)
+                .filter(|&s| s != sock)
+            {
+                self.fail_conn(net, stale, SessionError::Stalled);
+                net.abort(stale);
+            }
+            let progress = self
+                .sessions
+                .entry(header.session)
+                .or_insert_with(|| SessionProgress {
+                    chain: DigestChain::new(RESUME_BLOCK),
+                    verified: 0,
+                    corrupt: false,
+                    active: None,
+                });
+            // Roll the chain back to the verified boundary: unverified
+            // blocks and partial bytes from a dead (or corrupt) attempt
+            // are junk the new attempt will resend.
+            progress.chain.truncate_to(progress.verified);
+            progress.corrupt = false;
+            progress.active = Some(sock);
+            offset = progress.verified * RESUME_BLOCK;
+            // Grant: confirm byte + the offset this attempt streams from.
+            let mut reply = Vec::with_capacity(9);
+            reply.push(SESSION_CONFIRM);
+            reply.extend_from_slice(&offset.to_be_bytes());
+            let n = net.send(sock, &Bytes::from(reply));
+            debug_assert_eq!(n, 9);
+        } else {
+            // Plain v1 confirmation — bit-identical to the pre-resume
+            // handshake.
+            let n = net.send(sock, &Bytes::from_static(&[SESSION_CONFIRM]));
+            debug_assert_eq!(n, 1);
+        }
+        let mut st = SinkConnState::Body {
+            header: Some(header),
+            md5: Md5::new(),
+            received: 0,
+            tail: Vec::new(),
+            content_ok: true,
+            offset,
+        };
+        Self::feed_body(&mut st, &mut self.sessions, leftover);
+        if let Some(conn) = self.conns.get_mut(&sock) {
+            conn.state = st;
+        }
+    }
+
     /// Append payload bytes, maintaining the 16-byte digest tail window
-    /// when a digest is expected.
-    fn feed_body(state: &mut SinkConnState, data: &[u8]) {
+    /// when a digest is expected. Resume sessions hash into the
+    /// session's [`DigestChain`] (which certifies completed blocks);
+    /// everything else into the conn's own whole-stream hasher.
+    fn feed_body(
+        state: &mut SinkConnState,
+        sessions: &mut BTreeMap<SessionId, SessionProgress>,
+        data: &[u8],
+    ) {
         let SinkConnState::Body {
             header,
             md5,
             received,
             tail,
             content_ok,
+            offset,
         } = state
         else {
             unreachable!("feed_body on header state");
         };
         let digest_expected = header.as_ref().is_some_and(|h| h.has_digest());
+        let progress = header
+            .as_ref()
+            .filter(|h| h.resume.is_some())
+            .and_then(|h| sessions.get_mut(&h.session));
         if !digest_expected {
-            for (i, &b) in data.iter().enumerate() {
-                if b != payload_byte(*received + i as u64) {
-                    *content_ok = false;
-                    break;
-                }
-            }
-            md5.update(data);
-            *received += data.len() as u64;
+            Self::absorb(data, *offset, received, content_ok, md5, progress);
             return;
         }
         // Keep a sliding 16-byte tail: everything before it is payload.
         tail.extend_from_slice(data);
         if tail.len() > 16 {
             let payload_len = tail.len() - 16;
-            let payload = &tail[..payload_len];
+            // Split so the drained prefix can be absorbed in place.
+            let payload: Vec<u8> = tail.drain(..payload_len).collect();
+            Self::absorb(&payload, *offset, received, content_ok, md5, progress);
+        }
+    }
+
+    /// Absorb verified-position payload bytes: pattern-check, hash, and
+    /// (for resume sessions) advance the certified block boundary.
+    fn absorb(
+        payload: &[u8],
+        offset: u64,
+        received: &mut u64,
+        content_ok: &mut bool,
+        md5: &mut Md5,
+        progress: Option<&mut SessionProgress>,
+    ) {
+        if *content_ok {
             for (i, &b) in payload.iter().enumerate() {
-                if b != payload_byte(*received + i as u64) {
+                if b != payload_byte(offset + *received + i as u64) {
                     *content_ok = false;
                     break;
                 }
             }
-            md5.update(payload);
-            *received += payload_len as u64;
-            tail.drain(..payload_len);
         }
+        match progress {
+            Some(p) => {
+                p.chain.update(payload);
+                // Certify newly completed blocks against the pattern; a
+                // mismatch freezes the boundary until the block is
+                // resent (the next attempt truncates the chain back).
+                while !p.corrupt && p.verified < p.chain.completed() {
+                    if p.chain.digest_of(p.verified) == Some(expected_block_digest(p.verified)) {
+                        p.verified += 1;
+                    } else {
+                        p.corrupt = true;
+                    }
+                }
+            }
+            None => md5.update(payload),
+        }
+        *received += payload.len() as u64;
     }
 }
 

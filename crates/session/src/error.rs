@@ -86,6 +86,11 @@ pub enum SessionError {
     RoutesExhausted,
     /// Retransfer budget exhausted without a verified delivery.
     RetransfersExhausted,
+    /// The sink granted a resume offset incompatible with the sender's
+    /// request (the sender asked to skip bytes the sink has not
+    /// verified). The sender must not stream from beyond the grant, so
+    /// the attempt is abandoned as malformed.
+    ResumeMismatch { requested: u64, granted: u64 },
 }
 
 impl fmt::Display for SessionError {
@@ -100,6 +105,10 @@ impl fmt::Display for SessionError {
             SessionError::TruncatedStream => write!(f, "stream truncated before declared length"),
             SessionError::RoutesExhausted => write!(f, "no candidate route survived"),
             SessionError::RetransfersExhausted => write!(f, "retransfer budget exhausted"),
+            SessionError::ResumeMismatch { requested, granted } => write!(
+                f,
+                "resume offset mismatch: requested {requested}, sink granted {granted}"
+            ),
         }
     }
 }
@@ -142,8 +151,12 @@ pub enum SessionEvent {
     FailedOver { route: usize },
     /// All depot routes exhausted: degraded to direct TCP.
     Degraded,
-    /// Verified delivery failed; resending the whole stream.
+    /// Verified delivery failed; resending from the last verified block
+    /// (or from byte 0 when resume is off or nothing verified).
     Retransfer { attempt: u32 },
+    /// The sink granted a mid-stream resume: this attempt streams from
+    /// `offset` (the first byte of block `from_block`) instead of 0.
+    Resumed { from_block: u64, offset: u64 },
     /// The sink verified a complete delivery.
     Completed,
     /// Terminal failure: recovery gave up.

@@ -1,6 +1,6 @@
 //! The LSL wire header, exchanged at the head of every sublink.
 //!
-//! Layout (big-endian):
+//! Version 1 layout (big-endian):
 //!
 //! ```text
 //! offset  size  field
@@ -13,9 +13,28 @@
 //! 31      6n    hops: node id u32 + port u16, last hop = destination
 //! ```
 //!
+//! Version 2 adds a resume request between the length and the hop
+//! count — the sender's claim of how far a previous attempt of this
+//! session got (see [`Resume`]); the sink replies with the offset it
+//! actually *grants*:
+//!
+//! ```text
+//! 30      8     requested resume offset in bytes
+//! 38      8     last block the sender believes is verified (u64::MAX
+//!               when no block is — i.e. resume-capable, starting fresh)
+//! 46      1     remaining hop count n
+//! 47      6n    hops
+//! ```
+//!
+//! A v1 header is emitted whenever no resume request rides along, so
+//! every pre-resume flow stays bit-identical on the wire; a v1-only
+//! decoder confronted with a v2 header fails with the *typed*
+//! [`WireError::UnsupportedVersion`]`(2)` rather than misparsing.
+//!
 //! A depot reads the header, pops the first hop, opens the next sublink
-//! and forwards the header with the shortened route. The sink receives a
-//! header whose route is empty.
+//! and forwards the header with the shortened route (resume fields
+//! ride along untouched — they are end-to-end state, not depot state).
+//! The sink receives a header whose route is empty.
 
 use bytes::{BufMut, Bytes, BytesMut};
 use lsl_netsim::NodeId;
@@ -29,9 +48,40 @@ pub const HEADER_FLAG_DIGEST: u8 = 0x01;
 
 const MAGIC: &[u8; 4] = b"LSL1";
 const VERSION: u8 = 1;
+/// Version carrying the [`Resume`] request fields.
+const VERSION_RESUME: u8 = 2;
 const FIXED_LEN: usize = 31;
+const FIXED_LEN_RESUME: usize = 47;
 /// Upper bound on hops, which bounds header size for parser buffers.
 pub const MAX_HOPS: usize = 16;
+
+/// Sentinel for [`Resume::verified_block`]: no block verified yet.
+pub const NO_VERIFIED_BLOCK: u64 = u64::MAX;
+
+/// A sender's resume request, carried by a version-2 header: where a
+/// previous attempt of this session is believed to have got. The sink
+/// is the authority — it replies with the offset it *grants* (its own
+/// contiguously verified boundary), which is what the sender streams
+/// from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Resume {
+    /// Byte offset the sender asks to resume from (0 = fresh start).
+    pub offset: u64,
+    /// Index of the last block the sender believes the sink verified,
+    /// or [`NO_VERIFIED_BLOCK`] when none is.
+    pub verified_block: u64,
+}
+
+impl Resume {
+    /// A resume-capable request that starts from scratch (the first
+    /// attempt of a resumable session).
+    pub fn fresh() -> Resume {
+        Resume {
+            offset: 0,
+            verified_block: NO_VERIFIED_BLOCK,
+        }
+    }
+}
 
 /// Parsed LSL header.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -40,6 +90,9 @@ pub struct LslHeader {
     pub flags: u8,
     /// Total payload bytes; `u64::MAX` means "stream until FIN".
     pub length: u64,
+    /// Resume request (version-2 headers only). `None` encodes as a
+    /// version-1 header, bit-identical to the pre-resume wire format.
+    pub resume: Option<Resume>,
     /// Remaining hops, ending with the destination. Empty at the sink.
     pub route: Vec<Hop>,
 }
@@ -49,19 +102,35 @@ impl LslHeader {
         self.flags & HEADER_FLAG_DIGEST != 0
     }
 
+    fn fixed_len(&self) -> usize {
+        if self.resume.is_some() {
+            FIXED_LEN_RESUME
+        } else {
+            FIXED_LEN
+        }
+    }
+
     /// Encoded size in bytes.
     pub fn encoded_len(&self) -> usize {
-        FIXED_LEN + 6 * self.route.len()
+        self.fixed_len() + 6 * self.route.len()
     }
 
     pub fn encode(&self) -> Bytes {
         assert!(self.route.len() <= MAX_HOPS, "route too long");
         let mut b = BytesMut::with_capacity(self.encoded_len());
         b.put_slice(MAGIC);
-        b.put_u8(VERSION);
+        b.put_u8(if self.resume.is_some() {
+            VERSION_RESUME
+        } else {
+            VERSION
+        });
         b.put_u8(self.flags);
         b.put_slice(&self.session.to_bytes());
         b.put_u64(self.length);
+        if let Some(r) = self.resume {
+            b.put_u64(r.offset);
+            b.put_u64(r.verified_block);
+        }
         b.put_u8(self.route.len() as u8);
         for hop in &self.route {
             b.put_u32(hop.node.0);
@@ -80,34 +149,45 @@ impl LslHeader {
     /// stream ends instead, the caller reports
     /// [`WireError::TruncatedHeader`].
     pub fn decode(buf: &[u8]) -> Result<Option<(LslHeader, usize)>, WireError> {
-        if buf.len() < FIXED_LEN {
-            // Reject early on bad magic so garbage connections fail fast.
-            let n = buf.len().min(4);
-            if buf[..n] != MAGIC[..n] {
-                return Err(WireError::BadMagic);
-            }
-            return Ok(None);
-        }
-        if &buf[..4] != MAGIC {
+        // Reject early on bad magic so garbage connections fail fast.
+        let n = buf.len().min(4);
+        if buf[..n] != MAGIC[..n] {
             return Err(WireError::BadMagic);
         }
-        if buf[4] != VERSION {
-            return Err(WireError::UnsupportedVersion(buf[4]));
+        if buf.len() < 5 {
+            return Ok(None);
+        }
+        // The version byte picks the fixed-part layout.
+        let fixed = match buf[4] {
+            VERSION => FIXED_LEN,
+            VERSION_RESUME => FIXED_LEN_RESUME,
+            v => return Err(WireError::UnsupportedVersion(v)),
+        };
+        if buf.len() < fixed {
+            return Ok(None);
         }
         let flags = buf[5];
         let session = SessionId::from_bytes(buf[6..22].try_into().expect("16 bytes"));
         let length = u64::from_be_bytes(buf[22..30].try_into().expect("8 bytes"));
-        let nhops = buf[30] as usize;
+        let resume = if buf[4] == VERSION_RESUME {
+            Some(Resume {
+                offset: u64::from_be_bytes(buf[30..38].try_into().expect("8 bytes")),
+                verified_block: u64::from_be_bytes(buf[38..46].try_into().expect("8 bytes")),
+            })
+        } else {
+            None
+        };
+        let nhops = buf[fixed - 1] as usize;
         if nhops > MAX_HOPS {
-            return Err(WireError::RouteTooLong(buf[30]));
+            return Err(WireError::RouteTooLong(buf[fixed - 1]));
         }
-        let total = FIXED_LEN + 6 * nhops;
+        let total = fixed + 6 * nhops;
         if buf.len() < total {
             return Ok(None);
         }
         let mut route = Vec::with_capacity(nhops);
         for i in 0..nhops {
-            let off = FIXED_LEN + 6 * i;
+            let off = fixed + 6 * i;
             let node = u32::from_be_bytes(buf[off..off + 4].try_into().expect("4 bytes"));
             let port = u16::from_be_bytes(buf[off + 4..off + 6].try_into().expect("2 bytes"));
             route.push(Hop::new(NodeId(node), port));
@@ -117,6 +197,7 @@ impl LslHeader {
                 session,
                 flags,
                 length,
+                resume,
                 route,
             },
             total,
@@ -124,7 +205,8 @@ impl LslHeader {
     }
 
     /// The header a depot forwards: same session, route minus its first
-    /// hop. Returns the popped next hop alongside.
+    /// hop. Returns the popped next hop alongside. Resume fields are
+    /// end-to-end state and ride along untouched.
     pub fn pop_hop(&self) -> Option<(Hop, LslHeader)> {
         let (&next, rest) = self.route.split_first()?;
         Some((
@@ -133,6 +215,7 @@ impl LslHeader {
                 session: self.session,
                 flags: self.flags,
                 length: self.length,
+                resume: self.resume,
                 route: rest.to_vec(),
             },
         ))
@@ -148,9 +231,17 @@ mod tests {
             session: SessionId(0xdead_beef_cafe_f00d_0123_4567_89ab_cdef),
             flags: HEADER_FLAG_DIGEST,
             length: 1 << 26,
+            resume: None,
             route: (0..nhops)
                 .map(|i| Hop::new(NodeId(i as u32 + 1), 7000 + i as u16))
                 .collect(),
+        }
+    }
+
+    fn header_v2(nhops: usize, resume: Resume) -> LslHeader {
+        LslHeader {
+            resume: Some(resume),
+            ..header(nhops)
         }
     }
 
@@ -167,20 +258,89 @@ mod tests {
     }
 
     #[test]
-    fn partial_input_needs_more() {
-        let enc = header(3).encode();
-        for cut in 4..enc.len() {
-            assert_eq!(
-                LslHeader::decode(&enc[..cut]).unwrap(),
-                None,
-                "cut at {cut}"
-            );
+    fn roundtrip_v2() {
+        for n in [0, 1, 2, MAX_HOPS] {
+            for resume in [
+                Resume::fresh(),
+                Resume {
+                    offset: 42 << 16,
+                    verified_block: 41,
+                },
+            ] {
+                let h = header_v2(n, resume);
+                let enc = h.encode();
+                assert_eq!(enc.len(), h.encoded_len());
+                assert_eq!(enc[4], VERSION_RESUME);
+                let (dec, used) = LslHeader::decode(&enc).unwrap().unwrap();
+                assert_eq!(used, enc.len());
+                assert_eq!(dec, h);
+            }
         }
-        // Trailing payload bytes after the header are not consumed.
-        let mut extended = enc.to_vec();
-        extended.extend_from_slice(b"payload");
-        let (_, used) = LslHeader::decode(&extended).unwrap().unwrap();
-        assert_eq!(used, enc.len());
+    }
+
+    #[test]
+    fn v1_wire_format_is_unchanged_by_the_resume_extension() {
+        // Pre-resume flows must stay bit-identical: no-resume headers
+        // still encode as 31-byte-fixed version-1 headers.
+        let h = header(2);
+        let enc = h.encode();
+        assert_eq!(enc[4], VERSION);
+        assert_eq!(enc.len(), 31 + 6 * 2);
+    }
+
+    #[test]
+    fn v1_only_decoder_gets_typed_error_for_v2() {
+        // Simulate a pre-resume decoder: it knows only version 1, so the
+        // version byte of a v2 header must surface as the typed
+        // `UnsupportedVersion(2)` — exactly what the current decoder
+        // reports for any version it does not know.
+        let enc = header_v2(1, Resume::fresh()).encode();
+        let mut unknown = enc.to_vec();
+        unknown[4] = 3; // a future version neither decoder knows
+        assert_eq!(
+            LslHeader::decode(&unknown),
+            Err(WireError::UnsupportedVersion(3))
+        );
+    }
+
+    #[test]
+    fn partial_input_needs_more() {
+        for enc in [header(3).encode(), header_v2(3, Resume::fresh()).encode()] {
+            for cut in 4..enc.len() {
+                assert_eq!(
+                    LslHeader::decode(&enc[..cut]).unwrap(),
+                    None,
+                    "cut at {cut}"
+                );
+            }
+            // Trailing payload bytes after the header are not consumed.
+            let mut extended = enc.to_vec();
+            extended.extend_from_slice(b"payload");
+            let (_, used) = LslHeader::decode(&extended).unwrap().unwrap();
+            assert_eq!(used, enc.len());
+        }
+    }
+
+    #[test]
+    fn until_fin_sentinel_rides_with_resume() {
+        // `length == u64::MAX` ("until FIN") and a resume offset are
+        // orthogonal: the sentinel must survive a v2 round-trip next to
+        // a real offset, and must not be confused with the
+        // NO_VERIFIED_BLOCK sentinel that shares its bit pattern.
+        let h = LslHeader {
+            length: u64::MAX,
+            ..header_v2(
+                1,
+                Resume {
+                    offset: 7 << 20,
+                    verified_block: 6,
+                },
+            )
+        };
+        let (dec, _) = LslHeader::decode(&h.encode()).unwrap().unwrap();
+        assert_eq!(dec.length, u64::MAX);
+        assert_eq!(dec.resume.unwrap().offset, 7 << 20);
+        assert_eq!(dec.resume.unwrap().verified_block, 6);
     }
 
     #[test]
@@ -221,6 +381,19 @@ mod tests {
         assert!(last.route.is_empty());
         assert!(last.pop_hop().is_none());
     }
+
+    #[test]
+    fn pop_hop_preserves_resume() {
+        let h = header_v2(
+            2,
+            Resume {
+                offset: 123,
+                verified_block: 0,
+            },
+        );
+        let (_, fwd) = h.pop_hop().unwrap();
+        assert_eq!(fwd.resume, h.resume);
+    }
 }
 
 #[cfg(test)]
@@ -228,15 +401,29 @@ mod proptests {
     use super::*;
     use proptest::prelude::*;
 
+    /// An arbitrary resume field: absent (v1), fresh, or mid-stream.
+    fn any_resume() -> impl Strategy<Value = Option<Resume>> {
+        prop_oneof![
+            Just(None),
+            Just(Some(Resume::fresh())),
+            (any::<u64>(), any::<u64>()).prop_map(|(offset, verified_block)| Some(Resume {
+                offset,
+                verified_block
+            })),
+        ]
+    }
+
     proptest! {
         #[test]
         fn codec_roundtrip(sid in any::<u128>(), flags in any::<u8>(),
                            length in any::<u64>(),
+                           resume in any_resume(),
                            hops in proptest::collection::vec((any::<u32>(), any::<u16>()), 0..MAX_HOPS)) {
             let h = LslHeader {
                 session: SessionId(sid),
                 flags,
                 length,
+                resume,
                 route: hops.into_iter().map(|(n, p)| Hop::new(NodeId(n), p)).collect(),
             };
             let enc = h.encode();
@@ -256,12 +443,14 @@ mod proptests {
         /// never a bogus parse).
         #[test]
         fn truncation_never_misparses(sid in any::<u128>(), length in any::<u64>(),
+                                      resume in any_resume(),
                                       nhops in 0usize..MAX_HOPS,
                                       cut_frac in 0.0f64..1.0) {
             let h = LslHeader {
                 session: SessionId(sid),
                 flags: HEADER_FLAG_DIGEST,
                 length,
+                resume,
                 route: (0..nhops).map(|i| Hop::new(NodeId(i as u32), 7000)).collect(),
             };
             let enc = h.encode();
@@ -286,13 +475,20 @@ mod proptests {
                 session: SessionId(sid),
                 flags: 0,
                 length: 4096,
+                resume: None,
                 route: vec![Hop::new(NodeId(7), 7000)],
             };
             let mut enc = h.encode().to_vec();
             enc[pos] ^= flip;
             match (pos, LslHeader::decode(&enc)) {
                 (0..=3, res) => prop_assert_eq!(res, Err(WireError::BadMagic)),
-                (4, res) => prop_assert_eq!(res, Err(WireError::UnsupportedVersion(1 ^ flip))),
+                (4, res) if VERSION ^ flip == VERSION_RESUME => {
+                    // The flip upgraded the version byte: the decoder
+                    // now waits for the longer v2 fixed part this
+                    // 37-byte buffer cannot complete.
+                    prop_assert_eq!(res, Ok(None));
+                }
+                (4, res) => prop_assert_eq!(res, Err(WireError::UnsupportedVersion(VERSION ^ flip))),
                 (30, res) => {
                     // Hop count either exceeds MAX_HOPS (typed error) or the
                     // parser waits for the longer route it now expects.
@@ -312,6 +508,54 @@ mod proptests {
             }
         }
 
+        /// Single-byte corruption of a *version-2* header is likewise
+        /// detected (typed wire error) or contained (parses to a header
+        /// that differs from the original) — including the dangerous
+        /// version-downgrade flip, which re-frames a resume-offset byte
+        /// as the hop count.
+        #[test]
+        fn corruption_is_detected_or_contained_v2(sid in any::<u128>(),
+                                                  pos in 0usize..FIXED_LEN_RESUME,
+                                                  flip in 1u8..=255) {
+            let h = LslHeader {
+                session: SessionId(sid),
+                flags: 0,
+                length: 4096,
+                // High offset byte 200: a downgraded-to-v1 parse reads
+                // it as a hop count, which MAX_HOPS then rejects.
+                resume: Some(Resume { offset: (200u64 << 56) | 4096, verified_block: 3 }),
+                route: vec![Hop::new(NodeId(7), 7000)],
+            };
+            let mut enc = h.encode().to_vec();
+            enc[pos] ^= flip;
+            let res = LslHeader::decode(&enc);
+            match pos {
+                0..=3 => prop_assert_eq!(res, Err(WireError::BadMagic)),
+                4 => {
+                    let v = VERSION_RESUME ^ flip;
+                    if v == VERSION {
+                        prop_assert_eq!(res, Err(WireError::RouteTooLong(200)));
+                    } else {
+                        prop_assert_eq!(res, Err(WireError::UnsupportedVersion(v)));
+                    }
+                }
+                46 => {
+                    // Hop count: either implausible (typed error) or the
+                    // parser waits for the longer route it now expects.
+                    let claimed = 1 ^ flip;
+                    if claimed as usize > MAX_HOPS {
+                        prop_assert_eq!(res, Err(WireError::RouteTooLong(claimed)));
+                    } else {
+                        prop_assert!(matches!(res, Ok(None)) || claimed as usize <= 1);
+                    }
+                }
+                _ => {
+                    let (dec, _) = res.unwrap().unwrap();
+                    prop_assert_ne!(dec, h);
+                }
+            }
+        }
+
         /// `pop_hop` terminates: a route of n hops exhausts after exactly
         /// n pops (hop exhaustion at the sink is a defined state, not an
         /// error or a loop).
@@ -321,6 +565,7 @@ mod proptests {
                 session: SessionId(1),
                 flags: 0,
                 length: 0,
+                resume: None,
                 route: (0..nhops).map(|i| Hop::new(NodeId(i as u32), 7000)).collect(),
             };
             for left in (0..nhops).rev() {

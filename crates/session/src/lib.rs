@@ -37,10 +37,15 @@ pub mod model;
 pub mod path;
 pub mod route;
 
-pub use client::{ClientState, RecoveryConfig, SessionClient, CLIENT_TIMER_TAG};
+pub use client::{
+    ClientState, RecoveryConfig, RecoveryConfigBuilder, SessionClient, CLIENT_TIMER_TAG,
+};
 pub use depot::{Depot, DepotConfig, DepotConfigBuilder, DepotStats};
-pub use endpoint::{BulkSender, SenderState, SinkServer, TransferOutcome, TransferStatus};
+pub use endpoint::{
+    BulkSender, SenderState, SinkServer, TransferOutcome, TransferStatus, RESUME_BLOCK,
+    SINK_TIMER_TAG,
+};
 pub use error::{Handled, RouteError, SessionError, SessionEvent, WireError};
-pub use header::{LslHeader, HEADER_FLAG_DIGEST};
+pub use header::{LslHeader, Resume, HEADER_FLAG_DIGEST, NO_VERIFIED_BLOCK};
 pub use id::SessionId;
 pub use route::{Hop, LslPath};

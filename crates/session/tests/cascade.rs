@@ -2,9 +2,12 @@
 //! verification, backpressure, overheads, and the core LSL effect.
 
 use lsl_netsim::{Dur, LinkSpec, LossModel, NodeId, Topology, TopologyBuilder};
-use lsl_session::endpoint::{SendMode, SenderState};
-use lsl_session::{BulkSender, Depot, DepotConfig, Hop, LslPath, SessionId, SinkServer};
-use lsl_tcp::{Net, TcpConfig};
+use lsl_session::endpoint::{payload_chunk, SendMode, SenderState};
+use lsl_session::{
+    BulkSender, Depot, DepotConfig, Hop, LslHeader, LslPath, Resume, SessionId, SinkServer,
+    TransferStatus, HEADER_FLAG_DIGEST,
+};
+use lsl_tcp::{AppEvent, Net, SockEvent, TcpConfig};
 
 const SINK_PORT: u16 = 5000;
 const DEPOT_PORT: u16 = 7000;
@@ -105,6 +108,7 @@ fn run_cascade(
         total,
         SendMode::Lsl { digest, sync: true },
         tcp,
+        None,
         None,
     );
     let h = Harness {
@@ -217,6 +221,7 @@ fn depot_buffer_stays_bounded() {
         SendMode::lsl(),
         tcp,
         None,
+        None,
     );
     let (_, depots, sinksrv, _) = Harness {
         net,
@@ -291,8 +296,17 @@ fn lsl_beats_direct_on_split_lossy_path_and_loses_when_tiny() {
                 SendMode::DirectTcp,
             )
         };
-        let sender =
-            BulkSender::start(&mut net, src, &path, SessionId(9), total, mode, tcp(), None);
+        let sender = BulkSender::start(
+            &mut net,
+            src,
+            &path,
+            SessionId(9),
+            total,
+            mode,
+            tcp(),
+            None,
+            None,
+        );
         let started = sender.started_at;
         let (net, _, sink, _) = Harness {
             net,
@@ -361,6 +375,7 @@ fn concurrent_sessions_through_one_depot() {
                 SendMode::lsl(),
                 tcp.clone(),
                 None,
+                None,
             )
         })
         .collect();
@@ -387,4 +402,89 @@ fn concurrent_sessions_through_one_depot() {
     }
     assert_eq!(depot.stats().sessions_accepted, 4);
     assert_eq!(depot.active_sessions(), 0);
+}
+
+/// Satellite (ISSUE 5): the `length == u64::MAX` ("until FIN") sentinel
+/// interacting with a resume request. The sink must not read the
+/// sentinel as a declared length (no spurious `TruncatedStream`), must
+/// grant a fresh resume from offset 0, and must still certify full
+/// blocks and the whole-stream digest off the FIN-terminated stream.
+#[test]
+fn until_fin_sentinel_with_resume_verifies_blocks_at_fin() {
+    let (topo, nodes) = chain_topology(0, 50_000_000, Dur::from_millis(5), 0.0);
+    let mut net = Net::new(topo.into_sim(9));
+    let tcp = TcpConfig::default();
+    let sink_node = *nodes.last().unwrap();
+    let mut sink = SinkServer::new(&mut net, sink_node, SINK_PORT, true, tcp.clone());
+    let sock = net.connect(nodes[0], sink_node, SINK_PORT, tcp);
+
+    // 1.5 resume blocks: one certifiable full block plus a partial tail
+    // whose bytes only the whole-stream digest can vouch for.
+    let total = lsl_session::RESUME_BLOCK + lsl_session::RESUME_BLOCK / 2;
+    let header = LslHeader {
+        session: SessionId(0x51),
+        flags: HEADER_FLAG_DIGEST,
+        length: u64::MAX,
+        resume: Some(Resume::fresh()),
+        route: Vec::new(),
+    };
+    let payload = payload_chunk(0, total as usize);
+    let digest = lsl_digest::md5(&payload);
+    let mut stream = Vec::from(&header.encode()[..]);
+    stream.extend_from_slice(&payload);
+    stream.extend_from_slice(&digest);
+    let stream = bytes::Bytes::from(stream);
+
+    // Hand-driven sender: push bytes whenever the socket will take them,
+    // drain the sink's 9-byte resume grant, FIN when the stream is out.
+    let mut sent = 0usize;
+    let mut grant = Vec::new();
+    let mut closed = false;
+    while let Some(ev) = net.poll() {
+        if sink.handle(&mut net, &ev).consumed() {
+            continue;
+        }
+        let AppEvent::Sock { sock: s, event } = &ev else {
+            continue;
+        };
+        if *s != sock {
+            continue;
+        }
+        if matches!(event, SockEvent::Readable) {
+            grant.extend_from_slice(&net.recv(sock, 64));
+        }
+        if matches!(
+            event,
+            SockEvent::Connected | SockEvent::Writable | SockEvent::Readable
+        ) {
+            if sent < stream.len() {
+                sent += net.send(sock, &stream.slice(sent..));
+            }
+            if sent == stream.len() && !closed {
+                net.close(sock);
+                closed = true;
+            }
+        }
+    }
+    assert!(closed, "stream never fully handed to the socket");
+
+    // Fresh session: the sink granted offset 0 (0x4b confirm + BE u64).
+    assert_eq!(grant.len(), 9, "version-2 confirm is 9 bytes");
+    assert_eq!(grant[0], 0x4b);
+    assert_eq!(u64::from_be_bytes(grant[1..9].try_into().unwrap()), 0);
+
+    let done = sink.take_outcomes();
+    assert_eq!(done.len(), 1);
+    let o = &done[0];
+    assert_eq!(o.session, Some(SessionId(0x51)));
+    // No declared length ⇒ no truncation verdict: the FIN ends the
+    // stream and the digest decides.
+    assert_eq!(o.status, TransferStatus::Complete);
+    assert_eq!(o.bytes, total);
+    assert_eq!(o.digest_ok, Some(true));
+    assert!(o.content_ok);
+    // Exactly the one full block is certified; the partial tail rides on
+    // the whole-stream digest alone.
+    assert_eq!(o.verified_blocks, 1);
+    assert_eq!(o.resume_offset, 0);
 }

@@ -1,0 +1,480 @@
+//! Chaos-storm soak: seeded random fault storms against the recovering
+//! failover session, with a machine-checked per-run contract.
+//!
+//! Each seed expands (via [`FaultStormGen`]) into a storm of 1–5 fault
+//! atoms — link flaps, depot crashes (possibly permanent), client-host
+//! RSTs — thrown at the two-depot [`failover_case`] topology while a
+//! resumable transfer is in flight. [`run_chaos_seed`] drives the run
+//! under a sim-time + event-count bound and checks the contract:
+//!
+//! 1. the run **terminates** within the bound (no hang, no wedge),
+//! 2. the client ends in verified delivery or a typed
+//!    [`SessionError`](lsl_session::SessionError) — `Done` without a
+//!    digest-verified sink outcome is a violation,
+//! 3. **no verified block is ever re-sent**: every resumed attempt's
+//!    granted offset is at or above the verified boundary established by
+//!    attempts that finished before it was accepted,
+//! 4. the runtime invariant auditor is clean (under `--features
+//!    invariants`).
+//!
+//! [`run_chaos_campaign`] fans seeds out through
+//! [`run_campaign`](crate::campaign::run_campaign) — output is
+//! byte-identical whatever the job count. A failing storm shrinks to a
+//! minimal reproduction with [`shrink_storm`], rendered as a paste-able
+//! [`FaultPlan`](lsl_netsim::FaultPlan) drill by [`ChaosRun::drill`].
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use lsl_netsim::{Dur, FaultStormGen, LinkId, StormAtom, StormPlan, StormSpec, Time};
+use lsl_session::endpoint::SendMode;
+use lsl_session::{
+    ClientState, Depot, DepotConfig, SessionClient, SessionEvent, SessionId, SinkServer,
+    TransferOutcome, RESUME_BLOCK,
+};
+use lsl_tcp::Net;
+
+use crate::campaign::run_campaign;
+use crate::faults::{failover_case, FailoverCase, FaultRunConfig};
+use crate::paths::{DEPOT_PORT, SINK_PORT};
+
+/// Soak parameters shared by every seed of a campaign.
+#[derive(Clone, Debug)]
+pub struct ChaosConfig {
+    /// Transfer size per run, bytes.
+    pub size: u64,
+    /// Sim-time bound: a client still non-terminal past this is a hang.
+    pub time_bound: Dur,
+    /// Event-count bound: a livelock backstop for runs that churn
+    /// without advancing meaningfully in sim time.
+    pub max_events: u64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> ChaosConfig {
+        ChaosConfig {
+            size: 1 << 20,
+            // Worst honest case is a few seconds of backoff ladders and
+            // SYN retries across three routes; 60 s of sim time only
+            // trips on genuine hangs.
+            time_bound: Dur::from_secs(60),
+            max_events: 5_000_000,
+        }
+    }
+}
+
+/// The storm envelope for the failover topology: every link is a flap
+/// target, both depots are crash targets (sometimes permanently), and
+/// the client host is the RST target. Faults land inside the first
+/// 1.5 s — mid-stream for the default transfer size.
+pub fn chaos_spec(case: &FailoverCase) -> StormSpec {
+    let sim = case.topo.clone().into_sim(0);
+    StormSpec::new(Dur::from_millis(1500))
+        .with_links((0..sim.num_links()).map(|i| LinkId(i as u32)).collect())
+        .with_crash_nodes(vec![case.depot_a, case.depot_b])
+        .with_rst_nodes(vec![case.src])
+        .with_atoms(1, 5)
+        .with_max_outage(Dur::from_millis(800))
+}
+
+/// One contract breach. `Debug` output is stable — it feeds the campaign
+/// fingerprint.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ChaosViolation {
+    /// The sim-time or event-count bound tripped before the client
+    /// reached a terminal state.
+    Hang { at: Time, events: u64 },
+    /// The network quiesced with the client still non-terminal: the
+    /// recovery layer lost track of its own session.
+    Wedged { state: ClientState },
+    /// The client claims `Done` but no sink outcome is a digest-verified
+    /// complete delivery.
+    NoVerifiedDelivery,
+    /// A resumed attempt was granted an offset below a verified boundary
+    /// established before it was accepted — a verified block would be
+    /// re-sent on the wire.
+    ResumeRegression {
+        /// Index into [`ChaosRun::outcomes`] of the offending attempt.
+        outcome: usize,
+        resume_offset: u64,
+        floor_blocks: u64,
+    },
+    /// The runtime invariant auditor recorded violations during the run
+    /// (only reachable under `--features invariants`).
+    Invariants { count: usize },
+}
+
+/// One seed's run: the storm it drew, what the session did, and every
+/// contract breach (empty = the seed passed).
+#[derive(Debug)]
+pub struct ChaosRun {
+    pub seed: u64,
+    pub storm: StormPlan,
+    pub state: ClientState,
+    pub route_used: usize,
+    pub timeline: Vec<(Time, SessionEvent)>,
+    pub outcomes: Vec<TransferOutcome>,
+    /// Session start to terminal state (or to the bound, on a hang),
+    /// seconds of sim time.
+    pub duration_s: f64,
+    /// Events dispatched before the run ended.
+    pub events: u64,
+    pub violations: Vec<ChaosViolation>,
+}
+
+impl ChaosRun {
+    /// Did the run satisfy the whole contract?
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    pub fn completed(&self) -> bool {
+        self.state == ClientState::Done
+    }
+
+    /// The distinct fault kinds this storm lowered to (for coverage
+    /// accounting across a campaign).
+    pub fn kinds(&self) -> BTreeSet<&'static str> {
+        self.storm.kinds()
+    }
+
+    /// A paste-able [`FaultPlan`](lsl_netsim::FaultPlan) builder chain
+    /// reproducing this run's storm.
+    pub fn drill(&self) -> String {
+        self.storm.drill()
+    }
+
+    /// Canonical rendering — storm, timeline, outcomes, verdicts — for
+    /// byte-identical determinism comparisons across job counts.
+    pub fn fingerprint(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "chaos seed {} atoms {}",
+            self.seed,
+            self.storm.atoms.len()
+        );
+        for a in &self.storm.atoms {
+            let _ = writeln!(s, "  atom {a:?}");
+        }
+        for (t, ev) in &self.timeline {
+            let _ = writeln!(s, "{t:?} {ev:?}");
+        }
+        for o in &self.outcomes {
+            let _ = writeln!(
+                s,
+                "outcome {:?} {:?} bytes={} digest={:?} verified={} resume_at={} at={:?}",
+                o.session,
+                o.status,
+                o.bytes,
+                o.digest_ok,
+                o.verified_blocks,
+                o.resume_offset,
+                o.completed_at
+            );
+        }
+        let _ = writeln!(
+            s,
+            "state {:?} route {} events {} violations {:?}",
+            self.state, self.route_used, self.events, self.violations
+        );
+        s
+    }
+}
+
+/// Run one seed: generate its storm, drive it, check the contract.
+pub fn run_chaos_seed(cfg: &ChaosConfig, seed: u64) -> ChaosRun {
+    let case = failover_case();
+    let storm = FaultStormGen::new(chaos_spec(&case)).generate(seed);
+    run_chaos_storm(&case, cfg, storm)
+}
+
+/// Run an explicit storm (the shrinker re-enters here with atom
+/// subsets). The sim seed is the storm's seed, so a shrunk reproduction
+/// replays the exact packet-level timing of the original run.
+pub fn run_chaos_storm(case: &FailoverCase, cfg: &ChaosConfig, storm: StormPlan) -> ChaosRun {
+    // Reset the (thread-local) invariant registry so a prior seed on
+    // this worker thread can't leak violations into our verdict.
+    #[cfg(feature = "invariants")]
+    drop(lsl_netsim::invariants::take());
+
+    let run_cfg = FaultRunConfig::new(cfg.size, storm.seed, storm.to_fault_plan());
+    let mut sim = case.topo.clone().into_sim(run_cfg.seed);
+    sim.install_faults(run_cfg.plan.clone());
+    let mut net = Net::new(sim);
+
+    let depot_cfg = DepotConfig::builder()
+        .port(DEPOT_PORT)
+        .tcp(run_cfg.tcp.clone())
+        .setup_delay(Dur::from_millis(5))
+        .build();
+    let mut depots = vec![
+        Depot::new(&mut net, case.depot_a, depot_cfg.clone()),
+        Depot::new(&mut net, case.depot_b, depot_cfg),
+    ];
+    let mut sink = SinkServer::new(&mut net, case.dst, SINK_PORT, true, run_cfg.tcp.clone());
+    if let Some(d) = run_cfg.sink_idle {
+        sink = sink.with_idle_timeout(d);
+    }
+
+    let mut client = SessionClient::start(
+        &mut net,
+        case.src,
+        case.routes(),
+        SessionId(0xc4a0 + run_cfg.seed as u128),
+        run_cfg.size,
+        SendMode::lsl(),
+        run_cfg.tcp.clone(),
+        run_cfg.recovery.clone(),
+        None,
+    );
+
+    let deadline = Time::ZERO + cfg.time_bound;
+    let mut outcomes: Vec<TransferOutcome> = Vec::new();
+    let mut events: u64 = 0;
+    let mut hung = false;
+    while let Some(ev) = net.poll() {
+        events += 1;
+        if net.now() > deadline || events > cfg.max_events {
+            hung = true;
+            break;
+        }
+        let consumed =
+            client.handle(&mut net, &ev).consumed() || sink.handle(&mut net, &ev).consumed();
+        if !consumed {
+            for d in &mut depots {
+                if d.handle(&mut net, &ev).consumed() {
+                    break;
+                }
+            }
+        }
+        for o in sink.take_outcomes() {
+            if o.session == Some(client.session()) {
+                client.on_outcome(&mut net, &o);
+            }
+            outcomes.push(o);
+        }
+        // Terminal client: the contract is decided; draining residual
+        // fault repairs would only pad the event count.
+        if client.is_done() {
+            break;
+        }
+    }
+
+    let state = client.state();
+    let ended_at = client.finished_at.unwrap_or_else(|| net.now());
+    #[cfg(feature = "invariants")]
+    let invariant_count = lsl_netsim::invariants::take().len();
+    #[cfg(not(feature = "invariants"))]
+    let invariant_count = 0;
+    let violations = check_contract(hung, events, net.now(), state, &outcomes, invariant_count);
+
+    ChaosRun {
+        seed: storm.seed,
+        storm,
+        state,
+        route_used: client.route_index(),
+        timeline: client.take_events(),
+        outcomes,
+        duration_s: (ended_at - client.started_at).as_secs_f64(),
+        events,
+        violations,
+    }
+}
+
+/// The machine-checked contract (the caller drains the thread-local
+/// invariant registry and passes the count in).
+fn check_contract(
+    hung: bool,
+    events: u64,
+    now: Time,
+    state: ClientState,
+    outcomes: &[TransferOutcome],
+    invariant_count: usize,
+) -> Vec<ChaosViolation> {
+    let mut v = Vec::new();
+    if invariant_count > 0 {
+        v.push(ChaosViolation::Invariants {
+            count: invariant_count,
+        });
+    }
+    if hung {
+        v.push(ChaosViolation::Hang { at: now, events });
+        return v;
+    }
+    let terminal = matches!(state, ClientState::Done | ClientState::Failed(_));
+    if !terminal {
+        v.push(ChaosViolation::Wedged { state });
+        return v;
+    }
+    if state == ClientState::Done && !outcomes.iter().any(|o| o.ok() && o.digest_ok == Some(true)) {
+        v.push(ChaosViolation::NoVerifiedDelivery);
+    }
+    // No-re-send check: an attempt accepted after some prior attempt
+    // ended with `n` verified blocks must be granted at least
+    // `n * RESUME_BLOCK`. Pre-header failures (session None) never
+    // negotiated resume and are exempt.
+    for (i, o) in outcomes.iter().enumerate() {
+        if o.session.is_none() {
+            continue;
+        }
+        let floor_blocks = outcomes
+            .iter()
+            .filter(|p| p.session.is_some() && p.completed_at <= o.accepted_at)
+            .map(|p| p.verified_blocks)
+            .max()
+            .unwrap_or(0);
+        if o.resume_offset < floor_blocks * RESUME_BLOCK {
+            v.push(ChaosViolation::ResumeRegression {
+                outcome: i,
+                resume_offset: o.resume_offset,
+                floor_blocks,
+            });
+        }
+    }
+    v
+}
+
+/// Run seeds `0..n` through the failover topology. Fan-out goes through
+/// [`run_campaign`]: results arrive in seed order and are byte-identical
+/// for any `jobs` value.
+pub fn run_chaos_campaign(cfg: &ChaosConfig, n: usize, jobs: usize) -> Vec<ChaosRun> {
+    run_campaign(n, jobs, |i| run_chaos_seed(cfg, i as u64))
+}
+
+/// Greedy delta-debugging: shrink a failing storm to a 1-minimal atom
+/// subset — one from which no single atom can be removed while `fails`
+/// still holds. `fails` must hold for `atoms` itself; atoms are whole
+/// failure+repair pairs, so every subset is a valid schedule.
+pub fn shrink_storm(atoms: &[StormAtom], fails: impl Fn(&[StormAtom]) -> bool) -> Vec<StormAtom> {
+    let mut cur: Vec<StormAtom> = atoms.to_vec();
+    loop {
+        let mut reduced = false;
+        let mut i = 0;
+        while i < cur.len() {
+            let mut cand = cur.clone();
+            cand.remove(i);
+            if fails(&cand) {
+                cur = cand;
+                reduced = true;
+            } else {
+                i += 1;
+            }
+        }
+        if !reduced {
+            break;
+        }
+    }
+    cur
+}
+
+/// Shrink a failing [`ChaosRun`] by re-running atom subsets under the
+/// same seed, and render the minimal storm as a paste-able drill.
+pub fn shrink_chaos_run(cfg: &ChaosConfig, run: &ChaosRun) -> StormPlan {
+    let case = failover_case();
+    let seed = run.seed;
+    let minimal = shrink_storm(&run.storm.atoms, |atoms| {
+        let storm = StormPlan {
+            seed,
+            atoms: atoms.to_vec(),
+        };
+        !run_chaos_storm(&case, cfg, storm).ok()
+    });
+    StormPlan {
+        seed,
+        atoms: minimal,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg() -> ChaosConfig {
+        ChaosConfig {
+            size: 256 * 1024,
+            ..ChaosConfig::default()
+        }
+    }
+
+    #[test]
+    fn calm_seed_satisfies_contract() {
+        let case = failover_case();
+        let storm = StormPlan {
+            seed: 7,
+            atoms: Vec::new(),
+        };
+        let r = run_chaos_storm(&case, &quick_cfg(), storm);
+        assert!(r.ok(), "violations: {:?}", r.violations);
+        assert!(r.completed(), "state {:?}", r.state);
+        assert_eq!(r.route_used, 0);
+    }
+
+    #[test]
+    fn chaos_spec_covers_every_target_class() {
+        let case = failover_case();
+        let spec = chaos_spec(&case);
+        assert_eq!(spec.links.len(), 8, "failover topology has 8 simplex links");
+        assert_eq!(spec.crash_nodes, vec![case.depot_a, case.depot_b]);
+        assert_eq!(spec.rst_nodes, vec![case.src]);
+    }
+
+    #[test]
+    fn hang_bound_reports_violation_not_panic() {
+        let case = failover_case();
+        let cfg = ChaosConfig {
+            // An impossible event budget: the run trips the bound during
+            // connection setup, long before the client is terminal.
+            max_events: 3,
+            ..quick_cfg()
+        };
+        let storm = StormPlan {
+            seed: 1,
+            atoms: Vec::new(),
+        };
+        let r = run_chaos_storm(&case, &cfg, storm);
+        assert!(matches!(
+            r.violations.as_slice(),
+            [ChaosViolation::Hang { .. }]
+        ));
+    }
+
+    #[test]
+    fn shrinker_finds_minimal_failing_subset() {
+        // Synthetic predicate: fails iff the subset still contains both
+        // a crash of depot-a AND the RST atom — the flap is noise the
+        // shrinker must discard.
+        let case = failover_case();
+        let atoms = vec![
+            StormAtom::LinkFlap {
+                link: case.access_links.0,
+                at: Dur::from_millis(10),
+                outage: Some(Dur::from_millis(50)),
+            },
+            StormAtom::NodeCrash {
+                node: case.depot_a,
+                at: Dur::from_millis(20),
+                downtime: None,
+            },
+            StormAtom::SublinkRst {
+                node: case.src,
+                at: Dur::from_millis(30),
+            },
+        ];
+        let fails = |s: &[StormAtom]| {
+            s.iter()
+                .any(|a| matches!(a, StormAtom::NodeCrash { node, .. } if *node == case.depot_a))
+                && s.iter().any(|a| matches!(a, StormAtom::SublinkRst { .. }))
+        };
+        assert!(fails(&atoms));
+        let minimal = shrink_storm(&atoms, fails);
+        assert_eq!(minimal.len(), 2);
+        assert!(fails(&minimal));
+        // 1-minimality: removing either survivor breaks the predicate.
+        for i in 0..minimal.len() {
+            let mut cand = minimal.clone();
+            cand.remove(i);
+            assert!(!fails(&cand));
+        }
+    }
+}

@@ -119,6 +119,11 @@ pub struct FaultRunConfig {
     pub plan: FaultPlan,
     pub recovery: RecoveryConfig,
     pub tcp: TcpConfig,
+    /// Sink-side idle watchdog period. A crashed depot dies *silently*
+    /// (no RST), so once the sender has handed the whole stream to its
+    /// sublink only the sink can still notice the stall and emit the
+    /// typed outcome that drives recovery.
+    pub sink_idle: Option<Dur>,
 }
 
 impl FaultRunConfig {
@@ -137,6 +142,7 @@ impl FaultRunConfig {
                 progress_timeout: Some(Dur::from_millis(500)),
                 max_retransfers: 2,
                 direct_fallback: true,
+                resume: true,
             },
             tcp: TcpConfig {
                 time_wait: Dur::from_millis(1),
@@ -149,6 +155,10 @@ impl FaultRunConfig {
                 send_buf: 256 * 1024,
                 ..TcpConfig::default()
             },
+            // Generous against loss-recovery silences (RTO back-off gaps
+            // stay well under a second here) but far below any hang
+            // bound.
+            sink_idle: Some(Dur::from_secs(2)),
         }
     }
 
@@ -199,8 +209,14 @@ impl FaultRunResult {
         for o in &self.outcomes {
             let _ = writeln!(
                 s,
-                "outcome {:?} {:?} bytes={} digest={:?} at={:?}",
-                o.session, o.status, o.bytes, o.digest_ok, o.completed_at
+                "outcome {:?} {:?} bytes={} digest={:?} verified={} resume_at={} at={:?}",
+                o.session,
+                o.status,
+                o.bytes,
+                o.digest_ok,
+                o.verified_blocks,
+                o.resume_offset,
+                o.completed_at
             );
         }
         let _ = writeln!(s, "state {:?} route {}", self.state, self.route_used);
@@ -230,6 +246,9 @@ pub fn run_fault_transfer(case: &FailoverCase, cfg: &FaultRunConfig) -> FaultRun
         Depot::new(&mut net, case.depot_b, depot_cfg),
     ];
     let mut sink = SinkServer::new(&mut net, case.dst, SINK_PORT, true, cfg.tcp.clone());
+    if let Some(d) = cfg.sink_idle {
+        sink = sink.with_idle_timeout(d);
+    }
 
     let mut client = SessionClient::start(
         &mut net,
@@ -325,6 +344,7 @@ pub fn run_access_flap(seed: u64) -> FaultRunResult {
         progress_timeout: Some(Dur::from_millis(500)),
         max_retransfers: 2,
         direct_fallback: true,
+        resume: true,
     });
     run_fault_transfer(&case, &cfg)
 }

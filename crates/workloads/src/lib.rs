@@ -19,9 +19,11 @@
 //! every connection, exactly as the paper instruments its runs;
 //! [`sweep`] repeats across sizes/iterations and aggregates; [`faults`]
 //! drills the session recovery layer against scripted failures on a
-//! redundant-depot topology.
+//! redundant-depot topology; [`chaos`] soaks the same topology under
+//! seeded random fault storms with a machine-checked per-run contract.
 
 pub mod campaign;
+pub mod chaos;
 pub mod faults;
 pub mod paths;
 pub mod report;
@@ -29,6 +31,10 @@ pub mod runner;
 pub mod sweep;
 
 pub use campaign::{default_jobs, run_campaign};
+pub use chaos::{
+    chaos_spec, run_chaos_campaign, run_chaos_seed, run_chaos_storm, shrink_chaos_run,
+    shrink_storm, ChaosConfig, ChaosRun, ChaosViolation,
+};
 pub use faults::{
     failover_case, run_access_flap, run_all_depots_down, run_depot_crash, run_fault_transfer,
     run_sublink_rst, FailoverCase, FaultRunConfig, FaultRunResult,

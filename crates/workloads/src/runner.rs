@@ -207,6 +207,7 @@ pub fn run_transfer(case: &PathCase, cfg: &RunConfig) -> RunResult {
         send_mode,
         cfg.tcp.clone(),
         cfg.trace.then_some(label),
+        None,
     );
     let started = sender.started_at;
 

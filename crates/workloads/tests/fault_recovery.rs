@@ -3,8 +3,12 @@
 //! direct TCP, access flap → reconnect persistence, and byte-identical
 //! fault traces under a fixed seed.
 
-use lsl_session::{SessionError, SessionEvent, TransferStatus};
-use lsl_workloads::{run_access_flap, run_all_depots_down, run_depot_crash, run_sublink_rst};
+use lsl_netsim::{Dur, FaultPlan, Time};
+use lsl_session::{SessionError, SessionEvent, TransferStatus, RESUME_BLOCK};
+use lsl_workloads::{
+    failover_case, run_access_flap, run_all_depots_down, run_depot_crash, run_fault_transfer,
+    run_sublink_rst, FaultRunConfig,
+};
 
 #[test]
 fn depot_crash_fails_over_and_verifies_digest() {
@@ -91,6 +95,52 @@ fn access_flap_recovers_by_reconnecting() {
     )));
     let d = r.delivery().expect("verified delivery");
     assert_eq!(d.digest_ok, Some(true));
+}
+
+/// ISSUE 5 acceptance: a depot crash injected late in the stream (at
+/// 75% or more verified completion) resumes from the last verified
+/// block on the failover route — the re-sent tail is under 25% of the
+/// stream, where the pre-resume recovery ladder re-sent 100%.
+#[test]
+fn late_depot_crash_resumes_instead_of_restarting() {
+    let size: u64 = 8 << 20;
+    let case = failover_case();
+    let plan = FaultPlan::new().node_down(Time::ZERO + Dur::from_millis(10_500), case.depot_a);
+    let r = run_fault_transfer(&case, &FaultRunConfig::new(size, 7, plan));
+    assert!(r.completed(), "state {:?}\n{}", r.state, r.fingerprint());
+
+    // The crash landed late: the dead attempt's verified boundary (the
+    // sink's delivery verdict) already covered >= 75% of the stream.
+    let failed = r
+        .outcomes
+        .iter()
+        .find(|o| !o.ok())
+        .expect("the crashed attempt must surface a failed outcome");
+    let boundary = failed.verified_blocks * RESUME_BLOCK;
+    assert!(
+        boundary >= size * 3 / 4,
+        "crash fired too early to exercise late resume: verified {boundary} of {size}"
+    );
+
+    // The failover attempt announced the resume on the timeline...
+    assert!(r.saw(|e| matches!(e, SessionEvent::FailedOver { route: 1 })));
+    assert!(r.saw(|e| matches!(e, SessionEvent::Resumed { from_block, .. } if *from_block > 0)));
+
+    // ...and was granted the verified boundary, not byte 0: the re-sent
+    // tail stays under 25% of the stream.
+    let d = r.delivery().expect("verified delivery");
+    assert_eq!(d.bytes, size);
+    assert_eq!(d.digest_ok, Some(true));
+    assert!(
+        d.resume_offset >= boundary,
+        "grant {} fell below the verified boundary {boundary}",
+        d.resume_offset
+    );
+    let resent = size - d.resume_offset;
+    assert!(
+        resent < size / 4,
+        "re-sent {resent} of {size} bytes — resume did not engage"
+    );
 }
 
 #[test]

@@ -96,6 +96,7 @@ fn run(n_depots: usize, seed: u64) -> f64 {
         mode,
         tcp,
         None,
+        None,
     );
     let started = sender.started_at;
     while let Some(ev) = net.poll() {

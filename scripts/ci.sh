@@ -29,6 +29,13 @@ echo "==> fault campaign smoke (1 depot crash + 1 link flap)"
 # the digest; an access-link flap must be survived by reconnect backoff.
 cargo run -q -p lsl-bench --bin faults -- --smoke
 
+echo "==> chaos-storm smoke (8 storm seeds, per-run contract)"
+# Seeded random fault storms against the failover topology; every run
+# must terminate, end in verified delivery or a typed SessionError,
+# never re-send a verified block, and leave the invariant registry
+# clean. A violation shrinks to a minimal drill and fails the gate.
+cargo run -q -p lsl-bench --bin chaos -- --smoke
+
 echo "==> bench smoke (BENCH_netsim.json shape)"
 # BENCH_OUT keeps the smoke run from clobbering the committed
 # full-measurement BENCH_netsim.json at the repo root.

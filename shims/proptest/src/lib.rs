@@ -4,7 +4,8 @@
 //! vendors the slice of proptest it uses: the `proptest!` macro with
 //! `name(arg in strategy, ...)` signatures, `any::<T>()`, integer/float
 //! range strategies, tuple strategies, `collection::vec`, `option::of`,
-//! `sample::Index`, `ProptestConfig::with_cases`, and the
+//! `sample::Index`, `Just`, `Strategy::prop_map`, the (unweighted)
+//! `prop_oneof!` union macro, `ProptestConfig::with_cases`, and the
 //! `prop_assert*` macros.
 //!
 //! Differences from upstream, deliberately accepted:
@@ -25,6 +26,61 @@ pub mod strategy {
     pub trait Strategy {
         type Value;
         fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f` (upstream's `prop_map`,
+        /// minus the shrinking machinery).
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// The strategy that always yields a clone of one value.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn new_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.new_value(rng))
+        }
+    }
+
+    /// Uniform choice among boxed alternatives — the expansion of
+    /// [`crate::prop_oneof!`] (upstream supports per-arm weights; this
+    /// subset is unweighted).
+    pub struct Union<V> {
+        options: Vec<Box<dyn Strategy<Value = V>>>,
+    }
+
+    impl<V> Union<V> {
+        pub fn new(options: Vec<Box<dyn Strategy<Value = V>>>) -> Union<V> {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn new_value(&self, rng: &mut TestRng) -> V {
+            let i = (rng.next_u64() % self.options.len() as u64) as usize;
+            self.options[i].new_value(rng)
+        }
     }
 
     /// `Strategy` is implemented for `&S` so macro expansion can take
@@ -277,9 +333,9 @@ pub mod test_runner {
 }
 
 pub mod prelude {
-    pub use crate::strategy::{any, Arbitrary, Strategy};
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
     pub use crate::test_runner::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
 }
 
 /// The main entry point: a block of property-test functions.
@@ -338,6 +394,17 @@ macro_rules! __proptest_impl {
     };
 }
 
+/// `prop_oneof![a, b, c]` — draw uniformly from one of several
+/// strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(Box::new($strat) as Box<dyn $crate::strategy::Strategy<Value = _>>),+
+        ])
+    };
+}
+
 /// `prop_assert!` — like `assert!`, reported through the proptest runner.
 #[macro_export]
 macro_rules! prop_assert {
@@ -381,6 +448,14 @@ mod self_tests {
         #[test]
         fn index_maps_in_range(i in any::<crate::sample::Index>()) {
             prop_assert!(i.index(7) < 7);
+        }
+
+        #[test]
+        fn oneof_map_and_just(v in prop_oneof![
+            Just(0u64),
+            (1u64..100).prop_map(|x| x * 2),
+        ]) {
+            prop_assert!(v == 0u64 || (v % 2u64 == 0u64 && v < 200u64));
         }
     }
 
