@@ -1,0 +1,7 @@
+//! A binary target: printing here is sanctioned, so the
+//! `println-in-lib` rule must not fire on this file.
+
+fn main() {
+    println!("binaries own stdout");
+    eprintln!("and stderr");
+}

@@ -20,3 +20,8 @@ pub fn wait() {
 pub fn fanout() {
     std::thread::spawn(|| {});
 }
+
+pub fn chatty(n: u64) {
+    println!("progress: {n}");
+    eprintln!("warning: {n}");
+}

@@ -15,6 +15,7 @@
 //! | `unwrap-outside-tests` | session, realnet | `.unwrap()`/`.expect()` in non-test code |
 //! | `thread-spawn` | sim-domain | `thread::spawn`/`scope`/`Builder` (harness executor exempt) |
 //! | `string-result` | every crate | `Result<_, String>` signatures (use the typed error enums) |
+//! | `println-in-lib` | every crate | `println!`/`eprintln!` in library code (non-bin, non-test) |
 //! | `unused-workspace-dep` | root manifest | `[workspace.dependencies]` entries no member uses |
 //!
 //! Sim-domain crates are `netsim`, `tcp`, `session`, `nws`, `workloads`.
@@ -46,7 +47,7 @@ pub const HARNESS_THREAD_EXEMPT: &[&str] = &["crates/workloads/src/campaign.rs"]
 /// Which rules apply to a crate, keyed by its directory name under
 /// `crates/` (the root package audits as `"lsl"`).
 pub fn policy_for(crate_dir: &str) -> Vec<RuleId> {
-    let mut rules = vec![RuleId::FloatEq, RuleId::StringResult];
+    let mut rules = vec![RuleId::FloatEq, RuleId::StringResult, RuleId::PrintlnInLib];
     if SIM_DOMAIN.contains(&crate_dir) {
         rules.push(RuleId::WallClock);
         rules.push(RuleId::HashContainer);
@@ -163,6 +164,16 @@ fn audit_crate(
                 RuleId::HashContainer => rules::check_hash_container(&rel, &tokens, out),
                 RuleId::FloatEq => rules::check_float_eq(&rel, &tokens, out),
                 RuleId::StringResult => rules::check_string_result(&rel, &tokens, out),
+                RuleId::PrintlnInLib => {
+                    // Binaries own stdout/stderr; only library sources
+                    // are in scope.
+                    let is_bin = rel.contains("/src/bin/")
+                        || rel.ends_with("/main.rs")
+                        || rel == "src/main.rs";
+                    if !is_bin {
+                        rules::check_println(&rel, &tokens, out);
+                    }
+                }
                 RuleId::UnwrapOutsideTests => rules::check_unwrap(&rel, &tokens, out),
                 RuleId::ThreadSpawn => {
                     if !HARNESS_THREAD_EXEMPT.contains(&rel.as_str()) {
@@ -265,9 +276,10 @@ mod tests {
         assert!(policy_for("realnet").contains(&RuleId::WallClock));
         assert!(!policy_for("digest").contains(&RuleId::HashContainer));
         assert!(policy_for("digest").contains(&RuleId::FloatEq));
-        // string-result applies everywhere, like float-eq.
+        // string-result and println-in-lib apply everywhere, like float-eq.
         for c in ["session", "realnet", "bench", "audit", "lsl"] {
             assert!(policy_for(c).contains(&RuleId::StringResult), "{c}");
+            assert!(policy_for(c).contains(&RuleId::PrintlnInLib), "{c}");
         }
     }
 

@@ -23,6 +23,7 @@ pub enum RuleId {
     UnwrapOutsideTests,
     ThreadSpawn,
     StringResult,
+    PrintlnInLib,
     UnusedWorkspaceDep,
     StaleAllow,
 }
@@ -36,6 +37,7 @@ impl RuleId {
             RuleId::UnwrapOutsideTests => "unwrap-outside-tests",
             RuleId::ThreadSpawn => "thread-spawn",
             RuleId::StringResult => "string-result",
+            RuleId::PrintlnInLib => "println-in-lib",
             RuleId::UnusedWorkspaceDep => "unused-workspace-dep",
             RuleId::StaleAllow => "stale-allow",
         }
@@ -49,6 +51,7 @@ impl RuleId {
             "unwrap-outside-tests" => RuleId::UnwrapOutsideTests,
             "thread-spawn" => RuleId::ThreadSpawn,
             "string-result" => RuleId::StringResult,
+            "println-in-lib" => RuleId::PrintlnInLib,
             "unused-workspace-dep" => RuleId::UnusedWorkspaceDep,
             "stale-allow" => RuleId::StaleAllow,
             _ => return None,
@@ -84,6 +87,11 @@ impl RuleId {
                 "stringly-typed errors can't be matched on, so callers can't \
                  make recovery decisions; use the typed error enums \
                  (WireError/RouteError/SessionError or a crate-local one)"
+            }
+            RuleId::PrintlnInLib => {
+                "library code must not write to stdout/stderr directly; report \
+                 through lsl-obs (spans/metrics) or return data to the caller. \
+                 Printing belongs to binaries (src/bin, main.rs)"
             }
             RuleId::UnusedWorkspaceDep => {
                 "every [workspace.dependencies] entry must be consumed by some \
@@ -213,6 +221,32 @@ pub fn check_unwrap(file: &str, tokens: &[Token], out: &mut Vec<Finding>) {
             col: t.col,
             rule: RuleId::UnwrapOutsideTests,
             message: format!(".{id}() outside test code"),
+        });
+    }
+}
+
+/// `println!` / `eprintln!` in library code, outside test ranges. The
+/// caller only applies this to non-binary sources (not `src/bin/**`,
+/// not `main.rs`), where stdout/stderr writes bypass the deterministic
+/// telemetry plane.
+pub fn check_println(file: &str, tokens: &[Token], out: &mut Vec<Finding>) {
+    let tests = test_ranges(tokens);
+    for (i, t) in tokens.iter().enumerate() {
+        let Some(id @ ("println" | "eprintln" | "print" | "eprint")) = t.kind.ident() else {
+            continue;
+        };
+        if tokens.get(i + 1).map(|n| &n.kind) != Some(&TokenKind::Punct('!')) {
+            continue;
+        }
+        if tests.iter().any(|&(a, b)| (a..=b).contains(&t.line)) {
+            continue;
+        }
+        out.push(Finding {
+            file: file.to_string(),
+            line: t.line,
+            col: t.col,
+            rule: RuleId::PrintlnInLib,
+            message: format!("{id}! in library code"),
         });
     }
 }
@@ -437,6 +471,19 @@ mod tests {
         .is_empty());
         // Non-Result maps with String values are fine.
         assert!(run(check_string_result, "let m: BTreeMap<u32, String> = x;").is_empty());
+    }
+
+    #[test]
+    fn println_in_lib_fires_outside_tests() {
+        let bad = "fn f() { println!(\"x\"); eprintln!(\"y\"); print!(\"z\"); }";
+        let f = run(check_println, bad);
+        assert_eq!(f.len(), 3);
+        assert!(f.iter().all(|x| x.rule == RuleId::PrintlnInLib));
+        // Inside a #[cfg(test)] module, printing is debugging aid.
+        let test_only = "#[cfg(test)]\nmod tests {\n  #[test]\n  fn t() { println!(\"ok\"); }\n}\n";
+        assert!(run(check_println, test_only).is_empty());
+        // A function merely *named* println (no bang) is not a finding.
+        assert!(run(check_println, "my::println(x); let p = println;").is_empty());
     }
 
     #[test]

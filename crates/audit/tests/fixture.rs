@@ -33,6 +33,18 @@ fn fixture_trips_every_seeded_rule() {
     assert_eq!(count(RuleId::FloatEq), 1, "{findings:?}");
     assert_eq!(count(RuleId::ThreadSpawn), 1, "{findings:?}");
 
+    // netsim also seeds one println! and one eprintln! in lib code;
+    // the prints in src/bin/tool.rs are sanctioned and must not count.
+    let prints: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == RuleId::PrintlnInLib)
+        .collect();
+    assert_eq!(prints.len(), 2, "{findings:?}");
+    assert!(
+        prints.iter().all(|f| f.file == "crates/netsim/src/lib.rs"),
+        "{findings:?}"
+    );
+
     // session: exactly the one unwrap outside tests — the unwrap inside
     // the #[test] must not count.
     let unwraps: Vec<_> = findings

@@ -15,6 +15,8 @@
 //! violation shrinks the storm to a 1-minimal atom subset and prints it
 //! as a paste-able `FaultPlan` drill, then exits non-zero.
 
+use lsl_obs::export::{write_chrome_trace, write_metrics_txt};
+use lsl_obs::report::flight_recorder;
 use lsl_session::SessionEvent;
 use lsl_trace::export::{write_dat, write_timeline_dat};
 use lsl_workloads::{default_jobs, run_chaos_campaign, shrink_chaos_run, ChaosConfig, ChaosRun};
@@ -98,6 +100,25 @@ fn main() {
     let failing: Vec<&ChaosRun> = runs.iter().filter(|r| !r.ok()).collect();
     for r in &failing {
         eprintln!("\nFAIL seed {}: {:?}", r.seed, r.violations);
+        // Ship the failing seed's telemetry: a perfetto-loadable
+        // timeline plus the flight-recorder summary next to it.
+        let label = format!("chaos seed {}", r.seed);
+        let stem = format!("chaos_fail_seed{}", r.seed);
+        match write_chrome_trace("results/obs", &stem, &[(label.clone(), &r.obs)]) {
+            Ok(p) => eprintln!("perfetto timeline: {}", p.display()),
+            Err(e) => eprintln!("warning: could not write {stem}.trace.json: {e}"),
+        }
+        if let Err(e) = write_metrics_txt("results/obs", &stem, &r.obs) {
+            eprintln!("warning: could not write {stem}.metrics.txt: {e}");
+        }
+        let summary = flight_recorder(&label, &r.obs);
+        let summary_path = std::path::Path::new("results/obs").join(format!("{stem}.flight.txt"));
+        if let Err(e) = std::fs::write(&summary_path, &summary) {
+            eprintln!("warning: could not write {}: {e}", summary_path.display());
+        } else {
+            eprintln!("flight recorder: {}", summary_path.display());
+        }
+        eprint!("{summary}");
         eprintln!("shrinking storm ({} atoms)...", r.storm.atoms.len());
         let minimal = shrink_chaos_run(&cfg, r);
         eprintln!(

@@ -42,6 +42,21 @@ pub enum FaultKind {
     SublinkRst(NodeId),
 }
 
+impl FaultKind {
+    /// Stable small index per variant, used as the metric key for
+    /// per-kind telemetry tallies (`lsl-obs` counters are keyed by a
+    /// static name plus a `u64` index).
+    pub fn index(self) -> u64 {
+        match self {
+            FaultKind::LinkDown(_) => 0,
+            FaultKind::LinkUp(_) => 1,
+            FaultKind::NodeDown(_) => 2,
+            FaultKind::NodeUp(_) => 3,
+            FaultKind::SublinkRst(_) => 4,
+        }
+    }
+}
+
 /// One scheduled fault.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct FaultEvent {

@@ -112,7 +112,7 @@ impl Link {
     /// one packet on the wire).
     pub fn enqueue(&mut self, packet: Packet) -> Enqueue {
         if !self.up {
-            self.stats.drops_fault += 1;
+            self.stats.on_drop_fault();
             return Enqueue::Dropped;
         }
         let size = packet.wire_len() as u64;
@@ -120,18 +120,18 @@ impl Link {
             debug_assert!(self.queue.is_empty());
             self.busy = true;
             self.queue.push_back(packet);
-            self.stats.tx_packets += 1;
-            self.stats.tx_bytes += size;
+            self.stats.on_accept(size);
             Enqueue::Started(Dur::serialization(size, self.spec.bandwidth_bps))
         } else if self.queued_bytes + size > self.spec.queue_bytes {
-            self.stats.drops_queue += 1;
+            self.stats.on_drop_queue();
             Enqueue::Dropped
         } else {
             self.queued_bytes += size;
-            self.stats.max_queue_bytes = self.stats.max_queue_bytes.max(self.queued_bytes);
             self.queue.push_back(packet);
-            self.stats.tx_packets += 1;
-            self.stats.tx_bytes += size;
+            self.stats.on_accept(size);
+            // Waiting packets only: the queue front is serializing.
+            self.stats
+                .observe_queue_depth(self.queued_bytes, (self.queue.len() - 1) as u64);
             Enqueue::Queued
         }
     }
@@ -224,7 +224,7 @@ impl Link {
         let keep = usize::from(self.busy);
         while self.queue.len() > keep {
             let p = self.queue.pop_back().expect("len > keep");
-            self.stats.drops_fault += 1;
+            self.stats.on_drop_fault();
             #[cfg(feature = "invariants")]
             {
                 self.lost_bytes += p.wire_len() as u64;
@@ -319,10 +319,12 @@ mod tests {
         l.enqueue(pkt(62));
         l.enqueue(pkt(62));
         assert_eq!(l.stats.max_queue_bytes, 200);
+        assert_eq!(l.stats.max_queue_pkts, 2, "serializing packet not counted");
         l.tx_done();
         l.enqueue(pkt(62));
-        // High-water mark persists.
+        // High-water marks persist.
         assert_eq!(l.stats.max_queue_bytes, 200);
+        assert_eq!(l.stats.max_queue_pkts, 2);
     }
 
     #[test]

@@ -380,7 +380,7 @@ impl Simulator {
                         let link = &mut self.links[idx];
                         let faulted = !link.is_up() || !self.node_up[link.from.0 as usize];
                         if faulted {
-                            link.stats.drops_fault += 1;
+                            link.stats.on_drop_fault();
                             #[cfg(feature = "invariants")]
                             {
                                 link.lost_bytes += packet.wire_len() as u64;
@@ -398,7 +398,7 @@ impl Simulator {
                         let link = &mut self.links[idx];
                         let lost = link.spec.loss.sample(&mut self.rng);
                         if lost {
-                            link.stats.drops_loss += 1;
+                            link.stats.on_drop_loss();
                         }
                         lost
                     };
@@ -423,7 +423,7 @@ impl Simulator {
                     // the bits reached a dead host and vanish.
                     if !self.node_up[self.links[link_id.0 as usize].to.0 as usize] {
                         let link = &mut self.links[link_id.0 as usize];
-                        link.stats.drops_fault += 1;
+                        link.stats.on_drop_fault();
                         #[cfg(feature = "invariants")]
                         {
                             let wire = packet.wire_len() as u64;
@@ -481,11 +481,35 @@ impl Simulator {
                     );
                     self.faults_fired[idx as usize] = true;
                     self.apply_fault(ev.kind);
+                    // Rare event, off the per-packet path: telemetry here
+                    // cannot perturb the events/sec budget.
+                    lsl_obs::instant(self.now.0, "netsim.fault", ev.kind.index());
+                    lsl_obs::counter_add("netsim.fault.fired", ev.kind.index(), 1);
                     return Some(Output::Fault(ev));
                 }
             }
         }
         None
+    }
+
+    /// Export every link's end-of-run counters into the `lsl-obs`
+    /// metrics registry (gauges keyed by raw link id). Called once at
+    /// the end of an instrumented run — keeping this out of the event
+    /// loop keeps telemetry off the per-packet hot path.
+    pub fn record_obs_link_metrics(&self) {
+        if !lsl_obs::is_enabled() {
+            return;
+        }
+        for (i, link) in self.links.iter().enumerate() {
+            let i = i as u64;
+            let s = &link.stats;
+            lsl_obs::gauge_set("netsim.link.queue_bytes_hwm", i, s.max_queue_bytes);
+            lsl_obs::gauge_set("netsim.link.queue_pkts_hwm", i, s.max_queue_pkts);
+            lsl_obs::gauge_set("netsim.link.tx_packets", i, s.tx_packets);
+            lsl_obs::gauge_set("netsim.link.drops_queue", i, s.drops_queue);
+            lsl_obs::gauge_set("netsim.link.drops_loss", i, s.drops_loss);
+            lsl_obs::gauge_set("netsim.link.drops_fault", i, s.drops_fault);
+        }
     }
 
     /// Drain events until the queue is empty or `deadline` is passed.

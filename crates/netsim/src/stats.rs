@@ -1,4 +1,8 @@
 //! Per-link counters, exposed for experiment reporting and assertions.
+//!
+//! All mutation goes through saturating helpers: a counter that pegs at
+//! `u64::MAX` in a pathological soak is a readable artifact, while a
+//! wrapping counter silently corrupts every report derived from it.
 
 /// Counters accumulated by a link over a simulation run.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -17,12 +21,44 @@ pub struct LinkStats {
     pub drops_fault: u64,
     /// High-water mark of queued (waiting) bytes.
     pub max_queue_bytes: u64,
+    /// High-water mark of queued (waiting) packets — the queue-depth
+    /// signal the observability plane exports per link.
+    pub max_queue_pkts: u64,
 }
 
 impl LinkStats {
-    /// Total drops from any cause.
+    /// Record a packet accepted for transmission (saturating).
+    pub fn on_accept(&mut self, wire_bytes: u64) {
+        self.tx_packets = self.tx_packets.saturating_add(1);
+        self.tx_bytes = self.tx_bytes.saturating_add(wire_bytes);
+    }
+
+    /// Record a drop-tail queue overflow (saturating).
+    pub fn on_drop_queue(&mut self) {
+        self.drops_queue = self.drops_queue.saturating_add(1);
+    }
+
+    /// Record a stochastic loss (saturating).
+    pub fn on_drop_loss(&mut self) {
+        self.drops_loss = self.drops_loss.saturating_add(1);
+    }
+
+    /// Record a fault-injection discard (saturating).
+    pub fn on_drop_fault(&mut self) {
+        self.drops_fault = self.drops_fault.saturating_add(1);
+    }
+
+    /// Raise the queue-depth high-watermarks to the current occupancy.
+    pub fn observe_queue_depth(&mut self, queued_bytes: u64, queued_pkts: u64) {
+        self.max_queue_bytes = self.max_queue_bytes.max(queued_bytes);
+        self.max_queue_pkts = self.max_queue_pkts.max(queued_pkts);
+    }
+
+    /// Total drops from any cause (saturating).
     pub fn drops(&self) -> u64 {
-        self.drops_queue + self.drops_loss + self.drops_fault
+        self.drops_queue
+            .saturating_add(self.drops_loss)
+            .saturating_add(self.drops_fault)
     }
 
     /// Fraction of accepted packets that were lost in flight.
@@ -48,6 +84,42 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(s.drops(), 9);
+    }
+
+    #[test]
+    fn drops_saturate_instead_of_wrapping() {
+        let s = LinkStats {
+            drops_queue: u64::MAX,
+            drops_loss: 4,
+            drops_fault: 2,
+            ..Default::default()
+        };
+        assert_eq!(s.drops(), u64::MAX);
+    }
+
+    #[test]
+    fn mutation_helpers_saturate() {
+        let mut s = LinkStats {
+            tx_packets: u64::MAX,
+            tx_bytes: u64::MAX - 1,
+            drops_fault: u64::MAX,
+            ..Default::default()
+        };
+        s.on_accept(10);
+        s.on_drop_fault();
+        assert_eq!(s.tx_packets, u64::MAX);
+        assert_eq!(s.tx_bytes, u64::MAX);
+        assert_eq!(s.drops_fault, u64::MAX);
+    }
+
+    #[test]
+    fn queue_depth_high_watermarks() {
+        let mut s = LinkStats::default();
+        s.observe_queue_depth(100, 2);
+        s.observe_queue_depth(300, 5);
+        s.observe_queue_depth(50, 1);
+        assert_eq!(s.max_queue_bytes, 300);
+        assert_eq!(s.max_queue_pkts, 5);
     }
 
     #[test]

@@ -1,0 +1,330 @@
+//! Telemetry exporters: Chrome trace-event JSON (perfetto-loadable),
+//! JSONL span streams, and gnuplot `.dat` timelines following the
+//! `lsl-trace::export` conventions.
+//!
+//! All output is generated with integer-only formatting from already
+//! deterministic inputs, so merging a campaign's reports **in index
+//! order** yields byte-identical files whatever `--jobs` count
+//! produced them. JSON is hand-assembled (the build is offline — no
+//! serde); one trace event per line, which also keeps the shape
+//! checkable by the CI gate with line-oriented tools.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::span::SpanPhase;
+use crate::ObsReport;
+
+/// Schema version stamped into every exported trace file; bump when
+/// the event shape changes.
+pub const TRACE_SCHEMA_VERSION: u32 = 1;
+
+/// Render sim nanoseconds as Chrome trace microseconds with the
+/// nanosecond remainder as a fixed three-digit fraction (`12.345`).
+/// Pure integer formatting: no float rounding in the artifact.
+fn ts_us(t_ns: u64) -> String {
+    format!("{}.{:03}", t_ns / 1_000, t_ns % 1_000)
+}
+
+/// Minimal JSON string escaping for run labels (span names are static
+/// identifiers and never need it, but labels are caller-supplied).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Build a Chrome trace-event JSON document from one or more labelled
+/// run reports. Each run becomes its own `pid` (in slice order) with a
+/// `process_name` metadata record, so a campaign merge is just "pass
+/// the reports in index order". Spans use async `b`/`e` events keyed
+/// by `(cat, name, id)`; instants use `i` with thread scope. Within
+/// each pid, `ts` is nondecreasing (sim time is monotone).
+pub fn chrome_trace_json(runs: &[(String, &ObsReport)]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "\"schemaVersion\": {TRACE_SCHEMA_VERSION},");
+    out.push_str("\"displayTimeUnit\": \"ms\",\n");
+    out.push_str("\"traceEvents\": [\n");
+    let mut first = true;
+    for (pid, (label, report)) in runs.iter().enumerate() {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "{{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":{pid},\"tid\":0,\"args\":{{\"name\":\"{}\"}}}}",
+            json_escape(label)
+        );
+        for e in &report.spans {
+            out.push_str(",\n");
+            match e.phase {
+                SpanPhase::Begin | SpanPhase::End => {
+                    let _ = write!(
+                        out,
+                        "{{\"ph\":\"{}\",\"cat\":\"lsl\",\"name\":\"{}\",\"id\":\"0x{:x}\",\"pid\":{pid},\"tid\":0,\"ts\":{}}}",
+                        e.phase.chrome_ph(),
+                        e.name,
+                        e.id,
+                        ts_us(e.t_ns)
+                    );
+                }
+                SpanPhase::Instant => {
+                    let _ = write!(
+                        out,
+                        "{{\"ph\":\"i\",\"s\":\"t\",\"cat\":\"lsl\",\"name\":\"{}\",\"pid\":{pid},\"tid\":0,\"ts\":{},\"args\":{{\"id\":{}}}}}",
+                        e.name,
+                        ts_us(e.t_ns),
+                        e.id
+                    );
+                }
+            }
+        }
+    }
+    out.push_str("\n]\n}\n");
+    out
+}
+
+/// Write [`chrome_trace_json`] to `dir/<stem>.trace.json`.
+pub fn write_chrome_trace(
+    dir: impl AsRef<Path>,
+    stem: &str,
+    runs: &[(String, &ObsReport)],
+) -> io::Result<PathBuf> {
+    let dir = dir.as_ref();
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{stem}.trace.json"));
+    fs::write(&path, chrome_trace_json(runs))?;
+    Ok(path)
+}
+
+/// Write the span log as JSONL (`dir/<stem>.spans.jsonl`): one
+/// `{"t_ns":..,"ph":"B","name":"..","id":..}` object per line, in
+/// recording order.
+pub fn write_span_jsonl(
+    dir: impl AsRef<Path>,
+    stem: &str,
+    report: &ObsReport,
+) -> io::Result<PathBuf> {
+    let dir = dir.as_ref();
+    fs::create_dir_all(dir)?;
+    let mut out = String::new();
+    for e in &report.spans {
+        let _ = writeln!(
+            out,
+            "{{\"t_ns\":{},\"ph\":\"{}\",\"name\":\"{}\",\"id\":{}}}",
+            e.t_ns,
+            e.phase.code(),
+            e.name,
+            e.id
+        );
+    }
+    let path = dir.join(format!("{stem}.spans.jsonl"));
+    fs::write(&path, out)?;
+    Ok(path)
+}
+
+/// Write the span log as a gnuplot timeline `.dat`
+/// (`dir/<stem>.spans.dat`): one `t_s  # <phase> <name> <id>` row per
+/// event, matching `lsl_trace::export::write_timeline_dat`'s shape.
+pub fn write_span_dat(
+    dir: impl AsRef<Path>,
+    stem: &str,
+    report: &ObsReport,
+) -> io::Result<PathBuf> {
+    let dir = dir.as_ref();
+    fs::create_dir_all(dir)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "# {stem}: {} span event(s)", report.spans.len());
+    for e in &report.spans {
+        // Seconds with nanosecond precision, integer-rendered.
+        let _ = writeln!(
+            out,
+            "{}.{:09}  # {} {} {}",
+            e.t_ns / 1_000_000_000,
+            e.t_ns % 1_000_000_000,
+            e.phase.code(),
+            e.name,
+            e.id
+        );
+    }
+    let path = dir.join(format!("{stem}.spans.dat"));
+    fs::write(&path, out)?;
+    Ok(path)
+}
+
+/// Write the canonical metrics snapshot text to
+/// `dir/<stem>.metrics.txt` — the byte-identical artifact the
+/// determinism tests compare.
+pub fn write_metrics_txt(
+    dir: impl AsRef<Path>,
+    stem: &str,
+    report: &ObsReport,
+) -> io::Result<PathBuf> {
+    let dir = dir.as_ref();
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{stem}.metrics.txt"));
+    fs::write(&path, report.metrics.render())?;
+    Ok(path)
+}
+
+/// Validate an exported Chrome trace document's shape: schema version
+/// present, every event line parseable, and `ts` nondecreasing within
+/// each `pid`. Returns a description of the first problem found.
+/// Relies on the one-event-per-line layout [`chrome_trace_json`]
+/// guarantees.
+pub fn validate_chrome_trace(json: &str) -> Result<usize, String> {
+    if !json.contains(&format!("\"schemaVersion\": {TRACE_SCHEMA_VERSION}")) {
+        return Err(format!("missing schemaVersion {TRACE_SCHEMA_VERSION}"));
+    }
+    let mut events = 0usize;
+    // pid -> last ts in (us, ns-fraction) integer form.
+    let mut last_ts: std::collections::BTreeMap<u64, (u64, u64)> =
+        std::collections::BTreeMap::new();
+    for line in json.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if !line.starts_with("{\"ph\":") {
+            continue;
+        }
+        events += 1;
+        let pid = match field(line, "\"pid\":") {
+            Some(p) => p,
+            None => return Err(format!("event without pid: {line}")),
+        };
+        let pid: u64 = pid
+            .parse()
+            .map_err(|_| format!("unparseable pid in: {line}"))?;
+        if let Some(ts) = field(line, "\"ts\":") {
+            let (us, frac) = match ts.split_once('.') {
+                Some((a, b)) => (
+                    a.parse::<u64>().map_err(|_| format!("bad ts: {line}"))?,
+                    b.parse::<u64>().map_err(|_| format!("bad ts: {line}"))?,
+                ),
+                None => (ts.parse::<u64>().map_err(|_| format!("bad ts: {line}"))?, 0),
+            };
+            let prev = last_ts.entry(pid).or_insert((0, 0));
+            if (us, frac) < *prev {
+                return Err(format!(
+                    "ts not monotone within pid {pid}: {us}.{frac:03} after {}.{:03}",
+                    prev.0, prev.1
+                ));
+            }
+            *prev = (us, frac);
+        }
+    }
+    if events == 0 {
+        return Err("no trace events".to_string());
+    }
+    Ok(events)
+}
+
+/// Extract the raw value following `key` up to the next `,` or `}`.
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let start = line.find(key)? + key.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorded;
+
+    fn sample() -> ObsReport {
+        let ((), rep) = recorded(|| {
+            crate::span_begin(1_000, "session.attempt", 1);
+            crate::instant(1_500, "session.reconnect", 1);
+            crate::span_end(2_000_500, "session.attempt", 1);
+            crate::counter_add("tcp.retransmit.rto", 0, 1);
+        });
+        rep
+    }
+
+    #[test]
+    fn chrome_trace_shape_and_validation() {
+        let rep = sample();
+        let json = chrome_trace_json(&[("seed 7".to_string(), &rep)]);
+        assert!(json.contains("\"schemaVersion\": 1"), "{json}");
+        assert!(json.contains("\"ph\":\"b\""), "{json}");
+        assert!(json.contains("\"ph\":\"e\""), "{json}");
+        assert!(json.contains("\"ts\":2000.500"), "{json}");
+        assert!(json.contains("seed 7"), "{json}");
+        let n = validate_chrome_trace(&json).expect("valid");
+        assert_eq!(n, 4, "3 span events + 1 metadata record");
+    }
+
+    #[test]
+    fn validation_rejects_non_monotone_ts() {
+        let rep = sample();
+        let json = chrome_trace_json(&[("x".to_string(), &rep)]);
+        // Swap the two timestamps to fabricate a regression.
+        let bad = json.replace("\"ts\":1.000", "\"ts\":9999.000");
+        assert!(validate_chrome_trace(&bad).is_err());
+    }
+
+    #[test]
+    fn multi_run_merge_is_per_pid_monotone() {
+        let a = sample();
+        let b = sample();
+        let json = chrome_trace_json(&[("run 0".to_string(), &a), ("run 1".to_string(), &b)]);
+        // Run 1 restarts at ts 1.000 after run 0 ended at 2000.500 —
+        // valid because monotonicity is per pid.
+        validate_chrome_trace(&json).expect("per-pid monotone");
+        assert!(json.contains("\"pid\":1"), "{json}");
+    }
+
+    #[test]
+    fn merge_is_independent_of_production_order() {
+        let a = sample();
+        let b = sample();
+        let j1 = chrome_trace_json(&[("r0".to_string(), &a), ("r1".to_string(), &b)]);
+        let j2 = chrome_trace_json(&[
+            ("r0".to_string(), &a.clone()),
+            ("r1".to_string(), &b.clone()),
+        ]);
+        assert_eq!(j1, j2);
+    }
+
+    #[test]
+    fn jsonl_and_dat_files_roundtrip() {
+        let rep = sample();
+        let dir = std::env::temp_dir().join("lsl_obs_export_test");
+        let p1 = write_span_jsonl(&dir, "t", &rep).unwrap();
+        let p2 = write_span_dat(&dir, "t", &rep).unwrap();
+        let p3 = write_metrics_txt(&dir, "t", &rep).unwrap();
+        let jsonl = std::fs::read_to_string(p1).unwrap();
+        assert!(
+            jsonl.contains("{\"t_ns\":1000,\"ph\":\"B\",\"name\":\"session.attempt\",\"id\":1}")
+        );
+        let dat = std::fs::read_to_string(p2).unwrap();
+        assert!(dat.contains("0.000001000  # B session.attempt 1"), "{dat}");
+        let txt = std::fs::read_to_string(p3).unwrap();
+        assert!(txt.contains("tcp.retransmit.rto[0] = 1"), "{txt}");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn validation_requires_schema_and_events() {
+        assert!(validate_chrome_trace("{}").is_err());
+        let empty = chrome_trace_json(&[]);
+        assert!(validate_chrome_trace(&empty).is_err(), "no events");
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\u000a");
+    }
+}

@@ -1,0 +1,289 @@
+//! Deterministic metrics registry: counters, gauges, and fixed
+//! power-of-two-bucket histograms.
+//!
+//! Keys are `(&'static str, u64)` — a static metric name plus a small
+//! numeric index (link id, `FaultKind` discriminant, attempt number) —
+//! so recording never allocates a key string. Everything lives in
+//! `BTreeMap`s, all arithmetic saturates, and quantile readouts are
+//! pure integer bucket-bound lookups: no wall clock, no hash-order
+//! nondeterminism, no float comparisons anywhere.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Metric key: static name + numeric index.
+pub type Key = (&'static str, u64);
+
+/// Number of histogram buckets: bucket `i` holds values whose bit
+/// length is `i` (bucket 0 holds only zero), so bucket `i >= 1` covers
+/// `[2^(i-1), 2^i - 1]`.
+pub const HIST_BUCKETS: usize = 65;
+
+/// Fixed-bucket histogram over `u64` values.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    /// Per-bucket observation counts (see [`HIST_BUCKETS`]).
+    pub buckets: Vec<u64>,
+    /// Total observations (saturating).
+    pub count: u64,
+    /// Sum of observed values (saturating).
+    pub sum: u64,
+    /// Smallest observed value.
+    pub min: u64,
+    /// Largest observed value.
+    pub max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: vec![0; HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+/// Bucket index for a value: its bit length (0 for 0).
+pub fn bucket_index(value: u64) -> usize {
+    (64 - value.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of bucket `i`.
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    /// Record one observation.
+    pub fn observe(&mut self, value: u64) {
+        let i = bucket_index(value);
+        self.buckets[i] = self.buckets[i].saturating_add(1);
+        self.count = self.count.saturating_add(1);
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Deterministic quantile readout: the inclusive upper bound of the
+    /// first bucket at which the cumulative count reaches
+    /// `ceil(count * num / den)`. Returns 0 on an empty histogram.
+    /// Integer-only, so `p50 = quantile_upper(1, 2)`,
+    /// `p99 = quantile_upper(99, 100)`.
+    pub fn quantile_upper(&self, num: u64, den: u64) -> u64 {
+        if self.count == 0 || den == 0 {
+            return 0;
+        }
+        // ceil(count * num / den) without overflow for realistic counts.
+        let rank = (self.count.saturating_mul(num)).div_ceil(den).max(1);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum = cum.saturating_add(c);
+            if cum >= rank {
+                // Tighten the top bucket's bound with the observed max.
+                return bucket_upper_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+/// Live registry; snapshot it with [`Registry::take_snapshot`].
+#[derive(Clone, Debug, Default)]
+pub struct Registry {
+    counters: BTreeMap<Key, u64>,
+    gauges: BTreeMap<Key, u64>,
+    hists: BTreeMap<&'static str, Histogram>,
+}
+
+impl Registry {
+    /// Saturating add to a counter.
+    pub fn counter_add(&mut self, name: &'static str, idx: u64, delta: u64) {
+        let v = self.counters.entry((name, idx)).or_insert(0);
+        *v = v.saturating_add(delta);
+    }
+
+    /// Raise a high-watermark gauge.
+    pub fn gauge_max(&mut self, name: &'static str, idx: u64, value: u64) {
+        let v = self.gauges.entry((name, idx)).or_insert(0);
+        *v = (*v).max(value);
+    }
+
+    /// Overwrite a last-value gauge.
+    pub fn gauge_set(&mut self, name: &'static str, idx: u64, value: u64) {
+        self.gauges.insert((name, idx), value);
+    }
+
+    /// Record a histogram observation.
+    pub fn hist_observe(&mut self, name: &'static str, value: u64) {
+        self.hists.entry(name).or_default().observe(value);
+    }
+
+    /// Drain the registry into an immutable snapshot.
+    pub fn take_snapshot(&mut self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: std::mem::take(&mut self.counters),
+            gauges: std::mem::take(&mut self.gauges),
+            hists: std::mem::take(&mut self.hists),
+        }
+    }
+}
+
+/// Immutable, orderable snapshot of every metric a run recorded.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Monotonic event counts.
+    pub counters: BTreeMap<Key, u64>,
+    /// High-watermark / last-value gauges.
+    pub gauges: BTreeMap<Key, u64>,
+    /// Fixed-bucket histograms.
+    pub hists: BTreeMap<&'static str, Histogram>,
+}
+
+impl MetricsSnapshot {
+    /// True when no metric was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.hists.is_empty()
+    }
+
+    /// Counter value, 0 if absent.
+    pub fn counter(&self, name: &str, idx: u64) -> u64 {
+        lookup(&self.counters, name, idx).unwrap_or(0)
+    }
+
+    /// Gauge value, if set.
+    pub fn gauge(&self, name: &str, idx: u64) -> Option<u64> {
+        lookup(&self.gauges, name, idx)
+    }
+
+    /// Histogram by name, if any observation was recorded.
+    pub fn hist(&self, name: &str) -> Option<&Histogram> {
+        self.hists
+            .iter()
+            .find(|(n, _)| ***n == *name)
+            .map(|(_, h)| h)
+    }
+
+    /// Canonical text rendering: BTree order, integer-only, one line
+    /// per metric — the byte-identical artifact the determinism tests
+    /// compare.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("counters:\n");
+        for ((name, idx), v) in &self.counters {
+            let _ = writeln!(out, "  {name}[{idx}] = {v}");
+        }
+        out.push_str("gauges:\n");
+        for ((name, idx), v) in &self.gauges {
+            let _ = writeln!(out, "  {name}[{idx}] = {v}");
+        }
+        out.push_str("histograms:\n");
+        for (name, h) in &self.hists {
+            let _ = writeln!(
+                out,
+                "  {name}: count={} sum={} min={} max={} p50<={} p99<={}",
+                h.count,
+                h.sum,
+                if h.count == 0 { 0 } else { h.min },
+                h.max,
+                h.quantile_upper(1, 2),
+                h.quantile_upper(99, 100),
+            );
+            for (i, &c) in h.buckets.iter().enumerate() {
+                if c != 0 {
+                    let _ = writeln!(out, "    <={} : {c}", bucket_upper_bound(i));
+                }
+            }
+        }
+        out
+    }
+}
+
+fn lookup(map: &BTreeMap<Key, u64>, name: &str, idx: u64) -> Option<u64> {
+    map.iter()
+        .find(|((n, i), _)| *n == name && *i == idx)
+        .map(|(_, v)| *v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_upper_bound(0), 0);
+        assert_eq!(bucket_upper_bound(2), 3);
+        assert_eq!(bucket_upper_bound(64), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_bucket_bounds() {
+        let mut h = Histogram::default();
+        for v in [1u64, 2, 3, 100, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count, 5);
+        assert_eq!(h.min, 1);
+        assert_eq!(h.max, 1000);
+        // rank(p50) = ceil(5/2) = 3 -> third observation in bucket
+        // order: values 1 (b1), 2,3 (b2) -> cumulative reaches 3 at
+        // bucket 2, upper bound 3.
+        assert_eq!(h.quantile_upper(1, 2), 3);
+        // p99 -> rank 5 -> bucket of 1000 (b10, bound 1023), tightened
+        // to the observed max.
+        assert_eq!(h.quantile_upper(99, 100), 1000);
+    }
+
+    #[test]
+    fn empty_histogram_quantile_is_zero() {
+        assert_eq!(Histogram::default().quantile_upper(1, 2), 0);
+    }
+
+    #[test]
+    fn saturating_counters() {
+        let mut r = Registry::default();
+        r.counter_add("c", 0, u64::MAX);
+        r.counter_add("c", 0, 5);
+        let snap = r.take_snapshot();
+        assert_eq!(snap.counter("c", 0), u64::MAX);
+    }
+
+    #[test]
+    fn render_orders_keys() {
+        let mut r = Registry::default();
+        r.gauge_max("z", 0, 1);
+        r.gauge_max("a", 2, 9);
+        r.gauge_max("a", 1, 3);
+        let text = r.take_snapshot().render();
+        let a1 = text.find("a[1] = 3").unwrap();
+        let a2 = text.find("a[2] = 9").unwrap();
+        let z = text.find("z[0] = 1").unwrap();
+        assert!(a1 < a2 && a2 < z, "{text}");
+    }
+
+    #[test]
+    fn snapshot_lookups() {
+        let mut r = Registry::default();
+        r.counter_add("c", 7, 2);
+        r.gauge_set("g", 0, 11);
+        r.hist_observe("h", 42);
+        let snap = r.take_snapshot();
+        assert_eq!(snap.counter("c", 7), 2);
+        assert_eq!(snap.counter("missing", 0), 0);
+        assert_eq!(snap.gauge("g", 0), Some(11));
+        assert_eq!(snap.gauge("g", 1), None);
+        assert_eq!(snap.hist("h").unwrap().count, 1);
+    }
+}

@@ -1,0 +1,142 @@
+//! Flight-recorder rendering: a per-run human-readable summary of one
+//! [`ObsReport`] — the table `obs-report` prints and the chaos soak
+//! attaches to every failing seed.
+
+use std::fmt::Write as _;
+
+use crate::span::SpanPhase;
+use crate::ObsReport;
+
+/// Span/instant names that mark a recovery-ladder arm being taken;
+/// the flight recorder calls these out in their own section.
+pub const RECOVERY_ARMS: &[&str] = &[
+    "session.reconnect",
+    "session.failover",
+    "session.retransfer",
+    "session.degrade",
+];
+
+/// Render sim nanoseconds as `s.mmmuuunnn` seconds (integer math).
+fn t_s(t_ns: u64) -> String {
+    format!("{}.{:09}", t_ns / 1_000_000_000, t_ns % 1_000_000_000)
+}
+
+/// Render the flight-recorder table for one run: event counts, the
+/// full span timeline, recovery arms taken, resume offsets, bytes
+/// resent, and p50/p99 readouts for every histogram.
+pub fn flight_recorder(label: &str, report: &ObsReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== flight recorder: {label} ==");
+    let _ = writeln!(
+        out,
+        "span events: {}   metrics: {} counters, {} gauges, {} histograms",
+        report.spans.len(),
+        report.metrics.counters.len(),
+        report.metrics.gauges.len(),
+        report.metrics.hists.len(),
+    );
+
+    let arms: Vec<&crate::SpanEvent> = report
+        .spans
+        .iter()
+        .filter(|e| RECOVERY_ARMS.contains(&e.name) && e.phase != SpanPhase::End)
+        .collect();
+    if arms.is_empty() {
+        let _ = writeln!(out, "recovery arms taken: none");
+    } else {
+        let _ = writeln!(out, "recovery arms taken: {}", arms.len());
+        for e in &arms {
+            let _ = writeln!(out, "  {:>14}s  {} (id {})", t_s(e.t_ns), e.name, e.id);
+        }
+    }
+
+    let resumes: Vec<_> = report
+        .metrics
+        .gauges
+        .iter()
+        .filter(|((n, _), _)| n.starts_with("session.resume_offset"))
+        .collect();
+    for ((name, idx), v) in &resumes {
+        let _ = writeln!(out, "resume offset: {name}[{idx}] = {v} bytes");
+    }
+    let resent = report
+        .metrics
+        .counter("session.bytes_resent_after_resume", 0);
+    if resent > 0 || !resumes.is_empty() {
+        let _ = writeln!(out, "bytes resent after resume: {resent}");
+    }
+
+    out.push_str("timeline:\n");
+    for e in &report.spans {
+        let _ = writeln!(
+            out,
+            "  {:>14}s  {} {} (id {})",
+            t_s(e.t_ns),
+            e.phase.code(),
+            e.name,
+            e.id
+        );
+    }
+
+    if !report.metrics.hists.is_empty() {
+        out.push_str("histograms (p50/p99 are bucket upper bounds):\n");
+        for (name, h) in &report.metrics.hists {
+            let _ = writeln!(
+                out,
+                "  {name:<36} n={:<8} p50<={:<12} p99<={:<12} max={}",
+                h.count,
+                h.quantile_upper(1, 2),
+                h.quantile_upper(99, 100),
+                h.max
+            );
+        }
+    }
+
+    if !report.metrics.counters.is_empty() {
+        out.push_str("counters:\n");
+        for ((name, idx), v) in &report.metrics.counters {
+            let _ = writeln!(out, "  {name}[{idx}] = {v}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorded;
+
+    #[test]
+    fn flight_recorder_sections() {
+        let ((), rep) = recorded(|| {
+            crate::span_begin(0, "session.setup", 0);
+            crate::instant(1_000_000, "session.reconnect", 1);
+            crate::instant(2_000_000, "session.failover", 1);
+            crate::span_end(3_000_000, "session.setup", 0);
+            crate::gauge_set("session.resume_offset", 0, 131072);
+            crate::counter_add("session.bytes_resent_after_resume", 0, 4096);
+            crate::hist_observe("session.recovery_ns", 1_000_000);
+        });
+        let text = flight_recorder("seed 42", &rep);
+        assert!(text.contains("flight recorder: seed 42"), "{text}");
+        assert!(text.contains("recovery arms taken: 2"), "{text}");
+        assert!(text.contains("session.failover"), "{text}");
+        assert!(
+            text.contains("resume offset: session.resume_offset[0] = 131072"),
+            "{text}"
+        );
+        assert!(text.contains("bytes resent after resume: 4096"), "{text}");
+        assert!(text.contains("p50<="), "{text}");
+        assert!(text.contains("0.001000000"), "{text}");
+    }
+
+    #[test]
+    fn quiet_run_reports_no_arms() {
+        let ((), rep) = recorded(|| {
+            crate::span_begin(0, "session.setup", 0);
+            crate::span_end(5, "session.setup", 0);
+        });
+        let text = flight_recorder("ok", &rep);
+        assert!(text.contains("recovery arms taken: none"), "{text}");
+    }
+}

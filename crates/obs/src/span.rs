@@ -1,0 +1,98 @@
+//! Span events: begin/end/instant markers stamped with sim time.
+//!
+//! A span is identified by a `&'static str` name plus a `u64` id; the
+//! id keeps overlapping spans of the same name apart (attempt number,
+//! session id, link id). Names form a dotted taxonomy
+//! (`layer.object.action`, e.g. `session.attempt`,
+//! `depot.relay`, `netsim.fault`) documented in DESIGN.md.
+
+use std::fmt;
+
+/// What a [`SpanEvent`] marks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpanPhase {
+    /// Span opens.
+    Begin,
+    /// Span closes.
+    End,
+    /// Point event with no duration.
+    Instant,
+}
+
+impl SpanPhase {
+    /// One-letter code used in the canonical span log (`B`/`E`/`I`).
+    pub fn code(self) -> char {
+        match self {
+            SpanPhase::Begin => 'B',
+            SpanPhase::End => 'E',
+            SpanPhase::Instant => 'I',
+        }
+    }
+
+    /// Chrome trace-event `ph` value (async begin/end, instant).
+    pub fn chrome_ph(self) -> char {
+        match self {
+            SpanPhase::Begin => 'b',
+            SpanPhase::End => 'e',
+            SpanPhase::Instant => 'i',
+        }
+    }
+}
+
+impl fmt::Display for SpanPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.code())
+    }
+}
+
+/// One recorded span event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Sim time in nanoseconds since run start.
+    pub t_ns: u64,
+    /// Begin, end, or instant.
+    pub phase: SpanPhase,
+    /// Static span name (`layer.object.action`).
+    pub name: &'static str,
+    /// Disambiguator for overlapping same-name spans.
+    pub id: u64,
+}
+
+impl SpanEvent {
+    /// Canonical log line: `<t_ns> <B|E|I> <name> <id>`.
+    pub fn render_line(&self) -> String {
+        format!(
+            "{} {} {} {}",
+            self.t_ns,
+            self.phase.code(),
+            self.name,
+            self.id
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_line_shape() {
+        let e = SpanEvent {
+            t_ns: 1_500,
+            phase: SpanPhase::Begin,
+            name: "session.setup",
+            id: 7,
+        };
+        assert_eq!(e.render_line(), "1500 B session.setup 7");
+    }
+
+    #[test]
+    fn phase_codes() {
+        assert_eq!(SpanPhase::Begin.code(), 'B');
+        assert_eq!(SpanPhase::End.code(), 'E');
+        assert_eq!(SpanPhase::Instant.code(), 'I');
+        assert_eq!(SpanPhase::Begin.chrome_ph(), 'b');
+        assert_eq!(SpanPhase::End.chrome_ph(), 'e');
+        assert_eq!(SpanPhase::Instant.chrome_ph(), 'i');
+    }
+}

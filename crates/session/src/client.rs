@@ -199,6 +199,19 @@ pub struct SessionClient {
     /// Timer generation; a fired token with a stale generation is void.
     timer_gen: u64,
     events: Vec<(Time, SessionEvent)>,
+    /// Attempt ordinal across the whole client lifetime: the id of the
+    /// `session.attempt` / `session.sublink.establish` obs spans.
+    attempt_seq: u64,
+    /// Whether the current attempt reached `Established` (closes the
+    /// establish span exactly once).
+    attempt_established: bool,
+    /// Sim time of the first unrecovered `SublinkDown`, for the
+    /// `session.recovery_ns` fault-recovery-latency histogram.
+    down_since: Option<Time>,
+    /// Highest absolute stream offset any attempt reached; a resume
+    /// grant below it means the gap is resent
+    /// (`session.bytes_resent_after_resume`).
+    high_offset: u64,
     pub started_at: Time,
     pub finished_at: Option<Time>,
 }
@@ -250,9 +263,14 @@ impl SessionClient {
             verified_floor: 0,
             timer_gen: 0,
             events: Vec::new(),
+            attempt_seq: 0,
+            attempt_established: false,
+            down_since: None,
+            high_offset: 0,
             started_at: net.now(),
             finished_at: None,
         };
+        lsl_obs::span_begin(net.now().0, "session.client", session.0 as u64);
         client.start_attempt(net);
         client
     }
@@ -285,7 +303,60 @@ impl SessionClient {
     }
 
     fn push_event(&mut self, net: &Net, ev: SessionEvent) {
+        self.obs_event(net.now(), &ev);
         self.events.push((net.now(), ev));
+    }
+
+    /// Mirror a lifecycle event into the observability plane: recovery
+    /// arms become instants, establishment closes the per-attempt
+    /// establish span, and recovery latency feeds a histogram.
+    fn obs_event(&mut self, t: Time, ev: &SessionEvent) {
+        let sid = self.session.0 as u64;
+        match ev {
+            SessionEvent::Established => {
+                if !self.attempt_established {
+                    self.attempt_established = true;
+                    lsl_obs::span_end(t.0, "session.sublink.establish", self.attempt_seq);
+                }
+                if let Some(down) = self.down_since.take() {
+                    lsl_obs::hist_observe("session.recovery_ns", (t - down).0);
+                }
+            }
+            SessionEvent::Confirmed => lsl_obs::instant(t.0, "session.confirmed", sid),
+            SessionEvent::SublinkDown(_) => {
+                lsl_obs::instant(t.0, "session.sublink.down", sid);
+                self.down_since.get_or_insert(t);
+            }
+            SessionEvent::Reconnecting { attempt, .. } => {
+                lsl_obs::instant(t.0, "session.reconnect", *attempt as u64);
+            }
+            SessionEvent::FailedOver { route } => {
+                lsl_obs::instant(t.0, "session.failover", *route as u64);
+            }
+            SessionEvent::Degraded => {
+                lsl_obs::instant(t.0, "session.degrade", self.route_idx as u64);
+            }
+            SessionEvent::Retransfer { attempt } => {
+                lsl_obs::instant(t.0, "session.retransfer", *attempt as u64);
+            }
+            SessionEvent::Resumed { from_block, offset } => {
+                lsl_obs::instant(t.0, "session.resume", *from_block);
+                lsl_obs::gauge_set("session.resume_offset", sid, *offset);
+                lsl_obs::counter_add(
+                    "session.bytes_resent_after_resume",
+                    0,
+                    self.high_offset.saturating_sub(*offset),
+                );
+            }
+            SessionEvent::Completed => {
+                lsl_obs::instant(t.0, "session.completed", sid);
+                lsl_obs::span_end(t.0, "session.client", sid);
+            }
+            SessionEvent::Failed(_) => {
+                lsl_obs::instant(t.0, "session.failed", sid);
+                lsl_obs::span_end(t.0, "session.client", sid);
+            }
+        }
     }
 
     /// Timer token: tag bit, 30 bits of session id (so concurrent
@@ -333,6 +404,10 @@ impl SessionClient {
     }
 
     fn start_attempt(&mut self, net: &mut Net) {
+        self.attempt_seq += 1;
+        self.attempt_established = false;
+        lsl_obs::span_begin(net.now().0, "session.attempt", self.attempt_seq);
+        lsl_obs::span_begin(net.now().0, "session.sublink.establish", self.attempt_seq);
         let path = self.routes[self.route_idx].clone();
         let sender = BulkSender::start(
             net,
@@ -361,7 +436,15 @@ impl SessionClient {
             if let Some(granted) = s.resume_granted() {
                 self.observe_verified(granted / RESUME_BLOCK);
             }
+            self.high_offset = self.high_offset.max(s.stream_offset());
             net.abort(s.sock());
+            if !self.attempt_established {
+                // Attempt died while connecting: close the establish
+                // span so the trace pairs up.
+                self.attempt_established = true;
+                lsl_obs::span_end(net.now().0, "session.sublink.establish", self.attempt_seq);
+            }
+            lsl_obs::span_end(net.now().0, "session.attempt", self.attempt_seq);
         }
     }
 
@@ -406,6 +489,16 @@ impl SessionClient {
     }
 
     fn fail(&mut self, net: &mut Net, err: SessionError) {
+        if self.sender.is_some() {
+            // Terminal failure with the attempt still in hand (e.g.
+            // retransfers exhausted): close its spans here — the sender
+            // is never discarded after this point.
+            if !self.attempt_established {
+                self.attempt_established = true;
+                lsl_obs::span_end(net.now().0, "session.sublink.establish", self.attempt_seq);
+            }
+            lsl_obs::span_end(net.now().0, "session.attempt", self.attempt_seq);
+        }
         self.push_event(net, SessionEvent::Failed(err));
         self.state = ClientState::Failed(err);
         self.finished_at.get_or_insert(net.now());

@@ -11,7 +11,7 @@
 use std::collections::{BTreeMap, VecDeque};
 
 use bytes::Bytes;
-use lsl_netsim::{Dur, FaultKind, NodeId};
+use lsl_netsim::{Dur, FaultKind, NodeId, Time};
 use lsl_tcp::{AppEvent, Net, SockEvent, SockId, TcpConfig};
 
 use crate::client::CLIENT_TIMER_TAG;
@@ -271,7 +271,7 @@ impl Depot {
         }
         if *sock == self.listener {
             if let SockEvent::Accepted { conn } = event {
-                self.on_accept(*conn);
+                self.on_accept(net.now(), *conn);
             }
             return Handled::Consumed;
         }
@@ -296,6 +296,9 @@ impl Depot {
                 // vanished with the TCP stack. Drop the volatile relay
                 // state; peers discover via their own timers/RSTs.
                 self.stats.aborted += self.relays.iter().flatten().count() as u64;
+                for relay in self.relays.iter().flatten() {
+                    lsl_obs::span_end(net.now().0, "depot.relay", relay.gen);
+                }
                 self.relays.clear();
                 self.by_sock.clear();
                 self.crashed = true;
@@ -312,9 +315,10 @@ impl Depot {
         }
     }
 
-    fn on_accept(&mut self, conn: SockId) {
+    fn on_accept(&mut self, t: Time, conn: SockId) {
         self.stats.sessions_accepted += 1;
         self.next_gen += 1;
+        lsl_obs::span_begin(t.0, "depot.relay", self.next_gen);
         let relay = Relay {
             up: conn,
             down: None,
@@ -333,6 +337,7 @@ impl Depot {
             self.relays.len() - 1
         };
         self.by_sock.insert(conn, idx);
+        lsl_obs::gauge_max("depot.active_relays", 0, self.active_sessions() as u64);
     }
 
     fn relay_mut(&mut self, idx: usize) -> &mut Relay {
@@ -449,6 +454,7 @@ impl Depot {
         }
         self.stats.bytes_relayed += relayed;
         self.stats.max_buffered = self.stats.max_buffered.max(max_buffered);
+        lsl_obs::gauge_max("depot.relay.max_buffered", 0, max_buffered as u64);
     }
 
     fn read_header(&mut self, net: &mut Net, idx: usize) {
@@ -613,6 +619,7 @@ impl Depot {
             if !matches!(relay.state, RelayState::Dead) {
                 self.stats.sessions_completed += 1;
             }
+            lsl_obs::span_end(net.now().0, "depot.relay", relay.gen);
         }
     }
 }

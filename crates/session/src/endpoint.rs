@@ -235,6 +235,13 @@ impl BulkSender {
         self.sent - self.resume_base
     }
 
+    /// Absolute stream offset reached so far (resume base + streamed
+    /// payload) — what a later resumed attempt measures resend waste
+    /// against.
+    pub fn stream_offset(&self) -> u64 {
+        self.sent
+    }
+
     /// Tear the attempt down (recovery decided the sublink is dead):
     /// abort the socket and record the typed cause.
     pub fn fail(&mut self, net: &mut Net, err: SessionError) {
@@ -329,7 +336,10 @@ impl BulkSender {
         if granted > 0 {
             // Rebuild the end-to-end digest as if the prefix had been
             // streamed: the trailer still covers bytes [0, total).
+            let t = net.now().0;
+            lsl_obs::span_begin(t, "session.resume.fast_forward", granted / RESUME_BLOCK);
             self.md5 = Some(md5_fast_forward(granted));
+            lsl_obs::span_end(t, "session.resume.fast_forward", granted / RESUME_BLOCK);
         }
         self.state = SenderState::Streaming;
         self.pump(net);
@@ -772,6 +782,8 @@ impl SinkServer {
                     content_ok,
                     offset,
                 } => {
+                    let obs_sid = header.as_ref().map(|h| h.session.0 as u64).unwrap_or(0);
+                    lsl_obs::span_begin(net.now().0, "sink.verdict.drain", obs_sid);
                     // For resume sessions the end-to-end digest lives in
                     // the session chain (it spans attempts); otherwise
                     // in this conn's own hasher.
@@ -812,6 +824,7 @@ impl SinkServer {
                     } else {
                         TransferStatus::Complete
                     };
+                    let verdict_ok = matches!(status, TransferStatus::Complete);
                     self.outcomes.push(TransferOutcome {
                         session: header.as_ref().map(|h| h.session),
                         status,
@@ -823,6 +836,17 @@ impl SinkServer {
                         accepted_at: conn.accepted_at,
                         completed_at: net.now(),
                     });
+                    lsl_obs::gauge_set("sink.verified_blocks", obs_sid, verified_blocks);
+                    lsl_obs::counter_add(
+                        if verdict_ok {
+                            "sink.verdict.complete"
+                        } else {
+                            "sink.verdict.failed"
+                        },
+                        0,
+                        1,
+                    );
+                    lsl_obs::span_end(net.now().0, "sink.verdict.drain", obs_sid);
                 }
                 SinkConnState::ReadingHeader(_) => {
                     // EOF mid-header.

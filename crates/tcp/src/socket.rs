@@ -649,6 +649,7 @@ impl Tcb {
                     return;
                 }
                 self.cc.on_rto(self.flight());
+                lsl_obs::counter_add("tcp.retransmit.rto", 0, 1);
                 self.rto.on_timeout();
                 // Go-back-N: rewind to the first unacknowledged byte and
                 // let the output engine resend under the collapsed cwnd.
@@ -770,6 +771,8 @@ impl Tcb {
                 // Classic duplicate ACK.
                 match self.cc.on_dup_ack(self.snd_nxt, self.flight()) {
                     CcAction::FastRetransmit => {
+                        lsl_obs::counter_add("tcp.retransmit.fast", 0, 1);
+                        lsl_obs::hist_observe("tcp.cwnd_on_loss", self.cc.cwnd);
                         self.retransmit_one(ctx);
                         self.arm_rto(ctx);
                     }
@@ -864,8 +867,13 @@ impl Tcb {
         }
 
         if self.cc.on_new_ack(acked, self.snd_una) == CcAction::RetransmitHole {
+            lsl_obs::counter_add("tcp.retransmit.hole", 0, 1);
             self.retransmit_one(ctx);
         }
+        // Cwnd evolution sample: one histogram observation per
+        // cumulative ACK (cheap: a thread-local flag check when the
+        // recorder is off).
+        lsl_obs::hist_observe("tcp.cwnd", self.cc.cwnd);
 
         // FIN-of-ours acknowledged?
         if let Some(fin) = self.fin_seq {

@@ -120,6 +120,11 @@ pub struct ChaosRun {
     /// Events dispatched before the run ended.
     pub events: u64,
     pub violations: Vec<ChaosViolation>,
+    /// Telemetry captured while the seed ran: session lifecycle spans,
+    /// depot relay occupancy, tcp/netsim metrics. Deterministic — the
+    /// fingerprint folds in its digest, and a failing seed's report
+    /// feeds the flight recorder / perfetto exporters.
+    pub obs: lsl_obs::ObsReport,
 }
 
 impl ChaosRun {
@@ -178,6 +183,12 @@ impl ChaosRun {
             "state {:?} route {} events {} violations {:?}",
             self.state, self.route_used, self.events, self.violations
         );
+        let _ = writeln!(
+            s,
+            "obs spans {} digest {:016x}",
+            self.obs.spans.len(),
+            self.obs.digest()
+        );
         s
     }
 }
@@ -198,6 +209,14 @@ pub fn run_chaos_storm(case: &FailoverCase, cfg: &ChaosConfig, storm: StormPlan)
     #[cfg(feature = "invariants")]
     drop(lsl_netsim::invariants::take());
 
+    // The whole seed runs under a clean thread-local obs recorder; the
+    // captured report rides on the ChaosRun and extends the fingerprint.
+    let (mut run, obs) = lsl_obs::recorded(|| run_chaos_storm_inner(case, cfg, storm));
+    run.obs = obs;
+    run
+}
+
+fn run_chaos_storm_inner(case: &FailoverCase, cfg: &ChaosConfig, storm: StormPlan) -> ChaosRun {
     let run_cfg = FaultRunConfig::new(cfg.size, storm.seed, storm.to_fault_plan());
     let mut sim = case.topo.clone().into_sim(run_cfg.seed);
     sim.install_faults(run_cfg.plan.clone());
@@ -268,6 +287,9 @@ pub fn run_chaos_storm(case: &FailoverCase, cfg: &ChaosConfig, storm: StormPlan)
     #[cfg(not(feature = "invariants"))]
     let invariant_count = 0;
     let violations = check_contract(hung, events, net.now(), state, &outcomes, invariant_count);
+    // End-of-run link telemetry (queue HWMs, drop tallies) before the
+    // recorder is drained by our caller.
+    net.sim().record_obs_link_metrics();
 
     ChaosRun {
         seed: storm.seed,
@@ -279,6 +301,7 @@ pub fn run_chaos_storm(case: &FailoverCase, cfg: &ChaosConfig, storm: StormPlan)
         duration_s: (ended_at - client.started_at).as_secs_f64(),
         events,
         violations,
+        obs: lsl_obs::ObsReport::default(),
     }
 }
 

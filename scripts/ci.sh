@@ -36,6 +36,26 @@ echo "==> chaos-storm smoke (8 storm seeds, per-run contract)"
 # clean. A violation shrinks to a minimal drill and fails the gate.
 cargo run -q -p lsl-bench --bin chaos -- --smoke
 
+echo "==> observability smoke (telemetry determinism, trace shape, idle overhead)"
+# The obs-report gate replays a chaos seed twice (telemetry must be
+# byte-identical), validates the exported Chrome trace (schema version,
+# parseable events, per-pid monotone ts), and measures the netsim event
+# rate with recording compiled in but idle — it must stay within 3% of
+# the committed BENCH_netsim.json figure.
+cargo run -q --release -p lsl-bench --bin obs-report -- --smoke
+
+echo "==> perfetto trace artifact (seed 3 timeline under results/obs/)"
+# Full artifact path: flight-recorder summary + trace.json + spans +
+# metrics for one stormy seed, then validate the written file's shape
+# (same validator the smoke gate uses, applied to the on-disk artifact).
+cargo run -q --release -p lsl-bench --bin obs-report -- --seed 3
+if command -v python3 >/dev/null 2>&1; then
+  python3 -c "import json, sys; json.load(open(sys.argv[1]))" results/obs/chaos_seed3.trace.json \
+    || { echo "results/obs/chaos_seed3.trace.json is not valid JSON"; exit 1; }
+fi
+grep -q '"schemaVersion": 1' results/obs/chaos_seed3.trace.json \
+  || { echo "trace artifact missing schemaVersion"; exit 1; }
+
 echo "==> bench smoke (BENCH_netsim.json shape)"
 # BENCH_OUT keeps the smoke run from clobbering the committed
 # full-measurement BENCH_netsim.json at the repo root.

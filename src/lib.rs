@@ -19,6 +19,7 @@
 //! | [`tcp`] | user-level TCP (Reno/NewReno) over the simulator |
 //! | [`session`] | **the LSL itself**: header, depots, endpoints, models, path selection |
 //! | [`nws`] | Network Weather Service-style forecasting |
+//! | [`obs`] | deterministic observability: sim-time spans, metrics, perfetto export |
 //! | [`trace`] | tcpdump-equivalent capture + the paper's analysis pipeline |
 //! | [`digest`] | MD5 (RFC 1321) |
 //! | [`realnet`] | LSL over real kernel TCP — the deployable `lsd` daemon |
@@ -39,6 +40,7 @@
 pub use lsl_digest as digest;
 pub use lsl_netsim as netsim;
 pub use lsl_nws as nws;
+pub use lsl_obs as obs;
 pub use lsl_realnet as realnet;
 pub use lsl_session as session;
 pub use lsl_tcp as tcp;
