@@ -1,6 +1,8 @@
 //! Seeded violations for a sim-domain crate: wall-clock, hash-container
 //! and float-eq must all fire on this file.
 
+pub mod stats;
+
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -24,4 +26,27 @@ pub fn fanout() {
 pub fn chatty(n: u64) {
     println!("progress: {n}");
     eprintln!("warning: {n}");
+}
+
+/// Seeds `narrowing-cast`: the sum can exceed u16::MAX and `as`
+/// truncates it silently.
+pub fn pack(a: u64, b: u64) -> u16 {
+    (a + b) as u16
+}
+
+/// The taint *source*: an environment read, which no lexical rule
+/// covers — only the call-graph pass connects it to a sink.
+fn knob() -> u64 {
+    std::env::var("FIXTURE_KNOB")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
+/// The taint *path*: the nondeterministic value crosses a function
+/// boundary before reaching the metrics sink, so `nondet-taint` must
+/// report the `knob -> step` chain.
+pub fn step() {
+    let k = knob();
+    fixture_obs::counter_add("knob", 0, k);
 }

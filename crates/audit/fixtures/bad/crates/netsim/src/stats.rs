@@ -1,0 +1,6 @@
+//! Seeds `unsaturated-arith`: accumulator files (stats/metrics) must
+//! use the saturating helpers, and this one adds raw.
+
+pub fn bump(total: u64, delta: u64) -> u64 {
+    total + delta
+}

@@ -1,0 +1,14 @@
+//! Fixture telemetry plane: `counter_add` is the taint *sink* the
+//! netsim fixture feeds, and `prune` seeds the `unstable-order` rule
+//! (HashMap itself is legal outside the sim domain — the violation is
+//! iterating it order-sensitively).
+
+use std::collections::HashMap;
+
+pub fn counter_add(name: &str, idx: u64, delta: u64) {
+    let _ = (name, idx, delta);
+}
+
+pub fn prune(live: &mut HashMap<u32, u64>) {
+    live.retain(|_, v| *v > 0);
+}

@@ -6,6 +6,17 @@ pub fn open(raw: &str) -> u16 {
     raw.parse().unwrap()
 }
 
+/// Seeds `panic-in-pub-api`: the assert lives in a private helper, so
+/// the finding must carry the `begin -> ensure` reachability path.
+pub fn begin(frame: usize) -> u16 {
+    ensure(frame);
+    1
+}
+
+fn ensure(frame: usize) {
+    assert!(frame > 0, "zero-length frame");
+}
+
 #[cfg(test)]
 mod tests {
     #[test]

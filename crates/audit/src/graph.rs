@@ -1,0 +1,885 @@
+//! Workspace symbol table and call graph.
+//!
+//! Built on [`crate::parser`]: every crate's module tree is loaded
+//! (`src/lib.rs` plus `src/main.rs` / `src/bin/*.rs` as their own
+//! roots), `use` items become per-module scope bindings, and each fn /
+//! impl-method becomes a [`Symbol`]. Call edges are resolved through
+//! module scopes — `use`-aware, `crate::`/`super::`/`self::`-aware, and
+//! cross-crate via the workspace lib names (`lsl_netsim::…`). Method
+//! calls (`x.f(…)`) cannot be typed without inference, so they resolve
+//! by name to every known method `f` in the caller's dependency
+//! closure — a deliberate over-approximation: the taint pass prefers
+//! false edges over missed nondeterminism.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::lexer;
+use crate::parser::{self, BodyFacts, Item, UseBinding};
+
+pub type SymbolId = usize;
+pub type ModuleId = usize;
+
+/// One fn or impl-method in the workspace.
+#[derive(Debug)]
+pub struct Symbol {
+    pub crate_dir: String,
+    pub module: ModuleId,
+    /// `Some(type)` for impl methods.
+    pub type_name: Option<String>,
+    pub name: String,
+    /// Workspace-relative file, `/`-separated.
+    pub file: String,
+    pub line: u32,
+    pub end_line: u32,
+    pub is_pub: bool,
+    pub in_test: bool,
+    pub facts: BodyFacts,
+}
+
+impl Symbol {
+    /// `Type::name` or `name`, for messages.
+    pub fn display(&self) -> String {
+        match &self.type_name {
+            Some(t) => format!("{t}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+#[derive(Debug)]
+pub struct Module {
+    pub crate_dir: String,
+    /// Path within the crate (`[]` = crate root).
+    pub path: Vec<String>,
+    pub file: String,
+    pub parent: Option<ModuleId>,
+    /// The module tree root `crate::` resolves to (a bin target is its
+    /// own root).
+    pub root: ModuleId,
+    pub uses: Vec<UseBinding>,
+    pub children: BTreeMap<String, ModuleId>,
+    /// Free fns by name (duplicates possible under cfg).
+    pub fns: BTreeMap<String, Vec<SymbolId>>,
+    /// Impl methods by (type, method).
+    pub methods: BTreeMap<(String, String), Vec<SymbolId>>,
+    /// Names of `static mut` items declared here.
+    pub statics_mut: Vec<String>,
+}
+
+/// A resolved call edge.
+#[derive(Debug, Clone)]
+pub struct CallEdge {
+    pub to: SymbolId,
+    pub line: u32,
+    pub col: u32,
+    /// How the call site spelled it (`helper`, `.record`, …).
+    pub via: String,
+}
+
+/// A call that resolved outside the workspace (`std::…`).
+#[derive(Debug, Clone)]
+pub struct ExternalRef {
+    /// Normalized `::`-joined path (`std::time::Instant::now`).
+    pub path: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+#[derive(Debug)]
+pub struct CrateInfo {
+    pub dir: String,
+    /// Library identifier (`lsl_netsim`).
+    pub lib_name: String,
+    /// Workspace crates this crate depends on (dir names, direct).
+    pub deps: BTreeSet<String>,
+}
+
+#[derive(Debug)]
+pub enum Resolution {
+    Sym(Vec<SymbolId>),
+    External(String),
+    Unknown,
+}
+
+#[derive(Debug, Default)]
+pub struct Workspace {
+    pub symbols: Vec<Symbol>,
+    pub modules: Vec<Module>,
+    pub crates: BTreeMap<String, CrateInfo>,
+    /// Per-symbol resolved workspace call edges.
+    pub calls: Vec<Vec<CallEdge>>,
+    /// Per-symbol external references (calls *and* path mentions).
+    pub externals: Vec<Vec<ExternalRef>>,
+    /// Method name → symbols, for receiver-typed calls.
+    method_index: BTreeMap<String, Vec<SymbolId>>,
+    /// (type, method) → symbols, crate-wide fallback.
+    typed_method_index: BTreeMap<(String, String), Vec<SymbolId>>,
+    /// lib name → crate dir.
+    lib_to_dir: BTreeMap<String, String>,
+    /// crate dir → transitive dependency closure (incl. itself).
+    dep_closure: BTreeMap<String, BTreeSet<String>>,
+}
+
+impl Workspace {
+    /// Load and link every crate under `root` (crates/* plus the root
+    /// package's own `src/` as crate `lsl`).
+    pub fn load(root: &Path) -> Result<Workspace, String> {
+        let mut ws = Workspace::default();
+        let mut crate_dirs: Vec<(String, PathBuf)> = Vec::new();
+        let crates_dir = root.join("crates");
+        if let Ok(rd) = fs::read_dir(&crates_dir) {
+            for e in rd.flatten() {
+                let p = e.path();
+                if p.is_dir() && p.join("src").is_dir() {
+                    let name = p
+                        .file_name()
+                        .and_then(|n| n.to_str())
+                        .unwrap_or_default()
+                        .to_string();
+                    crate_dirs.push((name, p));
+                }
+            }
+        }
+        crate_dirs.sort();
+        if root.join("src").is_dir() {
+            crate_dirs.push(("lsl".to_string(), root.to_path_buf()));
+        }
+
+        // First pass: manifests (package names, workspace deps).
+        let mut pkg_to_dir = BTreeMap::new();
+        let mut raw_deps: BTreeMap<String, Vec<String>> = BTreeMap::new();
+        for (dir_name, dir) in &crate_dirs {
+            let manifest = fs::read_to_string(dir.join("Cargo.toml")).unwrap_or_default();
+            let pkg = package_name(&manifest).unwrap_or_else(|| dir_name.clone());
+            pkg_to_dir.insert(pkg.clone(), dir_name.clone());
+            ws.lib_to_dir
+                .insert(pkg.replace('-', "_"), dir_name.clone());
+            raw_deps.insert(dir_name.clone(), dependency_packages(&manifest));
+            ws.crates.insert(
+                dir_name.clone(),
+                CrateInfo {
+                    dir: dir_name.clone(),
+                    lib_name: pkg.replace('-', "_"),
+                    deps: BTreeSet::new(),
+                },
+            );
+        }
+        for (dir_name, pkgs) in raw_deps {
+            let deps: BTreeSet<String> = pkgs
+                .iter()
+                .filter_map(|p| pkg_to_dir.get(p).cloned())
+                .collect();
+            if let Some(info) = ws.crates.get_mut(&dir_name) {
+                info.deps = deps;
+            }
+        }
+        ws.dep_closure = dep_closure(&ws.crates);
+
+        // Second pass: module trees.
+        for (dir_name, dir) in &crate_dirs {
+            let src = dir.join("src");
+            let lib = src.join("lib.rs");
+            if lib.is_file() {
+                ws.load_module_tree(root, dir_name, &lib, Vec::new(), None)?;
+            }
+            let main = src.join("main.rs");
+            if main.is_file() {
+                ws.load_module_tree(root, dir_name, &main, vec!["main".into()], None)?;
+            }
+            let bin_dir = src.join("bin");
+            if let Ok(rd) = fs::read_dir(&bin_dir) {
+                let mut bins: Vec<PathBuf> = rd
+                    .flatten()
+                    .map(|e| e.path())
+                    .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+                    .collect();
+                bins.sort();
+                for bin in bins {
+                    let stem = bin
+                        .file_stem()
+                        .and_then(|s| s.to_str())
+                        .unwrap_or("bin")
+                        .to_string();
+                    ws.load_module_tree(root, dir_name, &bin, vec!["bin".into(), stem], None)?;
+                }
+            }
+        }
+
+        ws.link();
+        Ok(ws)
+    }
+
+    /// Parse `file` as a module and recurse into its file submodules.
+    fn load_module_tree(
+        &mut self,
+        root: &Path,
+        crate_dir: &str,
+        file: &Path,
+        mod_path: Vec<String>,
+        parent: Option<ModuleId>,
+    ) -> Result<ModuleId, String> {
+        let text = fs::read_to_string(file).map_err(|e| format!("{}: {e}", file.display()))?;
+        let rel = rel_path(root, file);
+        let parsed = parser::parse(&lexer::lex(&text));
+
+        let id = self.modules.len();
+        let root_id = parent.map(|p| self.modules[p].root).unwrap_or(id);
+        self.modules.push(Module {
+            crate_dir: crate_dir.to_string(),
+            path: mod_path,
+            file: rel,
+            parent,
+            root: root_id,
+            uses: Vec::new(),
+            children: BTreeMap::new(),
+            fns: BTreeMap::new(),
+            methods: BTreeMap::new(),
+            statics_mut: Vec::new(),
+        });
+
+        // Directory that holds this module's file submodules.
+        let file_name = file.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        let child_dir = if matches!(file_name, "lib.rs" | "main.rs" | "mod.rs") {
+            file.parent().map(Path::to_path_buf)
+        } else {
+            file.parent()
+                .map(|d| d.join(file.file_stem().and_then(|s| s.to_str()).unwrap_or("")))
+        };
+
+        self.add_items(root, id, parsed.items, child_dir.as_deref(), false)?;
+        Ok(id)
+    }
+
+    /// Install a parsed item list into module `m`.
+    fn add_items(
+        &mut self,
+        root: &Path,
+        m: ModuleId,
+        items: Vec<Item>,
+        child_dir: Option<&Path>,
+        in_test: bool,
+    ) -> Result<(), String> {
+        for item in items {
+            match item {
+                Item::Fn(f) => {
+                    self.add_fn(m, None, f, in_test);
+                }
+                Item::Impl(im) => {
+                    for f in im.fns {
+                        self.add_fn(m, Some(im.type_name.clone()), f, in_test || im.in_test);
+                    }
+                }
+                Item::Use(u) => self.modules[m].uses.extend(u.bindings),
+                Item::Static(s) => {
+                    if s.mutable {
+                        self.modules[m].statics_mut.push(s.name);
+                    }
+                }
+                Item::Mod(mi) => {
+                    let name = mi.name.clone();
+                    match mi.inline {
+                        Some(inner) => {
+                            let id = self.modules.len();
+                            let (crate_dir, file, root_id, path) = {
+                                let parent = &self.modules[m];
+                                let mut p = parent.path.clone();
+                                p.push(name.clone());
+                                (
+                                    parent.crate_dir.clone(),
+                                    parent.file.clone(),
+                                    parent.root,
+                                    p,
+                                )
+                            };
+                            self.modules.push(Module {
+                                crate_dir,
+                                path,
+                                file,
+                                parent: Some(m),
+                                root: root_id,
+                                uses: Vec::new(),
+                                children: BTreeMap::new(),
+                                fns: BTreeMap::new(),
+                                methods: BTreeMap::new(),
+                                statics_mut: Vec::new(),
+                            });
+                            self.modules[m].children.insert(name.clone(), id);
+                            // An inline `mod x { }` nests inside the same
+                            // file; its file submodules live under `x/`.
+                            let sub_dir = child_dir.map(|d| d.join(&name));
+                            self.add_items(
+                                root,
+                                id,
+                                inner,
+                                sub_dir.as_deref(),
+                                in_test || mi.in_test,
+                            )?;
+                        }
+                        None => {
+                            let Some(dir) = child_dir else { continue };
+                            let cand_a = dir.join(format!("{name}.rs"));
+                            let cand_b = dir.join(&name).join("mod.rs");
+                            let target = if cand_a.is_file() {
+                                cand_a
+                            } else if cand_b.is_file() {
+                                cand_b
+                            } else {
+                                continue; // cfg-gated or missing — skip
+                            };
+                            let crate_dir = self.modules[m].crate_dir.clone();
+                            let mut p = self.modules[m].path.clone();
+                            p.push(name.clone());
+                            let id =
+                                self.load_module_tree(root, &crate_dir, &target, p, Some(m))?;
+                            self.modules[m].children.insert(name, id);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn add_fn(
+        &mut self,
+        m: ModuleId,
+        type_name: Option<String>,
+        f: parser::FnItem,
+        enclosing_test: bool,
+    ) {
+        let id = self.symbols.len();
+        let in_test = f.in_test || enclosing_test;
+        self.symbols.push(Symbol {
+            crate_dir: self.modules[m].crate_dir.clone(),
+            module: m,
+            type_name: type_name.clone(),
+            name: f.name.clone(),
+            file: self.modules[m].file.clone(),
+            line: f.line,
+            end_line: f.end_line,
+            is_pub: f.is_pub,
+            in_test,
+            facts: f.body,
+        });
+        match type_name {
+            Some(t) => {
+                self.modules[m]
+                    .methods
+                    .entry((t.clone(), f.name.clone()))
+                    .or_default()
+                    .push(id);
+                self.typed_method_index
+                    .entry((t, f.name.clone()))
+                    .or_default()
+                    .push(id);
+                self.method_index.entry(f.name).or_default().push(id);
+            }
+            None => {
+                self.modules[m].fns.entry(f.name).or_default().push(id);
+            }
+        }
+    }
+
+    /// Resolve every call site into edges / external refs.
+    fn link(&mut self) {
+        let n = self.symbols.len();
+        let mut calls = vec![Vec::new(); n];
+        let mut externals = vec![Vec::new(); n];
+        for id in 0..n {
+            let m = self.symbols[id].module;
+            let caller_crate = self.symbols[id].crate_dir.clone();
+            let allowed = self
+                .dep_closure
+                .get(&caller_crate)
+                .cloned()
+                .unwrap_or_default();
+
+            // Path references and calls.
+            for p in &self.symbols[id].facts.paths {
+                match self.resolve(m, &p.segments, 0) {
+                    Resolution::Sym(targets) => {
+                        if p.kind != parser::PathKind::Ref {
+                            for to in targets {
+                                calls[id].push(CallEdge {
+                                    to,
+                                    line: p.line,
+                                    col: p.col,
+                                    via: p.dotted(),
+                                });
+                            }
+                        }
+                    }
+                    Resolution::External(path) => externals[id].push(ExternalRef {
+                        path,
+                        line: p.line,
+                        col: p.col,
+                    }),
+                    Resolution::Unknown => {}
+                }
+            }
+
+            // Method calls: by-name over the dependency closure.
+            for mc in &self.symbols[id].facts.method_calls {
+                if let Some(cands) = self.method_index.get(&mc.name) {
+                    for &to in cands {
+                        if allowed.contains(&self.symbols[to].crate_dir) {
+                            calls[id].push(CallEdge {
+                                to,
+                                line: mc.line,
+                                col: mc.col,
+                                via: format!(".{}", mc.name),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        self.calls = calls;
+        self.externals = externals;
+    }
+
+    /// Resolve a path mention from inside module `m`.
+    pub fn resolve(&self, m: ModuleId, segs: &[String], depth: u32) -> Resolution {
+        if segs.is_empty() || depth > 8 {
+            return Resolution::Unknown;
+        }
+        let first = segs[0].as_str();
+        match first {
+            "crate" => return self.resolve_abs(self.modules[m].root, &segs[1..], depth + 1),
+            "self" => return self.resolve_abs(m, &segs[1..], depth + 1),
+            "super" => {
+                let Some(p) = self.modules[m].parent else {
+                    return Resolution::Unknown;
+                };
+                return self.resolve(p, &prepend("self", &segs[1..]), depth + 1);
+            }
+            "std" | "core" | "alloc" => return Resolution::External(segs.join("::")),
+            _ => {}
+        }
+        // `use` bindings shadow everything else.
+        if let Some(b) = self.modules[m]
+            .uses
+            .iter()
+            .find(|b| !b.glob && b.alias == first)
+        {
+            let mut full = b.path.clone();
+            full.extend_from_slice(&segs[1..]);
+            return self.resolve(m, &full, depth + 1);
+        }
+        // Local items.
+        if let Some(r) = self.lookup_in(m, segs, depth) {
+            return r;
+        }
+        // Child modules of the current module are in scope unqualified.
+        if segs.len() > 1 {
+            if let Some(&child) = self.modules[m].children.get(first) {
+                return self.resolve_abs(child, &segs[1..], depth + 1);
+            }
+        }
+        // Sibling crates by lib name.
+        if let Some(dir) = self.lib_to_dir.get(first) {
+            if let Some(root) = self.crate_root(dir) {
+                return self.resolve_abs(root, &segs[1..], depth + 1);
+            }
+        }
+        // Glob imports: try each glob's module.
+        for b in self.modules[m].uses.clone().iter().filter(|b| b.glob) {
+            let mut full = b.path.clone();
+            full.extend_from_slice(segs);
+            if let r @ (Resolution::Sym(_) | Resolution::External(_)) =
+                self.resolve(m, &full, depth + 1)
+            {
+                return r;
+            }
+        }
+        Resolution::Unknown
+    }
+
+    /// Resolve `segs` downward from module `m` (no scope walking).
+    fn resolve_abs(&self, m: ModuleId, segs: &[String], depth: u32) -> Resolution {
+        if segs.is_empty() || depth > 8 {
+            return Resolution::Unknown;
+        }
+        let mut cur = m;
+        let mut rest = segs;
+        loop {
+            let first = rest[0].as_str();
+            if first == "self" {
+                rest = &rest[1..];
+                if rest.is_empty() {
+                    return Resolution::Unknown;
+                }
+                continue;
+            }
+            if first == "super" {
+                match self.modules[cur].parent {
+                    Some(p) => {
+                        cur = p;
+                        rest = &rest[1..];
+                        if rest.is_empty() {
+                            return Resolution::Unknown;
+                        }
+                        continue;
+                    }
+                    None => return Resolution::Unknown,
+                }
+            }
+            if rest.len() > 1 {
+                if let Some(&child) = self.modules[cur].children.get(first) {
+                    cur = child;
+                    rest = &rest[1..];
+                    continue;
+                }
+            }
+            break;
+        }
+        self.lookup_in(cur, rest, depth)
+            .unwrap_or(Resolution::Unknown)
+    }
+
+    /// Items directly inside module `m` matching `segs` (fn, method, or
+    /// a re-export).
+    fn lookup_in(&self, m: ModuleId, segs: &[String], depth: u32) -> Option<Resolution> {
+        match segs.len() {
+            1 => self.modules[m]
+                .fns
+                .get(&segs[0])
+                .map(|ids| Resolution::Sym(ids.clone())),
+            2 => {
+                let key = (segs[0].clone(), segs[1].clone());
+                if let Some(ids) = self.modules[m].methods.get(&key) {
+                    return Some(Resolution::Sym(ids.clone()));
+                }
+                // Type is declared here but the impl lives elsewhere in
+                // the same crate: fall back to the crate-filtered index.
+                if let Some(ids) = self.typed_method_index.get(&key) {
+                    let crate_dir = &self.modules[m].crate_dir;
+                    let allowed = self.dep_closure.get(crate_dir)?;
+                    let hits: Vec<SymbolId> = ids
+                        .iter()
+                        .copied()
+                        .filter(|&s| allowed.contains(&self.symbols[s].crate_dir))
+                        .collect();
+                    if !hits.is_empty() {
+                        return Some(Resolution::Sym(hits));
+                    }
+                }
+                // Re-export chains (`pub use`): follow the binding.
+                let b = self.modules[m]
+                    .uses
+                    .iter()
+                    .find(|b| !b.glob && b.alias == segs[0])?;
+                let mut full = b.path.clone();
+                full.extend_from_slice(&segs[1..]);
+                Some(self.resolve(m, &full, depth + 1))
+            }
+            _ => {
+                // Deeper paths that didn't match a module chain: follow a
+                // re-export if one exists.
+                let b = self.modules[m]
+                    .uses
+                    .iter()
+                    .find(|b| !b.glob && b.alias == segs[0])?;
+                let mut full = b.path.clone();
+                full.extend_from_slice(&segs[1..]);
+                Some(self.resolve(m, &full, depth + 1))
+            }
+        }
+    }
+
+    fn crate_root(&self, dir: &str) -> Option<ModuleId> {
+        self.modules
+            .iter()
+            .position(|m| m.crate_dir == dir && m.path.is_empty())
+    }
+
+    /// Reverse adjacency (callee → callers), deduplicated.
+    pub fn reverse_calls(&self) -> Vec<Vec<SymbolId>> {
+        let mut rev = vec![Vec::new(); self.symbols.len()];
+        for (from, edges) in self.calls.iter().enumerate() {
+            for e in edges {
+                rev[e.to].push(from);
+            }
+        }
+        for v in &mut rev {
+            v.sort();
+            v.dedup();
+        }
+        rev
+    }
+}
+
+fn prepend(head: &str, rest: &[String]) -> Vec<String> {
+    let mut v = Vec::with_capacity(rest.len() + 1);
+    v.push(head.to_string());
+    v.extend_from_slice(rest);
+    v
+}
+
+fn rel_path(root: &Path, file: &Path) -> String {
+    file.strip_prefix(root)
+        .unwrap_or(file)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// `name = "…"` under `[package]`.
+fn package_name(manifest: &str) -> Option<String> {
+    let mut in_package = false;
+    for raw in manifest.lines() {
+        let line = raw.trim();
+        if line.starts_with('[') {
+            in_package = line == "[package]";
+            continue;
+        }
+        if in_package {
+            if let Some(rest) = line.strip_prefix("name") {
+                let rest = rest.trim_start();
+                if let Some(v) = rest.strip_prefix('=') {
+                    return Some(v.trim().trim_matches('"').to_string());
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Package names referenced from any `[…dependencies]` section.
+fn dependency_packages(manifest: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut in_deps = false;
+    for raw in manifest.lines() {
+        let line = raw.trim();
+        if line.starts_with('[') {
+            in_deps = line.trim_matches(['[', ']']).ends_with("dependencies");
+            continue;
+        }
+        if !in_deps || line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(key) = line.split(['=', '.']).next() {
+            let key = key.trim();
+            if !key.is_empty() {
+                out.push(key.to_string());
+            }
+        }
+    }
+    out
+}
+
+/// Transitive dependency closure per crate (including itself).
+fn dep_closure(crates: &BTreeMap<String, CrateInfo>) -> BTreeMap<String, BTreeSet<String>> {
+    let mut out = BTreeMap::new();
+    for dir in crates.keys() {
+        let mut seen: BTreeSet<String> = BTreeSet::new();
+        let mut stack = vec![dir.clone()];
+        while let Some(d) = stack.pop() {
+            if !seen.insert(d.clone()) {
+                continue;
+            }
+            if let Some(info) = crates.get(&d) {
+                for dep in &info.deps {
+                    if !seen.contains(dep) {
+                        stack.push(dep.clone());
+                    }
+                }
+            }
+        }
+        out.insert(dir.clone(), seen);
+    }
+    out
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use std::path::{Path, PathBuf};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+
+    /// Minimal self-cleaning temp dir (no external crates offline).
+    pub struct TempDir(PathBuf);
+
+    impl TempDir {
+        pub fn new() -> TempDir {
+            let n = NEXT.fetch_add(1, Ordering::SeqCst);
+            let p = std::env::temp_dir().join(format!("lsl-audit-test-{}-{n}", std::process::id()));
+            std::fs::create_dir_all(&p).expect("create temp dir");
+            TempDir(p)
+        }
+
+        pub fn path(&self) -> &Path {
+            &self.0
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    /// Materialize `files` under a fresh temp dir.
+    pub fn scratch_dir(files: &[(&str, &str)]) -> TempDir {
+        let td = TempDir::new();
+        for (rel, text) in files {
+            let p = td.path().join(rel);
+            std::fs::create_dir_all(p.parent().expect("parent")).expect("mkdir");
+            std::fs::write(&p, text).expect("write");
+        }
+        td
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::scratch_dir;
+    use super::*;
+
+    fn scratch(files: &[(&str, &str)]) -> (super::testutil::TempDir, Workspace) {
+        let td = scratch_dir(files);
+        let ws = Workspace::load(td.path()).expect("load");
+        (td, ws)
+    }
+
+    const MANIFEST_A: &str = "[package]\nname = \"lsl-aaa\"\n";
+    const MANIFEST_B: &str =
+        "[package]\nname = \"lsl-bbb\"\n\n[dependencies]\nlsl-aaa.workspace = true\n";
+
+    #[test]
+    fn cross_crate_and_module_resolution() {
+        let (_td, ws) = scratch(&[
+            ("crates/aaa/Cargo.toml", MANIFEST_A),
+            (
+                "crates/aaa/src/lib.rs",
+                "pub mod util;\npub fn top() { util::helper(); }\n",
+            ),
+            (
+                "crates/aaa/src/util.rs",
+                "pub fn helper() { super::top(); }\npub struct W;\nimpl W { pub fn go(&self) {} }\n",
+            ),
+            ("crates/bbb/Cargo.toml", MANIFEST_B),
+            (
+                "crates/bbb/src/lib.rs",
+                "use lsl_aaa::util::W;\npub fn run() { lsl_aaa::top(); let w = W; W::go(&w); crate::run2(); }\npub fn run2() {}\n",
+            ),
+        ]);
+
+        let sym = |name: &str| {
+            ws.symbols
+                .iter()
+                .position(|s| s.name == name)
+                .unwrap_or_else(|| panic!("symbol {name}"))
+        };
+        let callees = |name: &str| -> Vec<String> {
+            ws.calls[sym(name)]
+                .iter()
+                .map(|e| ws.symbols[e.to].display())
+                .collect()
+        };
+
+        assert!(callees("top").contains(&"helper".to_string()));
+        assert!(
+            callees("helper").contains(&"top".to_string()),
+            "{:?}",
+            callees("helper")
+        );
+        let run = callees("run");
+        assert!(run.contains(&"top".to_string()), "{run:?}");
+        assert!(run.contains(&"W::go".to_string()), "{run:?}");
+        assert!(run.contains(&"run2".to_string()), "{run:?}");
+    }
+
+    #[test]
+    fn externals_are_recorded_with_use_resolution() {
+        let (_td, ws) = scratch(&[
+            ("crates/aaa/Cargo.toml", MANIFEST_A),
+            (
+                "crates/aaa/src/lib.rs",
+                "use std::time::Instant;\npub fn f() { let t = Instant::now(); std::env::var(\"X\").ok(); }\n",
+            ),
+        ]);
+        let id = ws.symbols.iter().position(|s| s.name == "f").expect("f");
+        let ext: Vec<&str> = ws.externals[id].iter().map(|e| e.path.as_str()).collect();
+        assert!(
+            ext.contains(&"std::time::Instant::now"),
+            "use-alias resolution failed: {ext:?}"
+        );
+        assert!(ext.contains(&"std::env::var"), "{ext:?}");
+    }
+
+    #[test]
+    fn method_calls_stay_within_dependency_closure() {
+        let (_td, ws) = scratch(&[
+            ("crates/aaa/Cargo.toml", MANIFEST_A),
+            (
+                "crates/aaa/src/lib.rs",
+                "pub struct S;\nimpl S { pub fn poke(&self) {} }\n",
+            ),
+            ("crates/bbb/Cargo.toml", MANIFEST_B),
+            (
+                "crates/bbb/src/lib.rs",
+                "pub fn caller(s: &lsl_aaa::S) { s.poke(); }\n",
+            ),
+            ("crates/ccc/Cargo.toml", "[package]\nname = \"lsl-ccc\"\n"),
+            (
+                "crates/ccc/src/lib.rs",
+                "pub fn lone(x: &X) { x.poke(); }\npub struct X;\n",
+            ),
+        ]);
+        let caller = ws
+            .symbols
+            .iter()
+            .position(|s| s.name == "caller")
+            .expect("caller");
+        assert!(
+            ws.calls[caller]
+                .iter()
+                .any(|e| ws.symbols[e.to].display() == "S::poke"),
+            "bbb depends on aaa, .poke() should edge to S::poke"
+        );
+        // ccc does NOT depend on aaa: no edge to S::poke.
+        let lone = ws
+            .symbols
+            .iter()
+            .position(|s| s.name == "lone")
+            .expect("lone");
+        assert!(
+            !ws.calls[lone]
+                .iter()
+                .any(|e| ws.symbols[e.to].display() == "S::poke"),
+            "dependency filtering failed"
+        );
+    }
+
+    #[test]
+    fn bins_are_their_own_roots_and_test_mods_are_marked() {
+        let (_td, ws) = scratch(&[
+            ("crates/aaa/Cargo.toml", MANIFEST_A),
+            (
+                "crates/aaa/src/lib.rs",
+                "pub fn lib_fn() {}\n#[cfg(test)]\nmod tests { #[test] fn t() { crate::lib_fn(); } }\n",
+            ),
+            (
+                "crates/aaa/src/bin/tool.rs",
+                "fn main() { helper(); lsl_aaa::lib_fn(); }\nfn helper() {}\n",
+            ),
+        ]);
+        let main_id = ws
+            .symbols
+            .iter()
+            .position(|s| s.name == "main")
+            .expect("main");
+        let names: Vec<String> = ws.calls[main_id]
+            .iter()
+            .map(|e| ws.symbols[e.to].display())
+            .collect();
+        assert!(names.contains(&"helper".to_string()), "{names:?}");
+        assert!(names.contains(&"lib_fn".to_string()), "{names:?}");
+        let t = ws.symbols.iter().find(|s| s.name == "t").expect("t");
+        assert!(t.in_test);
+        assert!(ws.symbols[main_id].file.contains("src/bin/tool.rs"));
+    }
+}

@@ -18,10 +18,17 @@ pub enum TokenKind {
     Ident(String),
     /// An integer or float literal; `is_float` covers `1.0`, `1e9`,
     /// `1f64`, `1.5f32` — anything with a fractional/exponent part or a
-    /// float suffix.
+    /// float suffix. `text` is the literal as written (digits, `_`
+    /// separators, suffix) so the parser can recover small constant
+    /// values (e.g. the modulus in `(x % 251) as u8`).
     Number {
         is_float: bool,
+        text: String,
     },
+    /// The *content* of a string literal (regular, byte or raw). The
+    /// lexical rules ignore these, but the parser inspects format
+    /// strings for nondeterministic conversions like `{:p}`.
+    Str(String),
     /// `==` or `!=` (the only multi-char operators the rules care about).
     EqEq,
     NotEq,
@@ -34,6 +41,38 @@ impl TokenKind {
         match self {
             TokenKind::Ident(s) => Some(s),
             _ => None,
+        }
+    }
+
+    /// The value of a non-float integer literal, if it fits `u64`.
+    pub fn int_value(&self) -> Option<u64> {
+        let TokenKind::Number {
+            is_float: false,
+            text,
+        } = self
+        else {
+            return None;
+        };
+        let t: String = text.chars().filter(|&c| c != '_').collect();
+        let t = t
+            .trim_end_matches("u8")
+            .trim_end_matches("u16")
+            .trim_end_matches("u32")
+            .trim_end_matches("u64")
+            .trim_end_matches("usize")
+            .trim_end_matches("i8")
+            .trim_end_matches("i16")
+            .trim_end_matches("i32")
+            .trim_end_matches("i64")
+            .trim_end_matches("isize");
+        if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+            u64::from_str_radix(hex, 16).ok()
+        } else if let Some(bin) = t.strip_prefix("0b").or_else(|| t.strip_prefix("0B")) {
+            u64::from_str_radix(bin, 2).ok()
+        } else if let Some(oct) = t.strip_prefix("0o").or_else(|| t.strip_prefix("0O")) {
+            u64::from_str_radix(oct, 8).ok()
+        } else {
+            t.parse().ok()
         }
     }
 }
@@ -63,7 +102,9 @@ impl<'a> Cursor<'a> {
     }
 }
 
-/// Tokenize `src`, dropping comments, strings and char literals.
+/// Tokenize `src`, dropping comments and char literals. String literal
+/// *content* is kept (as [`TokenKind::Str`]) so syntax-aware passes can
+/// inspect format strings; the lexical rules ignore it.
 pub fn lex(src: &str) -> Vec<Token> {
     let mut c = Cursor {
         src: src.as_bytes(),
@@ -80,11 +121,30 @@ pub fn lex(src: &str) -> Vec<Token> {
             }
             b'/' if c.peek(1) == Some(b'/') => skip_line_comment(&mut c),
             b'/' if c.peek(1) == Some(b'*') => skip_block_comment(&mut c),
-            b'"' => skip_string(&mut c),
-            b'r' | b'b' if starts_raw_string(&c) => skip_raw_string(&mut c),
+            b'"' => {
+                let s = lex_string(&mut c);
+                out.push(Token {
+                    kind: TokenKind::Str(s),
+                    line,
+                    col,
+                });
+            }
+            b'r' | b'b' if starts_raw_string(&c) => {
+                let s = lex_raw_string(&mut c);
+                out.push(Token {
+                    kind: TokenKind::Str(s),
+                    line,
+                    col,
+                });
+            }
             b'b' if c.peek(1) == Some(b'"') => {
                 c.bump();
-                skip_string(&mut c);
+                let s = lex_string(&mut c);
+                out.push(Token {
+                    kind: TokenKind::Str(s),
+                    line,
+                    col,
+                });
             }
             b'b' if c.peek(1) == Some(b'\'') => {
                 c.bump();
@@ -117,9 +177,9 @@ pub fn lex(src: &str) -> Vec<Token> {
                 });
             }
             _ if b.is_ascii_digit() => {
-                let is_float = lex_number(&mut c);
+                let (is_float, text) = lex_number(&mut c);
                 out.push(Token {
-                    kind: TokenKind::Number { is_float },
+                    kind: TokenKind::Number { is_float, text },
                     line,
                     col,
                 });
@@ -191,17 +251,24 @@ fn skip_block_comment(c: &mut Cursor) {
     }
 }
 
-fn skip_string(c: &mut Cursor) {
+fn lex_string(c: &mut Cursor) -> String {
+    let mut bytes = Vec::new();
     c.bump(); // opening quote
     while let Some(b) = c.bump() {
         match b {
             b'\\' => {
-                c.bump();
+                // Keep the escaped byte raw; the passes that read string
+                // content look for plain substrings like `{:p}`.
+                if let Some(e) = c.bump() {
+                    bytes.push(b'\\');
+                    bytes.push(e);
+                }
             }
             b'"' => break,
-            _ => {}
+            _ => bytes.push(b),
         }
     }
+    String::from_utf8_lossy(&bytes).into_owned()
 }
 
 /// `r"…"`, `r#"…"#`, `br#"…"#` etc.
@@ -220,7 +287,8 @@ fn starts_raw_string(c: &Cursor) -> bool {
     c.peek(i) == Some(b'"')
 }
 
-fn skip_raw_string(c: &mut Cursor) {
+fn lex_raw_string(c: &mut Cursor) -> String {
+    let mut bytes = Vec::new();
     if c.peek(0) == Some(b'b') {
         c.bump();
     }
@@ -235,6 +303,7 @@ fn skip_raw_string(c: &mut Cursor) {
         if b == b'"' {
             for i in 0..hashes {
                 if c.peek(i) != Some(b'#') {
+                    bytes.push(b);
                     continue 'scan;
                 }
             }
@@ -243,7 +312,9 @@ fn skip_raw_string(c: &mut Cursor) {
             }
             break;
         }
+        bytes.push(b);
     }
+    String::from_utf8_lossy(&bytes).into_owned()
 }
 
 /// True when the quote at the cursor opens a char literal rather than a
@@ -282,8 +353,8 @@ fn skip_char_literal(c: &mut Cursor) {
 }
 
 /// Lex a numeric literal; returns whether it is a float (`1.0`, `1e9`,
-/// `1f64`, `1.5f32` — but not `1`, `0xe1`, `1..2`).
-fn lex_number(c: &mut Cursor) -> bool {
+/// `1f64`, `1.5f32` — but not `1`, `0xe1`, `1..2`) plus the raw text.
+fn lex_number(c: &mut Cursor) -> (bool, String) {
     let hex_or_binary = c.peek(0) == Some(b'0')
         && matches!(c.peek(1), Some(b'x' | b'X' | b'b' | b'B' | b'o' | b'O'));
     let mut text = String::new();
@@ -314,7 +385,8 @@ fn lex_number(c: &mut Cursor) -> bool {
             break;
         }
     }
-    !hex_or_binary && is_float_text(&text)
+    let is_float = !hex_or_binary && is_float_text(&text);
+    (is_float, text)
 }
 
 /// Classify a numeric literal's text as float.
@@ -372,7 +444,7 @@ mod tests {
         let floats: Vec<bool> = toks
             .iter()
             .filter_map(|t| match t.kind {
-                TokenKind::Number { is_float } => Some(is_float),
+                TokenKind::Number { is_float, .. } => Some(is_float),
                 _ => None,
             })
             .collect();

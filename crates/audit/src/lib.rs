@@ -24,8 +24,12 @@
 //! are themselves reported (`stale-allow`).
 
 pub mod allowlist;
+pub mod graph;
 pub mod lexer;
+pub mod output;
+pub mod parser;
 pub mod rules;
+pub mod taint;
 
 mod manifest;
 
@@ -47,11 +51,20 @@ pub const HARNESS_THREAD_EXEMPT: &[&str] = &["crates/workloads/src/campaign.rs"]
 /// Which rules apply to a crate, keyed by its directory name under
 /// `crates/` (the root package audits as `"lsl"`).
 pub fn policy_for(crate_dir: &str) -> Vec<RuleId> {
-    let mut rules = vec![RuleId::FloatEq, RuleId::StringResult, RuleId::PrintlnInLib];
+    let mut rules = vec![
+        RuleId::FloatEq,
+        RuleId::StringResult,
+        RuleId::PrintlnInLib,
+        RuleId::UnstableOrder,
+    ];
     if SIM_DOMAIN.contains(&crate_dir) {
         rules.push(RuleId::WallClock);
         rules.push(RuleId::HashContainer);
         rules.push(RuleId::ThreadSpawn);
+        rules.push(RuleId::NarrowingCast);
+    }
+    if SIM_DOMAIN.contains(&crate_dir) || crate_dir == "obs" {
+        rules.push(RuleId::UnsaturatedArith);
     }
     if crate_dir == "realnet" {
         // Not simulation code, but its daemon must still justify every
@@ -94,7 +107,22 @@ pub fn audit_workspace(root: &Path) -> Result<Vec<Finding>, String> {
 
     manifest::check_unused_workspace_deps(root, &mut findings)?;
 
-    Ok(apply_allowlist(findings, &allow))
+    // Whole-program passes: symbol table + call graph, then taint and
+    // panic reachability over it.
+    let ws = graph::Workspace::load(root)?;
+    findings.extend(taint::analyze(&ws, HARNESS_THREAD_EXEMPT));
+    findings.extend(taint::panic_in_pub_api(&ws));
+
+    let mut findings = apply_allowlist(findings, &allow);
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.col, a.rule.name()).cmp(&(
+            b.file.as_str(),
+            b.line,
+            b.col,
+            b.rule.name(),
+        ))
+    });
+    Ok(findings)
 }
 
 /// Remove allowlisted findings; report stale allowlist entries.
@@ -180,8 +208,48 @@ fn audit_crate(
                         rules::check_thread_spawn(&rel, &tokens, out);
                     }
                 }
-                RuleId::UnusedWorkspaceDep | RuleId::StaleAllow => {}
+                RuleId::UnusedWorkspaceDep
+                | RuleId::StaleAllow
+                | RuleId::NarrowingCast
+                | RuleId::UnsaturatedArith
+                | RuleId::UnstableOrder
+                | RuleId::PanicInPubApi
+                | RuleId::NondetTaint => {}
             }
+        }
+
+        // Syntactic rules: parse once, walk every fn (impl methods and
+        // inline modules included), skip test code.
+        let needs_parse = policy.iter().any(|r| {
+            matches!(
+                r,
+                RuleId::NarrowingCast | RuleId::UnsaturatedArith | RuleId::UnstableOrder
+            )
+        });
+        if needs_parse {
+            let parsed = parser::parse(&tokens);
+            let hash_typed = parser::hash_typed_idents(&tokens);
+            let base = rel.rsplit('/').next().unwrap_or(&rel);
+            let is_accumulator_file = base.contains("stats") || base.contains("metrics");
+            parser::for_each_fn(&parsed.items, &mut |f| {
+                if f.in_test {
+                    return;
+                }
+                for rule in &policy {
+                    match rule {
+                        RuleId::NarrowingCast => {
+                            rules::check_narrowing_cast(&rel, &f.body, out);
+                        }
+                        RuleId::UnsaturatedArith if is_accumulator_file => {
+                            rules::check_unsaturated_arith(&rel, &f.body, out);
+                        }
+                        RuleId::UnstableOrder => {
+                            rules::check_unstable_order(&rel, &f.body, &hash_typed, out);
+                        }
+                        _ => {}
+                    }
+                }
+            });
         }
     }
     Ok(())
@@ -200,10 +268,16 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
     Ok(())
 }
 
-/// CLI entry point: audit the workspace, print findings, return the exit
-/// code (0 clean, 1 findings, 2 errors).
+/// CLI entry point: audit the workspace, print findings in the chosen
+/// format, return the exit code (0 clean, 1 findings, 2 errors).
+///
+/// `--rule <id>` narrows the report to one rule — except `stale-allow`
+/// findings, which survive any filter: allowlist rot is a hard CI
+/// failure, never maskable by looking at a different rule.
 pub fn run() -> i32 {
     let mut root = PathBuf::from(".");
+    let mut format = output::Format::Text;
+    let mut rule_filter: Option<RuleId> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -214,13 +288,47 @@ pub fn run() -> i32 {
                     return 2;
                 }
             },
+            "--format" => match args.next().as_deref().and_then(output::Format::from_name) {
+                Some(f) => format = f,
+                None => {
+                    eprintln!("lsl-audit: --format requires one of: text, json, sarif");
+                    return 2;
+                }
+            },
+            "--rule" => match args.next().as_deref().and_then(RuleId::from_name) {
+                Some(r) => rule_filter = Some(r),
+                None => {
+                    eprintln!(
+                        "lsl-audit: --rule requires a known rule id (one of: {})",
+                        RuleId::all()
+                            .iter()
+                            .map(|r| r.name())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    );
+                    return 2;
+                }
+            },
             "--help" | "-h" => {
                 println!(
-                    "lsl-audit: workspace determinism linter\n\n\
-                     usage: lsl-audit [--root <workspace-dir>]\n\n\
-                     Scans crates/*/src for policy violations (wall-clock reads,\n\
+                    "lsl-audit: workspace determinism analyzer\n\n\
+                     usage: lsl-audit [--root <workspace-dir>] [--format text|json|sarif]\n\
+                     \u{20}                [--rule <rule-id>]\n\n\
+                     Lexes and parses crates/*/src, builds the workspace call graph,\n\
+                     and reports policy violations: lexical rules (wall-clock reads,\n\
                      HashMap/HashSet in sim-domain code, float ==, unwrap outside\n\
-                     tests, unused workspace deps). Exceptions: audit.toml."
+                     tests), syntactic rules (narrowing casts of computed arithmetic,\n\
+                     raw accumulator arithmetic, order-sensitive ops on hash-keyed\n\
+                     collections), and whole-program rules (nondeterminism taint\n\
+                     source->sink paths, panics reachable from public session APIs).\n\
+                     Justified exceptions: audit.toml. stale-allow findings ignore\n\
+                     --rule; allowlist rot always fails the audit.\n\n\
+                     rules: {}",
+                    RuleId::all()
+                        .iter()
+                        .map(|r| r.name())
+                        .collect::<Vec<_>>()
+                        .join(", ")
                 );
                 return 0;
             }
@@ -231,30 +339,26 @@ pub fn run() -> i32 {
         }
     }
 
-    let findings = match audit_workspace(&root) {
+    let mut findings = match audit_workspace(&root) {
         Ok(f) => f,
         Err(e) => {
             eprintln!("lsl-audit: {e}");
             return 2;
         }
     };
-    if findings.is_empty() {
+    if let Some(rule) = rule_filter {
+        findings.retain(|f| f.rule == rule || f.rule == RuleId::StaleAllow);
+    }
+    if findings.is_empty() && format == output::Format::Text {
         println!("lsl-audit: clean ({})", root.display());
         return 0;
     }
-    for f in &findings {
-        println!(
-            "{}:{}:{}: [{}] {}",
-            f.file,
-            f.line,
-            f.col,
-            f.rule.name(),
-            f.message
-        );
-        println!("    rationale: {}", f.rule.rationale());
+    print!("{}", output::render(&findings, format));
+    if findings.is_empty() {
+        0
+    } else {
+        1
     }
-    println!("lsl-audit: {} finding(s)", findings.len());
-    1
 }
 
 #[cfg(test)]

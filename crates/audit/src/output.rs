@@ -1,0 +1,210 @@
+//! Finding renderers: human text, machine JSON, and SARIF 2.1.0.
+//!
+//! All three are deterministic: the caller hands findings pre-sorted by
+//! (file, line, col, rule), object keys are emitted in alphabetical
+//! order, and nothing environment-dependent (timestamps, absolute
+//! paths) is written. The SARIF output is the minimal subset CI
+//! artifact viewers need: one run, the full rule table on the driver,
+//! one `physicalLocation` per result.
+
+use crate::rules::{Finding, RuleId};
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Format {
+    Text,
+    Json,
+    Sarif,
+}
+
+impl Format {
+    pub fn from_name(name: &str) -> Option<Format> {
+        Some(match name {
+            "text" => Format::Text,
+            "json" => Format::Json,
+            "sarif" => Format::Sarif,
+            _ => return None,
+        })
+    }
+}
+
+pub fn render(findings: &[Finding], format: Format) -> String {
+    match format {
+        Format::Text => render_text(findings),
+        Format::Json => render_json(findings),
+        Format::Sarif => render_sarif(findings),
+    }
+}
+
+fn render_text(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&format!(
+            "{}:{}:{}: [{}] {}\n    rationale: {}\n",
+            f.file,
+            f.line,
+            f.col,
+            f.rule.name(),
+            f.message,
+            f.rule.rationale()
+        ));
+    }
+    out.push_str(&format!("lsl-audit: {} finding(s)\n", findings.len()));
+    out
+}
+
+fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::from("{\n  \"count\": ");
+    out.push_str(&findings.len().to_string());
+    out.push_str(",\n  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"col\": {}, \"file\": {}, \"line\": {}, \"message\": {}, \"rule\": {}}}",
+            f.col,
+            json_str(&f.file),
+            f.line,
+            json_str(&f.message),
+            json_str(f.rule.name())
+        ));
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+fn render_sarif(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    out.push_str("  \"runs\": [\n    {\n      \"results\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n        {{\"level\": \"error\", \"locations\": [{{\"physicalLocation\": \
+             {{\"artifactLocation\": {{\"uri\": {}}}, \"region\": {{\"startColumn\": {}, \
+             \"startLine\": {}}}}}}}], \"message\": {{\"text\": {}}}, \"ruleId\": {}}}",
+            json_str(&f.file),
+            f.col,
+            f.line,
+            json_str(&f.message),
+            json_str(f.rule.name())
+        ));
+    }
+    if !findings.is_empty() {
+        out.push_str("\n      ");
+    }
+    out.push_str("],\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n          \"name\": \"lsl-audit\",\n          \"rules\": [");
+    for (i, r) in RuleId::all().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n            {{\"id\": {}, \"shortDescription\": {{\"text\": {}}}}}",
+            json_str(r.name()),
+            json_str(r.rationale())
+        ));
+    }
+    out.push_str("\n          ]\n        }\n      }\n    }\n  ],\n");
+    out.push_str("  \"version\": \"2.1.0\"\n}\n");
+    out
+}
+
+/// Escape and quote a JSON string.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Finding> {
+        vec![
+            Finding {
+                file: "crates/netsim/src/lib.rs".into(),
+                line: 3,
+                col: 14,
+                rule: RuleId::WallClock,
+                message: "use of std::time::Instant".into(),
+            },
+            Finding {
+                file: "crates/session/src/lib.rs".into(),
+                line: 9,
+                col: 2,
+                rule: RuleId::NondetTaint,
+                message: "env-read value (\"quoted\") can reach sink `counter_add`".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn text_contains_rule_tags_and_rationale() {
+        let t = render(&sample(), Format::Text);
+        assert!(t.contains("[wall-clock]"));
+        assert!(t.contains("rationale:"));
+        assert!(t.contains("2 finding(s)"));
+    }
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let j = render(&sample(), Format::Json);
+        assert!(j.contains("\"count\": 2"));
+        assert!(j.contains("\\\"quoted\\\""));
+        assert!(j.contains("\"rule\": \"nondet-taint\""));
+    }
+
+    #[test]
+    fn sarif_has_schema_rules_and_locations() {
+        let s = render(&sample(), Format::Sarif);
+        assert!(s.contains("sarif-2.1.0.json"));
+        assert!(s.contains("\"version\": \"2.1.0\""));
+        assert!(s.contains("\"ruleId\": \"wall-clock\""));
+        assert!(s.contains("\"startLine\": 3"));
+        // Every rule is declared on the driver, not just the fired ones.
+        for r in RuleId::all() {
+            assert!(
+                s.contains(&format!("\"id\": \"{}\"", r.name())),
+                "{}",
+                r.name()
+            );
+        }
+    }
+
+    #[test]
+    fn empty_findings_render_valid_shapes() {
+        let j = render(&[], Format::Json);
+        assert!(j.contains("\"count\": 0"));
+        assert!(j.contains("\"findings\": []"));
+        let s = render(&[], Format::Sarif);
+        assert!(s.contains("\"results\": [],"));
+    }
+
+    #[test]
+    fn format_names_parse() {
+        assert_eq!(Format::from_name("text"), Some(Format::Text));
+        assert_eq!(Format::from_name("json"), Some(Format::Json));
+        assert_eq!(Format::from_name("sarif"), Some(Format::Sarif));
+        assert_eq!(Format::from_name("xml"), None);
+    }
+}

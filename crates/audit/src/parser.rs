@@ -1,0 +1,1252 @@
+//! A hand-rolled *item-level* Rust parser on top of [`crate::lexer`].
+//!
+//! The workspace builds offline, so `syn` is unavailable; the analyzer
+//! parses just enough structure for whole-workspace reasoning:
+//!
+//! - items: `fn` / `impl` / `mod` (inline and file) / `use` (with
+//!   groups, aliases and globs) / `static` (tracking `mut`);
+//! - function bodies as *fact bags*: path references and calls, macro
+//!   invocations, method calls with best-effort receivers, `as` casts
+//!   (classifying "cast of computed arithmetic"), raw `+`/`*`
+//!   arithmetic, and string literals (for format-string inspection);
+//! - `#[test]` / `#[cfg(test)]` propagation so downstream rules can
+//!   exempt test code.
+//!
+//! It is **not** a Rust grammar. Anything it does not understand it
+//! skips; on arbitrary input it must never panic (a property test
+//! enforces this), only degrade to fewer facts.
+
+use crate::lexer::{Token, TokenKind};
+
+/// Parse result for one source file.
+#[derive(Debug, Default)]
+pub struct ParsedFile {
+    pub items: Vec<Item>,
+}
+
+#[derive(Debug)]
+pub enum Item {
+    Fn(FnItem),
+    Mod(ModItem),
+    Use(UseItem),
+    Impl(ImplItem),
+    Static(StaticItem),
+}
+
+/// `mod name;` (file module, `inline == None`) or `mod name { … }`.
+#[derive(Debug)]
+pub struct ModItem {
+    pub name: String,
+    pub line: u32,
+    pub in_test: bool,
+    pub inline: Option<Vec<Item>>,
+}
+
+/// One `use …;` item, flattened to leaf bindings.
+#[derive(Debug)]
+pub struct UseItem {
+    pub bindings: Vec<UseBinding>,
+    pub line: u32,
+}
+
+/// A single imported name: `use a::b::c as d` ⇒ path `[a,b,c]`,
+/// alias `d`. Globs (`use a::*`) set `glob` with the module as path.
+#[derive(Debug, Clone)]
+pub struct UseBinding {
+    pub path: Vec<String>,
+    pub alias: String,
+    pub glob: bool,
+}
+
+/// `impl Type { … }` / `impl Trait for Type { … }`.
+#[derive(Debug)]
+pub struct ImplItem {
+    /// Last plain segment of the implemented type's path.
+    pub type_name: String,
+    pub line: u32,
+    pub in_test: bool,
+    pub fns: Vec<FnItem>,
+}
+
+#[derive(Debug)]
+pub struct StaticItem {
+    pub name: String,
+    pub mutable: bool,
+    pub line: u32,
+}
+
+#[derive(Debug)]
+pub struct FnItem {
+    pub name: String,
+    pub is_pub: bool,
+    /// Inside `#[cfg(test)]` / under `#[test]` (own or enclosing item).
+    pub in_test: bool,
+    pub line: u32,
+    pub end_line: u32,
+    pub body: BodyFacts,
+}
+
+/// Everything the analysis passes want to know about one fn body.
+#[derive(Debug, Default)]
+pub struct BodyFacts {
+    pub paths: Vec<PathRef>,
+    pub method_calls: Vec<MethodCall>,
+    pub casts: Vec<Cast>,
+    pub arith: Vec<ArithOp>,
+    pub strings: Vec<StrLit>,
+    /// Every identifier mentioned (for `static mut` usage checks).
+    pub idents: std::collections::BTreeSet<String>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathKind {
+    /// A path mentioned without parens (type position, argument, …).
+    Ref,
+    /// `path(…)`.
+    Call,
+    /// `path!(…)` / `path![…]` / `path!{…}`.
+    Macro,
+}
+
+#[derive(Debug, Clone)]
+pub struct PathRef {
+    pub segments: Vec<String>,
+    pub kind: PathKind,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl PathRef {
+    pub fn last(&self) -> &str {
+        self.segments.last().map(String::as_str).unwrap_or("")
+    }
+
+    /// `a::b::c` for messages.
+    pub fn dotted(&self) -> String {
+        self.segments.join("::")
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct MethodCall {
+    pub name: String,
+    /// The identifier directly before the dot, when there is one
+    /// (`buf.retain(…)` ⇒ `buf`); chained calls have none.
+    pub receiver: Option<String>,
+    pub line: u32,
+    pub col: u32,
+}
+
+#[derive(Debug, Clone)]
+pub struct Cast {
+    /// Target type's last path segment (`u8`, `usize`, `ptr` for raw
+    /// pointer casts).
+    pub target: String,
+    /// True when the cast source is a parenthesized expression that
+    /// computes arithmetic (`(a + b) as u16`, `(x >> 3) as u32`) with
+    /// no dominating comparison and no modulo bound that provably fits
+    /// the target.
+    pub arith_source: bool,
+    pub line: u32,
+    pub col: u32,
+}
+
+#[derive(Debug, Clone)]
+pub struct ArithOp {
+    /// `'+'` or `'*'` (compound assignments report the base op).
+    pub op: char,
+    pub line: u32,
+    pub col: u32,
+}
+
+#[derive(Debug, Clone)]
+pub struct StrLit {
+    pub text: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// Parse one file's token stream.
+pub fn parse(tokens: &[Token]) -> ParsedFile {
+    let mut p = Parser { t: tokens, i: 0 };
+    ParsedFile {
+        items: p.items(false, true),
+    }
+}
+
+struct Parser<'a> {
+    t: &'a [Token],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn kind(&self, off: usize) -> Option<&TokenKind> {
+        self.t.get(self.i + off).map(|t| &t.kind)
+    }
+
+    fn ident(&self, off: usize) -> Option<&str> {
+        self.kind(off).and_then(|k| k.ident())
+    }
+
+    fn punct(&self, off: usize) -> Option<char> {
+        match self.kind(off) {
+            Some(TokenKind::Punct(c)) => Some(*c),
+            _ => None,
+        }
+    }
+
+    fn pos(&self) -> (u32, u32) {
+        self.t
+            .get(self.i)
+            .map(|t| (t.line, t.col))
+            .unwrap_or((u32::MAX, u32::MAX))
+    }
+
+    fn bump(&mut self) {
+        self.i += 1;
+    }
+
+    /// Parse items until EOF (`top == true`) or a closing `}`.
+    fn items(&mut self, in_test: bool, top: bool) -> Vec<Item> {
+        let mut out = Vec::new();
+        loop {
+            // Attributes: collect, noting `test` mentions.
+            let mut attr_test = false;
+            loop {
+                match self.kind(0) {
+                    None => return out,
+                    Some(TokenKind::Punct('}')) if !top => return out,
+                    Some(TokenKind::Punct('#')) => {
+                        self.bump();
+                        if self.punct(0) == Some('!') {
+                            self.bump();
+                        }
+                        if self.punct(0) == Some('[') {
+                            attr_test |= self.attr_mentions_test();
+                        }
+                    }
+                    _ => break,
+                }
+            }
+            let item_test = in_test || attr_test;
+
+            // Visibility.
+            let mut is_pub = false;
+            if self.ident(0) == Some("pub") {
+                is_pub = true;
+                self.bump();
+                if self.punct(0) == Some('(') {
+                    self.skip_group('(', ')');
+                }
+            }
+            // Leading modifiers (`const fn`, `unsafe fn`, `extern "C" fn`,
+            // `async fn`). A bare `const NAME` is a const item.
+            loop {
+                match self.ident(0) {
+                    Some("unsafe") | Some("async") => self.bump(),
+                    Some("extern") => {
+                        self.bump();
+                        if matches!(self.kind(0), Some(TokenKind::Str(_))) {
+                            self.bump();
+                        }
+                        // `extern crate x;` / extern blocks fall through to
+                        // the dispatch below.
+                    }
+                    Some("const") if self.ident(1) == Some("fn") => self.bump(),
+                    _ => break,
+                }
+            }
+
+            match self.ident(0) {
+                Some("fn") => {
+                    let f = self.fn_item(is_pub, item_test);
+                    out.push(Item::Fn(f));
+                }
+                Some("mod") => {
+                    let (line, _) = self.pos();
+                    self.bump();
+                    let name = self.take_ident().unwrap_or_default();
+                    match self.punct(0) {
+                        Some('{') => {
+                            self.bump();
+                            let inner = self.items(item_test, false);
+                            if self.punct(0) == Some('}') {
+                                self.bump();
+                            }
+                            out.push(Item::Mod(ModItem {
+                                name,
+                                line,
+                                in_test: item_test,
+                                inline: Some(inner),
+                            }));
+                        }
+                        _ => {
+                            self.skip_to_semi();
+                            out.push(Item::Mod(ModItem {
+                                name,
+                                line,
+                                in_test: item_test,
+                                inline: None,
+                            }));
+                        }
+                    }
+                }
+                Some("use") => {
+                    let (line, _) = self.pos();
+                    self.bump();
+                    let mut bindings = Vec::new();
+                    self.use_tree(Vec::new(), &mut bindings);
+                    if self.punct(0) == Some(';') {
+                        self.bump();
+                    }
+                    out.push(Item::Use(UseItem { bindings, line }));
+                }
+                Some("static") => {
+                    let (line, _) = self.pos();
+                    self.bump();
+                    let mutable = if self.ident(0) == Some("mut") {
+                        self.bump();
+                        true
+                    } else {
+                        false
+                    };
+                    let name = self.take_ident().unwrap_or_default();
+                    self.skip_to_semi();
+                    out.push(Item::Static(StaticItem {
+                        name,
+                        mutable,
+                        line,
+                    }));
+                }
+                Some("impl") => {
+                    if let Some(item) = self.impl_item(item_test) {
+                        out.push(Item::Impl(item));
+                    }
+                }
+                Some("const") => {
+                    // const item (const fn was consumed as a modifier).
+                    self.bump();
+                    self.skip_to_semi();
+                }
+                Some("struct") | Some("enum") | Some("union") | Some("trait") | Some("type")
+                | Some("macro_rules") | Some("macro") => {
+                    self.skip_item();
+                }
+                Some(_) => self.bump(),
+                None => match self.kind(0) {
+                    None => return out,
+                    Some(TokenKind::Punct('}')) if !top => return out,
+                    _ => self.bump(),
+                },
+            }
+        }
+    }
+
+    /// At `[`: consume the attribute, reporting whether it mentions the
+    /// identifier `test` (`#[test]`, `#[cfg(test)]`, `#[cfg(all(test, …))]`).
+    fn attr_mentions_test(&mut self) -> bool {
+        let mut depth = 0i64;
+        let mut mentions = false;
+        while let Some(k) = self.kind(0) {
+            match k {
+                TokenKind::Punct('[') => depth += 1,
+                TokenKind::Punct(']') => {
+                    depth -= 1;
+                    if depth <= 0 {
+                        self.bump();
+                        return mentions;
+                    }
+                }
+                TokenKind::Ident(s) if s == "test" => mentions = true,
+                _ => {}
+            }
+            self.bump();
+        }
+        mentions
+    }
+
+    fn take_ident(&mut self) -> Option<String> {
+        let s = self.ident(0)?.to_string();
+        self.bump();
+        Some(s)
+    }
+
+    /// Skip a balanced punct group assuming the cursor is on `open`;
+    /// non-punct tokens inside are fine.
+    fn skip_group(&mut self, open: char, close: char) {
+        let mut depth = 0i64;
+        while self.i < self.t.len() {
+            match self.punct(0) {
+                Some(c) if c == open => {
+                    depth += 1;
+                    self.bump();
+                }
+                Some(c) if c == close => {
+                    depth -= 1;
+                    self.bump();
+                    if depth <= 0 {
+                        return;
+                    }
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// Skip to (and past) the next `;` at brace/paren/bracket depth 0.
+    fn skip_to_semi(&mut self) {
+        let mut depth = 0i64;
+        while self.i < self.t.len() {
+            match self.punct(0) {
+                Some('{') | Some('(') | Some('[') => depth += 1,
+                Some('}') | Some(')') | Some(']') => {
+                    if depth == 0 {
+                        return; // missing `;` before a close — recover
+                    }
+                    depth -= 1;
+                }
+                Some(';') if depth == 0 => {
+                    self.bump();
+                    return;
+                }
+                _ => {}
+            }
+            self.bump();
+        }
+    }
+
+    /// Skip a struct/enum/trait/type/macro item: to a top-level `;` or
+    /// through a top-level `{…}` body.
+    fn skip_item(&mut self) {
+        self.bump(); // the keyword
+        let mut depth = 0i64;
+        while self.i < self.t.len() {
+            match self.punct(0) {
+                Some('(') | Some('[') => depth += 1,
+                Some(')') | Some(']') => depth -= 1,
+                Some('{') if depth == 0 => {
+                    self.skip_group('{', '}');
+                    return;
+                }
+                Some(';') if depth == 0 => {
+                    self.bump();
+                    return;
+                }
+                Some('}') if depth == 0 => return, // enclosing close — recover
+                _ => {}
+            }
+            self.bump();
+        }
+    }
+
+    /// `use` tree after the keyword: `a::b::{c, d as e, f::*}`.
+    fn use_tree(&mut self, prefix: Vec<String>, out: &mut Vec<UseBinding>) {
+        let mut path = prefix;
+        loop {
+            match self.kind(0) {
+                Some(TokenKind::Ident(s)) => {
+                    let seg = s.clone();
+                    self.bump();
+                    if self.ident(0) == Some("as") {
+                        self.bump();
+                        let alias = self.take_ident().unwrap_or_else(|| seg.clone());
+                        let mut p = path.clone();
+                        p.push(seg);
+                        out.push(UseBinding {
+                            path: p,
+                            alias,
+                            glob: false,
+                        });
+                        return;
+                    }
+                    if self.punct(0) == Some(':') && self.punct(1) == Some(':') {
+                        self.bump();
+                        self.bump();
+                        path.push(seg);
+                        continue;
+                    }
+                    // Terminal segment. `self` in a group imports the
+                    // parent module under its own name.
+                    if seg == "self" {
+                        if let Some(alias) = path.last().cloned() {
+                            out.push(UseBinding {
+                                path: path.clone(),
+                                alias,
+                                glob: false,
+                            });
+                        }
+                    } else {
+                        let mut p = path.clone();
+                        p.push(seg.clone());
+                        out.push(UseBinding {
+                            path: p,
+                            alias: seg,
+                            glob: false,
+                        });
+                    }
+                    return;
+                }
+                Some(TokenKind::Punct('*')) => {
+                    self.bump();
+                    out.push(UseBinding {
+                        path: path.clone(),
+                        alias: String::new(),
+                        glob: true,
+                    });
+                    return;
+                }
+                Some(TokenKind::Punct('{')) => {
+                    self.bump();
+                    loop {
+                        match self.kind(0) {
+                            Some(TokenKind::Punct('}')) => {
+                                self.bump();
+                                return;
+                            }
+                            Some(TokenKind::Punct(',')) => self.bump(),
+                            None => return,
+                            _ => {
+                                let before = self.i;
+                                self.use_tree(path.clone(), out);
+                                if self.i == before {
+                                    self.bump(); // malformed — force progress
+                                }
+                            }
+                        }
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    /// At `impl`: parse the header and the fns inside the body.
+    fn impl_item(&mut self, in_test: bool) -> Option<ImplItem> {
+        let (line, _) = self.pos();
+        self.bump(); // impl
+        if self.punct(0) == Some('<') {
+            self.skip_angles();
+        }
+        let first = self.type_path()?;
+        let type_path = if self.ident(0) == Some("for") {
+            self.bump();
+            self.type_path()?
+        } else {
+            first
+        };
+        // Skip where-clauses etc. up to the body.
+        while self.i < self.t.len() && self.punct(0) != Some('{') {
+            // A `;` here means `impl Trait for Type;` — no body.
+            if self.punct(0) == Some(';') {
+                self.bump();
+                return None;
+            }
+            if self.punct(0) == Some('<') {
+                self.skip_angles();
+            } else {
+                self.bump();
+            }
+        }
+        if self.punct(0) != Some('{') {
+            return None;
+        }
+        self.bump();
+        let mut fns = Vec::new();
+        for item in self.items(in_test, false) {
+            if let Item::Fn(f) = item {
+                fns.push(f);
+            }
+        }
+        if self.punct(0) == Some('}') {
+            self.bump();
+        }
+        Some(ImplItem {
+            type_name: type_path,
+            line,
+            in_test,
+            fns,
+        })
+    }
+
+    /// A type path's last plain segment (`session::Depot` ⇒ `Depot`,
+    /// `Foo<'a, T>` ⇒ `Foo`, `&mut Bar` ⇒ `Bar`).
+    fn type_path(&mut self) -> Option<String> {
+        // Leading `&`, `mut`, `dyn`.
+        loop {
+            match (self.punct(0), self.ident(0)) {
+                (Some('&'), _) => self.bump(),
+                (_, Some("mut")) | (_, Some("dyn")) => self.bump(),
+                (Some('\''), _) => self.bump(),
+                _ => break,
+            }
+        }
+        let mut last = None;
+        while let Some(s) = self.ident(0) {
+            last = Some(s.to_string());
+            self.bump();
+            if self.punct(0) == Some('<') {
+                self.skip_angles();
+            }
+            if self.punct(0) == Some(':') && self.punct(1) == Some(':') {
+                self.bump();
+                self.bump();
+                continue;
+            }
+            break;
+        }
+        last
+    }
+
+    /// At `<`: skip to the matching `>` (each `>` of a `>>` is its own
+    /// token, so plain counting works).
+    fn skip_angles(&mut self) {
+        let mut depth = 0i64;
+        while self.i < self.t.len() {
+            match self.punct(0) {
+                Some('<') => depth += 1,
+                Some('>') => {
+                    depth -= 1;
+                    if depth <= 0 {
+                        self.bump();
+                        return;
+                    }
+                }
+                // A body brace or semicolon at this point means the `<`
+                // was a comparison after all; bail out.
+                Some('{') | Some(';') => return,
+                _ => {}
+            }
+            self.bump();
+        }
+    }
+
+    /// At `fn`: parse the signature and collect body facts.
+    fn fn_item(&mut self, is_pub: bool, in_test: bool) -> FnItem {
+        let (line, _) = self.pos();
+        self.bump(); // fn
+        let name = self.take_ident().unwrap_or_default();
+        if self.punct(0) == Some('<') {
+            self.skip_angles();
+        }
+        if self.punct(0) == Some('(') {
+            self.skip_group('(', ')');
+        }
+        // Return type / where clause: scan to the body `{` or a `;`.
+        while self.i < self.t.len() {
+            match self.punct(0) {
+                Some('{') => break,
+                Some(';') => {
+                    self.bump();
+                    return FnItem {
+                        name,
+                        is_pub,
+                        in_test,
+                        line,
+                        end_line: line,
+                        body: BodyFacts::default(),
+                    };
+                }
+                Some('<') => self.skip_angles(),
+                _ => self.bump(),
+            }
+        }
+        // Body: find the matching close brace, scan the inside.
+        let start = self.i;
+        let mut depth = 0i64;
+        while self.i < self.t.len() {
+            match self.punct(0) {
+                Some('{') => depth += 1,
+                Some('}') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            self.bump();
+        }
+        let end = self.i.min(self.t.len());
+        let end_line = self.t.get(end).or(self.t.last()).map_or(line, |t| t.line);
+        if self.punct(0) == Some('}') {
+            self.bump();
+        }
+        let body_tokens = &self.t[(start + 1).min(end)..end];
+        FnItem {
+            name,
+            is_pub,
+            in_test,
+            line,
+            end_line,
+            body: scan_body(body_tokens),
+        }
+    }
+}
+
+/// Visit every fn in an item tree: free fns, impl methods, and fns
+/// inside inline modules, in source order.
+pub fn for_each_fn<'a>(items: &'a [Item], visit: &mut impl FnMut(&'a FnItem)) {
+    for item in items {
+        match item {
+            Item::Fn(f) => visit(f),
+            Item::Impl(im) => {
+                for f in &im.fns {
+                    visit(f);
+                }
+            }
+            Item::Mod(m) => {
+                if let Some(inner) = &m.inline {
+                    for_each_fn(inner, visit);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Integer targets the narrowing-cast rule cares about, with their max
+/// values (for the `(x % k) as T` exemption).
+pub fn narrow_target_max(target: &str) -> Option<u64> {
+    Some(match target {
+        "u8" => u8::MAX as u64,
+        "u16" => u16::MAX as u64,
+        "u32" => u32::MAX as u64,
+        "i8" => i8::MAX as u64,
+        "i16" => i16::MAX as u64,
+        "i32" => i32::MAX as u64,
+        _ => return None,
+    })
+}
+
+/// Extract the body fact bag from a fn body's token slice.
+fn scan_body(t: &[Token]) -> BodyFacts {
+    let mut facts = BodyFacts::default();
+    let mut i = 0usize;
+    while i < t.len() {
+        match &t[i].kind {
+            TokenKind::Str(s) => {
+                facts.strings.push(StrLit {
+                    text: s.clone(),
+                    line: t[i].line,
+                    col: t[i].col,
+                });
+                i += 1;
+            }
+            TokenKind::Ident(s) if s == "as" => {
+                scan_cast(t, i, &mut facts);
+                i += 1;
+            }
+            TokenKind::Ident(_) => {
+                i = scan_path(t, i, &mut facts);
+            }
+            TokenKind::Punct(op @ ('+' | '*')) => {
+                if is_binary_arith(t, i, *op) {
+                    facts.arith.push(ArithOp {
+                        op: *op,
+                        line: t[i].line,
+                        col: t[i].col,
+                    });
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    facts
+}
+
+/// At an identifier: collect the maximal `a::b::c` path (skipping
+/// turbofish), classify it (ref / call / macro / method call), record
+/// it, and return the index just past it.
+fn scan_path(t: &[Token], start: usize, facts: &mut BodyFacts) -> usize {
+    let mut segments = Vec::new();
+    let mut i = start;
+    while let Some(TokenKind::Ident(s)) = t.get(i).map(|x| &x.kind) {
+        segments.push(s.clone());
+        facts.idents.insert(s.clone());
+        i += 1;
+        // `::` continuation, possibly with turbofish in between.
+        if matches!(t.get(i).map(|x| &x.kind), Some(TokenKind::Punct(':')))
+            && matches!(t.get(i + 1).map(|x| &x.kind), Some(TokenKind::Punct(':')))
+        {
+            let mut j = i + 2;
+            if matches!(t.get(j).map(|x| &x.kind), Some(TokenKind::Punct('<'))) {
+                // Skip `::<…>`; may be followed by `(…)` or `::seg`.
+                let mut depth = 0i64;
+                while j < t.len() {
+                    match &t[j].kind {
+                        TokenKind::Punct('<') => depth += 1,
+                        TokenKind::Punct('>') => {
+                            depth -= 1;
+                            if depth <= 0 {
+                                j += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if matches!(t.get(j).map(|x| &x.kind), Some(TokenKind::Punct(':')))
+                    && matches!(t.get(j + 1).map(|x| &x.kind), Some(TokenKind::Punct(':')))
+                {
+                    i = j; // another `::segment` follows the turbofish
+                } else {
+                    i = j; // call parens (or nothing) follow
+                    break;
+                }
+            }
+            if matches!(t.get(i + 2).map(|x| &x.kind), Some(TokenKind::Ident(_))) {
+                i += 2;
+                continue;
+            }
+        }
+        break;
+    }
+
+    let (line, col) = (t[start].line, t[start].col);
+    let after = t.get(i).map(|x| &x.kind);
+    let prev_dot = start >= 1 && matches!(t[start - 1].kind, TokenKind::Punct('.'));
+    if prev_dot && segments.len() == 1 {
+        if matches!(after, Some(TokenKind::Punct('('))) {
+            let receiver = (start >= 2)
+                .then(|| t[start - 2].kind.ident().map(String::from))
+                .flatten();
+            facts.method_calls.push(MethodCall {
+                name: segments.remove(0),
+                receiver,
+                line,
+                col,
+            });
+        }
+        return i;
+    }
+    let kind = match after {
+        Some(TokenKind::Punct('!')) => PathKind::Macro,
+        Some(TokenKind::Punct('(')) => PathKind::Call,
+        _ => PathKind::Ref,
+    };
+    facts.paths.push(PathRef {
+        segments,
+        kind,
+        line,
+        col,
+    });
+    i
+}
+
+/// At the `as` keyword: record the cast with its target and whether the
+/// source is computed arithmetic.
+fn scan_cast(t: &[Token], as_pos: usize, facts: &mut BodyFacts) {
+    // Target type: `*const T`/`*mut T` ⇒ "ptr"; otherwise the next
+    // identifier (skipping nothing — a plain path's first segment is
+    // enough to recognize the primitive names the rules care about,
+    // and for `std::os::raw::c_int` the narrow-target check fails
+    // safely on the first segment).
+    let target = match t.get(as_pos + 1).map(|x| &x.kind) {
+        Some(TokenKind::Punct('*')) => "ptr".to_string(),
+        Some(TokenKind::Ident(s)) if s == "dyn" => return,
+        Some(TokenKind::Ident(s)) => s.clone(),
+        _ => return,
+    };
+    let arith_source = cast_source_is_arith(t, as_pos, &target);
+    facts.casts.push(Cast {
+        target,
+        arith_source,
+        line: t[as_pos].line,
+        col: t[as_pos].col,
+    });
+}
+
+/// True when the token directly before `as` closes a *grouping* paren
+/// whose top level computes arithmetic — and the result is not provably
+/// bounded below the target's max by a final `% <literal>`.
+fn cast_source_is_arith(t: &[Token], as_pos: usize, target: &str) -> bool {
+    if as_pos == 0 || !matches!(t[as_pos - 1].kind, TokenKind::Punct(')')) {
+        return false;
+    }
+    // Find the matching open paren.
+    let mut depth = 0i64;
+    let mut open = None;
+    for j in (0..as_pos).rev() {
+        match t[j].kind {
+            TokenKind::Punct(')') => depth += 1,
+            TokenKind::Punct('(') => {
+                depth -= 1;
+                if depth == 0 {
+                    open = Some(j);
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let Some(open) = open else { return false };
+    // A call/turbofish/tuple-struct paren is a value, not a group.
+    if open > 0
+        && matches!(
+            t[open - 1].kind,
+            TokenKind::Ident(_) | TokenKind::Punct('>') | TokenKind::Punct(']')
+        )
+    {
+        return false;
+    }
+    let inner = &t[open + 1..as_pos - 1];
+
+    // Walk the group's top level.
+    let mut d = 0i64;
+    let mut has_arith = false;
+    let mut has_cmp = false;
+    let mut last_mod = None; // index of the last top-level `%`
+    let mut k = 0usize;
+    while k < inner.len() {
+        match &inner[k].kind {
+            TokenKind::Punct('(') | TokenKind::Punct('[') | TokenKind::Punct('{') => d += 1,
+            TokenKind::Punct(')') | TokenKind::Punct(']') | TokenKind::Punct('}') => d -= 1,
+            TokenKind::EqEq | TokenKind::NotEq if d == 0 => has_cmp = true,
+            TokenKind::Punct(c @ ('<' | '>')) if d == 0 => {
+                // `<<`/`>>` are shifts (arithmetic); a single one is a
+                // comparison (bool result — a safe cast source).
+                if matches!(inner.get(k + 1).map(|x| &x.kind), Some(TokenKind::Punct(n)) if n == c)
+                {
+                    has_arith = true;
+                    k += 1;
+                } else {
+                    has_cmp = true;
+                }
+            }
+            TokenKind::Punct('%') if d == 0 => {
+                has_arith = true;
+                last_mod = Some(k);
+            }
+            TokenKind::Punct(op @ ('+' | '-' | '/')) if d == 0 => {
+                // `->` in a closure type isn't arithmetic.
+                if *op == '-'
+                    && matches!(
+                        inner.get(k + 1).map(|x| &x.kind),
+                        Some(TokenKind::Punct('>'))
+                    )
+                {
+                    k += 1;
+                } else {
+                    has_arith = true;
+                }
+            }
+            TokenKind::Punct('*') if d == 0 && is_binary_arith(inner, k, '*') => {
+                has_arith = true;
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    if !has_arith || has_cmp {
+        return false;
+    }
+    // `(… % LITERAL) as T` with LITERAL <= T::MAX is checked narrowing.
+    if let (Some(m), Some(max)) = (last_mod, narrow_target_max(target)) {
+        if m + 2 == inner.len() {
+            if let Some(v) = inner[m + 1].kind.int_value() {
+                if v > 0 && v - 1 <= max {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Distinguish binary `+`/`*` (arith) from unary deref/reference and
+/// other uses: the left neighbour must be a value end, and for `*` the
+/// right neighbour must start a value or be `=` (compound assign).
+fn is_binary_arith(t: &[Token], i: usize, op: char) -> bool {
+    let prev_is_value = i >= 1
+        && match &t[i - 1].kind {
+            TokenKind::Ident(s) => s != "as" && s != "return" && s != "in" && s != "if",
+            TokenKind::Number { .. } => true,
+            TokenKind::Punct(')') | TokenKind::Punct(']') => true,
+            _ => false,
+        };
+    if !prev_is_value {
+        return false;
+    }
+    // Exempt float arithmetic: the rules that consume these facts are
+    // about integer counter overflow.
+    let float_beside = [i.checked_sub(1).and_then(|j| t.get(j)), t.get(i + 1)]
+        .into_iter()
+        .flatten()
+        .any(|n| matches!(n.kind, TokenKind::Number { is_float: true, .. }));
+    if float_beside {
+        return false;
+    }
+    if op == '+' {
+        return true;
+    }
+    matches!(
+        t.get(i + 1).map(|x| &x.kind),
+        Some(
+            TokenKind::Ident(_)
+                | TokenKind::Number { .. }
+                | TokenKind::Punct('(')
+                | TokenKind::Punct('=')
+        )
+    )
+}
+
+/// File-level helper: identifiers that are visibly Hash-keyed in this
+/// token stream (`x: HashMap<…>`, `let mut y = HashSet::new()`, …).
+pub fn hash_typed_idents(tokens: &[Token]) -> std::collections::BTreeSet<String> {
+    let mut out = std::collections::BTreeSet::new();
+    for (i, tok) in tokens.iter().enumerate() {
+        let Some(container @ ("HashMap" | "HashSet")) = tok.kind.ident() else {
+            continue;
+        };
+        let _ = container;
+        // Walk back over type sugar to the `:` or `=` and the bound name.
+        let mut j = i;
+        while j >= 1 {
+            match tokens[j - 1].kind.ident() {
+                Some("mut") | Some("std") | Some("collections") => j -= 1,
+                _ => match tokens[j - 1].kind {
+                    TokenKind::Punct('&') | TokenKind::Punct(':') => j -= 1,
+                    TokenKind::Punct('=') => {
+                        j -= 1;
+                        break;
+                    }
+                    _ => break,
+                },
+            }
+        }
+        if j < i {
+            if let Some(name) = tokens[j.saturating_sub(1)].kind.ident() {
+                out.insert(name.to_string());
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> ParsedFile {
+        parse(&lex(src))
+    }
+
+    fn first_fn(p: &ParsedFile) -> &FnItem {
+        p.items
+            .iter()
+            .find_map(|i| match i {
+                Item::Fn(f) => Some(f),
+                _ => None,
+            })
+            .expect("a fn item")
+    }
+
+    #[test]
+    fn parses_fn_with_calls_and_methods() {
+        let p = parse_src(
+            "pub fn run(x: u32) -> u64 {\n let t = std::time::Instant::now();\n buf.retain(|v| v > 0);\n helper(x);\n t.elapsed().as_nanos() as u64\n}",
+        );
+        let f = first_fn(&p);
+        assert!(f.is_pub);
+        assert_eq!(f.name, "run");
+        let calls: Vec<String> = f
+            .body
+            .paths
+            .iter()
+            .filter(|c| c.kind == PathKind::Call)
+            .map(|c| c.dotted())
+            .collect();
+        assert!(
+            calls.contains(&"std::time::Instant::now".to_string()),
+            "{calls:?}"
+        );
+        assert!(calls.contains(&"helper".to_string()));
+        let methods: Vec<&str> = f
+            .body
+            .method_calls
+            .iter()
+            .map(|m| m.name.as_str())
+            .collect();
+        assert!(methods.contains(&"retain"));
+        assert_eq!(
+            f.body
+                .method_calls
+                .iter()
+                .find(|m| m.name == "retain")
+                .and_then(|m| m.receiver.as_deref()),
+            Some("buf")
+        );
+    }
+
+    #[test]
+    fn modules_and_use_trees_flatten() {
+        let p = parse_src(
+            "use std::collections::{BTreeMap, BTreeSet as Set};\nuse crate::sim::*;\nmod inner { pub fn f() {} }\nmod filemod;\n",
+        );
+        let uses: Vec<&UseItem> = p
+            .items
+            .iter()
+            .filter_map(|i| match i {
+                Item::Use(u) => Some(u),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(uses.len(), 2);
+        let b = &uses[0].bindings;
+        assert_eq!(b.len(), 2);
+        assert_eq!(b[0].alias, "BTreeMap");
+        assert_eq!(b[1].alias, "Set");
+        assert_eq!(b[1].path, vec!["std", "collections", "BTreeSet"]);
+        assert!(uses[1].bindings[0].glob);
+        assert_eq!(uses[1].bindings[0].path, vec!["crate", "sim"]);
+
+        let mods: Vec<&ModItem> = p
+            .items
+            .iter()
+            .filter_map(|i| match i {
+                Item::Mod(m) => Some(m),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(mods.len(), 2);
+        assert!(mods[0].inline.is_some());
+        assert!(mods[1].inline.is_none());
+    }
+
+    #[test]
+    fn impls_capture_methods_with_type_name() {
+        let p = parse_src(
+            "impl<T: Ord> Wheel<T> {\n pub fn push(&mut self, v: T) { self.items.push(v); }\n fn drain(&mut self) {}\n}\nimpl Display for Wheel<u32> { fn fmt(&self) {} }",
+        );
+        let impls: Vec<&ImplItem> = p
+            .items
+            .iter()
+            .filter_map(|i| match i {
+                Item::Impl(im) => Some(im),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(impls.len(), 2);
+        assert_eq!(impls[0].type_name, "Wheel");
+        assert_eq!(impls[0].fns.len(), 2);
+        assert!(impls[0].fns[0].is_pub);
+        assert_eq!(impls[1].type_name, "Wheel");
+        assert_eq!(impls[1].fns[0].name, "fmt");
+    }
+
+    #[test]
+    fn test_attributes_propagate() {
+        let p = parse_src(
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n #[test]\n fn t() { x.unwrap(); }\n fn helper() {}\n}",
+        );
+        assert!(!first_fn(&p).in_test);
+        let m = p
+            .items
+            .iter()
+            .find_map(|i| match i {
+                Item::Mod(m) => Some(m),
+                _ => None,
+            })
+            .expect("mod");
+        assert!(m.in_test);
+        for item in m.inline.as_ref().expect("inline") {
+            if let Item::Fn(f) = item {
+                assert!(f.in_test, "{}", f.name);
+            }
+        }
+    }
+
+    #[test]
+    fn cast_classification() {
+        let src = "fn f(a: u64, b: u64, xs: &[u8]) {\n let _ = a as u32;\n let _ = xs.len() as u32;\n let _ = (a + b) as u16;\n let _ = (a >> 3) as u32;\n let _ = (a > b) as u8;\n let _ = (a % 251) as u8;\n let _ = (a % 9999) as u8;\n let _ = f(a) as u32;\n}";
+        let p = parse_src(src);
+        let casts = &first_fn(&p).body.casts;
+        let arith: Vec<(&str, bool)> = casts
+            .iter()
+            .map(|c| (c.target.as_str(), c.arith_source))
+            .collect();
+        assert_eq!(
+            arith,
+            vec![
+                ("u32", false), // plain variable
+                ("u32", false), // call result
+                ("u16", true),  // computed sum
+                ("u32", true),  // shift
+                ("u8", false),  // comparison (bool)
+                ("u8", false),  // modulo-bounded below u8::MAX
+                ("u8", true),   // modulo bound exceeds u8::MAX
+                ("u32", false), // call result
+            ]
+        );
+    }
+
+    #[test]
+    fn arith_ops_distinguish_deref_from_mult() {
+        let src = "fn f(a: u64, v: &mut u64) {\n let b = a + 1;\n *v = (*v).max(a);\n let c = a * 2;\n let d = &*v;\n let e = a * (b);\n f(*v);\n let g = 2.0 * 3.0;\n}";
+        let p = parse_src(src);
+        let ops: Vec<char> = first_fn(&p).body.arith.iter().map(|a| a.op).collect();
+        assert_eq!(ops, vec!['+', '*', '*']);
+    }
+
+    #[test]
+    fn statics_and_mut() {
+        let p = parse_src("static mut COUNTER: u64 = 0;\nstatic NAME: &str = \"x\";");
+        let statics: Vec<&StaticItem> = p
+            .items
+            .iter()
+            .filter_map(|i| match i {
+                Item::Static(s) => Some(s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(statics.len(), 2);
+        assert!(statics[0].mutable);
+        assert_eq!(statics[0].name, "COUNTER");
+        assert!(!statics[1].mutable);
+    }
+
+    #[test]
+    fn format_strings_are_visible() {
+        let p = parse_src("fn f(x: &u32) { let s = format!(\"at {:p}\", x); }");
+        let f = first_fn(&p);
+        assert!(f.body.strings.iter().any(|s| s.text.contains("{:p}")));
+        assert!(f
+            .body
+            .paths
+            .iter()
+            .any(|c| c.kind == PathKind::Macro && c.last() == "format"));
+    }
+
+    #[test]
+    fn hash_typed_idents_detects_decls() {
+        let toks = lex(
+            "fn f(flows: &HashMap<u32, u64>) { let mut seen = HashSet::new(); let ok: BTreeMap<u8,u8> = BTreeMap::new(); }",
+        );
+        let names = hash_typed_idents(&toks);
+        assert!(names.contains("flows"));
+        assert!(names.contains("seen"));
+        assert!(!names.contains("ok"));
+    }
+
+    #[test]
+    fn never_panics_on_garbage() {
+        for src in [
+            "fn",
+            "fn (",
+            "impl {",
+            "use ::;",
+            "pub pub pub",
+            "fn f() { (((",
+            "mod m { fn g() {",
+            "#[",
+            "static",
+            "impl for for {}",
+            "fn f<T() { as as as }",
+        ] {
+            let _ = parse_src(src);
+        }
+    }
+}

@@ -1,7 +1,15 @@
-//! The audit rules: lexical determinism and hygiene checks applied per
+//! The audit rules: per-file determinism and hygiene checks applied per
 //! crate according to the policy table in [`crate::policy_for`].
+//!
+//! Two tiers live here. The *lexical* rules scan raw token streams (no
+//! structure needed — `HashMap` is banned wherever it appears). The
+//! *syntactic* rules consume [`crate::parser`] fact bags so they can
+//! reason about expression shape: what feeds a cast, whether a `*` is a
+//! deref or a multiply, which receiver a method call has. Whole-program
+//! rules (taint, panic reachability) live in [`crate::taint`].
 
 use crate::lexer::{Token, TokenKind};
+use crate::parser::{self, BodyFacts};
 
 /// One rule violation at a source position.
 #[derive(Clone, Debug)]
@@ -26,6 +34,11 @@ pub enum RuleId {
     PrintlnInLib,
     UnusedWorkspaceDep,
     StaleAllow,
+    NarrowingCast,
+    UnsaturatedArith,
+    UnstableOrder,
+    PanicInPubApi,
+    NondetTaint,
 }
 
 impl RuleId {
@@ -40,7 +53,32 @@ impl RuleId {
             RuleId::PrintlnInLib => "println-in-lib",
             RuleId::UnusedWorkspaceDep => "unused-workspace-dep",
             RuleId::StaleAllow => "stale-allow",
+            RuleId::NarrowingCast => "narrowing-cast",
+            RuleId::UnsaturatedArith => "unsaturated-arith",
+            RuleId::UnstableOrder => "unstable-order",
+            RuleId::PanicInPubApi => "panic-in-pub-api",
+            RuleId::NondetTaint => "nondet-taint",
         }
+    }
+
+    /// Every rule, in stable order (drives `--help` and SARIF `rules`).
+    pub fn all() -> &'static [RuleId] {
+        &[
+            RuleId::WallClock,
+            RuleId::HashContainer,
+            RuleId::FloatEq,
+            RuleId::UnwrapOutsideTests,
+            RuleId::ThreadSpawn,
+            RuleId::StringResult,
+            RuleId::PrintlnInLib,
+            RuleId::UnusedWorkspaceDep,
+            RuleId::StaleAllow,
+            RuleId::NarrowingCast,
+            RuleId::UnsaturatedArith,
+            RuleId::UnstableOrder,
+            RuleId::PanicInPubApi,
+            RuleId::NondetTaint,
+        ]
     }
 
     pub fn from_name(name: &str) -> Option<RuleId> {
@@ -54,6 +92,11 @@ impl RuleId {
             "println-in-lib" => RuleId::PrintlnInLib,
             "unused-workspace-dep" => RuleId::UnusedWorkspaceDep,
             "stale-allow" => RuleId::StaleAllow,
+            "narrowing-cast" => RuleId::NarrowingCast,
+            "unsaturated-arith" => RuleId::UnsaturatedArith,
+            "unstable-order" => RuleId::UnstableOrder,
+            "panic-in-pub-api" => RuleId::PanicInPubApi,
+            "nondet-taint" => RuleId::NondetTaint,
             _ => return None,
         })
     }
@@ -100,6 +143,33 @@ impl RuleId {
             RuleId::StaleAllow => {
                 "audit.toml entries that no longer match any finding must be \
                  removed so the allowlist stays an accurate record of debt"
+            }
+            RuleId::NarrowingCast => {
+                "an `as` cast of computed arithmetic silently truncates on \
+                 overflow, and the truncated value feeds simulation state; \
+                 use try_from (surface the error) or mask explicitly so the \
+                 narrowing is visibly intentional"
+            }
+            RuleId::UnsaturatedArith => {
+                "statistics and metrics accumulators must peg at the rail, \
+                 not wrap: a wrapped counter silently corrupts every report \
+                 and digest derived from it; use saturating_add/saturating_mul"
+            }
+            RuleId::UnstableOrder => {
+                "sorting or retaining through a hash-keyed collection bakes \
+                 its nondeterministic iteration order into the result; \
+                 collect into a BTree container (or sort by a total key) first"
+            }
+            RuleId::PanicInPubApi => {
+                "a panic reachable from a public session API turns a caller \
+                 mistake into an abort of the whole process; validate at the \
+                 boundary and return a typed error instead"
+            }
+            RuleId::NondetTaint => {
+                "a nondeterministic value (wall clock, env, thread id, hash \
+                 state, pointer address) flows along the call graph into a \
+                 deterministic-domain sink (trace, metric, digest, event \
+                 queue); identical seeds would stop producing identical runs"
             }
         }
     }
@@ -182,7 +252,7 @@ pub fn check_float_eq(file: &str, tokens: &[Token], out: &mut Vec<Finding>) {
         ]
         .into_iter()
         .flatten()
-        .any(|n| matches!(n.kind, TokenKind::Number { is_float: true }));
+        .any(|n| matches!(n.kind, TokenKind::Number { is_float: true, .. }));
         if float_beside {
             let op = if t.kind == TokenKind::EqEq {
                 "=="
@@ -367,6 +437,86 @@ pub fn test_ranges(tokens: &[Token]) -> Vec<(u32, u32)> {
     ranges
 }
 
+/// Narrowing `as` casts whose source is computed arithmetic (the
+/// parser's [`parser::Cast::arith_source`] classification): `(a + b) as
+/// u16` truncates silently on overflow. Plain-value casts, comparison
+/// results, and provably-bounded `(x % k) as T` pass.
+pub fn check_narrowing_cast(file: &str, facts: &BodyFacts, out: &mut Vec<Finding>) {
+    for c in &facts.casts {
+        if !c.arith_source {
+            continue;
+        }
+        if parser::narrow_target_max(&c.target).is_none() {
+            continue;
+        }
+        out.push(Finding {
+            file: file.to_string(),
+            line: c.line,
+            col: c.col,
+            rule: RuleId::NarrowingCast,
+            message: format!(
+                "computed arithmetic narrowed to {} with `as` (truncates silently on overflow)",
+                c.target
+            ),
+        });
+    }
+}
+
+/// Raw `+` / `*` in statistics/metrics accumulation code, where every
+/// counter is contractually saturating. The caller scopes this to
+/// stats/metrics sources; the parser already filtered derefs and float
+/// arithmetic out of [`BodyFacts::arith`].
+pub fn check_unsaturated_arith(file: &str, facts: &BodyFacts, out: &mut Vec<Finding>) {
+    for a in &facts.arith {
+        out.push(Finding {
+            file: file.to_string(),
+            line: a.line,
+            col: a.col,
+            rule: RuleId::UnsaturatedArith,
+            message: format!(
+                "raw `{}` in accumulator code (use saturating_{})",
+                a.op,
+                if a.op == '+' { "add" } else { "mul" }
+            ),
+        });
+    }
+}
+
+/// `sort_unstable*` / `retain` invoked on a receiver that is visibly
+/// hash-keyed in this file (per [`parser::hash_typed_idents`]): the
+/// operation iterates (or ties break) in RandomState order, baking
+/// nondeterminism into the surviving collection.
+pub fn check_unstable_order(
+    file: &str,
+    facts: &BodyFacts,
+    hash_typed: &std::collections::BTreeSet<String>,
+    out: &mut Vec<Finding>,
+) {
+    for m in &facts.method_calls {
+        let order_sensitive = matches!(
+            m.name.as_str(),
+            "retain" | "sort_unstable" | "sort_unstable_by" | "sort_unstable_by_key"
+        );
+        if !order_sensitive {
+            continue;
+        }
+        let Some(recv) = &m.receiver else { continue };
+        if !hash_typed.contains(recv) {
+            continue;
+        }
+        out.push(Finding {
+            file: file.to_string(),
+            line: m.line,
+            col: m.col,
+            rule: RuleId::UnstableOrder,
+            message: format!(
+                ".{}() on hash-keyed `{recv}` (iteration order is nondeterministic)",
+                m.name
+            ),
+        });
+    }
+}
+
 /// True when `tokens[i]` is reached via `<prefix>::`.
 fn preceded_by_path(tokens: &[Token], i: usize, prefix: &str) -> bool {
     i >= 3
@@ -491,6 +641,59 @@ mod tests {
         let src = "\n\n#[cfg(test)]\nmod tests {\n fn a() {}\n}\nfn tail() {}\n";
         let r = test_ranges(&lex(src));
         assert_eq!(r, vec![(3, 6)]);
+    }
+
+    fn body_facts(src: &str) -> BodyFacts {
+        let parsed = parser::parse(&lex(src));
+        parsed
+            .items
+            .into_iter()
+            .find_map(|i| match i {
+                parser::Item::Fn(f) => Some(f.body),
+                _ => None,
+            })
+            .expect("a fn item")
+    }
+
+    #[test]
+    fn narrowing_cast_fires_on_computed_arith_only() {
+        let facts = body_facts(
+            "fn f(a: u64, b: u64) { let x = (a + b) as u16; let y = a as u16; let z = (a > b) as u8; let w = (a % 128) as u8; let v = (a * b) as u64; }",
+        );
+        let mut out = Vec::new();
+        check_narrowing_cast("t.rs", &facts, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("u16"));
+    }
+
+    #[test]
+    fn unsaturated_arith_reports_raw_ops_not_derefs() {
+        let facts = body_facts(
+            "fn f(&mut self, d: u64) { self.total = self.total + d; *self.slot() = 1; let r = 2.0 * scale; }",
+        );
+        let mut out = Vec::new();
+        check_unsaturated_arith("t.rs", &facts, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("saturating_add"));
+    }
+
+    #[test]
+    fn unstable_order_needs_a_hash_typed_receiver() {
+        let src = "fn f(flows: &mut HashMap<u32, u64>, v: &mut Vec<u8>) { flows.retain(|_, x| *x > 0); v.retain(|x| *x > 0); v.sort_unstable(); }";
+        let facts = body_facts(src);
+        let hash_typed = parser::hash_typed_idents(&lex(src));
+        let mut out = Vec::new();
+        check_unstable_order("t.rs", &facts, &hash_typed, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("flows"));
+    }
+
+    #[test]
+    fn rule_names_round_trip() {
+        for &r in RuleId::all() {
+            assert_eq!(RuleId::from_name(r.name()), Some(r));
+            assert!(!r.rationale().is_empty());
+        }
     }
 
     #[test]

@@ -62,6 +62,75 @@ fn fixture_trips_every_seeded_rule() {
     assert_eq!(unused.len(), 1, "{findings:?}");
     assert!(unused[0].message.contains("leftover-dep"));
     assert_eq!(count(RuleId::StaleAllow), 1, "{findings:?}");
+
+    // Syntactic rules: one seeded case each. The cast in `pack`, the
+    // raw `+` in the stats accumulator, the `retain` on the obs
+    // HashMap (legal container there — illegal iteration order).
+    assert_eq!(count(RuleId::NarrowingCast), 1, "{findings:?}");
+    assert_eq!(count(RuleId::UnsaturatedArith), 1, "{findings:?}");
+    let unstable: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == RuleId::UnstableOrder)
+        .collect();
+    assert_eq!(unstable.len(), 1, "{findings:?}");
+    assert_eq!(unstable[0].file, "crates/obs/src/lib.rs");
+
+    // Whole-program rules must report reachability paths.
+    let panics: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == RuleId::PanicInPubApi)
+        .collect();
+    assert_eq!(panics.len(), 1, "{findings:?}");
+    assert!(
+        panics[0].message.contains("begin -> ensure"),
+        "{}",
+        panics[0].message
+    );
+
+    let taints: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == RuleId::NondetTaint)
+        .collect();
+    assert_eq!(taints.len(), 1, "{findings:?}");
+    assert!(
+        taints[0].message.contains("knob -> step"),
+        "{}",
+        taints[0].message
+    );
+    assert!(taints[0].message.contains("std::env::var"));
+
+    // Findings arrive sorted: stable output is the CLI's contract.
+    let keys: Vec<_> = findings
+        .iter()
+        .map(|f| (f.file.clone(), f.line, f.col, f.rule.name()))
+        .collect();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(keys, sorted, "findings must be presorted");
+}
+
+/// The taint source (an env read in one function) and the sink (the
+/// metrics call in another) are invisible to every lexical rule: no
+/// other rule may claim the `knob` or `step` lines. This is the
+/// regression test for the cross-function flow the analyzer exists for.
+#[test]
+fn cross_function_taint_is_caught_by_no_lexical_rule() {
+    let findings = audit_workspace(&fixture_root()).expect("fixture audits");
+    let taint_lines: Vec<u32> = findings
+        .iter()
+        .filter(|f| f.rule == RuleId::NondetTaint)
+        .map(|f| f.line)
+        .collect();
+    assert!(!taint_lines.is_empty());
+    for f in &findings {
+        if f.rule == RuleId::NondetTaint || f.file != "crates/netsim/src/lib.rs" {
+            continue;
+        }
+        assert!(
+            !f.message.contains("env"),
+            "a lexical rule covers env reads, taint case is not unique: {f:?}"
+        );
+    }
 }
 
 #[test]

@@ -1,0 +1,95 @@
+//! Golden-snapshot tests for the machine-readable output formats.
+//!
+//! The JSON and SARIF renderings of the known-bad fixture workspace are
+//! committed under `tests/golden/`; any drift — a reordered key, an
+//! unsorted finding, a changed message — fails here and must be an
+//! intentional, reviewed update (regenerate with:
+//! `cargo run -p lsl-audit -- --root crates/audit/fixtures/bad --format <fmt>`).
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures/bad")
+}
+
+fn golden(name: &str) -> String {
+    let p = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("{}: {e}", p.display()))
+}
+
+fn run_format(format: &str) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_lsl-audit"))
+        .args([
+            "--root",
+            fixture_root().to_str().expect("utf-8 path"),
+            "--format",
+            format,
+        ])
+        .output()
+        .expect("run lsl-audit");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "fixture must report findings: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf-8 output")
+}
+
+#[test]
+fn json_output_matches_golden() {
+    assert_eq!(run_format("json"), golden("fixture.json"));
+}
+
+#[test]
+fn sarif_output_matches_golden() {
+    assert_eq!(run_format("sarif"), golden("fixture.sarif"));
+}
+
+#[test]
+fn sarif_is_shaped_like_sarif() {
+    let s = run_format("sarif");
+    for needle in [
+        "\"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\"",
+        "\"version\": \"2.1.0\"",
+        "\"name\": \"lsl-audit\"",
+        "\"ruleId\": \"nondet-taint\"",
+        "\"startLine\":",
+    ] {
+        assert!(s.contains(needle), "missing {needle}\n{s}");
+    }
+}
+
+#[test]
+fn rule_filter_keeps_stale_allow_unmaskable() {
+    // --rule narrows the report, but allowlist rot must survive any
+    // filter: it is a hard CI failure, not a view option.
+    let out = Command::new(env!("CARGO_BIN_EXE_lsl-audit"))
+        .args([
+            "--root",
+            fixture_root().to_str().expect("utf-8 path"),
+            "--rule",
+            "float-eq",
+        ])
+        .output()
+        .expect("run lsl-audit");
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("[float-eq]"), "{stdout}");
+    assert!(stdout.contains("[stale-allow]"), "{stdout}");
+    assert!(!stdout.contains("[wall-clock]"), "{stdout}");
+}
+
+#[test]
+fn unknown_format_and_rule_are_usage_errors() {
+    for args in [["--format", "yaml"], ["--rule", "no-such-rule"]] {
+        let out = Command::new(env!("CARGO_BIN_EXE_lsl-audit"))
+            .args(args)
+            .output()
+            .expect("run lsl-audit");
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+    }
+}

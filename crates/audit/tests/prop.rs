@@ -1,0 +1,51 @@
+//! Robustness properties for the analysis front end: the lexer and the
+//! item parser must never panic, whatever bytes they are handed. The
+//! parser's contract on garbage is *fewer facts*, not a crash — the
+//! audit gate runs over every file in the workspace, including ones a
+//! future session may leave half-written.
+
+use lsl_audit::{lexer, parser};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary byte soup (lossily decoded) must lex and parse.
+    #[test]
+    fn lex_and_parse_survive_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..600)) {
+        let text = String::from_utf8_lossy(&bytes);
+        let tokens = lexer::lex(&text);
+        let _ = parser::parse(&tokens);
+        let _ = parser::hash_typed_idents(&tokens);
+    }
+
+    /// Rust-ish token soup is the harder case: keywords, punctuation
+    /// and idents in random order exercise every parser branch that
+    /// byte soup (mostly string/comment noise) rarely reaches.
+    #[test]
+    fn parse_survives_rustish_token_soup(parts in proptest::collection::vec(0usize..24, 0..120)) {
+        const VOCAB: [&str; 24] = [
+            "fn", "impl", "mod", "use", "static", "pub", "const", "unsafe",
+            "as", "for", "{", "}", "(", ")", "<", ">", "::", ";", ",",
+            "#[test]", "x", "u32", "1.5", "\"s\"",
+        ];
+        let src = parts
+            .iter()
+            .map(|&i| VOCAB[i])
+            .collect::<Vec<_>>()
+            .join(" ");
+        let tokens = lexer::lex(&src);
+        let _ = parser::parse(&tokens);
+    }
+
+    /// Unterminated constructs (strings, raw strings, block comments,
+    /// open braces) must degrade, not hang or panic.
+    #[test]
+    fn truncation_anywhere_is_survivable(cut in 0usize..200) {
+        let full = "fn f<T: Ord>(x: &[u8]) -> u64 { let s = \"str\\n\"; let r = r#\"raw\"#; /* c */ (x.len() + 1) as u64 }";
+        let src = &full[..cut.min(full.len())];
+        if full.is_char_boundary(src.len()) {
+            let _ = parser::parse(&lexer::lex(src));
+        }
+    }
+}

@@ -240,11 +240,12 @@ impl Simulator {
         let slot = match self.free_slots.pop() {
             Some(s) => s,
             None => {
+                let next = self.timer_slots.len() as u32;
                 self.timer_slots.push(TimerSlot {
                     gen: 0,
                     armed: false,
                 });
-                (self.timer_slots.len() - 1) as u32
+                next
             }
         };
         let s = &mut self.timer_slots[slot as usize];

@@ -45,8 +45,9 @@ impl TcpStack {
             self.socks[i] = Some(sock);
             i as u32
         } else {
+            let next = self.socks.len() as u32;
             self.socks.push(Some(sock));
-            (self.socks.len() - 1) as u32
+            next
         }
     }
 
@@ -281,7 +282,9 @@ impl TcpStack {
         events: &mut Vec<(u32, SockEvent)>,
         token: u64,
     ) {
-        let idx = (token >> 3) as u32;
+        // A truncating cast here could alias a corrupt token onto a
+        // live socket; an out-of-range index must stay out of range.
+        let idx = u32::try_from(token >> 3).unwrap_or(u32::MAX);
         let kind = token & 0b111;
         let node = self.node;
         if let Some(Sock::Conn(tcb)) = self.socks.get_mut(idx as usize).and_then(Option::as_mut) {

@@ -14,8 +14,30 @@ cargo fmt --check
 echo "==> cargo clippy (workspace, warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> lsl-audit (static determinism linter)"
-cargo run -q -p lsl-audit
+echo "==> lsl-audit (static determinism analyzer, SARIF artifact)"
+# The analyzer must (a) pass clean, (b) emit a well-formed SARIF
+# artifact for CI annotation, and (c) stay fast enough to run on every
+# push: the analysis itself (release binary, build cost excluded) has a
+# 10-second budget over the whole workspace.
+cargo build -q --release -p lsl-audit
+mkdir -p target/audit
+audit_start=$SECONDS
+target/release/lsl-audit --format sarif > target/audit/lsl-audit.sarif \
+  || { echo "lsl-audit found violations:"; target/release/lsl-audit || true; exit 1; }
+audit_elapsed=$(( SECONDS - audit_start ))
+if [ "$audit_elapsed" -gt 10 ]; then
+  echo "lsl-audit took ${audit_elapsed}s (budget: 10s)"; exit 1
+fi
+grep -q '"version": "2.1.0"' target/audit/lsl-audit.sarif \
+  || { echo "SARIF artifact missing version"; exit 1; }
+grep -q '"name": "lsl-audit"' target/audit/lsl-audit.sarif \
+  || { echo "SARIF artifact missing tool driver"; exit 1; }
+grep -q '"id": "nondet-taint"' target/audit/lsl-audit.sarif \
+  || { echo "SARIF artifact missing rule table"; exit 1; }
+if command -v python3 >/dev/null 2>&1; then
+  python3 -c "import json, sys; json.load(open(sys.argv[1]))" target/audit/lsl-audit.sarif \
+    || { echo "SARIF artifact is not valid JSON"; exit 1; }
+fi
 
 echo "==> cargo test (workspace)"
 cargo test -q --workspace
