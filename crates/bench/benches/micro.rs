@@ -38,6 +38,9 @@ const MAX_ITERS: u64 = 1 << 24;
 /// emitted JSON.
 const BASELINE_EVENTS_PER_SEC: f64 = 1_222_643.0;
 const BASELINE_RUN_WALL_S_1MB_DIRECT: f64 = 0.006019;
+/// Timer-heavy churn rate recorded immediately before the scheduler
+/// overhaul (global `BinaryHeap`, cancelled timers lazily popped).
+const BASELINE_TIMER_EVENTS_PER_SEC: f64 = 2_794_769.0;
 
 struct Bench {
     smoke: bool,
@@ -180,6 +183,67 @@ fn bench_simulator_events(b: &Bench) -> f64 {
     events_per_run as f64 * 1e9 / ns_per_iter.max(1e-9)
 }
 
+/// Timer-heavy scenario: 2000 timers held armed with RTO-style churn
+/// (every fire cancels a pseudo-random victim and re-arms it plus
+/// itself, every 4th fire sends a packet), 10k fire budget, then drain.
+/// This is the workload shape a chaos campaign imposes — dominated by
+/// arm/cancel/fire traffic rather than packet serialization — and the
+/// one the scheduler's cancelled-entry handling shows up in. Returns
+/// the number of externally visible events processed.
+fn timer_heavy_scenario() -> u64 {
+    const ARMED: u64 = 2_000;
+    const FIRE_BUDGET: u64 = 10_000;
+    let spread = |i: u64, salt: u64| {
+        let h = (i.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ salt).wrapping_mul(0x2545_f491_4f6c_dd1d);
+        Dur::from_micros(500 + h % 100_000)
+    };
+    let mut tb = TopologyBuilder::new();
+    let a = tb.node("a");
+    let r = tb.node("r");
+    let z = tb.node("z");
+    tb.duplex(a, r, LinkSpec::new(1_000_000_000, Dur::from_micros(100)));
+    tb.duplex(
+        r,
+        z,
+        LinkSpec::new(1_000_000_000, Dur::from_micros(100)).with_loss(LossModel::bernoulli(0.01)),
+    );
+    let mut sim = tb.build().into_sim(1);
+    let mut handles = Vec::with_capacity(ARMED as usize);
+    for i in 0..ARMED {
+        handles.push(sim.set_timer(a, lsl_netsim::Time::ZERO + spread(i, 1), i));
+    }
+    let mut fires = 0u64;
+    let mut n = 0u64;
+    while let Some(out) = sim.next() {
+        n += 1;
+        if let lsl_netsim::Output::Timer { token, .. } = out {
+            fires += 1;
+            if fires <= FIRE_BUDGET {
+                let victim = fires.wrapping_mul(31) % ARMED;
+                sim.cancel_timer(handles[victim as usize]);
+                handles[victim as usize] = sim.set_timer(a, sim.now() + spread(fires, 2), victim);
+                if victim != token {
+                    handles[token as usize] = sim.set_timer(a, sim.now() + spread(fires, 3), token);
+                }
+                if fires.is_multiple_of(4) {
+                    sim.send(
+                        a,
+                        Packet::tcp(a, z, Bytes::new(), Bytes::from_static(&[0u8; 300])),
+                    );
+                }
+            }
+        }
+    }
+    n
+}
+
+/// Timer-heavy event rate; returns events/sec.
+fn bench_simulator_timer_events(b: &Bench) -> f64 {
+    let events_per_run = timer_heavy_scenario();
+    let ns_per_iter = b.run("netsim_timer_heavy_churn", None, timer_heavy_scenario);
+    events_per_run as f64 * 1e9 / ns_per_iter.max(1e-9)
+}
+
 /// End-to-end simulated transfers; returns (direct, via-depot) wall
 /// seconds per 1 MB run.
 fn bench_tcp_transfer(b: &Bench) -> (f64, f64) {
@@ -299,6 +363,7 @@ fn bench_campaign(b: &Bench) -> (usize, f64, f64) {
 fn write_json(
     smoke: bool,
     events_per_sec: f64,
+    timer_events_per_sec: f64,
     direct_s: f64,
     depot_s: f64,
     jobs_n: usize,
@@ -311,7 +376,7 @@ fn write_json(
             std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_netsim.json")
         });
     let json = format!(
-        "{{\n  \"schema\": 1,\n  \"smoke\": {smoke},\n  \"netsim_events_per_sec\": {events_per_sec:.0},\n  \"run_wall_s_1mb_direct\": {direct_s:.6},\n  \"run_wall_s_1mb_depot\": {depot_s:.6},\n  \"campaign_jobs\": {jobs_n},\n  \"campaign_wall_s_jobs1\": {campaign_wall_s_jobs1:.6},\n  \"campaign_wall_s_jobsN\": {campaign_wall_s_jobs_n:.6},\n  \"baseline\": {{\n    \"netsim_events_per_sec\": {BASELINE_EVENTS_PER_SEC:.0},\n    \"run_wall_s_1mb_direct\": {BASELINE_RUN_WALL_S_1MB_DIRECT:.6}\n  }}\n}}\n"
+        "{{\n  \"schema\": 1,\n  \"smoke\": {smoke},\n  \"netsim_events_per_sec\": {events_per_sec:.0},\n  \"netsim_timer_events_per_sec\": {timer_events_per_sec:.0},\n  \"run_wall_s_1mb_direct\": {direct_s:.6},\n  \"run_wall_s_1mb_depot\": {depot_s:.6},\n  \"campaign_jobs\": {jobs_n},\n  \"campaign_wall_s_jobs1\": {campaign_wall_s_jobs1:.6},\n  \"campaign_wall_s_jobsN\": {campaign_wall_s_jobs_n:.6},\n  \"baseline\": {{\n    \"netsim_events_per_sec\": {BASELINE_EVENTS_PER_SEC:.0},\n    \"netsim_timer_events_per_sec\": {BASELINE_TIMER_EVENTS_PER_SEC:.0},\n    \"run_wall_s_1mb_direct\": {BASELINE_RUN_WALL_S_1MB_DIRECT:.6}\n  }}\n}}\n"
     );
     match std::fs::write(&path, json) {
         Ok(()) => println!("wrote {}", path.display()),
@@ -324,9 +389,19 @@ fn main() {
     bench_md5(&b);
     bench_codecs(&b);
     let events_per_sec = bench_simulator_events(&b);
+    let timer_events_per_sec = bench_simulator_timer_events(&b);
     let (direct_s, depot_s) = bench_tcp_transfer(&b);
     bench_forecasting(&b);
     bench_realnet_relay(&b);
     let (jobs_n, w1, wn) = bench_campaign(&b);
-    write_json(b.smoke, events_per_sec, direct_s, depot_s, jobs_n, w1, wn);
+    write_json(
+        b.smoke,
+        events_per_sec,
+        timer_events_per_sec,
+        direct_s,
+        depot_s,
+        jobs_n,
+        w1,
+        wn,
+    );
 }

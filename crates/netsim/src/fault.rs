@@ -3,7 +3,7 @@
 //! A [`FaultPlan`] is a seed-independent schedule of failure events —
 //! link outages, node crashes/restarts, and sublink-reset signals —
 //! installed into a [`crate::Simulator`] before the run starts. Each
-//! entry is scheduled on the ordinary event heap, so faults interleave
+//! entry is scheduled on the ordinary event scheduler, so faults interleave
 //! with traffic in the same deterministic `(time, insertion-seq)` order
 //! as everything else: the same plan against the same seed yields a
 //! byte-identical trace, faults included.

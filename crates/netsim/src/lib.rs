@@ -28,6 +28,7 @@ mod fault;
 mod link;
 mod loss;
 mod packet;
+mod sched;
 mod sim;
 mod stats;
 mod storm;

@@ -3,7 +3,7 @@
 use std::collections::VecDeque;
 
 use crate::loss::LossModel;
-use crate::packet::{NodeId, Packet};
+use crate::packet::{LinkId, NodeId, Packet};
 use crate::stats::LinkStats;
 use crate::time::Dur;
 
@@ -63,6 +63,9 @@ pub(crate) enum Enqueue {
 
 /// Runtime state of a link inside the simulator.
 pub(crate) struct Link {
+    /// The link's own id, cached at construction so per-event stats/obs
+    /// recording never re-derives it from a table position.
+    pub id: LinkId,
     pub from: NodeId,
     pub to: NodeId,
     pub spec: LinkSpec,
@@ -87,9 +90,10 @@ pub(crate) struct Link {
 }
 
 impl Link {
-    pub fn new(from: NodeId, to: NodeId, spec: LinkSpec) -> Link {
+    pub fn new(id: LinkId, from: NodeId, to: NodeId, spec: LinkSpec) -> Link {
         assert!(spec.bandwidth_bps > 0, "link bandwidth must be positive");
         Link {
+            id,
             from,
             to,
             spec,
@@ -253,6 +257,7 @@ mod tests {
 
     fn link(queue_bytes: u64) -> Link {
         Link::new(
+            LinkId(0),
             NodeId(0),
             NodeId(1),
             LinkSpec::new(8_000_000, Dur::from_millis(1)).with_queue_bytes(queue_bytes),
@@ -330,6 +335,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "bandwidth must be positive")]
     fn zero_bandwidth_rejected() {
-        let _ = Link::new(NodeId(0), NodeId(1), LinkSpec::new(0, Dur::ZERO));
+        let _ = Link::new(LinkId(0), NodeId(0), NodeId(1), LinkSpec::new(0, Dur::ZERO));
     }
 }

@@ -1,14 +1,12 @@
 //! The discrete-event engine.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use crate::fault::{FaultEvent, FaultKind, FaultPlan};
 use crate::link::{Enqueue, Link};
 use crate::packet::{LinkId, NodeId, Packet};
+use crate::sched::{Class, Scheduler};
 use crate::stats::LinkStats;
 use crate::time::Time;
 
@@ -36,21 +34,31 @@ pub struct TimerHandle {
     gen: u32,
 }
 
-/// State of one timer slot. A slot is live from `set_timer` until its
-/// heap event pops (fired *or* cancelled — the heap entry itself is
-/// never removed early); at pop the generation is bumped and the slot
-/// returns to the free list, invalidating outstanding handles.
+/// State of one timer slot. A slot is live from `set_timer` until the
+/// timer fires or is cancelled; both retire it immediately (cancel
+/// purges the scheduler entry — there is no "dead entry waiting to
+/// pop" state). Retirement bumps the generation and returns the slot
+/// to the free list, invalidating outstanding handles.
 #[derive(Clone, Copy)]
 struct TimerSlot {
     gen: u32,
     armed: bool,
+    /// Scheduler arena slot of the pending `Event::Timer`, so cancel
+    /// can purge it without a search.
+    sched_slot: u32,
 }
 
+/// A scheduled occurrence. Kept `Copy` and small (≤ 32 bytes, pinned
+/// by a test): the scheduler moves these through its arena; anything
+/// bulky — the packet payload — lives in the simulator's packet arena
+/// and is named here by slot id.
+#[derive(Clone, Copy)]
 enum Event {
     /// The packet at the head of the link finished serializing.
     TxDone(LinkId),
-    /// A packet arrives at the receiving end of a link.
-    Arrive(LinkId, Packet),
+    /// The packet in arena slot `.1` arrives at the receiving end of
+    /// link `.0`.
+    Arrive(LinkId, u32),
     Timer {
         node: NodeId,
         token: u64,
@@ -61,35 +69,48 @@ enum Event {
     Fault(u32),
 }
 
-struct HeapEntry {
-    at: Time,
-    seq: u64,
-    event: Event,
+/// Home for in-flight packet payloads: `Event::Arrive` carries a slot
+/// id instead of the ~100-byte `Packet`, keeping scheduler entries at
+/// 24 bytes. Slots are recycled through a free list; each is occupied
+/// for exactly one propagation interval.
+#[derive(Default)]
+struct PacketArena {
+    slots: Vec<Option<Packet>>,
+    free: Vec<u32>,
 }
 
-impl PartialEq for HeapEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+impl PacketArena {
+    fn put(&mut self, p: Packet) -> u32 {
+        match self.free.pop() {
+            Some(i) => {
+                let s = &mut self.slots[i as usize];
+                debug_assert!(s.is_none(), "free-listed packet slot still occupied");
+                *s = Some(p);
+                i
+            }
+            None => {
+                let i = self.slots.len() as u32;
+                self.slots.push(Some(p));
+                i
+            }
+        }
     }
-}
-impl Eq for HeapEntry {}
-impl PartialOrd for HeapEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for HeapEntry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
+
+    fn take(&mut self, i: u32) -> Packet {
+        let p = self.slots[i as usize]
+            .take()
+            .expect("arrival names an empty packet slot");
+        self.free.push(i);
+        p
     }
 }
 
 /// The network simulator: nodes, links, routes, timers, and the event
-/// queue. Construct via [`crate::TopologyBuilder`].
+/// scheduler. Construct via [`crate::TopologyBuilder`].
 pub struct Simulator {
     now: Time,
-    heap: BinaryHeap<Reverse<HeapEntry>>,
-    seq: u64,
+    sched: Scheduler<Event>,
+    packets: PacketArena,
     pub(crate) links: Vec<Link>,
     num_nodes: usize,
     /// Dense next-hop table, `routes[node * num_nodes + dst]` = raw
@@ -108,17 +129,26 @@ pub struct Simulator {
     faults_fired: Vec<bool>,
     /// Per-node up/down state; all nodes start up.
     node_up: Vec<bool>,
+    /// Pops since the last timer-accounting audit (feature `invariants`).
+    #[cfg(feature = "invariants")]
+    pops_since_audit: u32,
 }
 
 /// Sentinel for "no next hop" in the dense route table.
 const NO_ROUTE: u32 = u32::MAX;
 
+/// How many event pops between timer-accounting audits (feature
+/// `invariants`): the audit walks every scheduler bucket, so it runs
+/// amortized, not per event.
+#[cfg(feature = "invariants")]
+const TIMER_AUDIT_PERIOD: u32 = 4096;
+
 impl Simulator {
     pub(crate) fn new(num_nodes: usize, links: Vec<Link>, seed: u64) -> Simulator {
         Simulator {
             now: Time::ZERO,
-            heap: BinaryHeap::with_capacity(256),
-            seq: 0,
+            sched: Scheduler::new(),
+            packets: PacketArena::default(),
             links,
             num_nodes,
             routes: vec![NO_ROUTE; num_nodes * num_nodes],
@@ -130,6 +160,8 @@ impl Simulator {
             faults: Vec::new(),
             faults_fired: Vec::new(),
             node_up: vec![true; num_nodes],
+            #[cfg(feature = "invariants")]
+            pops_since_audit: 0,
         }
     }
 
@@ -158,9 +190,9 @@ impl Simulator {
         }
     }
 
-    /// Install a fault schedule. Every entry is placed on the event heap
-    /// immediately, so it interleaves deterministically with traffic and
-    /// fires exactly once at its scheduled time. May be called more than
+    /// Install a fault schedule. Every entry is scheduled immediately,
+    /// so it interleaves deterministically with traffic and fires
+    /// exactly once at its scheduled time. May be called more than
     /// once; entries accumulate. Panics on out-of-range link/node ids or
     /// times in the past — a malformed plan is an experiment bug.
     pub fn install_faults(&mut self, plan: FaultPlan) {
@@ -244,6 +276,7 @@ impl Simulator {
                 self.timer_slots.push(TimerSlot {
                     gen: 0,
                     armed: false,
+                    sched_slot: 0,
                 });
                 next
             }
@@ -253,8 +286,9 @@ impl Simulator {
         s.armed = true;
         let gen = s.gen;
         self.armed_timers += 1;
-        self.schedule(
+        let sched_slot = self.sched.insert(
             at,
+            Class::Timer,
             Event::Timer {
                 node,
                 token,
@@ -262,17 +296,28 @@ impl Simulator {
                 gen,
             },
         );
+        self.timer_slots[slot as usize].sched_slot = sched_slot;
         TimerHandle { slot, gen }
     }
 
-    /// Cancel a pending timer. Cancelling an already-fired or
+    /// Cancel a pending timer: the scheduler entry is purged on the
+    /// spot, so a cancelled timer is never revisited at pop time, and
+    /// the slot is retired immediately. Cancelling an already-fired or
     /// already-cancelled timer is a no-op: the handle's generation no
     /// longer matches its slot, so it cannot touch a reused slot.
     pub fn cancel_timer(&mut self, handle: TimerHandle) {
         if let Some(s) = self.timer_slots.get_mut(handle.slot as usize) {
             if s.gen == handle.gen && s.armed {
                 s.armed = false;
+                s.gen = s.gen.wrapping_add(1);
+                let sched_slot = s.sched_slot;
+                self.free_slots.push(handle.slot);
                 self.armed_timers -= 1;
+                let purged = self.sched.cancel(sched_slot);
+                debug_assert!(
+                    matches!(purged, Some(Event::Timer { .. })),
+                    "armed timer's scheduler entry was missing"
+                );
             }
         }
     }
@@ -280,6 +325,15 @@ impl Simulator {
     /// Number of timers armed and not yet fired/cancelled.
     pub fn pending_timers(&self) -> usize {
         self.armed_timers
+    }
+
+    /// Live `Timer` entries actually resident in the scheduler — the
+    /// leak probe behind the timer-accounting assertion. Walks every
+    /// scheduler bucket: for tests and audits, not the hot path.
+    #[doc(hidden)]
+    pub fn debug_live_timer_entries(&self) -> usize {
+        self.sched
+            .count_live_where(|e| matches!(e, Event::Timer { .. }))
     }
 
     /// Snapshot of a link's counters.
@@ -343,9 +397,11 @@ impl Simulator {
 
     fn schedule(&mut self, at: Time, event: Event) {
         debug_assert!(at >= self.now);
-        let seq = self.seq;
-        self.seq += 1;
-        self.heap.push(Reverse(HeapEntry { at, seq, event }));
+        let class = match event {
+            Event::TxDone(_) | Event::Arrive(..) => Class::Link,
+            Event::Timer { .. } | Event::Fault(_) => Class::Timer,
+        };
+        self.sched.insert(at, class, event);
     }
 
     /// Advance the simulation to the next externally visible event and
@@ -354,76 +410,83 @@ impl Simulator {
     /// iterator borrow would forbid.
     #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Option<Output> {
-        while let Some(Reverse(entry)) = self.heap.pop() {
+        while let Some((at, event)) = self.sched.pop() {
             #[cfg(feature = "invariants")]
             crate::invariant!(
-                entry.at >= self.now,
+                at >= self.now,
                 self.now,
                 "netsim::sim",
                 "event-time-monotonic",
                 "popped event at {:?} behind current time {:?}",
-                entry.at,
+                at,
                 self.now
             );
-            debug_assert!(entry.at >= self.now, "event queue went backwards");
-            self.now = entry.at;
-            match entry.event {
+            debug_assert!(
+                at >= self.now,
+                "event queue went backwards: popped {at:?} with now {:?}",
+                self.now
+            );
+            self.now = at;
+            #[cfg(feature = "invariants")]
+            self.audit_timer_accounting();
+            match event {
                 Event::TxDone(link_id) => {
-                    let idx = link_id.0 as usize;
-                    let (packet, next_tx) = self.links[idx].tx_done();
-                    if let Some(d) = next_tx {
-                        self.schedule(self.now + d, Event::TxDone(link_id));
-                    }
+                    // One link resolution covers the whole completion:
+                    // drain, fault check, loss draw, and ledger updates
+                    // all go through the same borrow.
+                    let link = &mut self.links[link_id.0 as usize];
+                    let (packet, next_tx) = link.tx_done();
                     // A fault between tx start and tx end kills the frame:
                     // the transmitter is gone (node crash) or the medium is
                     // (link down).
-                    let faulted = {
-                        let link = &mut self.links[idx];
-                        let faulted = !link.is_up() || !self.node_up[link.from.0 as usize];
-                        if faulted {
-                            link.stats.on_drop_fault();
-                            #[cfg(feature = "invariants")]
-                            {
-                                link.lost_bytes += packet.wire_len() as u64;
-                                link.check_conservation(self.now);
-                            }
-                        }
-                        faulted
-                    };
+                    let faulted = !link.is_up() || !self.node_up[link.from.0 as usize];
+                    let mut arrive_after = None;
                     if faulted {
-                        continue;
-                    }
-                    // Loss is drawn when the packet leaves the transmitter:
-                    // it occupied serialization time either way.
-                    let lost = {
-                        let link = &mut self.links[idx];
+                        link.stats.on_drop_fault();
+                        #[cfg(feature = "invariants")]
+                        {
+                            link.lost_bytes += packet.wire_len() as u64;
+                            link.check_conservation(self.now);
+                        }
+                    } else {
+                        // Loss is drawn when the packet leaves the
+                        // transmitter: it occupied serialization time
+                        // either way.
                         let lost = link.spec.loss.sample(&mut self.rng);
                         if lost {
                             link.stats.on_drop_loss();
                         }
-                        lost
-                    };
-                    #[cfg(feature = "invariants")]
-                    {
-                        let wire = packet.wire_len() as u64;
-                        let link = &mut self.links[idx];
-                        if lost {
-                            link.lost_bytes += wire;
-                        } else {
-                            link.inflight_bytes += wire;
+                        #[cfg(feature = "invariants")]
+                        {
+                            let wire = packet.wire_len() as u64;
+                            if lost {
+                                link.lost_bytes += wire;
+                            } else {
+                                link.inflight_bytes += wire;
+                            }
+                            link.check_conservation(self.now);
                         }
-                        link.check_conservation(self.now);
+                        if !lost {
+                            arrive_after = Some(link.spec.prop_delay);
+                        }
                     }
-                    if !lost {
-                        let prop = self.links[idx].spec.prop_delay;
-                        self.schedule(self.now + prop, Event::Arrive(link_id, packet));
+                    // Scheduling order (next TxDone before Arrive) is a
+                    // determinism contract: it fixes the seq numbers.
+                    if let Some(d) = next_tx {
+                        self.schedule(self.now + d, Event::TxDone(link_id));
+                    }
+                    if let Some(prop) = arrive_after {
+                        let pslot = self.packets.put(packet);
+                        self.schedule(self.now + prop, Event::Arrive(link_id, pslot));
                     }
                 }
-                Event::Arrive(link_id, packet) => {
+                Event::Arrive(link_id, pslot) => {
+                    let packet = self.packets.take(pslot);
+                    let link = &mut self.links[link_id.0 as usize];
+                    let to = link.to;
                     // Arrival at a crashed node (destination or forwarder):
                     // the bits reached a dead host and vanish.
-                    if !self.node_up[self.links[link_id.0 as usize].to.0 as usize] {
-                        let link = &mut self.links[link_id.0 as usize];
+                    if !self.node_up[to.0 as usize] {
                         link.stats.on_drop_fault();
                         #[cfg(feature = "invariants")]
                         {
@@ -437,12 +500,10 @@ impl Simulator {
                     #[cfg(feature = "invariants")]
                     {
                         let wire = packet.wire_len() as u64;
-                        let link = &mut self.links[link_id.0 as usize];
                         link.inflight_bytes -= wire;
                         link.delivered_bytes += wire;
                         link.check_conservation(self.now);
                     }
-                    let to = self.links[link_id.0 as usize].to;
                     if to == packet.dst {
                         return Some(Output::Deliver { node: to, packet });
                     }
@@ -459,20 +520,16 @@ impl Simulator {
                     slot,
                     gen,
                 } => {
-                    // Each scheduled timer event owns its slot for one
-                    // generation; retire the slot either way, and fire
-                    // only if no cancel intervened.
+                    // Cancelled timers are purged at cancel time, so a
+                    // popped timer always fires. Retire the slot.
                     let s = &mut self.timer_slots[slot as usize];
-                    debug_assert_eq!(s.gen, gen, "timer slot reused before its event popped");
-                    let fire = s.armed;
+                    debug_assert_eq!(s.gen, gen, "timer slot retired before its event popped");
+                    debug_assert!(s.armed, "popped timer was not armed");
                     s.armed = false;
                     s.gen = s.gen.wrapping_add(1);
                     self.free_slots.push(slot);
-                    if fire {
-                        self.armed_timers -= 1;
-                        return Some(Output::Timer { node, token });
-                    }
-                    // Cancelled: skip silently.
+                    self.armed_timers -= 1;
+                    return Some(Output::Timer { node, token });
                 }
                 Event::Fault(idx) => {
                     let ev = self.faults[idx as usize];
@@ -493,33 +550,49 @@ impl Simulator {
         None
     }
 
+    /// Amortized audit (feature `invariants`): the armed-timer counter
+    /// must equal the live `Timer` entries resident in the scheduler.
+    /// Any drift means a cancel leaked its entry or a purge went to the
+    /// wrong bucket.
+    #[cfg(feature = "invariants")]
+    fn audit_timer_accounting(&mut self) {
+        self.pops_since_audit += 1;
+        if self.pops_since_audit < TIMER_AUDIT_PERIOD {
+            return;
+        }
+        self.pops_since_audit = 0;
+        let live = self.debug_live_timer_entries();
+        crate::invariant!(
+            live == self.armed_timers,
+            self.now,
+            "netsim::sim",
+            "timer-accounting",
+            "{} live timer entries in the scheduler but {} timers armed",
+            live,
+            self.armed_timers
+        );
+    }
+
     /// Export every link's end-of-run counters into the `lsl-obs`
-    /// metrics registry (gauges keyed by raw link id). Called once at
-    /// the end of an instrumented run — keeping this out of the event
-    /// loop keeps telemetry off the per-packet hot path.
+    /// metrics registry (gauges keyed by the link's cached raw id).
+    /// Called once at the end of an instrumented run — keeping this out
+    /// of the event loop keeps telemetry off the per-packet hot path.
     pub fn record_obs_link_metrics(&self) {
         if !lsl_obs::is_enabled() {
             return;
         }
-        for (i, link) in self.links.iter().enumerate() {
-            let i = i as u64;
-            let s = &link.stats;
-            lsl_obs::gauge_set("netsim.link.queue_bytes_hwm", i, s.max_queue_bytes);
-            lsl_obs::gauge_set("netsim.link.queue_pkts_hwm", i, s.max_queue_pkts);
-            lsl_obs::gauge_set("netsim.link.tx_packets", i, s.tx_packets);
-            lsl_obs::gauge_set("netsim.link.drops_queue", i, s.drops_queue);
-            lsl_obs::gauge_set("netsim.link.drops_loss", i, s.drops_loss);
-            lsl_obs::gauge_set("netsim.link.drops_fault", i, s.drops_fault);
+        for link in &self.links {
+            link.stats.export_obs(u64::from(link.id.0));
         }
     }
 
-    /// Drain events until the queue is empty or `deadline` is passed.
-    /// Returns outputs that occurred (used by tests; real protocol loops
-    /// call [`Simulator::next`] directly).
+    /// Drain events until the queue is empty or the next event lies
+    /// past `deadline`. Returns outputs that occurred (used by tests;
+    /// real protocol loops call [`Simulator::next`] directly).
     pub fn run_collect(&mut self, deadline: Time) -> Vec<Output> {
         let mut out = Vec::new();
-        while let Some(Reverse(head)) = self.heap.peek() {
-            if head.at > deadline {
+        while let Some(at) = self.sched.peek_time() {
+            if at > deadline {
                 break;
             }
             if let Some(o) = self.next() {
@@ -554,6 +627,17 @@ mod tests {
 
     fn pkt(src: NodeId, dst: NodeId, n: usize) -> Packet {
         Packet::tcp(src, dst, Bytes::new(), Bytes::from(vec![0u8; n]))
+    }
+
+    #[test]
+    fn event_fits_hot_size_budget() {
+        // Scheduler entries carry `Event` through the arena; payloads
+        // (packets) must stay out-of-line for the wheels to be cheap.
+        assert!(
+            std::mem::size_of::<Event>() <= 32,
+            "Event grew past 32 bytes: {}",
+            std::mem::size_of::<Event>()
+        );
     }
 
     #[test]
@@ -604,6 +688,33 @@ mod tests {
         let h = sim.set_timer(a, Time::ZERO + Dur::from_millis(1), 9);
         assert!(sim.next().is_some());
         sim.cancel_timer(h); // already fired: no panic
+    }
+
+    #[test]
+    fn cancel_purges_scheduler_entry_immediately() {
+        let (mut sim, a, _c) = two_node_sim(LossModel::None);
+        let mut handles = Vec::new();
+        for i in 0..100 {
+            handles.push(sim.set_timer(a, Time::ZERO + Dur::from_millis(1 + i), i));
+        }
+        assert_eq!(sim.debug_live_timer_entries(), 100);
+        for h in handles.iter().step_by(2) {
+            sim.cancel_timer(*h);
+        }
+        // Purge-on-cancel: the entries are gone *now*, not at pop time.
+        assert_eq!(sim.pending_timers(), 50);
+        assert_eq!(sim.debug_live_timer_entries(), 50);
+        let mut fired = 0;
+        while sim.next().is_some() {
+            fired += 1;
+        }
+        assert_eq!(fired, 50);
+        assert_eq!(sim.pending_timers(), 0);
+        assert_eq!(
+            sim.debug_live_timer_entries(),
+            0,
+            "scheduler leaked entries"
+        );
     }
 
     #[test]
@@ -832,6 +943,18 @@ mod tests {
         }
         assert_eq!(delivered, 0);
         assert_eq!(sim.link_stats(LinkId(0)).drops_fault, 1);
+    }
+
+    #[test]
+    fn run_collect_does_not_overshoot_deadline() {
+        let (mut sim, a, _c) = two_node_sim(LossModel::None);
+        for i in 0..10 {
+            sim.set_timer(a, Time::ZERO + Dur::from_millis(i), i);
+        }
+        let out = sim.run_collect(Time::ZERO + Dur::from_millis(4));
+        assert_eq!(out.len(), 5, "timers at 0..=4 ms only");
+        assert!(sim.now() <= Time::ZERO + Dur::from_millis(4));
+        assert_eq!(sim.pending_timers(), 5);
     }
 
     #[test]

@@ -69,6 +69,22 @@ impl LinkStats {
             self.drops_loss as f64 / self.tx_packets as f64
         }
     }
+
+    /// Export the counters as end-of-run `lsl-obs` gauges keyed by the
+    /// link's raw id. Lives next to the counters it publishes so the
+    /// metric set and the struct stay in lockstep.
+    pub fn export_obs(&self, link_key: u64) {
+        lsl_obs::gauge_set(
+            "netsim.link.queue_bytes_hwm",
+            link_key,
+            self.max_queue_bytes,
+        );
+        lsl_obs::gauge_set("netsim.link.queue_pkts_hwm", link_key, self.max_queue_pkts);
+        lsl_obs::gauge_set("netsim.link.tx_packets", link_key, self.tx_packets);
+        lsl_obs::gauge_set("netsim.link.drops_queue", link_key, self.drops_queue);
+        lsl_obs::gauge_set("netsim.link.drops_loss", link_key, self.drops_loss);
+        lsl_obs::gauge_set("netsim.link.drops_fault", link_key, self.drops_fault);
+    }
 }
 
 #[cfg(test)]

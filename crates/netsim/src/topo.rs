@@ -153,7 +153,8 @@ impl Topology {
         let links = self
             .links
             .iter()
-            .map(|(from, to, spec)| Link::new(*from, *to, spec.clone()))
+            .enumerate()
+            .map(|(i, (from, to, spec))| Link::new(LinkId(i as u32), *from, *to, spec.clone()))
             .collect();
         Simulator::new(self.num_nodes(), links, seed)
     }

@@ -84,7 +84,8 @@ echo "==> bench smoke (BENCH_netsim.json shape)"
 # Absolute: cargo runs the bench with CWD = crates/bench.
 smoke_json="$PWD/target/BENCH_netsim.smoke.json"
 BENCH_SMOKE=1 BENCH_OUT="$smoke_json" cargo bench -q -p lsl-bench --bench micro
-for key in netsim_events_per_sec run_wall_s_1mb_direct run_wall_s_1mb_depot \
+for key in netsim_events_per_sec netsim_timer_events_per_sec \
+           run_wall_s_1mb_direct run_wall_s_1mb_depot \
            campaign_jobs campaign_wall_s_jobs1 campaign_wall_s_jobsN baseline; do
   grep -q "\"$key\"" "$smoke_json" \
     || { echo "$smoke_json missing key: $key"; exit 1; }
@@ -93,5 +94,44 @@ if command -v python3 >/dev/null 2>&1; then
   python3 -c "import json, sys; json.load(open(sys.argv[1]))" "$smoke_json" \
     || { echo "$smoke_json is not valid JSON"; exit 1; }
 fi
+
+echo "==> bench regression gate (smoke rate vs committed BENCH_netsim.json)"
+# The smoke run uses a tiny event budget, so its rates sit well below a
+# full measurement (observed ~75-100% of committed on a quiet machine).
+# The gate is deliberately generous — smoke must reach 50% of the
+# committed figure — so it only trips on structural regressions (an
+# accidental O(n) scan, a lost fast path), never on machine noise.
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$smoke_json" BENCH_netsim.json <<'PY'
+import json, sys
+smoke, committed = (json.load(open(p)) for p in sys.argv[1:3])
+ok = True
+for key in ("netsim_events_per_sec", "netsim_timer_events_per_sec"):
+    got, want = smoke[key], committed[key]
+    if got < 0.5 * want:
+        print(f"regression: smoke {key} = {got:.0f} < 50% of committed {want:.0f}")
+        ok = False
+    else:
+        print(f"  {key}: smoke {got:.0f} vs committed {want:.0f} (ok)")
+sys.exit(0 if ok else 1)
+PY
+fi
+
+echo "==> scale bench smoke (BENCH_scale.json shape)"
+# Same pattern as the micro smoke: a budget-limited run into target/,
+# shape-checked against the keys the committed curve carries. The
+# committed BENCH_scale.json is validated too, so a hand-edit that
+# breaks its shape fails CI even without re-running the full bench.
+scale_smoke_json="$PWD/target/BENCH_scale.smoke.json"
+BENCH_SMOKE=1 BENCH_SCALE_OUT="$scale_smoke_json" cargo bench -q -p lsl-bench --bench scale
+for f in "$scale_smoke_json" BENCH_scale.json; do
+  for key in timer_curve session_curve baseline armed sessions events_per_sec; do
+    grep -q "\"$key\"" "$f" || { echo "$f missing key: $key"; exit 1; }
+  done
+  if command -v python3 >/dev/null 2>&1; then
+    python3 -c "import json, sys; json.load(open(sys.argv[1]))" "$f" \
+      || { echo "$f is not valid JSON"; exit 1; }
+  fi
+done
 
 echo "CI: all gates passed"
