@@ -144,7 +144,7 @@ fn bench_codecs(b: &Bench) {
         route: vec![Hop::new(NodeId(1), 7001), Hop::new(NodeId(2), 5001)],
     };
     b.run("lsl_header_encode_decode", None, || {
-        let e = header.encode();
+        let e = header.encode().expect("encodable");
         LslHeader::decode(&e).expect("valid").expect("complete")
     });
 }

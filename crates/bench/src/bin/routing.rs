@@ -1,0 +1,163 @@
+//! Forecast-vs-static routing campaign: every seed's storm runs twice —
+//! once with PR-5's blind next-in-list recovery, once with the closed
+//! NWS loop (probe → forecast → fixed-point score → proactive re-route)
+//! — and the aggregate must show the forecast loop earning its keep.
+//!
+//! ```text
+//! cargo run -p lsl-bench --release --bin routing                # 64 seeds
+//! cargo run -p lsl-bench --release --bin routing -- --smoke     # CI gate: 8 seeds
+//! cargo run -p lsl-bench --release --bin routing -- --seeds 128 --jobs 8
+//! ```
+//!
+//! Checks, in order:
+//!
+//! 1. **Contract** — both modes of every seed satisfy the chaos-soak
+//!    contract (terminate, verified delivery or typed error, no verified
+//!    block re-sent, invariants clean).
+//! 2. **Determinism** — the first seeds re-run at `--jobs 1` fingerprint
+//!    byte-identically to the campaign's parallel run.
+//! 3. **Forecast ≥ static** — the forecast arm completes at least as
+//!    many transfers, and its mean completed duration is no worse than
+//!    static's (5% tolerance: calm seeds run identically, stormy seeds
+//!    are where the forecast wins).
+//!
+//! Exports `results/routing_outcomes.dat`: per-seed durations for both
+//! modes plus the forecast arm's proactive re-route count.
+
+use lsl_trace::export::write_dat;
+use lsl_workloads::{default_jobs, run_routing_campaign, RoutingConfig, RoutingPair};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let mut seeds: usize = if smoke { 8 } else { 64 };
+    let mut jobs = default_jobs();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let parse = |v: Option<&String>, what: &str| {
+            v.and_then(|v| v.parse::<usize>().ok())
+                .filter(|&n| n >= 1)
+                .unwrap_or_else(|| {
+                    eprintln!("{what} requires a positive integer");
+                    std::process::exit(2);
+                })
+        };
+        if a == "--seeds" {
+            seeds = parse(it.next(), "--seeds");
+        } else if a == "--jobs" {
+            jobs = parse(it.next(), "--jobs");
+        }
+    }
+
+    let cfg = RoutingConfig::default();
+    let pairs = run_routing_campaign(&cfg, seeds, jobs);
+
+    println!(
+        "{:>5} {:>5}  {:<22} {:>9}  {:<22} {:>9} {:>8} {:>7}",
+        "seed", "atoms", "static", "dur_s", "forecast", "dur_s", "reroutes", "probes"
+    );
+    for p in &pairs {
+        let s = &p.static_run;
+        let f = &p.forecast_run;
+        println!(
+            "{:>5} {:>5}  {:<22} {:>9.3}  {:<22} {:>9.3} {:>8} {:>7}",
+            s.seed,
+            s.storm.atoms.len(),
+            format!("{:?}", s.state),
+            s.duration_s,
+            format!("{:?}", f.state),
+            f.duration_s,
+            f.reroutes(),
+            f.probes,
+        );
+    }
+
+    // --- 1. Contract on every run of every seed -----------------------
+    let failing: Vec<&RoutingPair> = pairs.iter().filter(|p| !p.ok()).collect();
+    for p in &failing {
+        for r in [&p.static_run, &p.forecast_run] {
+            if !r.ok() {
+                eprintln!("FAIL seed {} mode {:?}: {:?}", r.seed, r.mode, r.violations);
+            }
+        }
+    }
+    if !failing.is_empty() {
+        eprintln!(
+            "routing: {} of {seeds} seed(s) violated the contract",
+            failing.len()
+        );
+        std::process::exit(1);
+    }
+
+    // --- 2. Fingerprint determinism across job counts ------------------
+    // Re-run the head of the campaign sequentially; the fingerprints
+    // must be byte-identical to what the parallel fan-out produced.
+    let check = seeds.min(3);
+    let sequential = run_routing_campaign(&cfg, check, 1);
+    for (i, (par, seq)) in pairs.iter().zip(&sequential).enumerate() {
+        if par.fingerprint() != seq.fingerprint() {
+            eprintln!("routing: seed {i} fingerprint differs between --jobs {jobs} and --jobs 1");
+            std::process::exit(1);
+        }
+    }
+
+    // --- 3. Forecast >= static ----------------------------------------
+    let s_done = pairs.iter().filter(|p| p.static_run.completed()).count();
+    let f_done = pairs.iter().filter(|p| p.forecast_run.completed()).count();
+    let both: Vec<&RoutingPair> = pairs
+        .iter()
+        .filter(|p| p.static_run.completed() && p.forecast_run.completed())
+        .collect();
+    let mean = |sel: fn(&RoutingPair) -> f64| -> f64 {
+        both.iter().map(|p| sel(p)).sum::<f64>() / both.len().max(1) as f64
+    };
+    let s_mean = mean(|p| p.static_run.duration_s);
+    let f_mean = mean(|p| p.forecast_run.duration_s);
+    let reroutes: usize = pairs.iter().map(|p| p.forecast_run.reroutes()).sum();
+    println!(
+        "routing: completed static {s_done}/{seeds} forecast {f_done}/{seeds}; \
+         mean duration (both-completed, n={}) static {s_mean:.3}s forecast {f_mean:.3}s; \
+         {reroutes} proactive reroute(s)",
+        both.len()
+    );
+    if f_done < s_done {
+        eprintln!("routing: forecast completed fewer transfers than static ({f_done} < {s_done})");
+        std::process::exit(1);
+    }
+    if !both.is_empty() && f_mean > s_mean * 1.05 {
+        eprintln!(
+            "routing: forecast mean duration {f_mean:.3}s worse than static {s_mean:.3}s + 5%"
+        );
+        std::process::exit(1);
+    }
+
+    // --- Export --------------------------------------------------------
+    let s_dur: Vec<(f64, f64)> = pairs
+        .iter()
+        .map(|p| (p.static_run.seed as f64, p.static_run.duration_s))
+        .collect();
+    let f_dur: Vec<(f64, f64)> = pairs
+        .iter()
+        .map(|p| (p.forecast_run.seed as f64, p.forecast_run.duration_s))
+        .collect();
+    let rr: Vec<(f64, f64)> = pairs
+        .iter()
+        .map(|p| (p.forecast_run.seed as f64, p.forecast_run.reroutes() as f64))
+        .collect();
+    if let Err(e) = write_dat(
+        "results",
+        "routing_outcomes",
+        &[
+            ("static_duration_s", &s_dur),
+            ("forecast_duration_s", &f_dur),
+            ("forecast_reroutes", &rr),
+        ],
+    ) {
+        eprintln!("warning: could not write routing_outcomes.dat: {e}");
+    }
+
+    println!(
+        "routing: {seeds} seed(s) ok{}",
+        if smoke { " (smoke)" } else { "" }
+    );
+}

@@ -8,7 +8,7 @@ use crate::link::{Enqueue, Link};
 use crate::packet::{LinkId, NodeId, Packet};
 use crate::sched::{Class, Scheduler};
 use crate::stats::LinkStats;
-use crate::time::Time;
+use crate::time::{Dur, Time};
 
 /// What the simulator hands back to the protocol layer.
 #[derive(Debug)]
@@ -22,6 +22,23 @@ pub enum Output {
     /// flushes); the protocol layer applies its side (killing sockets,
     /// starting recovery).
     Fault(FaultEvent),
+}
+
+/// What a measurement-plane probe of a forwarding path observes — the
+/// raw material for NWS-style bandwidth/RTT/loss forecasts. Computed
+/// from current simulator state by [`Simulator::probe_path`], so it is
+/// deterministic for a given event history.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PathProbe {
+    /// Narrowest configured link rate on the forward path, bits/s.
+    pub bandwidth_bps: u64,
+    /// Round-trip propagation plus the standing queue wait ahead of
+    /// the probe, both directions.
+    pub rtt: Dur,
+    /// Combined mean stochastic loss across the forward path.
+    pub loss: f64,
+    /// Every node and link on both directions currently up.
+    pub up: bool,
 }
 
 /// Handle for cancelling a pending timer. Generation-stamped: the
@@ -360,6 +377,61 @@ impl Simulator {
     /// Whether a link is currently transmitting.
     pub fn link_busy(&self, link: LinkId) -> bool {
         self.links[link.0 as usize].is_busy()
+    }
+
+    /// The chain of links a packet from `node` to `dst` traverses, by
+    /// walking the static next-hop table. `None` when no route exists.
+    /// Bounded by the link count, so a cyclic routing misconfiguration
+    /// reads as "no path" rather than a hang.
+    pub fn path_links(&self, node: NodeId, dst: NodeId) -> Option<Vec<LinkId>> {
+        let mut at = node;
+        let mut chain = Vec::new();
+        while at != dst {
+            if chain.len() > self.links.len() {
+                return None; // routing loop
+            }
+            let l = self.route(at, dst)?;
+            chain.push(l);
+            at = self.links[l.0 as usize].to;
+        }
+        Some(chain)
+    }
+
+    /// A measurement-plane probe of the forwarding path `src → dst`:
+    /// the observables an NWS-style sensor would extract from a small
+    /// probe exchange, computed from current simulator state (so it
+    /// sees congestion queues and injected faults, deterministically).
+    /// `None` when either direction has no route.
+    pub fn probe_path(&self, src: NodeId, dst: NodeId) -> Option<PathProbe> {
+        let fwd = self.path_links(src, dst)?;
+        let rev = self.path_links(dst, src)?;
+        let mut up = self.node_is_up(src) && self.node_is_up(dst);
+        let mut bandwidth_bps = u64::MAX;
+        let mut rtt_ns = 0u64;
+        let mut pass = 1.0f64;
+        for (dir, links) in [(true, &fwd), (false, &rev)] {
+            for &l in links {
+                let link = &self.links[l.0 as usize];
+                up = up && link.is_up() && self.node_is_up(link.to);
+                rtt_ns = rtt_ns.saturating_add(link.spec.prop_delay.0);
+                // Standing queue ahead of the probe.
+                let rate = link.spec.bandwidth_bps.max(1);
+                let wait = (link.queued_bytes() as u128 * 8 * 1_000_000_000) / rate as u128;
+                rtt_ns = rtt_ns.saturating_add(u64::try_from(wait).unwrap_or(u64::MAX));
+                if dir {
+                    // Data flows forward; bandwidth and loss are
+                    // forward-direction properties.
+                    bandwidth_bps = bandwidth_bps.min(link.spec.bandwidth_bps);
+                    pass *= 1.0 - link.spec.loss.mean_loss();
+                }
+            }
+        }
+        Some(PathProbe {
+            bandwidth_bps,
+            rtt: Dur(rtt_ns),
+            loss: 1.0 - pass,
+            up,
+        })
     }
 
     /// Apply the simulator-side effects of a fault. Upper-layer effects
@@ -973,5 +1045,67 @@ mod tests {
         b.duplex(a, c, LinkSpec::new(8_000_000, Dur::from_millis(1)));
         let mut sim = b.build().into_sim_without_routes(1);
         sim.send(a, pkt(a, c, 10));
+    }
+
+    /// a —10Mbit/5ms— b —2Mbit/20ms— c, with Bernoulli loss on the
+    /// second hop.
+    fn chain_sim() -> (Simulator, NodeId, NodeId, NodeId) {
+        let mut b = TopologyBuilder::new();
+        let a = b.node("a");
+        let m = b.node("b");
+        let c = b.node("c");
+        b.duplex(a, m, LinkSpec::new(10_000_000, Dur::from_millis(5)));
+        b.duplex(
+            m,
+            c,
+            LinkSpec::new(2_000_000, Dur::from_millis(20)).with_loss(LossModel::bernoulli(0.01)),
+        );
+        (b.build().into_sim(1), a, m, c)
+    }
+
+    #[test]
+    fn path_links_walks_next_hop_chain() {
+        let (sim, a, m, c) = chain_sim();
+        let chain = sim.path_links(a, c).unwrap();
+        assert_eq!(chain.len(), 2);
+        assert_eq!(sim.path_links(a, a).unwrap(), vec![]);
+        assert_eq!(sim.path_links(a, m).unwrap().len(), 1);
+
+        // No routing table at all: an honest miss, not a panic.
+        let mut b = TopologyBuilder::new();
+        let x = b.node("x");
+        let y = b.node("y");
+        b.duplex(x, y, LinkSpec::new(8_000_000, Dur::from_millis(1)));
+        let bare = b.build().into_sim_without_routes(1);
+        assert_eq!(bare.path_links(x, y), None);
+    }
+
+    #[test]
+    fn probe_path_reports_static_path_properties() {
+        let (sim, a, _m, c) = chain_sim();
+        let p = sim.probe_path(a, c).unwrap();
+        assert_eq!(p.bandwidth_bps, 2_000_000, "narrowest forward hop");
+        assert_eq!(p.rtt, Dur::from_millis(2 * (5 + 20)), "idle path: 2x prop");
+        assert!((p.loss - 0.01).abs() < 1e-12, "forward mean loss");
+        assert!(p.up);
+    }
+
+    #[test]
+    fn probe_path_sees_queues_and_faults() {
+        let (mut sim, a, _m, c) = chain_sim();
+        // Five queued kB-ish packets behind the probe add queue wait to
+        // the observed RTT.
+        let idle_rtt = sim.probe_path(a, c).unwrap().rtt;
+        for _ in 0..5 {
+            sim.send(a, pkt(a, c, 962 - 38));
+        }
+        let busy = sim.probe_path(a, c).unwrap();
+        assert!(busy.rtt > idle_rtt, "standing queue inflates probe RTT");
+
+        // A down link on the reverse path flips the reachability bit.
+        sim.install_faults(FaultPlan::new().link_down(Time::ZERO, LinkId(1)));
+        while sim.next().is_some() {}
+        let down = sim.probe_path(a, c).unwrap();
+        assert!(!down.up);
     }
 }

@@ -19,5 +19,5 @@ pub mod series;
 pub use forecast::{
     AdaptiveMixture, ExpSmoothing, Forecaster, LastValue, MedianWindow, RunningMean, SlidingMean,
 };
-pub use registry::{LinkMetrics, LinkRegistry};
+pub use registry::{Confidence, LinkForecast, LinkMetrics, LinkRegistry};
 pub use series::TimeSeries;

@@ -105,7 +105,10 @@ fn relay_session(mut up: TcpStream, counters: &DepotCounters) -> std::io::Result
     counters.sessions.fetch_add(1, Ordering::Relaxed);
     let mut down = TcpStream::connect(addr_from_hop(next))?;
     down.set_nodelay(true)?;
-    down.write_all(&fwd.encode())?;
+    let fwd_bytes = fwd
+        .encode()
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    down.write_all(&fwd_bytes)?;
     if !leftover.is_empty() {
         down.write_all(&leftover)?;
         counters

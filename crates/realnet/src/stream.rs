@@ -52,7 +52,10 @@ impl LslStream {
         };
         let mut stream = TcpStream::connect(first)?;
         stream.set_nodelay(true)?;
-        stream.write_all(&header.encode())?;
+        let header_bytes = header
+            .encode()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        stream.write_all(&header_bytes)?;
         if sync {
             let mut confirm = [0u8; 1];
             stream.read_exact(&mut confirm)?;

@@ -81,7 +81,7 @@ mod tests {
             resume: None,
             route: vec![hop_from_addr(SocketAddrV4::new(Ipv4Addr::LOCALHOST, 9))],
         };
-        let mut data = h.encode().to_vec();
+        let mut data = h.encode().unwrap().to_vec();
         data.extend_from_slice(b"payload-bytes");
         let mut cur = std::io::Cursor::new(data);
         let (got, leftover) = read_header(&mut cur).unwrap();
@@ -102,7 +102,7 @@ mod tests {
             resume: None,
             route: vec![],
         };
-        let enc = h.encode();
+        let enc = h.encode().unwrap();
         let mut cur = std::io::Cursor::new(enc[..10].to_vec());
         assert_eq!(
             read_header(&mut cur).unwrap_err().kind(),

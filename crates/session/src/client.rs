@@ -35,12 +35,20 @@ use crate::endpoint::{BulkSender, SendMode, SenderState, TransferOutcome, RESUME
 use crate::error::{Handled, SessionError, SessionEvent};
 use crate::header::{Resume, NO_VERIFIED_BLOCK};
 use crate::id::SessionId;
+use crate::plan::RoutePlan;
 use crate::route::LslPath;
+use crate::score::rank_candidates;
 
 /// App-timer tokens with this bit belong to a [`SessionClient`], not to
 /// a depot that happens to share the node. (Bit 63 is the net-layer
 /// app-timer discriminator; bit 62 is ours.)
 pub const CLIENT_TIMER_TAG: u64 = 1 << 62;
+
+/// Proactive-reroute hysteresis: the live route's forecast score must be
+/// at least this many times worse than the best alternative before the
+/// client abandons a working sublink mid-stream. A reroute costs a fresh
+/// cascade setup, so a marginal forecast edge must not cause flapping.
+const REROUTE_HYSTERESIS: u64 = 2;
 
 /// Recovery policy knobs.
 #[derive(Clone, Debug)]
@@ -182,8 +190,11 @@ pub struct SessionClient {
     mode: SendMode,
     tcp: lsl_tcp::TcpConfig,
     trace_label: Option<String>,
-    routes: Vec<LslPath>,
+    plan: RoutePlan,
     route_idx: usize,
+    /// Candidates spent by the recovery ladder (reconnect budget
+    /// exhausted); never offered again.
+    dead: Vec<bool>,
     cfg: RecoveryConfig,
     sender: Option<BulkSender>,
     state: ClientState,
@@ -219,15 +230,16 @@ pub struct SessionClient {
 impl SessionClient {
     /// Begin the session: connect the first attempt over the best route.
     ///
-    /// `routes` is the ranked candidate list (best first); every path
-    /// must target the same destination. With
+    /// `plan` is the validated candidate set (see [`RoutePlan`]); the
+    /// client starts on the best-ranked candidate — forecast score
+    /// ascending when scores are present, plan order otherwise. With
     /// [`RecoveryConfig::direct_fallback`] set and no depot-free
     /// candidate present, a direct path is appended as the last resort.
     #[allow(clippy::too_many_arguments)] // one-shot constructor mirroring BulkSender::start
     pub fn start(
         net: &mut Net,
         node: NodeId,
-        routes: Vec<LslPath>,
+        plan: RoutePlan,
         session: SessionId,
         total: u64,
         mode: SendMode,
@@ -235,16 +247,13 @@ impl SessionClient {
         recovery: RecoveryConfig,
         trace_label: Option<&str>,
     ) -> SessionClient {
-        assert!(!routes.is_empty(), "need at least one candidate route");
-        let dst = routes[0].dst;
-        assert!(
-            routes.iter().all(|r| r.dst == dst),
-            "candidate routes must share a destination"
-        );
-        let mut routes = routes;
-        if recovery.direct_fallback && !routes.iter().any(|r| r.depots.is_empty()) {
-            routes.push(LslPath::direct(dst));
+        let mut plan = plan;
+        if recovery.direct_fallback && !plan.has_depot_free() {
+            // A direct path to the plan's own destination always
+            // validates, so the Result carries no information here.
+            let _ = plan.push_failover(LslPath::direct(plan.dst()));
         }
+        let dead = vec![false; plan.len()];
         let mut client = SessionClient {
             node,
             session,
@@ -252,8 +261,9 @@ impl SessionClient {
             mode,
             tcp,
             trace_label: trace_label.map(str::to_owned),
-            routes,
+            plan,
             route_idx: 0,
+            dead,
             cfg: recovery,
             sender: None,
             state: ClientState::Running,
@@ -270,6 +280,10 @@ impl SessionClient {
             started_at: net.now(),
             finished_at: None,
         };
+        // Forecast-best start: with scored candidates the ranking picks
+        // the lowest predicted transfer time; unscored (static) plans
+        // keep plan order, so pre-forecast behavior is unchanged.
+        client.route_idx = client.next_route().unwrap_or(0);
         lsl_obs::span_begin(net.now().0, "session.client", session.0 as u64);
         client.start_attempt(net);
         client
@@ -291,6 +305,30 @@ impl SessionClient {
     /// candidate list passed to [`SessionClient::start`].
     pub fn route_index(&self) -> usize {
         self.route_idx
+    }
+
+    /// The validated candidate set, including any appended direct
+    /// fallback and the latest forecast scores.
+    pub fn plan(&self) -> &RoutePlan {
+        &self.plan
+    }
+
+    /// The path currently (or last) in use.
+    pub fn current_path(&self) -> &LslPath {
+        &self.plan.candidates()[self.route_idx].path
+    }
+
+    /// The active sublink socket, if an attempt is in flight — lets a
+    /// measurement plane piggyback passive RTT observations off live
+    /// session traffic.
+    pub fn sock(&self) -> Option<lsl_tcp::SockId> {
+        self.sender.as_ref().map(BulkSender::sock)
+    }
+
+    /// Bytes the active attempt has pushed into its socket so far (for
+    /// passive goodput estimation); `None` between attempts.
+    pub fn attempt_progress(&self) -> Option<u64> {
+        self.sender.as_ref().map(BulkSender::progress)
     }
 
     /// The timestamped lifecycle so far.
@@ -332,6 +370,9 @@ impl SessionClient {
             }
             SessionEvent::FailedOver { route } => {
                 lsl_obs::instant(t.0, "session.failover", *route as u64);
+            }
+            SessionEvent::Rerouted { to, .. } => {
+                lsl_obs::instant(t.0, "session.reroute", *to as u64);
             }
             SessionEvent::Degraded => {
                 lsl_obs::instant(t.0, "session.degrade", self.route_idx as u64);
@@ -408,7 +449,7 @@ impl SessionClient {
         self.attempt_established = false;
         lsl_obs::span_begin(net.now().0, "session.attempt", self.attempt_seq);
         lsl_obs::span_begin(net.now().0, "session.sublink.establish", self.attempt_seq);
-        let path = self.routes[self.route_idx].clone();
+        let path = self.current_path().clone();
         let sender = BulkSender::start(
             net,
             self.node,
@@ -468,11 +509,15 @@ impl SessionClient {
             self.arm_timer(net, delay);
             return;
         }
-        // This route is spent: fail over to the next candidate.
-        if self.route_idx + 1 < self.routes.len() {
-            self.route_idx += 1;
+        // This route is spent: fail over to the best surviving
+        // candidate — forecast score ascending when scores are present,
+        // plan order otherwise (which is exactly the old next-in-list
+        // ladder for static plans).
+        self.dead[self.route_idx] = true;
+        if let Some(next) = self.next_route() {
+            self.route_idx = next;
             self.reconnects = 0;
-            if self.routes[self.route_idx].depots.is_empty() {
+            if self.current_path().depots.is_empty() {
                 self.push_event(net, SessionEvent::Degraded);
             } else {
                 self.push_event(
@@ -486,6 +531,76 @@ impl SessionClient {
             return;
         }
         self.fail(net, SessionError::RoutesExhausted);
+    }
+
+    /// The best candidate the ladder may use next: lowest forecast
+    /// score first (ties and unscored candidates by plan order),
+    /// skipping spent routes. `None` when every candidate is spent.
+    fn next_route(&self) -> Option<usize> {
+        let scores: Vec<Option<u64>> = self.plan.candidates().iter().map(|c| c.score).collect();
+        rank_candidates(&scores)
+            .into_iter()
+            .find(|&i| !self.dead[i])
+    }
+
+    /// The best *scored*, non-spent alternative to the current route.
+    fn best_alternative(&self) -> Option<(usize, u64)> {
+        let scores: Vec<Option<u64>> = self.plan.candidates().iter().map(|c| c.score).collect();
+        rank_candidates(&scores)
+            .into_iter()
+            .filter(|&i| i != self.route_idx && !self.dead[i])
+            .find_map(|i| scores[i].map(|s| (i, s)))
+    }
+
+    /// Feed fresh forecast scores (index-aligned with
+    /// [`SessionClient::plan`]; `None` = the forecaster has no usable
+    /// prediction for that candidate), then consider a proactive
+    /// re-route: when the live route's forecast has degraded to at
+    /// least [`REROUTE_HYSTERESIS`]× the best alternative's predicted
+    /// time — or vanished entirely — the client abandons the working
+    /// sublink *before* it fails, resuming on the new route via the
+    /// sink's block grant. Static sessions never call this, so their
+    /// timelines are untouched.
+    ///
+    /// A `Some` score also *revives* a candidate the ladder had written
+    /// off: a spent route the sensors now see healthy (its outage
+    /// repaired) goes back into the failover rotation, where a blind
+    /// ladder would have exhausted its list.
+    pub fn update_scores(&mut self, net: &mut Net, scores: &[Option<u64>]) {
+        for (i, s) in scores.iter().enumerate() {
+            self.plan.set_score(i, *s);
+            if s.is_some() {
+                self.dead[i] = false;
+            }
+        }
+        if self.state != ClientState::Running {
+            return;
+        }
+        let Some(sender) = self.sender.as_ref() else {
+            return;
+        };
+        if sender.is_done() {
+            return; // outcome pending at the sink; too late to reroute
+        }
+        let Some((to, alt_score)) = self.best_alternative() else {
+            return;
+        };
+        let cur = self.plan.candidates()[self.route_idx].score;
+        let degraded = match cur {
+            // The forecaster dropped the live route entirely (e.g. the
+            // probe plane sees its sublink down).
+            None => true,
+            Some(c) => c >= alt_score.saturating_mul(REROUTE_HYSTERESIS),
+        };
+        if !degraded {
+            return;
+        }
+        let from = self.route_idx;
+        self.push_event(net, SessionEvent::Rerouted { from, to });
+        self.discard_sender(net);
+        self.route_idx = to;
+        self.reconnects = 0;
+        self.start_attempt(net);
     }
 
     fn fail(&mut self, net: &mut Net, err: SessionError) {
@@ -562,7 +677,21 @@ impl SessionClient {
         }
         match self.state {
             ClientState::Backoff => {
-                // Backoff elapsed: reconnect over the current route.
+                // Backoff elapsed. Before reconnecting over the same
+                // route, re-score the survivors: if the forecast now
+                // ranks another candidate strictly better than the one
+                // that just dropped us, reconnect *there* instead.
+                // Unscored (static) plans have no scored alternative,
+                // so they always stay put.
+                if let Some((to, alt_score)) = self.best_alternative() {
+                    let cur = self.plan.candidates()[self.route_idx].score;
+                    if cur.is_none_or(|c| c > alt_score) {
+                        let from = self.route_idx;
+                        self.push_event(net, SessionEvent::Rerouted { from, to });
+                        self.route_idx = to;
+                        self.reconnects = 0;
+                    }
+                }
                 self.start_attempt(net);
             }
             ClientState::Running => {

@@ -483,6 +483,14 @@ impl Depot {
                         self.teardown(net, idx);
                         return;
                     };
+                    // Popping a hop only shortens a route the decoder
+                    // already bounded, so re-encoding cannot fail; the
+                    // guard keeps the relay total anyway.
+                    let Ok(fwd_header) = fwd.encode() else {
+                        self.stats.header_errors += 1;
+                        self.teardown(net, idx);
+                        return;
+                    };
                     let staged_bytes = leftover.len();
                     let staged = if leftover.is_empty() {
                         Vec::new()
@@ -498,12 +506,12 @@ impl Depot {
                         net.set_app_timer(self.node, at, token);
                         self.relay_mut(idx).state = RelayState::SettingUp {
                             next,
-                            fwd_header: fwd.encode(),
+                            fwd_header,
                             staged,
                             staged_bytes,
                         };
                     } else {
-                        self.open_downstream(net, idx, next, fwd.encode(), staged, staged_bytes);
+                        self.open_downstream(net, idx, next, fwd_header, staged, staged_bytes);
                     }
                     return;
                 }

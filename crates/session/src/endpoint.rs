@@ -142,6 +142,10 @@ impl BulkSender {
         resume: Option<Resume>,
     ) -> BulkSender {
         path.validate().expect("invalid LSL path");
+        assert!(
+            path.remaining_route().len() <= crate::header::MAX_HOPS,
+            "route exceeds MAX_HOPS; build candidate sets through RoutePlan"
+        );
         if resume.is_some() {
             assert!(
                 matches!(
@@ -172,7 +176,8 @@ impl BulkSender {
                     resume,
                     route: path.remaining_route(),
                 }
-                .encode(),
+                .encode()
+                .expect("route length asserted against MAX_HOPS above"),
             ),
         };
         let md5 = match mode {

@@ -61,6 +61,51 @@ impl fmt::Display for RouteError {
 
 impl std::error::Error for RouteError {}
 
+/// Why a [`crate::plan::RoutePlan`] failed builder validation. Every
+/// malformed candidate set is rejected here, at construction time —
+/// which is what makes [`WireError::RouteTooLong`] unreachable from the
+/// in-repo encode path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlanError {
+    /// The plan has no candidates at all.
+    Empty,
+    /// Candidates do not share a destination hop.
+    MixedDestination { expected: NodeId, got: NodeId },
+    /// A candidate's loose source route is invalid.
+    Route(RouteError),
+    /// A candidate's route would not fit the wire header
+    /// ([`WireError::RouteTooLong`]).
+    Wire(WireError),
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::Empty => write!(f, "route plan has no candidates"),
+            PlanError::MixedDestination { expected, got } => write!(
+                f,
+                "route plan mixes destinations: expected {expected:?}, got {got:?}"
+            ),
+            PlanError::Route(e) => write!(f, "invalid candidate route: {e}"),
+            PlanError::Wire(e) => write!(f, "candidate route rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+impl From<RouteError> for PlanError {
+    fn from(e: RouteError) -> PlanError {
+        PlanError::Route(e)
+    }
+}
+
+impl From<WireError> for PlanError {
+    fn from(e: WireError) -> PlanError {
+        PlanError::Wire(e)
+    }
+}
+
 /// Why a session (or one attempt of it) failed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SessionError {
@@ -149,6 +194,11 @@ pub enum SessionEvent {
     Reconnecting { attempt: u32, delay: Dur },
     /// Switched to the candidate route at `route` (0-based rank).
     FailedOver { route: usize },
+    /// Proactive re-route: the live route's forecast degraded below the
+    /// best alternative, so the session moved from candidate `from` to
+    /// candidate `to` *before* the sublink failed, resuming via the
+    /// sink's block grant.
+    Rerouted { from: usize, to: usize },
     /// All depot routes exhausted: degraded to direct TCP.
     Degraded,
     /// Verified delivery failed; resending from the last verified block
@@ -214,6 +264,18 @@ mod tests {
         assert_eq!(
             SessionError::from(RouteError::DuplicateNode(NodeId(1))),
             SessionError::Route(RouteError::DuplicateNode(NodeId(1)))
+        );
+    }
+
+    #[test]
+    fn plan_error_displays_and_converts() {
+        assert!(PlanError::Empty.to_string().contains("no candidates"));
+        assert!(PlanError::from(WireError::RouteTooLong(17))
+            .to_string()
+            .contains("17"));
+        assert_eq!(
+            PlanError::from(RouteError::DuplicateNode(NodeId(2))),
+            PlanError::Route(RouteError::DuplicateNode(NodeId(2)))
         );
     }
 

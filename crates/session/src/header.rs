@@ -115,8 +115,18 @@ impl LslHeader {
         self.fixed_len() + 6 * self.route.len()
     }
 
-    pub fn encode(&self) -> Bytes {
-        assert!(self.route.len() <= MAX_HOPS, "route too long");
+    /// Encode the header for the wire.
+    ///
+    /// Fails with [`WireError::RouteTooLong`] when the route exceeds
+    /// [`MAX_HOPS`] — route validation happens at `RoutePlan`
+    /// construction time, so in-repo senders never reach this arm; it
+    /// exists so the encode path is total rather than panicking.
+    pub fn encode(&self) -> Result<Bytes, WireError> {
+        if self.route.len() > MAX_HOPS {
+            return Err(WireError::RouteTooLong(
+                u8::try_from(self.route.len()).unwrap_or(u8::MAX),
+            ));
+        }
         let mut b = BytesMut::with_capacity(self.encoded_len());
         b.put_slice(MAGIC);
         b.put_u8(if self.resume.is_some() {
@@ -136,7 +146,7 @@ impl LslHeader {
             b.put_u32(hop.node.0);
             b.put_u16(hop.port);
         }
-        b.freeze()
+        Ok(b.freeze())
     }
 
     /// Attempt to parse a header from the front of `buf`.
@@ -249,7 +259,7 @@ mod tests {
     fn roundtrip() {
         for n in [0, 1, 2, 5, MAX_HOPS] {
             let h = header(n);
-            let enc = h.encode();
+            let enc = h.encode().unwrap();
             assert_eq!(enc.len(), h.encoded_len());
             let (dec, used) = LslHeader::decode(&enc).unwrap().unwrap();
             assert_eq!(used, enc.len());
@@ -268,7 +278,7 @@ mod tests {
                 },
             ] {
                 let h = header_v2(n, resume);
-                let enc = h.encode();
+                let enc = h.encode().unwrap();
                 assert_eq!(enc.len(), h.encoded_len());
                 assert_eq!(enc[4], VERSION_RESUME);
                 let (dec, used) = LslHeader::decode(&enc).unwrap().unwrap();
@@ -283,7 +293,7 @@ mod tests {
         // Pre-resume flows must stay bit-identical: no-resume headers
         // still encode as 31-byte-fixed version-1 headers.
         let h = header(2);
-        let enc = h.encode();
+        let enc = h.encode().unwrap();
         assert_eq!(enc[4], VERSION);
         assert_eq!(enc.len(), 31 + 6 * 2);
     }
@@ -294,7 +304,7 @@ mod tests {
         // version byte of a v2 header must surface as the typed
         // `UnsupportedVersion(2)` — exactly what the current decoder
         // reports for any version it does not know.
-        let enc = header_v2(1, Resume::fresh()).encode();
+        let enc = header_v2(1, Resume::fresh()).encode().unwrap();
         let mut unknown = enc.to_vec();
         unknown[4] = 3; // a future version neither decoder knows
         assert_eq!(
@@ -305,7 +315,10 @@ mod tests {
 
     #[test]
     fn partial_input_needs_more() {
-        for enc in [header(3).encode(), header_v2(3, Resume::fresh()).encode()] {
+        for enc in [
+            header(3).encode().unwrap(),
+            header_v2(3, Resume::fresh()).encode().unwrap(),
+        ] {
             for cut in 4..enc.len() {
                 assert_eq!(
                     LslHeader::decode(&enc[..cut]).unwrap(),
@@ -337,7 +350,7 @@ mod tests {
                 },
             )
         };
-        let (dec, _) = LslHeader::decode(&h.encode()).unwrap().unwrap();
+        let (dec, _) = LslHeader::decode(&h.encode().unwrap()).unwrap().unwrap();
         assert_eq!(dec.length, u64::MAX);
         assert_eq!(dec.resume.unwrap().offset, 7 << 20);
         assert_eq!(dec.resume.unwrap().verified_block, 6);
@@ -352,7 +365,7 @@ mod tests {
 
     #[test]
     fn bad_version_rejected() {
-        let mut enc = header(0).encode().to_vec();
+        let mut enc = header(0).encode().unwrap().to_vec();
         enc[4] = 9;
         assert_eq!(
             LslHeader::decode(&enc),
@@ -362,10 +375,21 @@ mod tests {
 
     #[test]
     fn oversized_route_rejected() {
-        let mut enc = header(0).encode().to_vec();
+        let mut enc = header(0).encode().unwrap().to_vec();
         enc[30] = (MAX_HOPS + 1) as u8;
         assert_eq!(
             LslHeader::decode(&enc),
+            Err(WireError::RouteTooLong((MAX_HOPS + 1) as u8))
+        );
+    }
+
+    #[test]
+    fn oversized_route_fails_encode_with_typed_error() {
+        // The encode path is total: an over-long route surfaces as the
+        // same typed error the decoder reports, never a panic.
+        let h = header(MAX_HOPS + 1);
+        assert_eq!(
+            h.encode(),
             Err(WireError::RouteTooLong((MAX_HOPS + 1) as u8))
         );
     }
@@ -426,7 +450,7 @@ mod proptests {
                 resume,
                 route: hops.into_iter().map(|(n, p)| Hop::new(NodeId(n), p)).collect(),
             };
-            let enc = h.encode();
+            let enc = h.encode().unwrap();
             let (dec, used) = LslHeader::decode(&enc).unwrap().unwrap();
             prop_assert_eq!(used, enc.len());
             prop_assert_eq!(dec, h);
@@ -453,7 +477,7 @@ mod proptests {
                 resume,
                 route: (0..nhops).map(|i| Hop::new(NodeId(i as u32), 7000)).collect(),
             };
-            let enc = h.encode();
+            let enc = h.encode().unwrap();
             let cut = ((enc.len() as f64) * cut_frac) as usize; // < len
             match LslHeader::decode(&enc[..cut]) {
                 Ok(None) => {}
@@ -478,7 +502,7 @@ mod proptests {
                 resume: None,
                 route: vec![Hop::new(NodeId(7), 7000)],
             };
-            let mut enc = h.encode().to_vec();
+            let mut enc = h.encode().unwrap().to_vec();
             enc[pos] ^= flip;
             match (pos, LslHeader::decode(&enc)) {
                 (0..=3, res) => prop_assert_eq!(res, Err(WireError::BadMagic)),
@@ -526,7 +550,7 @@ mod proptests {
                 resume: Some(Resume { offset: (200u64 << 56) | 4096, verified_block: 3 }),
                 route: vec![Hop::new(NodeId(7), 7000)],
             };
-            let mut enc = h.encode().to_vec();
+            let mut enc = h.encode().unwrap().to_vec();
             enc[pos] ^= flip;
             let res = LslHeader::decode(&enc);
             match pos {

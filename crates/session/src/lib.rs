@@ -25,7 +25,12 @@
 //! * [`model`] — analytic TCP/cascade throughput models (Mathis
 //!   steady-state plus a slow-start transient model) used for path
 //!   selection and calibration,
-//! * [`path`] — NWS-forecast-driven depot/path selection.
+//! * [`path`] — NWS-forecast-driven depot/path selection (float,
+//!   calibration-side),
+//! * [`plan`] — typed, builder-validated route candidate sets
+//!   ([`RoutePlan`]) — the only way to hand the client routes,
+//! * [`score`] — deterministic fixed-point cascade scoring driving
+//!   forecast route selection and proactive re-routing.
 
 pub mod client;
 pub mod depot;
@@ -35,7 +40,9 @@ pub mod header;
 pub mod id;
 pub mod model;
 pub mod path;
+pub mod plan;
 pub mod route;
+pub mod score;
 
 pub use client::{
     ClientState, RecoveryConfig, RecoveryConfigBuilder, SessionClient, CLIENT_TIMER_TAG,
@@ -45,7 +52,9 @@ pub use endpoint::{
     BulkSender, SenderState, SinkServer, TransferOutcome, TransferStatus, RESUME_BLOCK,
     SINK_TIMER_TAG,
 };
-pub use error::{Handled, RouteError, SessionError, SessionEvent, WireError};
+pub use error::{Handled, PlanError, RouteError, SessionError, SessionEvent, WireError};
 pub use header::{LslHeader, Resume, HEADER_FLAG_DIGEST, NO_VERIFIED_BLOCK};
 pub use id::SessionId;
+pub use plan::{RouteCandidate, RoutePlan, RoutePlanBuilder, RouteProvenance};
 pub use route::{Hop, LslPath};
+pub use score::{cascade_score_ns, rank_candidates, SublinkForecast};

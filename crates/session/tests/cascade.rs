@@ -430,7 +430,7 @@ fn until_fin_sentinel_with_resume_verifies_blocks_at_fin() {
     };
     let payload = payload_chunk(0, total as usize);
     let digest = lsl_digest::md5(&payload);
-    let mut stream = Vec::from(&header.encode()[..]);
+    let mut stream = Vec::from(&header.encode().unwrap()[..]);
     stream.extend_from_slice(&payload);
     stream.extend_from_slice(&digest);
     let stream = bytes::Bytes::from(stream);

@@ -239,7 +239,7 @@ fn run_chaos_storm_inner(case: &FailoverCase, cfg: &ChaosConfig, storm: StormPla
     let mut client = SessionClient::start(
         &mut net,
         case.src,
-        case.routes(),
+        case.plan(),
         SessionId(0xc4a0 + run_cfg.seed as u128),
         run_cfg.size,
         SendMode::lsl(),
@@ -306,8 +306,10 @@ fn run_chaos_storm_inner(case: &FailoverCase, cfg: &ChaosConfig, storm: StormPla
 }
 
 /// The machine-checked contract (the caller drains the thread-local
-/// invariant registry and passes the count in).
-fn check_contract(
+/// invariant registry and passes the count in). Shared with the routing
+/// campaign, which runs the same session machinery under forecast-driven
+/// route selection.
+pub(crate) fn check_contract(
     hung: bool,
     events: u64,
     now: Time,

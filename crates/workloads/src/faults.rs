@@ -31,8 +31,8 @@ use lsl_netsim::{
 };
 use lsl_session::endpoint::SendMode;
 use lsl_session::{
-    ClientState, Depot, DepotConfig, Hop, LslPath, RecoveryConfig, SessionClient, SessionEvent,
-    SessionId, SinkServer, TransferOutcome,
+    ClientState, Depot, DepotConfig, Hop, LslPath, RecoveryConfig, RoutePlan, SessionClient,
+    SessionEvent, SessionId, SinkServer, TransferOutcome,
 };
 use lsl_tcp::{Net, TcpConfig};
 
@@ -56,14 +56,28 @@ pub struct FailoverCase {
 }
 
 impl FailoverCase {
-    /// The ranked candidate routes: primary depot, then backup. The
-    /// direct path is *not* listed — [`RecoveryConfig::direct_fallback`]
+    /// The typed candidate plan: primary depot, then backup. The direct
+    /// path is *not* listed — [`RecoveryConfig::direct_fallback`]
     /// appends it as the route of last resort.
-    pub fn routes(&self) -> Vec<LslPath> {
+    pub fn plan(&self) -> RoutePlan {
         let dst = Hop::new(self.dst, SINK_PORT);
+        RoutePlan::builder()
+            .path(LslPath::via(vec![Hop::new(self.depot_a, DEPOT_PORT)], dst))
+            .path(LslPath::via(vec![Hop::new(self.depot_b, DEPOT_PORT)], dst))
+            .build()
+            .expect("two single-depot cascades to one sink are always valid")
+    }
+
+    /// The per-sublink probe pairs the forecast plane measures: every
+    /// distinct (src, dst) directed sublink any candidate (or the direct
+    /// fallback) would ride.
+    pub fn sublinks(&self) -> Vec<(NodeId, NodeId)> {
         vec![
-            LslPath::via(vec![Hop::new(self.depot_a, DEPOT_PORT)], dst),
-            LslPath::via(vec![Hop::new(self.depot_b, DEPOT_PORT)], dst),
+            (self.src, self.depot_a),
+            (self.depot_a, self.dst),
+            (self.src, self.depot_b),
+            (self.depot_b, self.dst),
+            (self.src, self.dst),
         ]
     }
 }
@@ -253,7 +267,7 @@ pub fn run_fault_transfer(case: &FailoverCase, cfg: &FaultRunConfig) -> FaultRun
     let mut client = SessionClient::start(
         &mut net,
         case.src,
-        case.routes(),
+        case.plan(),
         SessionId(0xfa00 + cfg.seed as u128),
         cfg.size,
         SendMode::lsl(),
@@ -384,12 +398,12 @@ mod tests {
     #[test]
     fn candidate_routes_are_ranked_and_share_dst() {
         let c = failover_case();
-        let routes = c.routes();
-        assert_eq!(routes.len(), 2);
-        assert_eq!(routes[0].depots[0].node, c.depot_a);
-        assert_eq!(routes[1].depots[0].node, c.depot_b);
-        assert_eq!(routes[0].dst, routes[1].dst);
-        assert!(routes.iter().all(|r| r.validate().is_ok()));
+        let plan = c.plan();
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan.get(0).unwrap().path.depots[0].node, c.depot_a);
+        assert_eq!(plan.get(1).unwrap().path.depots[0].node, c.depot_b);
+        assert_eq!(plan.dst().node, c.dst);
+        assert!(!plan.has_depot_free(), "direct fallback is appended later");
     }
 
     #[test]

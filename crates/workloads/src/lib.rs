@@ -27,6 +27,7 @@ pub mod chaos;
 pub mod faults;
 pub mod paths;
 pub mod report;
+pub mod routing;
 pub mod runner;
 pub mod sweep;
 
@@ -40,5 +41,9 @@ pub use faults::{
     run_sublink_rst, FailoverCase, FaultRunConfig, FaultRunResult,
 };
 pub use paths::{case1, case2, case3, case4, PathCase};
+pub use routing::{
+    run_routing_campaign, run_routing_seed, run_routing_storm, ForecastPlane, RoutingConfig,
+    RoutingMode, RoutingPair, RoutingRun, FORECAST_TIMER_TAG,
+};
 pub use runner::{run_transfer, Mode, RunConfig, RunResult};
 pub use sweep::{sweep_sizes, sweep_sizes_jobs, SweepPoint};

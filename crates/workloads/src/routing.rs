@@ -1,0 +1,620 @@
+//! Forecast-driven routing campaign: the closed NWS loop under storms.
+//!
+//! This module wires the measurement plane the paper assumes ("network
+//! performance information available from a system such as the Network
+//! Weather Service", §III) into the recovering session:
+//!
+//! ```text
+//!   netsim probes ──► LinkRegistry ──► quantize ──► cascade_score_ns
+//!        ▲  (per-sublink bw/rtt/loss)   (NWS mixture)   (fixed-point)
+//!        │                                                   │
+//!   live sublink srtt (passive piggyback)                    ▼
+//!        └──────────────── SessionClient::update_scores ◄────┘
+//!                         (forecast-best start, re-scored failover,
+//!                          proactive Rerouted before the sublink dies)
+//! ```
+//!
+//! [`ForecastPlane`] owns the sensors: a periodic probe timer (bit-60
+//! token tag, disjoint from the client/sink/net tags) sweeps every
+//! candidate sublink through [`Simulator::probe_path`] — idle links
+//! included, exactly the NWS's low-rate active probes — and each sweep
+//! also piggybacks the live sublink's smoothed RTT off real session
+//! traffic. Observations land in the honest [`LinkRegistry`] API;
+//! scoring quantizes forecasts once ([`SublinkForecast::quantize`]) and
+//! is pure integer arithmetic after that, so a campaign fingerprint is
+//! byte-identical at any `--jobs` count.
+//!
+//! [`run_routing_seed`] runs the *same* storm against the same topology
+//! in both [`RoutingMode::Static`] (PR-5 behavior: plan order, blind
+//! next-in-list failover) and [`RoutingMode::Forecast`] (scored start,
+//! re-scored recovery, proactive re-route), checks the chaos contract
+//! on both, and pairs them for the forecast-vs-static evaluation.
+//!
+//! [`Simulator::probe_path`]: lsl_netsim::Simulator::probe_path
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use lsl_netsim::{Dur, FaultStormGen, NodeId, StormPlan, Time};
+use lsl_nws::{Confidence, LinkRegistry};
+use lsl_session::endpoint::SendMode;
+use lsl_session::{
+    cascade_score_ns, ClientState, Depot, DepotConfig, LslPath, RoutePlan, SessionClient,
+    SessionEvent, SessionId, SinkServer, SublinkForecast, TransferOutcome,
+};
+use lsl_tcp::{AppEvent, Net};
+
+use crate::campaign::run_campaign;
+use crate::chaos::{chaos_spec, check_contract, ChaosViolation};
+use crate::faults::{failover_case, FailoverCase, FaultRunConfig};
+use crate::paths::{DEPOT_PORT, SINK_PORT};
+
+/// Timer-token tag for the forecast plane's probe timer. Bit 63 is the
+/// net layer's, 62 the session client's, 61 the sink's; bit 60 keeps
+/// the measurement plane's ticks out of everyone else's dispatch.
+pub const FORECAST_TIMER_TAG: u64 = 1 << 60;
+
+/// How route selection is driven for a run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RoutingMode {
+    /// PR-5 behavior: plan order, next-in-list failover, no sensors.
+    Static,
+    /// The closed NWS loop: probe, forecast, score, re-route.
+    Forecast,
+}
+
+/// Campaign parameters shared by every seed.
+#[derive(Clone, Debug)]
+pub struct RoutingConfig {
+    /// Transfer size per run, bytes.
+    pub size: u64,
+    /// Sim-time bound: a client still non-terminal past this is a hang.
+    pub time_bound: Dur,
+    /// Event-count livelock backstop.
+    pub max_events: u64,
+    /// Probe-sweep period. The reaction time to a dying route is one
+    /// period plus one score pass, so this bounds how "proactive" the
+    /// proactive re-route can be.
+    pub probe_period: Dur,
+}
+
+impl Default for RoutingConfig {
+    fn default() -> RoutingConfig {
+        RoutingConfig {
+            size: 1 << 20,
+            time_bound: Dur::from_secs(60),
+            max_events: 5_000_000,
+            probe_period: Dur::from_millis(100),
+        }
+    }
+}
+
+/// The in-sim measurement plane: per-sublink probe sensors feeding an
+/// NWS forecaster registry, plus the fixed-point scoring pass that
+/// turns forecasts into candidate scores.
+pub struct ForecastPlane {
+    /// Client host — the timer owner and the source of passive samples.
+    node: NodeId,
+    /// Every directed sublink any candidate (or the direct fallback)
+    /// would ride; probed each sweep whether or not traffic rides it.
+    sublinks: Vec<(NodeId, NodeId)>,
+    registry: LinkRegistry,
+    /// Last-probe reachability per sublink: a down sublink forces
+    /// `None` scores for every route through it, independent of how
+    /// rosy its (stale) forecast still looks.
+    up: BTreeMap<(u32, u32), bool>,
+    period: Dur,
+    /// Accepted probe observations (for campaign telemetry).
+    pub probes: u64,
+    /// Completed sweeps.
+    pub sweeps: u64,
+}
+
+impl ForecastPlane {
+    pub fn new(node: NodeId, sublinks: Vec<(NodeId, NodeId)>, period: Dur) -> ForecastPlane {
+        let up = sublinks.iter().map(|&(s, d)| ((s.0, d.0), true)).collect();
+        ForecastPlane {
+            node,
+            sublinks,
+            registry: LinkRegistry::new(),
+            up,
+            period,
+            probes: 0,
+            sweeps: 0,
+        }
+    }
+
+    /// Arm the next probe tick.
+    pub fn arm(&self, net: &mut Net) {
+        net.set_app_timer(self.node, net.now() + self.period, FORECAST_TIMER_TAG);
+    }
+
+    /// Is this event our probe timer?
+    pub fn is_tick(&self, ev: &AppEvent) -> bool {
+        matches!(ev, AppEvent::Timer { node, token }
+            if *node == self.node && token & FORECAST_TIMER_TAG != 0)
+    }
+
+    /// One probe sweep: measure every candidate sublink from current
+    /// simulator state. Unreachable sublinks contribute no observation
+    /// (a dead probe has no numbers to report) but flip the `up` flag
+    /// that vetoes their routes' scores.
+    pub fn sweep(&mut self, net: &Net) {
+        for (i, &(src, dst)) in self.sublinks.iter().enumerate() {
+            let probe = net.sim().probe_path(src, dst);
+            let up = probe.is_some_and(|p| p.up);
+            self.up.insert((src.0, dst.0), up);
+            if let Some(p) = probe.filter(|p| p.up) {
+                self.registry
+                    .observe_bandwidth(src.0, dst.0, p.bandwidth_bps as f64);
+                self.registry.observe_rtt(src.0, dst.0, p.rtt.as_secs_f64());
+                self.registry.observe_loss(src.0, dst.0, p.loss);
+                self.probes += 1;
+                lsl_obs::counter_add("nws.probe", i as u64, 1);
+            } else {
+                lsl_obs::counter_add("nws.probe_down", i as u64, 1);
+            }
+        }
+        self.sweeps += 1;
+    }
+
+    /// Passive sensor: piggyback the live sublink's smoothed RTT off
+    /// real session traffic — the paper's "TCP extended statistics MIB
+    /// or the like" — instead of spending a probe on it.
+    pub fn observe_live(&mut self, net: &Net, client: &SessionClient) {
+        let Some(sock) = client.sock() else { return };
+        let Some(srtt) = net.srtt(sock) else { return };
+        let path = client.current_path();
+        let first = path.depots.first().unwrap_or(&path.dst).node;
+        if self
+            .registry
+            .observe_rtt(self.node.0, first.0, srtt.as_secs_f64())
+        {
+            lsl_obs::counter_add("nws.passive_rtt", u64::from(first.0), 1);
+        }
+    }
+
+    /// Score every candidate in `plan` for a `size`-byte transfer:
+    /// decompose each route into directed sublinks, quantize each
+    /// sublink's forecast, and run the fixed-point cascade model. A
+    /// route is unscored (`None`) if any of its sublinks was down at
+    /// the last sweep, has no [`Confidence::Seasoned`] forecast yet, or
+    /// has a forecast the quantizer rejects.
+    pub fn scores(&self, plan: &RoutePlan, size: u64) -> Vec<Option<u64>> {
+        plan.candidates()
+            .iter()
+            .map(|c| self.score_path(&c.path, size))
+            .collect()
+    }
+
+    fn score_path(&self, path: &LslPath, size: u64) -> Option<u64> {
+        let mut legs = Vec::with_capacity(path.depots.len() + 1);
+        let mut at = self.node;
+        for hop in path.depots.iter().chain(std::iter::once(&path.dst)) {
+            if !self.up.get(&(at.0, hop.node.0)).copied().unwrap_or(false) {
+                return None;
+            }
+            let f = self.registry.forecast(at.0, hop.node.0)?;
+            if f.confidence != Confidence::Seasoned {
+                return None;
+            }
+            legs.push(SublinkForecast::quantize(
+                f.bandwidth_bps?,
+                f.rtt_s?,
+                f.loss?,
+            )?);
+            at = hop.node;
+        }
+        cascade_score_ns(&legs, size)
+    }
+
+    /// Final registry state, quantized — the deterministic dump that
+    /// rides on the run fingerprint (no f64 formatting involved).
+    pub fn dump(&self) -> Vec<((u32, u32), Option<SublinkForecast>)> {
+        self.sublinks
+            .iter()
+            .map(|&(s, d)| {
+                let q = self
+                    .registry
+                    .forecast(s.0, d.0)
+                    .and_then(|f| SublinkForecast::quantize(f.bandwidth_bps?, f.rtt_s?, f.loss?));
+                ((s.0, d.0), q)
+            })
+            .collect()
+    }
+}
+
+/// One seed+mode run: what the storm was, what the session did, and
+/// what the measurement plane saw.
+#[derive(Debug)]
+pub struct RoutingRun {
+    pub seed: u64,
+    pub mode: RoutingMode,
+    pub storm: StormPlan,
+    pub state: ClientState,
+    pub route_used: usize,
+    pub timeline: Vec<(Time, SessionEvent)>,
+    pub outcomes: Vec<TransferOutcome>,
+    pub duration_s: f64,
+    pub events: u64,
+    pub violations: Vec<ChaosViolation>,
+    /// Accepted probe observations (0 in static mode).
+    pub probes: u64,
+    /// Quantized final forecast per probed sublink (empty in static
+    /// mode).
+    pub forecasts: Vec<((u32, u32), Option<SublinkForecast>)>,
+    pub obs: lsl_obs::ObsReport,
+}
+
+impl RoutingRun {
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    pub fn completed(&self) -> bool {
+        self.state == ClientState::Done
+    }
+
+    /// Proactive re-routes the client performed.
+    pub fn reroutes(&self) -> usize {
+        self.timeline
+            .iter()
+            .filter(|(_, e)| matches!(e, SessionEvent::Rerouted { .. }))
+            .count()
+    }
+
+    /// Canonical rendering for byte-identical determinism comparisons
+    /// across job counts: every field is integer or `Debug` of typed
+    /// enums; forecasts are quantized before formatting.
+    pub fn fingerprint(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "routing seed {} mode {:?} atoms {}",
+            self.seed,
+            self.mode,
+            self.storm.atoms.len()
+        );
+        for a in &self.storm.atoms {
+            let _ = writeln!(s, "  atom {a:?}");
+        }
+        for (t, ev) in &self.timeline {
+            let _ = writeln!(s, "{t:?} {ev:?}");
+        }
+        for o in &self.outcomes {
+            let _ = writeln!(
+                s,
+                "outcome {:?} {:?} bytes={} digest={:?} verified={} resume_at={} at={:?}",
+                o.session,
+                o.status,
+                o.bytes,
+                o.digest_ok,
+                o.verified_blocks,
+                o.resume_offset,
+                o.completed_at
+            );
+        }
+        for ((src, dst), f) in &self.forecasts {
+            let _ = writeln!(s, "forecast {src}->{dst} {f:?}");
+        }
+        let _ = writeln!(
+            s,
+            "state {:?} route {} events {} probes {} violations {:?}",
+            self.state, self.route_used, self.events, self.probes, self.violations
+        );
+        let _ = writeln!(
+            s,
+            "obs spans {} digest {:016x}",
+            self.obs.spans.len(),
+            self.obs.digest()
+        );
+        s
+    }
+}
+
+/// Both halves of one seed's storm: the same faults, with and without
+/// the forecast loop.
+#[derive(Debug)]
+pub struct RoutingPair {
+    pub static_run: RoutingRun,
+    pub forecast_run: RoutingRun,
+}
+
+impl RoutingPair {
+    pub fn ok(&self) -> bool {
+        self.static_run.ok() && self.forecast_run.ok()
+    }
+
+    pub fn fingerprint(&self) -> String {
+        format!(
+            "{}{}",
+            self.static_run.fingerprint(),
+            self.forecast_run.fingerprint()
+        )
+    }
+}
+
+/// Warm-up sweeps before the session starts, so the initial route pick
+/// is forecast-driven: [`super::chaos`] storms land from 0 on, and the
+/// registry needs `SEASONED_SAMPLES` accepted samples per metric before
+/// [`ForecastPlane::scores`] trusts a forecast. Probes read simulator
+/// state, so pre-session sweeps cost no sim time.
+const WARMUP_SWEEPS: usize = 8;
+
+/// Run one explicit storm in one mode.
+pub fn run_routing_storm(
+    case: &FailoverCase,
+    cfg: &RoutingConfig,
+    mode: RoutingMode,
+    storm: StormPlan,
+) -> RoutingRun {
+    #[cfg(feature = "invariants")]
+    drop(lsl_netsim::invariants::take());
+    let (mut run, obs) = lsl_obs::recorded(|| run_routing_storm_inner(case, cfg, mode, storm));
+    run.obs = obs;
+    run
+}
+
+fn run_routing_storm_inner(
+    case: &FailoverCase,
+    cfg: &RoutingConfig,
+    mode: RoutingMode,
+    storm: StormPlan,
+) -> RoutingRun {
+    let run_cfg = FaultRunConfig::new(cfg.size, storm.seed, storm.to_fault_plan());
+    let mut sim = case.topo.clone().into_sim(run_cfg.seed);
+    sim.install_faults(run_cfg.plan.clone());
+    let mut net = Net::new(sim);
+
+    let depot_cfg = DepotConfig::builder()
+        .port(DEPOT_PORT)
+        .tcp(run_cfg.tcp.clone())
+        .setup_delay(Dur::from_millis(5))
+        .build();
+    let mut depots = vec![
+        Depot::new(&mut net, case.depot_a, depot_cfg.clone()),
+        Depot::new(&mut net, case.depot_b, depot_cfg),
+    ];
+    let mut sink = SinkServer::new(&mut net, case.dst, SINK_PORT, true, run_cfg.tcp.clone());
+    if let Some(d) = run_cfg.sink_idle {
+        sink = sink.with_idle_timeout(d);
+    }
+
+    let mut plan = case.plan();
+    let mut plane = match mode {
+        RoutingMode::Static => None,
+        RoutingMode::Forecast => {
+            let mut plane = ForecastPlane::new(case.src, case.sublinks(), cfg.probe_period);
+            for _ in 0..WARMUP_SWEEPS {
+                plane.sweep(&net);
+            }
+            // Forecast-best *start*: score the declared candidates so
+            // SessionClient::start ranks them instead of trusting plan
+            // order.
+            for (i, s) in plane.scores(&plan, cfg.size).iter().enumerate() {
+                plan.set_score(i, *s);
+            }
+            Some(plane)
+        }
+    };
+
+    let mut client = SessionClient::start(
+        &mut net,
+        case.src,
+        plan,
+        SessionId(0xf0c0 + run_cfg.seed as u128),
+        run_cfg.size,
+        SendMode::lsl(),
+        run_cfg.tcp.clone(),
+        run_cfg.recovery.clone(),
+        None,
+    );
+    if let Some(plane) = plane.as_ref() {
+        plane.arm(&mut net);
+    }
+
+    let deadline = Time::ZERO + cfg.time_bound;
+    let mut outcomes: Vec<TransferOutcome> = Vec::new();
+    let mut events: u64 = 0;
+    let mut hung = false;
+    while let Some(ev) = net.poll() {
+        events += 1;
+        if net.now() > deadline || events > cfg.max_events {
+            hung = true;
+            break;
+        }
+        if plane.as_ref().is_some_and(|p| p.is_tick(&ev)) {
+            let plane = plane.as_mut().expect("tick implies plane");
+            plane.observe_live(&net, &client);
+            plane.sweep(&net);
+            plane.arm(&mut net);
+            // The scoring pass covers the client's own plan — including
+            // the direct fallback the recovery layer appended — and the
+            // client decides whether the fresh scores justify leaving a
+            // working route.
+            let scores = plane.scores(client.plan(), cfg.size);
+            for (i, s) in scores.iter().enumerate() {
+                lsl_obs::gauge_set("nws.score_ns", i as u64, s.unwrap_or(u64::MAX));
+            }
+            client.update_scores(&mut net, &scores);
+        } else {
+            let consumed =
+                client.handle(&mut net, &ev).consumed() || sink.handle(&mut net, &ev).consumed();
+            if !consumed {
+                for d in &mut depots {
+                    if d.handle(&mut net, &ev).consumed() {
+                        break;
+                    }
+                }
+            }
+        }
+        for o in sink.take_outcomes() {
+            if o.session == Some(client.session()) {
+                client.on_outcome(&mut net, &o);
+            }
+            outcomes.push(o);
+        }
+        if client.is_done() {
+            break;
+        }
+    }
+
+    let state = client.state();
+    let ended_at = client.finished_at.unwrap_or_else(|| net.now());
+    #[cfg(feature = "invariants")]
+    let invariant_count = lsl_netsim::invariants::take().len();
+    #[cfg(not(feature = "invariants"))]
+    let invariant_count = 0;
+    let violations = check_contract(hung, events, net.now(), state, &outcomes, invariant_count);
+    net.sim().record_obs_link_metrics();
+
+    RoutingRun {
+        seed: storm.seed,
+        mode,
+        state,
+        route_used: client.route_index(),
+        timeline: client.take_events(),
+        outcomes,
+        duration_s: (ended_at - client.started_at).as_secs_f64(),
+        events,
+        violations,
+        probes: plane.as_ref().map_or(0, |p| p.probes),
+        forecasts: plane.as_ref().map_or_else(Vec::new, ForecastPlane::dump),
+        obs: lsl_obs::ObsReport::default(),
+        storm,
+    }
+}
+
+/// Run one seed's storm in both modes — the same faults, blind vs
+/// forecast-driven — and check the contract on each.
+pub fn run_routing_seed(cfg: &RoutingConfig, seed: u64) -> RoutingPair {
+    let case = failover_case();
+    let storm = FaultStormGen::new(chaos_spec(&case)).generate(seed);
+    RoutingPair {
+        static_run: run_routing_storm(&case, cfg, RoutingMode::Static, storm.clone()),
+        forecast_run: run_routing_storm(&case, cfg, RoutingMode::Forecast, storm),
+    }
+}
+
+/// Run seeds `0..n` through both modes. Fan-out goes through
+/// [`run_campaign`]: results arrive in seed order and are byte-identical
+/// for any `jobs` value.
+pub fn run_routing_campaign(cfg: &RoutingConfig, n: usize, jobs: usize) -> Vec<RoutingPair> {
+    run_campaign(n, jobs, |i| run_routing_seed(cfg, i as u64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsl_netsim::StormAtom;
+
+    fn quick_cfg() -> RoutingConfig {
+        RoutingConfig {
+            size: 256 * 1024,
+            ..RoutingConfig::default()
+        }
+    }
+
+    #[test]
+    fn calm_seed_scores_and_completes() {
+        let case = failover_case();
+        let storm = StormPlan {
+            seed: 11,
+            atoms: Vec::new(),
+        };
+        let r = run_routing_storm(&case, &quick_cfg(), RoutingMode::Forecast, storm);
+        assert!(r.ok(), "violations: {:?}", r.violations);
+        assert!(r.completed(), "state {:?}", r.state);
+        assert!(r.probes > 0, "the probe plane never ran");
+        assert!(
+            r.forecasts.iter().all(|(_, f)| f.is_some()),
+            "calm run: every sublink ends with a usable quantized forecast: {:?}",
+            r.forecasts
+        );
+        assert_eq!(r.reroutes(), 0, "no storm, no reason to leave the route");
+    }
+
+    #[test]
+    fn static_mode_matches_chaos_behavior() {
+        // The static arm *is* the chaos campaign's client — byte-equal
+        // timelines — so the forecast-vs-static comparison is against
+        // the established baseline, not a strawman.
+        let case = failover_case();
+        let storm = FaultStormGen::new(chaos_spec(&case)).generate(3);
+        let r = run_routing_storm(&case, &quick_cfg(), RoutingMode::Static, storm.clone());
+        let c = crate::chaos::run_chaos_storm(
+            &case,
+            &crate::chaos::ChaosConfig {
+                size: 256 * 1024,
+                ..crate::chaos::ChaosConfig::default()
+            },
+            storm,
+        );
+        assert_eq!(r.state, c.state);
+        assert_eq!(r.route_used, c.route_used);
+        assert_eq!(r.timeline, c.timeline);
+        assert_eq!(r.probes, 0);
+    }
+
+    /// The drill the issue demands: the primary depot dies mid-stream,
+    /// and the probe plane notices *before* the sublink's TCP gives up —
+    /// the client re-routes proactively and no verified block is ever
+    /// re-sent.
+    #[test]
+    fn depot_death_triggers_proactive_reroute() {
+        let case = failover_case();
+        let storm = StormPlan {
+            seed: 21,
+            atoms: vec![StormAtom::NodeCrash {
+                node: case.depot_a,
+                at: Dur::from_millis(400),
+                downtime: None,
+            }],
+        };
+        let cfg = RoutingConfig {
+            size: 2 << 20,
+            ..RoutingConfig::default()
+        };
+        let r = run_routing_storm(&case, &cfg, RoutingMode::Forecast, storm);
+        assert!(r.ok(), "violations: {:?}", r.violations);
+        assert!(r.completed(), "state {:?}", r.state);
+        let rerouted_at = r
+            .timeline
+            .iter()
+            .find(|(_, e)| matches!(e, SessionEvent::Rerouted { .. }))
+            .map(|(t, _)| *t)
+            .expect("proactive reroute fired");
+        // Proactive means *before* the dying sublink's failure event.
+        if let Some(down_at) = r
+            .timeline
+            .iter()
+            .find(|(_, e)| matches!(e, SessionEvent::SublinkDown(_)))
+            .map(|(t, _)| *t)
+        {
+            assert!(
+                rerouted_at < down_at,
+                "reroute at {rerouted_at:?} should precede sublink death at {down_at:?}"
+            );
+        }
+        // Zero re-sent verified blocks: already part of ok(), but spell
+        // the specific clause out.
+        assert!(!r
+            .violations
+            .iter()
+            .any(|v| matches!(v, ChaosViolation::ResumeRegression { .. })));
+    }
+
+    #[test]
+    fn campaign_fingerprints_are_jobs_invariant() {
+        let cfg = quick_cfg();
+        let seq: Vec<String> = run_routing_campaign(&cfg, 4, 1)
+            .iter()
+            .map(RoutingPair::fingerprint)
+            .collect();
+        let par: Vec<String> = run_routing_campaign(&cfg, 4, 4)
+            .iter()
+            .map(RoutingPair::fingerprint)
+            .collect();
+        assert_eq!(seq, par);
+    }
+}

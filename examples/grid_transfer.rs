@@ -60,10 +60,16 @@ fn main() {
         }
     }
 
-    let f_direct = registry.forecast(case.src.0, case.dst.0);
-    let f_s1 = registry.forecast(case.src.0, case.depot.0);
-    let f_s2 = registry.forecast(case.depot.0, case.dst.0);
-    println!("NWS forecasts:");
+    let f_direct = registry
+        .forecast(case.src.0, case.dst.0)
+        .expect("direct path probed");
+    let f_s1 = registry
+        .forecast(case.src.0, case.depot.0)
+        .expect("sublink1 probed");
+    let f_s2 = registry
+        .forecast(case.depot.0, case.dst.0)
+        .expect("sublink2 probed");
+    println!("NWS forecasts ({:?} confidence):", f_direct.confidence);
     println!(
         "  direct   rtt {:6.1} ms   measured bw {:6.2} Mbit/s",
         f_direct.rtt_s.unwrap() * 1e3,

@@ -58,6 +58,20 @@ echo "==> chaos-storm smoke (8 storm seeds, per-run contract)"
 # clean. A violation shrinks to a minimal drill and fails the gate.
 cargo run -q -p lsl-bench --bin chaos -- --smoke
 
+echo "==> forecast-routing smoke (8 storm seeds, forecast vs static)"
+# The closed NWS loop: each seed's storm runs with blind next-in-list
+# recovery and again with forecast-driven selection + proactive
+# re-routing. Both must satisfy the chaos contract, fingerprints must be
+# byte-identical across job counts, and the forecast arm must complete
+# at least as many transfers at least as fast (in aggregate).
+cargo run -q -p lsl-bench --bin routing -- --smoke
+[ -s results/routing_outcomes.dat ] \
+  || { echo "results/routing_outcomes.dat missing or empty"; exit 1; }
+for col in static_duration_s forecast_duration_s forecast_reroutes; do
+  grep -q "$col" results/routing_outcomes.dat \
+    || { echo "routing_outcomes.dat missing column: $col"; exit 1; }
+done
+
 echo "==> observability smoke (telemetry determinism, trace shape, idle overhead)"
 # The obs-report gate replays a chaos seed twice (telemetry must be
 # byte-identical), validates the exported Chrome trace (schema version,
