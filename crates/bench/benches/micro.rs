@@ -141,6 +141,7 @@ fn bench_codecs(b: &Bench) {
         flags: 1,
         length: 64 << 20,
         resume: None,
+        stripe: None,
         route: vec![Hop::new(NodeId(1), 7001), Hop::new(NodeId(2), 5001)],
     };
     b.run("lsl_header_encode_decode", None, || {

@@ -14,6 +14,9 @@
 //!   sends a packet over a shared 2-hop path and re-arms, mixing
 //!   timer-class and link-class events the way a real transfer
 //!   campaign does.
+//! * **striped sessions/sec** — end-to-end striped transfers through
+//!   the full stack on the three-depot topology, with the degraded
+//!   single-cascade run as its baseline: the dispatcher's own price.
 //!
 //! Self-contained `harness = false` runner like `micro.rs` (offline
 //! build: no criterion). Emits `BENCH_scale.json` at the workspace root
@@ -27,7 +30,10 @@ use std::hint::black_box;
 use std::time::Instant;
 
 use bytes::Bytes;
-use lsl_netsim::{Dur, LinkSpec, NodeId, Output, Packet, Simulator, Time, TopologyBuilder};
+use lsl_netsim::{
+    Dur, LinkSpec, NodeId, Output, Packet, Simulator, StormPlan, Time, TopologyBuilder,
+};
+use lsl_workloads::{run_striped_storm, striped_case, StripedChaosConfig};
 
 /// Externally visible events to process per measurement (setup excluded).
 const EVENT_BUDGET: u64 = 400_000;
@@ -139,6 +145,36 @@ fn send_session_packet(sim: &mut Simulator, a: NodeId, z: NodeId, _session: u64)
     );
 }
 
+/// End-to-end striped sessions per wall second: `n` calm striped
+/// transfers on the three-depot topology driven to verified completion
+/// through the full stack (client, depots, sink, block ledger). The
+/// `max_cascades = 1` run is the single-cascade baseline — same
+/// harness, plain [`SessionClient`](lsl_session::SessionClient) — so
+/// the pair prices the dispatcher itself, not the topology.
+fn striped_sessions_per_sec(smoke: bool, max_cascades: usize) -> f64 {
+    let n: u64 = if smoke { 2 } else { 16 };
+    let case = striped_case();
+    let mut cfg = StripedChaosConfig {
+        size: 256 * 1024,
+        ..StripedChaosConfig::default()
+    };
+    cfg.stripe.max_cascades = max_cascades;
+    let t0 = Instant::now();
+    for seed in 0..n {
+        let r = run_striped_storm(
+            &case,
+            &cfg,
+            StormPlan {
+                seed,
+                atoms: Vec::new(),
+            },
+        );
+        assert!(r.completed(), "calm striped run failed: {:?}", r.state);
+        black_box(r.certified);
+    }
+    n as f64 / t0.elapsed().as_secs_f64().max(1e-9)
+}
+
 /// Median-of-3 events/sec for one measurement closure (single pass in
 /// smoke mode).
 fn median_eps(smoke: bool, mut f: impl FnMut() -> (u64, f64)) -> f64 {
@@ -153,7 +189,7 @@ fn median_eps(smoke: bool, mut f: impl FnMut() -> (u64, f64)) -> f64 {
     rates[rates.len() / 2]
 }
 
-fn write_json(smoke: bool, timer_eps: &[f64], session_eps: &[f64]) {
+fn write_json(smoke: bool, timer_eps: &[f64], session_eps: &[f64], striped: (f64, f64)) {
     let path = std::env::var_os("BENCH_SCALE_OUT")
         .map(std::path::PathBuf::from)
         .unwrap_or_else(|| {
@@ -168,9 +204,11 @@ fn write_json(smoke: bool, timer_eps: &[f64], session_eps: &[f64]) {
             .join(",\n")
     };
     let json = format!(
-        "{{\n  \"schema\": 1,\n  \"smoke\": {smoke},\n  \"timer_curve\": [\n{}\n  ],\n  \"session_curve\": [\n{}\n  ],\n  \"baseline\": {{\n    \"timer_curve\": [\n{}\n    ],\n    \"session_curve\": [\n{}\n    ]\n  }}\n}}\n",
+        "{{\n  \"schema\": 1,\n  \"smoke\": {smoke},\n  \"timer_curve\": [\n{}\n  ],\n  \"session_curve\": [\n{}\n  ],\n  \"striped\": {{\n    \"sessions_per_sec\": {:.2},\n    \"single_cascade_sessions_per_sec\": {:.2}\n  }},\n  \"baseline\": {{\n    \"timer_curve\": [\n{}\n    ],\n    \"session_curve\": [\n{}\n    ]\n  }}\n}}\n",
         curve(&TIMER_POINTS, timer_eps, "armed"),
         curve(&SESSION_POINTS, session_eps, "sessions"),
+        striped.0,
+        striped.1,
         curve(&TIMER_POINTS, &BASELINE_TIMER_EPS, "armed")
             .replace("    {", "      {"),
         curve(&SESSION_POINTS, &BASELINE_SESSION_EPS, "sessions")
@@ -206,5 +244,9 @@ fn main() {
         session_eps.push(eps);
     }
 
-    write_json(smoke, &timer_eps, &session_eps);
+    let striped = striped_sessions_per_sec(smoke, 3);
+    let single = striped_sessions_per_sec(smoke, 1);
+    println!("scale/striped_sessions   {striped:>12.2} sessions/sec  (single-cascade {single:.2})");
+
+    write_json(smoke, &timer_eps, &session_eps, (striped, single));
 }

@@ -1,0 +1,143 @@
+//! Striped-session soak driver: fan seeded fault storms — each with a
+//! guaranteed targeted mid-transfer depot kill — across the three-depot
+//! striping topology, check the striped contract per run, and gate the
+//! striped-vs-single throughput claim.
+//!
+//! ```text
+//! cargo run -p lsl-bench --release --bin striped                  # 64 seeds
+//! cargo run -p lsl-bench --release --bin striped -- --smoke       # CI gate: 8 seeds
+//! cargo run -p lsl-bench --release --bin striped -- --seeds 256 --jobs 8
+//! ```
+//!
+//! Per seed: one summary row (terminal state, cascades, dead lanes,
+//! stolen/redundant blocks, ledger verdict, the zero-verified-resend
+//! counter). Exports `results/striped_outcomes.dat` (per-seed duration,
+//! certified blocks, stolen blocks, regrants). A contract violation
+//! shrinks the storm to a 1-minimal atom subset, ships the seed's
+//! telemetry, and exits non-zero. The run ends with the RAIL claim
+//! itself: the same calm seed striped and degraded to one cascade —
+//! striped must not be slower.
+
+use lsl_obs::export::{write_chrome_trace, write_metrics_txt};
+use lsl_obs::report::flight_recorder;
+use lsl_trace::export::write_dat;
+use lsl_workloads::{
+    default_jobs, run_striped_campaign, shrink_striped_run, striped_vs_single, StripedChaosConfig,
+    StripedRun,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let mut seeds: usize = if smoke { 8 } else { 64 };
+    let mut jobs = default_jobs();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let parse = |v: Option<&String>, what: &str| {
+            v.and_then(|v| v.parse::<usize>().ok())
+                .filter(|&n| n >= 1)
+                .unwrap_or_else(|| {
+                    eprintln!("{what} requires a positive integer");
+                    std::process::exit(2);
+                })
+        };
+        if a == "--seeds" {
+            seeds = parse(it.next(), "--seeds");
+        } else if a == "--jobs" {
+            jobs = parse(it.next(), "--jobs");
+        }
+    }
+
+    let cfg = StripedChaosConfig::default();
+    let runs = run_striped_campaign(&cfg, seeds, jobs);
+
+    println!(
+        "{:>5} {:<28} {:>4} {:>4} {:>6} {:>6} {:>9} {:>8} {:>9}",
+        "seed", "state", "casc", "dead", "stolen", "redun", "certified", "regrant", "dur_s"
+    );
+    for r in &runs {
+        println!(
+            "{:>5} {:<28} {:>4} {:>4} {:>6} {:>6} {:>4}/{:<4} {:>8} {:>9.3}",
+            r.seed,
+            format!("{:?}", r.state),
+            r.cascades,
+            r.lanes.iter().filter(|l| l.dead).count(),
+            r.lanes.iter().map(|l| l.blocks_stolen).sum::<u64>(),
+            r.lanes.iter().map(|l| l.redundant_attempts).sum::<u64>(),
+            r.certified,
+            r.expected_blocks,
+            r.regrants,
+            r.duration_s,
+        );
+    }
+
+    // Per-seed outcome curves for the plotting pipeline.
+    let curve = |f: fn(&StripedRun) -> f64| -> Vec<(f64, f64)> {
+        runs.iter().map(|r| (r.seed as f64, f(r))).collect()
+    };
+    let dur = curve(|r| r.duration_s);
+    let certified = curve(|r| r.certified as f64);
+    let stolen = curve(|r| r.lanes.iter().map(|l| l.blocks_stolen).sum::<u64>() as f64);
+    let regrants = curve(|r| r.regrants as f64);
+    if let Err(e) = write_dat(
+        "results",
+        "striped_outcomes",
+        &[
+            ("duration_s", &dur),
+            ("certified_blocks", &certified),
+            ("stolen_blocks", &stolen),
+            ("regrants", &regrants),
+        ],
+    ) {
+        eprintln!("warning: could not write striped_outcomes.dat: {e}");
+    }
+
+    let failing: Vec<&StripedRun> = runs.iter().filter(|r| !r.ok()).collect();
+    for r in &failing {
+        eprintln!("\nFAIL seed {}: {:?}", r.seed, r.violations);
+        let label = format!("striped seed {}", r.seed);
+        let stem = format!("striped_fail_seed{}", r.seed);
+        match write_chrome_trace("results/obs", &stem, &[(label.clone(), &r.obs)]) {
+            Ok(p) => eprintln!("perfetto timeline: {}", p.display()),
+            Err(e) => eprintln!("warning: could not write {stem}.trace.json: {e}"),
+        }
+        if let Err(e) = write_metrics_txt("results/obs", &stem, &r.obs) {
+            eprintln!("warning: could not write {stem}.metrics.txt: {e}");
+        }
+        eprint!("{}", flight_recorder(&label, &r.obs));
+        eprintln!("shrinking storm ({} atoms)...", r.storm.atoms.len());
+        let minimal = shrink_striped_run(&cfg, r);
+        eprintln!(
+            "minimal reproduction ({} of {} atoms) — paste as a drill:\n{}",
+            minimal.atoms.len(),
+            r.storm.atoms.len(),
+            minimal.drill()
+        );
+    }
+    if !failing.is_empty() {
+        eprintln!(
+            "striped: {} of {seeds} seed(s) violated the contract",
+            failing.len()
+        );
+        std::process::exit(1);
+    }
+
+    // The RAIL claim: on the lossy-backbone topology, three concurrent
+    // Mathis-limited cascades must aggregate at least the single
+    // cascade's throughput. Calm seed, identical sim timing.
+    let (striped, single) = striped_vs_single(&cfg, 11);
+    let speedup = single.duration_s / striped.duration_s.max(1e-9);
+    println!(
+        "striped-vs-single: striped {:.3}s ({} cascades) vs single {:.3}s — speedup {speedup:.2}x",
+        striped.duration_s, striped.cascades, single.duration_s
+    );
+    if !(striped.completed() && single.completed()) || striped.duration_s > single.duration_s {
+        eprintln!("striped: striping lost to the single cascade");
+        std::process::exit(1);
+    }
+
+    println!(
+        "striped: {seeds} seed(s) ok{}, zero verified-block re-sends",
+        if smoke { " (smoke)" } else { "" },
+    );
+}

@@ -1,0 +1,174 @@
+//! Out-of-order block certification for striped sessions.
+//!
+//! A [`super::DigestChain`] certifies blocks strictly in stream order —
+//! the right shape for one cascade feeding one contiguous stream. A
+//! striped session delivers disjoint block *ranges* over N concurrent
+//! cascades, so blocks certify out of order: the sink needs a ledger of
+//! which blocks are verified, independent of arrival order, plus the
+//! contiguous-prefix view the resume protocol grants against and a
+//! duplicate count for redundant (k-of-n) dispatch accounting.
+
+/// Per-session record of which fixed-size blocks have been certified,
+/// in any order. The ledger is pure bookkeeping: callers certify a
+/// block only after its digest matched the reference, and the ledger
+/// answers coverage questions (verified count, contiguous prefix,
+/// completion) plus counts duplicate certifications — the cost of
+/// deliberately redundant tail dispatch.
+#[derive(Clone, Debug)]
+pub struct BlockLedger {
+    verified: Vec<bool>,
+    verified_count: u64,
+    /// Blocks `[0, prefix)` are all verified (cached scan position).
+    prefix: u64,
+    duplicates: u64,
+}
+
+impl BlockLedger {
+    /// A ledger over `total_blocks` blocks, all unverified. Panics on a
+    /// zero-block ledger — a striped session always has payload.
+    pub fn new(total_blocks: u64) -> BlockLedger {
+        assert!(total_blocks > 0, "ledger needs at least one block");
+        BlockLedger {
+            verified: vec![false; total_blocks as usize],
+            verified_count: 0,
+            prefix: 0,
+            duplicates: 0,
+        }
+    }
+
+    pub fn total_blocks(&self) -> u64 {
+        self.verified.len() as u64
+    }
+
+    /// Record block `block` as certified. Returns `true` if the block
+    /// was newly verified, `false` for a duplicate (already certified
+    /// by another cascade — counted, then discarded).
+    pub fn certify(&mut self, block: u64) -> bool {
+        let slot = &mut self.verified[block as usize];
+        if *slot {
+            self.duplicates += 1;
+            return false;
+        }
+        *slot = true;
+        self.verified_count += 1;
+        while (self.prefix as usize) < self.verified.len() && self.verified[self.prefix as usize] {
+            self.prefix += 1;
+        }
+        true
+    }
+
+    pub fn is_verified(&self, block: u64) -> bool {
+        self.verified.get(block as usize).copied().unwrap_or(false)
+    }
+
+    /// Total blocks certified, in any order.
+    pub fn verified_count(&self) -> u64 {
+        self.verified_count
+    }
+
+    /// Length of the verified prefix `[0, n)` — what a v2-style
+    /// contiguous resume grant would be based on.
+    pub fn contiguous_verified(&self) -> u64 {
+        self.prefix
+    }
+
+    pub fn all_verified(&self) -> bool {
+        self.verified_count == self.total_blocks()
+    }
+
+    /// Duplicate certifications seen (redundant dispatch discards).
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+
+    /// First unverified block at or after `from` (clamped to the ledger
+    /// end) — how a sink advances a requested range past blocks some
+    /// other cascade already delivered.
+    pub fn skip_verified(&self, from: u64) -> u64 {
+        let mut b = from.min(self.total_blocks());
+        while (b as usize) < self.verified.len() && self.verified[b as usize] {
+            b += 1;
+        }
+        b
+    }
+
+    /// Unverified blocks within `[start, end)`.
+    pub fn missing_in(&self, start: u64, end: u64) -> u64 {
+        let end = end.min(self.total_blocks());
+        (start..end).filter(|&b| !self.verified[b as usize]).count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_ledger_is_empty() {
+        let l = BlockLedger::new(4);
+        assert_eq!(l.total_blocks(), 4);
+        assert_eq!(l.verified_count(), 0);
+        assert_eq!(l.contiguous_verified(), 0);
+        assert!(!l.all_verified());
+        assert_eq!(l.missing_in(0, 4), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block")]
+    fn zero_blocks_rejected() {
+        BlockLedger::new(0);
+    }
+
+    #[test]
+    fn out_of_order_certification_tracks_prefix() {
+        let mut l = BlockLedger::new(5);
+        assert!(l.certify(2));
+        assert_eq!(l.verified_count(), 1);
+        assert_eq!(l.contiguous_verified(), 0);
+        assert!(l.certify(0));
+        assert_eq!(l.contiguous_verified(), 1);
+        assert!(l.certify(1));
+        // Prefix jumps over the already-verified block 2.
+        assert_eq!(l.contiguous_verified(), 3);
+        assert!(l.certify(4));
+        assert!(l.certify(3));
+        assert!(l.all_verified());
+        assert_eq!(l.contiguous_verified(), 5);
+        assert_eq!(l.duplicates(), 0);
+    }
+
+    #[test]
+    fn duplicates_are_counted_and_discarded() {
+        let mut l = BlockLedger::new(3);
+        assert!(l.certify(1));
+        assert!(!l.certify(1));
+        assert!(!l.certify(1));
+        assert_eq!(l.duplicates(), 2);
+        assert_eq!(l.verified_count(), 1);
+    }
+
+    #[test]
+    fn skip_verified_advances_past_done_blocks() {
+        let mut l = BlockLedger::new(6);
+        l.certify(2);
+        l.certify(3);
+        assert_eq!(l.skip_verified(0), 0);
+        assert_eq!(l.skip_verified(2), 4);
+        assert_eq!(l.skip_verified(3), 4);
+        assert_eq!(l.skip_verified(5), 5);
+        // Clamped at the end.
+        assert_eq!(l.skip_verified(99), 6);
+    }
+
+    #[test]
+    fn missing_in_counts_holes() {
+        let mut l = BlockLedger::new(8);
+        l.certify(1);
+        l.certify(4);
+        assert_eq!(l.missing_in(0, 8), 6);
+        assert_eq!(l.missing_in(1, 5), 2);
+        assert_eq!(l.missing_in(4, 5), 0);
+        // Range clamped to the ledger.
+        assert_eq!(l.missing_in(6, 100), 2);
+    }
+}

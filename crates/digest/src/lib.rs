@@ -7,9 +7,11 @@
 //! the stream as it is produced/consumed without buffering it.
 
 mod chain;
+mod ledger;
 mod md5;
 
 pub use chain::DigestChain;
+pub use ledger::BlockLedger;
 pub use md5::{Md5, DIGEST_LEN};
 
 /// One-shot MD5 of a byte slice.

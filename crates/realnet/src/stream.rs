@@ -48,6 +48,7 @@ impl LslStream {
             flags: if digest { HEADER_FLAG_DIGEST } else { 0 },
             length,
             resume: None,
+            stripe: None,
             route,
         };
         let mut stream = TcpStream::connect(first)?;

@@ -79,6 +79,7 @@ mod tests {
             flags: 1,
             length: 99,
             resume: None,
+            stripe: None,
             route: vec![hop_from_addr(SocketAddrV4::new(Ipv4Addr::LOCALHOST, 9))],
         };
         let mut data = h.encode().unwrap().to_vec();
@@ -100,6 +101,7 @@ mod tests {
             flags: 0,
             length: 1,
             resume: None,
+            stripe: None,
             route: vec![],
         };
         let enc = h.encode().unwrap();

@@ -389,6 +389,12 @@ impl SessionClient {
                     self.high_offset.saturating_sub(*offset),
                 );
             }
+            SessionEvent::StripeLost { cascade, .. } => {
+                lsl_obs::instant(t.0, "session.stripe.lost", *cascade as u64);
+            }
+            SessionEvent::StripeRebalanced { to, .. } => {
+                lsl_obs::instant(t.0, "session.stripe.rebalance", *to as u64);
+            }
             SessionEvent::Completed => {
                 lsl_obs::instant(t.0, "session.completed", sid);
                 lsl_obs::span_end(t.0, "session.client", sid);

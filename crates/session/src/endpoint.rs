@@ -8,12 +8,12 @@
 use std::collections::BTreeMap;
 
 use bytes::Bytes;
-use lsl_digest::{md5, DigestChain, Md5, DIGEST_LEN};
+use lsl_digest::{md5, BlockLedger, DigestChain, Md5, DIGEST_LEN};
 use lsl_netsim::{Dur, NodeId, Time};
 use lsl_tcp::{AppEvent, Net, SockEvent, SockId, TcpConfig};
 
 use crate::error::{Handled, SessionError, WireError};
-use crate::header::{LslHeader, Resume, HEADER_FLAG_DIGEST};
+use crate::header::{LslHeader, Resume, StripeReq, HEADER_FLAG_DIGEST};
 use crate::id::SessionId;
 use crate::route::LslPath;
 
@@ -27,6 +27,21 @@ pub const RESUME_BLOCK: u64 = 64 * 1024;
 /// on-disk blocks would play in a deployment).
 pub fn expected_block_digest(block: u64) -> [u8; DIGEST_LEN] {
     md5(&payload_chunk(block * RESUME_BLOCK, RESUME_BLOCK as usize))
+}
+
+/// Like [`expected_block_digest`], but bounded by the stream length:
+/// the stream's final block may be shorter than [`RESUME_BLOCK`], and a
+/// striped range reaching the stream end certifies that short tail too.
+pub fn expected_block_digest_bounded(block: u64, total: u64) -> [u8; DIGEST_LEN] {
+    let start = block * RESUME_BLOCK;
+    let len = RESUME_BLOCK.min(total.saturating_sub(start));
+    md5(&payload_chunk(start, len as usize))
+}
+
+/// Number of [`RESUME_BLOCK`]-sized blocks covering a `total`-byte
+/// stream (the last block may be short).
+pub fn stream_blocks(total: u64) -> u64 {
+    total.div_ceil(RESUME_BLOCK)
 }
 
 /// Whole-stream MD5 state fast-forwarded over pattern bytes
@@ -101,6 +116,9 @@ pub struct BulkSender {
     state: SenderState,
     total: u64,
     sent: u64,
+    /// One past the last byte this attempt streams (== `total` except
+    /// for striped attempts, whose granted range may end mid-stream).
+    limit: u64,
     header: Option<Bytes>,
     header_sent: usize,
     trailer: Option<Bytes>,
@@ -108,11 +126,17 @@ pub struct BulkSender {
     md5: Option<Md5>,
     /// The resume request sent in the header (None = plain v1 attempt).
     resume_req: Option<Resume>,
+    /// The stripe block-range request sent in the header (v3 attempts).
+    stripe_req: Option<StripeReq>,
     /// Offset the sink granted (set on confirmation, resume mode only).
     granted: Option<u64>,
-    /// Accumulates the confirmation reply (1 byte plain, 9 with resume).
+    /// Block range the sink granted (set on confirmation, stripe mode).
+    stripe_grant: Option<(u64, u64)>,
+    /// Accumulates the confirmation reply (1 byte plain, 9 with resume,
+    /// 17 with a stripe request).
     confirm_buf: Vec<u8>,
-    /// Stream offset this attempt started from (0 unless resumed).
+    /// Stream offset this attempt started from (0 unless resumed or
+    /// striped).
     resume_base: u64,
     pub started_at: Time,
     pub finished_at: Option<Time>,
@@ -174,6 +198,7 @@ impl BulkSender {
                     flags: if digest { HEADER_FLAG_DIGEST } else { 0 },
                     length: total,
                     resume,
+                    stripe: None,
                     route: path.remaining_route(),
                 }
                 .encode()
@@ -190,13 +215,82 @@ impl BulkSender {
             state: SenderState::Connecting,
             total,
             sent: 0,
+            limit: total,
             header,
             header_sent: 0,
             trailer: None,
             trailer_sent: 0,
             md5,
             resume_req: resume,
+            stripe_req: None,
             granted: None,
+            stripe_grant: None,
+            confirm_buf: Vec::new(),
+            resume_base: 0,
+            started_at: net.now(),
+            finished_at: None,
+        }
+    }
+
+    /// Initiate one striped cascade: connect along `path` and offer to
+    /// carry blocks `[stripe.start_block, stripe.end_block)` of the
+    /// session's stream. The sink replies with the range it grants
+    /// (possibly narrowed — another cascade may have delivered the
+    /// head); this attempt then streams exactly the granted range and
+    /// trails it with an MD5 over *those bytes only*, so each range is
+    /// independently end-to-end verified. Always LSL sync+digest mode:
+    /// striping is meaningless without block certification.
+    #[allow(clippy::too_many_arguments)] // mirrors `start`, the non-striped constructor
+    pub fn start_stripe(
+        net: &mut Net,
+        src: NodeId,
+        path: &LslPath,
+        session: SessionId,
+        total: u64,
+        tcp: TcpConfig,
+        trace_label: Option<&str>,
+        stripe: StripeReq,
+    ) -> BulkSender {
+        path.validate().expect("invalid LSL path");
+        assert!(
+            path.remaining_route().len() <= crate::header::MAX_HOPS,
+            "route exceeds MAX_HOPS; build candidate sets through RoutePlan"
+        );
+        assert!(
+            stripe.start_block <= stripe.end_block && stripe.end_block <= stream_blocks(total),
+            "stripe range outside the stream"
+        );
+        let first = path.first_hop();
+        let sock = net.connect(src, first.node, first.port, tcp);
+        if let Some(label) = trace_label {
+            net.enable_trace(sock, label);
+        }
+        let header = LslHeader {
+            session,
+            flags: HEADER_FLAG_DIGEST,
+            length: total,
+            resume: None,
+            stripe: Some(stripe),
+            route: path.remaining_route(),
+        }
+        .encode()
+        .expect("route length asserted against MAX_HOPS above");
+        BulkSender {
+            sock,
+            mode: SendMode::lsl(),
+            state: SenderState::Connecting,
+            total,
+            sent: 0,
+            limit: total,
+            header: Some(header),
+            header_sent: 0,
+            trailer: None,
+            trailer_sent: 0,
+            md5: Some(Md5::new()),
+            resume_req: None,
+            stripe_req: Some(stripe),
+            granted: None,
+            stripe_grant: None,
             confirm_buf: Vec::new(),
             resume_base: 0,
             started_at: net.now(),
@@ -231,6 +325,17 @@ impl BulkSender {
     /// resume request was sent.
     pub fn resume_granted(&self) -> Option<u64> {
         self.granted
+    }
+
+    /// The block range the sink granted this striped attempt. `None`
+    /// before confirmation or for non-striped attempts.
+    pub fn stripe_granted(&self) -> Option<(u64, u64)> {
+        self.stripe_grant
+    }
+
+    /// The block range this striped attempt requested, if any.
+    pub fn stripe_requested(&self) -> Option<StripeReq> {
+        self.stripe_req
     }
 
     /// Payload bytes this attempt has actually pushed into its socket —
@@ -283,15 +388,15 @@ impl BulkSender {
                 }
             }
             SockEvent::Readable if self.state == SenderState::AwaitingConfirm => {
-                match self.resume_req {
-                    None => {
+                match (self.resume_req, self.stripe_req) {
+                    (None, None) => {
                         let b = net.recv(self.sock, 1);
                         if b.first() == Some(&SESSION_CONFIRM) {
                             self.state = SenderState::Streaming;
                             self.pump(net);
                         }
                     }
-                    Some(req) => {
+                    (Some(req), None) => {
                         // Resume confirmation: the confirm byte plus the
                         // sink's granted offset (may arrive fragmented).
                         let want = 9 - self.confirm_buf.len();
@@ -304,6 +409,23 @@ impl BulkSender {
                             self.on_grant(net, req, granted);
                         }
                     }
+                    (None, Some(req)) => {
+                        // Stripe confirmation: the confirm byte plus the
+                        // granted block range (may arrive fragmented).
+                        let want = 17 - self.confirm_buf.len();
+                        let b = net.recv(self.sock, want);
+                        self.confirm_buf.extend_from_slice(&b);
+                        if self.confirm_buf.len() == 17 && self.confirm_buf[0] == SESSION_CONFIRM {
+                            let gstart = u64::from_be_bytes(
+                                self.confirm_buf[1..9].try_into().expect("8 bytes"),
+                            );
+                            let gend = u64::from_be_bytes(
+                                self.confirm_buf[9..17].try_into().expect("8 bytes"),
+                            );
+                            self.on_stripe_grant(net, req, gstart, gend);
+                        }
+                    }
+                    (Some(_), Some(_)) => unreachable!("constructors forbid resume+stripe"),
                 }
             }
             SockEvent::Writable => self.pump(net),
@@ -350,6 +472,32 @@ impl BulkSender {
         self.pump(net);
     }
 
+    /// The sink's stripe grant arrived: it must be a sub-range of the
+    /// request (the sink only ever *narrows* — skipping blocks another
+    /// cascade delivered — never widens). This attempt streams bytes
+    /// `[gstart·B, min(gend·B, total))` and its trailer hashes exactly
+    /// those bytes. An empty grant is a clean no-op attempt: everything
+    /// we offered to carry is already verified.
+    fn on_stripe_grant(&mut self, net: &mut Net, req: StripeReq, gstart: u64, gend: u64) {
+        if gstart > gend || gstart < req.start_block || gend > req.end_block {
+            self.state = SenderState::Failed(SessionError::StripeMismatch {
+                granted_start: gstart,
+                granted_end: gend,
+            });
+            self.finished_at.get_or_insert(net.now());
+            net.abort(self.sock);
+            return;
+        }
+        self.stripe_grant = Some((gstart, gend));
+        self.sent = gstart * RESUME_BLOCK;
+        self.resume_base = self.sent;
+        self.limit = (gend * RESUME_BLOCK).min(self.total);
+        // The trailer covers only this range: start the hash fresh.
+        self.md5 = Some(Md5::new());
+        self.state = SenderState::Streaming;
+        self.pump(net);
+    }
+
     fn send_header(&mut self, net: &mut Net) {
         if let Some(h) = &self.header {
             while self.header_sent < h.len() {
@@ -376,9 +524,9 @@ impl BulkSender {
                 }
             }
         }
-        // 2. Payload.
-        while self.sent < self.total {
-            let len = (self.total - self.sent).min(SEND_CHUNK) as usize;
+        // 2. Payload (bounded by the granted range for striped attempts).
+        while self.sent < self.limit {
+            let len = (self.limit - self.sent).min(SEND_CHUNK) as usize;
             let chunk = payload_chunk(self.sent, len);
             let n = net.send(self.sock, &chunk);
             if let Some(md5) = &mut self.md5 {
@@ -430,6 +578,21 @@ pub struct TransferOutcome {
     /// excluded; for resumed attempts this includes the granted prefix,
     /// so it is the absolute high-water mark, not this attempt's count).
     pub bytes: u64,
+    /// Payload bytes *this* attempt (this cascade's connection) actually
+    /// delivered — honest per-cascade attribution, excluding any
+    /// resumed-over prefix that `bytes` folds in.
+    pub attempt_bytes: u64,
+    /// Blocks this attempt newly certified (duplicates another cascade
+    /// already delivered are excluded — they were discarded).
+    pub blocks_certified: u64,
+    /// The block range the sink granted a striped attempt (None for
+    /// non-striped attempts).
+    pub stripe: Option<(u64, u64)>,
+    /// Session-wide verified block count (in any order) when this
+    /// attempt ended. Equals `verified_blocks` for single-cascade
+    /// sessions; for striped sessions it includes out-of-order blocks
+    /// beyond the contiguous prefix.
+    pub session_verified: u64,
     /// Digest verification result (None when no digest was sent or the
     /// stream died first).
     pub digest_ok: Option<bool>,
@@ -462,12 +625,32 @@ impl TransferOutcome {
     }
 }
 
+/// Per-connection certification state for one striped cascade: a
+/// [`DigestChain`] over *this connection's granted range only*, so its
+/// blocks certify independently of the other cascades' arrival order.
+struct StripeBody {
+    /// Granted range `[start_block, end_block)`.
+    start_block: u64,
+    end_block: u64,
+    /// Range-local chain: block `i` here is stream block
+    /// `start_block + i`.
+    chain: DigestChain,
+    /// Chain blocks already checked against the reference digests.
+    scanned: u64,
+    /// Blocks this connection newly certified in the session ledger.
+    certified: u64,
+    /// A completed block failed its digest; certification is frozen.
+    corrupt: bool,
+}
+
 enum SinkConnState {
     /// LSL: accumulating header bytes.
     ReadingHeader(Vec<u8>),
     /// Consuming payload (+ digest tail when flagged).
     Body {
-        header: Option<LslHeader>,
+        /// Boxed (like `stripe`) so the enum stays near the small
+        /// `ReadingHeader` variant's size.
+        header: Option<Box<LslHeader>>,
         md5: Md5,
         /// Payload bytes consumed by *this* attempt.
         received: u64,
@@ -475,8 +658,16 @@ enum SinkConnState {
         tail: Vec<u8>,
         content_ok: bool,
         /// Stream offset this attempt started at (the granted resume
-        /// offset; 0 for fresh and non-resume attempts).
+        /// offset or stripe-range start; 0 for fresh attempts).
         offset: u64,
+        /// Session blocks verified when this attempt started — the
+        /// baseline per-attempt `blocks_certified` is measured against
+        /// (contiguous count for resume attempts; unused for stripes,
+        /// which count certifications directly).
+        blocks_at_start: u64,
+        /// Striped-cascade certification state (stripe attempts only;
+        /// boxed so the idle `ReadingHeader` state stays small).
+        stripe: Option<Box<StripeBody>>,
     },
 }
 
@@ -509,7 +700,12 @@ struct SessionProgress {
     corrupt: bool,
     /// The attempt currently feeding this session, if any. A new
     /// resume header supersedes (and fails) a lingering active conn.
+    /// Striped sessions run many conns concurrently and leave this
+    /// `None` — they certify through `ledger` instead.
     active: Option<SockId>,
+    /// Out-of-order block ledger (striped sessions only): which of the
+    /// stream's blocks have been certified, by any cascade.
+    ledger: Option<BlockLedger>,
 }
 
 /// A verifying sink server: accepts transfers (LSL-framed or raw TCP),
@@ -533,6 +729,11 @@ pub struct SinkServer {
     /// Whether a watchdog timer is currently in flight (the watchdog
     /// self-re-arms only while conns exist, so idle sims still quiesce).
     timer_armed: bool,
+    /// Verified blocks that appeared inside a stripe grant — must stay
+    /// 0: the sink advances every grant past verified blocks, so a
+    /// nonzero count means a verified block was re-sent (the striped
+    /// chaos contract machine-checks this).
+    stripe_regrants: u64,
 }
 
 impl SinkServer {
@@ -554,6 +755,7 @@ impl SinkServer {
             outcomes: Vec::new(),
             idle: None,
             timer_armed: false,
+            stripe_regrants: 0,
         }
     }
 
@@ -577,6 +779,31 @@ impl SinkServer {
     /// session is unknown or never negotiated resume).
     pub fn verified_blocks(&self, session: SessionId) -> u64 {
         self.sessions.get(&session).map_or(0, |p| p.verified)
+    }
+
+    /// Session-wide verified block count, in any order: the ledger
+    /// count for striped sessions, the contiguous count otherwise.
+    pub fn session_certified(&self, session: SessionId) -> u64 {
+        self.sessions.get(&session).map_or(0, |p| {
+            p.ledger.as_ref().map_or(p.verified, |l| l.verified_count())
+        })
+    }
+
+    /// Duplicate block deliveries discarded for `session` — the cost of
+    /// redundant (k-of-n) tail dispatch, which the striped campaign
+    /// accounts for explicitly.
+    pub fn duplicate_blocks(&self, session: SessionId) -> u64 {
+        self.sessions
+            .get(&session)
+            .and_then(|p| p.ledger.as_ref())
+            .map_or(0, |l| l.duplicates())
+    }
+
+    /// Verified blocks that ever appeared inside a stripe grant (see
+    /// the field: this staying 0 *is* the zero-verified-resend
+    /// guarantee).
+    pub fn stripe_regrants(&self) -> u64 {
+        self.stripe_regrants
     }
 
     pub fn take_outcomes(&mut self) -> Vec<TransferOutcome> {
@@ -610,6 +837,8 @@ impl SinkServer {
                         tail: Vec::new(),
                         content_ok: true,
                         offset: 0,
+                        blocks_at_start: 0,
+                        stripe: None,
                     }
                 };
                 self.conns.insert(
@@ -652,7 +881,7 @@ impl SinkServer {
         else {
             return 0;
         };
-        if h.resume.is_none() {
+        if h.resume.is_none() && h.stripe.is_none() {
             return 0;
         }
         let Some(p) = self.sessions.get_mut(&h.session) else {
@@ -661,7 +890,9 @@ impl SinkServer {
         if p.active == Some(sock) {
             p.active = None;
         }
-        p.verified
+        p.ledger
+            .as_ref()
+            .map_or(p.verified, |l| l.contiguous_verified())
     }
 
     /// Arm the next watchdog tick if the watchdog is enabled and not
@@ -705,25 +936,39 @@ impl SinkServer {
             return;
         };
         let verified_blocks = self.release_session_conn(sock, &conn.state);
-        let (session, bytes, content_ok, resume_offset) = match conn.state {
-            SinkConnState::ReadingHeader(_) => (None, 0, true, 0),
-            SinkConnState::Body {
-                header,
-                received,
-                content_ok,
-                offset,
-                ..
-            } => (
-                header.map(|h| h.session),
-                offset + received,
-                content_ok,
-                offset,
-            ),
-        };
+        let (session, bytes, attempt_bytes, content_ok, resume_offset, blocks_certified, stripe) =
+            match &conn.state {
+                SinkConnState::ReadingHeader(_) => (None, 0, 0, true, 0, 0, None),
+                SinkConnState::Body {
+                    header,
+                    received,
+                    content_ok,
+                    offset,
+                    blocks_at_start,
+                    stripe,
+                    ..
+                } => (
+                    header.as_ref().map(|h| h.session),
+                    offset + received,
+                    *received,
+                    *content_ok,
+                    *offset,
+                    match stripe {
+                        Some(s) => s.certified,
+                        None => verified_blocks.saturating_sub(*blocks_at_start),
+                    },
+                    stripe.as_ref().map(|s| (s.start_block, s.end_block)),
+                ),
+            };
+        let session_verified = session.map_or(0, |sid| self.session_certified(sid));
         self.outcomes.push(TransferOutcome {
             session,
             status: TransferStatus::Failed(err),
             bytes,
+            attempt_bytes,
+            blocks_certified,
+            stripe,
+            session_verified,
             digest_ok: None,
             content_ok,
             verified_blocks,
@@ -786,16 +1031,44 @@ impl SinkServer {
                     tail,
                     content_ok,
                     offset,
+                    blocks_at_start,
+                    stripe,
                 } => {
                     let obs_sid = header.as_ref().map(|h| h.session.0 as u64).unwrap_or(0);
                     lsl_obs::span_begin(net.now().0, "sink.verdict.drain", obs_sid);
                     // For resume sessions the end-to-end digest lives in
-                    // the session chain (it spans attempts); otherwise
-                    // in this conn's own hasher.
+                    // the session chain (it spans attempts); for striped
+                    // attempts in the conn's range chain; otherwise in
+                    // this conn's own hasher.
                     let resumed = header.as_ref().is_some_and(|h| h.resume.is_some());
                     let mut verified_blocks = 0;
+                    let mut session_verified = 0;
+                    let mut blocks_certified = 0;
+                    let mut stripe_range = None;
                     let mut whole: Option<[u8; DIGEST_LEN]> = None;
-                    if resumed {
+                    // The truncation check compares against what *this*
+                    // attempt was to deliver: the whole stream normally,
+                    // the granted range for a striped attempt.
+                    let mut declared = header.as_ref().map(|h| h.length).filter(|&l| l != u64::MAX);
+                    if let Some(mut sb) = stripe {
+                        let h = header.as_ref().expect("stripe state implies header");
+                        let total = h.length;
+                        let range_end = (sb.end_block * RESUME_BLOCK).min(total);
+                        declared = Some(range_end.saturating_sub(offset));
+                        whole = Some(sb.chain.whole_digest());
+                        if let Some(p) = self.sessions.get_mut(&h.session) {
+                            // The stream's final block may be short:
+                            // close and certify the trailing partial.
+                            sb.chain.finish_partial();
+                            if let Some(l) = p.ledger.as_mut() {
+                                Self::certify_stripe_blocks(&mut sb, l, total, obs_sid);
+                                verified_blocks = l.contiguous_verified();
+                                session_verified = l.verified_count();
+                            }
+                        }
+                        blocks_certified = sb.certified;
+                        stripe_range = Some((sb.start_block, sb.end_block));
+                    } else if resumed {
                         if let Some(p) = header
                             .as_ref()
                             .and_then(|h| self.sessions.get_mut(&h.session))
@@ -804,8 +1077,10 @@ impl SinkServer {
                                 p.active = None;
                             }
                             verified_blocks = p.verified;
+                            session_verified = p.verified;
                             whole = Some(p.chain.whole_digest());
                         }
+                        blocks_certified = verified_blocks.saturating_sub(blocks_at_start);
                     }
                     let bytes = offset + received;
                     let digest_ok = match &header {
@@ -819,8 +1094,12 @@ impl SinkServer {
                     };
                     // Most-specific failure first: a short stream explains
                     // a bad digest, a bad digest trumps a content scan.
-                    let declared = header.as_ref().map(|h| h.length).filter(|&l| l != u64::MAX);
-                    let status = if declared.is_some_and(|l| bytes < l) {
+                    let delivered = if stripe_range.is_some() {
+                        received
+                    } else {
+                        bytes
+                    };
+                    let status = if declared.is_some_and(|l| delivered < l) {
                         TransferStatus::Failed(SessionError::TruncatedStream)
                     } else if digest_ok == Some(false) {
                         TransferStatus::Failed(SessionError::DigestMismatch)
@@ -834,6 +1113,10 @@ impl SinkServer {
                         session: header.as_ref().map(|h| h.session),
                         status,
                         bytes,
+                        attempt_bytes: received,
+                        blocks_certified,
+                        stripe: stripe_range,
+                        session_verified,
                         digest_ok,
                         content_ok,
                         verified_blocks,
@@ -861,6 +1144,10 @@ impl SinkServer {
                             WireError::TruncatedHeader,
                         )),
                         bytes: 0,
+                        attempt_bytes: 0,
+                        blocks_certified: 0,
+                        stripe: None,
+                        session_verified: 0,
                         digest_ok: None,
                         content_ok: true,
                         verified_blocks: 0,
@@ -869,6 +1156,26 @@ impl SinkServer {
                         completed_at: net.now(),
                     });
                 }
+            }
+        }
+    }
+
+    /// Check every newly completed chain block of a striped range
+    /// against its reference digest and certify matches in the session
+    /// ledger (duplicates are counted and discarded). A mismatch
+    /// freezes certification for this connection.
+    fn certify_stripe_blocks(sb: &mut StripeBody, ledger: &mut BlockLedger, total: u64, sid: u64) {
+        while !sb.corrupt && sb.scanned < sb.chain.completed() {
+            let abs = sb.start_block + sb.scanned;
+            if sb.chain.digest_of(sb.scanned) == Some(expected_block_digest_bounded(abs, total)) {
+                if ledger.certify(abs) {
+                    sb.certified += 1;
+                } else {
+                    lsl_obs::counter_add("sink.stripe.dup_block", sid, 1);
+                }
+                sb.scanned += 1;
+            } else {
+                sb.corrupt = true;
             }
         }
     }
@@ -882,7 +1189,62 @@ impl SinkServer {
             "sink received header with residual route"
         );
         let mut offset = 0u64;
-        if header.resume.is_some() {
+        let mut blocks_at_start = 0u64;
+        let mut stripe_body = None;
+        if let Some(req) = header.stripe {
+            // A striped cascade: grant the sub-range of the request the
+            // session still needs. Unlike resume, many striped conns
+            // feed one session concurrently — no supersede, no `active`.
+            assert!(
+                header.length != u64::MAX,
+                "striped sessions must declare a stream length"
+            );
+            let total_blocks = stream_blocks(header.length);
+            let progress = self
+                .sessions
+                .entry(header.session)
+                .or_insert_with(|| SessionProgress {
+                    chain: DigestChain::new(RESUME_BLOCK),
+                    verified: 0,
+                    corrupt: false,
+                    active: None,
+                    ledger: None,
+                });
+            let ledger = progress
+                .ledger
+                .get_or_insert_with(|| BlockLedger::new(total_blocks));
+            let gend = req.end_block.min(total_blocks);
+            // Advance the grant past blocks some cascade already
+            // delivered: verified blocks are never re-sent.
+            let gstart = ledger.skip_verified(req.start_block.min(gend)).min(gend);
+            let granted_verified = (gend - gstart) - ledger.missing_in(gstart, gend);
+            if granted_verified > 0 {
+                // Should be structurally impossible; recorded so the
+                // striped chaos contract can machine-check it per seed.
+                self.stripe_regrants += granted_verified;
+                lsl_obs::counter_add(
+                    "sink.stripe.regrant_verified",
+                    header.session.0 as u64,
+                    granted_verified,
+                );
+            }
+            offset = gstart * RESUME_BLOCK;
+            stripe_body = Some(Box::new(StripeBody {
+                start_block: gstart,
+                end_block: gend,
+                chain: DigestChain::new(RESUME_BLOCK),
+                scanned: 0,
+                certified: 0,
+                corrupt: false,
+            }));
+            // Grant: confirm byte + the granted block range.
+            let mut reply = Vec::with_capacity(17);
+            reply.push(SESSION_CONFIRM);
+            reply.extend_from_slice(&gstart.to_be_bytes());
+            reply.extend_from_slice(&gend.to_be_bytes());
+            let n = net.send(sock, &Bytes::from(reply));
+            debug_assert_eq!(n, 17);
+        } else if header.resume.is_some() {
             // A new attempt supersedes any lingering conn of the same
             // session (e.g. one whose death the sink has not noticed).
             if let Some(stale) = self
@@ -902,6 +1264,7 @@ impl SinkServer {
                     verified: 0,
                     corrupt: false,
                     active: None,
+                    ledger: None,
                 });
             // Roll the chain back to the verified boundary: unverified
             // blocks and partial bytes from a dead (or corrupt) attempt
@@ -909,6 +1272,7 @@ impl SinkServer {
             progress.chain.truncate_to(progress.verified);
             progress.corrupt = false;
             progress.active = Some(sock);
+            blocks_at_start = progress.verified;
             offset = progress.verified * RESUME_BLOCK;
             // Grant: confirm byte + the offset this attempt streams from.
             let mut reply = Vec::with_capacity(9);
@@ -923,12 +1287,14 @@ impl SinkServer {
             debug_assert_eq!(n, 1);
         }
         let mut st = SinkConnState::Body {
-            header: Some(header),
+            header: Some(Box::new(header)),
             md5: Md5::new(),
             received: 0,
             tail: Vec::new(),
             content_ok: true,
             offset,
+            blocks_at_start,
+            stripe: stripe_body,
         };
         Self::feed_body(&mut st, &mut self.sessions, leftover);
         if let Some(conn) = self.conns.get_mut(&sock) {
@@ -952,17 +1318,37 @@ impl SinkServer {
             tail,
             content_ok,
             offset,
+            blocks_at_start: _,
+            stripe,
         } = state
         else {
             unreachable!("feed_body on header state");
         };
         let digest_expected = header.as_ref().is_some_and(|h| h.has_digest());
-        let progress = header
-            .as_ref()
-            .filter(|h| h.resume.is_some())
-            .and_then(|h| sessions.get_mut(&h.session));
+        let into = match (stripe.as_mut(), header.as_ref()) {
+            (Some(sb), Some(h)) => {
+                let ledger = sessions
+                    .get_mut(&h.session)
+                    .and_then(|p| p.ledger.as_mut())
+                    .expect("striped conn without a session ledger");
+                AbsorbInto::Stripe {
+                    sb,
+                    ledger,
+                    total: h.length,
+                    sid: h.session.0 as u64,
+                }
+            }
+            _ => match header
+                .as_ref()
+                .filter(|h| h.resume.is_some())
+                .and_then(|h| sessions.get_mut(&h.session))
+            {
+                Some(p) => AbsorbInto::Resume(p),
+                None => AbsorbInto::Plain(md5),
+            },
+        };
         if !digest_expected {
-            Self::absorb(data, *offset, received, content_ok, md5, progress);
+            Self::absorb(data, *offset, received, content_ok, into);
             return;
         }
         // Keep a sliding 16-byte tail: everything before it is payload.
@@ -971,19 +1357,18 @@ impl SinkServer {
             let payload_len = tail.len() - 16;
             // Split so the drained prefix can be absorbed in place.
             let payload: Vec<u8> = tail.drain(..payload_len).collect();
-            Self::absorb(&payload, *offset, received, content_ok, md5, progress);
+            Self::absorb(&payload, *offset, received, content_ok, into);
         }
     }
 
     /// Absorb verified-position payload bytes: pattern-check, hash, and
-    /// (for resume sessions) advance the certified block boundary.
+    /// (for resume/striped sessions) advance the certified blocks.
     fn absorb(
         payload: &[u8],
         offset: u64,
         received: &mut u64,
         content_ok: &mut bool,
-        md5: &mut Md5,
-        progress: Option<&mut SessionProgress>,
+        into: AbsorbInto<'_>,
     ) {
         if *content_ok {
             for (i, &b) in payload.iter().enumerate() {
@@ -993,8 +1378,9 @@ impl SinkServer {
                 }
             }
         }
-        match progress {
-            Some(p) => {
+        match into {
+            AbsorbInto::Plain(md5) => md5.update(payload),
+            AbsorbInto::Resume(p) => {
                 p.chain.update(payload);
                 // Certify newly completed blocks against the pattern; a
                 // mismatch freezes the boundary until the block is
@@ -1007,10 +1393,33 @@ impl SinkServer {
                     }
                 }
             }
-            None => md5.update(payload),
+            AbsorbInto::Stripe {
+                sb,
+                ledger,
+                total,
+                sid,
+            } => {
+                sb.chain.update(payload);
+                Self::certify_stripe_blocks(sb, ledger, total, sid);
+            }
         }
         *received += payload.len() as u64;
     }
+}
+
+/// Where [`SinkServer::absorb`] routes a conn's payload bytes: the
+/// conn's own whole-stream hasher (plain transfers), the session's
+/// in-order digest chain (v2 resume), or the conn's range chain plus
+/// the session block ledger (v3 stripes).
+enum AbsorbInto<'a> {
+    Plain(&'a mut Md5),
+    Resume(&'a mut SessionProgress),
+    Stripe {
+        sb: &'a mut StripeBody,
+        ledger: &'a mut BlockLedger,
+        total: u64,
+        sid: u64,
+    },
 }
 
 #[cfg(test)]

@@ -136,6 +136,14 @@ pub enum SessionError {
     /// verified). The sender must not stream from beyond the grant, so
     /// the attempt is abandoned as malformed.
     ResumeMismatch { requested: u64, granted: u64 },
+    /// The sink granted a stripe block range outside the one this
+    /// cascade requested — protocol corruption, so the attempt is
+    /// abandoned (a *narrowed* grant, including the empty one, is
+    /// normal: it means another cascade already delivered the head).
+    StripeMismatch {
+        granted_start: u64,
+        granted_end: u64,
+    },
 }
 
 impl fmt::Display for SessionError {
@@ -153,6 +161,13 @@ impl fmt::Display for SessionError {
             SessionError::ResumeMismatch { requested, granted } => write!(
                 f,
                 "resume offset mismatch: requested {requested}, sink granted {granted}"
+            ),
+            SessionError::StripeMismatch {
+                granted_start,
+                granted_end,
+            } => write!(
+                f,
+                "stripe grant outside request: sink granted blocks [{granted_start}, {granted_end})"
             ),
         }
     }
@@ -207,6 +222,14 @@ pub enum SessionEvent {
     /// The sink granted a mid-stream resume: this attempt streams from
     /// `offset` (the first byte of block `from_block`) instead of 0.
     Resumed { from_block: u64, offset: u64 },
+    /// A striped session lost cascade `cascade` (reconnect and failover
+    /// budgets spent): its `blocks` unverified in-flight blocks go back
+    /// on the dispatch queue. The session keeps streaming on survivors.
+    StripeLost { cascade: usize, blocks: u64 },
+    /// Blocks from a lost cascade were re-dispatched onto surviving
+    /// cascade `to` — the striped counterpart of `FailedOver`, without
+    /// pausing the session.
+    StripeRebalanced { to: usize, blocks: u64 },
     /// The sink verified a complete delivery.
     Completed,
     /// Terminal failure: recovery gave up.

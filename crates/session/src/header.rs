@@ -31,6 +31,20 @@
 //! decoder confronted with a v2 header fails with the *typed*
 //! [`WireError::UnsupportedVersion`]`(2)` rather than misparsing.
 //!
+//! Version 3 generalizes the resume request to a *block-range* request
+//! for striped sessions: one of N concurrent cascades asks to carry
+//! blocks `[start_block, end_block)` of the stream (see [`StripeReq`]).
+//! The fixed-part layout mirrors v2 (two u64s between length and hop
+//! count), and the sink replies with the block range it *grants* —
+//! possibly advanced past blocks another cascade already delivered:
+//!
+//! ```text
+//! 30      8     first block of the requested range
+//! 38      8     one-past-last block of the requested range
+//! 46      1     remaining hop count n
+//! 47      6n    hops
+//! ```
+//!
 //! A depot reads the header, pops the first hop, opens the next sublink
 //! and forwards the header with the shortened route (resume fields
 //! ride along untouched — they are end-to-end state, not depot state).
@@ -50,8 +64,11 @@ const MAGIC: &[u8; 4] = b"LSL1";
 const VERSION: u8 = 1;
 /// Version carrying the [`Resume`] request fields.
 const VERSION_RESUME: u8 = 2;
+/// Version carrying the [`StripeReq`] block-range fields.
+const VERSION_STRIPE: u8 = 3;
 const FIXED_LEN: usize = 31;
 const FIXED_LEN_RESUME: usize = 47;
+const FIXED_LEN_STRIPE: usize = 47;
 /// Upper bound on hops, which bounds header size for parser buffers.
 pub const MAX_HOPS: usize = 16;
 
@@ -83,6 +100,20 @@ impl Resume {
     }
 }
 
+/// A striped cascade's block-range request, carried by a version-3
+/// header: this connection offers to carry blocks
+/// `[start_block, end_block)` of the session's stream. As with
+/// [`Resume`], the sink is the authority — it grants the range it
+/// still needs (advancing `start_block` past blocks another cascade
+/// already delivered; an empty grant means the whole range is covered).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StripeReq {
+    /// First block of the requested range.
+    pub start_block: u64,
+    /// One past the last block of the requested range.
+    pub end_block: u64,
+}
+
 /// Parsed LSL header.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct LslHeader {
@@ -93,6 +124,9 @@ pub struct LslHeader {
     /// Resume request (version-2 headers only). `None` encodes as a
     /// version-1 header, bit-identical to the pre-resume wire format.
     pub resume: Option<Resume>,
+    /// Striped block-range request (version-3 headers only). Mutually
+    /// exclusive with `resume`.
+    pub stripe: Option<StripeReq>,
     /// Remaining hops, ending with the destination. Empty at the sink.
     pub route: Vec<Hop>,
 }
@@ -103,7 +137,9 @@ impl LslHeader {
     }
 
     fn fixed_len(&self) -> usize {
-        if self.resume.is_some() {
+        if self.stripe.is_some() {
+            FIXED_LEN_STRIPE
+        } else if self.resume.is_some() {
             FIXED_LEN_RESUME
         } else {
             FIXED_LEN
@@ -127,9 +163,15 @@ impl LslHeader {
                 u8::try_from(self.route.len()).unwrap_or(u8::MAX),
             ));
         }
+        assert!(
+            self.resume.is_none() || self.stripe.is_none(),
+            "resume and stripe requests are mutually exclusive"
+        );
         let mut b = BytesMut::with_capacity(self.encoded_len());
         b.put_slice(MAGIC);
-        b.put_u8(if self.resume.is_some() {
+        b.put_u8(if self.stripe.is_some() {
+            VERSION_STRIPE
+        } else if self.resume.is_some() {
             VERSION_RESUME
         } else {
             VERSION
@@ -137,7 +179,10 @@ impl LslHeader {
         b.put_u8(self.flags);
         b.put_slice(&self.session.to_bytes());
         b.put_u64(self.length);
-        if let Some(r) = self.resume {
+        if let Some(s) = self.stripe {
+            b.put_u64(s.start_block);
+            b.put_u64(s.end_block);
+        } else if let Some(r) = self.resume {
             b.put_u64(r.offset);
             b.put_u64(r.verified_block);
         }
@@ -171,6 +216,7 @@ impl LslHeader {
         let fixed = match buf[4] {
             VERSION => FIXED_LEN,
             VERSION_RESUME => FIXED_LEN_RESUME,
+            VERSION_STRIPE => FIXED_LEN_STRIPE,
             v => return Err(WireError::UnsupportedVersion(v)),
         };
         if buf.len() < fixed {
@@ -183,6 +229,14 @@ impl LslHeader {
             Some(Resume {
                 offset: u64::from_be_bytes(buf[30..38].try_into().expect("8 bytes")),
                 verified_block: u64::from_be_bytes(buf[38..46].try_into().expect("8 bytes")),
+            })
+        } else {
+            None
+        };
+        let stripe = if buf[4] == VERSION_STRIPE {
+            Some(StripeReq {
+                start_block: u64::from_be_bytes(buf[30..38].try_into().expect("8 bytes")),
+                end_block: u64::from_be_bytes(buf[38..46].try_into().expect("8 bytes")),
             })
         } else {
             None
@@ -208,6 +262,7 @@ impl LslHeader {
                 flags,
                 length,
                 resume,
+                stripe,
                 route,
             },
             total,
@@ -215,8 +270,8 @@ impl LslHeader {
     }
 
     /// The header a depot forwards: same session, route minus its first
-    /// hop. Returns the popped next hop alongside. Resume fields are
-    /// end-to-end state and ride along untouched.
+    /// hop. Returns the popped next hop alongside. Resume and stripe
+    /// fields are end-to-end state and ride along untouched.
     pub fn pop_hop(&self) -> Option<(Hop, LslHeader)> {
         let (&next, rest) = self.route.split_first()?;
         Some((
@@ -226,6 +281,7 @@ impl LslHeader {
                 flags: self.flags,
                 length: self.length,
                 resume: self.resume,
+                stripe: self.stripe,
                 route: rest.to_vec(),
             },
         ))
@@ -242,6 +298,7 @@ mod tests {
             flags: HEADER_FLAG_DIGEST,
             length: 1 << 26,
             resume: None,
+            stripe: None,
             route: (0..nhops)
                 .map(|i| Hop::new(NodeId(i as u32 + 1), 7000 + i as u16))
                 .collect(),
@@ -251,6 +308,13 @@ mod tests {
     fn header_v2(nhops: usize, resume: Resume) -> LslHeader {
         LslHeader {
             resume: Some(resume),
+            ..header(nhops)
+        }
+    }
+
+    fn header_v3(nhops: usize, stripe: StripeReq) -> LslHeader {
+        LslHeader {
+            stripe: Some(stripe),
             ..header(nhops)
         }
     }
@@ -289,6 +353,46 @@ mod tests {
     }
 
     #[test]
+    fn roundtrip_v3() {
+        for n in [0, 1, 2, MAX_HOPS] {
+            for stripe in [
+                StripeReq {
+                    start_block: 0,
+                    end_block: 8,
+                },
+                StripeReq {
+                    start_block: 24,
+                    end_block: 32,
+                },
+            ] {
+                let h = header_v3(n, stripe);
+                let enc = h.encode().unwrap();
+                assert_eq!(enc.len(), h.encoded_len());
+                assert_eq!(enc[4], VERSION_STRIPE);
+                let (dec, used) = LslHeader::decode(&enc).unwrap().unwrap();
+                assert_eq!(used, enc.len());
+                assert_eq!(dec, h);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "mutually exclusive")]
+    fn resume_and_stripe_together_are_rejected() {
+        let h = LslHeader {
+            resume: Some(Resume::fresh()),
+            ..header_v3(
+                1,
+                StripeReq {
+                    start_block: 0,
+                    end_block: 1,
+                },
+            )
+        };
+        let _ = h.encode();
+    }
+
+    #[test]
     fn v1_wire_format_is_unchanged_by_the_resume_extension() {
         // Pre-resume flows must stay bit-identical: no-resume headers
         // still encode as 31-byte-fixed version-1 headers.
@@ -306,10 +410,10 @@ mod tests {
         // reports for any version it does not know.
         let enc = header_v2(1, Resume::fresh()).encode().unwrap();
         let mut unknown = enc.to_vec();
-        unknown[4] = 3; // a future version neither decoder knows
+        unknown[4] = 4; // a future version neither decoder knows
         assert_eq!(
             LslHeader::decode(&unknown),
-            Err(WireError::UnsupportedVersion(3))
+            Err(WireError::UnsupportedVersion(4))
         );
     }
 
@@ -318,6 +422,15 @@ mod tests {
         for enc in [
             header(3).encode().unwrap(),
             header_v2(3, Resume::fresh()).encode().unwrap(),
+            header_v3(
+                3,
+                StripeReq {
+                    start_block: 8,
+                    end_block: 16,
+                },
+            )
+            .encode()
+            .unwrap(),
         ] {
             for cut in 4..enc.len() {
                 assert_eq!(
@@ -418,6 +531,21 @@ mod tests {
         let (_, fwd) = h.pop_hop().unwrap();
         assert_eq!(fwd.resume, h.resume);
     }
+
+    #[test]
+    fn pop_hop_preserves_stripe() {
+        let h = header_v3(
+            2,
+            StripeReq {
+                start_block: 5,
+                end_block: 9,
+            },
+        );
+        let (_, fwd) = h.pop_hop().unwrap();
+        assert_eq!(fwd.stripe, h.stripe);
+        let (_, sink) = fwd.pop_hop().unwrap();
+        assert_eq!(sink.stripe, h.stripe);
+    }
 }
 
 #[cfg(test)]
@@ -425,15 +553,26 @@ mod proptests {
     use super::*;
     use proptest::prelude::*;
 
-    /// An arbitrary resume field: absent (v1), fresh, or mid-stream.
-    fn any_resume() -> impl Strategy<Value = Option<Resume>> {
+    /// An arbitrary header extension: none (v1), a resume request (v2),
+    /// or a stripe block-range request (v3) — never both.
+    fn any_extension() -> impl Strategy<Value = (Option<Resume>, Option<StripeReq>)> {
         prop_oneof![
-            Just(None),
-            Just(Some(Resume::fresh())),
-            (any::<u64>(), any::<u64>()).prop_map(|(offset, verified_block)| Some(Resume {
-                offset,
-                verified_block
-            })),
+            Just((None, None)),
+            Just((Some(Resume::fresh()), None)),
+            (any::<u64>(), any::<u64>()).prop_map(|(offset, verified_block)| (
+                Some(Resume {
+                    offset,
+                    verified_block
+                }),
+                None
+            )),
+            (any::<u64>(), any::<u64>()).prop_map(|(start_block, end_block)| (
+                None,
+                Some(StripeReq {
+                    start_block,
+                    end_block
+                })
+            )),
         ]
     }
 
@@ -441,13 +580,15 @@ mod proptests {
         #[test]
         fn codec_roundtrip(sid in any::<u128>(), flags in any::<u8>(),
                            length in any::<u64>(),
-                           resume in any_resume(),
+                           ext in any_extension(),
                            hops in proptest::collection::vec((any::<u32>(), any::<u16>()), 0..MAX_HOPS)) {
+            let (resume, stripe) = ext;
             let h = LslHeader {
                 session: SessionId(sid),
                 flags,
                 length,
                 resume,
+                stripe,
                 route: hops.into_iter().map(|(n, p)| Hop::new(NodeId(n), p)).collect(),
             };
             let enc = h.encode().unwrap();
@@ -467,14 +608,16 @@ mod proptests {
         /// never a bogus parse).
         #[test]
         fn truncation_never_misparses(sid in any::<u128>(), length in any::<u64>(),
-                                      resume in any_resume(),
+                                      ext in any_extension(),
                                       nhops in 0usize..MAX_HOPS,
                                       cut_frac in 0.0f64..1.0) {
+            let (resume, stripe) = ext;
             let h = LslHeader {
                 session: SessionId(sid),
                 flags: HEADER_FLAG_DIGEST,
                 length,
                 resume,
+                stripe,
                 route: (0..nhops).map(|i| Hop::new(NodeId(i as u32), 7000)).collect(),
             };
             let enc = h.encode().unwrap();
@@ -500,15 +643,16 @@ mod proptests {
                 flags: 0,
                 length: 4096,
                 resume: None,
+                stripe: None,
                 route: vec![Hop::new(NodeId(7), 7000)],
             };
             let mut enc = h.encode().unwrap().to_vec();
             enc[pos] ^= flip;
             match (pos, LslHeader::decode(&enc)) {
                 (0..=3, res) => prop_assert_eq!(res, Err(WireError::BadMagic)),
-                (4, res) if VERSION ^ flip == VERSION_RESUME => {
+                (4, res) if VERSION ^ flip == VERSION_RESUME || VERSION ^ flip == VERSION_STRIPE => {
                     // The flip upgraded the version byte: the decoder
-                    // now waits for the longer v2 fixed part this
+                    // now waits for the longer v2/v3 fixed part this
                     // 37-byte buffer cannot complete.
                     prop_assert_eq!(res, Ok(None));
                 }
@@ -548,6 +692,7 @@ mod proptests {
                 // High offset byte 200: a downgraded-to-v1 parse reads
                 // it as a hop count, which MAX_HOPS then rejects.
                 resume: Some(Resume { offset: (200u64 << 56) | 4096, verified_block: 3 }),
+                stripe: None,
                 route: vec![Hop::new(NodeId(7), 7000)],
             };
             let mut enc = h.encode().unwrap().to_vec();
@@ -559,6 +704,13 @@ mod proptests {
                     let v = VERSION_RESUME ^ flip;
                     if v == VERSION {
                         prop_assert_eq!(res, Err(WireError::RouteTooLong(200)));
+                    } else if v == VERSION_STRIPE {
+                        // v2 and v3 share the fixed length: the header
+                        // reparses with the resume fields re-framed as a
+                        // stripe range — contained, and visibly different.
+                        let (dec, _) = res.unwrap().unwrap();
+                        prop_assert!(dec.stripe.is_some() && dec.resume.is_none());
+                        prop_assert_ne!(dec, h.clone());
                     } else {
                         prop_assert_eq!(res, Err(WireError::UnsupportedVersion(v)));
                     }
@@ -566,6 +718,57 @@ mod proptests {
                 46 => {
                     // Hop count: either implausible (typed error) or the
                     // parser waits for the longer route it now expects.
+                    let claimed = 1 ^ flip;
+                    if claimed as usize > MAX_HOPS {
+                        prop_assert_eq!(res, Err(WireError::RouteTooLong(claimed)));
+                    } else {
+                        prop_assert!(matches!(res, Ok(None)) || claimed as usize <= 1);
+                    }
+                }
+                _ => {
+                    let (dec, _) = res.unwrap().unwrap();
+                    prop_assert_ne!(dec, h);
+                }
+            }
+        }
+
+        /// Single-byte corruption of a *version-3* (striped) header is
+        /// detected or contained, symmetric with the v2 property — the
+        /// v2↔v3 flip re-frames the range as a resume request, which is
+        /// contained (parses, visibly different), and the v1 downgrade
+        /// re-frames a range byte as the hop count.
+        #[test]
+        fn corruption_is_detected_or_contained_v3(sid in any::<u128>(),
+                                                  pos in 0usize..FIXED_LEN_STRIPE,
+                                                  flip in 1u8..=255) {
+            let h = LslHeader {
+                session: SessionId(sid),
+                flags: 0,
+                length: 4096,
+                resume: None,
+                // High start_block byte 200: a downgraded-to-v1 parse
+                // reads it as a hop count, which MAX_HOPS rejects.
+                stripe: Some(StripeReq { start_block: (200u64 << 56) | 5, end_block: (200u64 << 56) | 9 }),
+                route: vec![Hop::new(NodeId(7), 7000)],
+            };
+            let mut enc = h.encode().unwrap().to_vec();
+            enc[pos] ^= flip;
+            let res = LslHeader::decode(&enc);
+            match pos {
+                0..=3 => prop_assert_eq!(res, Err(WireError::BadMagic)),
+                4 => {
+                    let v = VERSION_STRIPE ^ flip;
+                    if v == VERSION {
+                        prop_assert_eq!(res, Err(WireError::RouteTooLong(200)));
+                    } else if v == VERSION_RESUME {
+                        let (dec, _) = res.unwrap().unwrap();
+                        prop_assert!(dec.resume.is_some() && dec.stripe.is_none());
+                        prop_assert_ne!(dec, h.clone());
+                    } else {
+                        prop_assert_eq!(res, Err(WireError::UnsupportedVersion(v)));
+                    }
+                }
+                46 => {
                     let claimed = 1 ^ flip;
                     if claimed as usize > MAX_HOPS {
                         prop_assert_eq!(res, Err(WireError::RouteTooLong(claimed)));
@@ -590,6 +793,7 @@ mod proptests {
                 flags: 0,
                 length: 0,
                 resume: None,
+                stripe: None,
                 route: (0..nhops).map(|i| Hop::new(NodeId(i as u32), 7000)).collect(),
             };
             for left in (0..nhops).rev() {

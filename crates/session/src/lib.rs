@@ -30,7 +30,10 @@
 //! * [`plan`] — typed, builder-validated route candidate sets
 //!   ([`RoutePlan`]) — the only way to hand the client routes,
 //! * [`score`] — deterministic fixed-point cascade scoring driving
-//!   forecast route selection and proactive re-routing.
+//!   forecast route selection and proactive re-routing,
+//! * [`stripe`] — RAIL-style striped multi-cascade sessions: N
+//!   concurrent cascades with work-stealing block dispatch, k-of-n
+//!   redundant tails, and loss-bounded cascade death.
 
 pub mod client;
 pub mod depot;
@@ -43,18 +46,20 @@ pub mod path;
 pub mod plan;
 pub mod route;
 pub mod score;
+pub mod stripe;
 
 pub use client::{
     ClientState, RecoveryConfig, RecoveryConfigBuilder, SessionClient, CLIENT_TIMER_TAG,
 };
 pub use depot::{Depot, DepotConfig, DepotConfigBuilder, DepotStats};
 pub use endpoint::{
-    BulkSender, SenderState, SinkServer, TransferOutcome, TransferStatus, RESUME_BLOCK,
-    SINK_TIMER_TAG,
+    expected_block_digest_bounded, stream_blocks, BulkSender, SenderState, SinkServer,
+    TransferOutcome, TransferStatus, RESUME_BLOCK, SINK_TIMER_TAG,
 };
 pub use error::{Handled, PlanError, RouteError, SessionError, SessionEvent, WireError};
-pub use header::{LslHeader, Resume, HEADER_FLAG_DIGEST, NO_VERIFIED_BLOCK};
+pub use header::{LslHeader, Resume, StripeReq, HEADER_FLAG_DIGEST, NO_VERIFIED_BLOCK};
 pub use id::SessionId;
 pub use plan::{RouteCandidate, RoutePlan, RoutePlanBuilder, RouteProvenance};
 pub use route::{Hop, LslPath};
 pub use score::{cascade_score_ns, rank_candidates, SublinkForecast};
+pub use stripe::{LaneStat, StripeConfig, StripedSession, STRIPE_TIMER_TAG};

@@ -146,30 +146,6 @@ impl RoutePlan {
     }
 }
 
-/// Transitional shim: a raw hop list becomes a one-candidate plan whose
-/// last hop is the destination. Kept for one release so out-of-tree
-/// callers can migrate; panics on an invalid route exactly where the
-/// typed builder would have returned [`PlanError`]. New code should use
-/// [`RoutePlan::builder`].
-impl From<Vec<Hop>> for RoutePlan {
-    fn from(mut hops: Vec<Hop>) -> RoutePlan {
-        let dst = hops.pop().expect("route plan from empty hop list");
-        RoutePlan::single(LslPath::via(hops, dst)).expect("invalid hop list for route plan")
-    }
-}
-
-/// Transitional shim mirroring the old `Vec<LslPath>` client argument;
-/// panics where the typed builder would have returned [`PlanError`].
-impl From<Vec<LslPath>> for RoutePlan {
-    fn from(paths: Vec<LslPath>) -> RoutePlan {
-        let mut b = RoutePlan::builder();
-        for p in paths {
-            b = b.path(p);
-        }
-        b.build().expect("invalid path list for route plan")
-    }
-}
-
 /// Builder for [`RoutePlan`]: collects candidates, validates on
 /// `build`.
 #[derive(Debug, Default)]
@@ -307,23 +283,5 @@ mod tests {
         assert_eq!(plan.get(0).unwrap().provenance, RouteProvenance::Forecast);
         // Out-of-range index is a no-op, not a panic.
         plan.set_score(9, Some(1));
-    }
-
-    #[test]
-    fn hop_list_shim_builds_single_cascade() {
-        let plan = RoutePlan::from(vec![hop(1), hop(2), dst()]);
-        assert_eq!(plan.len(), 1);
-        assert_eq!(plan.get(0).unwrap().path.depots, vec![hop(1), hop(2)]);
-        assert_eq!(plan.dst(), dst());
-    }
-
-    #[test]
-    fn path_list_shim_preserves_order() {
-        let plan = RoutePlan::from(vec![
-            LslPath::via(vec![hop(1)], dst()),
-            LslPath::direct(dst()),
-        ]);
-        assert_eq!(plan.len(), 2);
-        assert!(plan.get(1).unwrap().path.depots.is_empty());
     }
 }

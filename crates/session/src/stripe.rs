@@ -1,0 +1,908 @@
+//! RAIL-style striped multi-cascade sessions.
+//!
+//! One session opens up to N depot cascades *concurrently* — the
+//! top-ranked [`RoutePlan`] candidates — and schedules the stream's
+//! [`crate::RESUME_BLOCK`]-sized blocks across them. Each cascade carries version-3
+//! headers ([`StripeReq`]): it offers a block range, the sink grants the
+//! sub-range it still needs (advancing past blocks some other cascade
+//! already certified), and the cascade streams exactly the granted
+//! range, trailed by an MD5 over those bytes only. The sink certifies
+//! blocks out of order through its [`lsl_digest::BlockLedger`], so
+//! stripe arrival order is irrelevant to end-to-end verification.
+//!
+//! Scheduling is work-stealing over per-lane chunk queues: the stream is
+//! first partitioned into contiguous macro-stripes sized by the
+//! candidates' forecast scores (a faster forecast gets more blocks),
+//! each split into [`StripeConfig::chunk_blocks`]-sized chunks. A lane
+//! that drains its own queue steals from the back of the longest
+//! surviving queue, so observed throughput — not the forecast — decides
+//! the final distribution. When every queue is dry, an idle lane may
+//! *redundantly* re-request a chunk still in flight on a slower lane
+//! (k-of-n tail dispatch, budgeted by [`StripeConfig::redundant_tail`]);
+//! the sink discards duplicate certifications, counting them.
+//!
+//! Cascade death re-stripes: a lane that exhausts its reconnect backoff
+//! ladder fails over to an unused candidate route, and when none is
+//! left, dies — its unverified in-flight blocks go back on the dispatch
+//! queue ([`SessionEvent::StripeLost`]) and surviving cascades pick them
+//! up ([`SessionEvent::StripeRebalanced`]). Because the sink's grant
+//! always skips verified blocks, a kill mid-transfer can only ever cause
+//! *in-flight* blocks to be resent — never certified ones.
+//!
+//! With one cascade the wrapper delegates to [`SessionClient`]
+//! wholesale, so degraded striping is byte-identical to the
+//! single-cascade client.
+
+use std::collections::VecDeque;
+
+use lsl_netsim::{NodeId, Time};
+use lsl_tcp::{AppEvent, Net, TcpConfig};
+
+use crate::client::{ClientState, RecoveryConfig, SessionClient};
+use crate::endpoint::{stream_blocks, BulkSender, SendMode, SenderState, TransferOutcome};
+use crate::error::{Handled, SessionError, SessionEvent};
+use crate::header::StripeReq;
+use crate::id::SessionId;
+use crate::plan::RoutePlan;
+use crate::route::LslPath;
+use crate::score::rank_candidates;
+
+/// App-timer tokens with this bit (and bits 63..60 clear) belong to a
+/// striped session's lanes. Bit 63 is the net layer's discriminator,
+/// 62 the [`SessionClient`], 61 the sink, 60 the forecast plane.
+pub const STRIPE_TIMER_TAG: u64 = 1 << 59;
+
+/// Striping policy knobs. Recovery (backoff ladder, watchdog,
+/// retransfer budget) is per *lane*, reusing [`RecoveryConfig`].
+#[derive(Clone, Debug)]
+pub struct StripeConfig {
+    /// Cascades opened concurrently (clamped to the plan's candidate
+    /// count). 1 degrades to the plain [`SessionClient`].
+    pub max_cascades: usize,
+    /// Dispatch quantum: blocks per chunk a lane requests at a time.
+    pub chunk_blocks: u64,
+    /// Redundant tail attempts allowed per session (k-of-n dispatch of
+    /// chunks already in flight elsewhere). 0 disables redundancy.
+    pub redundant_tail: u32,
+    /// Per-lane recovery policy (reconnect backoff, progress watchdog,
+    /// retransfer budget). `direct_fallback` appends a depot-free
+    /// candidate lanes may fail over to, exactly as for the single
+    /// client.
+    pub recovery: RecoveryConfig,
+}
+
+impl Default for StripeConfig {
+    fn default() -> StripeConfig {
+        StripeConfig {
+            max_cascades: 2,
+            chunk_blocks: 16,
+            redundant_tail: 2,
+            recovery: RecoveryConfig::default(),
+        }
+    }
+}
+
+/// Per-lane dispatch statistics, for experiment reporting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LaneStat {
+    /// Candidate index the lane currently (or last) used.
+    pub route: usize,
+    /// Blocks dispatched on this lane (including re-dispatches).
+    pub blocks_dispatched: u64,
+    /// Blocks this lane stole from other lanes' queues.
+    pub blocks_stolen: u64,
+    /// Redundant (k-of-n) attempts this lane initiated.
+    pub redundant_attempts: u64,
+    /// The lane died (routes exhausted) and its work was re-striped.
+    pub dead: bool,
+}
+
+/// A session striped over N concurrent cascades, or — when N is 1 — the
+/// plain single-cascade [`SessionClient`], verbatim.
+pub struct StripedSession {
+    inner: StripedInner,
+}
+
+enum StripedInner {
+    Single(Box<SessionClient>),
+    Striped(Box<StripedClient>),
+}
+
+impl StripedSession {
+    /// Begin the session over `min(cfg.max_cascades, plan.len())`
+    /// cascades. Always LSL sync+digest mode: striping (like resume) is
+    /// meaningless without block certification.
+    ///
+    /// # Panics
+    ///
+    /// On a zero `max_cascades` or `chunk_blocks`, or more than 15
+    /// cascades (the lane field of the timer token is 4 bits).
+    #[allow(clippy::too_many_arguments)] // one-shot constructor mirroring SessionClient::start
+    pub fn start(
+        net: &mut Net,
+        node: NodeId,
+        plan: RoutePlan,
+        session: SessionId,
+        total: u64,
+        tcp: TcpConfig,
+        cfg: StripeConfig,
+        trace_label: Option<&str>,
+    ) -> StripedSession {
+        assert!(
+            cfg.max_cascades >= 1,
+            "a session needs at least one cascade"
+        );
+        assert!(
+            cfg.max_cascades <= 15,
+            "timer tokens carry a 4-bit lane index"
+        );
+        assert!(cfg.chunk_blocks >= 1, "chunks must hold at least one block");
+        let lanes = cfg.max_cascades.min(plan.len());
+        // A single-block stream cannot stripe either; fall through to
+        // the plain client so tiny transfers behave identically.
+        let inner = if lanes <= 1 || stream_blocks(total) < 2 {
+            StripedInner::Single(Box::new(SessionClient::start(
+                net,
+                node,
+                plan,
+                session,
+                total,
+                SendMode::lsl(),
+                tcp,
+                cfg.recovery,
+                trace_label,
+            )))
+        } else {
+            StripedInner::Striped(Box::new(StripedClient::start(
+                net,
+                node,
+                plan,
+                session,
+                total,
+                tcp,
+                cfg,
+                trace_label,
+            )))
+        };
+        StripedSession { inner }
+    }
+
+    pub fn session(&self) -> SessionId {
+        match &self.inner {
+            StripedInner::Single(c) => c.session(),
+            StripedInner::Striped(c) => c.session,
+        }
+    }
+
+    pub fn state(&self) -> ClientState {
+        match &self.inner {
+            StripedInner::Single(c) => c.state(),
+            StripedInner::Striped(c) => c.state,
+        }
+    }
+
+    pub fn is_done(&self) -> bool {
+        matches!(self.state(), ClientState::Done | ClientState::Failed(_))
+    }
+
+    /// Number of cascades the session striped over (1 = degraded to the
+    /// single-cascade client).
+    pub fn cascades(&self) -> usize {
+        match &self.inner {
+            StripedInner::Single(_) => 1,
+            StripedInner::Striped(c) => c.lanes.len(),
+        }
+    }
+
+    /// Per-lane dispatch statistics (empty for the degraded single).
+    pub fn lane_stats(&self) -> Vec<LaneStat> {
+        match &self.inner {
+            StripedInner::Single(_) => Vec::new(),
+            StripedInner::Striped(c) => c
+                .lanes
+                .iter()
+                .map(|l| LaneStat {
+                    route: l.route_idx,
+                    blocks_dispatched: l.dispatched,
+                    blocks_stolen: l.stolen,
+                    redundant_attempts: l.redundant,
+                    dead: l.state == LaneState::Dead,
+                })
+                .collect(),
+        }
+    }
+
+    /// The timestamped lifecycle so far.
+    pub fn events(&self) -> &[(Time, SessionEvent)] {
+        match &self.inner {
+            StripedInner::Single(c) => c.events(),
+            StripedInner::Striped(c) => &c.events,
+        }
+    }
+
+    pub fn take_events(&mut self) -> Vec<(Time, SessionEvent)> {
+        match &mut self.inner {
+            StripedInner::Single(c) => c.take_events(),
+            StripedInner::Striped(c) => std::mem::take(&mut c.events),
+        }
+    }
+
+    pub fn started_at(&self) -> Time {
+        match &self.inner {
+            StripedInner::Single(c) => c.started_at,
+            StripedInner::Striped(c) => c.started_at,
+        }
+    }
+
+    pub fn finished_at(&self) -> Option<Time> {
+        match &self.inner {
+            StripedInner::Single(c) => c.finished_at,
+            StripedInner::Striped(c) => c.finished_at,
+        }
+    }
+
+    /// Feed one event; [`Handled::Consumed`] means it belonged to one
+    /// of this session's lanes (or the delegated single client).
+    pub fn handle(&mut self, net: &mut Net, ev: &AppEvent) -> Handled {
+        match &mut self.inner {
+            StripedInner::Single(c) => c.handle(net, ev),
+            StripedInner::Striped(c) => c.handle(net, ev),
+        }
+    }
+
+    /// The harness observed a sink outcome for this session.
+    pub fn on_outcome(&mut self, net: &mut Net, outcome: &TransferOutcome) {
+        match &mut self.inner {
+            StripedInner::Single(c) => c.on_outcome(net, outcome),
+            StripedInner::Striped(c) => c.on_outcome(net, outcome),
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum LaneState {
+    /// No chunk in hand (queues dry, redundancy budget spent).
+    Idle,
+    /// An attempt is in flight.
+    Running,
+    /// Backing off before re-attempting the in-flight chunk.
+    Backoff,
+    /// Routes exhausted; work re-striped onto survivors.
+    Dead,
+}
+
+/// A dispatchable block range. `lost_at` is set when the chunk was
+/// requeued off a dead lane — the rebalance-latency clock.
+struct Chunk {
+    start: u64,
+    end: u64,
+    lost_at: Option<Time>,
+}
+
+impl Chunk {
+    fn blocks(&self) -> u64 {
+        self.end - self.start
+    }
+}
+
+/// One cascade of a striped session: a route, the chunk it is carrying,
+/// and its private share of the dispatch queue.
+struct Lane {
+    route_idx: usize,
+    state: LaneState,
+    sender: Option<BulkSender>,
+    /// The chunk in flight (kept across reconnects of the same lane: the
+    /// re-attempt re-requests it and the sink's grant skips whatever
+    /// certified before the failure).
+    chunk: Option<Chunk>,
+    queue: VecDeque<Chunk>,
+    reconnects: u32,
+    retransfers: u32,
+    last_progress: u64,
+    timer_gen: u64,
+    dispatched: u64,
+    stolen: u64,
+    redundant: u64,
+}
+
+/// The N-cascade dispatcher behind [`StripedSession`].
+struct StripedClient {
+    node: NodeId,
+    session: SessionId,
+    total: u64,
+    total_blocks: u64,
+    tcp: TcpConfig,
+    trace_label: Option<String>,
+    plan: RoutePlan,
+    cfg: StripeConfig,
+    lanes: Vec<Lane>,
+    /// Per-candidate: currently driven by some lane.
+    assigned: Vec<bool>,
+    /// Per-candidate: spent by some lane's recovery ladder.
+    dead_routes: Vec<bool>,
+    /// Sink-reported session-wide verified block count (monotone).
+    verified: u64,
+    redundant_left: u32,
+    established: bool,
+    confirmed: bool,
+    state: ClientState,
+    events: Vec<(Time, SessionEvent)>,
+    started_at: Time,
+    finished_at: Option<Time>,
+}
+
+impl StripedClient {
+    #[allow(clippy::too_many_arguments)] // constructor mirroring StripedSession::start
+    fn start(
+        net: &mut Net,
+        node: NodeId,
+        plan: RoutePlan,
+        session: SessionId,
+        total: u64,
+        tcp: TcpConfig,
+        cfg: StripeConfig,
+        trace_label: Option<&str>,
+    ) -> StripedClient {
+        let mut plan = plan;
+        if cfg.recovery.direct_fallback && !plan.has_depot_free() {
+            let _ = plan.push_failover(LslPath::direct(plan.dst()));
+        }
+        let total_blocks = stream_blocks(total);
+        // Lanes ride the top-ranked candidates; macro-stripes sized by
+        // forecast score (unscored plans split evenly).
+        let scores: Vec<Option<u64>> = plan.candidates().iter().map(|c| c.score).collect();
+        let ranked = rank_candidates(&scores);
+        let n = cfg.max_cascades.min(ranked.len());
+        let routes: Vec<usize> = ranked[..n].to_vec();
+        let weights = lane_weights(&routes.iter().map(|&i| scores[i]).collect::<Vec<_>>());
+        let stripes = partition(total_blocks, &weights);
+        let mut assigned = vec![false; plan.len()];
+        let lanes: Vec<Lane> = routes
+            .iter()
+            .zip(&stripes)
+            .map(|(&route_idx, &(a, b))| {
+                assigned[route_idx] = true;
+                Lane {
+                    route_idx,
+                    state: LaneState::Idle,
+                    sender: None,
+                    chunk: None,
+                    queue: chop(a, b, cfg.chunk_blocks),
+                    reconnects: 0,
+                    retransfers: 0,
+                    last_progress: 0,
+                    timer_gen: 0,
+                    dispatched: 0,
+                    stolen: 0,
+                    redundant: 0,
+                }
+            })
+            .collect();
+        let mut client = StripedClient {
+            node,
+            session,
+            total,
+            total_blocks,
+            tcp,
+            trace_label: trace_label.map(str::to_owned),
+            dead_routes: vec![false; plan.len()],
+            plan,
+            redundant_left: cfg.redundant_tail,
+            cfg,
+            lanes,
+            assigned,
+            verified: 0,
+            established: false,
+            confirmed: false,
+            state: ClientState::Running,
+            events: Vec::new(),
+            started_at: net.now(),
+            finished_at: None,
+        };
+        lsl_obs::span_begin(net.now().0, "session.striped", session.0 as u64);
+        client.pump_idle(net);
+        client
+    }
+
+    fn is_done(&self) -> bool {
+        matches!(self.state, ClientState::Done | ClientState::Failed(_))
+    }
+
+    fn push_event(&mut self, net: &Net, ev: SessionEvent) {
+        self.obs_event(net.now(), &ev);
+        self.events.push((net.now(), ev));
+    }
+
+    fn obs_event(&self, t: Time, ev: &SessionEvent) {
+        let sid = self.session.0 as u64;
+        match ev {
+            SessionEvent::StripeLost { cascade, .. } => {
+                lsl_obs::instant(t.0, "session.stripe.lost", *cascade as u64);
+            }
+            SessionEvent::StripeRebalanced { to, .. } => {
+                lsl_obs::instant(t.0, "session.stripe.rebalance", *to as u64);
+            }
+            SessionEvent::Completed => {
+                lsl_obs::instant(t.0, "session.completed", sid);
+                lsl_obs::span_end(t.0, "session.striped", sid);
+            }
+            SessionEvent::Failed(_) => {
+                lsl_obs::instant(t.0, "session.failed", sid);
+                lsl_obs::span_end(t.0, "session.striped", sid);
+            }
+            _ => {}
+        }
+    }
+
+    /// Timer token: stripe tag, 23 bits of session id, 4 bits of lane,
+    /// 32 bits of per-lane generation.
+    fn lane_token(&self, lane: usize, gen: u64) -> u64 {
+        let sid = (self.session.0 as u64) & 0x007f_ffff;
+        STRIPE_TIMER_TAG | (sid << 36) | ((lane as u64 & 0xf) << 32) | (gen & 0xffff_ffff)
+    }
+
+    fn arm_lane_timer(&mut self, net: &mut Net, lane: usize, delay: lsl_netsim::Dur) {
+        self.lanes[lane].timer_gen += 1;
+        let token = self.lane_token(lane, self.lanes[lane].timer_gen);
+        net.set_app_timer(self.node, net.now() + delay, token);
+    }
+
+    /// Give every idle lane a chunk (initial kick, post-completion, and
+    /// post-rebalance).
+    fn pump_idle(&mut self, net: &mut Net) {
+        for i in 0..self.lanes.len() {
+            if self.lanes[i].state == LaneState::Idle && self.lanes[i].sender.is_none() {
+                self.dispatch(net, i);
+            }
+        }
+    }
+
+    /// Hand lane `i` its next chunk: own queue first, then steal from
+    /// the back of the longest surviving queue, then (tail only) a
+    /// redundant re-request of a chunk in flight elsewhere.
+    fn dispatch(&mut self, net: &mut Net, i: usize) {
+        if self.is_done() || self.lanes[i].state == LaneState::Dead {
+            return;
+        }
+        if self.lanes[i].chunk.is_none() {
+            let mut chunk = self.lanes[i].queue.pop_front();
+            if chunk.is_none() {
+                // Work-stealing: the longest queue loses its tail chunk.
+                let victim = (0..self.lanes.len())
+                    .filter(|&j| j != i && !self.lanes[j].queue.is_empty())
+                    .max_by_key(|&j| (self.lanes[j].queue.len(), usize::MAX - j));
+                if let Some(j) = victim {
+                    chunk = self.lanes[j].queue.pop_back();
+                    if let Some(c) = &chunk {
+                        self.lanes[i].stolen += c.blocks();
+                        lsl_obs::counter_add("stripe.blocks_stolen", i as u64, c.blocks());
+                    }
+                }
+            }
+            if chunk.is_none() && self.redundant_left > 0 {
+                // k-of-n tail: double up on a chunk a slower lane is
+                // still carrying. The sink discards the duplicates.
+                let target = (0..self.lanes.len())
+                    .filter(|&j| j != i && self.lanes[j].state != LaneState::Dead)
+                    .find(|&j| self.lanes[j].chunk.is_some());
+                if let Some(j) = target {
+                    if let Some(c) = &self.lanes[j].chunk {
+                        chunk = Some(Chunk {
+                            start: c.start,
+                            end: c.end,
+                            lost_at: None,
+                        });
+                        self.redundant_left -= 1;
+                        self.lanes[i].redundant += 1;
+                        lsl_obs::counter_add("stripe.redundant_dispatch", i as u64, 1);
+                    }
+                }
+            }
+            let Some(mut c) = chunk else {
+                self.lanes[i].state = LaneState::Idle;
+                return;
+            };
+            if let Some(lost) = c.lost_at.take() {
+                // This chunk came off a dead cascade: it is now safely
+                // re-striped; record how long the blocks sat orphaned.
+                let blocks = c.blocks();
+                lsl_obs::hist_observe("session.stripe.rebalance_ns", (net.now() - lost).0);
+                self.push_event(net, SessionEvent::StripeRebalanced { to: i, blocks });
+            }
+            self.lanes[i].dispatched += c.blocks();
+            lsl_obs::counter_add("stripe.blocks_dispatched", i as u64, c.blocks());
+            self.lanes[i].chunk = Some(c);
+        }
+        self.start_attempt(net, i);
+    }
+
+    /// Open a cascade for lane `i`'s in-flight chunk.
+    fn start_attempt(&mut self, net: &mut Net, i: usize) {
+        let Some(c) = self.lanes[i].chunk.as_ref() else {
+            return;
+        };
+        let req = StripeReq {
+            start_block: c.start,
+            end_block: c.end,
+        };
+        let path = self.plan.candidates()[self.lanes[i].route_idx].path.clone();
+        let sender = BulkSender::start_stripe(
+            net,
+            self.node,
+            &path,
+            self.session,
+            self.total,
+            self.tcp.clone(),
+            self.trace_label.as_deref(),
+            req,
+        );
+        self.lanes[i].last_progress = sender.progress();
+        self.lanes[i].sender = Some(sender);
+        self.lanes[i].state = LaneState::Running;
+        if let Some(d) = self.cfg.recovery.progress_timeout {
+            self.arm_lane_timer(net, i, d);
+        }
+    }
+
+    fn handle(&mut self, net: &mut Net, ev: &AppEvent) -> Handled {
+        if let AppEvent::Timer { node, token } = ev {
+            let mine = *node == self.node
+                && token >> 60 == 0
+                && token & STRIPE_TIMER_TAG != 0
+                && (token >> 36) & 0x007f_ffff == (self.session.0 as u64) & 0x007f_ffff;
+            if !mine {
+                return Handled::NotMine;
+            }
+            let lane = ((token >> 32) & 0xf) as usize;
+            let gen = token & 0xffff_ffff;
+            if lane < self.lanes.len() {
+                self.on_lane_timer(net, lane, gen);
+            }
+            return Handled::Consumed;
+        }
+        let mut hit = None;
+        for (i, lane) in self.lanes.iter_mut().enumerate() {
+            if let Some(s) = lane.sender.as_mut() {
+                let before = s.state();
+                if s.handle(net, ev).consumed() {
+                    hit = Some((i, before, s.state()));
+                    break;
+                }
+            }
+        }
+        let Some((i, before, after)) = hit else {
+            return Handled::NotMine;
+        };
+        if before != after {
+            if before == SenderState::Connecting
+                && matches!(after, SenderState::AwaitingConfirm | SenderState::Streaming)
+                && !self.established
+            {
+                self.established = true;
+                self.push_event(net, SessionEvent::Established);
+            }
+            match after {
+                SenderState::Failed(err) => self.on_lane_failed(net, i, err),
+                SenderState::Streaming | SenderState::Done
+                    if before == SenderState::AwaitingConfirm && !self.confirmed =>
+                {
+                    self.confirmed = true;
+                    self.push_event(net, SessionEvent::Confirmed);
+                }
+                _ => {}
+            }
+        }
+        Handled::Consumed
+    }
+
+    fn on_lane_timer(&mut self, net: &mut Net, i: usize, gen: u64) {
+        if self.is_done() || gen != self.lanes[i].timer_gen & 0xffff_ffff {
+            return; // stale generation
+        }
+        match self.lanes[i].state {
+            LaneState::Backoff => self.start_attempt(net, i),
+            LaneState::Running => {
+                let Some(sender) = self.lanes[i].sender.as_ref() else {
+                    return;
+                };
+                if sender.is_done() {
+                    return; // outcome pending at the sink
+                }
+                let progress = sender.progress();
+                if progress == self.lanes[i].last_progress {
+                    self.on_lane_failed(net, i, SessionError::Stalled);
+                } else {
+                    self.lanes[i].last_progress = progress;
+                    if let Some(d) = self.cfg.recovery.progress_timeout {
+                        self.arm_lane_timer(net, i, d);
+                    }
+                }
+            }
+            LaneState::Idle | LaneState::Dead => {}
+        }
+    }
+
+    /// Lane `i`'s attempt died: reconnect with backoff, fail over to an
+    /// unused candidate, or die and re-stripe.
+    fn on_lane_failed(&mut self, net: &mut Net, i: usize, err: SessionError) {
+        self.push_event(net, SessionEvent::SublinkDown(err));
+        if let Some(s) = self.lanes[i].sender.take() {
+            net.abort(s.sock());
+        }
+        if self.lanes[i].reconnects < self.cfg.recovery.max_reconnects {
+            self.lanes[i].reconnects += 1;
+            let exp = self.lanes[i].reconnects.saturating_sub(1).min(16);
+            let delay =
+                (self.cfg.recovery.backoff_base * 2u64.pow(exp)).min(self.cfg.recovery.backoff_cap);
+            self.push_event(
+                net,
+                SessionEvent::Reconnecting {
+                    attempt: self.lanes[i].reconnects,
+                    delay,
+                },
+            );
+            self.lanes[i].state = LaneState::Backoff;
+            self.arm_lane_timer(net, i, delay);
+            return;
+        }
+        // Route spent: fail over to the best unassigned survivor.
+        self.dead_routes[self.lanes[i].route_idx] = true;
+        self.assigned[self.lanes[i].route_idx] = false;
+        if let Some(next) = self.next_free_route() {
+            self.assigned[next] = true;
+            self.lanes[i].route_idx = next;
+            self.lanes[i].reconnects = 0;
+            if self.plan.candidates()[next].path.depots.is_empty() {
+                self.push_event(net, SessionEvent::Degraded);
+            } else {
+                self.push_event(net, SessionEvent::FailedOver { route: next });
+            }
+            self.start_attempt(net, i);
+            return;
+        }
+        self.kill_lane(net, i);
+    }
+
+    /// The best candidate no lane is using and no ladder has spent,
+    /// forecast rank order.
+    fn next_free_route(&self) -> Option<usize> {
+        let scores: Vec<Option<u64>> = self.plan.candidates().iter().map(|c| c.score).collect();
+        rank_candidates(&scores)
+            .into_iter()
+            .find(|&i| !self.dead_routes[i] && !self.assigned[i])
+    }
+
+    /// Lane `i` is out of routes: mark it dead, requeue its unverified
+    /// blocks onto survivors, and kick idle survivors so the re-striped
+    /// work starts moving immediately.
+    fn kill_lane(&mut self, net: &mut Net, i: usize) {
+        let now = net.now();
+        self.lanes[i].state = LaneState::Dead;
+        let mut orphans: Vec<Chunk> = Vec::new();
+        if let Some(mut c) = self.lanes[i].chunk.take() {
+            c.lost_at = Some(now);
+            orphans.push(c);
+        }
+        for mut c in self.lanes[i].queue.drain(..) {
+            c.lost_at = Some(now);
+            orphans.push(c);
+        }
+        let blocks: u64 = orphans.iter().map(Chunk::blocks).sum();
+        self.push_event(net, SessionEvent::StripeLost { cascade: i, blocks });
+        let survivors: Vec<usize> = (0..self.lanes.len())
+            .filter(|&j| self.lanes[j].state != LaneState::Dead)
+            .collect();
+        if survivors.is_empty() {
+            self.fail(net, SessionError::RoutesExhausted);
+            return;
+        }
+        // Round-robin the orphans across survivors; stealing evens out
+        // any imbalance this leaves.
+        for (k, c) in orphans.into_iter().enumerate() {
+            self.lanes[survivors[k % survivors.len()]]
+                .queue
+                .push_back(c);
+        }
+        self.pump_idle(net);
+    }
+
+    fn fail(&mut self, net: &mut Net, err: SessionError) {
+        self.push_event(net, SessionEvent::Failed(err));
+        self.state = ClientState::Failed(err);
+        self.finished_at.get_or_insert(net.now());
+        self.teardown(net);
+    }
+
+    fn complete(&mut self, net: &mut Net) {
+        self.push_event(net, SessionEvent::Completed);
+        self.state = ClientState::Done;
+        self.finished_at.get_or_insert(net.now());
+        self.teardown(net);
+    }
+
+    /// Abort every outstanding attempt (redundant stragglers included)
+    /// and void all timers.
+    fn teardown(&mut self, net: &mut Net) {
+        for lane in &mut self.lanes {
+            if let Some(s) = lane.sender.take() {
+                net.abort(s.sock());
+            }
+            lane.timer_gen += 1;
+        }
+    }
+
+    fn on_outcome(&mut self, net: &mut Net, outcome: &TransferOutcome) {
+        if self.is_done() {
+            return;
+        }
+        debug_assert!(
+            outcome.session.is_none() || outcome.session == Some(self.session),
+            "outcome routed to the wrong client"
+        );
+        // Every outcome — even a failed straggler's — reports the
+        // session-wide certified count; fold it in first.
+        self.verified = self.verified.max(outcome.session_verified);
+        if self.verified >= self.total_blocks {
+            self.complete(net);
+            return;
+        }
+        // Attribute the outcome to the lane whose finished attempt
+        // carried this granted range. Unmatched outcomes (attempts we
+        // already aborted) only contribute the fold above.
+        let Some(range) = outcome.stripe else {
+            return;
+        };
+        let Some(i) = self.lanes.iter().position(|l| {
+            l.sender.as_ref().is_some_and(|s| {
+                s.state() == SenderState::Done && s.stripe_granted() == Some(range)
+            })
+        }) else {
+            return;
+        };
+        if outcome.ok() {
+            // Chunk delivered and certified: release it, pull the next.
+            if let Some(s) = self.lanes[i].sender.take() {
+                net.abort(s.sock());
+            }
+            self.lanes[i].chunk = None;
+            self.lanes[i].reconnects = 0;
+            self.lanes[i].state = LaneState::Idle;
+            self.dispatch(net, i);
+        } else if self.lanes[i].retransfers < self.cfg.recovery.max_retransfers {
+            // Completed-but-unverified (digest/content/truncation):
+            // burn a lane retransfer and re-request the same chunk —
+            // the grant narrows past whatever did certify.
+            self.lanes[i].retransfers += 1;
+            self.push_event(
+                net,
+                SessionEvent::Retransfer {
+                    attempt: self.lanes[i].retransfers,
+                },
+            );
+            if let Some(s) = self.lanes[i].sender.take() {
+                net.abort(s.sock());
+            }
+            self.start_attempt(net, i);
+        } else {
+            self.fail(net, SessionError::RetransfersExhausted);
+        }
+    }
+}
+
+/// Relative lane weights from forecast scores (predicted transfer time,
+/// lower = faster = more blocks). Any unscored candidate makes the
+/// split even — a static plan has no basis for asymmetry.
+fn lane_weights(scores: &[Option<u64>]) -> Vec<u64> {
+    let Some(all) = scores.iter().copied().collect::<Option<Vec<u64>>>() else {
+        return vec![1; scores.len()];
+    };
+    let max = all.iter().copied().max().unwrap_or(1).max(1);
+    all.iter()
+        .map(|&s| ((max as u128 * 16 / s.max(1) as u128).min(1 << 20) as u64).max(1))
+        .collect()
+}
+
+/// Contiguous macro-stripes over `[0, total_blocks)` proportional to
+/// `weights` (remainders land on earlier lanes; every range is kept in
+/// bounds and non-overlapping; later lanes may be empty when the stream
+/// is short).
+fn partition(total_blocks: u64, weights: &[u64]) -> Vec<(u64, u64)> {
+    let sum: u128 = weights.iter().map(|&w| w as u128).sum::<u128>().max(1);
+    let mut out = Vec::with_capacity(weights.len());
+    let mut at = 0u64;
+    let mut acc = 0u128;
+    for (i, &w) in weights.iter().enumerate() {
+        acc += w as u128;
+        let end = if i == weights.len() - 1 {
+            total_blocks
+        } else {
+            ((total_blocks as u128 * acc / sum) as u64).clamp(at, total_blocks)
+        };
+        out.push((at, end));
+        at = end;
+    }
+    out
+}
+
+/// Split macro-stripe `[a, b)` into dispatch chunks of `chunk_blocks`.
+fn chop(a: u64, b: u64, chunk_blocks: u64) -> VecDeque<Chunk> {
+    let mut q = VecDeque::new();
+    let mut at = a;
+    while at < b {
+        let end = (at + chunk_blocks).min(b);
+        q.push_back(Chunk {
+            start: at,
+            end,
+            lost_at: None,
+        });
+        at = end;
+    }
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::CLIENT_TIMER_TAG;
+
+    #[test]
+    fn partition_covers_stream_in_order() {
+        for (total, weights) in [
+            (100u64, vec![1u64, 1]),
+            (7, vec![3, 1]),
+            (1000, vec![16, 8, 1]),
+            (2, vec![1, 1, 1, 1]),
+        ] {
+            let p = partition(total, &weights);
+            assert_eq!(p.len(), weights.len());
+            assert_eq!(p[0].0, 0);
+            assert_eq!(p.last().unwrap().1, total);
+            for w in p.windows(2) {
+                assert_eq!(w[0].1, w[1].0, "contiguous, non-overlapping");
+            }
+            for &(a, b) in &p {
+                assert!(a <= b);
+            }
+        }
+    }
+
+    #[test]
+    fn partition_is_weight_proportional() {
+        let p = partition(100, &[3, 1]);
+        assert_eq!(p, vec![(0, 75), (75, 100)]);
+    }
+
+    #[test]
+    fn lane_weights_prefer_fast_forecasts() {
+        // Lower score = faster route = heavier weight.
+        let w = lane_weights(&[Some(100), Some(400)]);
+        assert!(w[0] > w[1], "faster lane gets more blocks: {w:?}");
+        // Any unscored candidate forces an even split.
+        assert_eq!(lane_weights(&[Some(100), None]), vec![1, 1]);
+        assert_eq!(lane_weights(&[None, None, None]), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn chop_produces_chunk_quanta() {
+        let q = chop(10, 45, 16);
+        let ranges: Vec<(u64, u64)> = q.iter().map(|c| (c.start, c.end)).collect();
+        assert_eq!(ranges, vec![(10, 26), (26, 42), (42, 45)]);
+        assert!(chop(5, 5, 16).is_empty());
+    }
+
+    #[test]
+    fn stripe_timer_tokens_never_look_like_client_tokens() {
+        // A stripe token must never set the client tag bit, and the
+        // stripe filter (bits 63..60 clear + bit 59 set) must reject
+        // every client token, whatever session id bits it carries.
+        let stripe_token = |sid: u64, lane: u64, gen: u64| {
+            STRIPE_TIMER_TAG | ((sid & 0x007f_ffff) << 36) | ((lane & 0xf) << 32) | gen
+        };
+        let t = stripe_token(0x7f_ffff, 15, 0xffff_ffff);
+        assert_eq!(t & CLIENT_TIMER_TAG, 0);
+        assert_eq!(t >> 60, 0);
+        // Client token whose 30-bit session field sets bit 59.
+        let clientish = CLIENT_TIMER_TAG | (0x3fff_ffffu64 << 32) | 7;
+        assert!(clientish >> 60 != 0, "client tokens carry bit 62");
+    }
+}

@@ -426,6 +426,7 @@ fn until_fin_sentinel_with_resume_verifies_blocks_at_fin() {
         flags: HEADER_FLAG_DIGEST,
         length: u64::MAX,
         resume: Some(Resume::fresh()),
+        stripe: None,
         route: Vec::new(),
     };
     let payload = payload_chunk(0, total as usize);

@@ -102,6 +102,14 @@ pub enum ChaosViolation {
     /// The runtime invariant auditor recorded violations during the run
     /// (only reachable under `--features invariants`).
     Invariants { count: usize },
+    /// Striped runs only: the sink granted a stripe range containing
+    /// already-verified blocks — a verified block was re-sent on the
+    /// wire. The counter is [`SinkServer`]'s `stripe_regrants`; the
+    /// striped contract demands it stay zero for every seed.
+    StripeRegrant { regrants: u64 },
+    /// Striped runs only: the session claims `Done` but the sink's
+    /// block ledger certified fewer blocks than the stream holds.
+    PartialCertification { certified: u64, expected: u64 },
 }
 
 /// One seed's run: the storm it drew, what the session did, and every

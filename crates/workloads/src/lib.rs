@@ -20,7 +20,10 @@
 //! [`sweep`] repeats across sizes/iterations and aggregates; [`faults`]
 //! drills the session recovery layer against scripted failures on a
 //! redundant-depot topology; [`chaos`] soaks the same topology under
-//! seeded random fault storms with a machine-checked per-run contract.
+//! seeded random fault storms with a machine-checked per-run contract;
+//! [`striping`] soaks RAIL-style striped multi-cascade sessions on a
+//! three-depot topology with a targeted cascade kill every seed and the
+//! zero-verified-resend counter checked per run.
 
 pub mod campaign;
 pub mod chaos;
@@ -29,6 +32,7 @@ pub mod paths;
 pub mod report;
 pub mod routing;
 pub mod runner;
+pub mod striping;
 pub mod sweep;
 
 pub use campaign::{default_jobs, run_campaign};
@@ -46,4 +50,8 @@ pub use routing::{
     RoutingMode, RoutingPair, RoutingRun, FORECAST_TIMER_TAG,
 };
 pub use runner::{run_transfer, Mode, RunConfig, RunResult};
+pub use striping::{
+    run_striped_campaign, run_striped_seed, run_striped_storm, shrink_striped_run, striped_case,
+    striped_spec, striped_vs_single, StripedCase, StripedChaosConfig, StripedRun,
+};
 pub use sweep::{sweep_sizes, sweep_sizes_jobs, SweepPoint};

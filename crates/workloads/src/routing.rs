@@ -604,6 +604,66 @@ mod tests {
             .any(|v| matches!(v, ChaosViolation::ResumeRegression { .. })));
     }
 
+    /// The resume-grant × reroute interplay drill: an RST kills the
+    /// first attempt with blocks already verified, so the client enters
+    /// resume recovery — a grant is in flight. Mid-recovery the primary
+    /// depot dies and the probe plane pulls the client off the route
+    /// *before* the reconnect lands, so the grant the session
+    /// eventually negotiates belongs to a different cascade than the
+    /// one recovery started on. That grant must still skip every block
+    /// the dead attempt verified: `Rerouted` with a resume grant in
+    /// flight never re-sends a verified block.
+    #[test]
+    fn reroute_with_resume_grant_in_flight_never_resends_verified() {
+        let case = failover_case();
+        let storm = StormPlan {
+            seed: 33,
+            atoms: vec![
+                StormAtom::SublinkRst {
+                    node: case.src,
+                    at: Dur::from_millis(400),
+                },
+                StormAtom::NodeCrash {
+                    node: case.depot_a,
+                    at: Dur::from_millis(600),
+                    downtime: None,
+                },
+            ],
+        };
+        let cfg = RoutingConfig {
+            size: 4 << 20,
+            ..RoutingConfig::default()
+        };
+        let r = run_routing_storm(&case, &cfg, RoutingMode::Forecast, storm);
+        assert!(r.ok(), "violations: {:?}", r.violations);
+        assert!(r.completed(), "state {:?}", r.state);
+        // The RST-felled attempt left verified blocks behind — the
+        // boundary the in-flight resume must respect.
+        assert!(
+            r.outcomes.iter().any(|o| !o.ok() && o.verified_blocks > 0),
+            "the RST never bit a mid-stream attempt:\n{}",
+            r.fingerprint()
+        );
+        let rerouted_at = r
+            .timeline
+            .iter()
+            .find(|(_, e)| matches!(e, SessionEvent::Rerouted { .. }))
+            .map(|(t, _)| *t)
+            .expect("reroute fired during resume recovery");
+        // The attempt the reroute redirected still resumed past the dead
+        // attempt's verified boundary — nothing verified was re-sent.
+        assert!(
+            r.timeline.iter().any(|(t, e)| *t >= rerouted_at
+                && matches!(e, SessionEvent::Resumed { from_block, .. } if *from_block > 0)),
+            "the re-routed attempt did not resume mid-stream:\n{}",
+            r.fingerprint()
+        );
+        assert!(!r
+            .violations
+            .iter()
+            .any(|v| matches!(v, ChaosViolation::ResumeRegression { .. })));
+    }
+
     #[test]
     fn campaign_fingerprints_are_jobs_invariant() {
         let cfg = quick_cfg();

@@ -1,0 +1,790 @@
+//! Striped-session soak: RAIL-style multi-cascade transfers under fault
+//! storms, with the zero-verified-resend guarantee machine-checked.
+//!
+//! [`striped_case`] extends the two-depot failover topology with a third
+//! depot spur, so a [`StripedSession`] can open three concurrent
+//! cascades that all cross the lossy 622 Mb/s backbone. Each cascade's
+//! TCP connection is Mathis-limited by that loss, so striping buys real
+//! aggregate throughput — the paper's RAIL argument — while the 100 Mb/s
+//! access link stays uncongested.
+//!
+//! [`run_striped_seed`] draws a background storm (link flaps, depot
+//! crashes, client RSTs) and **always appends a targeted permanent kill
+//! of depot `seed % 3` mid-transfer**, so every seed exercises cascade
+//! death while blocks are in flight. The per-run contract extends the
+//! chaos contract:
+//!
+//! 1. the run terminates within the sim-time/event bounds (no hang, no
+//!    wedge),
+//! 2. `Done` means the sink's block ledger certified *every* block of
+//!    the stream (not merely some digest-verified attempt),
+//! 3. **no verified block is ever re-sent**: the sink counts every
+//!    granted stripe range that still contained a verified block
+//!    ([`SinkServer::stripe_regrants`]); the contract demands the
+//!    counter stay **zero** for every seed. Grant narrowing
+//!    (`skip_verified`) makes this structural — re-striped and
+//!    redundantly dispatched chunks are granted only their unverified
+//!    suffix,
+//! 4. the runtime invariant auditor is clean (under `--features
+//!    invariants`).
+//!
+//! [`striped_vs_single`] runs the same calm seed striped and degraded
+//! (`max_cascades = 1`, which delegates to the plain
+//! [`SessionClient`](lsl_session::SessionClient) verbatim) for the
+//! throughput comparison the bench gate enforces.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use lsl_netsim::{
+    Dur, FaultStormGen, LinkId, LinkSpec, LossModel, NodeId, StormAtom, StormPlan, StormSpec, Time,
+    Topology, TopologyBuilder,
+};
+use lsl_session::{
+    stream_blocks, ClientState, Depot, DepotConfig, Hop, LaneStat, LslPath, RecoveryConfig,
+    RoutePlan, SessionEvent, SessionId, SinkServer, StripeConfig, StripedSession, TransferOutcome,
+};
+use lsl_tcp::Net;
+
+use crate::campaign::run_campaign;
+use crate::chaos::ChaosViolation;
+use crate::faults::FaultRunConfig;
+use crate::paths::{DEPOT_PORT, SINK_PORT};
+
+/// A topology with three depot spurs off the backbone POP — enough
+/// distinct single-depot cascades for a three-wide stripe plus failover
+/// headroom.
+#[derive(Clone)]
+pub struct StripedCase {
+    pub name: &'static str,
+    pub topo: Topology,
+    pub src: NodeId,
+    pub dst: NodeId,
+    /// Depot spurs in candidate-rank order (a is fastest).
+    pub depots: [NodeId; 3],
+    /// Both directions of the src↔POP access link, the flap target that
+    /// takes every cascade down at once.
+    pub access_links: (LinkId, LinkId),
+}
+
+impl StripedCase {
+    /// The typed candidate plan: one single-depot cascade per spur, in
+    /// spur order. The direct path is not listed —
+    /// [`RecoveryConfig::direct_fallback`] appends it as the failover
+    /// route of last resort, exactly as for the single client.
+    pub fn plan(&self) -> RoutePlan {
+        let dst = Hop::new(self.dst, SINK_PORT);
+        let mut b = RoutePlan::builder();
+        for d in self.depots {
+            b = b.path(LslPath::via(vec![Hop::new(d, DEPOT_PORT)], dst));
+        }
+        b.build()
+            .expect("three single-depot cascades to one sink are always valid")
+    }
+}
+
+/// Build the three-depot striping topology: the failover case's
+/// `src — pop — dst` backbone (100 Mb/s access, lossy 622 Mb/s core)
+/// with 1 Gb/s depot spurs at 1.5/2/2.5 ms.
+pub fn striped_case() -> StripedCase {
+    let mut b = TopologyBuilder::new();
+    let src = b.node("src");
+    let pop = b.node("pop");
+    let dst = b.node("dst");
+    let depot_a = b.node("depot-a");
+    let depot_b = b.node("depot-b");
+    let depot_c = b.node("depot-c");
+
+    let access_links = b.duplex(
+        src,
+        pop,
+        LinkSpec::new(100_000_000, Dur::from_millis(1)).with_queue_bytes(2 << 20),
+    );
+    b.duplex(
+        pop,
+        dst,
+        LinkSpec::new(622_000_000, Dur::from_millis(13)).with_loss(LossModel::bernoulli(2e-3)),
+    );
+    b.duplex(
+        pop,
+        depot_a,
+        LinkSpec::new(1_000_000_000, Dur::from_micros(1500)),
+    );
+    b.duplex(
+        pop,
+        depot_b,
+        LinkSpec::new(1_000_000_000, Dur::from_micros(2000)),
+    );
+    b.duplex(
+        pop,
+        depot_c,
+        LinkSpec::new(1_000_000_000, Dur::from_micros(2500)),
+    );
+
+    StripedCase {
+        name: "striped-three-depots",
+        topo: b.build(),
+        src,
+        dst,
+        depots: [depot_a, depot_b, depot_c],
+        access_links,
+    }
+}
+
+/// Soak parameters shared by every seed of a striped campaign.
+#[derive(Clone, Debug)]
+pub struct StripedChaosConfig {
+    /// Transfer size per run, bytes.
+    pub size: u64,
+    /// Sim-time bound: a session still non-terminal past this is a hang.
+    pub time_bound: Dur,
+    /// Event-count livelock backstop.
+    pub max_events: u64,
+    /// Striping policy (cascade count, chunk quantum, redundancy budget,
+    /// per-lane recovery).
+    pub stripe: StripeConfig,
+}
+
+impl Default for StripedChaosConfig {
+    fn default() -> StripedChaosConfig {
+        StripedChaosConfig {
+            size: 1 << 20,
+            time_bound: Dur::from_secs(60),
+            max_events: 5_000_000,
+            stripe: StripeConfig {
+                max_cascades: 3,
+                // 2-block (128 KiB) chunks: a 1 MiB stream holds 16
+                // blocks, so every lane sees several dispatch rounds and
+                // work stealing has something to steal.
+                chunk_blocks: 2,
+                redundant_tail: 2,
+                // The fault-drill recovery posture: impatient ladders so
+                // a dead depot costs sim-seconds, not minutes.
+                recovery: RecoveryConfig {
+                    max_reconnects: 1,
+                    backoff_base: Dur::from_millis(200),
+                    backoff_cap: Dur::from_secs(2),
+                    progress_timeout: Some(Dur::from_millis(500)),
+                    max_retransfers: 2,
+                    direct_fallback: true,
+                    resume: true,
+                },
+            },
+        }
+    }
+}
+
+/// The storm envelope for the striping topology: every link is a flap
+/// target, all three depots are crash targets, the client host is the
+/// RST target.
+pub fn striped_spec(case: &StripedCase) -> StormSpec {
+    let sim = case.topo.clone().into_sim(0);
+    StormSpec::new(Dur::from_millis(1500))
+        .with_links((0..sim.num_links()).map(|i| LinkId(i as u32)).collect())
+        .with_crash_nodes(case.depots.to_vec())
+        .with_rst_nodes(vec![case.src])
+        .with_atoms(1, 5)
+        .with_max_outage(Dur::from_millis(800))
+}
+
+/// One seed's striped run: the storm, what the session did lane by lane,
+/// the sink's ledger verdicts, and every contract breach.
+#[derive(Debug)]
+pub struct StripedRun {
+    pub seed: u64,
+    pub storm: StormPlan,
+    pub state: ClientState,
+    /// Cascades the session actually striped over (1 = degraded to the
+    /// plain client).
+    pub cascades: usize,
+    /// Per-lane dispatch statistics (empty when degraded).
+    pub lanes: Vec<LaneStat>,
+    pub timeline: Vec<(Time, SessionEvent)>,
+    pub outcomes: Vec<TransferOutcome>,
+    /// Blocks the sink's ledger certified for this session.
+    pub certified: u64,
+    /// Blocks the stream holds — `Done` demands `certified == expected`.
+    pub expected_blocks: u64,
+    /// Duplicate deliveries the ledger discarded (redundant dispatch and
+    /// races lose here, harmlessly).
+    pub duplicates: u64,
+    /// Stripe grants that still contained a verified block — the
+    /// zero-verified-resend counter. The contract demands **zero**.
+    pub regrants: u64,
+    /// Session start to terminal state (or the bound, on a hang),
+    /// seconds of sim time.
+    pub duration_s: f64,
+    pub events: u64,
+    pub violations: Vec<ChaosViolation>,
+    /// Deterministic telemetry captured while the seed ran.
+    pub obs: lsl_obs::ObsReport,
+}
+
+impl StripedRun {
+    /// Did the run satisfy the whole striped contract?
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    pub fn completed(&self) -> bool {
+        self.state == ClientState::Done
+    }
+
+    /// The distinct fault kinds this storm lowered to.
+    pub fn kinds(&self) -> BTreeSet<&'static str> {
+        self.storm.kinds()
+    }
+
+    /// A paste-able [`FaultPlan`](lsl_netsim::FaultPlan) builder chain
+    /// reproducing this run's storm.
+    pub fn drill(&self) -> String {
+        self.storm.drill()
+    }
+
+    /// Aggregate delivered-bytes/duration, the bench's sessions/sec
+    /// numerator. Zero on a failed run.
+    pub fn throughput_mbps(&self) -> f64 {
+        if !self.completed() || self.duration_s <= 0.0 {
+            return 0.0;
+        }
+        (self.certified * lsl_session::RESUME_BLOCK) as f64 * 8.0 / 1e6 / self.duration_s
+    }
+
+    /// Canonical rendering — storm, timeline, outcomes, lanes, ledger
+    /// verdicts — for byte-identical determinism comparisons across job
+    /// counts.
+    pub fn fingerprint(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "striped seed {} atoms {}",
+            self.seed,
+            self.storm.atoms.len()
+        );
+        for a in &self.storm.atoms {
+            let _ = writeln!(s, "  atom {a:?}");
+        }
+        for (t, ev) in &self.timeline {
+            let _ = writeln!(s, "{t:?} {ev:?}");
+        }
+        for o in &self.outcomes {
+            let _ = writeln!(
+                s,
+                "outcome {:?} {:?} bytes={} digest={:?} verified={} resume_at={} \
+                 stripe={:?} certified={} session={} at={:?}",
+                o.session,
+                o.status,
+                o.bytes,
+                o.digest_ok,
+                o.verified_blocks,
+                o.resume_offset,
+                o.stripe,
+                o.blocks_certified,
+                o.session_verified,
+                o.completed_at
+            );
+        }
+        for (i, l) in self.lanes.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "lane {i} route {} dispatched {} stolen {} redundant {} dead {}",
+                l.route, l.blocks_dispatched, l.blocks_stolen, l.redundant_attempts, l.dead
+            );
+        }
+        let _ = writeln!(
+            s,
+            "ledger {}/{} dup {} regrants {}",
+            self.certified, self.expected_blocks, self.duplicates, self.regrants
+        );
+        let _ = writeln!(
+            s,
+            "state {:?} cascades {} events {} violations {:?}",
+            self.state, self.cascades, self.events, self.violations
+        );
+        let _ = writeln!(
+            s,
+            "obs spans {} digest {:016x}",
+            self.obs.spans.len(),
+            self.obs.digest()
+        );
+        s
+    }
+}
+
+/// Run one seed: draw the background storm, append the targeted
+/// mid-transfer kill of depot `seed % 3` (permanent — the lane must die
+/// or fail over, never wait it out), drive it, check the contract.
+pub fn run_striped_seed(cfg: &StripedChaosConfig, seed: u64) -> StripedRun {
+    let case = striped_case();
+    let mut storm = FaultStormGen::new(striped_spec(&case)).generate(seed);
+    storm.atoms.push(StormAtom::NodeCrash {
+        node: case.depots[(seed % 3) as usize],
+        // 40–180 ms: after the stripe grants land, before the ~300 ms
+        // striped transfer drains — blocks are in flight on every lane.
+        at: Dur::from_millis(40 + (seed % 8) * 20),
+        downtime: None,
+    });
+    run_striped_storm(&case, cfg, storm)
+}
+
+/// Run an explicit storm (the shrinker re-enters here with atom
+/// subsets). The sim seed is the storm's seed, so a shrunk reproduction
+/// replays the exact packet-level timing of the original run.
+pub fn run_striped_storm(
+    case: &StripedCase,
+    cfg: &StripedChaosConfig,
+    storm: StormPlan,
+) -> StripedRun {
+    #[cfg(feature = "invariants")]
+    drop(lsl_netsim::invariants::take());
+
+    let (mut run, obs) = lsl_obs::recorded(|| run_striped_storm_inner(case, cfg, storm));
+    run.obs = obs;
+    run
+}
+
+fn run_striped_storm_inner(
+    case: &StripedCase,
+    cfg: &StripedChaosConfig,
+    storm: StormPlan,
+) -> StripedRun {
+    // Borrow the fault-drill TCP posture (impatient SYN/data retries,
+    // small send buffer) and sink idle watchdog; striping recovery rides
+    // in cfg.stripe.
+    let run_cfg = FaultRunConfig::new(cfg.size, storm.seed, storm.to_fault_plan());
+    let mut sim = case.topo.clone().into_sim(run_cfg.seed);
+    sim.install_faults(run_cfg.plan.clone());
+    let mut net = Net::new(sim);
+
+    let depot_cfg = DepotConfig::builder()
+        .port(DEPOT_PORT)
+        .tcp(run_cfg.tcp.clone())
+        .setup_delay(Dur::from_millis(5))
+        .build();
+    let mut depots: Vec<Depot> = case
+        .depots
+        .iter()
+        .map(|&d| Depot::new(&mut net, d, depot_cfg.clone()))
+        .collect();
+    let mut sink = SinkServer::new(&mut net, case.dst, SINK_PORT, true, run_cfg.tcp.clone());
+    if let Some(d) = run_cfg.sink_idle {
+        sink = sink.with_idle_timeout(d);
+    }
+
+    let mut client = StripedSession::start(
+        &mut net,
+        case.src,
+        case.plan(),
+        SessionId(0x57a1_0000 + run_cfg.seed as u128),
+        run_cfg.size,
+        run_cfg.tcp.clone(),
+        cfg.stripe.clone(),
+        None,
+    );
+
+    let deadline = Time::ZERO + cfg.time_bound;
+    let mut outcomes: Vec<TransferOutcome> = Vec::new();
+    let mut events: u64 = 0;
+    let mut hung = false;
+    while let Some(ev) = net.poll() {
+        events += 1;
+        if net.now() > deadline || events > cfg.max_events {
+            hung = true;
+            break;
+        }
+        let consumed =
+            client.handle(&mut net, &ev).consumed() || sink.handle(&mut net, &ev).consumed();
+        if !consumed {
+            for d in &mut depots {
+                if d.handle(&mut net, &ev).consumed() {
+                    break;
+                }
+            }
+        }
+        for o in sink.take_outcomes() {
+            if o.session == Some(client.session()) {
+                client.on_outcome(&mut net, &o);
+            }
+            outcomes.push(o);
+        }
+        if client.is_done() {
+            break;
+        }
+    }
+
+    let state = client.state();
+    let ended_at = client.finished_at().unwrap_or_else(|| net.now());
+    let expected_blocks = stream_blocks(cfg.size);
+    let certified = sink.session_certified(client.session());
+    let duplicates = sink.duplicate_blocks(client.session());
+    let regrants = sink.stripe_regrants();
+    #[cfg(feature = "invariants")]
+    let invariant_count = lsl_netsim::invariants::take().len();
+    #[cfg(not(feature = "invariants"))]
+    let invariant_count = 0;
+    let violations = check_striped_contract(
+        hung,
+        events,
+        net.now(),
+        state,
+        &outcomes,
+        certified,
+        expected_blocks,
+        regrants,
+        invariant_count,
+    );
+    net.sim().record_obs_link_metrics();
+
+    StripedRun {
+        seed: storm.seed,
+        storm,
+        state,
+        cascades: client.cascades(),
+        lanes: client.lane_stats(),
+        timeline: client.take_events(),
+        outcomes,
+        certified,
+        expected_blocks,
+        duplicates,
+        regrants,
+        duration_s: (ended_at - client.started_at()).as_secs_f64(),
+        events,
+        violations,
+        obs: lsl_obs::ObsReport::default(),
+    }
+}
+
+/// The striped contract. The chaos contract's per-attempt resume floor
+/// does not transfer — an empty stripe grant over an already-verified
+/// chunk legitimately lands below another lane's verified high-water
+/// mark without re-sending anything — so clause 3 is the *structural*
+/// sink counter instead: a grant that still contained a verified block
+/// is a violation wherever the run ended up.
+#[allow(clippy::too_many_arguments)] // one call site, mirrors check_contract
+fn check_striped_contract(
+    hung: bool,
+    events: u64,
+    now: Time,
+    state: ClientState,
+    outcomes: &[TransferOutcome],
+    certified: u64,
+    expected_blocks: u64,
+    regrants: u64,
+    invariant_count: usize,
+) -> Vec<ChaosViolation> {
+    let mut v = Vec::new();
+    if invariant_count > 0 {
+        v.push(ChaosViolation::Invariants {
+            count: invariant_count,
+        });
+    }
+    if regrants > 0 {
+        v.push(ChaosViolation::StripeRegrant { regrants });
+    }
+    if hung {
+        v.push(ChaosViolation::Hang { at: now, events });
+        return v;
+    }
+    let terminal = matches!(state, ClientState::Done | ClientState::Failed(_));
+    if !terminal {
+        v.push(ChaosViolation::Wedged { state });
+        return v;
+    }
+    if state == ClientState::Done {
+        if !outcomes.iter().any(|o| o.ok() && o.digest_ok == Some(true)) {
+            v.push(ChaosViolation::NoVerifiedDelivery);
+        }
+        if certified < expected_blocks {
+            v.push(ChaosViolation::PartialCertification {
+                certified,
+                expected: expected_blocks,
+            });
+        }
+    }
+    v
+}
+
+/// Run seeds `0..n` through the striping topology. Fan-out goes through
+/// [`run_campaign`]: results arrive in seed order and are byte-identical
+/// for any `jobs` value.
+pub fn run_striped_campaign(cfg: &StripedChaosConfig, n: usize, jobs: usize) -> Vec<StripedRun> {
+    run_campaign(n, jobs, |i| run_striped_seed(cfg, i as u64))
+}
+
+/// Shrink a failing [`StripedRun`] by re-running atom subsets under the
+/// same seed, and return the minimal storm.
+pub fn shrink_striped_run(cfg: &StripedChaosConfig, run: &StripedRun) -> StormPlan {
+    let case = striped_case();
+    let seed = run.seed;
+    let minimal = crate::chaos::shrink_storm(&run.storm.atoms, |atoms| {
+        let storm = StormPlan {
+            seed,
+            atoms: atoms.to_vec(),
+        };
+        !run_striped_storm(&case, cfg, storm).ok()
+    });
+    StormPlan {
+        seed,
+        atoms: minimal,
+    }
+}
+
+/// Run the same calm seed striped and degraded to one cascade (which
+/// delegates to the plain [`SessionClient`](lsl_session::SessionClient)
+/// verbatim), for the striped-vs-single throughput comparison. Returns
+/// `(striped, single)`.
+pub fn striped_vs_single(cfg: &StripedChaosConfig, seed: u64) -> (StripedRun, StripedRun) {
+    let case = striped_case();
+    let striped = run_striped_storm(
+        &case,
+        cfg,
+        StormPlan {
+            seed,
+            atoms: Vec::new(),
+        },
+    );
+    let mut single_cfg = cfg.clone();
+    single_cfg.stripe.max_cascades = 1;
+    let single = run_striped_storm(
+        &case,
+        &single_cfg,
+        StormPlan {
+            seed,
+            atoms: Vec::new(),
+        },
+    );
+    (striped, single)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsl_session::endpoint::SendMode;
+    use lsl_session::SessionClient;
+
+    #[test]
+    fn calm_striped_seed_certifies_every_block_across_three_cascades() {
+        let cfg = StripedChaosConfig::default();
+        let case = striped_case();
+        let r = run_striped_storm(
+            &case,
+            &cfg,
+            StormPlan {
+                seed: 7,
+                atoms: Vec::new(),
+            },
+        );
+        assert!(r.ok(), "violations: {:?}", r.violations);
+        assert!(r.completed(), "state {:?}", r.state);
+        assert_eq!(r.cascades, 3);
+        assert_eq!(r.certified, r.expected_blocks);
+        assert_eq!(r.regrants, 0);
+        // Every lane moved real blocks.
+        assert!(
+            r.lanes.iter().all(|l| l.blocks_dispatched > 0),
+            "{:?}",
+            r.lanes
+        );
+        // The dispatcher's telemetry landed in the captured obs report:
+        // one blocks-dispatched counter per cascade, matching the lane
+        // stats exactly.
+        for (i, l) in r.lanes.iter().enumerate() {
+            assert_eq!(
+                r.obs
+                    .metrics
+                    .counters
+                    .get(&("stripe.blocks_dispatched", i as u64))
+                    .copied(),
+                Some(l.blocks_dispatched),
+                "lane {i} counter out of step with its stats"
+            );
+        }
+    }
+
+    #[test]
+    fn killing_two_depots_restripes_onto_survivors_without_verified_resends() {
+        let cfg = StripedChaosConfig::default();
+        let case = striped_case();
+        // Two permanent depot kills: one lane fails over to the direct
+        // fallback, the other exhausts its routes and dies — its
+        // unverified blocks must be re-striped onto the survivors.
+        let storm = StormPlan {
+            seed: 3,
+            atoms: vec![
+                StormAtom::NodeCrash {
+                    node: case.depots[0],
+                    at: Dur::from_millis(60),
+                    downtime: None,
+                },
+                StormAtom::NodeCrash {
+                    node: case.depots[1],
+                    at: Dur::from_millis(60),
+                    downtime: None,
+                },
+            ],
+        };
+        let r = run_striped_storm(&case, &cfg, storm);
+        assert!(
+            r.ok(),
+            "violations: {:?}\n{}",
+            r.violations,
+            r.fingerprint()
+        );
+        assert!(r.completed(), "state {:?}", r.state);
+        assert!(
+            r.timeline
+                .iter()
+                .any(|(_, e)| matches!(e, SessionEvent::SublinkDown(_))),
+            "the kills never bit:\n{}",
+            r.fingerprint()
+        );
+        assert_eq!(r.regrants, 0, "a verified block was re-sent");
+        assert_eq!(r.certified, r.expected_blocks);
+        // A lane died outright, so a survivor's pickup latency landed in
+        // the rebalance histogram.
+        if r.timeline
+            .iter()
+            .any(|(_, e)| matches!(e, SessionEvent::StripeLost { .. }))
+        {
+            let h = r
+                .obs
+                .metrics
+                .hists
+                .get("session.stripe.rebalance_ns")
+                .expect("stripe loss recorded no rebalance latency");
+            assert!(h.count > 0);
+        }
+    }
+
+    #[test]
+    fn targeted_seed_kill_satisfies_contract() {
+        let cfg = StripedChaosConfig::default();
+        for seed in 0..3 {
+            let r = run_striped_seed(&cfg, seed);
+            assert!(
+                r.ok(),
+                "seed {seed} violations: {:?}\n{}",
+                r.violations,
+                r.fingerprint()
+            );
+        }
+    }
+
+    #[test]
+    fn striping_beats_the_single_cascade_on_the_lossy_backbone() {
+        let cfg = StripedChaosConfig::default();
+        let (striped, single) = striped_vs_single(&cfg, 11);
+        assert!(striped.completed() && single.completed());
+        assert_eq!(striped.cascades, 3);
+        assert_eq!(single.cascades, 1);
+        // Each cascade's backbone TCP is Mathis-limited by the 2e-3
+        // loss; three concurrent cascades should aggregate well past the
+        // single one. The acceptance gate is >=; in practice ~2x.
+        assert!(
+            striped.duration_s < single.duration_s,
+            "striped {:.3}s vs single {:.3}s",
+            striped.duration_s,
+            single.duration_s
+        );
+    }
+
+    /// Degradation acceptance: `max_cascades = 1` must be *byte-identical*
+    /// to driving the plain [`SessionClient`] — same timeline, same
+    /// outcomes, same timestamps.
+    #[test]
+    fn single_cascade_degradation_is_byte_identical_to_session_client() {
+        let cfg = {
+            let mut c = StripedChaosConfig::default();
+            c.stripe.max_cascades = 1;
+            c
+        };
+        let case = striped_case();
+        let seed = 5;
+        let striped = run_striped_storm(
+            &case,
+            &cfg,
+            StormPlan {
+                seed,
+                atoms: Vec::new(),
+            },
+        );
+        assert_eq!(striped.cascades, 1);
+
+        // The same run, hand-driven through SessionClient with the exact
+        // arguments StripedSession::start would delegate.
+        let run_cfg = FaultRunConfig::new(cfg.size, seed, lsl_netsim::FaultPlan::new());
+        let mut net = Net::new(case.topo.clone().into_sim(seed));
+        let depot_cfg = DepotConfig::builder()
+            .port(DEPOT_PORT)
+            .tcp(run_cfg.tcp.clone())
+            .setup_delay(Dur::from_millis(5))
+            .build();
+        let mut depots: Vec<Depot> = case
+            .depots
+            .iter()
+            .map(|&d| Depot::new(&mut net, d, depot_cfg.clone()))
+            .collect();
+        let mut sink = SinkServer::new(&mut net, case.dst, SINK_PORT, true, run_cfg.tcp.clone());
+        if let Some(d) = run_cfg.sink_idle {
+            sink = sink.with_idle_timeout(d);
+        }
+        let mut client = SessionClient::start(
+            &mut net,
+            case.src,
+            case.plan(),
+            SessionId(0x57a1_0000 + seed as u128),
+            cfg.size,
+            SendMode::lsl(),
+            run_cfg.tcp.clone(),
+            cfg.stripe.recovery.clone(),
+            None,
+        );
+        let mut outcomes: Vec<TransferOutcome> = Vec::new();
+        while let Some(ev) = net.poll() {
+            let consumed =
+                client.handle(&mut net, &ev).consumed() || sink.handle(&mut net, &ev).consumed();
+            if !consumed {
+                for d in &mut depots {
+                    if d.handle(&mut net, &ev).consumed() {
+                        break;
+                    }
+                }
+            }
+            for o in sink.take_outcomes() {
+                if o.session == Some(client.session()) {
+                    client.on_outcome(&mut net, &o);
+                }
+                outcomes.push(o);
+            }
+            if client.is_done() {
+                break;
+            }
+        }
+
+        assert_eq!(
+            format!("{:?}", striped.timeline),
+            format!("{:?}", client.take_events()),
+            "degraded striped timeline diverged from the plain client"
+        );
+        assert_eq!(
+            format!("{:?}", striped.outcomes),
+            format!("{:?}", outcomes),
+            "degraded striped outcomes diverged from the plain client"
+        );
+        assert_eq!(striped.state, client.state());
+    }
+
+    #[test]
+    fn striped_campaign_fingerprints_identical_across_job_counts() {
+        let cfg = StripedChaosConfig::default();
+        let seq: Vec<String> = run_striped_campaign(&cfg, 4, 1)
+            .iter()
+            .map(|r| r.fingerprint())
+            .collect();
+        let par: Vec<String> = run_striped_campaign(&cfg, 4, 4)
+            .iter()
+            .map(|r| r.fingerprint())
+            .collect();
+        assert_eq!(seq, par);
+    }
+}

@@ -58,6 +58,21 @@ echo "==> chaos-storm smoke (8 storm seeds, per-run contract)"
 # clean. A violation shrinks to a minimal drill and fails the gate.
 cargo run -q -p lsl-bench --bin chaos -- --smoke
 
+echo "==> striped-session smoke (8 storm seeds + targeted kill, zero verified re-sends)"
+# RAIL-style striped sessions on the three-depot topology: every seed's
+# storm includes a targeted permanent depot kill mid-transfer. Each run
+# must satisfy the striped contract — terminate, certify every block on
+# Done, keep the sink's stripe_regrants counter at zero (no verified
+# block ever re-sent) — and striping must beat the single cascade on
+# the calm comparison seed. Release build: 64-seed full runs reuse it.
+cargo run -q -p lsl-bench --release --bin striped -- --smoke
+[ -s results/striped_outcomes.dat ] \
+  || { echo "results/striped_outcomes.dat missing or empty"; exit 1; }
+for col in duration_s certified_blocks stolen_blocks regrants; do
+  grep -q "$col" results/striped_outcomes.dat \
+    || { echo "striped_outcomes.dat missing column: $col"; exit 1; }
+done
+
 echo "==> forecast-routing smoke (8 storm seeds, forecast vs static)"
 # The closed NWS loop: each seed's storm runs with blind next-in-list
 # recovery and again with forecast-driven selection + proactive
@@ -139,7 +154,8 @@ echo "==> scale bench smoke (BENCH_scale.json shape)"
 scale_smoke_json="$PWD/target/BENCH_scale.smoke.json"
 BENCH_SMOKE=1 BENCH_SCALE_OUT="$scale_smoke_json" cargo bench -q -p lsl-bench --bench scale
 for f in "$scale_smoke_json" BENCH_scale.json; do
-  for key in timer_curve session_curve baseline armed sessions events_per_sec; do
+  for key in timer_curve session_curve baseline armed sessions events_per_sec \
+             striped sessions_per_sec single_cascade_sessions_per_sec; do
     grep -q "\"$key\"" "$f" || { echo "$f missing key: $key"; exit 1; }
   done
   if command -v python3 >/dev/null 2>&1; then
